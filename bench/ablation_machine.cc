@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation — machine organization: marker units per cluster and the
+ * full 32-cluster prototype.
+ *
+ * The prototype mixed five- and four-PE clusters ("16 clusters are
+ * implemented in the full five PE configuration while the remaining
+ * 16 clusters have four PE's each, totaling 144 PE's").  This bench
+ * measures what an extra marker unit buys per cluster, and scales the
+ * paper's 16-cluster experimental setup to the full 32-cluster
+ * machine.
+ */
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "workload/alpha_beta.hh"
+
+using namespace snap;
+
+namespace
+{
+
+Tick
+runWith(MachineConfig cfg)
+{
+    Workload w = makeAlphaWorkload(512 * 5, 512, 4, 2, 9);
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    cfg.partition = PartitionStrategy::Semantic;
+    SnapMachine machine(cfg);
+    machine.loadKb(w.net);
+    return machine.run(w.prog).wallTicks;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation — marker units per cluster; 16 vs 32 "
+                  "clusters",
+                  "the prototype's 4/5-PE cluster mix and the full "
+                  "144-PE machine");
+
+    TextTable table;
+    table.header({"configuration", "processors", "marker units",
+                  "wall (ms)", "speedup vs 1 MU/cl"});
+
+    MachineConfig one;
+    one.numClusters = 16;
+    one.musPerCluster.assign(16, 1);
+    Tick t_one = runWith(one);
+
+    MachineConfig two;
+    two.numClusters = 16;
+    two.musPerCluster.assign(16, 2);
+    Tick t_two = runWith(two);
+
+    MachineConfig three;
+    three.numClusters = 16;
+    three.musPerCluster.assign(16, 3);
+    Tick t_three = runWith(three);
+
+    MachineConfig mixed = MachineConfig::paperSetup();  // 3/2 mix
+    Tick t_mixed = runWith(mixed);
+
+    MachineConfig full = MachineConfig::fullPrototype();  // 32 cl
+    Tick t_full = runWith(full);
+
+    auto emit = [&](const char *name, const MachineConfig &cfg,
+                    Tick t) {
+        table.row({name, std::to_string(cfg.numProcessors()),
+                   std::to_string(cfg.numMarkerUnits()),
+                   bench::ms(t),
+                   fmtDouble(static_cast<double>(t_one) /
+                                 static_cast<double>(t), 2) + "x"});
+    };
+    emit("16 cl, 1 MU each", one, t_one);
+    emit("16 cl, 2 MU each", two, t_two);
+    emit("16 cl, 3 MU each", three, t_three);
+    emit("16 cl, 3/2 mix (paper setup)", mixed, t_mixed);
+    emit("32 cl, 3/2 mix (full prototype)", full, t_full);
+    std::printf("%s\n", table.render().c_str());
+
+    bench::check("a second marker unit helps substantially (>25%)",
+                 static_cast<double>(t_one) /
+                         static_cast<double>(t_two) > 1.25);
+    bench::check("a third marker unit still helps",
+                 t_three < t_two);
+    bench::check("the 3/2 mix lands between the 2-MU and 3-MU "
+                 "configurations",
+                 t_mixed <= t_two && t_mixed >= t_three);
+    bench::check("the full 32-cluster prototype beats the 16-cluster "
+                 "setup", t_full < t_mixed);
+    return bench::finish();
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Ablation — knowledge-base allocation strategies.
+ *
+ * "The mapping function is variable with up to 1024 nodes per cluster
+ * using sequential, round-robin, or semantically-based allocation"
+ * (paper §II-A).  This bench quantifies the trade-off the strategies
+ * navigate: semantic allocation maximizes link locality (fewest
+ * inter-cluster messages) but can concentrate hot regions on few
+ * clusters; round-robin balances load perfectly but sends almost
+ * every marker across the ICN.
+ *
+ * Two workloads on 16 clusters:
+ *   - chain-heavy α-workload (locality-friendly),
+ *   - an NLU parse whose type hierarchy is a natural hotspot.
+ */
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+#include "workload/alpha_beta.hh"
+
+using namespace snap;
+
+namespace
+{
+
+struct Row
+{
+    double locality = 0;
+    Tick wall = 0;
+    std::uint64_t messages = 0;
+};
+
+Row
+runAlpha(PartitionStrategy strategy)
+{
+    Workload w = makeAlphaWorkload(256 * 7, 256, 6, 2, 5);
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.partition = strategy;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(w.net);
+    RunResult run = machine.run(w.prog);
+    Row r;
+    r.locality = Partition::localityFraction(
+        w.net, machine.image().partition());
+    r.wall = run.wallTicks;
+    r.messages = run.stats.messagesSent;
+    return r;
+}
+
+Row
+runParse(PartitionStrategy strategy)
+{
+    LinguisticKbParams params;
+    params.nonlexicalNodes = 4000;
+    params.vocabulary = 500;
+    LinguisticKb kb(params);
+    MemoryBasedParser parser(kb);
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.partition = strategy;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+    auto sentences = makeNewswireBatch(kb.lexicon(), 3, 11);
+    Row r;
+    r.locality = Partition::localityFraction(
+        kb.net(), machine.image().partition());
+    for (const auto &s : sentences) {
+        ParseOutcome out = parser.parseOn(machine, s);
+        r.wall += out.mbTime;
+        r.messages += out.stats.messagesSent;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation — sequential vs round-robin vs semantic "
+                  "allocation (16 clusters)",
+                  "§II-A's variable mapping function: locality vs "
+                  "load balance");
+
+    const PartitionStrategy strategies[] = {
+        PartitionStrategy::Sequential, PartitionStrategy::RoundRobin,
+        PartitionStrategy::Semantic};
+
+    TextTable t1;
+    t1.header({"strategy", "link locality", "messages",
+               "wall (ms)"});
+    Row alpha[3];
+    for (int i = 0; i < 3; ++i) {
+        alpha[i] = runAlpha(strategies[i]);
+        t1.row({partitionStrategyName(strategies[i]),
+                fmtDouble(alpha[i].locality, 3),
+                std::to_string(alpha[i].messages),
+                bench::ms(alpha[i].wall)});
+    }
+    std::printf("α-chain workload (locality-friendly):\n%s\n",
+                t1.render().c_str());
+
+    TextTable t2;
+    t2.header({"strategy", "link locality", "messages",
+               "wall (ms)"});
+    Row parse[3];
+    for (int i = 0; i < 3; ++i) {
+        parse[i] = runParse(strategies[i]);
+        t2.row({partitionStrategyName(strategies[i]),
+                fmtDouble(parse[i].locality, 3),
+                std::to_string(parse[i].messages),
+                bench::ms(parse[i].wall)});
+    }
+    std::printf("NLU parse workload (hierarchy hotspot):\n%s\n",
+                t2.render().c_str());
+
+    bench::check("semantic allocation has the best link locality on "
+                 "both workloads",
+                 alpha[2].locality > alpha[0].locality - 1e-9 &&
+                     alpha[2].locality > alpha[1].locality &&
+                     parse[2].locality > parse[1].locality);
+    bench::check("round-robin sends the most messages",
+                 alpha[1].messages >= alpha[0].messages &&
+                     alpha[1].messages >= alpha[2].messages &&
+                     parse[1].messages >= parse[2].messages);
+    bench::check("semantic wins the locality-friendly workload",
+                 alpha[2].wall <= alpha[1].wall);
+    bench::check("round-robin wins the hotspot workload (load "
+                 "balance beats locality there)",
+                 parse[1].wall < parse[2].wall);
+    return bench::finish();
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared harness utilities for the per-figure benchmark binaries.
+ *
+ * Every bench prints the rows/series the corresponding paper table
+ * or figure reports, followed by `paper-shape check:` lines that
+ * assert the qualitative claims (who wins, slopes, crossovers).
+ * A failed check sets a nonzero exit code.
+ */
+
+#ifndef SNAP_BENCH_BENCH_UTIL_HH
+#define SNAP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strutil.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+namespace bench
+{
+
+inline int g_failures = 0;
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &paper_claim)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s\n", id.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("================================================="
+                "=====================\n");
+}
+
+/** Record and print one shape check. */
+inline bool
+check(const std::string &what, bool ok)
+{
+    std::printf("paper-shape check: %-58s %s\n", what.c_str(),
+                ok ? "[ok]" : "[FAIL]");
+    if (!ok)
+        ++g_failures;
+    return ok;
+}
+
+/** Exit code for main(): 0 when every check passed. */
+inline int
+finish()
+{
+    if (g_failures > 0)
+        std::printf("\n%d shape check(s) FAILED\n", g_failures);
+    else
+        std::printf("\nall shape checks passed\n");
+    return g_failures == 0 ? 0 : 1;
+}
+
+/** Least-squares slope of y over x. */
+inline double
+slope(const std::vector<double> &x, const std::vector<double> &y)
+{
+    double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+inline std::string
+ms(Tick t, int precision = 3)
+{
+    return fmtDouble(ticksToMs(t), precision);
+}
+
+inline std::string
+us(Tick t, int precision = 1)
+{
+    return fmtDouble(ticksToUs(t), precision);
+}
+
+} // namespace bench
+} // namespace snap
+
+#endif // SNAP_BENCH_BENCH_UTIL_HH

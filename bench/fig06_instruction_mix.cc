@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 6 — Relative instruction frequency and execution time.
+ *
+ * "Instruction profiles were measured for NLU applications on a
+ * single processor to determine frequency of use and relative
+ * execution time.  Fig. 6 shows that while the number of PROPAGATE
+ * operations is only 17.0% of the total instructions executed, they
+ * consume 64.5% of the overall processing time.  Thus propagation
+ * should be optimized since it dominates execution time."
+ *
+ * Reproduction: parse a batch of newswire sentences on the
+ * single-cluster, single-MU configuration and report each
+ * instruction category's share of dynamic count and of busy time.
+ */
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+
+using namespace snap;
+
+int
+main()
+{
+    bench::banner("Fig. 6 — instruction frequency vs execution time "
+                  "(single processor)",
+                  "PROPAGATE is ~17% of instructions but ~64.5% of "
+                  "processing time");
+
+    LinguisticKbParams params;
+    params.nonlexicalNodes = 3000;
+    params.vocabulary = 400;
+    LinguisticKb kb(params);
+    MemoryBasedParser parser(kb);
+
+    MachineConfig cfg = MachineConfig::singleCluster(1);
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+
+    auto sentences = makeNewswireBatch(kb.lexicon(), 6, 2024);
+    ExecBreakdown total;
+    for (const auto &s : sentences) {
+        ParseOutcome out = parser.parseOn(machine, s);
+        total.merge(out.stats);
+    }
+
+    constexpr std::size_t ncats = ExecBreakdown::numCats;
+    std::uint64_t count_sum = 0;
+    Tick time_sum = 0;
+    for (std::size_t c = 0; c < ncats; ++c) {
+        count_sum += total.categoryCounts[c];
+        time_sum += total.categoryBusy[c];
+    }
+
+    TextTable table;
+    table.header({"category", "instructions", "freq %", "busy time",
+                  "time %"});
+    double prop_freq = 0, prop_time = 0;
+    double max_other_time = 0;
+    for (std::size_t c = 0; c < ncats; ++c) {
+        auto cat = static_cast<InstrCategory>(c);
+        double freq = 100.0 * static_cast<double>(
+            total.categoryCounts[c]) / static_cast<double>(count_sum);
+        double tshare = 100.0 * static_cast<double>(
+            total.categoryBusy[c]) / static_cast<double>(time_sum);
+        if (cat == InstrCategory::Propagation) {
+            prop_freq = freq;
+            prop_time = tshare;
+        } else {
+            max_other_time = std::max(max_other_time, tshare);
+        }
+        table.row({categoryName(cat),
+                   std::to_string(total.categoryCounts[c]),
+                   fmtDouble(freq, 1),
+                   bench::ms(total.categoryBusy[c]) + " ms",
+                   fmtDouble(tshare, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("PROPAGATE: %.1f%% of instructions, %.1f%% of time "
+                "(paper: 17.0%% / 64.5%%)\n\n",
+                prop_freq, prop_time);
+
+    bench::check("propagation is a minority of instructions (<35%)",
+                 prop_freq < 35.0);
+    bench::check("propagation dominates execution time (>50%)",
+                 prop_time > 50.0);
+    bench::check("time share far exceeds frequency share (>2x)",
+                 prop_time > 2.0 * prop_freq);
+    bench::check("no other category's time share comes close",
+                 prop_time > 2.0 * max_other_time);
+    return bench::finish();
+}

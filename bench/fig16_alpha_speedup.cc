@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 16 — Speedup under α-parallelism.
+ *
+ * "Fig. 16 shows that to obtain speedup of 20-fold, α-parallelism on
+ * the order of 100 source activations was required.  For α = 1000,
+ * nearly linear speedup was obtained up to the full processor
+ * configuration.  Thus for typical values of α, namely
+ * 128 <= α <= 512, speedup ranges from 18-fold to 33-fold in a 72
+ * processor configuration."
+ *
+ * Reproduction: the α-workload (α disjoint source chains) swept over
+ * cluster counts; speedup is relative to the single-PE uniprocessor
+ * baseline running the same program.
+ */
+
+#include "arch/machine.hh"
+#include "baseline/seq_sim.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "workload/alpha_beta.hh"
+
+using namespace snap;
+
+int
+main()
+{
+    bench::banner("Fig. 16 — speedup vs processors for α in "
+                  "{10, 100, 1000}",
+                  "α=100 gives ~20-fold; α=1000 is nearly linear up "
+                  "to 72 processors; α in [128,512] gives 18-33x");
+
+    const std::uint32_t depth = 6;
+    const std::uint32_t rounds = 2;
+    const std::vector<std::uint32_t> cluster_counts{1, 2, 4, 8, 12,
+                                                    16};
+    const std::vector<std::uint32_t> alphas{10, 100, 1000};
+
+    // speedup[alpha index][cluster index]
+    std::vector<std::vector<double>> speedup(alphas.size());
+
+    for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+        std::uint32_t alpha = alphas[ai];
+        std::uint32_t nodes = alpha * (depth + 1);
+
+        Workload ref = makeAlphaWorkload(nodes, alpha, depth, rounds,
+                                         7 + alpha);
+        SeqBaseline seq(ref.net);
+        Tick t_seq = seq.run(ref.prog).wallTicks;
+
+        for (std::uint32_t clusters : cluster_counts) {
+            Workload w = makeAlphaWorkload(nodes, alpha, depth,
+                                           rounds, 7 + alpha);
+            MachineConfig cfg;
+            cfg.numClusters = clusters;
+            // Semantically-based allocation keeps each propagation
+            // chain inside one cluster (the paper's partitioning
+            // goal), so the speedup measures marker-unit
+            // parallelism rather than CU serialization.
+            cfg.partition = PartitionStrategy::Semantic;
+            cfg.maxNodesPerCluster = capacity::maxNodes;
+            SnapMachine machine(cfg);
+            machine.loadKb(w.net);
+            Tick t = machine.run(w.prog).wallTicks;
+            speedup[ai].push_back(static_cast<double>(t_seq) /
+                                  static_cast<double>(t));
+        }
+    }
+
+    MachineConfig probe;
+    TextTable table;
+    std::vector<std::string> head{"clusters", "processors"};
+    for (auto a : alphas)
+        head.push_back("α=" + std::to_string(a));
+    table.header(head);
+    for (std::size_t ci = 0; ci < cluster_counts.size(); ++ci) {
+        probe.numClusters = cluster_counts[ci];
+        std::vector<std::string> row{
+            std::to_string(cluster_counts[ci]),
+            std::to_string(probe.numProcessors())};
+        for (std::size_t ai = 0; ai < alphas.size(); ++ai)
+            row.push_back(fmtDouble(speedup[ai][ci], 1) + "x");
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    probe.numClusters = 16;
+    std::printf("at 16 clusters (%u processors): α=10 -> %.1fx, "
+                "α=100 -> %.1fx, α=1000 -> %.1fx\n\n",
+                probe.numProcessors(), speedup[0].back(),
+                speedup[1].back(), speedup[2].back());
+
+    // Shape checks.
+    bool monotone_alpha = true;
+    for (std::size_t ci = 0; ci < cluster_counts.size(); ++ci)
+        for (std::size_t ai = 1; ai < alphas.size(); ++ai)
+            monotone_alpha &= speedup[ai][ci] >=
+                              speedup[ai - 1][ci] * 0.95;
+
+    bool grows_with_p = true;
+    for (std::size_t ai = 1; ai < alphas.size(); ++ai)
+        for (std::size_t ci = 1; ci < cluster_counts.size(); ++ci)
+            grows_with_p &= speedup[ai][ci] >=
+                            speedup[ai][ci - 1] * 0.9;
+
+    bench::check("speedup rises with α at every machine size",
+                 monotone_alpha);
+    bench::check("for α>=100, speedup grows with processors",
+                 grows_with_p);
+    bench::check("α=100 reaches roughly 20-fold at 72 processors "
+                 "(in [10, 45])",
+                 speedup[1].back() > 10.0 &&
+                     speedup[1].back() < 45.0);
+    bench::check("α=1000 exceeds α=100 at full size",
+                 speedup[2].back() > 1.1 * speedup[1].back());
+    bench::check("α=10 saturates early (< 15x at full size)",
+                 speedup[0].back() < 15.0);
+    return bench::finish();
+}

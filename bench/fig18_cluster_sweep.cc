@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fig. 18 — Instruction-category execution time vs number of
+ * clusters.
+ *
+ * "Fig. 18 shows that propagation time was reduced by nearly an
+ * order of magnitude by increasing the number of clusters from 1 to
+ * 16.  Even though some instructions took slightly longer as the
+ * number of PE's was increased, they contributed only second-order
+ * effects since the amount of time required for other operations was
+ * much smaller by comparison."
+ *
+ * Reproduction: the same newswire parse on 1..16 clusters; per
+ * category, the active wall time (time during which at least one
+ * unit executes work of that category).
+ */
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+
+using namespace snap;
+
+int
+main()
+{
+    bench::banner("Fig. 18 — per-category time vs clusters (1 to 16)",
+                  "propagation time falls ~10x from 1 to 16 "
+                  "clusters; other categories are second-order");
+
+    LinguisticKbParams params;
+    params.nonlexicalNodes = 5000;
+    params.vocabulary = 500;
+
+    const std::vector<std::uint32_t> cluster_counts{1, 2, 4, 8, 16};
+    const std::vector<InstrCategory> cats{
+        InstrCategory::Propagation, InstrCategory::SetClear,
+        InstrCategory::Boolean, InstrCategory::Search,
+        InstrCategory::Collection, InstrCategory::Synchronization};
+
+    // times[cluster index][category]
+    std::vector<std::vector<Tick>> times;
+    std::vector<Tick> walls;
+
+    for (std::uint32_t clusters : cluster_counts) {
+        LinguisticKb kb(params);
+        MemoryBasedParser parser(kb);
+        MachineConfig cfg;
+        cfg.numClusters = clusters;
+        // Round-robin allocation spreads the type hierarchy across
+        // the whole array ("sequential, round-robin, or
+        // semantically-based allocation", §II-A) — without it the
+        // hierarchy region is a one-cluster hotspot.
+        cfg.partition = PartitionStrategy::RoundRobin;
+        cfg.maxNodesPerCluster = capacity::maxNodes;
+        SnapMachine machine(cfg);
+        machine.loadKb(kb.net());
+
+        auto sentences = makeNewswireBatch(kb.lexicon(), 3, 555);
+        ExecBreakdown total;
+        Tick wall = 0;
+        for (const auto &s : sentences) {
+            ParseOutcome out = parser.parseOn(machine, s);
+            total.merge(out.stats);
+            wall += out.mbTime;
+        }
+        std::vector<Tick> row;
+        for (InstrCategory c : cats)
+            row.push_back(total.categoryTicks(c));
+        times.push_back(row);
+        walls.push_back(wall);
+    }
+
+    TextTable table;
+    std::vector<std::string> head{"clusters"};
+    for (InstrCategory c : cats)
+        head.push_back(std::string(categoryName(c)) + " (ms)");
+    head.push_back("wall (ms)");
+    table.header(head);
+    for (std::size_t ci = 0; ci < cluster_counts.size(); ++ci) {
+        std::vector<std::string> row{
+            std::to_string(cluster_counts[ci])};
+        for (std::size_t k = 0; k < cats.size(); ++k)
+            row.push_back(bench::ms(times[ci][k]));
+        row.push_back(bench::ms(walls[ci]));
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double prop_reduction =
+        static_cast<double>(times.front()[0]) /
+        static_cast<double>(times.back()[0]);
+    std::printf("propagation time reduction 1 -> 16 clusters: "
+                "%.1fx (paper: ~10x)\n\n", prop_reduction);
+
+    bool prop_monotone = true;
+    for (std::size_t ci = 1; ci < cluster_counts.size(); ++ci)
+        prop_monotone &= times[ci][0] < times[ci - 1][0];
+
+    // Non-propagation categories stay much smaller than propagation
+    // at 16 clusters (second-order).
+    Tick max_other_16 = 0;
+    for (std::size_t k = 1; k < cats.size(); ++k)
+        max_other_16 = std::max(max_other_16, times.back()[k]);
+
+    bench::check("propagation time falls monotonically with "
+                 "clusters", prop_monotone);
+    bench::check("propagation reduction 1->16 is near an order of "
+                 "magnitude (>5x)", prop_reduction > 5.0);
+    bench::check("wall time also falls 1->16 (>4x)",
+                 static_cast<double>(walls.front()) /
+                         static_cast<double>(walls.back()) > 4.0);
+    bench::check("other categories remain second-order at 16 "
+                 "clusters",
+                 max_other_16 < times.back()[0] * 2);
+    return bench::finish();
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 19 — Instruction-category time vs knowledge-base size.
+ *
+ * "Fig. 19 shows the effect of increasing knowledge base size.  It
+ * shows that in general propagation dominates.  Furthermore, the
+ * relative time spent on nonpropagation instruction decreases
+ * slightly as the knowledge base grows."
+ */
+
+#include <algorithm>
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+
+using namespace snap;
+
+int
+main()
+{
+    bench::banner("Fig. 19 — per-category time vs KB size "
+                  "(16 clusters)",
+                  "propagation dominates at every size; the relative "
+                  "non-propagation share shrinks as the KB grows");
+
+    const std::vector<std::uint32_t> kb_sizes{1000, 2000, 4000,
+                                              8000};
+    std::vector<double> prop_share;
+    std::vector<bool> prop_largest;
+
+    TextTable table;
+    table.header({"KB nodes", "propagate (ms)", "set/clear (ms)",
+                  "boolean (ms)", "other (ms)",
+                  "propagate share %"});
+    for (std::uint32_t n : kb_sizes) {
+        LinguisticKbParams params;
+        params.nonlexicalNodes = n;
+        params.vocabulary = 500;
+        LinguisticKb kb(params);
+        MemoryBasedParser parser(kb);
+
+        MachineConfig cfg = MachineConfig::paperSetup();
+        cfg.partition = PartitionStrategy::RoundRobin;
+        cfg.maxNodesPerCluster = capacity::maxNodes;
+        SnapMachine machine(cfg);
+        machine.loadKb(kb.net());
+
+        auto sentences = makeNewswireBatch(kb.lexicon(), 3, 314);
+        ExecBreakdown total;
+        for (const auto &s : sentences) {
+            ParseOutcome out = parser.parseOn(machine, s);
+            total.merge(out.stats);
+        }
+
+        Tick prop = total.categoryTicks(InstrCategory::Propagation);
+        Tick setclear = total.categoryTicks(InstrCategory::SetClear);
+        Tick boolean = total.categoryTicks(InstrCategory::Boolean);
+        Tick other = 0;
+        Tick largest_other = 0;
+        for (std::size_t c = 0; c < ExecBreakdown::numCats; ++c) {
+            auto cat = static_cast<InstrCategory>(c);
+            if (cat != InstrCategory::Propagation) {
+                other += total.categoryTicks(cat);
+                largest_other = std::max(largest_other,
+                                         total.categoryTicks(cat));
+            }
+        }
+        double share = 100.0 * static_cast<double>(prop) /
+                       static_cast<double>(prop + other);
+        prop_share.push_back(share);
+        prop_largest.push_back(prop > largest_other);
+        table.row({std::to_string(n), bench::ms(prop),
+                   bench::ms(setclear), bench::ms(boolean),
+                   bench::ms(other - setclear - boolean),
+                   fmtDouble(share, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bool dominates = true;
+    for (std::size_t i = 0; i < prop_share.size(); ++i)
+        dominates &= prop_share[i] > 40.0 && prop_largest[i];
+
+    bench::check("propagation dominates at every KB size (largest "
+                 "category, >40% of total)",
+                 dominates);
+    bench::check("non-propagation share shrinks as the KB grows",
+                 prop_share.back() > prop_share.front());
+    return bench::finish();
+}

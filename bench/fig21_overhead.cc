@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fig. 21 — Components of parallel overhead vs array size.
+ *
+ * "The influence of each component of parallel overhead is shown in
+ * Fig. 21.  Due to the global bus, the broadcast overhead is small
+ * and constant.  The overhead for message communication grows
+ * slowly, proportional to log N for an array of N clusters.  The
+ * barrier synchronization overhead is proportional to the number of
+ * processors, but the dependency is small so the degradation is
+ * acceptable.  The most expensive operation is COLLECT-NODE which is
+ * proportional to the number of clusters used."
+ *
+ * Reproduction: a fixed α-workload with per-round barrier + collect
+ * swept over cluster counts; per-operation overheads reported:
+ * broadcast per instruction, mean message latency (the log N
+ * communication term), barrier detection+release per barrier, and
+ * collection time per COLLECT.
+ */
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+#include "workload/alpha_beta.hh"
+#include "workload/kb_gen.hh"
+
+#include "common/rng.hh"
+
+using namespace snap;
+
+int
+main()
+{
+    bench::banner("Fig. 21 — parallel overhead components vs "
+                  "clusters",
+                  "broadcast constant; message communication ~log N; "
+                  "barrier sync linear in P with small slope; "
+                  "COLLECT linear in P and dominant");
+
+    const std::vector<std::uint32_t> cluster_counts{2, 4, 8, 16,
+                                                    32};
+    std::vector<double> bcast_us, msg_us, sync_us, collect_us;
+    std::vector<double> hops_mean;
+
+    TextTable table;
+    table.header({"clusters", "broadcast/instr (us)",
+                  "msg latency (us)", "mean hops", "sync/barrier (us)",
+                  "collect/op (us)"});
+    for (std::uint32_t clusters : cluster_counts) {
+        // Random network + round-robin allocation: message
+        // destinations are uniform over clusters, so hop counts
+        // follow the hypercube distance distribution.
+        SemanticNetwork net = makeRandomKb(2048, 3.0, 2, 77);
+        RelationType r0 = net.relationId("r0");
+        RelationType r1 = net.relationId("r1");
+
+        Program prog;
+        PropRule rule = PropRule::comb(r0, r1);
+        rule.maxSteps = 5;
+        RuleId rid = prog.addRule(std::move(rule));
+        for (std::uint32_t round = 0; round < 3; ++round) {
+            for (NodeId s = 0; s < 8; ++s) {
+                prog.append(Instruction::searchNode(
+                    round * 64 + s * 7, 0, 0.0f));
+            }
+            prog.append(Instruction::propagate(
+                0, 1, rid, MarkerFunc::AddWeight));
+            prog.append(Instruction::barrier());
+            prog.append(Instruction::collectMarker(1));
+            prog.append(Instruction::clearMarker(0));
+            prog.append(Instruction::clearMarker(1));
+            prog.append(Instruction::barrier());
+        }
+
+        MachineConfig cfg;
+        cfg.numClusters = clusters;
+        cfg.partition = PartitionStrategy::RoundRobin;
+        cfg.maxNodesPerCluster = capacity::maxNodes;
+        SnapMachine machine(cfg);
+        machine.loadKb(net);
+        RunResult run = machine.run(prog);
+
+        double instrs = 0;
+        for (auto c : run.stats.opcodeCounts)
+            instrs += static_cast<double>(c);
+
+        // Light-load latency probe: one marker walks a chain whose
+        // successive nodes are scattered over random clusters, so a
+        // single message is in flight at a time and the measured
+        // latency is pure transit (hops x port-to-port time), the
+        // log N communication term of the figure.
+        SemanticNetwork probe_net;
+        std::vector<NodeId> tour;
+        for (NodeId i = 0; i < 64; ++i)
+            tour.push_back(probe_net.addNode(
+                "t" + std::to_string(i)));
+        Rng prng(13);
+        prng.shuffle(tour);
+        RelationType step_rel = probe_net.relation("step");
+        for (std::size_t k = 0; k + 1 < tour.size(); ++k)
+            probe_net.addLink(tour[k], step_rel, tour[k + 1], 1.0f);
+        Program probe;
+        PropRule walk = PropRule::chain(step_rel);
+        walk.maxSteps = 63;
+        RuleId wid = probe.addRule(std::move(walk));
+        probe.append(Instruction::searchNode(tour[0], 0, 0.0f));
+        probe.append(Instruction::propagate(0, 1, wid,
+                                            MarkerFunc::Count));
+        probe.append(Instruction::barrier());
+        SnapMachine probe_machine(cfg);
+        probe_machine.loadKb(probe_net);
+        RunResult probe_run = probe_machine.run(probe);
+
+        double bc = ticksToUs(run.stats.broadcastTicks) / instrs;
+        double ml = ticksToUs(static_cast<Tick>(
+            probe_run.stats.msgLatency.mean()));
+        double sy = ticksToUs(run.stats.syncTicks) /
+                    static_cast<double>(run.stats.barriers);
+        double co = ticksToUs(run.stats.collectTicks) /
+                    static_cast<double>(run.stats.collects);
+        double hp = run.stats.messagesSent
+                        ? static_cast<double>(run.stats.messageHops) /
+                              static_cast<double>(
+                                  run.stats.messagesSent)
+                        : 0.0;
+
+        bcast_us.push_back(bc);
+        msg_us.push_back(ml);
+        sync_us.push_back(sy);
+        collect_us.push_back(co);
+        hops_mean.push_back(hp);
+        table.row({std::to_string(clusters), fmtDouble(bc, 2),
+                   fmtDouble(ml, 2), fmtDouble(hp, 2),
+                   fmtDouble(sy, 2), fmtDouble(co, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::check("broadcast overhead constant across array sizes",
+                 bcast_us.front() == bcast_us.back());
+    bench::check("mean hop count grows like log N (1 -> ~2.5)",
+                 hops_mean[0] >= 0.9 && hops_mean[0] < 1.4 &&
+                     hops_mean.back() > 1.7 &&
+                     hops_mean.back() < 3.0);
+    bench::check("message latency grows slowly with array size",
+                 msg_us.back() > msg_us[0] &&
+                     msg_us.back() < 6.0 * msg_us[0]);
+    bench::check("barrier overhead linear in P with small slope",
+                 sync_us.back() > sync_us.front() &&
+                     sync_us.back() < 12.0 * sync_us.front());
+    bench::check("collect overhead grows with clusters",
+                 collect_us.back() > collect_us.front());
+    bench::check("collect is the most expensive overhead at 32 "
+                 "clusters",
+                 collect_us.back() > sync_us.back() &&
+                     collect_us.back() > msg_us.back() &&
+                     collect_us.back() > bcast_us.back());
+    return bench::finish();
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Microbenchmarks of the simulator substrate (google-benchmark):
+ * status-table word operations, event-queue throughput, functional
+ * propagation, knowledge-base compilation, and full machine runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/machine.hh"
+#include "common/bitvector.hh"
+#include "kb/partition.hh"
+#include "runtime/propagate.hh"
+#include "runtime/reference.hh"
+#include "sim/event_queue.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+void
+BM_BitVectorWordOps(benchmark::State &state)
+{
+    BitVector a(1024), b(1024);
+    for (std::uint32_t i = 0; i < 1024; i += 3)
+        a.set(i);
+    for (auto _ : state) {
+        for (std::uint32_t w = 0; w < a.numWords(); ++w)
+            b.setWord(w, a.word(w) & ~b.word(w));
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_BitVectorWordOps);
+
+void
+BM_BitVectorCollect(benchmark::State &state)
+{
+    BitVector a(1024);
+    for (std::uint32_t i = 0; i < 1024; i += 5)
+        a.set(i);
+    std::vector<std::uint32_t> out;
+    for (auto _ : state) {
+        out.clear();
+        a.collect(out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_BitVectorCollect);
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        std::function<void()> chain = [&] {
+            if (++fired < 1000)
+                eq.scheduleCallback(eq.curTick() + 10, chain);
+        };
+        eq.scheduleCallback(0, chain);
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_PropagateFunctional(benchmark::State &state)
+{
+    SemanticNetwork net =
+        makeRandomKb(static_cast<std::uint32_t>(state.range(0)),
+                     3.0, 2, 5);
+    RelationType r0 = net.relationId("r0");
+    RelationType r1 = net.relationId("r1");
+    PropRule rule = PropRule::comb(r0, r1);
+    rule.maxSteps = 20;
+    for (auto _ : state) {
+        MarkerStore store(net.numNodes());
+        store.set(0, 0, 0.0f, 0);
+        PropagationStats st = propagateFunctional(
+            net, store, 0, 1, rule, MarkerFunc::AddWeight);
+        benchmark::DoNotOptimize(st);
+    }
+}
+BENCHMARK(BM_PropagateFunctional)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_PartitionSemantic(benchmark::State &state)
+{
+    SemanticNetwork net = makeRandomKb(4096, 3.0, 3, 6);
+    for (auto _ : state) {
+        Partition part = Partition::build(
+            net, 16, PartitionStrategy::Semantic);
+        benchmark::DoNotOptimize(part);
+    }
+}
+BENCHMARK(BM_PartitionSemantic);
+
+void
+BM_KbImageCompile(benchmark::State &state)
+{
+    SemanticNetwork net = makeRandomKb(4096, 3.0, 3, 6);
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    for (auto _ : state) {
+        KbImage image(net, cfg);
+        benchmark::DoNotOptimize(image.numNodes());
+    }
+}
+BENCHMARK(BM_KbImageCompile);
+
+void
+BM_MachinePropagateRun(benchmark::State &state)
+{
+    SemanticNetwork net = makeTreeKb(
+        static_cast<std::uint32_t>(state.range(0)), 4);
+    RelationType inc = net.relationId("includes");
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(net);
+
+    Program prog;
+    RuleId rid = prog.addRule(PropRule::chain(inc));
+    prog.append(Instruction::searchNode(0, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rid,
+                                       MarkerFunc::AddWeight));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::clearMarker(1));
+    prog.append(Instruction::clearMarker(0));
+
+    for (auto _ : state) {
+        RunResult run = machine.run(prog);
+        benchmark::DoNotOptimize(run.wallTicks);
+    }
+}
+BENCHMARK(BM_MachinePropagateRun)->Arg(512)->Arg(2048);
+
+} // namespace
+} // namespace snap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * End-to-end natural-language understanding on the simulated SNAP-1:
+ * build the layered linguistic knowledge base, run the phrasal parser
+ * (serial, on the controller) and the memory-based parser (marker
+ * propagation on the array) over newswire sentences, and report the
+ * winning concept sequences with the paper's timing breakdown.
+ *
+ *   ./nlu_parse                 # parse the S1-S4 benchmark sentences
+ *   ./nlu_parse 5000 8          # KB size and number of random
+ *                               # newswire sentences
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/machine.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+
+using namespace snap;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t kb_size = 5000;
+    std::uint32_t batch = 0;
+    if (argc > 1)
+        kb_size = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    if (argc > 2)
+        batch = static_cast<std::uint32_t>(std::atoi(argv[2]));
+
+    std::printf("building the layered linguistic knowledge base "
+                "(%u nonlexical concepts)...\n", kb_size);
+    LinguisticKbParams params;
+    params.nonlexicalNodes = kb_size;
+    params.vocabulary = 700;
+    LinguisticKb kb(params);
+    std::printf("  %u nodes, %llu links: %u concept-sequence roots, "
+                "%u elements, %u types, %u syntax, %u auxiliary, "
+                "%u words\n\n",
+                kb.net().numNodes(),
+                static_cast<unsigned long long>(kb.net().numLinks()),
+                kb.numRoots(), kb.numElements(), kb.numTypes(),
+                kb.numSyntax(), kb.numAux(), kb.lexicon().size());
+
+    SnapMachine machine(MachineConfig::paperSetup());
+    machine.loadKb(kb.net());
+    MemoryBasedParser parser(kb);
+
+    std::vector<Sentence> sentences =
+        batch ? makeNewswireBatch(kb.lexicon(), batch, 2026)
+              : makeMuc4Sentences(kb.lexicon());
+
+    std::printf("%-4s %-6s %-7s %-10s %-10s %-8s %s\n", "id",
+                "words", "instrs", "P.P. (ms)", "M.B. (ms)",
+                "rounds", "parse");
+    for (const Sentence &s : sentences) {
+        ParseOutcome out = parser.parseOn(machine, s);
+        std::printf("%-4s %-6u %-7zu %-10.3f %-10.3f %-8u ",
+                    s.id.c_str(), s.length(), out.instructions,
+                    out.ppMs(), out.mbMs(), out.cancelRounds);
+        if (out.bestRoot == invalidNode) {
+            std::printf("<no parse>\n");
+            continue;
+        }
+        std::printf("%s (score %.2f, %zu candidates)\n",
+                    kb.net().nodeName(out.bestRoot).c_str(),
+                    out.bestScore, out.candidates.size());
+
+        // The extracted meaning: the winning event template's
+        // slots, with the filled elements bound to the root.
+        auto slots = parser.extractMeaning(machine, out.bestRoot);
+        for (const auto &slot : slots) {
+            std::printf("       slot %-10s expects %-12s %s",
+                        kb.net().nodeName(slot.element).c_str(),
+                        kb.net().nodeName(slot.expectedType).c_str(),
+                        slot.filled ? "filled" : "empty");
+            if (slot.filled)
+                std::printf(" (%.2f)", slot.score);
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nsentences text:\n");
+    for (const Sentence &s : sentences)
+        std::printf("  %s: %s\n", s.id.c_str(), s.text().c_str());
+    return 0;
+}

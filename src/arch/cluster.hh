@@ -1,0 +1,309 @@
+/**
+ * @file
+ * One SNAP-1 cluster: processing unit, marker units, communication
+ * unit, and the multiport memory regions joining them (paper §III-A,
+ * Figs. 9/10).
+ *
+ * Three-stage instruction processing: the PU dequeues broadcast
+ * instructions from the dual-port instruction memory, decodes them,
+ * and enqueues tasks in the marker processing memory; MUs execute
+ * tasks asynchronously (word-parallel status-table operations,
+ * relation-table search, breadth-first propagation); the CU moves
+ * activation messages between the marker activation memory and the
+ * hypercube ICN.
+ *
+ * Ordering: non-PROPAGATE tasks execute in program order within the
+ * cluster (the PU "uses point-to-point control to serialize MU
+ * processing"); PROPAGATE initiations may overlap each other
+ * (β-parallelism) and their marker deliveries are asynchronous until
+ * a BARRIER.
+ */
+
+#ifndef SNAP_ARCH_CLUSTER_HH
+#define SNAP_ARCH_CLUSTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/exec_stats.hh"
+#include "arch/icn.hh"
+#include "arch/kb_image.hh"
+#include "arch/message.hh"
+#include "arch/multiport_mem.hh"
+#include "arch/perf_net.hh"
+#include "arch/sync_tree.hh"
+#include "isa/program.hh"
+#include "runtime/propagate.hh"
+#include "runtime/results.hh"
+#include "sim/sim_object.hh"
+
+namespace snap
+{
+
+/** Shared machine context handed to every cluster. */
+struct MachineContext
+{
+    EventQueue *eq = nullptr;
+    const MachineConfig *cfg = nullptr;
+    KbImage *image = nullptr;
+    HypercubeIcn *icn = nullptr;
+    SyncTree *sync = nullptr;
+    PerfNet *perf = nullptr;
+    ExecBreakdown *stats = nullptr;
+
+    // Per-run state, set by the machine before each program.
+    const RuleTable *rules = nullptr;
+    std::vector<std::uint64_t> *alphaPerProp = nullptr;
+
+    /** Controller notifications. */
+    std::function<void(ClusterId)> onInstrQueueSpace;
+    std::function<void(ClusterId, std::uint16_t)> onCollectReady;
+    /** Kick another cluster's units (cross-cluster wakeups). */
+    std::function<void(ClusterId)> kickCuOf;
+    std::function<void(ClusterId)> kickMusOf;
+};
+
+/** Instruction entry in the dual-port instruction queue. */
+struct QueuedInstr
+{
+    Instruction instr;
+    std::uint16_t seq = 0;
+};
+
+/** Task entry in the marker processing memory. */
+struct Task
+{
+    Instruction instr;
+    std::uint16_t seq = 0;
+    /** Ordered tasks wait for all earlier tasks to complete. */
+    bool ordered = true;
+};
+
+/** Local propagation expansion item (breadth-first frontier entry).
+ *  One item covers one 16-slot relation row; nodes whose fanout was
+ *  split into subnode chains by the preprocessor spawn one item per
+ *  subnode row, each claimable by any available MU. */
+struct WorkItem
+{
+    LocalNodeId node = 0;
+    std::uint8_t state = 0;
+    float value = 0.0f;
+    NodeId origin = invalidNode;
+    std::uint16_t steps = 0;
+    RuleId rule = 0;
+    MarkerId m2 = 0;
+    MarkerFunc func = MarkerFunc::None;
+    std::uint16_t propId = 0;
+    /** First relation slot of this item's subnode row. */
+    std::uint32_t rowStart = 0;
+};
+
+/**
+ * One cluster of the processing array.
+ */
+class Cluster : public ClockedObject
+{
+  public:
+    Cluster(MachineContext &ctx, ClusterId id, std::uint32_t num_mus,
+            std::uint32_t pe_base);
+
+    ClusterId id() const { return id_; }
+    std::uint32_t numMus() const
+    {
+        return static_cast<std::uint32_t>(mus_.size());
+    }
+
+    // --- controller interface ------------------------------------------
+
+    bool instrQueueFull() const { return instrQueue_.full(); }
+
+    /** Broadcast landing in the dual-port instruction memory. */
+    void enqueueInstr(const QueuedInstr &qi);
+
+    /** Barrier release broadcast from the SCP. */
+    void releaseBarrier();
+
+    /** True once the collect for instruction @p seq is buffered. */
+    bool collectReady(std::uint16_t seq) const;
+
+    /** Hand the buffered collect data to the SCP (clears buffer). */
+    CollectResult takeCollect(std::uint16_t seq);
+
+    // --- unit wakeups ------------------------------------------------------
+
+    void kickPu();
+    void kickMus();
+    void kickCu();
+
+    /** All units and queues quiescent. */
+    bool localIdle() const;
+
+    /** Clear per-run state (best-maps, collect buffers, barrier
+     *  flags).  Marker state persists across runs. */
+    void resetForRun();
+
+    // --- introspection ---------------------------------------------------
+
+    ClusterKb &kb() { return kb_; }
+    const ClusterKb &kb() const { return kb_; }
+
+    std::size_t activationOutHighWater() const
+    {
+        return activationOut_.highWater();
+    }
+
+    std::size_t arrivalsHighWater() const { return arrivalsHigh_; }
+
+    /** Cumulative MU busy time on this cluster (utilization). */
+    Tick muBusyLocal() const { return muBusyLocal_; }
+
+  private:
+    // --- PU -----------------------------------------------------------------
+    void puFinishDecode();
+    void puFinishDispatch();
+    /** Try to enqueue the decoded task; true on success. */
+    bool tryDispatch();
+    /** Does this cluster act on @p instr at all? */
+    bool participates(const Instruction &instr) const;
+
+    // --- MU -----------------------------------------------------------------
+    struct MuState
+    {
+        bool busy = false;
+        /** Non-null while executing an instruction task. */
+        bool hasTask = false;
+        Task task;
+        /** Expansion in progress (resumable across out-queue
+         *  stalls). */
+        bool expanding = false;
+        WorkItem item;
+        std::uint32_t slotIdx = 0;
+        /** Resumable marker-maintenance progress. */
+        bool maintaining = false;
+        std::uint32_t maintIdx = 0;
+        std::vector<LocalNodeId> maintNodes;
+        /** Unspent busy time accumulated during the current
+         *  activity. */
+        Tick accum = 0;
+        /** Category the current activity bills to. */
+        InstrCategory cat = InstrCategory::Propagation;
+        /** Sync tier to consume on completion (arrivals only). */
+        bool consumeOnDone = false;
+        std::uint8_t consumeLevel = 0;
+        std::unique_ptr<EventFunctionWrapper> doneEvent;
+    };
+
+    void tryStartMu(std::uint32_t i);
+    void startArrival(std::uint32_t i);
+    void startExpansion(std::uint32_t i);
+    void startTask(std::uint32_t i);
+    /** Walk slots of the current expansion; returns false if stalled
+     *  on a full activation-out queue. */
+    bool continueExpansion(std::uint32_t i);
+    /** Resumable MARKER-CREATE / MARKER-DELETE execution. */
+    bool continueMaintenance(std::uint32_t i);
+    void finishMu(std::uint32_t i);
+    void scheduleMuDone(std::uint32_t i);
+
+    /** Execute a whole-cluster task functionally; returns its busy
+     *  duration in ticks. */
+    Tick executeTask(std::uint32_t i, const Task &task);
+
+    /**
+     * Merge an arriving marker into the local tables and decide
+     * whether to continue propagation (shared by local deliveries
+     * and remote arrivals).  Adds cycle costs to @p dur.
+     */
+    void deliverMarker(LocalNodeId dst, MarkerId m2, float value,
+                       NodeId origin, MarkerFunc func,
+                       std::uint16_t prop_id, std::uint8_t state,
+                       std::uint16_t steps, RuleId rule, Tick &dur);
+
+    /** Emit an inter-cluster message; false if the out queue is
+     *  full (caller must stall). */
+    bool emitMessage(const ActivationMessage &msg, Tick &dur);
+
+    // --- CU -----------------------------------------------------------------
+    void cuStep();
+    void finishCu();
+
+    // --- shared helpers ---------------------------------------------------
+    Tick cy(std::uint32_t cycles) const
+    {
+        return cyclesToTicks(cycles);
+    }
+    std::uint32_t statusWords() const
+    {
+        return (kb_.numLocalNodes() + capacity::wordBits - 1) /
+               capacity::wordBits;
+    }
+    void updateIdle();
+    void noteInstrQueuePop(bool was_full);
+
+    MachineContext &ctx_;
+    ClusterId id_;
+    std::uint32_t peBase_;
+    ClusterKb &kb_;
+    const TimingParams &t_;
+
+    // Memories / queues.
+    BoundedQueue<QueuedInstr> instrQueue_;
+    BoundedQueue<Task> taskQueue_;
+    BoundedQueue<ActivationMessage> activationOut_;
+    std::deque<ActivationMessage> arrivals_;
+    std::deque<WorkItem> localWork_;
+    std::size_t arrivalsHigh_ = 0;
+    ClusterArbiter arbiter_;
+
+    // PU state.
+    bool puBusy_ = false;
+    bool puStalled_ = false;
+    bool atBarrier_ = false;
+    /** Second PU phase: enqueueing the decoded task into the marker
+     *  processing memory. */
+    bool puDispatching_ = false;
+    QueuedInstr pendingInstr_;
+    std::unique_ptr<EventFunctionWrapper> puEvent_;
+
+    // Task ordering.
+    std::uint32_t tasksOutstanding_ = 0;
+    std::uint32_t orderedOutstanding_ = 0;
+
+    // MUs.
+    std::vector<MuState> mus_;
+    Tick muBusyLocal_ = 0;
+    /** MUs stalled on a full activation-out queue. */
+    std::vector<std::uint32_t> outWaiters_;
+
+    // CU state.
+    bool cuBusy_ = false;
+    std::uint32_t cuRr_ = 0;  ///< round-robin source pointer
+    /** Cluster to kick when the current CU action completes (own id
+     *  means "kick local MUs": an arrival was delivered). */
+    ClusterId cuNotifyCluster_ = 0;
+    std::unique_ptr<EventFunctionWrapper> cuEvent_;
+
+    // Per-propagation re-propagation bookkeeping:
+    // (propId, local node, state) -> non-dominated label frontier
+    // (see runtime/propagate.hh).
+    std::unordered_map<std::uint64_t, std::vector<PropLabel>> best_;
+    static std::uint64_t
+    bestKey(std::uint16_t prop, LocalNodeId node, std::uint8_t state)
+    {
+        return (static_cast<std::uint64_t>(prop) << 40) |
+               (static_cast<std::uint64_t>(node) << 8) | state;
+    }
+
+    // Collect buffers per instruction seq.
+    std::unordered_map<std::uint16_t, CollectResult> collects_;
+    std::unordered_map<std::uint16_t, bool> collectDone_;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_CLUSTER_HH

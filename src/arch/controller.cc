@@ -1,0 +1,269 @@
+#include "arch/controller.hh"
+
+namespace snap
+{
+
+Controller::Controller(MachineContext &ctx,
+                       std::vector<Cluster *> clusters)
+    : ClockedObject(ctx.eq, "controller",
+                    ctx.cfg->controllerClockPeriod),
+      ctx_(ctx),
+      t_(ctx.cfg->t),
+      clusters_(std::move(clusters))
+{
+    scpEvent_ = std::make_unique<EventFunctionWrapper>(
+        [this] {
+            switch (phase_) {
+              case Phase::Broadcasting:
+                broadcastDone();
+                break;
+              case Phase::BarrierDetect:
+                detectionDone();
+                break;
+              case Phase::BarrierRelease:
+                releaseDone();
+                break;
+              case Phase::CollectRead:
+                collectReadDone();
+                break;
+              default:
+                snap_panic("scp event in phase %d",
+                           static_cast<int>(phase_));
+            }
+        },
+        "controller.scp");
+    kickEvent_ = std::make_unique<EventFunctionWrapper>(
+        [this] { kickScp(); }, "controller.kick");
+
+    ctx_.sync->onComplete([this] { onSyncComplete(); });
+    ctx_.sync->onQuiescent([this] { onQuiescent(); });
+}
+
+void
+Controller::startProgram(const Program &prog)
+{
+    snap_assert(phase_ == Phase::Idle || phase_ == Phase::Done,
+                "startProgram while running");
+    if (prog.size() > 0xffff)
+        snap_fatal("program of %zu instructions exceeds the 16-bit "
+                   "sequence space", prog.size());
+    prog_ = &prog;
+    instrIdx_ = 0;
+    phase_ = Phase::Issue;
+    programStart_ = curTick();
+    waitingForSpace_ = false;
+    epochStartMsgs_ = ctx_.stats->messagesSent;
+    results_.clear();
+    kickScp();
+}
+
+void
+Controller::kickScp()
+{
+    if (phase_ != Phase::Issue)
+        return;
+
+    if (instrIdx_ >= prog_->size()) {
+        // All instructions issued: drain to quiescence (an implicit
+        // final barrier without the explicit detection protocol).
+        phase_ = Phase::Drain;
+        if (ctx_.sync->quiescent())
+            finishProgram();
+        return;
+    }
+
+    // PCP pipeline: the next instruction may not be ready yet.
+    Tick ready = pcpReady(instrIdx_);
+    if (curTick() < ready) {
+        if (!kickEvent_->scheduled())
+            schedule(kickEvent_.get(), ready);
+        return;
+    }
+
+    // Global-bus backpressure: every cluster must have queue space.
+    for (Cluster *c : clusters_) {
+        if (c->instrQueueFull()) {
+            waitingForSpace_ = true;
+            return;
+        }
+    }
+
+    phase_ = Phase::Broadcasting;
+    Tick dur = broadcastTicks();
+    ctx_.stats->broadcastTicks += dur;
+    scheduleRel(scpEvent_.get(), dur);
+}
+
+void
+Controller::broadcastDone()
+{
+    const Instruction &instr = (*prog_)[instrIdx_];
+    auto seq = static_cast<std::uint16_t>(instrIdx_);
+    ++instrIdx_;
+
+    ++ctx_.stats->opcodeCounts[static_cast<std::size_t>(instr.op)];
+    ++ctx_.stats
+          ->categoryCounts[static_cast<std::size_t>(
+              instr.category())];
+
+    for (Cluster *c : clusters_)
+        c->enqueueInstr(QueuedInstr{instr, seq});
+
+    if (instr.op == Opcode::Barrier) {
+        phase_ = Phase::BarrierWait;
+        ++ctx_.stats->barriers;
+        // Completion arrives via the sync-tree callback; it cannot
+        // have fired yet because no cluster has decoded the barrier.
+        return;
+    }
+
+    if (instr.op == Opcode::CollectMarker ||
+        instr.op == Opcode::CollectRelation ||
+        instr.op == Opcode::CollectColor) {
+        phase_ = Phase::CollectWait;
+        collectSeq_ = seq;
+        collectTarget_ = 0;
+        collectAggregate_ = CollectResult{};
+        collectAggregate_.op = instr.op;
+        collectAggregate_.marker = instr.m1;
+        collectAggregate_.color = instr.color;
+        collectAggregate_.rel = instr.rel;
+        collectAdvance();
+        return;
+    }
+
+    phase_ = Phase::Issue;
+    kickScp();
+}
+
+void
+Controller::onSyncComplete()
+{
+    if (phase_ != Phase::BarrierWait)
+        return;
+    // Detection procedure: AND-tree settle plus a serial scan of
+    // every cluster's tiered counters.
+    phase_ = Phase::BarrierDetect;
+    Tick dur = static_cast<Tick>(t_.barrierTreeNs) * ticksPerNs +
+               ctrlCy(static_cast<std::uint64_t>(clusters_.size()) *
+                      t_.barrierCounterCycles);
+    ctx_.stats->syncTicks += dur;
+    scheduleRel(scpEvent_.get(), dur);
+}
+
+void
+Controller::detectionDone()
+{
+    // Quiescence is stable once reached with all PUs held at the
+    // barrier: nothing can create new work.
+    snap_assert(ctx_.sync->complete(),
+                "barrier detection raced with new work");
+    phase_ = Phase::BarrierRelease;
+    Tick dur = broadcastTicks();
+    ctx_.stats->syncTicks += dur;
+    scheduleRel(scpEvent_.get(), dur);
+}
+
+void
+Controller::releaseDone()
+{
+    // Close the epoch for the traffic-per-synchronization series.
+    std::uint64_t msgs = ctx_.stats->messagesSent - epochStartMsgs_;
+    ctx_.stats->msgsPerEpoch.push_back(
+        static_cast<std::uint32_t>(msgs));
+    epochStartMsgs_ = ctx_.stats->messagesSent;
+
+    if (ctx_.perf)
+        ctx_.perf->emit(0, curTick(), PerfEvent::BarrierComplete,
+                        static_cast<std::uint32_t>(
+                            ctx_.stats->barriers));
+
+    phase_ = Phase::Issue;
+    for (Cluster *c : clusters_)
+        c->releaseBarrier();
+    kickScp();
+}
+
+void
+Controller::collectAdvance()
+{
+    snap_assert(phase_ == Phase::CollectWait, "collectAdvance phase");
+    if (collectTarget_ >= clusters_.size()) {
+        ++ctx_.stats->collects;
+        ctx_.stats->collectedItems += collectAggregate_.nodes.size() +
+                                      collectAggregate_.links.size();
+        results_.push_back(std::move(collectAggregate_));
+        collectAggregate_ = CollectResult{};
+        if (ctx_.perf)
+            ctx_.perf->emit(0, curTick(), PerfEvent::CollectDone,
+                            collectSeq_);
+        phase_ = Phase::Issue;
+        kickScp();
+        return;
+    }
+
+    Cluster *c = clusters_[collectTarget_];
+    if (!c->collectReady(collectSeq_))
+        return;  // resumed by noteCollectReady
+
+    CollectResult part = c->takeCollect(collectSeq_);
+    std::size_t items = part.nodes.size() + part.links.size();
+    for (auto &nd : part.nodes)
+        collectAggregate_.nodes.push_back(nd);
+    for (auto &lk : part.links)
+        collectAggregate_.links.push_back(lk);
+
+    phase_ = Phase::CollectRead;
+    Tick dur = ctrlCy(t_.collectSelectCycles +
+                      static_cast<std::uint64_t>(items) *
+                          t_.collectItemCycles);
+    ctx_.stats->collectTicks += dur;
+    ctx_.stats->categoryTimer.start(InstrCategory::Collection,
+                                    curTick());
+    scheduleRel(scpEvent_.get(), dur);
+}
+
+void
+Controller::collectReadDone()
+{
+    ctx_.stats->categoryTimer.stop(InstrCategory::Collection,
+                                   curTick());
+    ++collectTarget_;
+    phase_ = Phase::CollectWait;
+    collectAdvance();
+}
+
+void
+Controller::noteInstrQueueSpace(ClusterId c)
+{
+    (void)c;
+    if (waitingForSpace_ && phase_ == Phase::Issue) {
+        waitingForSpace_ = false;
+        kickScp();
+    }
+}
+
+void
+Controller::noteCollectReady(ClusterId c, std::uint16_t seq)
+{
+    if (phase_ == Phase::CollectWait && seq == collectSeq_ &&
+        c == collectTarget_) {
+        collectAdvance();
+    }
+}
+
+void
+Controller::onQuiescent()
+{
+    if (phase_ == Phase::Drain)
+        finishProgram();
+}
+
+void
+Controller::finishProgram()
+{
+    snap_assert(ctx_.sync->quiescent(), "finish while active");
+    phase_ = Phase::Done;
+}
+
+} // namespace snap

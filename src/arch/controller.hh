@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The SNAP-1 central controller (paper §III-C, Fig. 12).
+ *
+ * A dual-processor design offloads control from the host: the
+ * program control processor (PCP) executes application flow and
+ * feeds the SNAP instruction stream through a FIFO to the sequence
+ * control processor (SCP), which instantiates operands and broadcasts
+ * instructions to the array.  The SCP also runs barrier detection
+ * (AND-tree + tiered counter scan) and serial result collection from
+ * each cluster's dual-port memory — the COLLECT overhead of Fig. 21.
+ */
+
+#ifndef SNAP_ARCH_CONTROLLER_HH
+#define SNAP_ARCH_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/cluster.hh"
+#include "isa/program.hh"
+#include "runtime/results.hh"
+#include "sim/sim_object.hh"
+
+namespace snap
+{
+
+class Controller : public ClockedObject
+{
+  public:
+    Controller(MachineContext &ctx, std::vector<Cluster *> clusters);
+
+    /** Begin executing @p prog (events drive it to completion). */
+    void startProgram(const Program &prog);
+
+    bool finished() const { return phase_ == Phase::Done; }
+
+    ResultSet takeResults() { return std::move(results_); }
+
+    // --- notifications from clusters -----------------------------------
+
+    void noteInstrQueueSpace(ClusterId c);
+    void noteCollectReady(ClusterId c, std::uint16_t seq);
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Issue,
+        Broadcasting,
+        BarrierWait,
+        BarrierDetect,
+        BarrierRelease,
+        CollectWait,
+        CollectRead,
+        Drain,
+        Done
+    };
+
+    void kickScp();
+    void broadcastDone();
+    void onSyncComplete();
+    void onQuiescent();
+    void detectionDone();
+    void releaseDone();
+    void collectAdvance();
+    void collectReadDone();
+    void finishProgram();
+
+    Tick ctrlCy(std::uint64_t cycles) const
+    {
+        return cyclesToTicks(cycles);
+    }
+    Tick broadcastTicks() const
+    {
+        return ctrlCy(static_cast<std::uint64_t>(t_.instrWords) *
+                      t_.busCyclesPerWord);
+    }
+    /** Tick at which the PCP has instruction @p i ready. */
+    Tick
+    pcpReady(std::size_t i) const
+    {
+        return programStart_ +
+               ctrlCy(static_cast<std::uint64_t>(i + 1) *
+                      t_.pcpIssueCycles);
+    }
+
+    MachineContext &ctx_;
+    const TimingParams &t_;
+    std::vector<Cluster *> clusters_;
+
+    const Program *prog_ = nullptr;
+    std::size_t instrIdx_ = 0;
+    Phase phase_ = Phase::Idle;
+    Tick programStart_ = 0;
+    bool waitingForSpace_ = false;
+
+    // Collect state.
+    std::uint16_t collectSeq_ = 0;
+    std::uint32_t collectTarget_ = 0;
+    CollectResult collectAggregate_;
+
+    // Epoch bookkeeping for the Fig. 8 series.
+    std::uint64_t epochStartMsgs_ = 0;
+
+    ResultSet results_;
+
+    std::unique_ptr<EventFunctionWrapper> scpEvent_;
+    std::unique_ptr<EventFunctionWrapper> kickEvent_;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_CONTROLLER_HH

@@ -1,0 +1,71 @@
+#include "arch/exec_stats.hh"
+
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace snap
+{
+
+void
+ExecBreakdown::merge(const ExecBreakdown &other)
+{
+    wallTicks += other.wallTicks;
+    categoryTimer.mergeClosed(other.categoryTimer);
+    for (std::size_t i = 0; i < numCats; ++i) {
+        categoryBusy[i] += other.categoryBusy[i];
+        categoryCounts[i] += other.categoryCounts[i];
+    }
+    for (std::size_t i = 0; i < numOps; ++i)
+        opcodeCounts[i] += other.opcodeCounts[i];
+    broadcastTicks += other.broadcastTicks;
+    commTicks += other.commTicks;
+    syncTicks += other.syncTicks;
+    collectTicks += other.collectTicks;
+    puBusyTicks += other.puBusyTicks;
+    muBusyTicks += other.muBusyTicks;
+    messagesSent += other.messagesSent;
+    messageHops += other.messageHops;
+    arrivalsProcessed += other.arrivalsProcessed;
+    localDeliveries += other.localDeliveries;
+    expansions += other.expansions;
+    linkTraversals += other.linkTraversals;
+    barriers += other.barriers;
+    collects += other.collects;
+    collectedItems += other.collectedItems;
+    for (auto v : other.msgsPerEpoch)
+        msgsPerEpoch.push_back(v);
+    alphaDist.merge(other.alphaDist);
+    msgLatency.merge(other.msgLatency);
+    if (other.maxDepth > maxDepth)
+        maxDepth = other.maxDepth;
+}
+
+std::string
+ExecBreakdown::summary() const
+{
+    std::ostringstream os;
+    os << "wall time: " << fmtDouble(wallMs(), 3) << " ms\n";
+    os << "category times (active wall ms):\n";
+    for (std::size_t c = 0; c < numCats; ++c) {
+        auto cat = static_cast<InstrCategory>(c);
+        os << "  " << categoryName(cat) << ": "
+           << fmtDouble(ticksToMs(categoryTimer.activeTicks(cat)), 3)
+           << " (count " << categoryCounts[c] << ")\n";
+    }
+    os << "overheads (ms): broadcast="
+       << fmtDouble(ticksToMs(broadcastTicks), 3)
+       << " comm=" << fmtDouble(ticksToMs(commTicks), 3)
+       << " sync=" << fmtDouble(ticksToMs(syncTicks), 3)
+       << " collect=" << fmtDouble(ticksToMs(collectTicks), 3)
+       << "\n";
+    os << "traffic: msgs=" << messagesSent << " hops=" << messageHops
+       << " arrivals=" << arrivalsProcessed
+       << " localDeliveries=" << localDeliveries
+       << " barriers=" << barriers
+       << " meanMsgs/epoch=" << fmtDouble(meanMsgsPerEpoch(), 2)
+       << "\n";
+    return os.str();
+}
+
+} // namespace snap

@@ -1,0 +1,91 @@
+#include "arch/icn.hh"
+
+#include <algorithm>
+
+namespace snap
+{
+
+HypercubeIcn::HypercubeIcn(std::uint32_t num_clusters,
+                           const TimingParams &t)
+    : numClusters_(num_clusters), t_(t)
+{
+    snap_assert(num_clusters >= 1 &&
+                num_clusters <= capacity::maxClusters,
+                "icn cluster count %u", num_clusters);
+    for (std::uint32_t i = 0; i < num_clusters * numIcnDims; ++i)
+        mailboxes_.emplace_back(t.icnMailboxDepth);
+    blockedSenders_.resize(num_clusters * numIcnDims);
+}
+
+std::uint32_t
+HypercubeIcn::distance(ClusterId a, ClusterId b)
+{
+    std::uint32_t d = 0;
+    for (std::uint32_t dim = 0; dim < numIcnDims; ++dim)
+        if (field(a, dim) != field(b, dim))
+            ++d;
+    return d;
+}
+
+std::pair<std::uint32_t, ClusterId>
+HypercubeIcn::nextHop(ClusterId cur, ClusterId dest) const
+{
+    snap_assert(cur != dest, "nextHop(%u,%u) at destination", cur,
+                dest);
+    auto fix = [&](std::uint32_t dim) -> ClusterId {
+        ClusterId mask = 3u << (2 * dim);
+        return (cur & ~mask) | (dest & mask);
+    };
+
+    // Prefer a hop that lowers the address (always a real cluster);
+    // otherwise fix the highest differing field, whose result is
+    // bounded by the (real) destination address.  Either way every
+    // intermediate cluster exists even for cluster counts that are
+    // not powers of four.
+    std::uint32_t highest = numIcnDims;
+    for (std::uint32_t dim = 0; dim < numIcnDims; ++dim) {
+        if (field(cur, dim) == field(dest, dim))
+            continue;
+        if (field(dest, dim) < field(cur, dim)) {
+            ClusterId neighbor = fix(dim);
+            snap_assert(neighbor < numClusters_,
+                        "route through cluster %u of %u", neighbor,
+                        numClusters_);
+            return {dim, neighbor};
+        }
+        highest = dim;
+    }
+    snap_assert(highest < numIcnDims, "nextHop: no differing field");
+    ClusterId neighbor = fix(highest);
+    snap_assert(neighbor < numClusters_,
+                "route through cluster %u of %u", neighbor,
+                numClusters_);
+    return {highest, neighbor};
+}
+
+void
+HypercubeIcn::noteBlockedSender(ClusterId c, std::uint32_t dim,
+                                ClusterId sender)
+{
+    auto &v = blockedSenders_.at(c * numIcnDims + dim);
+    if (std::find(v.begin(), v.end(), sender) == v.end())
+        v.push_back(sender);
+    ++blockedSends;
+    mailbox(c, dim).noteBlocked();
+}
+
+ActivationMessage
+HypercubeIcn::popAndWake(ClusterId c, std::uint32_t dim)
+{
+    ActivationMessage msg = mailbox(c, dim).pop();
+    auto &v = blockedSenders_.at(c * numIcnDims + dim);
+    if (!v.empty() && kickCu_) {
+        std::vector<ClusterId> waiters;
+        waiters.swap(v);
+        for (ClusterId w : waiters)
+            kickCu_(w);
+    }
+    return msg;
+}
+
+} // namespace snap

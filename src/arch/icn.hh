@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The 4-ary hypercube interconnection network (paper §III-B, Fig. 11).
+ *
+ * Clusters communicate through dedicated four-port memories: the
+ * L-memory joins the four clusters of one board, the X- and Y-
+ * memories join boards across the backplane.  "The 5-b address for
+ * each of the 32 clusters is paired to form modulo-4 fields"; a CU
+ * "communicates with all CU's which vary by exactly one 2-b field,
+ * either X, Y, or L", so any of 32 clusters is reachable in at most
+ * three hops.  "Since each memory port is dedicated to a single CU,
+ * there is no bus contention" — the serialization points are each
+ * CU's service rate and the finite mailbox capacity, which this model
+ * keeps explicit (senders block on a full mailbox: the burst
+ * behaviour of Fig. 8).
+ *
+ * The model: per (cluster, dimension) a bounded mailbox; routing
+ * corrects the lowest differing address field first; the sending CU
+ * is busy for the 8-bit-parallel transfer time of the 64-bit message
+ * (8 x 80 ns port-to-port).
+ */
+
+#ifndef SNAP_ARCH_ICN_HH
+#define SNAP_ARCH_ICN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/message.hh"
+#include "arch/multiport_mem.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+
+/** Hypercube dimensions: L (on-board), X, Y. */
+enum class IcnDim : std::uint8_t { L = 0, X = 1, Y = 2 };
+
+constexpr std::uint32_t numIcnDims = 3;
+
+class HypercubeIcn
+{
+  public:
+    HypercubeIcn(std::uint32_t num_clusters, const TimingParams &t);
+
+    std::uint32_t numClusters() const { return numClusters_; }
+
+    /** Modulo-4 address field of @p c along @p dim. */
+    static std::uint32_t
+    field(ClusterId c, std::uint32_t dim)
+    {
+        return (c >> (2 * dim)) & 3u;
+    }
+
+    /** Number of hops between two clusters (differing fields). */
+    static std::uint32_t distance(ClusterId a, ClusterId b);
+
+    /**
+     * Routing decision at @p cur for destination @p dest: corrects
+     * the lowest differing field.
+     * @return (dimension, neighbor cluster)
+     */
+    std::pair<std::uint32_t, ClusterId>
+    nextHop(ClusterId cur, ClusterId dest) const;
+
+    /** Transfer time of one fixed-size message, port to port. */
+    Tick
+    transferTime() const
+    {
+        return static_cast<Tick>(t_.icnBytesPerMsg) * t_.icnByteNs *
+               ticksPerNs;
+    }
+
+    // --- mailboxes ---------------------------------------------------------
+
+    BoundedQueue<ActivationMessage> &
+    mailbox(ClusterId c, std::uint32_t dim)
+    {
+        return mailboxes_.at(c * numIcnDims + dim);
+    }
+
+    /** Record that @p sender is blocked on (c, dim)'s mailbox. */
+    void noteBlockedSender(ClusterId c, std::uint32_t dim,
+                           ClusterId sender);
+
+    /**
+     * Pop one message from (c, dim) and wake blocked senders via the
+     * kick callback installed by the machine.
+     */
+    ActivationMessage popAndWake(ClusterId c, std::uint32_t dim);
+
+    /** Install the CU-kick callback. */
+    void onKickCu(std::function<void(ClusterId)> fn)
+    {
+        kickCu_ = std::move(fn);
+    }
+
+    // --- statistics ---------------------------------------------------------
+
+    stats::Scalar messagesInjected;   ///< first-hop sends
+    stats::Scalar hopsTraversed;      ///< total port-to-port hops
+    stats::Scalar relays;             ///< intermediate-hop handlings
+    stats::Distribution hopDist;      ///< hops per delivered message
+    stats::Distribution latency;      ///< end-to-end ticks per message
+    stats::Scalar blockedSends;       ///< sends stalled on full mailbox
+
+  private:
+    std::uint32_t numClusters_;
+    const TimingParams &t_;
+    std::vector<BoundedQueue<ActivationMessage>> mailboxes_;
+    std::vector<std::vector<ClusterId>> blockedSenders_;
+    std::function<void(ClusterId)> kickCu_;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_ICN_HH

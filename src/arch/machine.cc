@@ -1,0 +1,142 @@
+#include "arch/machine.hh"
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace snap
+{
+
+SnapMachine::SnapMachine(MachineConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+}
+
+SnapMachine::~SnapMachine() = default;
+
+void
+SnapMachine::loadKb(const SemanticNetwork &net)
+{
+    // Tear down any previous array (events must be drained first).
+    snap_assert(eq_.empty(), "loadKb while events are pending");
+    controller_.reset();
+    clusters_.clear();
+
+    image_ = std::make_unique<KbImage>(net, cfg_);
+    icn_ = std::make_unique<HypercubeIcn>(cfg_.numClusters, cfg_.t);
+    sync_ = std::make_unique<SyncTree>(cfg_.numClusters);
+    perf_ = std::make_unique<PerfNet>(cfg_.numProcessors() + 1,
+                                      cfg_.t, cfg_.perfNetEnabled);
+
+    ctx_ = MachineContext{};
+    ctx_.eq = &eq_;
+    ctx_.cfg = &cfg_;
+    ctx_.image = image_.get();
+    ctx_.icn = icn_.get();
+    ctx_.sync = sync_.get();
+    ctx_.perf = perf_.get();
+    ctx_.stats = &stats_;
+    ctx_.onInstrQueueSpace = [this](ClusterId c) {
+        if (controller_)
+            controller_->noteInstrQueueSpace(c);
+    };
+    ctx_.onCollectReady = [this](ClusterId c, std::uint16_t seq) {
+        if (controller_)
+            controller_->noteCollectReady(c, seq);
+    };
+    ctx_.kickCuOf = [this](ClusterId c) { clusters_.at(c)->kickCu(); };
+    ctx_.kickMusOf = [this](ClusterId c) {
+        clusters_.at(c)->kickMus();
+    };
+
+    icn_->onKickCu([this](ClusterId c) { clusters_.at(c)->kickCu(); });
+
+    std::uint32_t pe_base = 0;
+    std::vector<Cluster *> raw;
+    for (ClusterId c = 0; c < cfg_.numClusters; ++c) {
+        clusters_.push_back(std::make_unique<Cluster>(
+            ctx_, c, cfg_.mus(c), pe_base));
+        raw.push_back(clusters_.back().get());
+        pe_base += 2 + cfg_.mus(c);
+    }
+    controller_ = std::make_unique<Controller>(ctx_, std::move(raw));
+}
+
+RunResult
+SnapMachine::run(const Program &prog)
+{
+    snap_assert(image_ != nullptr,
+                "run() before loadKb(): no knowledge base");
+    snap_assert(eq_.empty(), "run() while events are pending");
+
+    stats_ = ExecBreakdown{};
+    alphaPerProp_.assign(prog.size(), 0);
+    ctx_.rules = &prog.rules();
+    ctx_.alphaPerProp = &alphaPerProp_;
+
+    for (auto &c : clusters_)
+        c->resetForRun();
+
+    Tick start = eq_.curTick();
+    controller_->startProgram(prog);
+    eq_.run();
+
+    snap_assert(controller_->finished(),
+                "event queue drained but the program did not finish "
+                "(deadlock in the machine model)");
+    snap_assert(stats_.categoryTimer.allClosed(),
+                "ActiveTimer interval left open");
+
+    stats_.wallTicks = eq_.curTick() - start;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        if (prog[i].op == Opcode::Propagate)
+            stats_.alphaDist.sample(
+                static_cast<double>(alphaPerProp_[i]));
+    }
+
+    RunResult result;
+    result.results = controller_->takeResults();
+    result.wallTicks = stats_.wallTicks;
+    result.stats = stats_;
+
+    ctx_.rules = nullptr;
+    ctx_.alphaPerProp = nullptr;
+    return result;
+}
+
+std::string
+SnapMachine::formatComponentStats() const
+{
+    snap_assert(icn_ != nullptr, "stats before loadKb()");
+    std::ostringstream os;
+
+    stats::Group icn_group("icn");
+    icn_group.addScalar("messagesInjected",
+                        &icn_->messagesInjected);
+    icn_group.addScalar("hopsTraversed", &icn_->hopsTraversed);
+    icn_group.addScalar("relays", &icn_->relays);
+    icn_group.addScalar("blockedSends", &icn_->blockedSends);
+    icn_group.addDistribution("hops", &icn_->hopDist);
+    icn_group.addDistribution("latencyTicks", &icn_->latency);
+    os << icn_group.format();
+
+    stats::Group perf_group("perfNet");
+    perf_group.addScalar("emitted", &perf_->emitted);
+    perf_group.addScalar("dropped", &perf_->droppedRecords);
+    os << perf_group.format();
+
+    os << "sync.totalCreated " << sync_->totalCreated() << "\n";
+    os << "sync.totalConsumed " << sync_->totalConsumed() << "\n";
+
+    for (const auto &c : clusters_) {
+        os << "cluster" << c->id() << ".activationOutHighWater "
+           << c->activationOutHighWater() << "\n";
+        os << "cluster" << c->id() << ".arrivalsHighWater "
+           << c->arrivalsHighWater() << "\n";
+        os << "cluster" << c->id() << ".muBusyMs "
+           << ticksToMs(c->muBusyLocal()) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace snap

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SnapMachine: the assembled SNAP-1 system model.
+ *
+ * Wires the controller, the processing array (clusters of PU / MU /
+ * CU), the hypercube ICN, the tiered synchronization tree, and the
+ * performance collection network; loads a compiled knowledge base;
+ * executes SNAP programs and reports execution time plus the full
+ * statistics breakdown.
+ */
+
+#ifndef SNAP_ARCH_MACHINE_HH
+#define SNAP_ARCH_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/cluster.hh"
+#include "arch/config.hh"
+#include "arch/controller.hh"
+#include "arch/exec_stats.hh"
+#include "arch/icn.hh"
+#include "arch/kb_image.hh"
+#include "arch/perf_net.hh"
+#include "arch/sync_tree.hh"
+#include "isa/program.hh"
+#include "kb/semantic_network.hh"
+#include "runtime/results.hh"
+#include "sim/event_queue.hh"
+
+namespace snap
+{
+
+/** Outcome of one program execution. */
+struct RunResult
+{
+    /** Retrieval results in program order. */
+    ResultSet results;
+    /** Simulated wall-clock time of the run. */
+    Tick wallTicks = 0;
+    /** Full statistics breakdown. */
+    ExecBreakdown stats;
+
+    double wallMs() const { return ticksToMs(wallTicks); }
+    double wallUs() const { return ticksToUs(wallTicks); }
+};
+
+/**
+ * The whole machine.  Usage:
+ *
+ *     SnapMachine machine(MachineConfig::paperSetup());
+ *     machine.loadKb(network);
+ *     RunResult r = machine.run(program);
+ */
+class SnapMachine
+{
+  public:
+    explicit SnapMachine(MachineConfig cfg);
+    ~SnapMachine();
+
+    /** Compile and load @p net into the array (partition + tables).
+     *  Replaces any previously loaded knowledge base. */
+    void loadKb(const SemanticNetwork &net);
+
+    /** Execute @p prog to completion.  Marker state persists across
+     *  runs (applications issue multiple programs). */
+    RunResult run(const Program &prog);
+
+    const MachineConfig &config() const { return cfg_; }
+
+    bool kbLoaded() const { return image_ != nullptr; }
+
+    KbImage &
+    image()
+    {
+        snap_assert(image_ != nullptr, "no knowledge base loaded");
+        return *image_;
+    }
+    const KbImage &
+    image() const
+    {
+        snap_assert(image_ != nullptr, "no knowledge base loaded");
+        return *image_;
+    }
+
+    /** Marker state over global node ids (verification access). */
+    bool markerSet(MarkerId m, NodeId n) const
+    {
+        return image().markerSet(m, n);
+    }
+    float markerValue(MarkerId m, NodeId n) const
+    {
+        return image().markerValue(m, n);
+    }
+    NodeId markerOrigin(MarkerId m, NodeId n) const
+    {
+        return image().markerOrigin(m, n);
+    }
+
+    HypercubeIcn &icn() { return *icn_; }
+    PerfNet &perfNet() { return *perf_; }
+    SyncTree &syncTree() { return *sync_; }
+    Cluster &cluster(ClusterId c) { return *clusters_.at(c); }
+
+    /** Simulated time elapsed since construction. */
+    Tick now() const { return eq_.curTick(); }
+
+    /**
+     * Component statistics ("integrated measurement system",
+     * §II-B): ICN traffic, performance-network activity, and
+     * per-cluster queue high-water marks, formatted as
+     * "component.stat value" lines.
+     */
+    std::string formatComponentStats() const;
+
+  private:
+    MachineConfig cfg_;
+    EventQueue eq_;
+
+    std::unique_ptr<KbImage> image_;
+    std::unique_ptr<HypercubeIcn> icn_;
+    std::unique_ptr<SyncTree> sync_;
+    std::unique_ptr<PerfNet> perf_;
+    ExecBreakdown stats_;
+    std::vector<std::uint64_t> alphaPerProp_;
+
+    MachineContext ctx_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    std::unique_ptr<Controller> controller_;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_MACHINE_HH

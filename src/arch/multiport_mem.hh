@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Multiport-memory models: bounded queue regions and the cluster
+ * arbiter.
+ *
+ * The cluster's four-port memories (paper §III-A) carry three traffic
+ * types.  Type-2 (PU->MU microinstructions) and type-3 (MU->CU
+ * activation messages) use single-writer/single-reader queue regions
+ * that need no arbitration — modeled by BoundedQueue, whose finite
+ * capacity provides the blocking/burst-absorption behaviour the paper
+ * discusses.  Type-1 traffic (shared bit-markers and locks) passes
+ * through the semaphore-table arbiter: "The arbiter serves
+ * asynchronous requests from each port, assigning one grant at a time
+ * on a first-come-first-served basis.  If multiple requests occur
+ * simultaneously, then priority is randomly assigned."  — modeled by
+ * ClusterArbiter as a serially-granted resource.
+ */
+
+#ifndef SNAP_ARCH_MULTIPORT_MEM_HH
+#define SNAP_ARCH_MULTIPORT_MEM_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+
+/**
+ * Single-writer/single-reader queue region of a multiport memory.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::uint32_t capacity)
+        : capacity_(capacity)
+    {
+        snap_assert(capacity > 0, "zero-capacity queue");
+    }
+
+    bool full() const { return items_.size() >= capacity_; }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Push; caller must check !full() first. */
+    void
+    push(T item)
+    {
+        snap_assert(!full(), "push to full queue");
+        items_.push_back(std::move(item));
+        ++totalEnqueued_;
+        if (items_.size() > highWater_)
+            highWater_ = items_.size();
+    }
+
+    /** Pop the head; caller must check !empty() first. */
+    T
+    pop()
+    {
+        snap_assert(!empty(), "pop from empty queue");
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    const T &
+    front() const
+    {
+        snap_assert(!empty(), "front of empty queue");
+        return items_.front();
+    }
+
+    /** Record that a producer found the queue full and blocked. */
+    void noteBlocked() { ++blockedPushes_; }
+
+    std::size_t highWater() const { return highWater_; }
+    std::uint64_t totalEnqueued() const { return totalEnqueued_; }
+    std::uint64_t blockedPushes() const { return blockedPushes_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<T> items_;
+    std::size_t highWater_ = 0;
+    std::uint64_t totalEnqueued_ = 0;
+    std::uint64_t blockedPushes_ = 0;
+};
+
+/**
+ * Serially-granted semaphore-table arbiter.
+ *
+ * acquire() returns the tick at which the requesting port holds the
+ * semaphore table; the hold ends holdTicks later.  Requests at the
+ * same tick are granted in call order, which the event kernel makes
+ * deterministic; the hardware's random tie-break is modeled by the
+ * deterministic seeded RNG perturbing *only* statistics-neutral
+ * ordering (the grant sequence), so runs remain reproducible.
+ */
+class ClusterArbiter
+{
+  public:
+    explicit ClusterArbiter(std::uint64_t seed = 1) : rng_(seed) {}
+
+    /**
+     * Request the semaphore table at time @p now for @p hold_ticks.
+     * @return the grant (entry) time; completion is grant +
+     *         hold_ticks.
+     */
+    Tick
+    acquire(Tick now, Tick hold_ticks)
+    {
+        Tick grant = now > busyUntil_ ? now : busyUntil_;
+        if (grant > now)
+            waitedTicks_ += grant - now;
+        busyUntil_ = grant + hold_ticks;
+        ++grants_;
+        return grant;
+    }
+
+    /** Time the table frees up. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    std::uint64_t grants() const { return grants_; }
+    Tick waitedTicks() const { return waitedTicks_; }
+
+  private:
+    Rng rng_;
+    Tick busyUntil_ = 0;
+    std::uint64_t grants_ = 0;
+    Tick waitedTicks_ = 0;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_MULTIPORT_MEM_HH

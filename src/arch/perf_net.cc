@@ -1,0 +1,34 @@
+#include "arch/perf_net.hh"
+
+namespace snap
+{
+
+PerfNet::PerfNet(std::uint32_t num_pes, const TimingParams &t,
+                 bool enabled)
+    : enabled_(enabled),
+      shiftTicks_(static_cast<Tick>(t.perfRecordBits) * ticksPerSec /
+                  t.perfNetBps),
+      portBusyUntil_(num_pes, 0)
+{
+}
+
+void
+PerfNet::emit(std::uint32_t pe, Tick now, PerfEvent event,
+              std::uint32_t status)
+{
+    if (!enabled_)
+        return;
+    ++emitted;
+    snap_assert(pe < portBusyUntil_.size(), "perf pe %u out of %zu",
+                pe, portBusyUntil_.size());
+    if (portBusyUntil_[pe] > now) {
+        // Serial-port register still shifting the previous record.
+        ++droppedRecords;
+        return;
+    }
+    portBusyUntil_[pe] = now + shiftTicks_;
+    records_.push_back(PerfRecord{now + shiftTicks_, pe, event,
+                                  status & 0xffffffu});
+}
+
+} // namespace snap

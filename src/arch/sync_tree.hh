@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tiered barrier synchronization (paper §III-C, Figs. 13/14).
+ *
+ * "The AND-tree provides a synchronization interlock signal (SIGI) to
+ * the SCP when processors are idle ...  The processors maintain a
+ * marker message counter for each level to indicate if messages are
+ * in transit.  It is initialized to zero and is incremented upon each
+ * process creation and decremented after each process termination.
+ * If the processors are idle and the counters sum to zero, then the
+ * propagation has terminated and the barrier is complete."
+ *
+ * The model keeps the per-level global counter sums exactly (the
+ * hardware keeps them distributed and the SCP collects them — the
+ * collection cost is charged by the controller), plus the AND-tree of
+ * per-cluster idle lines.  A callback fires on the idle-and-drained
+ * transition so the controller can run its detection procedure.
+ */
+
+#ifndef SNAP_ARCH_SYNC_TREE_HH
+#define SNAP_ARCH_SYNC_TREE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+
+/** Number of tiered propagation levels tracked (paper: "levels of
+ *  propagation"); deeper steps saturate into the last tier. */
+constexpr std::uint32_t numSyncLevels = 16;
+
+class SyncTree
+{
+  public:
+    explicit SyncTree(std::uint32_t num_clusters)
+        : atBarrier_(num_clusters, false),
+          idle_(num_clusters, true)
+    {
+        counters_.fill(0);
+    }
+
+    /** Saturating tier for a propagation depth. */
+    static std::uint8_t
+    level(std::uint32_t steps)
+    {
+        return static_cast<std::uint8_t>(
+            steps < numSyncLevels ? steps : numSyncLevels - 1);
+    }
+
+    /** A marker message / local continuation was created at tier
+     *  @p lvl. */
+    void
+    created(std::uint8_t lvl)
+    {
+        snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
+        ++counters_[lvl];
+        ++totalCreated_;
+    }
+
+    /** A marker message / continuation was fully consumed. */
+    void
+    consumed(std::uint8_t lvl)
+    {
+        snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
+        snap_assert(counters_[lvl] > 0,
+                    "sync counter underflow at level %u", lvl);
+        --counters_[lvl];
+        ++totalConsumed_;
+        maybeFire();
+    }
+
+    /** Cluster @p c reached a BARRIER instruction (or left it). */
+    void
+    setAtBarrier(ClusterId c, bool at)
+    {
+        atBarrier_.at(c) = at;
+        if (at)
+            maybeFire();
+    }
+
+    /** Cluster @p c's idle line (all units quiescent locally). */
+    void
+    setIdle(ClusterId c, bool idle)
+    {
+        idle_.at(c) = idle;
+        if (idle)
+            maybeFire();
+    }
+
+    /** True when every cluster is at the barrier, idle, and all
+     *  tier counters are zero. */
+    bool
+    complete() const
+    {
+        for (std::size_t c = 0; c < atBarrier_.size(); ++c)
+            if (!atBarrier_[c] || !idle_[c])
+                return false;
+        for (std::int64_t v : counters_)
+            if (v != 0)
+                return false;
+        return true;
+    }
+
+    /** Sum of in-flight work over all tiers. */
+    std::int64_t
+    inFlight() const
+    {
+        std::int64_t sum = 0;
+        for (std::int64_t v : counters_)
+            sum += v;
+        return sum;
+    }
+
+    std::int64_t counter(std::uint8_t lvl) const
+    {
+        return counters_.at(lvl);
+    }
+
+    /** All clusters idle and all counters drained (ignores the
+     *  at-barrier lines) — end-of-program quiescence. */
+    bool
+    quiescent() const
+    {
+        for (bool i : idle_)
+            if (!i)
+                return false;
+        for (std::int64_t v : counters_)
+            if (v != 0)
+                return false;
+        return true;
+    }
+
+    /** Install the completion callback (the controller's detection
+     *  procedure). */
+    void onComplete(std::function<void()> fn)
+    {
+        onComplete_ = std::move(fn);
+    }
+
+    /** Install the quiescence callback (end-of-program drain). */
+    void onQuiescent(std::function<void()> fn)
+    {
+        onQuiescent_ = std::move(fn);
+    }
+
+    std::uint64_t totalCreated() const { return totalCreated_; }
+    std::uint64_t totalConsumed() const { return totalConsumed_; }
+
+  private:
+    void
+    maybeFire()
+    {
+        if (onComplete_ && complete())
+            onComplete_();
+        if (onQuiescent_ && quiescent())
+            onQuiescent_();
+    }
+
+    std::array<std::int64_t, numSyncLevels> counters_;
+    std::vector<bool> atBarrier_;
+    std::vector<bool> idle_;
+    std::function<void()> onComplete_;
+    std::function<void()> onQuiescent_;
+    std::uint64_t totalCreated_ = 0;
+    std::uint64_t totalConsumed_ = 0;
+};
+
+} // namespace snap
+
+#endif // SNAP_ARCH_SYNC_TREE_HH

@@ -1,0 +1,61 @@
+#include "baseline/cm2_sim.hh"
+
+namespace snap
+{
+
+Tick
+Cm2Baseline::timeFor(const InstrWork &work) const
+{
+    std::uint64_t vp = vpRatio();
+    Tick t = p_.instrOverhead;
+
+    switch (work.op) {
+      case Opcode::Barrier:
+        // SIMD execution is synchronous: barriers are free.
+        return t;
+      case Opcode::Propagate: {
+        // One controller-array iteration per BFS level of the
+        // critical path; marker movement within a level is
+        // data-parallel through the router.
+        for (std::uint64_t level_msgs : work.levelExpansions) {
+            t += p_.stepOverhead;
+            t += 2 * p_.planeOp * vp;  // select actives + update
+            (void)level_msgs;
+        }
+        t += work.deliveries * p_.routerPerMsg /
+             (work.levelExpansions.empty()
+                  ? 1
+                  : work.levelExpansions.size());
+        return t;
+      }
+      case Opcode::CollectMarker:
+      case Opcode::CollectRelation:
+      case Opcode::CollectColor:
+        // Global enumeration back to the front end: plane scan plus
+        // per-item host transfer.
+        t += p_.planeOp * vp;
+        t += work.items * p_.routerPerMsg;
+        return t;
+      default:
+        // Ordinary data-parallel plane operations: a couple of
+        // full-width passes regardless of how many bits are set.
+        t += 2 * p_.planeOp * vp;
+        return t;
+    }
+}
+
+Cm2RunResult
+Cm2Baseline::run(const Program &prog)
+{
+    Cm2RunResult res;
+    for (const Instruction &instr : prog.instructions()) {
+        interp_.execute(instr, prog.rules(), res.results);
+        const InstrWork &w = interp_.lastWork();
+        res.wallTicks += timeFor(w);
+        if (instr.op == Opcode::Propagate)
+            res.propagationSteps += w.levelExpansions.size();
+    }
+    return res;
+}
+
+} // namespace snap

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CM-2-style SIMD baseline (the comparator of Fig. 15).
+ *
+ * Models marker propagation on a Connection Machine-class SIMD array:
+ * one semantic-network node per (virtual) processor, data-parallel
+ * plane operations over all nodes at once, and — decisively — a
+ * controller <-> array iteration on *every propagation step of the
+ * critical path*: "the low execution time on SNAP-1 was due to the
+ * MIMD capability to perform selective propagation whereas CM-2 had
+ * to iterate between the controller and array after each propagation
+ * step" (paper §IV).
+ *
+ * Consequences reproduced here: per-instruction cost is dominated by
+ * a large per-step constant times the propagation *depth*, nearly
+ * independent of knowledge-base size (massive width), so the CM-2
+ * curve is high but almost flat while SNAP-1 is low but grows with
+ * per-cluster work — the crossover discussion of Fig. 15.
+ */
+
+#ifndef SNAP_BASELINE_CM2_SIM_HH
+#define SNAP_BASELINE_CM2_SIM_HH
+
+#include "isa/program.hh"
+#include "kb/semantic_network.hh"
+#include "runtime/reference.hh"
+#include "runtime/results.hh"
+
+namespace snap
+{
+
+/** CM-2 model cost parameters. */
+struct Cm2Params
+{
+    /** Physical SIMD processors (CM-2: 64K single-bit PEs). */
+    std::uint32_t numProcessors = 64 * 1024;
+    /** Controller <-> array iteration per propagation step
+     *  (instruction sequencing, global-or completion test, host
+     *  round trip). */
+    Tick stepOverhead = 20 * ticksPerMs;
+    /** One data-parallel plane operation over all (virtual)
+     *  processors. */
+    Tick planeOp = 50 * ticksPerUs;
+    /** Router cost per marker movement within one step.  The router
+     *  moves markers for a whole level in parallel wavefronts, so
+     *  the per-message charge is small (300 ns). */
+    Tick routerPerMsg = 300 * ticksPerNs;
+    /** Per-instruction broadcast/decode overhead. */
+    Tick instrOverhead = 200 * ticksPerUs;
+};
+
+/** Result of a CM-2 baseline run. */
+struct Cm2RunResult
+{
+    ResultSet results;
+    Tick wallTicks = 0;
+    std::uint64_t propagationSteps = 0;
+
+    double wallMs() const { return ticksToMs(wallTicks); }
+};
+
+/**
+ * SIMD marker-propagation baseline.  Functional semantics are the
+ * golden model's; only the cost model differs.
+ */
+class Cm2Baseline
+{
+  public:
+    explicit Cm2Baseline(SemanticNetwork &net,
+                         Cm2Params params = Cm2Params{})
+        : interp_(net), p_(params), numNodes_(net.numNodes())
+    {}
+
+    Cm2RunResult run(const Program &prog);
+
+    /** Time for one instruction's work. */
+    Tick timeFor(const InstrWork &work) const;
+
+    ReferenceInterpreter &interpreter() { return interp_; }
+
+  private:
+    /** Virtual-processor ratio: plane ops slow down when nodes
+     *  exceed physical processors. */
+    std::uint64_t
+    vpRatio() const
+    {
+        return (numNodes_ + p_.numProcessors - 1) / p_.numProcessors;
+    }
+
+    ReferenceInterpreter interp_;
+    Cm2Params p_;
+    std::uint32_t numNodes_;
+};
+
+} // namespace snap
+
+#endif // SNAP_BASELINE_CM2_SIM_HH

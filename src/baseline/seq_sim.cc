@@ -1,0 +1,40 @@
+#include "baseline/seq_sim.hh"
+
+namespace snap
+{
+
+Tick
+SeqBaseline::timeFor(const InstrWork &work) const
+{
+    std::uint64_t cycles = t_.puDecodeCycles;
+    if (work.op == Opcode::Barrier)
+        return cycles * period_;  // no-op on one PE
+
+    cycles += t_.muTaskSetupCycles;
+    cycles += work.wordOps * t_.muWordOpCycles;
+    cycles += work.valueOps * t_.muValueOpCycles;
+    cycles += work.nodeScans * t_.muNodeScanCycles;
+    cycles += work.rowFetches * t_.muRelRowCycles;
+    cycles += work.slotScans * t_.muSlotCycles;
+    cycles += work.deliveries * t_.muLocalDeliverCycles;
+    cycles += work.items * t_.muCollectItemCycles;
+    cycles += work.linkEdits * t_.muLinkEditCycles;
+    return cycles * period_;
+}
+
+SeqRunResult
+SeqBaseline::run(const Program &prog)
+{
+    SeqRunResult res;
+    for (const Instruction &instr : prog.instructions()) {
+        interp_.execute(instr, prog.rules(), res.results);
+        Tick dt = timeFor(interp_.lastWork());
+        res.wallTicks += dt;
+        auto cat = static_cast<std::size_t>(instr.category());
+        res.categoryTicks[cat] += dt;
+        ++res.categoryCounts[cat];
+    }
+    return res;
+}
+
+} // namespace snap

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Uniprocessor baseline.
+ *
+ * Models a single 25 MHz DSP executing the SNAP instruction set
+ * sequentially with no broadcast, interconnect, or synchronization
+ * machinery — the "single processor" configuration whose instruction
+ * profile the paper measures in Fig. 6 and the denominator of the
+ * speedup curves (Figs. 16/17).
+ *
+ * Functionally delegates to the golden-model interpreter; timing
+ * converts the interpreter's machine-independent work counters into
+ * cycles under the same per-operation cost model as the array PEs.
+ */
+
+#ifndef SNAP_BASELINE_SEQ_SIM_HH
+#define SNAP_BASELINE_SEQ_SIM_HH
+
+#include <array>
+
+#include "arch/config.hh"
+#include "isa/program.hh"
+#include "kb/semantic_network.hh"
+#include "runtime/reference.hh"
+#include "runtime/results.hh"
+
+namespace snap
+{
+
+/** Result of a sequential-baseline run. */
+struct SeqRunResult
+{
+    ResultSet results;
+    Tick wallTicks = 0;
+    /** Time and instruction count per profiling category. */
+    std::array<Tick,
+               static_cast<std::size_t>(InstrCategory::NumCategories)>
+        categoryTicks{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(InstrCategory::NumCategories)>
+        categoryCounts{};
+
+    double wallMs() const { return ticksToMs(wallTicks); }
+};
+
+/**
+ * Sequential SNAP interpreter with a single-PE timing model.
+ */
+class SeqBaseline
+{
+  public:
+    explicit SeqBaseline(SemanticNetwork &net,
+                         TimingParams t = TimingParams{},
+                         Tick clock_period = 40 * ticksPerNs)
+        : interp_(net), t_(t), period_(clock_period)
+    {}
+
+    /** Execute @p prog; marker state persists across runs. */
+    SeqRunResult run(const Program &prog);
+
+    /** Time one instruction's work under this cost model. */
+    Tick timeFor(const InstrWork &work) const;
+
+    ReferenceInterpreter &interpreter() { return interp_; }
+
+  private:
+    ReferenceInterpreter interp_;
+    TimingParams t_;
+    Tick period_;
+};
+
+} // namespace snap
+
+#endif // SNAP_BASELINE_SEQ_SIM_HH

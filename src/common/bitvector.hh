@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Packed bit vector used to model the SNAP-1 marker status table.
+ *
+ * The hardware packs the active/inactive state of each marker into
+ * rows of 32-bit status words so one marker-unit operation updates the
+ * status of 32 nodes at once (paper §II-B, Fig. 4).  This class is the
+ * functional substrate for that table: word-granularity access is part
+ * of the public interface because the machine model charges time per
+ * word operation.
+ */
+
+#ifndef SNAP_COMMON_BITVECTOR_HH
+#define SNAP_COMMON_BITVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+/**
+ * Fixed-size packed bit vector with 32-bit word access.
+ */
+class BitVector
+{
+  public:
+    using Word = std::uint32_t;
+    static constexpr std::uint32_t bitsPerWord = 32;
+
+    BitVector() = default;
+
+    /** Construct with @p num_bits bits, all clear. */
+    explicit BitVector(std::uint32_t num_bits)
+        : numBits_(num_bits),
+          words_((num_bits + bitsPerWord - 1) / bitsPerWord, 0)
+    {}
+
+    /** Number of addressable bits. */
+    std::uint32_t size() const { return numBits_; }
+
+    /** Number of backing words. */
+    std::uint32_t numWords() const
+    {
+        return static_cast<std::uint32_t>(words_.size());
+    }
+
+    /** Read one bit. */
+    bool
+    test(std::uint32_t idx) const
+    {
+        snap_assert(idx < numBits_, "bit index %u out of %u",
+                    idx, numBits_);
+        return (words_[idx / bitsPerWord] >>
+                (idx % bitsPerWord)) & 1u;
+    }
+
+    /** Set one bit; returns the previous value. */
+    bool
+    set(std::uint32_t idx)
+    {
+        snap_assert(idx < numBits_, "bit index %u out of %u",
+                    idx, numBits_);
+        Word &w = words_[idx / bitsPerWord];
+        Word mask = Word{1} << (idx % bitsPerWord);
+        bool old = w & mask;
+        w |= mask;
+        return old;
+    }
+
+    /** Clear one bit; returns the previous value. */
+    bool
+    clear(std::uint32_t idx)
+    {
+        snap_assert(idx < numBits_, "bit index %u out of %u",
+                    idx, numBits_);
+        Word &w = words_[idx / bitsPerWord];
+        Word mask = Word{1} << (idx % bitsPerWord);
+        bool old = w & mask;
+        w &= ~mask;
+        return old;
+    }
+
+    /** Read a whole 32-bit status word. */
+    Word
+    word(std::uint32_t widx) const
+    {
+        snap_assert(widx < words_.size(), "word index %u out of %zu",
+                    widx, words_.size());
+        return words_[widx];
+    }
+
+    /** Overwrite a whole status word (tail bits must stay clear;
+     *  enforced by masking). */
+    void
+    setWord(std::uint32_t widx, Word value)
+    {
+        snap_assert(widx < words_.size(), "word index %u out of %zu",
+                    widx, words_.size());
+        words_[widx] = value & tailMask(widx);
+    }
+
+    /** Set every bit. */
+    void
+    setAll()
+    {
+        for (std::uint32_t i = 0; i < words_.size(); ++i)
+            words_[i] = tailMask(i);
+    }
+
+    /** Clear every bit. */
+    void
+    clearAll()
+    {
+        for (Word &w : words_)
+            w = 0;
+    }
+
+    /** Population count over the whole vector. */
+    std::uint32_t
+    count() const
+    {
+        std::uint32_t n = 0;
+        for (Word w : words_)
+            n += static_cast<std::uint32_t>(__builtin_popcount(w));
+        return n;
+    }
+
+    /** True if no bit is set. */
+    bool
+    none() const
+    {
+        for (Word w : words_)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** True if any bit is set. */
+    bool any() const { return !none(); }
+
+    /**
+     * Find the next set bit at or after @p idx.
+     * @return bit index, or size() if none.
+     */
+    std::uint32_t
+    findNext(std::uint32_t idx) const
+    {
+        if (idx >= numBits_)
+            return numBits_;
+        std::uint32_t widx = idx / bitsPerWord;
+        Word w = words_[widx] & (~Word{0} << (idx % bitsPerWord));
+        while (true) {
+            if (w) {
+                std::uint32_t bit =
+                    widx * bitsPerWord +
+                    static_cast<std::uint32_t>(__builtin_ctz(w));
+                return bit < numBits_ ? bit : numBits_;
+            }
+            if (++widx >= words_.size())
+                return numBits_;
+            w = words_[widx];
+        }
+    }
+
+    /** Append the indices of all set bits to @p out. */
+    template <typename OutVec>
+    void
+    collect(OutVec &out) const
+    {
+        for (std::uint32_t i = findNext(0); i < numBits_;
+             i = findNext(i + 1)) {
+            out.push_back(i);
+        }
+    }
+
+    bool
+    operator==(const BitVector &other) const
+    {
+        return numBits_ == other.numBits_ && words_ == other.words_;
+    }
+
+  private:
+    /** Mask of valid bits within word @p widx. */
+    Word
+    tailMask(std::uint32_t widx) const
+    {
+        std::uint32_t last = numBits_ / bitsPerWord;
+        if (widx != last || numBits_ % bitsPerWord == 0)
+            return ~Word{0};
+        return (Word{1} << (numBits_ % bitsPerWord)) - 1;
+    }
+
+    std::uint32_t numBits_ = 0;
+    std::vector<Word> words_;
+};
+
+} // namespace snap
+
+#endif // SNAP_COMMON_BITVECTOR_HH

@@ -1,0 +1,125 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <exception>
+
+namespace snap
+{
+
+namespace
+{
+
+Logger::Hook g_hook = nullptr;
+bool g_debug_enabled = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+Logger::Hook
+Logger::setHook(Hook hook)
+{
+    Hook old = g_hook;
+    g_hook = hook;
+    return old;
+}
+
+void
+Logger::setDebugEnabled(bool enabled)
+{
+    g_debug_enabled = enabled;
+}
+
+bool
+Logger::debugEnabled()
+{
+    return g_debug_enabled;
+}
+
+void
+Logger::emit(LogLevel level, const std::string &msg,
+             const char *file, int line)
+{
+    if (g_hook)
+        g_hook(level, msg);
+
+    std::FILE *out =
+        (level == LogLevel::Inform || level == LogLevel::Debug)
+            ? stdout : stderr;
+    if (level == LogLevel::Panic || level == LogLevel::Fatal) {
+        std::fprintf(out, "%s: %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+    } else {
+        std::fprintf(out, "%s: %s\n", levelName(level), msg.c_str());
+    }
+    std::fflush(out);
+}
+
+std::string
+vformatString(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return "<format error>";
+    std::string buf(static_cast<size_t>(n), '\0');
+    std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap);
+    return buf;
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::emit(LogLevel::Panic, msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::emit(LogLevel::Fatal, msg, file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::emit(LogLevel::Warn, msg, file, line);
+}
+
+void
+informImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::emit(LogLevel::Inform, msg, file, line);
+}
+
+void
+debugImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::emit(LogLevel::Debug, msg, file, line);
+}
+
+} // namespace snap

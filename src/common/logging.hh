@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Error and status reporting discipline, after the gem5 convention.
+ *
+ * panic()  — an internal invariant of the simulator was violated; this
+ *            is a bug in the simulator itself.  Aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, malformed knowledge base, invalid
+ *            program).  Exits with status 1.
+ * warn()   — something is suspicious or approximated but execution can
+ *            continue.
+ * inform() — normal status messages.
+ */
+
+#ifndef SNAP_COMMON_LOGGING_HH
+#define SNAP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace snap
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+    Debug
+};
+
+/**
+ * Sink for log output.  Tests may install a capturing sink; by default
+ * messages go to stderr (panic/fatal/warn) or stdout (inform/debug).
+ */
+class Logger
+{
+  public:
+    using Hook = void (*)(LogLevel, const std::string &);
+
+    /** Install a hook that observes every message; returns the old
+     *  hook so callers can restore it. */
+    static Hook setHook(Hook hook);
+
+    /** Emit a formatted message at the given level.  Does not
+     *  terminate the process. */
+    static void emit(LogLevel level, const std::string &msg,
+                     const char *file, int line);
+
+    /** Enable or disable Debug-level output (off by default). */
+    static void setDebugEnabled(bool enabled);
+    static bool debugEnabled();
+};
+
+/** Internal: printf-style formatting into a std::string. */
+std::string vformatString(const char *fmt, std::va_list ap);
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const char *file, int line, const std::string &msg);
+void debugImpl(const char *file, int line, const std::string &msg);
+
+} // namespace snap
+
+#define snap_panic(...) \
+    ::snap::panicImpl(__FILE__, __LINE__, \
+                      ::snap::formatString(__VA_ARGS__))
+
+#define snap_fatal(...) \
+    ::snap::fatalImpl(__FILE__, __LINE__, \
+                      ::snap::formatString(__VA_ARGS__))
+
+#define snap_warn(...) \
+    ::snap::warnImpl(__FILE__, __LINE__, \
+                     ::snap::formatString(__VA_ARGS__))
+
+#define snap_inform(...) \
+    ::snap::informImpl(__FILE__, __LINE__, \
+                       ::snap::formatString(__VA_ARGS__))
+
+#define snap_debug(...) \
+    do { \
+        if (::snap::Logger::debugEnabled()) { \
+            ::snap::debugImpl(__FILE__, __LINE__, \
+                              ::snap::formatString(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Assert an internal simulator invariant; compiled in all builds. */
+#define snap_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::snap::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " ") + \
+                ::snap::formatString("" __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // SNAP_COMMON_LOGGING_HH

@@ -1,0 +1,97 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace stats
+{
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Group::addScalar(const std::string &name, Scalar *s)
+{
+    snap_assert(s != nullptr, "null scalar %s", name.c_str());
+    scalars_[name] = s;
+}
+
+void
+Group::addDistribution(const std::string &name, Distribution *d)
+{
+    snap_assert(d != nullptr, "null distribution %s", name.c_str());
+    dists_[name] = d;
+}
+
+void
+Group::addHistogram(const std::string &name, Histogram *h)
+{
+    snap_assert(h != nullptr, "null histogram %s", name.c_str());
+    histos_[name] = h;
+}
+
+std::string
+Group::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, s] : scalars_)
+        os << name_ << "." << name << " " << s->value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << name_ << "." << name
+           << " count=" << d->count()
+           << " mean=" << d->mean()
+           << " min=" << d->min()
+           << " max=" << d->max()
+           << " stddev=" << d->stddev() << "\n";
+    }
+    for (const auto &[name, h] : histos_) {
+        os << name_ << "." << name << " buckets(" << h->bucketSize()
+           << "):";
+        for (std::uint32_t i = 0; i < h->numBuckets(); ++i)
+            os << " " << h->bucketCount(i);
+        os << " overflow=" << h->overflow() << "\n";
+    }
+    return os.str();
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[name, s] : scalars_)
+        s->reset();
+    for (auto &[name, d] : dists_)
+        d->reset();
+    for (auto &[name, h] : histos_)
+        h->reset();
+}
+
+Scalar *
+Group::scalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : it->second;
+}
+
+Distribution *
+Group::distribution(const std::string &name) const
+{
+    auto it = dists_.find(name);
+    return it == dists_.end() ? nullptr : it->second;
+}
+
+Histogram *
+Group::histogram(const std::string &name) const
+{
+    auto it = histos_.find(name);
+    return it == histos_.end() ? nullptr : it->second;
+}
+
+} // namespace stats
+} // namespace snap

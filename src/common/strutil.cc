@@ -1,0 +1,159 @@
+#include "common/strutil.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace snap
+{
+
+std::vector<std::string>
+tokenize(const std::string &s, const std::string &seps)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        std::size_t j = s.find_first_of(seps, i);
+        if (j == std::string::npos)
+            j = s.size();
+        if (j > i)
+            out.push_back(s.substr(i, j - i));
+        i = j + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+parseInt(const std::string &s, long long &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << cell;
+            if (i + 1 < cols)
+                os << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace snap

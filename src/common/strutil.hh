@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small string and console-table helpers used by the benchmark
+ * harness and the assembler.
+ */
+
+#ifndef SNAP_COMMON_STRUTIL_HH
+#define SNAP_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace snap
+{
+
+/** Split @p s on any of the characters in @p seps, dropping empties. */
+std::vector<std::string> tokenize(const std::string &s,
+                                  const std::string &seps = " \t");
+
+/** Split @p s on a single separator, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Parse a signed integer; returns false on any trailing garbage. */
+bool parseInt(const std::string &s, long long &out);
+
+/** Parse a double; returns false on any trailing garbage. */
+bool parseDouble(const std::string &s, double &out);
+
+/**
+ * Fixed-width console table used by every bench binary to print the
+ * rows/series a paper table or figure reports.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf("%.*f")-style fixed formatting helper. */
+std::string fmtDouble(double v, int precision);
+
+} // namespace snap
+
+#endif // SNAP_COMMON_STRUTIL_HH

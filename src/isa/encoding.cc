@@ -1,0 +1,122 @@
+#include "isa/encoding.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+namespace
+{
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+EncodedInstr
+encodeInstruction(const Instruction &instr)
+{
+    EncodedInstr w{};
+    w[0] = static_cast<std::uint32_t>(instr.op) |
+           (static_cast<std::uint32_t>(instr.m1) << 8) |
+           (static_cast<std::uint32_t>(instr.m2) << 16) |
+           (static_cast<std::uint32_t>(instr.m3) << 24);
+    w[1] = static_cast<std::uint32_t>(instr.rel) |
+           (static_cast<std::uint32_t>(instr.rel2) << 16);
+    // Combine op and scalar op share byte 3 of w2 (both < 16).
+    auto comb = static_cast<std::uint32_t>(instr.comb);
+    auto sop = static_cast<std::uint32_t>(instr.sfunc.op);
+    snap_assert(comb < 16 && sop < 16, "op nibble overflow");
+    w[2] = static_cast<std::uint32_t>(instr.color) |
+           (static_cast<std::uint32_t>(instr.rule) << 8) |
+           (static_cast<std::uint32_t>(instr.func) << 16) |
+           ((comb | (sop << 4)) << 24);
+    w[3] = instr.node;
+    w[4] = instr.endNode;
+    w[5] = floatBits(instr.value);
+    w[6] = floatBits(instr.sfunc.imm);
+    w[7] = 0;
+    return w;
+}
+
+Instruction
+decodeInstruction(const EncodedInstr &w)
+{
+    Instruction instr;
+    std::uint32_t op = w[0] & 0xff;
+    if (op >= static_cast<std::uint32_t>(Opcode::NumOpcodes))
+        snap_fatal("corrupt object code: opcode byte 0x%02x", op);
+    instr.op = static_cast<Opcode>(op);
+    instr.m1 = static_cast<MarkerId>((w[0] >> 8) & 0xff);
+    instr.m2 = static_cast<MarkerId>((w[0] >> 16) & 0xff);
+    instr.m3 = static_cast<MarkerId>((w[0] >> 24) & 0xff);
+    instr.rel = static_cast<RelationType>(w[1] & 0xffff);
+    instr.rel2 = static_cast<RelationType>((w[1] >> 16) & 0xffff);
+    instr.color = static_cast<Color>(w[2] & 0xff);
+    instr.rule = static_cast<RuleId>((w[2] >> 8) & 0xff);
+    std::uint32_t func = (w[2] >> 16) & 0xff;
+    if (func >= static_cast<std::uint32_t>(MarkerFunc::NumFuncs))
+        snap_fatal("corrupt object code: function byte 0x%02x",
+                   func);
+    instr.func = static_cast<MarkerFunc>(func);
+    instr.comb = static_cast<CombineOp>((w[2] >> 24) & 0xf);
+    instr.sfunc.op =
+        static_cast<ScalarFunc::Op>((w[2] >> 28) & 0xf);
+    instr.node = w[3];
+    instr.endNode = w[4];
+    instr.value = bitsFloat(w[5]);
+    instr.sfunc.imm = bitsFloat(w[6]);
+    return instr;
+}
+
+std::vector<std::uint32_t>
+encodeProgram(const Program &prog)
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(prog.size() * instrEncodingWords);
+    for (const Instruction &instr : prog.instructions()) {
+        EncodedInstr w = encodeInstruction(instr);
+        out.insert(out.end(), w.begin(), w.end());
+    }
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<std::uint32_t> &words,
+              const RuleTable &rules)
+{
+    if (words.size() % instrEncodingWords != 0)
+        snap_fatal("object code of %zu words is not a multiple of "
+                   "%zu", words.size(), instrEncodingWords);
+    Program prog;
+    for (std::uint32_t r = 0; r < rules.size(); ++r)
+        prog.addRule(rules.rule(static_cast<RuleId>(r)));
+    for (std::size_t i = 0; i < words.size();
+         i += instrEncodingWords) {
+        EncodedInstr w;
+        std::copy(words.begin() + static_cast<std::ptrdiff_t>(i),
+                  words.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          i + instrEncodingWords),
+                  w.begin());
+        prog.append(decodeInstruction(w));
+    }
+    return prog;
+}
+
+} // namespace snap

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary instruction encoding.
+ *
+ * "Application programs are written and compiled on the host ...  To
+ * avoid a bottleneck with the VME bus, the object code for an entire
+ * application is downloaded to the controller before execution"
+ * (paper §II-A).  Each SNAP instruction broadcasts as a fixed block
+ * of 32-bit words over the global bus (`TimingParams::instrWords`,
+ * default 8).
+ *
+ * Word layout (little-endian fields within words):
+ *
+ *   w0  [ 7:0]  opcode          [15:8]  m1
+ *       [23:16] m2              [31:24] m3
+ *   w1  [15:0]  rel             [31:16] rel2
+ *   w2  [ 7:0]  color           [15:8]  rule token
+ *       [23:16] func            [31:24] combine op | scalar op
+ *   w3  node id
+ *   w4  end-node id
+ *   w5  value / weight (IEEE-754 float bits)
+ *   w6  scalar-func immediate (IEEE-754 float bits)
+ *   w7  reserved (zero)
+ *
+ * Encoding is lossless for every instruction the assembler can
+ * produce; decode(encode(i)) == i is property-tested.
+ */
+
+#ifndef SNAP_ISA_ENCODING_HH
+#define SNAP_ISA_ENCODING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace snap
+{
+
+/** Words per encoded instruction (matches the broadcast cost). */
+constexpr std::size_t instrEncodingWords = 8;
+
+using EncodedInstr = std::array<std::uint32_t, instrEncodingWords>;
+
+/** Encode one instruction into its object-code block. */
+EncodedInstr encodeInstruction(const Instruction &instr);
+
+/**
+ * Decode an object-code block.  Malformed opcodes are a fatal (user)
+ * error — corrupt object code.
+ */
+Instruction decodeInstruction(const EncodedInstr &words);
+
+/**
+ * Encode a whole program's instruction stream (the application
+ * object code downloaded to the controller).  The rule table is
+ * downloaded separately at compile time (§III-B) and is not part of
+ * the stream.
+ */
+std::vector<std::uint32_t> encodeProgram(const Program &prog);
+
+/**
+ * Decode an instruction stream back into a program that shares
+ * @p rules (tokens are preserved).
+ */
+Program decodeProgram(const std::vector<std::uint32_t> &words,
+                      const RuleTable &rules);
+
+} // namespace snap
+
+#endif // SNAP_ISA_ENCODING_HH

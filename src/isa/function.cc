@@ -1,0 +1,190 @@
+#include "isa/function.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace snap
+{
+
+const char *
+markerFuncName(MarkerFunc f)
+{
+    switch (f) {
+      case MarkerFunc::None: return "none";
+      case MarkerFunc::AddWeight: return "add-weight";
+      case MarkerFunc::MinWeight: return "min-weight";
+      case MarkerFunc::MaxWeight: return "max-weight";
+      case MarkerFunc::MulWeight: return "mul-weight";
+      case MarkerFunc::Count: return "count";
+      default: return "?";
+    }
+}
+
+bool
+markerFuncFromName(const std::string &name, MarkerFunc &out)
+{
+    for (int i = 0; i < static_cast<int>(MarkerFunc::NumFuncs); ++i) {
+        auto f = static_cast<MarkerFunc>(i);
+        if (name == markerFuncName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+float
+applyStep(MarkerFunc f, float value, float w)
+{
+    switch (f) {
+      case MarkerFunc::None: return value;
+      case MarkerFunc::AddWeight: return value + w;
+      case MarkerFunc::MinWeight: return std::min(value, w);
+      case MarkerFunc::MaxWeight: return std::max(value, w);
+      case MarkerFunc::MulWeight: return value * w;
+      case MarkerFunc::Count: return value + 1.0f;
+      default:
+        snap_panic("bad MarkerFunc %d", static_cast<int>(f));
+    }
+}
+
+namespace
+{
+
+/** True for functions whose merge keeps the minimum. */
+bool
+minMerges(MarkerFunc f)
+{
+    switch (f) {
+      case MarkerFunc::AddWeight:
+      case MarkerFunc::MinWeight:
+      case MarkerFunc::Count:
+        return true;
+      case MarkerFunc::MaxWeight:
+      case MarkerFunc::MulWeight:
+      case MarkerFunc::None:
+        return false;
+      default:
+        snap_panic("bad MarkerFunc %d", static_cast<int>(f));
+    }
+}
+
+} // namespace
+
+bool
+improves(MarkerFunc f, float candidate, float incumbent)
+{
+    if (f == MarkerFunc::None)
+        return false;
+    return minMerges(f) ? candidate < incumbent
+                        : candidate > incumbent;
+}
+
+float
+merge(MarkerFunc f, float incumbent, float candidate)
+{
+    return improves(f, candidate, incumbent) ? candidate : incumbent;
+}
+
+bool
+ScalarFunc::apply(float &value) const
+{
+    switch (op) {
+      case Op::Set:
+        value = imm;
+        return true;
+      case Op::Add:
+        value += imm;
+        return true;
+      case Op::Sub:
+        value -= imm;
+        return true;
+      case Op::Mul:
+        value *= imm;
+        return true;
+      case Op::ThresholdGe:
+        return value >= imm;
+      case Op::ThresholdLt:
+        return value < imm;
+    }
+    snap_panic("bad ScalarFunc op %d", static_cast<int>(op));
+}
+
+std::string
+ScalarFunc::toString() const
+{
+    return std::string(scalarOpName(op)) + "(" +
+           fmtDouble(imm, 3) + ")";
+}
+
+const char *
+scalarOpName(ScalarFunc::Op op)
+{
+    switch (op) {
+      case ScalarFunc::Op::Set: return "set";
+      case ScalarFunc::Op::Add: return "add";
+      case ScalarFunc::Op::Sub: return "sub";
+      case ScalarFunc::Op::Mul: return "mul";
+      case ScalarFunc::Op::ThresholdGe: return "threshold-ge";
+      case ScalarFunc::Op::ThresholdLt: return "threshold-lt";
+    }
+    return "?";
+}
+
+bool
+scalarOpFromName(const std::string &name, ScalarFunc::Op &out)
+{
+    using Op = ScalarFunc::Op;
+    for (Op op : {Op::Set, Op::Add, Op::Sub, Op::Mul,
+                  Op::ThresholdGe, Op::ThresholdLt}) {
+        if (name == scalarOpName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+combineOpName(CombineOp op)
+{
+    switch (op) {
+      case CombineOp::Sum: return "sum";
+      case CombineOp::Min: return "min";
+      case CombineOp::Max: return "max";
+      case CombineOp::First: return "first";
+      case CombineOp::Diff: return "diff";
+    }
+    return "?";
+}
+
+bool
+combineOpFromName(const std::string &name, CombineOp &out)
+{
+    for (CombineOp op : {CombineOp::Sum, CombineOp::Min,
+                         CombineOp::Max, CombineOp::First,
+                         CombineOp::Diff}) {
+        if (name == combineOpName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+float
+combine(CombineOp op, float v1, float v2)
+{
+    switch (op) {
+      case CombineOp::Sum: return v1 + v2;
+      case CombineOp::Min: return std::min(v1, v2);
+      case CombineOp::Max: return std::max(v1, v2);
+      case CombineOp::First: return v1;
+      case CombineOp::Diff: return v1 - v2;
+    }
+    snap_panic("bad CombineOp %d", static_cast<int>(op));
+}
+
+} // namespace snap

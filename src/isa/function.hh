@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight marker arithmetic.
+ *
+ * "To quantify properties, markers are given a value which serves as a
+ * measure of belief during inferencing ...  They also carry a
+ * lightweight arithmetic or logical operation which is performed along
+ * each propagation step."  (paper §I-C)
+ *
+ * Each PROPAGATE carries a MarkerFunc applied per traversed link, and
+ * each function defines a deterministic *merge* policy used when a
+ * marker reaches a node where it is already set.  A node re-propagates
+ * only on first arrival or strict improvement, which (together with
+ * the per-rule step limit) guarantees termination on cyclic networks
+ * and makes the result a unique fixpoint independent of event order.
+ */
+
+#ifndef SNAP_ISA_FUNCTION_HH
+#define SNAP_ISA_FUNCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace snap
+{
+
+/** Per-step operation carried by a propagating marker. */
+enum class MarkerFunc : std::uint8_t
+{
+    /** Value copied unchanged; first arrival wins. */
+    None,
+    /** value += link weight (path-cost accumulation); min merges. */
+    AddWeight,
+    /** value = min(value, link weight); min merges. */
+    MinWeight,
+    /** value = max(value, link weight); max merges. */
+    MaxWeight,
+    /** value *= link weight (confidence product); max merges. */
+    MulWeight,
+    /** value += 1 per step (hop count); min merges. */
+    Count,
+
+    NumFuncs
+};
+
+const char *markerFuncName(MarkerFunc f);
+bool markerFuncFromName(const std::string &name, MarkerFunc &out);
+
+/** Value after traversing one link of weight @p w. */
+float applyStep(MarkerFunc f, float value, float w);
+
+/**
+ * True when @p candidate strictly improves on @p incumbent under
+ * @p f's merge order (min or max).  MarkerFunc::None never improves.
+ */
+bool improves(MarkerFunc f, float candidate, float incumbent);
+
+/** Merge an arriving value into an existing one. */
+float merge(MarkerFunc f, float incumbent, float candidate);
+
+/** Complex-marker register contents: value + origin binding. */
+struct MarkerValue
+{
+    float value = 0.0f;
+    /** Origin node of the propagation that set the marker (the
+     *  15-bit "source address ... for binding" in Fig. 4). */
+    NodeId origin = invalidNode;
+};
+
+/**
+ * Unary scalar function for FUNC-MARKER: value' = op(value, imm),
+ * with threshold variants that clear the marker when the test fails.
+ */
+struct ScalarFunc
+{
+    enum class Op : std::uint8_t
+    {
+        Set,          ///< value = imm
+        Add,          ///< value += imm
+        Sub,          ///< value -= imm
+        Mul,          ///< value *= imm
+        ThresholdGe,  ///< keep marker iff value >= imm
+        ThresholdLt   ///< keep marker iff value <  imm
+    };
+
+    Op op = Op::Set;
+    float imm = 0.0f;
+
+    /**
+     * Apply to a value.
+     * @param[in,out] value marker value
+     * @return false if a threshold test failed (clear the marker)
+     */
+    bool apply(float &value) const;
+
+    std::string toString() const;
+};
+
+const char *scalarOpName(ScalarFunc::Op op);
+bool scalarOpFromName(const std::string &name, ScalarFunc::Op &out);
+
+/** How boolean marker ops combine the two source values. */
+enum class CombineOp : std::uint8_t
+{
+    Sum,    ///< v3 = v1 + v2
+    Min,    ///< v3 = min(v1, v2)
+    Max,    ///< v3 = max(v1, v2)
+    First,  ///< v3 = v1
+    Diff    ///< v3 = v1 - v2
+};
+
+const char *combineOpName(CombineOp op);
+bool combineOpFromName(const std::string &name, CombineOp &out);
+
+float combine(CombineOp op, float v1, float v2);
+
+} // namespace snap
+
+#endif // SNAP_ISA_FUNCTION_HH

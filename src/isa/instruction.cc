@@ -1,0 +1,420 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Create: return "CREATE";
+      case Opcode::Delete: return "DELETE";
+      case Opcode::SetColor: return "SET-COLOR";
+      case Opcode::SetWeight: return "SET-WEIGHT";
+      case Opcode::SearchNode: return "SEARCH-NODE";
+      case Opcode::SearchRelation: return "SEARCH-RELATION";
+      case Opcode::SearchColor: return "SEARCH-COLOR";
+      case Opcode::Propagate: return "PROPAGATE";
+      case Opcode::MarkerCreate: return "MARKER-CREATE";
+      case Opcode::MarkerDelete: return "MARKER-DELETE";
+      case Opcode::MarkerSetColor: return "MARKER-SET-COLOR";
+      case Opcode::AndMarker: return "AND-MARKER";
+      case Opcode::OrMarker: return "OR-MARKER";
+      case Opcode::NotMarker: return "NOT-MARKER";
+      case Opcode::SetMarker: return "SET-MARKER";
+      case Opcode::ClearMarker: return "CLEAR-MARKER";
+      case Opcode::FuncMarker: return "FUNC-MARKER";
+      case Opcode::CollectMarker: return "COLLECT-MARKER";
+      case Opcode::CollectRelation: return "COLLECT-RELATION";
+      case Opcode::CollectColor: return "COLLECT-COLOR";
+      case Opcode::Barrier: return "BARRIER";
+      default: return "?";
+    }
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (name == opcodeName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+InstrCategory
+opcodeCategory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Create:
+      case Opcode::Delete:
+      case Opcode::SetColor:
+      case Opcode::SetWeight:
+        return InstrCategory::NodeMaintenance;
+      case Opcode::SearchNode:
+      case Opcode::SearchRelation:
+      case Opcode::SearchColor:
+        return InstrCategory::Search;
+      case Opcode::Propagate:
+        return InstrCategory::Propagation;
+      case Opcode::MarkerCreate:
+      case Opcode::MarkerDelete:
+      case Opcode::MarkerSetColor:
+        return InstrCategory::MarkerMaintenance;
+      case Opcode::AndMarker:
+      case Opcode::OrMarker:
+      case Opcode::NotMarker:
+        return InstrCategory::Boolean;
+      case Opcode::SetMarker:
+      case Opcode::ClearMarker:
+      case Opcode::FuncMarker:
+        return InstrCategory::SetClear;
+      case Opcode::CollectMarker:
+      case Opcode::CollectRelation:
+      case Opcode::CollectColor:
+        return InstrCategory::Collection;
+      case Opcode::Barrier:
+        return InstrCategory::Synchronization;
+      default:
+        snap_panic("bad opcode %d", static_cast<int>(op));
+    }
+}
+
+const char *
+categoryName(InstrCategory c)
+{
+    switch (c) {
+      case InstrCategory::NodeMaintenance: return "node-maint";
+      case InstrCategory::Search: return "search";
+      case InstrCategory::Propagation: return "propagate";
+      case InstrCategory::MarkerMaintenance: return "marker-maint";
+      case InstrCategory::Boolean: return "boolean";
+      case InstrCategory::SetClear: return "set/clear";
+      case InstrCategory::Collection: return "collect";
+      case InstrCategory::Synchronization: return "sync";
+      default: return "?";
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (op) {
+      case Opcode::Create:
+        os << " n" << node << " r" << rel << " w" << value
+           << " n" << endNode;
+        break;
+      case Opcode::Delete:
+        os << " n" << node << " r" << rel << " n" << endNode;
+        break;
+      case Opcode::SetColor:
+        os << " n" << node << " c" << static_cast<int>(color);
+        break;
+      case Opcode::SetWeight:
+        os << " n" << node << " r" << rel << " n" << endNode
+           << " w" << value;
+        break;
+      case Opcode::SearchNode:
+        os << " n" << node << " m" << static_cast<int>(m1)
+           << " v" << value;
+        break;
+      case Opcode::SearchRelation:
+        os << " r" << rel << " m" << static_cast<int>(m1)
+           << " v" << value;
+        break;
+      case Opcode::SearchColor:
+        os << " c" << static_cast<int>(color) << " m"
+           << static_cast<int>(m1) << " v" << value;
+        break;
+      case Opcode::Propagate:
+        os << " m" << static_cast<int>(m1) << " m"
+           << static_cast<int>(m2) << " rule" << static_cast<int>(rule)
+           << " " << markerFuncName(func);
+        break;
+      case Opcode::MarkerCreate:
+      case Opcode::MarkerDelete:
+        os << " m" << static_cast<int>(m1) << " r" << rel << " n"
+           << endNode << " r" << rel2;
+        break;
+      case Opcode::MarkerSetColor:
+        os << " m" << static_cast<int>(m1) << " c"
+           << static_cast<int>(color);
+        break;
+      case Opcode::AndMarker:
+      case Opcode::OrMarker:
+        os << " m" << static_cast<int>(m1) << " m"
+           << static_cast<int>(m2) << " m" << static_cast<int>(m3)
+           << " " << combineOpName(comb);
+        break;
+      case Opcode::NotMarker:
+        os << " m" << static_cast<int>(m1) << " m"
+           << static_cast<int>(m3);
+        break;
+      case Opcode::SetMarker:
+        os << " m" << static_cast<int>(m1) << " v" << value;
+        break;
+      case Opcode::ClearMarker:
+        os << " m" << static_cast<int>(m1);
+        break;
+      case Opcode::FuncMarker:
+        os << " m" << static_cast<int>(m1) << " "
+           << sfunc.toString();
+        break;
+      case Opcode::CollectMarker:
+        os << " m" << static_cast<int>(m1);
+        break;
+      case Opcode::CollectRelation:
+        os << " m" << static_cast<int>(m1) << " r" << rel;
+        break;
+      case Opcode::CollectColor:
+        os << " c" << static_cast<int>(color);
+        break;
+      case Opcode::Barrier:
+        break;
+      default:
+        os << " <bad>";
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+Instruction::create(NodeId src, RelationType rel, float weight,
+                    NodeId end)
+{
+    Instruction i;
+    i.op = Opcode::Create;
+    i.node = src;
+    i.rel = rel;
+    i.value = weight;
+    i.endNode = end;
+    return i;
+}
+
+Instruction
+Instruction::del(NodeId src, RelationType rel, NodeId end)
+{
+    Instruction i;
+    i.op = Opcode::Delete;
+    i.node = src;
+    i.rel = rel;
+    i.endNode = end;
+    return i;
+}
+
+Instruction
+Instruction::setColor(NodeId node, Color color)
+{
+    Instruction i;
+    i.op = Opcode::SetColor;
+    i.node = node;
+    i.color = color;
+    return i;
+}
+
+Instruction
+Instruction::setWeight(NodeId src, RelationType rel, NodeId end,
+                       float weight)
+{
+    Instruction i;
+    i.op = Opcode::SetWeight;
+    i.node = src;
+    i.rel = rel;
+    i.endNode = end;
+    i.value = weight;
+    return i;
+}
+
+Instruction
+Instruction::searchNode(NodeId node, MarkerId m, float v)
+{
+    Instruction i;
+    i.op = Opcode::SearchNode;
+    i.node = node;
+    i.m1 = m;
+    i.value = v;
+    return i;
+}
+
+Instruction
+Instruction::searchRelation(RelationType rel, MarkerId m, float v)
+{
+    Instruction i;
+    i.op = Opcode::SearchRelation;
+    i.rel = rel;
+    i.m1 = m;
+    i.value = v;
+    return i;
+}
+
+Instruction
+Instruction::searchColor(Color c, MarkerId m, float v)
+{
+    Instruction i;
+    i.op = Opcode::SearchColor;
+    i.color = c;
+    i.m1 = m;
+    i.value = v;
+    return i;
+}
+
+Instruction
+Instruction::propagate(MarkerId m1, MarkerId m2, RuleId rule,
+                       MarkerFunc f)
+{
+    Instruction i;
+    i.op = Opcode::Propagate;
+    i.m1 = m1;
+    i.m2 = m2;
+    i.rule = rule;
+    i.func = f;
+    return i;
+}
+
+Instruction
+Instruction::markerCreate(MarkerId m, RelationType fwd, NodeId end,
+                          RelationType rev)
+{
+    Instruction i;
+    i.op = Opcode::MarkerCreate;
+    i.m1 = m;
+    i.rel = fwd;
+    i.endNode = end;
+    i.rel2 = rev;
+    return i;
+}
+
+Instruction
+Instruction::markerDelete(MarkerId m, RelationType fwd, NodeId end,
+                          RelationType rev)
+{
+    Instruction i;
+    i.op = Opcode::MarkerDelete;
+    i.m1 = m;
+    i.rel = fwd;
+    i.endNode = end;
+    i.rel2 = rev;
+    return i;
+}
+
+Instruction
+Instruction::markerSetColor(MarkerId m, Color c)
+{
+    Instruction i;
+    i.op = Opcode::MarkerSetColor;
+    i.m1 = m;
+    i.color = c;
+    return i;
+}
+
+Instruction
+Instruction::andMarker(MarkerId m1, MarkerId m2, MarkerId m3,
+                       CombineOp comb)
+{
+    Instruction i;
+    i.op = Opcode::AndMarker;
+    i.m1 = m1;
+    i.m2 = m2;
+    i.m3 = m3;
+    i.comb = comb;
+    return i;
+}
+
+Instruction
+Instruction::orMarker(MarkerId m1, MarkerId m2, MarkerId m3,
+                      CombineOp comb)
+{
+    Instruction i;
+    i.op = Opcode::OrMarker;
+    i.m1 = m1;
+    i.m2 = m2;
+    i.m3 = m3;
+    i.comb = comb;
+    return i;
+}
+
+Instruction
+Instruction::notMarker(MarkerId m1, MarkerId m3)
+{
+    Instruction i;
+    i.op = Opcode::NotMarker;
+    i.m1 = m1;
+    i.m3 = m3;
+    return i;
+}
+
+Instruction
+Instruction::setMarker(MarkerId m, float v)
+{
+    Instruction i;
+    i.op = Opcode::SetMarker;
+    i.m1 = m;
+    i.value = v;
+    return i;
+}
+
+Instruction
+Instruction::clearMarker(MarkerId m)
+{
+    Instruction i;
+    i.op = Opcode::ClearMarker;
+    i.m1 = m;
+    return i;
+}
+
+Instruction
+Instruction::funcMarker(MarkerId m, ScalarFunc f)
+{
+    Instruction i;
+    i.op = Opcode::FuncMarker;
+    i.m1 = m;
+    i.sfunc = f;
+    return i;
+}
+
+Instruction
+Instruction::collectMarker(MarkerId m)
+{
+    Instruction i;
+    i.op = Opcode::CollectMarker;
+    i.m1 = m;
+    return i;
+}
+
+Instruction
+Instruction::collectRelation(MarkerId m, RelationType rel)
+{
+    Instruction i;
+    i.op = Opcode::CollectRelation;
+    i.m1 = m;
+    i.rel = rel;
+    return i;
+}
+
+Instruction
+Instruction::collectColor(Color c)
+{
+    Instruction i;
+    i.op = Opcode::CollectColor;
+    i.color = c;
+    return i;
+}
+
+Instruction
+Instruction::barrier()
+{
+    Instruction i;
+    i.op = Opcode::Barrier;
+    return i;
+}
+
+} // namespace snap

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The SNAP high-level instruction set (paper Table II).
+ *
+ * Twenty high-level marker-passing instructions in six groups: node
+ * maintenance, search, propagation, marker node maintenance, boolean,
+ * set/clear, and retrieval — plus an explicit BARRIER (the COMM-END
+ * synchronization request of §III-A).  "The programmer deals with
+ * logical data structures such as markers, relations, and nodes.
+ * Their physical allocation remains transparent."
+ */
+
+#ifndef SNAP_ISA_INSTRUCTION_HH
+#define SNAP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/function.hh"
+#include "isa/prop_rule.hh"
+
+namespace snap
+{
+
+/** Opcodes of the SNAP instruction set. */
+enum class Opcode : std::uint8_t
+{
+    // Node maintenance
+    Create,          ///< (src, rel, weight, end): add a link
+    Delete,          ///< (src, rel, end): remove a link
+    SetColor,        ///< (node, color)
+    SetWeight,       ///< (src, rel, end, weight)
+
+    // Search: initialize a marker with a value
+    SearchNode,      ///< (node, marker, value)
+    SearchRelation,  ///< (rel, marker, value): nodes with out-link rel
+    SearchColor,     ///< (color, marker, value)
+
+    // Propagation
+    Propagate,       ///< (m1, m2, rule, func)
+
+    // Marker node maintenance: bind marked nodes to an end node
+    MarkerCreate,    ///< (marker, fwd-rel, end, rev-rel)
+    MarkerDelete,    ///< (marker, fwd-rel, end, rev-rel)
+    MarkerSetColor,  ///< (marker, color)
+
+    // Boolean, evaluated at every node
+    AndMarker,       ///< (m1, m2, m3, combine)
+    OrMarker,        ///< (m1, m2, m3, combine)
+    NotMarker,       ///< (m1, m3): m3 = NOT m1
+
+    // Set/clear, unconditional at every node
+    SetMarker,       ///< (marker, value)
+    ClearMarker,     ///< (marker)
+    FuncMarker,      ///< (marker, scalar-func)
+
+    // Retrieval
+    CollectMarker,   ///< (marker): node IDs + values
+    CollectRelation, ///< (marker, rel): links of marked nodes
+    CollectColor,    ///< (color): node IDs
+
+    // Synchronization
+    Barrier,         ///< wait for all propagation to terminate
+
+    NumOpcodes
+};
+
+const char *opcodeName(Opcode op);
+bool opcodeFromName(const std::string &name, Opcode &out);
+
+/** Instruction category used by the profiling figures (Figs. 6/18/19). */
+enum class InstrCategory : std::uint8_t
+{
+    NodeMaintenance,
+    Search,
+    Propagation,
+    MarkerMaintenance,
+    Boolean,
+    SetClear,
+    Collection,
+    Synchronization,
+
+    NumCategories
+};
+
+InstrCategory opcodeCategory(Opcode op);
+const char *categoryName(InstrCategory c);
+
+/**
+ * One decoded SNAP instruction.  A flat operand record: only the
+ * fields the opcode uses are meaningful (see Opcode comments).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Barrier;
+
+    NodeId node = invalidNode;      ///< source / target node
+    NodeId endNode = invalidNode;   ///< end node of links
+    RelationType rel = 0;           ///< primary relation
+    RelationType rel2 = 0;          ///< reverse relation
+    Color color = 0;                ///< color operand
+    MarkerId m1 = 0;                ///< source marker
+    MarkerId m2 = 0;                ///< second / destination marker
+    MarkerId m3 = 0;                ///< boolean result marker
+    float value = 0.0f;             ///< immediate value / weight
+    RuleId rule = 0;                ///< propagation rule token
+    MarkerFunc func = MarkerFunc::None;   ///< per-step function
+    CombineOp comb = CombineOp::First;    ///< boolean value combine
+    ScalarFunc sfunc;               ///< FUNC-MARKER operation
+
+    InstrCategory category() const { return opcodeCategory(op); }
+
+    /** Render with numeric operands (for traces and tests). */
+    std::string toString() const;
+
+    // --- constructors for each instruction form -------------------------
+
+    static Instruction create(NodeId src, RelationType rel,
+                              float weight, NodeId end);
+    static Instruction del(NodeId src, RelationType rel, NodeId end);
+    static Instruction setColor(NodeId node, Color color);
+    static Instruction setWeight(NodeId src, RelationType rel,
+                                 NodeId end, float weight);
+    static Instruction searchNode(NodeId node, MarkerId m, float v);
+    static Instruction searchRelation(RelationType rel, MarkerId m,
+                                      float v);
+    static Instruction searchColor(Color c, MarkerId m, float v);
+    static Instruction propagate(MarkerId m1, MarkerId m2, RuleId rule,
+                                 MarkerFunc f);
+    static Instruction markerCreate(MarkerId m, RelationType fwd,
+                                    NodeId end, RelationType rev);
+    static Instruction markerDelete(MarkerId m, RelationType fwd,
+                                    NodeId end, RelationType rev);
+    static Instruction markerSetColor(MarkerId m, Color c);
+    static Instruction andMarker(MarkerId m1, MarkerId m2, MarkerId m3,
+                                 CombineOp comb = CombineOp::Sum);
+    static Instruction orMarker(MarkerId m1, MarkerId m2, MarkerId m3,
+                                CombineOp comb = CombineOp::First);
+    static Instruction notMarker(MarkerId m1, MarkerId m3);
+    static Instruction setMarker(MarkerId m, float v);
+    static Instruction clearMarker(MarkerId m);
+    static Instruction funcMarker(MarkerId m, ScalarFunc f);
+    static Instruction collectMarker(MarkerId m);
+    static Instruction collectRelation(MarkerId m, RelationType rel);
+    static Instruction collectColor(Color c);
+    static Instruction barrier();
+};
+
+} // namespace snap
+
+#endif // SNAP_ISA_INSTRUCTION_HH

@@ -1,0 +1,39 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace snap
+{
+
+std::array<std::uint64_t,
+           static_cast<std::size_t>(InstrCategory::NumCategories)>
+Program::categoryCounts() const
+{
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(
+                   InstrCategory::NumCategories)> counts{};
+    for (const auto &i : instrs_)
+        ++counts[static_cast<std::size_t>(i.category())];
+    return counts;
+}
+
+std::uint64_t
+Program::countOpcode(Opcode op) const
+{
+    std::uint64_t n = 0;
+    for (const auto &i : instrs_)
+        if (i.op == op)
+            ++n;
+    return n;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < instrs_.size(); ++i)
+        os << i << ": " << instrs_[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace snap

@@ -1,0 +1,129 @@
+#include "isa/prop_rule.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+bool
+RuleSegment::matches(RelationType r) const
+{
+    return std::find(rels.begin(), rels.end(), r) != rels.end();
+}
+
+void
+PropRule::step(std::uint8_t state, RelationType rel,
+               std::vector<std::uint8_t> &out) const
+{
+    // Epsilon closure: from `state`, star segments may be consumed
+    // zero times, letting the matcher look ahead to later segments.
+    std::uint8_t j = state;
+    while (true) {
+        if (j >= segments.size())
+            break;
+        const RuleSegment &seg = segments[j];
+        if (seg.matches(rel)) {
+            // Star segments loop in place; ONCE segments advance.
+            std::uint8_t next =
+                seg.star ? j : static_cast<std::uint8_t>(j + 1);
+            if (std::find(out.begin(), out.end(), next) == out.end())
+                out.push_back(next);
+        }
+        if (!seg.star)
+            break;  // cannot skip a ONCE segment
+        ++j;
+    }
+}
+
+bool
+PropRule::live(std::uint8_t state) const
+{
+    return state < segments.size();
+}
+
+std::string
+PropRule::toString() const
+{
+    std::ostringstream os;
+    os << name << "[";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i)
+            os << " ";
+        os << "{";
+        for (std::size_t k = 0; k < segments[i].rels.size(); ++k) {
+            if (k)
+                os << ",";
+            os << segments[i].rels[k];
+        }
+        os << "}" << (segments[i].star ? "*" : "");
+    }
+    os << "] max=" << maxSteps;
+    return os.str();
+}
+
+PropRule
+PropRule::seq(RelationType r1, RelationType r2)
+{
+    PropRule rule;
+    rule.name = "seq";
+    rule.segments = {RuleSegment{{r1}, false},
+                     RuleSegment{{r2}, false}};
+    return rule;
+}
+
+PropRule
+PropRule::spread(RelationType r1, RelationType r2)
+{
+    PropRule rule;
+    rule.name = "spread";
+    rule.segments = {RuleSegment{{r1}, true},
+                     RuleSegment{{r2}, true}};
+    return rule;
+}
+
+PropRule
+PropRule::comb(RelationType r1, RelationType r2)
+{
+    PropRule rule;
+    rule.name = "comb";
+    rule.segments = {RuleSegment{{r1, r2}, true}};
+    return rule;
+}
+
+PropRule
+PropRule::chain(RelationType r)
+{
+    PropRule rule;
+    rule.name = "chain";
+    rule.segments = {RuleSegment{{r}, true}};
+    return rule;
+}
+
+PropRule
+PropRule::step1(RelationType r)
+{
+    PropRule rule;
+    rule.name = "step";
+    rule.segments = {RuleSegment{{r}, false}};
+    return rule;
+}
+
+RuleId
+RuleTable::add(PropRule rule)
+{
+    if (rules_.size() >= maxRules) {
+        snap_fatal("rule table overflow: more than %u rules "
+                   "(adding '%s')", maxRules, rule.name.c_str());
+    }
+    snap_assert(!rule.segments.empty(), "rule '%s' has no segments",
+                rule.name.c_str());
+    snap_assert(rule.maxSteps > 0, "rule '%s' with maxSteps=0",
+                rule.name.c_str());
+    rules_.push_back(std::move(rule));
+    return static_cast<RuleId>(rules_.size() - 1);
+}
+
+} // namespace snap

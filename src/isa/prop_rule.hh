@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Propagation rules.
+ *
+ * "Propagation rules have the format of rule-type(r1,r2).  The
+ * pre-defined or custom rule-type guides the flow of markers.  It
+ * specifies a traversal strategy for passing through relations r1 and
+ * r2.  For example, the propagation rule spread(r1,r2) sends markers
+ * along a chain of r1 links until a link of type r2 is encountered at
+ * which time they switch to r2."  (paper §II-B)
+ *
+ * A rule is represented as a short list of *segments*; each segment
+ * names a set of admissible relation types and is traversed either
+ * exactly once (ONCE) or zero-or-more times (STAR).  A propagating
+ * marker carries its current segment index — the machine encodes the
+ * whole rule as a one-byte token because "the microcode table of
+ * propagation rules is downloaded at compile-time" (§III-B), so the
+ * fixed 64-bit activation message only needs (token, state).
+ *
+ * Predefined rule shapes:
+ *   seq(r1,r2)    = [ {r1} ONCE, {r2} ONCE ]
+ *   spread(r1,r2) = [ {r1} STAR, {r2} STAR ]
+ *   comb(r1,r2)   = [ {r1,r2} STAR ]
+ *   chain(r)      = [ {r} STAR ]
+ *   step(r)       = [ {r} ONCE ]
+ */
+
+#ifndef SNAP_ISA_PROP_RULE_HH
+#define SNAP_ISA_PROP_RULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace snap
+{
+
+/** Token identifying a rule in the compiled rule table. */
+using RuleId = std::uint8_t;
+
+constexpr std::uint32_t maxRules = 256;
+
+/** One rule segment: admissible relations + repetition. */
+struct RuleSegment
+{
+    std::vector<RelationType> rels;
+    /** true: zero or more traversals; false: exactly one. */
+    bool star = false;
+
+    bool matches(RelationType r) const;
+};
+
+/**
+ * A compiled propagation rule.
+ */
+struct PropRule
+{
+    std::string name;
+    std::vector<RuleSegment> segments;
+    /**
+     * Hard bound on propagation path length.  The paper reports
+     * maximum path lengths of 10-15 steps (§IV); the bound also
+     * guarantees termination for cyclic networks with
+     * non-monotone value functions.
+     */
+    std::uint32_t maxSteps = 64;
+
+    /** Number of NFA states = segments + accepting tail state. */
+    std::uint8_t numStates() const
+    {
+        return static_cast<std::uint8_t>(segments.size());
+    }
+
+    /**
+     * NFA step: from segment-state @p state, traverse a link of
+     * relation @p rel.  Appends every possible successor state to
+     * @p out (empty means the link is not admissible).
+     *
+     * State i means "segments[0..i-1] consumed, consuming i".
+     */
+    void step(std::uint8_t state, RelationType rel,
+              std::vector<std::uint8_t> &out) const;
+
+    /** True if the rule admits any traversal from @p state. */
+    bool live(std::uint8_t state) const;
+
+    std::string toString() const;
+
+    // --- predefined shapes ------------------------------------------
+
+    static PropRule seq(RelationType r1, RelationType r2);
+    static PropRule spread(RelationType r1, RelationType r2);
+    static PropRule comb(RelationType r1, RelationType r2);
+    static PropRule chain(RelationType r);
+    static PropRule step1(RelationType r);
+};
+
+/**
+ * The compiled rule table downloaded to the machine before execution.
+ */
+class RuleTable
+{
+  public:
+    /** Register a rule; returns its one-byte token. */
+    RuleId add(PropRule rule);
+
+    const PropRule &
+    rule(RuleId id) const
+    {
+        return rules_.at(id);
+    }
+
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(rules_.size());
+    }
+
+  private:
+    std::vector<PropRule> rules_;
+};
+
+} // namespace snap
+
+#endif // SNAP_ISA_PROP_RULE_HH

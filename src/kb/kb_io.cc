@@ -1,0 +1,111 @@
+#include "kb/kb_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace snap
+{
+
+void
+saveNetwork(const SemanticNetwork &net, std::ostream &os)
+{
+    os << "snapkb 1\n";
+    for (NodeId i = 0; i < net.numNodes(); ++i) {
+        os << "node " << net.nodeName(i) << " "
+           << net.colorNames().name(net.color(i)) << "\n";
+    }
+    for (NodeId i = 0; i < net.numNodes(); ++i) {
+        for (const Link &l : net.links(i)) {
+            // %.9g: enough digits to round-trip binary float32.
+            os << "link " << net.nodeName(i) << " "
+               << net.relations().name(l.rel) << " "
+               << net.nodeName(l.dst) << " "
+               << formatString("%.9g", static_cast<double>(l.weight))
+               << "\n";
+        }
+    }
+}
+
+void
+saveNetworkFile(const SemanticNetwork &net, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        snap_fatal("cannot open '%s' for writing", path.c_str());
+    saveNetwork(net, os);
+    if (!os)
+        snap_fatal("write error on '%s'", path.c_str());
+}
+
+SemanticNetwork
+loadNetwork(std::istream &is)
+{
+    SemanticNetwork net;
+    std::string line;
+    int lineno = 0;
+    bool saw_magic = false;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string body = trim(line);
+        std::size_t hash = body.find('#');
+        if (hash != std::string::npos)
+            body = trim(body.substr(0, hash));
+        if (body.empty())
+            continue;
+
+        std::vector<std::string> tok = tokenize(body);
+        if (!saw_magic) {
+            if (tok.size() != 2 || tok[0] != "snapkb" ||
+                tok[1] != "1") {
+                snap_fatal("line %d: expected 'snapkb 1' header",
+                           lineno);
+            }
+            saw_magic = true;
+            continue;
+        }
+
+        if (tok[0] == "node") {
+            if (tok.size() != 3)
+                snap_fatal("line %d: node <name> <color>", lineno);
+            net.addNode(tok[1], tok[2]);
+        } else if (tok[0] == "link") {
+            if (tok.size() != 5) {
+                snap_fatal("line %d: link <src> <rel> <dst> <weight>",
+                           lineno);
+            }
+            NodeId src, dst;
+            if (!net.tryNode(tok[1], src))
+                snap_fatal("line %d: unknown node '%s'", lineno,
+                           tok[1].c_str());
+            if (!net.tryNode(tok[3], dst))
+                snap_fatal("line %d: unknown node '%s'", lineno,
+                           tok[3].c_str());
+            double w;
+            if (!parseDouble(tok[4], w))
+                snap_fatal("line %d: bad weight '%s'", lineno,
+                           tok[4].c_str());
+            net.addLink(src, tok[2], dst, static_cast<float>(w));
+        } else {
+            snap_fatal("line %d: unknown directive '%s'", lineno,
+                       tok[0].c_str());
+        }
+    }
+    if (!saw_magic)
+        snap_fatal("empty knowledge base file");
+    return net;
+}
+
+SemanticNetwork
+loadNetworkFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        snap_fatal("cannot open '%s'", path.c_str());
+    return loadNetwork(is);
+}
+
+} // namespace snap

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text serialization of semantic networks (.snapkb).
+ *
+ * Format (line oriented, '#' comments):
+ *
+ *     snapkb 1
+ *     node <name> <color-name>
+ *     link <src-name> <relation-name> <dst-name> <weight>
+ *
+ * Node lines must precede any link line that references them.
+ */
+
+#ifndef SNAP_KB_KB_IO_HH
+#define SNAP_KB_KB_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "kb/semantic_network.hh"
+
+namespace snap
+{
+
+/** Serialize @p net to @p os. */
+void saveNetwork(const SemanticNetwork &net, std::ostream &os);
+
+/** Serialize to a file; fatal on IO failure. */
+void saveNetworkFile(const SemanticNetwork &net,
+                     const std::string &path);
+
+/**
+ * Parse a network from @p is.  Malformed input is a fatal (user)
+ * error with the offending line number.
+ */
+SemanticNetwork loadNetwork(std::istream &is);
+
+/** Parse from a file; fatal on IO failure. */
+SemanticNetwork loadNetworkFile(const std::string &path);
+
+} // namespace snap
+
+#endif // SNAP_KB_KB_IO_HH

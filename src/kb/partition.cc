@@ -1,0 +1,134 @@
+#include "kb/partition.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+const char *
+partitionStrategyName(PartitionStrategy s)
+{
+    switch (s) {
+      case PartitionStrategy::Sequential: return "sequential";
+      case PartitionStrategy::RoundRobin: return "round-robin";
+      case PartitionStrategy::Semantic: return "semantic";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Order nodes by breadth-first regions: BFS from each unvisited node
+ * in id order, so connected concept neighbourhoods come out adjacent
+ * and land in the same cluster.
+ */
+std::vector<NodeId>
+bfsOrder(const SemanticNetwork &net)
+{
+    std::uint32_t n = net.numNodes();
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<bool> seen(n, false);
+    for (NodeId root = 0; root < n; ++root) {
+        if (seen[root])
+            continue;
+        std::deque<NodeId> q{root};
+        seen[root] = true;
+        while (!q.empty()) {
+            NodeId u = q.front();
+            q.pop_front();
+            order.push_back(u);
+            for (const Link &l : net.links(u)) {
+                if (!seen[l.dst]) {
+                    seen[l.dst] = true;
+                    q.push_back(l.dst);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+Partition
+Partition::build(const SemanticNetwork &net, std::uint32_t num_clusters,
+                 PartitionStrategy strategy,
+                 std::uint32_t max_per_cluster)
+{
+    snap_assert(num_clusters >= 1 &&
+                num_clusters <= capacity::maxClusters,
+                "bad cluster count %u", num_clusters);
+
+    std::uint32_t n = net.numNodes();
+    if (n > static_cast<std::uint64_t>(num_clusters) * max_per_cluster) {
+        snap_fatal("knowledge base of %u nodes exceeds %u clusters x "
+                   "%u nodes", n, num_clusters, max_per_cluster);
+    }
+
+    Partition part;
+    part.numClusters_ = num_clusters;
+    part.placements_.resize(n);
+    part.clusterNodes_.resize(num_clusters);
+
+    auto assign = [&](NodeId node, ClusterId c) {
+        auto &v = part.clusterNodes_[c];
+        snap_assert(v.size() < max_per_cluster,
+                    "cluster %u overflow", c);
+        part.placements_[node] =
+            Placement{c, static_cast<LocalNodeId>(v.size())};
+        v.push_back(node);
+    };
+
+    switch (strategy) {
+      case PartitionStrategy::Sequential: {
+        // Contiguous blocks of ceil(n/P) ids.
+        std::uint32_t block = (n + num_clusters - 1) / num_clusters;
+        if (block == 0)
+            block = 1;
+        for (NodeId i = 0; i < n; ++i)
+            assign(i, std::min(i / block, num_clusters - 1));
+        break;
+      }
+      case PartitionStrategy::RoundRobin: {
+        for (NodeId i = 0; i < n; ++i)
+            assign(i, i % num_clusters);
+        break;
+      }
+      case PartitionStrategy::Semantic: {
+        std::vector<NodeId> order = bfsOrder(net);
+        std::uint32_t block = (n + num_clusters - 1) / num_clusters;
+        if (block == 0)
+            block = 1;
+        for (std::uint32_t i = 0; i < order.size(); ++i)
+            assign(order[i], std::min(i / block, num_clusters - 1));
+        break;
+      }
+    }
+    return part;
+}
+
+double
+Partition::localityFraction(const SemanticNetwork &net,
+                            const Partition &part)
+{
+    std::uint64_t local = 0;
+    std::uint64_t total = 0;
+    for (NodeId u = 0; u < net.numNodes(); ++u) {
+        ClusterId cu = part.place(u).cluster;
+        for (const Link &l : net.links(u)) {
+            ++total;
+            if (part.place(l.dst).cluster == cu)
+                ++local;
+        }
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(local) /
+                        static_cast<double>(total);
+}
+
+} // namespace snap

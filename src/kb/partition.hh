@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Knowledge-base partitioning across clusters.
+ *
+ * "A partitioning function is applied to divide the network into
+ * regions.  Each region is allocated to a cluster which processes all
+ * of its concepts, relations, and markers.  The mapping function is
+ * variable with up to 1024 nodes per cluster using sequential,
+ * round-robin, or semantically-based allocation."  (paper §II-A)
+ */
+
+#ifndef SNAP_KB_PARTITION_HH
+#define SNAP_KB_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "kb/semantic_network.hh"
+
+namespace snap
+{
+
+/** Node-to-cluster allocation policy. */
+enum class PartitionStrategy
+{
+    /** Contiguous blocks of node IDs per cluster. */
+    Sequential,
+    /** Node i goes to cluster i mod P. */
+    RoundRobin,
+    /**
+     * Semantically-based: breadth-first regions of the network graph
+     * are kept together so related concepts share a cluster and most
+     * propagation stays local.
+     */
+    Semantic
+};
+
+const char *partitionStrategyName(PartitionStrategy s);
+
+/** Where one node lives in the array. */
+struct Placement
+{
+    ClusterId cluster;
+    LocalNodeId local;
+};
+
+/**
+ * Immutable result of partitioning a network over @p num_clusters
+ * clusters.
+ */
+class Partition
+{
+  public:
+    /**
+     * Partition @p net across @p num_clusters clusters.
+     *
+     * @param max_per_cluster capacity limit (architecturally 1024);
+     *        exceeding it is a fatal (user) error.
+     */
+    static Partition build(const SemanticNetwork &net,
+                           std::uint32_t num_clusters,
+                           PartitionStrategy strategy,
+                           std::uint32_t max_per_cluster =
+                               capacity::maxNodesPerCluster);
+
+    std::uint32_t numClusters() const { return numClusters_; }
+
+    Placement
+    place(NodeId node) const
+    {
+        snap_assert(node < placements_.size(),
+                    "place(%u) out of %zu", node, placements_.size());
+        return placements_[node];
+    }
+
+    /** Nodes resident in @p cluster, ordered by local id. */
+    const std::vector<NodeId> &
+    clusterNodes(ClusterId cluster) const
+    {
+        snap_assert(cluster < numClusters_, "cluster %u out of %u",
+                    cluster, numClusters_);
+        return clusterNodes_[cluster];
+    }
+
+    std::uint32_t
+    clusterSize(ClusterId cluster) const
+    {
+        return static_cast<std::uint32_t>(
+            clusterNodes(cluster).size());
+    }
+
+    /** Global node at (cluster, local). */
+    NodeId
+    nodeAt(ClusterId cluster, LocalNodeId local) const
+    {
+        const auto &v = clusterNodes(cluster);
+        snap_assert(local < v.size(), "local %u out of %zu in c%u",
+                    local, v.size(), cluster);
+        return v[local];
+    }
+
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(placements_.size());
+    }
+
+    /** Fraction of links whose endpoints share a cluster. */
+    static double localityFraction(const SemanticNetwork &net,
+                                   const Partition &part);
+
+  private:
+    Partition() = default;
+
+    std::uint32_t numClusters_ = 0;
+    std::vector<Placement> placements_;
+    std::vector<std::vector<NodeId>> clusterNodes_;
+};
+
+} // namespace snap
+
+#endif // SNAP_KB_PARTITION_HH

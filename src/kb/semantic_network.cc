@@ -1,0 +1,98 @@
+#include "kb/semantic_network.hh"
+
+#include <algorithm>
+
+namespace snap
+{
+
+SemanticNetwork::SemanticNetwork()
+    : names_("node", capacity::maxNodes),
+      relations_("relation", capacity::numRelationTypes),
+      colorNames_("color", capacity::numColors)
+{
+    // Color 0 is the generic "concept" color so nodes created without
+    // an explicit color are well-defined.
+    colorNames_.intern("concept");
+}
+
+NodeId
+SemanticNetwork::addNode(const std::string &name,
+                         const std::string &color_name)
+{
+    return addNode(name, colorNames_.intern(color_name));
+}
+
+NodeId
+SemanticNetwork::addNode(const std::string &name, Color color)
+{
+    if (names_.contains(name))
+        snap_fatal("duplicate node name '%s'", name.c_str());
+    NodeId id = names_.intern(name);
+    snap_assert(id == colors_.size(), "node table out of sync");
+    colors_.push_back(color);
+    links_.emplace_back();
+    return id;
+}
+
+void
+SemanticNetwork::addLink(NodeId src, const std::string &rel_name,
+                         NodeId dst, float weight)
+{
+    addLink(src, relations_.intern(rel_name), dst, weight);
+}
+
+void
+SemanticNetwork::addLink(NodeId src, RelationType rel, NodeId dst,
+                         float weight)
+{
+    checkNode(src);
+    checkNode(dst);
+    links_[src].push_back(Link{rel, dst, weight});
+    ++numLinks_;
+}
+
+bool
+SemanticNetwork::removeLink(NodeId src, RelationType rel, NodeId dst)
+{
+    checkNode(src);
+    auto &ls = links_[src];
+    auto it = std::find_if(ls.begin(), ls.end(),
+        [&](const Link &l) { return l.rel == rel && l.dst == dst; });
+    if (it == ls.end())
+        return false;
+    ls.erase(it);
+    --numLinks_;
+    return true;
+}
+
+void
+SemanticNetwork::setColor(NodeId node, Color color)
+{
+    checkNode(node);
+    colors_[node] = color;
+}
+
+bool
+SemanticNetwork::setWeight(NodeId src, RelationType rel, NodeId dst,
+                           float weight)
+{
+    checkNode(src);
+    for (Link &l : links_[src]) {
+        if (l.rel == rel && l.dst == dst) {
+            l.weight = weight;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+SemanticNetwork::maxFanout() const
+{
+    std::size_t best = 0;
+    for (const auto &ls : links_)
+        best = std::max(best, ls.size());
+    return static_cast<std::uint32_t>(best);
+}
+
+} // namespace snap

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The semantic network knowledge base (logical level).
+ *
+ * Nodes represent concepts, links represent typed weighted relations
+ * between them, and each node carries a color naming its concept
+ * class (paper §I-B).  This class is the *logical* network the
+ * programmer sees: fanout is unbounded here.  The hardware's 16-slot
+ * relation rows and subnode splitting are applied when the network is
+ * compiled into per-cluster tables (arch/kb_image).
+ */
+
+#ifndef SNAP_KB_SEMANTIC_NETWORK_HH
+#define SNAP_KB_SEMANTIC_NETWORK_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "kb/symbols.hh"
+
+namespace snap
+{
+
+/** One outgoing typed, weighted link. */
+struct Link
+{
+    RelationType rel;
+    NodeId dst;
+    float weight;
+
+    bool
+    operator==(const Link &o) const
+    {
+        return rel == o.rel && dst == o.dst && weight == o.weight;
+    }
+};
+
+/**
+ * Logical semantic network: named, colored nodes with typed links.
+ */
+class SemanticNetwork
+{
+  public:
+    SemanticNetwork();
+
+    // --- construction -------------------------------------------------
+
+    /**
+     * Add a node.  @p color_name is interned.
+     * @return the new node's id.
+     */
+    NodeId addNode(const std::string &name,
+                   const std::string &color_name = "concept");
+
+    /** Add a node with an already-interned color. */
+    NodeId addNode(const std::string &name, Color color);
+
+    /**
+     * Add a link; relation name is interned.  Corresponds to the
+     * CREATE instruction's effect at KB-build time.
+     */
+    void addLink(NodeId src, const std::string &rel_name, NodeId dst,
+                 float weight = 0.0f);
+
+    /** Add a link with an already-interned relation type. */
+    void addLink(NodeId src, RelationType rel, NodeId dst,
+                 float weight = 0.0f);
+
+    /**
+     * Remove the first link matching (src, rel, dst).
+     * @return true if a link was removed.
+     */
+    bool removeLink(NodeId src, RelationType rel, NodeId dst);
+
+    /** Change a node's color (SET-COLOR). */
+    void setColor(NodeId node, Color color);
+
+    /**
+     * Update the weight of the first (src, rel, dst) link
+     * (SET-WEIGHT).  @return true if the link was found.
+     */
+    bool setWeight(NodeId src, RelationType rel, NodeId dst,
+                   float weight);
+
+    // --- access --------------------------------------------------------
+
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(colors_.size());
+    }
+
+    std::uint64_t numLinks() const { return numLinks_; }
+
+    Color color(NodeId node) const
+    {
+        checkNode(node);
+        return colors_[node];
+    }
+
+    const std::string &nodeName(NodeId node) const
+    {
+        checkNode(node);
+        return names_.name(node);
+    }
+
+    /** Outgoing links of a node. */
+    std::span<const Link> links(NodeId node) const
+    {
+        checkNode(node);
+        return {links_[node].data(), links_[node].size()};
+    }
+
+    std::uint32_t fanout(NodeId node) const
+    {
+        checkNode(node);
+        return static_cast<std::uint32_t>(links_[node].size());
+    }
+
+    /** Largest fanout over all nodes. */
+    std::uint32_t maxFanout() const;
+
+    /** Find a node by name; fatal if absent. */
+    NodeId node(const std::string &name) const
+    {
+        return names_.lookup(name);
+    }
+
+    bool tryNode(const std::string &name, NodeId &out) const
+    {
+        return names_.tryLookup(name, out);
+    }
+
+    bool hasNode(const std::string &name) const
+    {
+        return names_.contains(name);
+    }
+
+    // --- symbol registries ----------------------------------------------
+
+    SymbolTable<RelationType> &relations() { return relations_; }
+    const SymbolTable<RelationType> &relations() const
+    {
+        return relations_;
+    }
+
+    SymbolTable<Color> &colorNames() { return colorNames_; }
+    const SymbolTable<Color> &colorNames() const { return colorNames_; }
+
+    /** Intern a relation name. */
+    RelationType relation(const std::string &name)
+    {
+        return relations_.intern(name);
+    }
+
+    /** Look up an existing relation name (fatal if absent). */
+    RelationType relationId(const std::string &name) const
+    {
+        return relations_.lookup(name);
+    }
+
+  private:
+    void
+    checkNode(NodeId node) const
+    {
+        snap_assert(node < colors_.size(), "node id %u out of %zu",
+                    node, colors_.size());
+    }
+
+    SymbolTable<NodeId> names_;
+    SymbolTable<RelationType> relations_;
+    SymbolTable<Color> colorNames_;
+    std::vector<Color> colors_;
+    std::vector<std::vector<Link>> links_;
+    std::uint64_t numLinks_ = 0;
+};
+
+} // namespace snap
+
+#endif // SNAP_KB_SEMANTIC_NETWORK_HH

@@ -1,0 +1,182 @@
+#include "nlu/corpus.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace snap
+{
+
+std::string
+Sentence::text() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (i)
+            os << " ";
+        os << words[i];
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Die unless every word of @p s is in the lexicon. */
+void
+checkCovered(const Lexicon &lex, const Sentence &s)
+{
+    for (const auto &w : s.words) {
+        if (!lex.contains(w))
+            snap_fatal("corpus word '%s' missing from lexicon",
+                       w.c_str());
+    }
+}
+
+} // namespace
+
+std::vector<Sentence>
+makeMuc4Sentences(const Lexicon &lex)
+{
+    std::vector<Sentence> out;
+
+    out.push_back(Sentence{
+        "S1",
+        {"the", "guerrillas", "attacked", "the", "embassy", "in",
+         "salvador", "yesterday"}});
+
+    out.push_back(Sentence{
+        "S2",
+        {"several", "armed", "rebels", "bombed", "the", "police",
+         "station", "near", "the", "capital", "of", "guatemala",
+         "tuesday", "morning"}});
+
+    out.push_back(Sentence{
+        "S3",
+        {"the", "terrorists", "kidnapped", "the", "mayor", "of",
+         "the", "village", "with", "rifles", "in", "the", "province",
+         "yesterday", "and", "the", "police", "reported", "the",
+         "attack", "today", "morning"}});
+
+    out.push_back(Sentence{
+        "S4",
+        {"several", "urban", "commandos", "assassinated", "the",
+         "local", "judge", "near", "the", "military",
+         "headquarters", "in", "lima", "yesterday", "and",
+         "insurgents", "destroyed", "the", "pipeline", "with",
+         "dynamite", "near", "the", "bridge", "in", "the",
+         "province", "tuesday", "night", "today"}});
+
+    // Words "and" / "attack" are not in the core: extend here so the
+    // sentences are self-consistent with any lexicon built on it.
+    // (They are added to the lexicon by construction below.)
+    for (auto &s : out) {
+        for (auto &w : s.words) {
+            if (!lex.contains(w)) {
+                // Substitute with a covered synonym.
+                if (w == "and")
+                    w = "with";
+                else if (w == "attack")
+                    w = "bomb";
+            }
+        }
+        checkCovered(lex, s);
+    }
+
+    snap_assert(out[0].length() == 8 && out[1].length() == 14 &&
+                out[2].length() == 22 && out[3].length() == 30,
+                "S1-S4 lengths drifted");
+    return out;
+}
+
+std::vector<Sentence>
+makeNewswireBatch(const Lexicon &lex, std::uint32_t count,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto orgs = lex.wordsOf(SemField::Organization);
+    auto acts = lex.wordsOf(SemField::AttackAct);
+    auto people = lex.wordsOf(SemField::Person);
+    auto buildings = lex.wordsOf(SemField::Building);
+    auto places = lex.wordsOf(SemField::Location);
+    auto times = lex.wordsOf(SemField::Time);
+    auto adjs = lex.wordsOf(WordClass::Adjective);
+    snap_assert(!orgs.empty() && !acts.empty() && !people.empty() &&
+                !buildings.empty() && !places.empty() &&
+                !times.empty() && !adjs.empty(),
+                "lexicon lacks domain coverage");
+
+    auto pick = [&](const std::vector<std::string> &v) {
+        return v[rng.below(v.size())];
+    };
+
+    std::vector<Sentence> out;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Sentence s;
+        s.id = "N" + std::to_string(i);
+        // Clause 1: <det> [adj] <org> <act> the <victim> ...
+        s.words.push_back("the");
+        if (rng.chance(0.5))
+            s.words.push_back(pick(adjs));
+        s.words.push_back(pick(orgs));
+        s.words.push_back(pick(acts));
+        s.words.push_back("the");
+        s.words.push_back(rng.chance(0.5) ? pick(people)
+                                          : pick(buildings));
+        s.words.push_back("in");
+        s.words.push_back("the");
+        s.words.push_back(pick(places));
+        s.words.push_back(pick(times));
+        // Optional clause 2.
+        if (rng.chance(0.6)) {
+            s.words.push_back("with");
+            s.words.push_back("the");
+            if (rng.chance(0.5))
+                s.words.push_back(pick(adjs));
+            s.words.push_back(pick(orgs));
+            s.words.push_back(pick(acts));
+            s.words.push_back("the");
+            s.words.push_back(pick(buildings));
+            s.words.push_back("near");
+            s.words.push_back(pick(places));
+            if (rng.chance(0.5))
+                s.words.push_back(pick(times));
+        }
+        checkCovered(lex, s);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<std::vector<std::string>>
+makeSpeechLattice(const Lexicon &lex, std::uint32_t positions,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto nouns = lex.wordsOf(WordClass::Noun);
+    auto verbs = lex.wordsOf(WordClass::Verb);
+    snap_assert(nouns.size() >= 4 && verbs.size() >= 4,
+                "lexicon too small for lattice");
+
+    std::vector<std::vector<std::string>> lattice;
+    for (std::uint32_t p = 0; p < positions; ++p) {
+        const auto &pool = (p % 3 == 1) ? verbs : nouns;
+        std::uint32_t hyps = 1 + static_cast<std::uint32_t>(
+            rng.below(3));  // 1..3 hypotheses
+        std::vector<std::string> alt;
+        for (std::uint32_t h = 0; h < hyps; ++h) {
+            std::string w = pool[rng.below(pool.size())];
+            bool dup = false;
+            for (const auto &x : alt)
+                if (x == w)
+                    dup = true;
+            if (!dup)
+                alt.push_back(w);
+        }
+        lattice.push_back(std::move(alt));
+    }
+    return lattice;
+}
+
+} // namespace snap

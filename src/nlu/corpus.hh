@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic newswire corpus.
+ *
+ * The paper evaluates parsing on MUC-4 newswire sentences (Table III
+ * lists S1-S4; Table IV reports their parse times).  The MUC-4 corpus
+ * is not redistributable, so this module generates deterministic
+ * substitute sentences from the domain lexicon: S1-S4 of increasing
+ * word count (the paper's observation "overall execution time is
+ * roughly proportional to the sentence length in words" is about
+ * length), plus batches of random template sentences for the
+ * KB-size sweeps.
+ */
+
+#ifndef SNAP_NLU_CORPUS_HH
+#define SNAP_NLU_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlu/lexicon.hh"
+
+namespace snap
+{
+
+/** One input sentence. */
+struct Sentence
+{
+    std::string id;
+    std::vector<std::string> words;
+
+    std::uint32_t length() const
+    {
+        return static_cast<std::uint32_t>(words.size());
+    }
+
+    std::string text() const;
+};
+
+/**
+ * The four benchmark sentences S1-S4 (8, 14, 22, and 30 words), all
+ * covered by the given lexicon's domain core.
+ */
+std::vector<Sentence> makeMuc4Sentences(const Lexicon &lex);
+
+/**
+ * A batch of @p count random template sentences (10-28 words) for
+ * bulk-text experiments.
+ */
+std::vector<Sentence> makeNewswireBatch(const Lexicon &lex,
+                                        std::uint32_t count,
+                                        std::uint64_t seed);
+
+/**
+ * A speech-style word lattice: per position, 1-4 alternative word
+ * hypotheses (the PASS workload shape used for the β statistics).
+ */
+std::vector<std::vector<std::string>>
+makeSpeechLattice(const Lexicon &lex, std::uint32_t positions,
+                  std::uint64_t seed);
+
+} // namespace snap
+
+#endif // SNAP_NLU_CORPUS_HH

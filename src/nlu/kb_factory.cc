@@ -1,0 +1,241 @@
+#include "nlu/kb_factory.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace snap
+{
+
+LinguisticKb::LinguisticKb(LinguisticKbParams params)
+    : params_(params), lex_(params.vocabulary)
+{
+    snap_assert(params_.nonlexicalNodes >= 200,
+                "linguistic KB needs >= 200 nonlexical nodes");
+    snap_assert(params_.elementsPerSequence >= 2,
+                "sequences need >= 2 elements");
+
+    relMeans_ = net_.relation("means");
+    relSyn_ = net_.relation("syn");
+    relIsA_ = net_.relation("is-a");
+    relIncludes_ = net_.relation("includes");
+    relExpects_ = net_.relation("expects");
+    relExpectedBy_ = net_.relation("expected-by");
+    relNext_ = net_.relation("next");
+    relFirst_ = net_.relation("first");
+    relPartOf_ = net_.relation("part-of");
+
+    colorLexical_ = net_.colorNames().intern("lexical");
+    colorType_ = net_.colorNames().intern("concept-type");
+    colorSyntax_ = net_.colorNames().intern("syntax");
+    colorCsRoot_ = net_.colorNames().intern("cs-root");
+    colorCsElem_ = net_.colorNames().intern("cs-element");
+
+    // Paper proportions over the nonlexical budget: 75% concept
+    // sequences, 15% type hierarchy, 5% syntax, 5% auxiliary.
+    buildHierarchy();
+    buildSyntax();
+    buildSequences();
+    buildLexical();
+}
+
+void
+LinguisticKb::buildHierarchy()
+{
+    numTypes_ = params_.nonlexicalNodes * 15 / 100;
+    if (numTypes_ <
+        static_cast<std::uint32_t>(SemField::NumFields) + 1) {
+        numTypes_ = static_cast<std::uint32_t>(SemField::NumFields) +
+                    1;
+    }
+
+    typeNodes_.reserve(numTypes_);
+    for (std::uint32_t i = 0; i < numTypes_; ++i) {
+        typeNodes_.push_back(net_.addNode(
+            "type" + std::to_string(i), colorType_));
+    }
+    Rng wrng(params_.seed * 104729 + 3);
+    std::uint32_t b = params_.hierarchyBranching;
+    for (std::uint32_t i = 1; i < numTypes_; ++i) {
+        std::uint32_t parent = (i - 1) / b;
+        // Subsumption costs vary per link: the belief values the
+        // markers accumulate are continuous, not a few discrete
+        // classes.
+        auto w = static_cast<float>(wrng.uniform(0.12, 0.3));
+        net_.addLink(typeNodes_[i], relIsA_, typeNodes_[parent], w);
+        net_.addLink(typeNodes_[parent], relIncludes_, typeNodes_[i],
+                     w);
+    }
+
+    // The first NumFields children of the root anchor the semantic
+    // fields; every field's vocabulary maps into that subtree.
+    auto nf = static_cast<std::uint32_t>(SemField::NumFields);
+    fieldTypes_.resize(nf);
+    for (std::uint32_t f = 0; f < nf; ++f)
+        fieldTypes_[f] = typeNodes_[1 + f];
+}
+
+void
+LinguisticKb::buildSyntax()
+{
+    numSyntax_ = params_.nonlexicalNodes * 5 / 100;
+    auto nc = static_cast<std::uint32_t>(WordClass::NumClasses);
+    if (numSyntax_ < nc)
+        numSyntax_ = nc;
+
+    syntaxNodes_.reserve(numSyntax_);
+    // One class node per word class, then filler pattern nodes
+    // chained into the class nodes (phrase patterns).
+    for (std::uint32_t c = 0; c < nc; ++c) {
+        syntaxNodes_.push_back(net_.addNode(
+            std::string("syn-") +
+                wordClassName(static_cast<WordClass>(c)),
+            colorSyntax_));
+    }
+    for (std::uint32_t i = nc; i < numSyntax_; ++i) {
+        NodeId pat = net_.addNode("syn" + std::to_string(i),
+                                  colorSyntax_);
+        net_.addLink(pat, relIsA_, syntaxNodes_[i % nc], 0.2f);
+        syntaxNodes_.push_back(pat);
+    }
+}
+
+void
+LinguisticKb::buildSequences()
+{
+    std::uint32_t seq_budget = params_.nonlexicalNodes * 75 / 100;
+    std::uint32_t per_seq = params_.elementsPerSequence + 1;
+    std::uint32_t num_seq = seq_budget / per_seq;
+    if (num_seq < 4)
+        num_seq = 4;
+
+    Rng rng(params_.seed * 7919 + 13);
+    auto nf = static_cast<std::uint32_t>(SemField::NumFields);
+
+    // Template sequences first: the event patterns the corpus
+    // sentences instantiate (agent, act, object, location / time).
+    // Random sequences after them are the competing hypotheses whose
+    // cancellation traffic grows with KB size (Fig. 20).
+    const SemField templ[][4] = {
+        {SemField::Organization, SemField::AttackAct,
+         SemField::Person, SemField::Location},
+        {SemField::Organization, SemField::AttackAct,
+         SemField::Building, SemField::Time},
+        {SemField::Organization, SemField::AttackAct,
+         SemField::Weapon, SemField::Location},
+        {SemField::Person, SemField::AttackAct,
+         SemField::Building, SemField::Time},
+    };
+
+    for (std::uint32_t s = 0; s < num_seq; ++s) {
+        NodeId root = net_.addNode("cs" + std::to_string(s),
+                                   colorCsRoot_);
+        roots_.push_back(root);
+        ++numRoots_;
+
+        NodeId prev = invalidNode;
+        for (std::uint32_t e = 0; e < params_.elementsPerSequence;
+             ++e) {
+            NodeId elem = net_.addNode(
+                "cs" + std::to_string(s) + "e" + std::to_string(e),
+                colorCsElem_);
+            ++numElements_;
+
+            if (e == 0)
+                net_.addLink(root, relFirst_, elem, 0.2f);
+            else
+                net_.addLink(prev, relNext_, elem, 0.3f);
+            net_.addLink(elem, relPartOf_, root, 1.0f);
+
+            // Constraint: what concept type fills this element.
+            // Template sequences expect the field anchors; the bulk
+            // of sequences expect types spread over the whole
+            // hierarchy, with a light bias toward anchors so that
+            // hypothesis competition (and cancel traffic) exists
+            // without every word activating hundreds of elements.
+            NodeId type;
+            if (s < 4 && e < 4) {
+                type = fieldTypes_[static_cast<std::size_t>(
+                    templ[s][e])];
+            } else if (e == 1 && rng.chance(0.08)) {
+                type = fieldTypes_[static_cast<std::size_t>(
+                    SemField::AttackAct)];
+            } else if (rng.chance(0.05)) {
+                type = fieldTypes_[rng.below(nf)];
+            } else {
+                // Constraints live below the field anchors: no
+                // sequence expects "entity" (the root) or the
+                // anchors themselves except through the biased
+                // paths above — otherwise one element would collect
+                // every word's activation.
+                std::size_t lo = 1 + nf;
+                type = typeNodes_[lo + rng.below(
+                    typeNodes_.size() - lo)];
+            }
+            auto wexp = static_cast<float>(rng.uniform(0.35, 0.65));
+            net_.addLink(elem, relExpects_, type, wexp);
+            net_.addLink(type, relExpectedBy_, elem, wexp);
+            prev = elem;
+        }
+    }
+
+    // Auxiliary concept storage (5%): time-case style attachments.
+    numAux_ = params_.nonlexicalNodes * 5 / 100;
+    RelationType aux_of = net_.relation("aux-of");
+    RelationType has_aux = net_.relation("has-aux");
+    for (std::uint32_t a = 0; a < numAux_; ++a) {
+        NodeId aux = net_.addNode("aux" + std::to_string(a));
+        NodeId root = roots_[rng.below(roots_.size())];
+        net_.addLink(aux, aux_of, root, 0.1f);
+        net_.addLink(root, has_aux, aux, 0.1f);
+    }
+}
+
+void
+LinguisticKb::buildLexical()
+{
+    Rng rng(params_.seed * 31337 + 7);
+    wordNodes_.reserve(lex_.size());
+
+    // Per-field type pools: a word means some type inside its
+    // field's subtree (one or two levels below the anchor).
+    auto subtree_pick = [&](SemField f) -> NodeId {
+        NodeId anchor = fieldTypes_[static_cast<std::size_t>(f)];
+        // Walk down `includes` a random number of steps.
+        NodeId cur = anchor;
+        std::uint32_t hops = static_cast<std::uint32_t>(
+            rng.below(3));
+        for (std::uint32_t h = 0; h < hops; ++h) {
+            std::vector<NodeId> kids;
+            for (const Link &l : net_.links(cur))
+                if (l.rel == relIncludes_)
+                    kids.push_back(l.dst);
+            if (kids.empty())
+                break;
+            cur = kids[rng.below(kids.size())];
+        }
+        return cur;
+    };
+
+    for (std::uint32_t i = 0; i < lex_.size(); ++i) {
+        const LexEntry &e = lex_.entry(i);
+        NodeId w = net_.addNode(e.word, colorLexical_);
+        wordNodes_.push_back(w);
+        net_.addLink(w, relMeans_,
+                     subtree_pick(e.field),
+                     static_cast<float>(rng.uniform(0.05, 0.2)));
+        net_.addLink(
+            w, relSyn_,
+            syntaxNodes_[static_cast<std::size_t>(e.wclass)], 0.1f);
+    }
+}
+
+NodeId
+LinguisticKb::wordNode(const std::string &word) const
+{
+    NodeId id;
+    if (!net_.tryNode(word, id))
+        snap_fatal("word '%s' is not in the lexicon", word.c_str());
+    return id;
+}
+
+} // namespace snap

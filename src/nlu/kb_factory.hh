@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Layered linguistic knowledge base (paper Fig. 1).
+ *
+ * Three layers over the lexicon: "1) the lexical layer at the bottom
+ * of the hierarchy, 2) semantic and syntactic constraints in the
+ * middle, and 3) concept sequences at the highest layer."  Node
+ * budget follows the paper's proportions for the 20K-concept SNAP
+ * knowledge base: "Roughly 15K nodes (75%) represent basic concept
+ * sequences, 3K (15%) compose the concept-type hierarchy, 1K (5%)
+ * form syntactic patterns, and 1K (5%) are used for auxiliary
+ * concept storage."
+ *
+ * Wiring (relations):
+ *   word --means--> concept type        (lexical -> semantic)
+ *   word --syn--> syntax class          (lexical -> syntactic)
+ *   type --is-a--> supertype            (hierarchy, upward)
+ *   supertype --includes--> type        (hierarchy, downward)
+ *   type --expected-by--> cs-element    (constraint, upward)
+ *   cs-element --expects--> type        (constraint, downward)
+ *   cs-element --next--> cs-element     (sequence order)
+ *   cs-root --first--> cs-element       (sequence entry)
+ *   cs-element --part-of--> cs-root     (element binding)
+ */
+
+#ifndef SNAP_NLU_KB_FACTORY_HH
+#define SNAP_NLU_KB_FACTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/semantic_network.hh"
+#include "nlu/lexicon.hh"
+
+namespace snap
+{
+
+/** Generation parameters. */
+struct LinguisticKbParams
+{
+    /** Non-lexical concept budget (the "knowledge base size" of the
+     *  KB-size sweeps: 5K and 9K in Table IV). */
+    std::uint32_t nonlexicalNodes = 5000;
+    /** Vocabulary size (lexical layer). */
+    std::uint32_t vocabulary = 800;
+    /** Elements per basic concept sequence. */
+    std::uint32_t elementsPerSequence = 4;
+    /** Concept-type hierarchy branching factor. */
+    std::uint32_t hierarchyBranching = 4;
+    /** Generator seed. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * The generated knowledge base plus the handles the parser needs.
+ */
+class LinguisticKb
+{
+  public:
+    explicit LinguisticKb(LinguisticKbParams params);
+
+    SemanticNetwork &net() { return net_; }
+    const SemanticNetwork &net() const { return net_; }
+    const Lexicon &lexicon() const { return lex_; }
+    const LinguisticKbParams &params() const { return params_; }
+
+    /** Lexical node of @p word; fatal if unknown. */
+    NodeId wordNode(const std::string &word) const;
+
+    /** Concept-type node associated with a semantic field (roots of
+     *  field subtrees). */
+    NodeId fieldType(SemField field) const
+    {
+        return fieldTypes_.at(static_cast<std::size_t>(field));
+    }
+
+    // --- relations -----------------------------------------------------
+    RelationType relMeans() const { return relMeans_; }
+    RelationType relSyn() const { return relSyn_; }
+    RelationType relIsA() const { return relIsA_; }
+    RelationType relIncludes() const { return relIncludes_; }
+    RelationType relExpects() const { return relExpects_; }
+    RelationType relExpectedBy() const { return relExpectedBy_; }
+    RelationType relNext() const { return relNext_; }
+    RelationType relFirst() const { return relFirst_; }
+    RelationType relPartOf() const { return relPartOf_; }
+
+    // --- colors -----------------------------------------------------------
+    Color colorLexical() const { return colorLexical_; }
+    Color colorType() const { return colorType_; }
+    Color colorSyntax() const { return colorSyntax_; }
+    Color colorCsRoot() const { return colorCsRoot_; }
+    Color colorCsElem() const { return colorCsElem_; }
+
+    // --- layer inventory -----------------------------------------------
+    std::uint32_t numTypes() const { return numTypes_; }
+    std::uint32_t numSyntax() const { return numSyntax_; }
+    std::uint32_t numRoots() const { return numRoots_; }
+    std::uint32_t numElements() const { return numElements_; }
+    std::uint32_t numAux() const { return numAux_; }
+
+    const std::vector<NodeId> &rootNodes() const { return roots_; }
+
+  private:
+    void buildSyntax();
+    void buildHierarchy();
+    void buildSequences();
+    void buildLexical();
+
+    LinguisticKbParams params_;
+    Lexicon lex_;
+    SemanticNetwork net_;
+
+    RelationType relMeans_, relSyn_, relIsA_, relIncludes_;
+    RelationType relExpects_, relExpectedBy_, relNext_, relFirst_;
+    RelationType relPartOf_;
+    Color colorLexical_, colorType_, colorSyntax_;
+    Color colorCsRoot_, colorCsElem_;
+
+    std::uint32_t numTypes_ = 0;
+    std::uint32_t numSyntax_ = 0;
+    std::uint32_t numRoots_ = 0;
+    std::uint32_t numElements_ = 0;
+    std::uint32_t numAux_ = 0;
+
+    std::vector<NodeId> typeNodes_;
+    std::vector<NodeId> syntaxNodes_;
+    std::vector<NodeId> roots_;
+    std::vector<NodeId> fieldTypes_;
+    std::vector<NodeId> wordNodes_;
+};
+
+} // namespace snap
+
+#endif // SNAP_NLU_KB_FACTORY_HH

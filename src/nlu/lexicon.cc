@@ -1,0 +1,186 @@
+#include "nlu/lexicon.hh"
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+const char *
+wordClassName(WordClass c)
+{
+    switch (c) {
+      case WordClass::Noun: return "noun";
+      case WordClass::Verb: return "verb";
+      case WordClass::Adjective: return "adjective";
+      case WordClass::Determiner: return "determiner";
+      case WordClass::Preposition: return "preposition";
+      case WordClass::ProperName: return "proper-name";
+      case WordClass::TimeWord: return "time-word";
+      default: return "?";
+    }
+}
+
+const char *
+semFieldName(SemField f)
+{
+    switch (f) {
+      case SemField::Organization: return "organization";
+      case SemField::Person: return "person";
+      case SemField::AttackAct: return "attack-act";
+      case SemField::Weapon: return "weapon";
+      case SemField::Building: return "building";
+      case SemField::Location: return "location";
+      case SemField::Time: return "time";
+      case SemField::Generic: return "generic";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+struct CoreWord
+{
+    const char *word;
+    WordClass wclass;
+    SemField field;
+};
+
+// Curated MUC-4-style core: enough coverage for the synthetic
+// newswire templates in nlu/corpus.
+const CoreWord coreWords[] = {
+    // Organizations / actors
+    {"guerrillas", WordClass::Noun, SemField::Organization},
+    {"rebels", WordClass::Noun, SemField::Organization},
+    {"terrorists", WordClass::Noun, SemField::Organization},
+    {"extremists", WordClass::Noun, SemField::Organization},
+    {"commandos", WordClass::Noun, SemField::Organization},
+    {"insurgents", WordClass::Noun, SemField::Organization},
+    {"fmln", WordClass::ProperName, SemField::Organization},
+    {"cartel", WordClass::Noun, SemField::Organization},
+    // People / victims
+    {"mayor", WordClass::Noun, SemField::Person},
+    {"judge", WordClass::Noun, SemField::Person},
+    {"priest", WordClass::Noun, SemField::Person},
+    {"civilians", WordClass::Noun, SemField::Person},
+    {"soldiers", WordClass::Noun, SemField::Person},
+    {"peasants", WordClass::Noun, SemField::Person},
+    {"journalist", WordClass::Noun, SemField::Person},
+    {"ambassador", WordClass::Noun, SemField::Person},
+    // Attack acts
+    {"attacked", WordClass::Verb, SemField::AttackAct},
+    {"bombed", WordClass::Verb, SemField::AttackAct},
+    {"kidnapped", WordClass::Verb, SemField::AttackAct},
+    {"murdered", WordClass::Verb, SemField::AttackAct},
+    {"assassinated", WordClass::Verb, SemField::AttackAct},
+    {"ambushed", WordClass::Verb, SemField::AttackAct},
+    {"destroyed", WordClass::Verb, SemField::AttackAct},
+    {"injured", WordClass::Verb, SemField::AttackAct},
+    // Weapons
+    {"bomb", WordClass::Noun, SemField::Weapon},
+    {"dynamite", WordClass::Noun, SemField::Weapon},
+    {"rifles", WordClass::Noun, SemField::Weapon},
+    {"grenade", WordClass::Noun, SemField::Weapon},
+    // Buildings / targets
+    {"embassy", WordClass::Noun, SemField::Building},
+    {"headquarters", WordClass::Noun, SemField::Building},
+    {"station", WordClass::Noun, SemField::Building},
+    {"bridge", WordClass::Noun, SemField::Building},
+    {"pipeline", WordClass::Noun, SemField::Building},
+    {"office", WordClass::Noun, SemField::Building},
+    // Locations
+    {"salvador", WordClass::ProperName, SemField::Location},
+    {"lima", WordClass::ProperName, SemField::Location},
+    {"bogota", WordClass::ProperName, SemField::Location},
+    {"guatemala", WordClass::ProperName, SemField::Location},
+    {"province", WordClass::Noun, SemField::Location},
+    {"capital", WordClass::Noun, SemField::Location},
+    {"village", WordClass::Noun, SemField::Location},
+    // Time words
+    {"yesterday", WordClass::TimeWord, SemField::Time},
+    {"today", WordClass::TimeWord, SemField::Time},
+    {"morning", WordClass::TimeWord, SemField::Time},
+    {"tuesday", WordClass::TimeWord, SemField::Time},
+    {"night", WordClass::TimeWord, SemField::Time},
+    // Function words and modifiers
+    {"the", WordClass::Determiner, SemField::Generic},
+    {"a", WordClass::Determiner, SemField::Generic},
+    {"several", WordClass::Determiner, SemField::Generic},
+    {"in", WordClass::Preposition, SemField::Generic},
+    {"near", WordClass::Preposition, SemField::Generic},
+    {"with", WordClass::Preposition, SemField::Generic},
+    {"of", WordClass::Preposition, SemField::Generic},
+    {"armed", WordClass::Adjective, SemField::Generic},
+    {"urban", WordClass::Adjective, SemField::Generic},
+    {"local", WordClass::Adjective, SemField::Generic},
+    {"military", WordClass::Adjective, SemField::Generic},
+    {"police", WordClass::Noun, SemField::Person},
+    {"reported", WordClass::Verb, SemField::Generic},
+    {"announced", WordClass::Verb, SemField::Generic},
+};
+
+constexpr std::uint32_t numCore =
+    sizeof(coreWords) / sizeof(coreWords[0]);
+
+} // namespace
+
+Lexicon::Lexicon(std::uint32_t size)
+{
+    if (size < numCore) {
+        snap_fatal("lexicon size %u below the %u-word domain core",
+                   size, numCore);
+    }
+    entries_.reserve(size);
+    for (const CoreWord &cw : coreWords)
+        entries_.push_back(LexEntry{cw.word, cw.wclass, cw.field});
+
+    // Synthetic filler cycling through classes/fields so the padded
+    // vocabulary keeps a realistic composition.
+    const WordClass classes[] = {WordClass::Noun, WordClass::Verb,
+                                 WordClass::Noun,
+                                 WordClass::Adjective,
+                                 WordClass::Noun,
+                                 WordClass::ProperName};
+    const SemField fields[] = {SemField::Generic, SemField::Person,
+                               SemField::Organization,
+                               SemField::Generic, SemField::Building,
+                               SemField::Location};
+    for (std::uint32_t i = numCore; i < size; ++i) {
+        LexEntry e;
+        e.word = "w" + std::to_string(i);
+        e.wclass = classes[i % 6];
+        e.field = fields[i % 6];
+        entries_.push_back(std::move(e));
+    }
+}
+
+std::int32_t
+Lexicon::find(const std::string &word) const
+{
+    for (std::uint32_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].word == word)
+            return static_cast<std::int32_t>(i);
+    return -1;
+}
+
+std::vector<std::string>
+Lexicon::wordsOf(SemField field) const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_)
+        if (e.field == field)
+            out.push_back(e.word);
+    return out;
+}
+
+std::vector<std::string>
+Lexicon::wordsOf(WordClass wclass) const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_)
+        if (e.wclass == wclass)
+            out.push_back(e.word);
+    return out;
+}
+
+} // namespace snap

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Vocabulary for the NLU application.
+ *
+ * The paper's knowledge base covered "terrorism in Latin America"
+ * newswire (the MUC-4 domain) with a 10,000-word lexicon.  The
+ * original corpus and lexicon are not available, so this module
+ * generates a deterministic substitute: a curated core of domain
+ * words (organizations, attack verbs, victims, places, time words,
+ * function words) padded with synthetic filler words up to the
+ * requested vocabulary size.  What matters for the timing behaviour
+ * is preserved: every word is a lexical node wired into the layers
+ * above (DESIGN.md substitution table).
+ */
+
+#ifndef SNAP_NLU_LEXICON_HH
+#define SNAP_NLU_LEXICON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snap
+{
+
+/** Syntactic word class. */
+enum class WordClass : std::uint8_t
+{
+    Noun,
+    Verb,
+    Adjective,
+    Determiner,
+    Preposition,
+    ProperName,
+    TimeWord,
+
+    NumClasses
+};
+
+const char *wordClassName(WordClass c);
+
+/** Semantic field a content word belongs to. */
+enum class SemField : std::uint8_t
+{
+    Organization,
+    Person,
+    AttackAct,
+    Weapon,
+    Building,
+    Location,
+    Time,
+    Generic,
+
+    NumFields
+};
+
+const char *semFieldName(SemField f);
+
+/** One vocabulary entry. */
+struct LexEntry
+{
+    std::string word;
+    WordClass wclass = WordClass::Noun;
+    SemField field = SemField::Generic;
+};
+
+/**
+ * Deterministic vocabulary: curated domain core plus synthetic
+ * filler.
+ */
+class Lexicon
+{
+  public:
+    /** Build a vocabulary of exactly @p size words (>= core size). */
+    explicit Lexicon(std::uint32_t size = 800);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+    const LexEntry &entry(std::uint32_t i) const
+    {
+        return entries_.at(i);
+    }
+
+    const std::vector<LexEntry> &entries() const { return entries_; }
+
+    /** Index of @p word, or -1. */
+    std::int32_t find(const std::string &word) const;
+
+    bool contains(const std::string &word) const
+    {
+        return find(word) >= 0;
+    }
+
+    /** All words of one semantic field (corpus generation). */
+    std::vector<std::string> wordsOf(SemField field) const;
+    std::vector<std::string> wordsOf(WordClass wclass) const;
+
+  private:
+    std::vector<LexEntry> entries_;
+};
+
+} // namespace snap
+
+#endif // SNAP_NLU_LEXICON_HH

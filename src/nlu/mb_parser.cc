@@ -1,0 +1,508 @@
+#include "nlu/mb_parser.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "runtime/validate.hh"
+
+namespace snap
+{
+
+MemoryBasedParser::MemoryBasedParser(LinguisticKb &kb)
+    : kb_(kb), phrasal_(kb.lexicon())
+{
+}
+
+MemoryBasedParser::Rules
+MemoryBasedParser::makeRules(Program &prog) const
+{
+    Rules r;
+    PropRule lex = PropRule::spread(kb_.relMeans(), kb_.relIsA());
+    lex.maxSteps = 24;
+    r.lex = prog.addRule(std::move(lex));
+
+    PropRule syn = PropRule::seq(kb_.relSyn(), kb_.relIsA());
+    syn.maxSteps = 4;
+    r.syn = prog.addRule(std::move(syn));
+
+    PropRule expect = PropRule::step1(kb_.relExpectedBy());
+    r.expect = prog.addRule(std::move(expect));
+
+    PropRule root = PropRule::step1(kb_.relPartOf());
+    r.root = prog.addRule(std::move(root));
+
+    PropRule down;
+    down.name = "cancel-down";
+    down.segments = {RuleSegment{{kb_.relFirst()}, false},
+                     RuleSegment{{kb_.relNext()}, true}};
+    down.maxSteps = 16;
+    r.down = prog.addRule(std::move(down));
+    return r;
+}
+
+void
+MemoryBasedParser::wordBlock(Program &prog,
+                             const std::vector<NodeId> &group) const
+{
+    snap_assert(!group.empty() && group.size() <= wordsPerEpoch,
+                "word group of %zu", group.size());
+    auto bank = [](std::size_t k, std::uint32_t off) {
+        return static_cast<MarkerId>(bankBase + 4 * k + off);
+    };
+
+    // L1: activate every word's lexical node.
+    for (std::size_t k = 0; k < group.size(); ++k)
+        prog.append(Instruction::searchNode(group[k], bank(k, 0),
+                                            0.0f));
+    // L2/L3: overlapped semantic and syntactic propagation for the
+    // whole group (2 x group-size independent PROPAGATEs).
+    for (std::size_t k = 0; k < group.size(); ++k) {
+        prog.append(Instruction::propagate(bank(k, 0), bank(k, 1),
+                                           rules_.lex,
+                                           MarkerFunc::AddWeight));
+        prog.append(Instruction::propagate(bank(k, 0), bank(k, 3),
+                                           rules_.syn,
+                                           MarkerFunc::AddWeight));
+    }
+    prog.append(Instruction::barrier());
+    // L4: constraint check per word — which concept-sequence
+    // elements expect one of the activated types.
+    for (std::size_t k = 0; k < group.size(); ++k) {
+        prog.append(Instruction::propagate(bank(k, 1), bank(k, 2),
+                                           rules_.expect,
+                                           MarkerFunc::AddWeight));
+    }
+    prog.append(Instruction::barrier());
+    // L5: accumulate element votes across words, plus syntactic
+    // bookkeeping, then reset the banks.
+    for (std::size_t k = 0; k < group.size(); ++k) {
+        prog.append(Instruction::orMarker(bank(k, 2), mFilled,
+                                          mFilled, CombineOp::Sum));
+        prog.append(Instruction::orMarker(bank(k, 3), mTemp, mTemp,
+                                          CombineOp::Max));
+        for (std::uint32_t off = 0; off < 4; ++off)
+            prog.append(Instruction::clearMarker(bank(k, off)));
+    }
+    // Incremental hypothesis scoring: re-evaluate concept-sequence
+    // roots from the accumulated element votes after every word
+    // group (the big-α propagation that dominates DMSNAP profiles;
+    // part-of links carry weight 1.0, MulWeight merges by max).
+    prog.append(Instruction::propagate(mFilled, mScore, rules_.root,
+                                       MarkerFunc::MulWeight));
+    // Close the epoch: the next block's propagates deliver into the
+    // markers just cleared, and remote deliveries must not land on a
+    // cluster that has not executed the clears yet (the backward
+    // hazard the validator checks).
+    prog.append(Instruction::barrier());
+}
+
+void
+MemoryBasedParser::resolutionBlock(Program &prog) const
+{
+    // Score roots from their elements: part-of links carry weight
+    // 1.0 and MulWeight merges by max, so a root's score is its
+    // best element's accumulated vote.
+    prog.append(Instruction::propagate(mFilled, mScore, rules_.root,
+                                       MarkerFunc::MulWeight));
+    prog.append(Instruction::barrier());
+
+    // Keep the full candidate set, then threshold the scores.
+    prog.append(Instruction::orMarker(mScore, mScore, mAll,
+                                      CombineOp::First));
+    prog.append(Instruction::funcMarker(
+        mScore,
+        ScalarFunc{ScalarFunc::Op::ThresholdGe, threshold_}));
+
+    // Cancel markers: candidates that failed the threshold.
+    prog.append(Instruction::notMarker(mScore, mCancel));
+    prog.append(Instruction::andMarker(mAll, mCancel, mCancel,
+                                       CombineOp::First));
+    // Sweep the rejected hypotheses' elements (multiple-hypothesis
+    // resolution: this propagation count grows with KB size).
+    prog.append(Instruction::propagate(mCancel, mCancelEl,
+                                       rules_.down,
+                                       MarkerFunc::None));
+    prog.append(Instruction::barrier());
+    // Remove cancelled elements from the vote accumulator.
+    prog.append(Instruction::notMarker(mCancelEl, mTemp));
+    prog.append(Instruction::andMarker(mFilled, mTemp, mFilled,
+                                       CombineOp::First));
+    prog.append(Instruction::clearMarker(mCancel));
+    prog.append(Instruction::clearMarker(mCancelEl));
+    prog.append(Instruction::clearMarker(mTemp));
+}
+
+Program
+MemoryBasedParser::buildProgram(
+    const std::vector<Phrase> &phrases) const
+{
+    Program prog;
+    rules_ = makeRules(prog);
+
+    // Initial state: clear the cross-word accumulators.
+    prog.append(Instruction::clearMarker(mFilled));
+    prog.append(Instruction::clearMarker(mScore));
+    prog.append(Instruction::clearMarker(mAll));
+    prog.append(Instruction::clearMarker(mTemp));
+
+    for (const Phrase &ph : phrases) {
+        // Words process in overlapped groups: the paper's window.
+        for (std::size_t i = 0; i < ph.words.size();
+             i += wordsPerEpoch) {
+            std::vector<NodeId> group;
+            for (std::size_t k = i;
+                 k < ph.words.size() && k < i + wordsPerEpoch; ++k)
+                group.push_back(kb_.wordNode(ph.words[k]));
+            wordBlock(prog, group);
+        }
+    }
+
+    resolutionBlock(prog);
+
+    // Retrieval: surviving candidates to the host.
+    prog.append(Instruction::collectMarker(mScore));
+    return prog;
+}
+
+Program
+MemoryBasedParser::buildProgram(
+    const std::vector<std::string> &words) const
+{
+    PhrasalResult pr = phrasal_.parse(words);
+    return buildProgram(pr.phrases);
+}
+
+Program
+MemoryBasedParser::buildLatticeProgram(
+    const std::vector<std::vector<std::string>> &lattice) const
+{
+    Program prog;
+    rules_ = makeRules(prog);
+
+    prog.append(Instruction::clearMarker(mFilled));
+    prog.append(Instruction::clearMarker(mScore));
+    prog.append(Instruction::clearMarker(mAll));
+    prog.append(Instruction::clearMarker(mTemp));
+
+    // Marker bank for hypothesis words: 10.. in pairs.
+    for (const auto &alternatives : lattice) {
+        snap_assert(!alternatives.empty(), "empty lattice position");
+        snap_assert(14 + 3 * alternatives.size() <=
+                    capacity::numComplexMarkers,
+                    "too many hypotheses per position");
+        // Activate every hypothesis...
+        for (std::size_t h = 0; h < alternatives.size(); ++h) {
+            auto mw = static_cast<MarkerId>(14 + 3 * h);
+            prog.append(Instruction::searchNode(
+                kb_.wordNode(alternatives[h]), mw, 0.0f));
+        }
+        // ... then propagate all of them overlapped, semantic and
+        // syntactic streams per hypothesis (β grows as 2x the
+        // number of hypotheses — the PASS regime).
+        for (std::size_t h = 0; h < alternatives.size(); ++h) {
+            auto mw = static_cast<MarkerId>(14 + 3 * h);
+            auto mt = static_cast<MarkerId>(14 + 3 * h + 1);
+            auto msy = static_cast<MarkerId>(14 + 3 * h + 2);
+            prog.append(Instruction::propagate(
+                mw, mt, rules_.lex, MarkerFunc::AddWeight));
+            prog.append(Instruction::propagate(
+                mw, msy, rules_.syn, MarkerFunc::AddWeight));
+        }
+        prog.append(Instruction::barrier());
+        // Merge hypothesis activations, then the usual constraint
+        // step.
+        for (std::size_t h = 0; h < alternatives.size(); ++h) {
+            auto mt = static_cast<MarkerId>(14 + 3 * h + 1);
+            prog.append(Instruction::orMarker(mt, mTypes, mTypes,
+                                              CombineOp::Min));
+        }
+        prog.append(Instruction::propagate(mTypes, mExpect,
+                                           rules_.expect,
+                                           MarkerFunc::AddWeight));
+        prog.append(Instruction::barrier());
+        prog.append(Instruction::orMarker(mExpect, mFilled, mFilled,
+                                          CombineOp::Sum));
+        prog.append(Instruction::clearMarker(mTypes));
+        prog.append(Instruction::clearMarker(mExpect));
+        for (std::size_t h = 0; h < alternatives.size(); ++h) {
+            prog.append(Instruction::clearMarker(
+                static_cast<MarkerId>(14 + 3 * h)));
+            prog.append(Instruction::clearMarker(
+                static_cast<MarkerId>(14 + 3 * h + 1)));
+            prog.append(Instruction::clearMarker(
+                static_cast<MarkerId>(14 + 3 * h + 2)));
+        }
+        prog.append(Instruction::barrier());
+    }
+
+    resolutionBlock(prog);
+    prog.append(Instruction::collectMarker(mScore));
+    return prog;
+}
+
+Program
+MemoryBasedParser::buildCancelProgram(float theta) const
+{
+    Program prog;
+    rules_ = makeRules(prog);
+    prog.append(Instruction::funcMarker(
+        mScore, ScalarFunc{ScalarFunc::Op::ThresholdGe, theta}));
+    prog.append(Instruction::notMarker(mScore, mCancel));
+    prog.append(Instruction::andMarker(mAll, mCancel, mCancel,
+                                       CombineOp::First));
+    prog.append(Instruction::propagate(mCancel, mCancelEl,
+                                       rules_.down,
+                                       MarkerFunc::None));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::notMarker(mCancelEl, mTemp));
+    prog.append(Instruction::andMarker(mFilled, mTemp, mFilled,
+                                       CombineOp::First));
+    prog.append(Instruction::clearMarker(mCancel));
+    prog.append(Instruction::clearMarker(mCancelEl));
+    prog.append(Instruction::clearMarker(mTemp));
+    prog.append(Instruction::collectMarker(mScore));
+    return prog;
+}
+
+MemoryBasedParser::RecognitionOutcome
+MemoryBasedParser::recognizeLattice(
+    SnapMachine &machine,
+    const std::vector<std::vector<std::string>> &lattice) const
+{
+    RecognitionOutcome out;
+
+    // Reset the cross-position accumulators.
+    Program init;
+    rules_ = makeRules(init);
+    init.append(Instruction::clearMarker(mFilled));
+    init.append(Instruction::clearMarker(mScore));
+    init.append(Instruction::clearMarker(mAll));
+    init.append(Instruction::clearMarker(mTemp));
+    init.append(Instruction::barrier());
+    RunResult irun = machine.run(init);
+    out.machineTime += irun.wallTicks;
+    out.instructions += init.size();
+
+    // Per position (PCP host loop): activate every hypothesis,
+    // propagate its semantic stream, retrieve each one's support at
+    // the concept-sequence elements, and decide.
+    for (const auto &alternatives : lattice) {
+        snap_assert(!alternatives.empty(), "empty lattice position");
+        std::size_t nh = alternatives.size();
+        snap_assert(bankBase + 3 * nh <= capacity::numComplexMarkers,
+                    "too many hypotheses per position");
+
+        Program prog;
+        rules_ = makeRules(prog);
+        auto mw = [&](std::size_t h) {
+            return static_cast<MarkerId>(bankBase + 3 * h);
+        };
+        auto mt = [&](std::size_t h) {
+            return static_cast<MarkerId>(bankBase + 3 * h + 1);
+        };
+        auto me = [&](std::size_t h) {
+            return static_cast<MarkerId>(bankBase + 3 * h + 2);
+        };
+
+        for (std::size_t h = 0; h < nh; ++h) {
+            prog.append(Instruction::searchNode(
+                kb_.wordNode(alternatives[h]), mw(h), 0.0f));
+        }
+        for (std::size_t h = 0; h < nh; ++h) {
+            prog.append(Instruction::propagate(
+                mw(h), mt(h), rules_.lex, MarkerFunc::AddWeight));
+        }
+        prog.append(Instruction::barrier());
+        for (std::size_t h = 0; h < nh; ++h) {
+            prog.append(Instruction::propagate(
+                mt(h), me(h), rules_.expect,
+                MarkerFunc::AddWeight));
+        }
+        prog.append(Instruction::barrier());
+        for (std::size_t h = 0; h < nh; ++h)
+            prog.append(Instruction::collectMarker(me(h)));
+        requireRaceFree(prog);
+
+        RunResult run = machine.run(prog);
+        out.machineTime += run.wallTicks;
+        out.instructions += prog.size();
+
+        // Decide: the hypothesis with the strongest semantic
+        // support (sum of element votes; ties go to the earlier
+        // hypothesis, typically the acoustically better one).
+        std::size_t best_h = 0;
+        float best_support = -1.0f;
+        for (std::size_t h = 0; h < nh; ++h) {
+            float support = 0;
+            for (const CollectedNode &c : run.results[h].nodes)
+                support += c.value;
+            if (support > best_support) {
+                best_support = support;
+                best_h = h;
+            }
+        }
+        out.words.push_back(alternatives[best_h]);
+        out.scores.push_back(best_support);
+
+        // Keep the winner's votes; drop the losers; reset banks.
+        Program commit;
+        rules_ = makeRules(commit);
+        commit.append(Instruction::orMarker(me(best_h), mFilled,
+                                            mFilled,
+                                            CombineOp::Sum));
+        for (std::size_t h = 0; h < nh; ++h) {
+            commit.append(Instruction::clearMarker(mw(h)));
+            commit.append(Instruction::clearMarker(mt(h)));
+            commit.append(Instruction::clearMarker(me(h)));
+        }
+        commit.append(Instruction::barrier());
+        RunResult crun = machine.run(commit);
+        out.machineTime += crun.wallTicks;
+        out.instructions += commit.size();
+    }
+
+    // Sentence-level resolution over the accumulated votes.
+    Program resolve;
+    rules_ = makeRules(resolve);
+    resolutionBlock(resolve);
+    resolve.append(Instruction::collectMarker(mScore));
+    requireRaceFree(resolve);
+    RunResult rrun = machine.run(resolve);
+    out.machineTime += rrun.wallTicks;
+    out.instructions += resolve.size();
+    for (const CollectedNode &c : rrun.results.back().nodes) {
+        if (out.bestRoot == invalidNode || c.value > out.bestScore) {
+            out.bestRoot = c.node;
+            out.bestScore = c.value;
+        }
+    }
+    return out;
+}
+
+std::vector<MemoryBasedParser::TemplateSlot>
+MemoryBasedParser::extractMeaning(SnapMachine &machine,
+                                  NodeId root) const
+{
+    snap_assert(root != invalidNode, "extractMeaning without a root");
+
+    // Host-level relation handles for binding.
+    RelationType filled_by = kb_.net().relation("filled-by");
+    RelationType instance_of = kb_.net().relation("instance-of");
+
+    Program prog;
+    rules_ = makeRules(prog);
+    // Reuse bank 0's word marker as scratch (parse is finished).
+    constexpr MarkerId mRoot = bankBase;
+    constexpr MarkerId mElems = bankBase + 1;
+
+    prog.append(Instruction::clearMarker(mRoot));
+    prog.append(Instruction::clearMarker(mElems));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::searchNode(root, mRoot, 0.0f));
+    // Walk the winning sequence: first, then the next chain.
+    prog.append(Instruction::propagate(mRoot, mElems, rules_.down,
+                                       MarkerFunc::None));
+    prog.append(Instruction::barrier());
+    // Bind the sequence's elements to the root: the paper's marker
+    // node maintenance ("nodes with the specified marker are linked
+    // to an end-node by creating a forward-relation or
+    // reverse-relation between them").
+    prog.append(Instruction::markerCreate(mElems, instance_of, root,
+                                          filled_by));
+    prog.append(Instruction::barrier());
+    // Retrieve each element's slot constraint and its vote state.
+    prog.append(Instruction::collectRelation(mElems,
+                                             kb_.relExpects()));
+    prog.append(Instruction::collectMarker(mFilled));
+    prog.append(Instruction::clearMarker(mRoot));
+    prog.append(Instruction::clearMarker(mElems));
+    requireRaceFree(prog);
+
+    RunResult run = machine.run(prog);
+    snap_assert(run.results.size() == 2, "extraction collects");
+
+    const CollectResult &slots = run.results[0];
+    const CollectResult &votes = run.results[1];
+
+    std::vector<TemplateSlot> out;
+    for (const CollectedLink &l : slots.links) {
+        TemplateSlot slot;
+        slot.element = l.src;
+        slot.expectedType = l.dst;
+        for (const CollectedNode &v : votes.nodes) {
+            if (v.node == l.src) {
+                slot.filled = true;
+                slot.score = v.value;
+                break;
+            }
+        }
+        out.push_back(slot);
+    }
+    return out;
+}
+
+ParseOutcome
+MemoryBasedParser::parseOn(SnapMachine &machine,
+                           const Sentence &sentence) const
+{
+    PhrasalResult pr = phrasal_.parse(sentence.words);
+    Program prog = buildProgram(pr.phrases);
+    requireRaceFree(prog);
+
+    RunResult run = machine.run(prog);
+
+    ParseOutcome out;
+    out.ppTime = pr.time;
+    out.mbTime = run.wallTicks;
+    out.instructions = prog.size();
+    out.stats = run.stats;
+
+    snap_assert(!run.results.empty(), "parse without a collect");
+    out.candidates = run.results.back().nodes;
+
+    // Multiple-hypothesis resolution (host loop on the PCP): while
+    // too many candidate sequences survive, raise the acceptance
+    // threshold to the current candidates' median score and cancel
+    // the rejected hypotheses' markers.  Each round roughly halves
+    // the field, so the number of cancel propagations grows with the
+    // knowledge-base size (Fig. 20).
+    while (out.candidates.size() > maxCandidates_ &&
+           out.cancelRounds < maxCancelRounds_) {
+        std::vector<float> scores;
+        scores.reserve(out.candidates.size());
+        for (const CollectedNode &c : out.candidates)
+            scores.push_back(c.value);
+        std::nth_element(scores.begin(),
+                         scores.begin() + scores.size() / 2,
+                         scores.end());
+        float theta = scores[scores.size() / 2] + 1e-4f;
+        Program cancel = buildCancelProgram(theta);
+        requireRaceFree(cancel);
+        RunResult round = machine.run(cancel);
+        out.mbTime += round.wallTicks;
+        out.instructions += cancel.size();
+        out.stats.merge(round.stats);
+        ++out.cancelRounds;
+        std::vector<CollectedNode> prev =
+            std::move(out.candidates);
+        out.candidates = round.results.back().nodes;
+        if (out.candidates.empty()) {
+            // Over-tightened: the host accepts the previous set.
+            out.candidates = std::move(prev);
+            break;
+        }
+        if (out.candidates.size() >= prev.size())
+            break;  // threshold no longer biting: accept
+    }
+
+    for (const CollectedNode &c : out.candidates) {
+        if (out.bestRoot == invalidNode || c.value > out.bestScore ||
+            (c.value == out.bestScore && c.node < out.bestRoot)) {
+            out.bestRoot = c.node;
+            out.bestScore = c.value;
+        }
+    }
+    return out;
+}
+
+} // namespace snap

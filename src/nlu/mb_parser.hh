@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The memory-based parser.
+ *
+ * Emits the SNAP instruction stream that parses a sentence by marker
+ * propagation over the layered knowledge base (the paper's Fig. 5
+ * pattern, DMSNAP-style):
+ *
+ *   per word:    activate the lexical node, propagate through the
+ *                semantic (means / is-a*) and syntactic (syn / is-a)
+ *                layers, mark the concept-sequence elements whose
+ *                constraints the word satisfies, and accumulate
+ *                element votes;
+ *   resolution:  score concept-sequence roots from their elements,
+ *                threshold candidates, and propagate cancel markers
+ *                through the rejected hypotheses (the multiple-
+ *                hypothesis resolution whose cost grows with KB
+ *                size, Fig. 20);
+ *   retrieval:   COLLECT the surviving roots; the host picks the
+ *                best-scoring one.
+ *
+ * Its machine time is the "M.B. time" column of Table IV.
+ */
+
+#ifndef SNAP_NLU_MB_PARSER_HH
+#define SNAP_NLU_MB_PARSER_HH
+
+#include <cstdint>
+
+#include "arch/machine.hh"
+#include "isa/program.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/phrasal_parser.hh"
+
+namespace snap
+{
+
+/** What a parse produced. */
+struct ParseOutcome
+{
+    /** Winning concept-sequence root (invalidNode if none). */
+    NodeId bestRoot = invalidNode;
+    float bestScore = 0.0f;
+    /** Surviving candidates (the final collect). */
+    std::vector<CollectedNode> candidates;
+
+    /** Phrasal-parser (serial, controller) time. */
+    Tick ppTime = 0;
+    /** Memory-based (array) time, all resolution rounds included. */
+    Tick mbTime = 0;
+    /** SNAP instructions executed (all rounds). */
+    std::size_t instructions = 0;
+    /** Extra cancel rounds beyond the base program ("more
+     *  irrelevant candidates become activated which must be removed
+     *  by propagating cancel markers", Fig. 20). */
+    std::uint32_t cancelRounds = 0;
+    /** Machine statistics accumulated over every issued program. */
+    ExecBreakdown stats;
+
+    double ppMs() const { return ticksToMs(ppTime); }
+    double mbMs() const { return ticksToMs(mbTime); }
+    double totalMs() const { return ticksToMs(ppTime + mbTime); }
+};
+
+class MemoryBasedParser
+{
+  public:
+    explicit MemoryBasedParser(LinguisticKb &kb);
+
+    /** Build the SNAP program parsing @p phrases. */
+    Program buildProgram(const std::vector<Phrase> &phrases) const;
+
+    /** Build a program for one flat word sequence. */
+    Program buildProgram(const std::vector<std::string> &words) const;
+
+    /**
+     * Speech-lattice program: per position, every hypothesis word
+     * activates and propagates independently — the high-β PASS-style
+     * workload of §II-C.
+     */
+    Program buildLatticeProgram(
+        const std::vector<std::vector<std::string>> &lattice) const;
+
+    /** Outcome of lattice recognition. */
+    struct RecognitionOutcome
+    {
+        /** Per-position winning hypothesis. */
+        std::vector<std::string> words;
+        /** Per-position winner's semantic support score. */
+        std::vector<float> scores;
+        /** Machine time over all positions. */
+        Tick machineTime = 0;
+        /** SNAP instructions executed. */
+        std::size_t instructions = 0;
+        /** Winning concept sequence after the final parse. */
+        NodeId bestRoot = invalidNode;
+        float bestScore = 0.0f;
+    };
+
+    /**
+     * Speech recognition over a word lattice (the PASS workload):
+     * per position, every hypothesis activates and propagates
+     * concurrently; the host retrieves each hypothesis's semantic
+     * support (how strongly concept-sequence elements expect its
+     * meaning) and keeps the best word, accumulating its votes into
+     * the sentence-level parse.
+     */
+    RecognitionOutcome recognizeLattice(
+        SnapMachine &machine,
+        const std::vector<std::vector<std::string>> &lattice) const;
+
+    /**
+     * Full pipeline on the machine: phrasal parse (serial), the
+     * memory-based program run, then host-driven multiple-hypothesis
+     * resolution — while too many candidate sequences survive, the
+     * host tightens the threshold and issues another cancel program
+     * (the PCP loop whose propagation count grows with knowledge-
+     * base size, Fig. 20).  The knowledge base must already be
+     * loaded into @p machine.
+     */
+    ParseOutcome parseOn(SnapMachine &machine,
+                         const Sentence &sentence) const;
+
+    /** One host-driven cancel round at threshold @p theta. */
+    Program buildCancelProgram(float theta) const;
+
+    /** One filled slot of an extracted event template. */
+    struct TemplateSlot
+    {
+        /** The concept-sequence element. */
+        NodeId element = invalidNode;
+        /** The concept type the element expects (the slot's role
+         *  filler constraint). */
+        NodeId expectedType = invalidNode;
+        /** Whether the parse actually filled this element. */
+        bool filled = false;
+        /** Accumulated vote when filled. */
+        float score = 0.0f;
+    };
+
+    /**
+     * Extract the meaning of a parse ("generates the meaning of the
+     * sentence as output", §IV): walk the winning concept sequence,
+     * bind its filled elements to the root with MARKER-CREATE
+     * ("marker node maintenance instructions bind together concepts
+     * which have been marked"), and return the slot structure.
+     *
+     * Must run right after parseOn() on the same machine: it reads
+     * the surviving mFilled votes.
+     */
+    std::vector<TemplateSlot> extractMeaning(SnapMachine &machine,
+                                             NodeId root) const;
+
+    /** Candidate-score threshold used in resolution. */
+    float threshold() const { return threshold_; }
+
+    /** Candidates accepted without further cancel rounds. */
+    std::uint32_t maxCandidates() const { return maxCandidates_; }
+
+  private:
+    /**
+     * Append the activation block for a group of up to wordsPerEpoch
+     * words.  Each word gets its own marker bank and its semantic +
+     * syntactic propagations overlap with the others' — the
+     * β-parallelism the paper measures between overlapped PROPAGATE
+     * statements (DMSNAP-style programs reach β of 2.3-5).
+     */
+    void wordBlock(Program &prog,
+                   const std::vector<NodeId> &group) const;
+
+    /** Words activated concurrently per epoch. */
+    static constexpr std::size_t wordsPerEpoch = 3;
+    /** Append the resolution + retrieval block. */
+    void resolutionBlock(Program &prog) const;
+    /** Register the parser's propagation rules on @p prog. */
+    struct Rules
+    {
+        RuleId lex;    ///< spread(means, is-a)
+        RuleId syn;    ///< seq(syn, is-a)
+        RuleId expect; ///< step(expected-by)
+        RuleId root;   ///< step(part-of)
+        RuleId down;   ///< [first once, next star] — cancel sweep
+    };
+    Rules makeRules(Program &prog) const;
+
+    LinguisticKb &kb_;
+    PhrasalParser phrasal_;
+    float threshold_ = 0.6f;
+    std::uint32_t maxCandidates_ = 3;
+    std::uint32_t maxCancelRounds_ = 12;
+
+    // Marker assignments (all complex).
+    static constexpr MarkerId mWord = 0;     ///< lexical activation
+    static constexpr MarkerId mTypes = 1;    ///< semantic activation
+    static constexpr MarkerId mExpect = 2;   ///< expecting elements
+    static constexpr MarkerId mFilled = 3;   ///< element vote accum
+    static constexpr MarkerId mScore = 4;    ///< root scores
+    static constexpr MarkerId mAll = 5;      ///< pre-threshold roots
+    static constexpr MarkerId mCancel = 6;   ///< rejected roots
+    static constexpr MarkerId mSyn = 7;      ///< syntactic activation
+    static constexpr MarkerId mTemp = 8;     ///< scratch
+    static constexpr MarkerId mCancelEl = 9; ///< cancelled elements
+    // Word banks (one per concurrently processed word): bank k uses
+    // markers bankBase + 4k .. bankBase + 4k + 3 for
+    // (word, types, expect, syn).
+    static constexpr MarkerId bankBase = 10;
+
+    // Ephemeral rules cache (rebuilt per program).
+    mutable Rules rules_{};
+};
+
+} // namespace snap
+
+#endif // SNAP_NLU_MB_PARSER_HH

@@ -1,0 +1,37 @@
+#include "nlu/phrasal_parser.hh"
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+PhrasalResult
+PhrasalParser::parse(const std::vector<std::string> &words) const
+{
+    PhrasalResult res;
+    Phrase current;
+    for (const std::string &w : words) {
+        std::int32_t idx = lex_.find(w);
+        if (idx < 0)
+            snap_fatal("phrasal parser: unknown word '%s'",
+                       w.c_str());
+        WordClass wc = lex_.entry(static_cast<std::uint32_t>(idx))
+                           .wclass;
+        bool opens = wc == WordClass::Determiner ||
+                     wc == WordClass::Preposition ||
+                     wc == WordClass::Verb;
+        if (opens && !current.words.empty()) {
+            res.phrases.push_back(std::move(current));
+            current = Phrase{};
+        }
+        current.words.push_back(w);
+    }
+    if (!current.words.empty())
+        res.phrases.push_back(std::move(current));
+
+    res.time = static_cast<Tick>(words.size()) * cyclesPerWord_ *
+               period_;
+    return res;
+}
+
+} // namespace snap

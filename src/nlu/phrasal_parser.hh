@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The phrasal parser.
+ *
+ * "The phrasal parser is a serial program that executes on the
+ * controller and thus its processing time is relatively independent
+ * of knowledge base size.  The role of the phrasal parser is to break
+ * down the input sentence into subparts which can be handled by the
+ * memory-based parser."  (paper §IV)
+ *
+ * Implementation: deterministic chunking — a new phrase opens at
+ * every determiner, preposition, or verb — with a serial cost per
+ * word at the controller clock.  Its time is the "P.P. time" column
+ * of Table IV.
+ */
+
+#ifndef SNAP_NLU_PHRASAL_PARSER_HH
+#define SNAP_NLU_PHRASAL_PARSER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "nlu/lexicon.hh"
+
+namespace snap
+{
+
+/** One phrase produced by segmentation. */
+struct Phrase
+{
+    std::vector<std::string> words;
+};
+
+/** Segmentation result plus serial processing time. */
+struct PhrasalResult
+{
+    std::vector<Phrase> phrases;
+    Tick time = 0;
+
+    double timeMs() const { return ticksToMs(time); }
+};
+
+class PhrasalParser
+{
+  public:
+    /**
+     * @param cycles_per_word serial controller work per input word
+     *        (lexical lookup, chunking, operand instantiation).
+     */
+    explicit PhrasalParser(const Lexicon &lex,
+                           Tick controller_period = 31250,
+                           std::uint32_t cycles_per_word = 2000)
+        : lex_(lex), period_(controller_period),
+          cyclesPerWord_(cycles_per_word)
+    {}
+
+    PhrasalResult parse(const std::vector<std::string> &words) const;
+
+  private:
+    const Lexicon &lex_;
+    Tick period_;
+    std::uint32_t cyclesPerWord_;
+};
+
+} // namespace snap
+
+#endif // SNAP_NLU_PHRASAL_PARSER_HH

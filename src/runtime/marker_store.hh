@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Functional marker state over a whole network.
+ *
+ * Used by the golden-model reference interpreter and the baseline
+ * simulators.  The SNAP machine model keeps its own per-cluster
+ * bit-packed tables (arch/kb_image); this class is the flat,
+ * machine-independent equivalent: 64 complex markers (float value +
+ * origin binding) and 64 binary markers per node (paper Fig. 4).
+ */
+
+#ifndef SNAP_RUNTIME_MARKER_STORE_HH
+#define SNAP_RUNTIME_MARKER_STORE_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+#include "isa/function.hh"
+
+namespace snap
+{
+
+/** Flat marker state: 128 marker planes over N nodes. */
+class MarkerStore
+{
+  public:
+    explicit MarkerStore(std::uint32_t num_nodes)
+        : numNodes_(num_nodes),
+          bits_(capacity::numMarkers, BitVector(num_nodes)),
+          values_(capacity::numComplexMarkers)
+    {}
+
+    std::uint32_t numNodes() const { return numNodes_; }
+
+    bool
+    test(MarkerId m, NodeId n) const
+    {
+        return bits_[m].test(n);
+    }
+
+    /** Set the marker bit only (value untouched). */
+    void
+    setBit(MarkerId m, NodeId n)
+    {
+        bits_[m].set(n);
+    }
+
+    /** Set bit and, for complex markers, the value register. */
+    void
+    set(MarkerId m, NodeId n, float value, NodeId origin)
+    {
+        bits_[m].set(n);
+        if (isComplexMarker(m)) {
+            auto &vals = plane(m);
+            vals[n].value = value;
+            vals[n].origin = origin;
+        }
+    }
+
+    void
+    clear(MarkerId m, NodeId n)
+    {
+        bits_[m].clear(n);
+    }
+
+    /** Value register (0 for binary markers). */
+    float
+    value(MarkerId m, NodeId n) const
+    {
+        if (!isComplexMarker(m) || values_[m].empty())
+            return 0.0f;
+        return values_[m][n].value;
+    }
+
+    NodeId
+    origin(MarkerId m, NodeId n) const
+    {
+        if (!isComplexMarker(m) || values_[m].empty())
+            return invalidNode;
+        return values_[m][n].origin;
+    }
+
+    void
+    setValue(MarkerId m, NodeId n, float value, NodeId origin)
+    {
+        if (isComplexMarker(m)) {
+            auto &vals = plane(m);
+            vals[n].value = value;
+            vals[n].origin = origin;
+        }
+    }
+
+    /** Direct row access for word-parallel boolean ops. */
+    BitVector &bits(MarkerId m) { return bits_[m]; }
+    const BitVector &bits(MarkerId m) const { return bits_[m]; }
+
+    std::uint32_t count(MarkerId m) const { return bits_[m].count(); }
+
+    void
+    clearAll(MarkerId m)
+    {
+        bits_[m].clearAll();
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : bits_)
+            b.clearAll();
+        for (auto &v : values_)
+            v.clear();
+    }
+
+  private:
+    /** Lazily allocated value plane for complex marker @p m. */
+    std::vector<MarkerValue> &
+    plane(MarkerId m)
+    {
+        auto &vals = values_[m];
+        if (vals.empty())
+            vals.resize(numNodes_);
+        return vals;
+    }
+
+    std::uint32_t numNodes_;
+    std::vector<BitVector> bits_;
+    std::vector<std::vector<MarkerValue>> values_;
+};
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_MARKER_STORE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-model reference interpreter for the SNAP instruction set.
+ *
+ * Executes programs sequentially on flat state, defining the
+ * functional meaning of every instruction in Table II.  The SNAP
+ * machine model (arch/) must produce identical marker state and
+ * collection results for race-free programs; randomized equivalence
+ * tests enforce this.
+ */
+
+#ifndef SNAP_RUNTIME_REFERENCE_HH
+#define SNAP_RUNTIME_REFERENCE_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "kb/semantic_network.hh"
+#include "runtime/marker_store.hh"
+#include "runtime/propagate.hh"
+#include "runtime/results.hh"
+
+namespace snap
+{
+
+/** Aggregate work counters over a reference run. */
+struct ReferenceStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t traversals = 0;
+    std::uint64_t nodesMarked = 0;
+    std::uint32_t maxDepth = 0;
+};
+
+/**
+ * Machine-independent work performed by one instruction.  The
+ * baseline simulators (uniprocessor, CM-2) convert these counts into
+ * time under their own cost models.
+ */
+struct InstrWork
+{
+    Opcode op = Opcode::Barrier;
+    /** 32-bit status words touched. */
+    std::uint64_t wordOps = 0;
+    /** Complex-marker value-register updates. */
+    std::uint64_t valueOps = 0;
+    /** Node-table entries scanned (color checks etc.). */
+    std::uint64_t nodeScans = 0;
+    /** 16-slot relation rows fetched. */
+    std::uint64_t rowFetches = 0;
+    /** Relation slots examined. */
+    std::uint64_t slotScans = 0;
+    /** Marker deliveries (traversals performed). */
+    std::uint64_t deliveries = 0;
+    /** Items returned to the host (retrieval ops). */
+    std::uint64_t items = 0;
+    /** Link insertions/removals. */
+    std::uint64_t linkEdits = 0;
+    /** PROPAGATE only: expansions per BFS level. */
+    std::vector<std::uint64_t> levelExpansions;
+    /** PROPAGATE only: source activations (α). */
+    std::uint64_t sources = 0;
+};
+
+/**
+ * Sequential interpreter over a SemanticNetwork.
+ *
+ * The network reference is mutable: node-maintenance and
+ * marker-maintenance instructions modify it, exactly as they modify
+ * the distributed tables on the machine.
+ */
+class ReferenceInterpreter
+{
+  public:
+    explicit ReferenceInterpreter(SemanticNetwork &net)
+        : net_(net), store_(net.numNodes())
+    {}
+
+    /**
+     * Execute @p prog from the current state; collection results
+     * are appended to the returned set in program order.
+     */
+    ResultSet run(const Program &prog);
+
+    /** Execute one instruction (BARRIER is a no-op here). */
+    void execute(const Instruction &instr, const RuleTable &rules,
+                 ResultSet &results);
+
+    /** Marker state access for tests. */
+    MarkerStore &store() { return store_; }
+    const MarkerStore &store() const { return store_; }
+
+    const ReferenceStats &stats() const { return stats_; }
+
+    /** Work performed by the most recently executed instruction. */
+    const InstrWork &lastWork() const { return work_; }
+
+    /** Clear marker state and counters (network untouched). */
+    void reset();
+
+  private:
+    void doSearchRelation(const Instruction &i);
+    void doBoolean(const Instruction &i);
+    void doMarkerMaintenance(const Instruction &i);
+    void doFuncMarker(const Instruction &i);
+    void doCollect(const Instruction &i, ResultSet &results);
+
+    /** Relation rows a node occupies (subnode chains included). */
+    std::uint64_t nodeRows(NodeId u) const;
+
+    SemanticNetwork &net_;
+    MarkerStore store_;
+    ReferenceStats stats_;
+    InstrWork work_;
+};
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_REFERENCE_HH

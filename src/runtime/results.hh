@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Result records returned by the retrieval instructions.
+ *
+ * "Results are collected by retrieval operations which return to the
+ * controller the ID's of nodes with a specific marker, relation, or
+ * color."  (paper §II-B)
+ */
+
+#ifndef SNAP_RUNTIME_RESULTS_HH
+#define SNAP_RUNTIME_RESULTS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace snap
+{
+
+/** One node returned by COLLECT-MARKER / COLLECT-COLOR. */
+struct CollectedNode
+{
+    NodeId node = invalidNode;
+    /** Marker value (0 for binary markers and COLLECT-COLOR). */
+    float value = 0.0f;
+    /** Origin binding (invalidNode when not applicable). */
+    NodeId origin = invalidNode;
+
+    bool
+    operator==(const CollectedNode &o) const
+    {
+        return node == o.node && value == o.value &&
+               origin == o.origin;
+    }
+};
+
+/** One link returned by COLLECT-RELATION. */
+struct CollectedLink
+{
+    NodeId src = invalidNode;
+    RelationType rel = 0;
+    NodeId dst = invalidNode;
+    float weight = 0.0f;
+
+    bool
+    operator==(const CollectedLink &o) const
+    {
+        return src == o.src && rel == o.rel && dst == o.dst &&
+               weight == o.weight;
+    }
+};
+
+/**
+ * The data returned by one retrieval instruction.  Node entries
+ * appear in machine collection order (cluster by cluster); use
+ * sortNodes() before comparing against a reference.
+ */
+struct CollectResult
+{
+    Opcode op = Opcode::CollectMarker;
+    MarkerId marker = 0;
+    Color color = 0;
+    RelationType rel = 0;
+    std::vector<CollectedNode> nodes;
+    std::vector<CollectedLink> links;
+
+    void
+    sortNodes()
+    {
+        std::sort(nodes.begin(), nodes.end(),
+                  [](const CollectedNode &a, const CollectedNode &b) {
+                      return a.node < b.node;
+                  });
+        std::sort(links.begin(), links.end(),
+                  [](const CollectedLink &a, const CollectedLink &b) {
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      if (a.rel != b.rel)
+                          return a.rel < b.rel;
+                      if (a.dst != b.dst)
+                          return a.dst < b.dst;
+                      // Parallel links: keep the order total so
+                      // machine/golden comparisons are stable.
+                      return a.weight < b.weight;
+                  });
+    }
+};
+
+/** All retrieval results of one program run, in program order. */
+using ResultSet = std::vector<CollectResult>;
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_RESULTS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Marker-state snapshots.
+ *
+ * Applications issue many programs against persistent marker state
+ * (the parser's per-sentence programs, host-driven resolution
+ * loops).  Snapshots let a long-running application checkpoint the
+ * dynamic state between programs and restore it later — on the same
+ * machine, on a differently-partitioned machine, or on the golden
+ * model.
+ *
+ * Format (line oriented):
+ *
+ *     snapmarkers 1 <num-nodes>
+ *     m <marker> <node> [value origin]     # value/origin for
+ *                                          # complex markers
+ */
+
+#ifndef SNAP_RUNTIME_SNAPSHOT_HH
+#define SNAP_RUNTIME_SNAPSHOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/marker_store.hh"
+
+namespace snap
+{
+
+/** Serialize all marker state to @p os. */
+void saveMarkers(const MarkerStore &store, std::ostream &os);
+
+/**
+ * Parse marker state from @p is.  Malformed input is a fatal (user)
+ * error.
+ */
+MarkerStore loadMarkers(std::istream &is);
+
+/** File variants (fatal on IO failure). */
+void saveMarkersFile(const MarkerStore &store,
+                     const std::string &path);
+MarkerStore loadMarkersFile(const std::string &path);
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_SNAPSHOT_HH

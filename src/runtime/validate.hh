@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static race validation for SNAP programs.
+ *
+ * On the machine, marker delivery from PROPAGATE is asynchronous:
+ * remote activations may still be in flight when later instructions
+ * execute.  "Before L6 can be executed, the PE's which are propagating
+ * markers need to be synchronized because of the data dependency with
+ * {L4, L5}" (paper §II-C, Fig. 7).  The hardware provides BARRIER;
+ * placing it is software's responsibility.
+ *
+ * This validator reproduces that discipline statically: within one
+ * barrier epoch, any instruction that reads or writes a marker still
+ * being propagated into (the m2 of an unbarriered PROPAGATE), or that
+ * re-propagates from it, is reported.  Such programs have
+ * timing-dependent results on real hardware and on this model.
+ */
+
+#ifndef SNAP_RUNTIME_VALIDATE_HH
+#define SNAP_RUNTIME_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace snap
+{
+
+/** One detected ordering hazard. */
+struct RaceViolation
+{
+    /** Index of the conflicting instruction. */
+    std::size_t instrIndex;
+    /** Index of the unbarriered PROPAGATE it conflicts with. */
+    std::size_t propagateIndex;
+    /** The marker both touch. */
+    MarkerId marker;
+    std::string message;
+};
+
+/**
+ * Scan @p prog for barrier-discipline violations.
+ * @return all violations, empty when the program is race free.
+ */
+std::vector<RaceViolation> validateProgram(const Program &prog);
+
+/** Fatal error if @p prog has any violation (user error). */
+void requireRaceFree(const Program &prog);
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_VALIDATE_HH

@@ -1,0 +1,126 @@
+#include "sim/event_queue.hh"
+
+namespace snap
+{
+
+Event::~Event()
+{
+    snap_assert(!scheduled_,
+                "event '%s' destroyed while scheduled",
+                name_.c_str());
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    snap_assert(event != nullptr, "scheduling null event");
+    snap_assert(!event->scheduled_,
+                "event '%s' already scheduled",
+                event->name().c_str());
+    snap_assert(when >= curTick_,
+                "event '%s' scheduled in the past (%llu < %llu)",
+                event->name().c_str(),
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(curTick_));
+
+    event->when_ = when;
+    event->seq_ = nextSeq_++;
+    event->scheduled_ = true;
+    queue_.push(Entry{when, event->seq_, event});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    snap_assert(event != nullptr && event->scheduled_,
+                "descheduling an unscheduled event");
+    // Lazy deletion: mark unscheduled; the stale queue entry is
+    // discarded when popped.
+    event->scheduled_ = false;
+    --live_;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled_)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::scheduleCallback(Tick when, std::function<void()> fn,
+                             const std::string &name)
+{
+    class OneShot : public EventFunctionWrapper
+    {
+      public:
+        OneShot(std::function<void()> f, std::string n)
+            : EventFunctionWrapper(std::move(f), std::move(n))
+        {
+            setAutoDelete();
+        }
+    };
+    schedule(new OneShot(std::move(fn), name), when);
+}
+
+void
+EventQueue::serviceOne()
+{
+    Entry top = queue_.top();
+    queue_.pop();
+
+    Event *ev = top.event;
+    // Discard entries for descheduled/rescheduled events.
+    if (!ev->scheduled_ || ev->seq_ != top.seq)
+        return;
+
+    snap_assert(top.when >= curTick_, "time went backwards");
+    curTick_ = top.when;
+    ev->scheduled_ = false;
+    --live_;
+    ++processed_;
+
+    bool auto_delete = ev->isAutoDelete();
+    ev->process();
+    if (auto_delete)
+        delete ev;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t fired = 0;
+    while (live_ != 0 && fired < max_events) {
+        std::uint64_t before = processed_;
+        serviceOne();
+        fired += processed_ - before;
+    }
+    return fired;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t fired = 0;
+    while (live_ != 0) {
+        Entry top = queue_.top();
+        if (!top.event->scheduled_ || top.event->seq_ != top.seq) {
+            queue_.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        std::uint64_t before = processed_;
+        serviceOne();
+        fired += processed_ - before;
+    }
+    if (curTick_ < until && live_ == 0) {
+        // Queue drained before the horizon; time does not advance
+        // past the last event.
+    }
+    return fired;
+}
+
+} // namespace snap

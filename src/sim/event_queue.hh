@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered event queue drives the whole SNAP-1 machine
+ * model.  Ticks are picoseconds.  Events scheduled for the same tick
+ * fire in FIFO scheduling order (a monotonically increasing sequence
+ * number breaks ties) so simulations are fully deterministic.
+ */
+
+#ifndef SNAP_SIM_EVENT_QUEUE_HH
+#define SNAP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+
+class EventQueue;
+
+/**
+ * Schedulable event.  Components own their events as members
+ * (typically via EventFunctionWrapper) and reschedule them.
+ */
+class Event
+{
+  public:
+    explicit Event(std::string name = "event")
+        : name_(std::move(name))
+    {}
+
+    virtual ~Event();
+
+    /** Callback invoked when the event fires. */
+    virtual void process() = 0;
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event is scheduled for (valid while scheduled). */
+    Tick when() const { return when_; }
+
+    const std::string &name() const { return name_; }
+
+    /** One-shot heap events delete themselves after firing. */
+    bool isAutoDelete() const { return autoDelete_; }
+
+  protected:
+    void setAutoDelete() { autoDelete_ = true; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    bool scheduled_ = false;
+    bool autoDelete_ = false;
+};
+
+/** Event that invokes a bound std::function. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> fn, std::string name)
+        : Event(std::move(name)), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The global event queue.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p event at absolute tick @p when (>= curTick). */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Deschedule (if needed) and schedule at a new tick. */
+    void reschedule(Event *event, Tick when);
+
+    /**
+     * Convenience: schedule a one-shot heap-allocated callback.
+     * The wrapper deletes itself after firing.
+     */
+    void scheduleCallback(Tick when, std::function<void()> fn,
+                          const std::string &name = "callback");
+
+    /** True when no events remain. */
+    bool empty() const { return live_ != 0 ? false : true; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t numScheduled() const { return live_; }
+
+    /**
+     * Run until the queue drains or @p max_events fire.
+     * @return number of events processed.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+    /**
+     * Run until simulated time would exceed @p until (events at
+     * exactly @p until still fire).  @return events processed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *event;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Pop and fire the head event.  Pre: !empty(). */
+    void serviceOne();
+
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<Entry>> queue_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace snap
+
+#endif // SNAP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * snapsh — an interactive shell on the simulated SNAP-1.
+ *
+ *   snapsh <kb.snapkb> [--clusters N] [--partition seq|rr|sem]
+ *
+ * Each input line is one SNAP assembler statement, executed
+ * immediately against persistent marker state (every line runs to
+ * quiescence, so no explicit `barrier` is needed interactively).
+ * `rule` declarations persist for the session.  Collect results
+ * print as they return.
+ *
+ * Builtins:
+ *   .markers <m>       count (and sample) nodes holding marker m
+ *   .node <name>       show a node's color and outgoing links
+ *   .time              cumulative simulated machine time
+ *   .stats             component statistics
+ *   .save <file>       checkpoint marker state
+ *   .load <file>       restore marker state
+ *   .help              this list
+ *   .quit              exit
+ */
+
+#include <cstdio>
+#include <unistd.h>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "arch/machine.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "isa/assembler.hh"
+#include "kb/kb_io.hh"
+
+using namespace snap;
+
+namespace
+{
+
+void
+printHelp()
+{
+    std::printf(
+        "SNAP statements: rule / search-node / propagate / barrier /\n"
+        "  and-marker / or-marker / not-marker / set-marker /\n"
+        "  clear-marker / func-marker / collect-* / create / delete /\n"
+        "  marker-create / ...  (see docs/ISA.md)\n"
+        "builtins: .markers <m>  .node <name>  .time  .stats\n"
+        "          .save <file>  .load <file>  .help  .quit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: snapsh <kb.snapkb> [--clusters N] "
+                     "[--partition seq|rr|sem]\n");
+        return 1;
+    }
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                snap_fatal("missing value for %s", arg.c_str());
+            return argv[i];
+        };
+        if (arg == "--clusters") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 32)
+                snap_fatal("--clusters must be 1..32");
+            cfg.numClusters = static_cast<std::uint32_t>(n);
+        } else if (arg == "--partition") {
+            std::string p = next();
+            if (p == "seq")
+                cfg.partition = PartitionStrategy::Sequential;
+            else if (p == "rr")
+                cfg.partition = PartitionStrategy::RoundRobin;
+            else if (p == "sem")
+                cfg.partition = PartitionStrategy::Semantic;
+            else
+                snap_fatal("--partition must be seq, rr, or sem");
+        } else {
+            snap_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    SemanticNetwork net = loadNetworkFile(argv[1]);
+    SnapMachine machine(cfg);
+    machine.loadKb(net);
+    std::printf("snapsh: %u nodes, %llu links on %u clusters "
+                "(%u processors).  .help for help.\n",
+                net.numNodes(),
+                static_cast<unsigned long long>(net.numLinks()),
+                cfg.numClusters, cfg.numProcessors());
+
+    // Rule declarations accumulate for the session.
+    std::string rules_text;
+    std::string line;
+    bool tty = isatty(0);
+
+    while (true) {
+        if (tty) {
+            std::printf("snap> ");
+            std::fflush(stdout);
+        }
+        if (!std::getline(std::cin, line))
+            break;
+        std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+
+        // --- builtins ------------------------------------------------
+        if (body[0] == '.') {
+            std::vector<std::string> tok = tokenize(body);
+            if (tok[0] == ".quit" || tok[0] == ".exit")
+                break;
+            if (tok[0] == ".help") {
+                printHelp();
+            } else if (tok[0] == ".time") {
+                std::printf("simulated machine time: %.3f ms\n",
+                            ticksToMs(machine.now()));
+            } else if (tok[0] == ".stats") {
+                std::printf("%s",
+                            machine.formatComponentStats().c_str());
+            } else if (tok[0] == ".markers" && tok.size() == 2) {
+                long long m;
+                if (!parseInt(tok[1].substr(tok[1][0] == 'm' ? 1 : 0),
+                              m) ||
+                    m < 0 ||
+                    m >= static_cast<long long>(
+                        capacity::numMarkers)) {
+                    std::printf("bad marker '%s'\n", tok[1].c_str());
+                    continue;
+                }
+                auto mid = static_cast<MarkerId>(m);
+                std::uint32_t count = 0;
+                std::uint32_t shown = 0;
+                for (NodeId n = 0; n < net.numNodes(); ++n) {
+                    if (!machine.markerSet(mid, n))
+                        continue;
+                    ++count;
+                    if (shown < 8) {
+                        ++shown;
+                        std::printf("  %-20s value %.4f\n",
+                                    net.nodeName(n).c_str(),
+                                    machine.markerValue(mid, n));
+                    }
+                }
+                std::printf("marker m%lld set at %u node(s)\n", m,
+                            count);
+            } else if (tok[0] == ".node" && tok.size() == 2) {
+                NodeId n;
+                if (!net.tryNode(tok[1], n)) {
+                    std::printf("unknown node '%s'\n",
+                                tok[1].c_str());
+                    continue;
+                }
+                std::printf("%s (color %s)\n", tok[1].c_str(),
+                            net.colorNames()
+                                .name(net.color(n))
+                                .c_str());
+                for (const Link &l : net.links(n)) {
+                    std::printf("  -%s-> %s (w %.3f)\n",
+                                net.relations().name(l.rel).c_str(),
+                                net.nodeName(l.dst).c_str(),
+                                l.weight);
+                }
+            } else if (tok[0] == ".save" && tok.size() == 2) {
+                std::ofstream os(tok[1]);
+                if (!os) {
+                    std::printf("cannot open '%s'\n",
+                                tok[1].c_str());
+                    continue;
+                }
+                machine.image().saveMarkers(os);
+                std::printf("saved marker state to %s\n",
+                            tok[1].c_str());
+            } else if (tok[0] == ".load" && tok.size() == 2) {
+                std::ifstream is(tok[1]);
+                if (!is) {
+                    std::printf("cannot open '%s'\n",
+                                tok[1].c_str());
+                    continue;
+                }
+                machine.image().loadMarkers(is);
+                std::printf("restored marker state from %s\n",
+                            tok[1].c_str());
+            } else {
+                std::printf("unknown builtin; .help for help\n");
+            }
+            continue;
+        }
+
+        // --- SNAP statements ------------------------------------------
+        if (startsWith(body, "rule ")) {
+            // Validate by assembling, then remember for the session.
+            Program probe = assemble(rules_text + body + "\n", net);
+            (void)probe;
+            rules_text += body + "\n";
+            std::printf("ok (%zu rule(s) in session)\n",
+                        static_cast<std::size_t>(
+                            std::count(rules_text.begin(),
+                                       rules_text.end(), '\n')));
+            continue;
+        }
+
+        Program prog = assemble(rules_text + body + "\n", net);
+        if (prog.empty())
+            continue;
+        RunResult run = machine.run(prog);
+        for (const CollectResult &res : run.results) {
+            for (const CollectedNode &c : res.nodes) {
+                std::printf("  %-20s value %-10.4f origin %s\n",
+                            net.nodeName(c.node).c_str(), c.value,
+                            c.origin == invalidNode
+                                ? "-"
+                                : net.nodeName(c.origin).c_str());
+            }
+            for (const CollectedLink &l : res.links) {
+                std::printf("  %s -%s-> %s (w %.4f)\n",
+                            net.nodeName(l.src).c_str(),
+                            net.relations().name(l.rel).c_str(),
+                            net.nodeName(l.dst).c_str(), l.weight);
+            }
+            std::printf("  (%zu item(s))\n",
+                        res.nodes.size() + res.links.size());
+        }
+        std::printf("[%.1f us]\n", run.wallUs());
+    }
+    return 0;
+}

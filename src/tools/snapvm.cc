@@ -1,0 +1,186 @@
+/**
+ * @file
+ * snapvm — run a SNAP assembler program against a knowledge base on
+ * the simulated SNAP-1 machine.
+ *
+ *   snapvm <kb.snapkb> <program.snap> [options]
+ *     --clusters N          array size (1..32, default 16)
+ *     --partition seq|rr|sem  allocation strategy (default sem)
+ *     --mus N               marker units per cluster (default: the
+ *                           prototype's 3/2 mix)
+ *     --relax-capacity      lift the 1024-nodes-per-cluster limit
+ *     --stats               print the full execution breakdown
+ *     --disasm              print the program before running
+ *
+ * Exit status: 0 on success, 1 on user error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arch/machine.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "isa/assembler.hh"
+#include "kb/kb_io.hh"
+#include "runtime/validate.hh"
+
+using namespace snap;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: snapvm <kb.snapkb> <program.snap> [options]\n"
+        "  --clusters N           array size (1..32, default 16)\n"
+        "  --partition seq|rr|sem allocation (default sem)\n"
+        "  --mus N                marker units per cluster\n"
+        "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
+        "  --stats                print the execution breakdown\n"
+        "  --disasm               print the program first\n"
+        "  --perf-csv FILE        dump performance-network records\n");
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string kb_path = argv[1];
+    std::string prog_path = argv[2];
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    bool stats = false;
+    bool disasm = false;
+    std::string perf_csv;
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--clusters") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 32)
+                snap_fatal("--clusters must be 1..32");
+            cfg.numClusters = static_cast<std::uint32_t>(n);
+        } else if (arg == "--partition") {
+            std::string p = next();
+            if (p == "seq")
+                cfg.partition = PartitionStrategy::Sequential;
+            else if (p == "rr")
+                cfg.partition = PartitionStrategy::RoundRobin;
+            else if (p == "sem")
+                cfg.partition = PartitionStrategy::Semantic;
+            else
+                snap_fatal("--partition must be seq, rr, or sem");
+        } else if (arg == "--mus") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 3)
+                snap_fatal("--mus must be 1..3");
+            cfg.musPerCluster.assign(32,
+                                     static_cast<std::uint32_t>(n));
+        } else if (arg == "--relax-capacity") {
+            cfg.maxNodesPerCluster = capacity::maxNodes;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (arg == "--perf-csv") {
+            perf_csv = next();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+
+    SemanticNetwork net = loadNetworkFile(kb_path);
+    std::printf("loaded %s: %u nodes, %llu links\n", kb_path.c_str(),
+                net.numNodes(),
+                static_cast<unsigned long long>(net.numLinks()));
+
+    Program prog = assembleFile(prog_path, net);
+    std::printf("assembled %s: %zu instructions, %u rules\n",
+                prog_path.c_str(), prog.size(), prog.rules().size());
+    if (disasm)
+        std::printf("\n%s\n", prog.toString().c_str());
+
+    auto violations = validateProgram(prog);
+    for (const auto &v : violations)
+        snap_warn("%s", v.message.c_str());
+    if (!violations.empty()) {
+        snap_warn("program has %zu barrier-discipline hazard(s); "
+                  "results may be timing dependent",
+                  violations.size());
+    }
+
+    SnapMachine machine(cfg);
+    machine.loadKb(net);
+    std::printf("machine: %u clusters, %u processors, %s "
+                "allocation\n\n", cfg.numClusters,
+                cfg.numProcessors(),
+                partitionStrategyName(cfg.partition));
+
+    RunResult run = machine.run(prog);
+
+    int idx = 0;
+    for (const CollectResult &res : run.results) {
+        std::printf("collect #%d (%s):\n", idx++,
+                    opcodeName(res.op));
+        for (const CollectedNode &c : res.nodes) {
+            std::printf("  %-24s value %-10.4f origin %s\n",
+                        net.nodeName(c.node).c_str(), c.value,
+                        c.origin == invalidNode
+                            ? "-"
+                            : net.nodeName(c.origin).c_str());
+        }
+        for (const CollectedLink &l : res.links) {
+            std::printf("  %s -%s-> %s (w %.4f)\n",
+                        net.nodeName(l.src).c_str(),
+                        net.relations().name(l.rel).c_str(),
+                        net.nodeName(l.dst).c_str(), l.weight);
+        }
+        if (res.nodes.empty() && res.links.empty())
+            std::printf("  (empty)\n");
+    }
+
+    std::printf("\nexecution time: %.3f ms (%.1f us)\n", run.wallMs(),
+                run.wallUs());
+    if (stats) {
+        std::printf("\n%s", run.stats.summary().c_str());
+        std::printf("\n%s",
+                    machine.formatComponentStats().c_str());
+    }
+
+    if (!perf_csv.empty()) {
+        // The instrumentation system's central FIFO, as CSV:
+        // timestamped event records from every PE's serial link.
+        std::FILE *f = std::fopen(perf_csv.c_str(), "w");
+        if (!f)
+            snap_fatal("cannot open '%s'", perf_csv.c_str());
+        std::fprintf(f, "timestamp_us,pe,event,status\n");
+        for (const PerfRecord &r : machine.perfNet().records()) {
+            std::fprintf(f, "%.3f,%u,%u,%u\n",
+                         ticksToUs(r.timestamp), r.pe,
+                         static_cast<unsigned>(r.event), r.status);
+        }
+        std::fclose(f);
+        std::printf("wrote %zu performance records to %s "
+                    "(%llu dropped by busy serial ports)\n",
+                    machine.perfNet().records().size(),
+                    perf_csv.c_str(),
+                    static_cast<unsigned long long>(
+                        machine.perfNet().dropped()));
+    }
+    return 0;
+}

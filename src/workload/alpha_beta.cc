@@ -1,0 +1,166 @@
+#include "workload/alpha_beta.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace snap
+{
+
+Workload
+makeAlphaWorkload(std::uint32_t num_nodes, std::uint32_t alpha,
+                  std::uint32_t depth, std::uint32_t rounds,
+                  std::uint64_t seed)
+{
+    snap_assert(alpha >= 1 && depth >= 1 && rounds >= 1,
+                "makeAlphaWorkload(%u,%u,%u)", alpha, depth, rounds);
+    std::uint32_t needed = alpha * (depth + 1);
+    snap_assert(num_nodes >= needed,
+                "alpha workload needs %u nodes, got %u", needed,
+                num_nodes);
+
+    Workload w;
+    SemanticNetwork &net = w.net;
+
+    // α disjoint chains source -> c1 -> ... -> c_depth, so every
+    // PROPAGATE does exactly alpha * depth traversals over depth
+    // levels with no work collapsing between sources.
+    Color src_color = net.colorNames().intern("source");
+    RelationType hop = net.relation("hop");
+    for (std::uint32_t i = 0; i < alpha; ++i) {
+        NodeId prev = net.addNode("s" + std::to_string(i), src_color);
+        for (std::uint32_t d = 1; d <= depth; ++d) {
+            NodeId next = net.addNode(
+                "c" + std::to_string(i) + "_" + std::to_string(d));
+            net.addLink(prev, hop, next, 1.0f);
+            prev = next;
+        }
+    }
+    // Filler nodes so the knowledge-base size is the requested one
+    // (status-table scans cover them).
+    Rng rng(seed);
+    for (std::uint32_t i = needed; i < num_nodes; ++i)
+        net.addNode("f" + std::to_string(i));
+
+    PropRule rule = PropRule::chain(hop);
+    rule.maxSteps = depth;
+    RuleId rid = w.prog.addRule(std::move(rule));
+
+    MarkerId m_src = 0;
+    MarkerId m_dst = 1;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        w.prog.append(
+            Instruction::searchColor(src_color, m_src, 0.0f));
+        w.prog.append(Instruction::propagate(m_src, m_dst, rid,
+                                             MarkerFunc::AddWeight));
+        w.prog.append(Instruction::barrier());
+        w.prog.append(Instruction::clearMarker(m_src));
+        w.prog.append(Instruction::clearMarker(m_dst));
+        // Close the epoch before the next round re-propagates into
+        // the cleared markers (backward-hazard discipline).
+        w.prog.append(Instruction::barrier());
+    }
+    return w;
+}
+
+Workload
+makeBetaWorkload(std::uint32_t nodes_per_chain, std::uint32_t beta,
+                 std::uint32_t alpha, std::uint32_t rounds,
+                 bool overlap, std::uint64_t seed)
+{
+    snap_assert(beta >= 1 &&
+                2 * beta <= capacity::numComplexMarkers,
+                "beta %u exceeds the marker budget", beta);
+    snap_assert(nodes_per_chain >= 2, "chain of %u", nodes_per_chain);
+    (void)seed;
+
+    Workload w;
+    SemanticNetwork &net = w.net;
+
+    std::uint32_t depth = nodes_per_chain - 1;
+    std::vector<RuleId> rules;
+    std::vector<Color> colors;
+
+    // β independent groups: separate relations, colors, and markers,
+    // so the propagates have no data dependencies (the paper's
+    // overlap condition between L4 and L5).
+    for (std::uint32_t j = 0; j < beta; ++j) {
+        RelationType hop =
+            net.relation("hop" + std::to_string(j));
+        Color c = net.colorNames().intern("src" + std::to_string(j));
+        colors.push_back(c);
+        for (std::uint32_t i = 0; i < alpha; ++i) {
+            NodeId prev = net.addNode(
+                "g" + std::to_string(j) + "s" + std::to_string(i), c);
+            for (std::uint32_t d = 1; d <= depth; ++d) {
+                NodeId next = net.addNode(
+                    "g" + std::to_string(j) + "c" +
+                    std::to_string(i) + "_" + std::to_string(d));
+                net.addLink(prev, hop, next, 1.0f);
+                prev = next;
+            }
+        }
+        PropRule rule = PropRule::chain(hop);
+        rule.maxSteps = depth;
+        rules.push_back(w.prog.addRule(std::move(rule)));
+    }
+
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        for (std::uint32_t j = 0; j < beta; ++j) {
+            auto m_src = static_cast<MarkerId>(2 * j);
+            w.prog.append(
+                Instruction::searchColor(colors[j], m_src, 0.0f));
+        }
+        for (std::uint32_t j = 0; j < beta; ++j) {
+            auto m_src = static_cast<MarkerId>(2 * j);
+            auto m_dst = static_cast<MarkerId>(2 * j + 1);
+            w.prog.append(Instruction::propagate(
+                m_src, m_dst, rules[j], MarkerFunc::AddWeight));
+            if (!overlap)
+                w.prog.append(Instruction::barrier());
+        }
+        if (overlap)
+            w.prog.append(Instruction::barrier());
+        for (std::uint32_t j = 0; j < 2 * beta; ++j) {
+            w.prog.append(Instruction::clearMarker(
+                static_cast<MarkerId>(j)));
+        }
+        w.prog.append(Instruction::barrier());
+    }
+    return w;
+}
+
+BetaStats
+analyzeBeta(const Program &prog)
+{
+    BetaStats st;
+    std::vector<std::uint32_t> per_epoch;
+    std::uint32_t current = 0;
+    for (const Instruction &i : prog.instructions()) {
+        if (i.op == Opcode::Propagate) {
+            ++current;
+        } else if (i.op == Opcode::Barrier) {
+            if (current > 0)
+                per_epoch.push_back(current);
+            current = 0;
+        }
+    }
+    if (current > 0)
+        per_epoch.push_back(current);
+
+    if (per_epoch.empty())
+        return st;
+    st.epochs = static_cast<std::uint32_t>(per_epoch.size());
+    st.betaMin = *std::min_element(per_epoch.begin(),
+                                   per_epoch.end());
+    st.betaMax = *std::max_element(per_epoch.begin(),
+                                   per_epoch.end());
+    double sum = 0;
+    for (auto v : per_epoch)
+        sum += v;
+    st.betaAvg = sum / per_epoch.size();
+    return st;
+}
+
+} // namespace snap

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workloads with controllable α- and β-parallelism.
+ *
+ * α (intra-propagation parallelism) is "the number of nodes activated
+ * simultaneously by a propagate instruction"; β (inter-propagation
+ * parallelism) is "the number of overlapped propagation statements"
+ * (paper §II-C).  These generators produce knowledge bases and SNAP
+ * programs where both are exact, explicit knobs — the inputs of the
+ * speedup studies in Figs. 16 and 17.
+ */
+
+#ifndef SNAP_WORKLOAD_ALPHA_BETA_HH
+#define SNAP_WORKLOAD_ALPHA_BETA_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "kb/semantic_network.hh"
+
+namespace snap
+{
+
+/** A generated (network, program) pair. */
+struct Workload
+{
+    SemanticNetwork net;
+    Program prog;
+};
+
+/**
+ * α-parallelism workload: a knowledge base of @p num_nodes random
+ * nodes where exactly @p alpha source nodes carry the color `source`.
+ * The program runs @p rounds rounds of {SEARCH-COLOR; PROPAGATE a
+ * @p depth-step rule; BARRIER; CLEAR}.  Every PROPAGATE has exactly
+ * α source activations.
+ */
+Workload makeAlphaWorkload(std::uint32_t num_nodes,
+                           std::uint32_t alpha, std::uint32_t depth,
+                           std::uint32_t rounds, std::uint64_t seed);
+
+/**
+ * β-parallelism workload: @p beta mutually independent PROPAGATEs
+ * (disjoint relation chains, disjoint markers) issued back to back
+ * between one pair of barriers, repeated @p rounds times.  With
+ * @p overlap false, a barrier separates every propagate instead —
+ * the β=1 serialization used as the comparison point.
+ *
+ * β is capped by the architectural marker budget (the program needs
+ * 2β complex markers).
+ */
+Workload makeBetaWorkload(std::uint32_t nodes_per_chain,
+                          std::uint32_t beta, std::uint32_t alpha,
+                          std::uint32_t rounds, bool overlap,
+                          std::uint64_t seed);
+
+/**
+ * Measured β statistics of a program: for every barrier epoch, the
+ * number of PROPAGATE instructions it contains (the overlappable
+ * window).  Used by the β-analysis experiment reproducing the
+ * PASS/DMSNAP numbers of §II-C.
+ */
+struct BetaStats
+{
+    double betaMin = 0;
+    double betaMax = 0;
+    double betaAvg = 0;
+    std::uint32_t epochs = 0;
+};
+
+BetaStats analyzeBeta(const Program &prog);
+
+} // namespace snap
+
+#endif // SNAP_WORKLOAD_ALPHA_BETA_HH

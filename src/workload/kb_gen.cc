@@ -1,0 +1,97 @@
+#include "workload/kb_gen.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+
+namespace snap
+{
+
+SemanticNetwork
+makeTreeKb(std::uint32_t num_nodes, std::uint32_t branching)
+{
+    snap_assert(num_nodes >= 1 && branching >= 1,
+                "makeTreeKb(%u,%u)", num_nodes, branching);
+    SemanticNetwork net;
+    for (std::uint32_t i = 0; i < num_nodes; ++i)
+        net.addNode("n" + std::to_string(i),
+                    i == 0 ? "root" : "concept");
+    RelationType isa = net.relation("is-a");
+    RelationType inc = net.relation("includes");
+    for (std::uint32_t i = 1; i < num_nodes; ++i) {
+        std::uint32_t parent = (i - 1) / branching;
+        net.addLink(i, isa, parent, 1.0f);
+        net.addLink(parent, inc, i, 1.0f);
+    }
+    return net;
+}
+
+std::uint32_t
+treeDepth(std::uint32_t num_nodes, std::uint32_t branching)
+{
+    std::uint32_t depth = 0;
+    std::uint32_t i = num_nodes - 1;  // deepest node
+    while (i != 0) {
+        i = (i - 1) / branching;
+        ++depth;
+    }
+    return depth;
+}
+
+SemanticNetwork
+makeRandomKb(std::uint32_t num_nodes, double avg_fanout,
+             std::uint32_t num_rel_types, std::uint64_t seed)
+{
+    snap_assert(num_nodes >= 2 && num_rel_types >= 1,
+                "makeRandomKb(%u,%u)", num_nodes, num_rel_types);
+    SemanticNetwork net;
+    for (std::uint32_t i = 0; i < num_nodes; ++i)
+        net.addNode("n" + std::to_string(i));
+
+    std::vector<RelationType> rels;
+    for (std::uint32_t r = 0; r < num_rel_types; ++r)
+        rels.push_back(net.relation("r" + std::to_string(r)));
+
+    Rng rng(seed);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        std::uint32_t fan =
+            rng.truncExp(avg_fanout, capacity::relationSlotsPerNode);
+        for (std::uint32_t k = 0; k < fan; ++k) {
+            NodeId v = static_cast<NodeId>(rng.below(num_nodes));
+            if (v == u)
+                v = (v + 1) % num_nodes;
+            RelationType rel = rels[rng.below(rels.size())];
+            float w = static_cast<float>(rng.uniform(0.1, 2.0));
+            net.addLink(u, rel, v, w);
+        }
+    }
+    return net;
+}
+
+SemanticNetwork
+makeChainKb(std::uint32_t length, const std::string &rel, float weight)
+{
+    snap_assert(length >= 1, "makeChainKb(%u)", length);
+    SemanticNetwork net;
+    for (std::uint32_t i = 0; i < length; ++i)
+        net.addNode("n" + std::to_string(i));
+    RelationType r = net.relation(rel);
+    for (std::uint32_t i = 0; i + 1 < length; ++i)
+        net.addLink(i, r, i + 1, weight);
+    return net;
+}
+
+SemanticNetwork
+makeStarKb(std::uint32_t spokes, const std::string &rel)
+{
+    SemanticNetwork net;
+    net.addNode("hub");
+    RelationType r = net.relation(rel);
+    for (std::uint32_t i = 0; i < spokes; ++i) {
+        NodeId leaf = net.addNode("leaf" + std::to_string(i));
+        net.addLink(0, r, leaf, 1.0f);
+    }
+    return net;
+}
+
+} // namespace snap

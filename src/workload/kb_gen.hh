@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Synthetic knowledge-base generators.
+ *
+ * Deterministic (seeded) generators for the network shapes the
+ * evaluation sweeps over: concept-type hierarchies (trees) for the
+ * inheritance experiment (Fig. 15), random graphs with controlled
+ * fanout for the α/β speedup studies (Figs. 16/17), and simple
+ * chains/grids for unit tests.
+ */
+
+#ifndef SNAP_WORKLOAD_KB_GEN_HH
+#define SNAP_WORKLOAD_KB_GEN_HH
+
+#include <cstdint>
+
+#include "kb/semantic_network.hh"
+
+namespace snap
+{
+
+/**
+ * Concept-type hierarchy for property inheritance: node 0 is the
+ * root; every other node has one parent.  Links: child --is-a-->
+ * parent (weight 1) and parent --includes--> child (weight 1), so
+ * inheritance propagates root-to-leaf along `includes`.
+ *
+ * @param num_nodes total nodes (>= 1)
+ * @param branching children per parent
+ */
+SemanticNetwork makeTreeKb(std::uint32_t num_nodes,
+                           std::uint32_t branching = 4);
+
+/** Depth (root to deepest leaf, in links) of a makeTreeKb network. */
+std::uint32_t treeDepth(std::uint32_t num_nodes,
+                        std::uint32_t branching = 4);
+
+/**
+ * Random directed graph: each node gets ~avg_fanout outgoing links
+ * of relation types r0..r{num_rel_types-1} with weights in [0.1, 2).
+ */
+SemanticNetwork makeRandomKb(std::uint32_t num_nodes,
+                             double avg_fanout,
+                             std::uint32_t num_rel_types,
+                             std::uint64_t seed);
+
+/** Straight chain n0 -next-> n1 -next-> ... (unit tests). */
+SemanticNetwork makeChainKb(std::uint32_t length,
+                            const std::string &rel = "next",
+                            float weight = 1.0f);
+
+/**
+ * Star: one hub with @p spokes children via `spoke` links — a
+ * fanout > 16 subnode-splitting stressor.
+ */
+SemanticNetwork makeStarKb(std::uint32_t spokes,
+                           const std::string &rel = "spoke");
+
+} // namespace snap
+
+#endif // SNAP_WORKLOAD_KB_GEN_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the SNAP text assembler, including the paper's Fig. 5
+ * program written literally.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "runtime/reference.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+SemanticNetwork
+fig1Network()
+{
+    // A miniature of the paper's Fig. 1 knowledge base: lexical
+    // nodes, syntax nodes, and one concept sequence.
+    SemanticNetwork net;
+    for (const char *n :
+         {"we", "see", "a", "plane", "NP", "VP", "DO", "animate",
+          "seeing-event", "experiencer", "see-elem", "object"})
+        net.addNode(n);
+    NodeId we = net.node("we"), np = net.node("NP");
+    NodeId see = net.node("see"), vp = net.node("VP");
+    NodeId plane = net.node("plane"), dobj = net.node("DO");
+    NodeId animate = net.node("animate");
+    NodeId root = net.node("seeing-event");
+    NodeId e1 = net.node("experiencer"), e2 = net.node("see-elem");
+    NodeId e3 = net.node("object");
+    net.addLink(we, "is-a", np, 1);
+    net.addLink(we, "is-a", animate, 1);
+    net.addLink(see, "is-a", vp, 1);
+    net.addLink(plane, "is-a", dobj, 1);
+    net.addLink(np, "last", e1, 1);
+    net.addLink(vp, "last", e2, 1);
+    net.addLink(dobj, "last", e3, 1);
+    net.addLink(e1, "part-of", root, 1);
+    net.addLink(e2, "part-of", root, 1);
+    net.addLink(e3, "part-of", root, 1);
+    return net;
+}
+
+TEST(Assembler, Fig5StyleProgram)
+{
+    SemanticNetwork net = fig1Network();
+    Program prog = assemble(
+        "# Fig. 5 of the paper, in assembler syntax\n"
+        "rule up spread(is-a, last)\n"
+        "rule bind step(part-of)\n"
+        "search-node NP m1 0      # L1\n"
+        "search-node VP m2 0      # L2\n"
+        "search-node DO m2 0      # L3\n"
+        "propagate m2 m3 up add-weight   # L4\n"
+        "propagate m1 m4 up add-weight   # L5\n"
+        "barrier\n"
+        "and-marker m3 m4 m5 sum         # L6\n"
+        "collect-marker m5               # L7\n",
+        net);
+
+    EXPECT_EQ(prog.size(), 8u);
+    EXPECT_EQ(prog.rules().size(), 2u);
+    EXPECT_EQ(prog[0].op, Opcode::SearchNode);
+    EXPECT_EQ(prog[3].op, Opcode::Propagate);
+    EXPECT_EQ(prog[3].func, MarkerFunc::AddWeight);
+
+    // And it runs: elements reachable from both marker streams.
+    ReferenceInterpreter interp(net);
+    ResultSet res = interp.run(prog);
+    ASSERT_EQ(res.size(), 1u);
+}
+
+TEST(Assembler, AllMnemonics)
+{
+    SemanticNetwork net = fig1Network();
+    Program prog = assemble(
+        "rule r1 chain(is-a) max=5\n"
+        "rule r2 seq(is-a, last)\n"
+        "rule r3 comb(is-a, last)\n"
+        "rule r4 custom [ {is-a}* {last} ] max=9\n"
+        "create we likes plane 0.5\n"
+        "delete we likes plane\n"
+        "set-color we lexical\n"
+        "set-weight we is-a NP 0.9\n"
+        "search-node we m0 1.5\n"
+        "search-relation is-a m1 0\n"
+        "search-color lexical m2 0\n"
+        "propagate m0 m3 r4 count\n"
+        "barrier\n"
+        "marker-create m3 filled-by seeing-event binds\n"
+        "marker-delete m3 filled-by seeing-event binds\n"
+        "marker-set-color m3 active\n"
+        "and-marker m1 m2 m4 min\n"
+        "or-marker m1 m2 m5 max\n"
+        "not-marker m4 m6\n"
+        "set-marker m64 0\n"
+        "clear-marker m64\n"
+        "func-marker m0 threshold-ge 1.0\n"
+        "collect-marker m3\n"
+        "collect-relation m3 is-a\n"
+        "collect-color lexical\n",
+        net);
+    EXPECT_EQ(prog.size(), 21u);
+    EXPECT_EQ(prog.rules().size(), 4u);
+    EXPECT_EQ(prog.rules().rule(0).maxSteps, 5u);
+    EXPECT_EQ(prog.rules().rule(3).maxSteps, 9u);
+    ASSERT_EQ(prog.rules().rule(3).segments.size(), 2u);
+    EXPECT_TRUE(prog.rules().rule(3).segments[0].star);
+    EXPECT_FALSE(prog.rules().rule(3).segments[1].star);
+}
+
+TEST(Assembler, CustomRuleMultiRelationSegment)
+{
+    SemanticNetwork net = fig1Network();
+    Program prog = assemble(
+        "rule r custom [ {is-a, last}* {part-of} ]\n", net);
+    const PropRule &rule = prog.rules().rule(0);
+    ASSERT_EQ(rule.segments.size(), 2u);
+    EXPECT_EQ(rule.segments[0].rels.size(), 2u);
+}
+
+TEST(Assembler, RepeatUnrolls)
+{
+    SemanticNetwork net = fig1Network();
+    Program prog = assemble(
+        "repeat 3\n"
+        "set-marker m0 1.0\n"
+        "clear-marker m0\n"
+        "end\n"
+        "barrier\n",
+        net);
+    EXPECT_EQ(prog.size(), 7u);  // 3 x 2 + barrier
+    EXPECT_EQ(prog[0].op, Opcode::SetMarker);
+    EXPECT_EQ(prog[4].op, Opcode::SetMarker);
+    EXPECT_EQ(prog[6].op, Opcode::Barrier);
+}
+
+TEST(Assembler, NestedRepeat)
+{
+    SemanticNetwork net = fig1Network();
+    Program prog = assemble(
+        "repeat 2\n"
+        "clear-marker m0\n"
+        "repeat 3\n"
+        "clear-marker m1\n"
+        "end\n"
+        "end\n",
+        net);
+    // Inner: 1 + 3 = 4 per outer iteration; outer x2 = 8.
+    EXPECT_EQ(prog.size(), 8u);
+}
+
+TEST(AssemblerDeath, UnterminatedRepeat)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("repeat 2\nclear-marker m0\n", net),
+                ::testing::ExitedWithCode(1), "unterminated");
+}
+
+TEST(AssemblerDeath, EndWithoutRepeat)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("end\n", net),
+                ::testing::ExitedWithCode(1), "without matching");
+}
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("frobnicate m1\n", net),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, UnknownNode)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("search-node ghost m0 0\n", net),
+                ::testing::ExitedWithCode(1), "unknown node");
+}
+
+TEST(AssemblerDeath, UnknownRule)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("propagate m0 m1 nope add-weight\n", net),
+                ::testing::ExitedWithCode(1), "unknown rule");
+}
+
+TEST(AssemblerDeath, BadMarker)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("search-node we m200 0\n", net),
+                ::testing::ExitedWithCode(1), "bad marker");
+    EXPECT_EXIT(assemble("search-node we q1 0\n", net),
+                ::testing::ExitedWithCode(1), "bad marker");
+}
+
+TEST(AssemblerDeath, WrongArity)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("search-node we m0\n", net),
+                ::testing::ExitedWithCode(1), "usage");
+}
+
+TEST(AssemblerDeath, DuplicateRule)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("rule r chain(is-a)\nrule r chain(last)\n",
+                         net),
+                ::testing::ExitedWithCode(1), "duplicate rule");
+}
+
+TEST(AssemblerDeath, LineNumberInError)
+{
+    SemanticNetwork net = fig1Network();
+    EXPECT_EXIT(assemble("rule r chain(is-a)\n\n\nbogus\n", net),
+                ::testing::ExitedWithCode(1), "line 4");
+}
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the uniprocessor and CM-2 baselines: functional equality
+ * with the golden model and the cost-model properties Fig. 15
+ * depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cm2_sim.hh"
+#include "baseline/seq_sim.hh"
+#include "tests/test_helpers.hh"
+#include "workload/alpha_beta.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+Program
+inheritanceProgram(SemanticNetwork &net, std::uint32_t max_steps)
+{
+    RelationType inc = net.relationId("includes");
+    Program prog;
+    PropRule down = PropRule::chain(inc);
+    down.maxSteps = max_steps;
+    RuleId rid = prog.addRule(std::move(down));
+    prog.append(Instruction::searchNode(0, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rid,
+                                       MarkerFunc::AddWeight));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+TEST(SeqBaseline, FunctionallyMatchesGolden)
+{
+    SemanticNetwork net_a = makeTreeKb(200, 4);
+    SemanticNetwork net_b = makeTreeKb(200, 4);
+    Program prog = inheritanceProgram(net_a, 32);
+
+    SeqBaseline seq(net_a);
+    SeqRunResult sres = seq.run(prog);
+
+    ReferenceInterpreter golden(net_b);
+    ResultSet gres = golden.run(prog);
+    test::expectSameResults(sres.results, gres);
+    EXPECT_GT(sres.wallTicks, 0u);
+}
+
+TEST(SeqBaseline, TimeScalesWithWork)
+{
+    // Twice the tree, roughly twice the propagation time.
+    SemanticNetwork small = makeTreeKb(500, 4);
+    SemanticNetwork large = makeTreeKb(1000, 4);
+    Program p_small = inheritanceProgram(small, 32);
+    Program p_large = inheritanceProgram(large, 32);
+
+    Tick t_small = SeqBaseline(small).run(p_small).wallTicks;
+    Tick t_large = SeqBaseline(large).run(p_large).wallTicks;
+    double ratio = static_cast<double>(t_large) /
+                   static_cast<double>(t_small);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.6);
+}
+
+TEST(SeqBaseline, CategoryBreakdownSums)
+{
+    SemanticNetwork net = makeTreeKb(100, 4);
+    Program prog = inheritanceProgram(net, 32);
+    SeqRunResult res = SeqBaseline(net).run(prog);
+
+    Tick sum = 0;
+    std::uint64_t count = 0;
+    for (std::size_t c = 0; c < res.categoryTicks.size(); ++c) {
+        sum += res.categoryTicks[c];
+        count += res.categoryCounts[c];
+    }
+    EXPECT_EQ(sum, res.wallTicks);
+    EXPECT_EQ(count, prog.size());
+}
+
+TEST(Cm2Baseline, FunctionallyMatchesGolden)
+{
+    SemanticNetwork net_a = makeTreeKb(200, 4);
+    SemanticNetwork net_b = makeTreeKb(200, 4);
+    Program prog = inheritanceProgram(net_a, 32);
+
+    Cm2Baseline cm2(net_a);
+    Cm2RunResult cres = cm2.run(prog);
+
+    ReferenceInterpreter golden(net_b);
+    ResultSet gres = golden.run(prog);
+    test::expectSameResults(cres.results, gres);
+    EXPECT_GT(cres.propagationSteps, 0u);
+}
+
+TEST(Cm2Baseline, PaysPerStepNotPerNode)
+{
+    // CM-2's propagation cost is dominated by depth (controller
+    // iterations), nearly flat in knowledge-base width: a tree 8x
+    // wider but 1 level deeper costs only slightly more.
+    SemanticNetwork shallow = makeTreeKb(400, 4);   // depth 4
+    SemanticNetwork wide = makeTreeKb(3200, 4);     // depth 5-6
+    Program p1 = inheritanceProgram(shallow, 32);
+    Program p2 = inheritanceProgram(wide, 32);
+
+    Tick t1 = Cm2Baseline(shallow).run(p1).wallTicks;
+    Tick t2 = Cm2Baseline(wide).run(p2).wallTicks;
+    double ratio = static_cast<double>(t2) /
+                   static_cast<double>(t1);
+    EXPECT_LT(ratio, 2.0);  // 8x the nodes, < 2x the time
+    EXPECT_GT(ratio, 1.0);  // deeper tree still costs something
+}
+
+TEST(Cm2Baseline, StepCountMatchesTreeDepth)
+{
+    SemanticNetwork net = makeTreeKb(1000, 4);
+    Program prog = inheritanceProgram(net, 32);
+    Cm2RunResult res = Cm2Baseline(net).run(prog);
+    // Levels 0..depth: one controller iteration per level.
+    EXPECT_EQ(res.propagationSteps, treeDepth(1000, 4) + 1u);
+}
+
+TEST(Cm2Baseline, SeqFasterThanCm2OnSmallKbs)
+{
+    // Fig. 15's premise at the small end: the uniprocessor beats
+    // CM-2's per-step overheads on tiny knowledge bases.
+    SemanticNetwork net_a = makeTreeKb(100, 4);
+    SemanticNetwork net_b = makeTreeKb(100, 4);
+    Program pa = inheritanceProgram(net_a, 32);
+    Program pb = inheritanceProgram(net_b, 32);
+    Tick t_seq = SeqBaseline(net_a).run(pa).wallTicks;
+    Tick t_cm2 = Cm2Baseline(net_b).run(pb).wallTicks;
+    EXPECT_LT(t_seq, t_cm2);
+}
+
+TEST(Baselines, MarkerStatePersistsAcrossRuns)
+{
+    SemanticNetwork net = makeTreeKb(50, 4);
+    SeqBaseline seq(net);
+    Program p1;
+    p1.append(Instruction::searchNode(3, 0, 1.0f));
+    seq.run(p1);
+    Program p2;
+    p2.append(Instruction::collectMarker(0));
+    SeqRunResult res = seq.run(p2);
+    ASSERT_EQ(res.results.size(), 1u);
+    EXPECT_EQ(res.results[0].nodes.size(), 1u);
+}
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the packed bit vector behind the
+ * marker status table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+
+namespace snap
+{
+namespace
+{
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_EQ(bv.numWords(), 4u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_FALSE(bv.any());
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, SetTestClear)
+{
+    BitVector bv(70);
+    EXPECT_FALSE(bv.set(5));
+    EXPECT_TRUE(bv.test(5));
+    EXPECT_TRUE(bv.set(5));  // previous value
+    EXPECT_FALSE(bv.set(64));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_EQ(bv.count(), 2u);
+    EXPECT_TRUE(bv.clear(5));
+    EXPECT_FALSE(bv.test(5));
+    EXPECT_FALSE(bv.clear(5));
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, WordAccessMasksTail)
+{
+    BitVector bv(40);  // 2 words, 8 tail bits in word 1
+    bv.setWord(1, 0xffffffffu);
+    EXPECT_EQ(bv.word(1), 0xffu);
+    EXPECT_EQ(bv.count(), 8u);
+    bv.setAll();
+    EXPECT_EQ(bv.count(), 40u);
+    EXPECT_EQ(bv.word(1), 0xffu);
+    bv.clearAll();
+    EXPECT_TRUE(bv.none());
+}
+
+TEST(BitVector, FindNextWalksSetBits)
+{
+    BitVector bv(200);
+    for (std::uint32_t i : {0u, 31u, 32u, 63u, 64u, 199u})
+        bv.set(i);
+    std::vector<std::uint32_t> found;
+    for (std::uint32_t i = bv.findNext(0); i < bv.size();
+         i = bv.findNext(i + 1)) {
+        found.push_back(i);
+    }
+    EXPECT_EQ(found,
+              (std::vector<std::uint32_t>{0, 31, 32, 63, 64, 199}));
+}
+
+TEST(BitVector, FindNextOnEmpty)
+{
+    BitVector bv(65);
+    EXPECT_EQ(bv.findNext(0), 65u);
+    EXPECT_EQ(bv.findNext(64), 65u);
+    EXPECT_EQ(bv.findNext(65), 65u);
+    EXPECT_EQ(bv.findNext(9999), 65u);
+}
+
+TEST(BitVector, CollectMatchesTests)
+{
+    BitVector bv(90);
+    bv.set(3);
+    bv.set(89);
+    bv.set(31);
+    std::vector<std::uint32_t> out;
+    bv.collect(out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{3, 31, 89}));
+}
+
+TEST(BitVector, EqualityComparesContent)
+{
+    BitVector a(50), b(50), c(51);
+    a.set(10);
+    b.set(10);
+    EXPECT_TRUE(a == b);
+    b.set(11);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(BitVector, ZeroSize)
+{
+    BitVector bv(0);
+    EXPECT_EQ(bv.size(), 0u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.findNext(0), 0u);
+}
+
+class BitVectorProperty
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+/** Random set/clear sequence agrees with a std::set model. */
+TEST_P(BitVectorProperty, AgreesWithSetModel)
+{
+    std::uint32_t n = GetParam();
+    BitVector bv(n);
+    std::set<std::uint32_t> model;
+    Rng rng(n * 977 + 5);
+
+    for (int step = 0; step < 2000; ++step) {
+        auto idx = static_cast<std::uint32_t>(rng.below(n));
+        if (rng.chance(0.5)) {
+            bool was = bv.set(idx);
+            EXPECT_EQ(was, model.count(idx) != 0);
+            model.insert(idx);
+        } else {
+            bool was = bv.clear(idx);
+            EXPECT_EQ(was, model.count(idx) != 0);
+            model.erase(idx);
+        }
+    }
+    EXPECT_EQ(bv.count(), model.size());
+    std::vector<std::uint32_t> out;
+    bv.collect(out);
+    std::vector<std::uint32_t> expect(model.begin(), model.end());
+    EXPECT_EQ(out, expect);
+
+    // Popcount over words equals count().
+    std::uint32_t pop = 0;
+    for (std::uint32_t w = 0; w < bv.numWords(); ++w)
+        pop += __builtin_popcount(bv.word(w));
+    EXPECT_EQ(pop, bv.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorProperty,
+                         ::testing::Values(1u, 31u, 32u, 33u, 64u,
+                                           100u, 1024u));
+
+TEST(BitVectorDeath, OutOfRangePanics)
+{
+    BitVector bv(10);
+    EXPECT_DEATH(bv.test(10), "bit index");
+    EXPECT_DEATH(bv.set(11), "bit index");
+    EXPECT_DEATH((void)bv.word(1), "word index");
+}
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the binary instruction encoding ("object code
+ * downloaded to the controller").
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/encoding.hh"
+#include "runtime/reference.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    return a.op == b.op && a.node == b.node &&
+           a.endNode == b.endNode && a.rel == b.rel &&
+           a.rel2 == b.rel2 && a.color == b.color && a.m1 == b.m1 &&
+           a.m2 == b.m2 && a.m3 == b.m3 && a.value == b.value &&
+           a.rule == b.rule && a.func == b.func &&
+           a.comb == b.comb && a.sfunc.op == b.sfunc.op &&
+           a.sfunc.imm == b.sfunc.imm;
+}
+
+TEST(Encoding, BlockSizeMatchesBroadcastCost)
+{
+    // TimingParams::instrWords defaults to 8 — the encoding must fit
+    // the modeled broadcast cost.
+    EXPECT_EQ(instrEncodingWords, 8u);
+}
+
+TEST(Encoding, EveryConstructorRoundTrips)
+{
+    std::vector<Instruction> instrs = {
+        Instruction::create(3, 7, 1.5f, 9),
+        Instruction::del(3, 7, 9),
+        Instruction::setColor(4, 200),
+        Instruction::setWeight(1, 2, 3, -0.25f),
+        Instruction::searchNode(12345, 63, 3.75f),
+        Instruction::searchRelation(65535, 64, 0.0f),
+        Instruction::searchColor(255, 127, -1.0f),
+        Instruction::propagate(1, 2, 250, MarkerFunc::MulWeight),
+        Instruction::markerCreate(5, 100, 42, 200),
+        Instruction::markerDelete(5, 100, 42, 200),
+        Instruction::markerSetColor(9, 17),
+        Instruction::andMarker(1, 2, 3, CombineOp::Diff),
+        Instruction::orMarker(4, 5, 6, CombineOp::Max),
+        Instruction::notMarker(7, 8),
+        Instruction::setMarker(11, 2.25f),
+        Instruction::clearMarker(12),
+        Instruction::funcMarker(
+            13, ScalarFunc{ScalarFunc::Op::ThresholdLt, 0.125f}),
+        Instruction::collectMarker(14),
+        Instruction::collectRelation(15, 9),
+        Instruction::collectColor(128),
+        Instruction::barrier(),
+    };
+    for (const Instruction &i : instrs) {
+        Instruction back = decodeInstruction(encodeInstruction(i));
+        EXPECT_TRUE(sameInstruction(i, back)) << i.toString();
+    }
+}
+
+TEST(Encoding, RandomizedRoundTrip)
+{
+    Rng rng(606);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Instruction i;
+        i.op = static_cast<Opcode>(
+            rng.below(static_cast<std::uint64_t>(
+                Opcode::NumOpcodes)));
+        i.node = static_cast<NodeId>(rng.below(1u << 16));
+        i.endNode = static_cast<NodeId>(rng.below(1u << 16));
+        i.rel = static_cast<RelationType>(rng.below(65536));
+        i.rel2 = static_cast<RelationType>(rng.below(65536));
+        i.color = static_cast<Color>(rng.below(256));
+        i.m1 = static_cast<MarkerId>(rng.below(128));
+        i.m2 = static_cast<MarkerId>(rng.below(128));
+        i.m3 = static_cast<MarkerId>(rng.below(128));
+        i.value = static_cast<float>(rng.uniform(-10, 10));
+        i.rule = static_cast<RuleId>(rng.below(256));
+        i.func = static_cast<MarkerFunc>(
+            rng.below(static_cast<std::uint64_t>(
+                MarkerFunc::NumFuncs)));
+        i.comb = static_cast<CombineOp>(rng.below(5));
+        i.sfunc.op = static_cast<ScalarFunc::Op>(rng.below(6));
+        i.sfunc.imm = static_cast<float>(rng.uniform(-2, 2));
+
+        Instruction back = decodeInstruction(encodeInstruction(i));
+        ASSERT_TRUE(sameInstruction(i, back)) << i.toString();
+    }
+}
+
+TEST(Encoding, ProgramStreamRoundTripsAndRuns)
+{
+    SemanticNetwork net = makeChainKb(12, "next", 0.5f);
+    RelationType next = net.relationId("next");
+
+    Program prog;
+    RuleId rid = prog.addRule(PropRule::chain(next));
+    prog.append(Instruction::searchNode(0, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rid,
+                                       MarkerFunc::AddWeight));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+
+    std::vector<std::uint32_t> object_code = encodeProgram(prog);
+    EXPECT_EQ(object_code.size(),
+              prog.size() * instrEncodingWords);
+
+    Program back = decodeProgram(object_code, prog.rules());
+    ASSERT_EQ(back.size(), prog.size());
+
+    // The decoded stream is behaviourally identical.
+    SemanticNetwork net2 = makeChainKb(12, "next", 0.5f);
+    ReferenceInterpreter a(net), b(net2);
+    ResultSet ra = a.run(prog);
+    ResultSet rb = b.run(back);
+    ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_EQ(ra[0].nodes.size(), rb[0].nodes.size());
+    for (std::size_t k = 0; k < ra[0].nodes.size(); ++k)
+        EXPECT_EQ(ra[0].nodes[k], rb[0].nodes[k]);
+}
+
+TEST(EncodingDeath, CorruptOpcodeIsFatal)
+{
+    EncodedInstr w{};
+    w[0] = 0xff;
+    EXPECT_EXIT(decodeInstruction(w), ::testing::ExitedWithCode(1),
+                "corrupt object code");
+}
+
+TEST(EncodingDeath, MisalignedStreamIsFatal)
+{
+    std::vector<std::uint32_t> words(instrEncodingWords + 1, 0);
+    RuleTable rules;
+    EXPECT_EXIT(decodeProgram(words, rules),
+                ::testing::ExitedWithCode(1), "not a multiple");
+}
+
+} // namespace
+} // namespace snap

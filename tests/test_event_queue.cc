@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, same-tick FIFO,
+ * deschedule/reschedule, horizons, and clocked objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace snap
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleCallback(30, [&] { order.push_back(3); });
+    eq.scheduleCallback(10, [&] { order.push_back(1); });
+    eq.scheduleCallback(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleCallback(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            eq.scheduleCallback(eq.curTick() + 7, chain);
+    };
+    eq.scheduleCallback(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 28u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventFunctionWrapper ev([&] { fired = true; }, "cancel-me");
+    eq.schedule(&ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.numScheduled(), 0u);
+}
+
+TEST(EventQueue, RescheduleMoves)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev([&] { fired_at = eq.curTick(); }, "move");
+    eq.schedule(&ev, 10);
+    eq.reschedule(&ev, 50);
+    eq.run();
+    EXPECT_EQ(fired_at, 50u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {5u, 10u, 15u, 20u})
+        eq.scheduleCallback(t, [&, t] { fired.push_back(t); });
+    eq.runUntil(12);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 10}));
+    eq.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, MemberEventReuse)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper ev([&] { ++count; }, "reuse");
+    for (int i = 0; i < 3; ++i) {
+        eq.schedule(&ev, eq.curTick() + 1);
+        eq.run();
+    }
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.scheduleCallback(100, [] {});
+    eq.run();
+    EventFunctionWrapper ev([] {}, "late");
+    EXPECT_DEATH(eq.schedule(&ev, 50), "in the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "twice");
+    eq.schedule(&ev, 10);
+    EXPECT_DEATH(eq.schedule(&ev, 20), "already scheduled");
+    eq.deschedule(&ev);
+}
+
+TEST(ClockedObject, EdgesAlignToGrid)
+{
+    EventQueue eq;
+    ClockedObject obj(&eq, "dsp", 40000);  // 40 ns
+
+    // At t=0, the aligned edge is t=0.
+    EXPECT_EQ(obj.clockEdge(0), 0u);
+    EXPECT_EQ(obj.clockEdge(2), 80000u);
+    EXPECT_EQ(obj.cyclesToTicks(25), 1000000u);  // 25 cycles = 1 us
+
+    // Advance to an unaligned instant.
+    eq.scheduleCallback(55555, [] {});
+    eq.run();
+    EXPECT_EQ(obj.clockEdge(0), 80000u);  // next 40 ns edge
+    EXPECT_EQ(obj.clockEdge(1), 120000u);
+}
+
+TEST(ClockedObject, ControllerAndArrayPeriods)
+{
+    EventQueue eq;
+    ClockedObject array(&eq, "pe", 40000);
+    ClockedObject ctrl(&eq, "scp", 31250);
+    // 25 MHz and 32 MHz: 1 us worth of cycles.
+    EXPECT_EQ(array.cyclesToTicks(25), ticksPerUs);
+    EXPECT_EQ(ctrl.cyclesToTicks(32), ticksPerUs);
+}
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef SNAP_TESTS_TEST_HELPERS_HH
+#define SNAP_TESTS_TEST_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+#include "runtime/marker_store.hh"
+#include "runtime/reference.hh"
+#include "runtime/results.hh"
+
+namespace snap
+{
+namespace test
+{
+
+/** Compare two result sets after sorting node/link order. */
+inline void
+expectSameResults(ResultSet a, ResultSet b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i].sortNodes();
+        b[i].sortNodes();
+        EXPECT_EQ(a[i].op, b[i].op) << "result " << i;
+        ASSERT_EQ(a[i].nodes.size(), b[i].nodes.size())
+            << "result " << i;
+        for (std::size_t k = 0; k < a[i].nodes.size(); ++k) {
+            EXPECT_EQ(a[i].nodes[k].node, b[i].nodes[k].node)
+                << "result " << i << " item " << k;
+            EXPECT_FLOAT_EQ(a[i].nodes[k].value, b[i].nodes[k].value)
+                << "result " << i << " item " << k << " node "
+                << a[i].nodes[k].node;
+            EXPECT_EQ(a[i].nodes[k].origin, b[i].nodes[k].origin)
+                << "result " << i << " item " << k << " node "
+                << a[i].nodes[k].node;
+        }
+        ASSERT_EQ(a[i].links.size(), b[i].links.size())
+            << "result " << i;
+        for (std::size_t k = 0; k < a[i].links.size(); ++k) {
+            EXPECT_EQ(a[i].links[k], b[i].links[k])
+                << "result " << i << " link " << k;
+        }
+    }
+}
+
+/** Compare full marker state: machine image vs golden store. */
+inline void
+expectSameMarkers(const KbImage &image, const MarkerStore &golden,
+                  std::uint32_t num_nodes)
+{
+    MarkerStore flat = image.flatten();
+    for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+        auto mid = static_cast<MarkerId>(m);
+        for (NodeId n = 0; n < num_nodes; ++n) {
+            ASSERT_EQ(flat.test(mid, n), golden.test(mid, n))
+                << "marker m" << m << " at node " << n;
+            if (flat.test(mid, n) && isComplexMarker(mid)) {
+                EXPECT_FLOAT_EQ(flat.value(mid, n),
+                                golden.value(mid, n))
+                    << "marker m" << m << " value at node " << n;
+                EXPECT_EQ(flat.origin(mid, n), golden.origin(mid, n))
+                    << "marker m" << m << " origin at node " << n;
+            }
+        }
+    }
+}
+
+} // namespace test
+} // namespace snap
+
+#endif // SNAP_TESTS_TEST_HELPERS_HH

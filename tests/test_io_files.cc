@@ -1,0 +1,93 @@
+/**
+ * @file
+ * File-level IO round trips: .snapkb files, marker snapshots, and
+ * assembler source files — the surfaces the CLI tools sit on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "kb/kb_io.hh"
+#include "runtime/snapshot.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+/** Unique temp path per test (single process, no races). */
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "snap_io_" + name;
+}
+
+TEST(IoFiles, NetworkFileRoundTrip)
+{
+    std::string path = tempPath("net.snapkb");
+    SemanticNetwork net = makeRandomKb(40, 2.0, 3, 5);
+    saveNetworkFile(net, path);
+
+    SemanticNetwork back = loadNetworkFile(path);
+    EXPECT_EQ(back.numNodes(), net.numNodes());
+    EXPECT_EQ(back.numLinks(), net.numLinks());
+    std::remove(path.c_str());
+}
+
+TEST(IoFiles, SnapshotFileRoundTrip)
+{
+    std::string path = tempPath("markers.txt");
+    MarkerStore store(30);
+    store.set(2, 7, 1.5f, 7);
+    store.setBit(70, 29);
+    saveMarkersFile(store, path);
+
+    MarkerStore back = loadMarkersFile(path);
+    EXPECT_TRUE(back.test(2, 7));
+    EXPECT_FLOAT_EQ(back.value(2, 7), 1.5f);
+    EXPECT_TRUE(back.test(70, 29));
+    std::remove(path.c_str());
+}
+
+TEST(IoFiles, AssembleFile)
+{
+    std::string path = tempPath("prog.snap");
+    {
+        std::ofstream os(path);
+        os << "rule r chain(next)\n"
+              "search-node n0 m0 0\n"
+              "propagate m0 m1 r count\n"
+              "barrier\n"
+              "collect-marker m1\n";
+    }
+    SemanticNetwork net = makeChainKb(5);
+    Program prog = assembleFile(path, net);
+    EXPECT_EQ(prog.size(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(IoFilesDeath, MissingFilesAreFatal)
+{
+    EXPECT_EXIT((void)loadNetworkFile("/nonexistent/kb.snapkb"),
+                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT((void)loadMarkersFile("/nonexistent/m.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+    SemanticNetwork net = makeChainKb(3);
+    EXPECT_EXIT((void)assembleFile("/nonexistent/p.snap", net),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(IoFilesDeath, UnwritablePathIsFatal)
+{
+    SemanticNetwork net = makeChainKb(3);
+    EXPECT_EXIT(saveNetworkFile(net, "/nonexistent/dir/kb.snapkb"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the semantic network, symbol tables, partitioner, and
+ * knowledge-base IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kb/kb_io.hh"
+#include "kb/partition.hh"
+#include "kb/semantic_network.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+// --- semantic network --------------------------------------------------------
+
+TEST(SemanticNetwork, AddNodesAndLinks)
+{
+    SemanticNetwork net;
+    NodeId a = net.addNode("we", "lexical");
+    NodeId b = net.addNode("animate", "concept-type");
+    net.addLink(a, "is-a", b, 0.5f);
+
+    EXPECT_EQ(net.numNodes(), 2u);
+    EXPECT_EQ(net.numLinks(), 1u);
+    EXPECT_EQ(net.node("we"), a);
+    EXPECT_EQ(net.nodeName(b), "animate");
+    EXPECT_EQ(net.colorNames().name(net.color(a)), "lexical");
+
+    auto links = net.links(a);
+    ASSERT_EQ(links.size(), 1u);
+    EXPECT_EQ(links[0].dst, b);
+    EXPECT_FLOAT_EQ(links[0].weight, 0.5f);
+    EXPECT_EQ(net.relations().name(links[0].rel), "is-a");
+}
+
+TEST(SemanticNetwork, RemoveLink)
+{
+    SemanticNetwork net;
+    NodeId a = net.addNode("a");
+    NodeId b = net.addNode("b");
+    RelationType r = net.relation("r");
+    net.addLink(a, r, b, 1.0f);
+    net.addLink(a, r, b, 2.0f);  // parallel link
+
+    EXPECT_TRUE(net.removeLink(a, r, b));
+    EXPECT_EQ(net.fanout(a), 1u);
+    EXPECT_FLOAT_EQ(net.links(a)[0].weight, 2.0f);
+    EXPECT_TRUE(net.removeLink(a, r, b));
+    EXPECT_FALSE(net.removeLink(a, r, b));
+    EXPECT_EQ(net.numLinks(), 0u);
+}
+
+TEST(SemanticNetwork, SetWeightAndColor)
+{
+    SemanticNetwork net;
+    NodeId a = net.addNode("a");
+    NodeId b = net.addNode("b");
+    RelationType r = net.relation("r");
+    net.addLink(a, r, b, 1.0f);
+
+    EXPECT_TRUE(net.setWeight(a, r, b, 3.5f));
+    EXPECT_FLOAT_EQ(net.links(a)[0].weight, 3.5f);
+    EXPECT_FALSE(net.setWeight(b, r, a, 1.0f));
+
+    Color red = net.colorNames().intern("red");
+    net.setColor(a, red);
+    EXPECT_EQ(net.color(a), red);
+}
+
+TEST(SemanticNetwork, MaxFanout)
+{
+    SemanticNetwork net = makeStarKb(20);
+    EXPECT_EQ(net.maxFanout(), 20u);
+    EXPECT_EQ(net.fanout(0), 20u);
+    EXPECT_EQ(net.fanout(1), 0u);
+}
+
+TEST(SemanticNetworkDeath, DuplicateNodeNameIsFatal)
+{
+    SemanticNetwork net;
+    net.addNode("x");
+    EXPECT_EXIT(net.addNode("x"), ::testing::ExitedWithCode(1),
+                "duplicate node");
+}
+
+TEST(SemanticNetworkDeath, UnknownNodeLookupIsFatal)
+{
+    SemanticNetwork net;
+    EXPECT_EXIT((void)net.node("ghost"),
+                ::testing::ExitedWithCode(1), "unknown node");
+}
+
+// --- partition -------------------------------------------------------------------
+
+class PartitionStrategies
+    : public ::testing::TestWithParam<PartitionStrategy>
+{
+};
+
+TEST_P(PartitionStrategies, PlacementInvariants)
+{
+    SemanticNetwork net = makeRandomKb(300, 3.0, 3, 44);
+    for (std::uint32_t clusters : {1u, 4u, 7u, 16u, 32u}) {
+        Partition part = Partition::build(net, clusters, GetParam(),
+                                          1024);
+        EXPECT_EQ(part.numClusters(), clusters);
+        EXPECT_EQ(part.numNodes(), 300u);
+
+        // Every node appears exactly once and round-trips.
+        std::uint32_t total = 0;
+        for (ClusterId c = 0; c < clusters; ++c) {
+            total += part.clusterSize(c);
+            for (LocalNodeId l = 0; l < part.clusterSize(c); ++l) {
+                NodeId g = part.nodeAt(c, l);
+                Placement p = part.place(g);
+                EXPECT_EQ(p.cluster, c);
+                EXPECT_EQ(p.local, l);
+            }
+        }
+        EXPECT_EQ(total, 300u);
+
+        // Balance: no cluster exceeds ceil(n / clusters).
+        std::uint32_t cap = (300 + clusters - 1) / clusters;
+        for (ClusterId c = 0; c < clusters; ++c)
+            EXPECT_LE(part.clusterSize(c), cap);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PartitionStrategies,
+                         ::testing::Values(
+                             PartitionStrategy::Sequential,
+                             PartitionStrategy::RoundRobin,
+                             PartitionStrategy::Semantic));
+
+TEST(Partition, SemanticBeatsRoundRobinOnClusteredGraphs)
+{
+    // A chain is the best case for region-based allocation: almost
+    // every link can stay inside a cluster.
+    SemanticNetwork net = makeChainKb(256);
+    Partition sem = Partition::build(net, 8,
+                                     PartitionStrategy::Semantic);
+    Partition rr = Partition::build(net, 8,
+                                    PartitionStrategy::RoundRobin);
+    double sem_loc = Partition::localityFraction(net, sem);
+    double rr_loc = Partition::localityFraction(net, rr);
+    EXPECT_GT(sem_loc, 0.9);
+    EXPECT_LT(rr_loc, 0.01);  // round-robin splits every chain link
+}
+
+TEST(Partition, RoundRobinInterleaves)
+{
+    SemanticNetwork net = makeChainKb(10);
+    Partition part = Partition::build(net, 3,
+                                      PartitionStrategy::RoundRobin);
+    for (NodeId i = 0; i < 10; ++i)
+        EXPECT_EQ(part.place(i).cluster, i % 3);
+}
+
+TEST(Partition, SequentialKeepsBlocks)
+{
+    SemanticNetwork net = makeChainKb(100);
+    Partition part = Partition::build(net, 4,
+                                      PartitionStrategy::Sequential);
+    EXPECT_EQ(part.place(0).cluster, 0u);
+    EXPECT_EQ(part.place(24).cluster, 0u);
+    EXPECT_EQ(part.place(25).cluster, 1u);
+    EXPECT_EQ(part.place(99).cluster, 3u);
+}
+
+TEST(PartitionDeath, CapacityOverflowIsFatal)
+{
+    SemanticNetwork net = makeChainKb(100);
+    EXPECT_EXIT(Partition::build(net, 2, PartitionStrategy::Sequential,
+                                 40),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+// --- kb io ----------------------------------------------------------------------
+
+TEST(KbIo, RoundTrips)
+{
+    SemanticNetwork net = makeRandomKb(50, 2.5, 3, 99);
+    std::ostringstream os;
+    saveNetwork(net, os);
+
+    std::istringstream is(os.str());
+    SemanticNetwork loaded = loadNetwork(is);
+
+    ASSERT_EQ(loaded.numNodes(), net.numNodes());
+    ASSERT_EQ(loaded.numLinks(), net.numLinks());
+    for (NodeId u = 0; u < net.numNodes(); ++u) {
+        EXPECT_EQ(loaded.nodeName(u), net.nodeName(u));
+        EXPECT_EQ(loaded.colorNames().name(loaded.color(u)),
+                  net.colorNames().name(net.color(u)));
+        auto a = net.links(u);
+        auto b = loaded.links(u);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t k = 0; k < a.size(); ++k) {
+            EXPECT_EQ(net.relations().name(a[k].rel),
+                      loaded.relations().name(b[k].rel));
+            EXPECT_EQ(a[k].dst, b[k].dst);
+            EXPECT_FLOAT_EQ(a[k].weight, b[k].weight);
+        }
+    }
+}
+
+TEST(KbIo, CommentsAndBlanksIgnored)
+{
+    std::istringstream is(
+        "snapkb 1\n"
+        "# a comment\n"
+        "\n"
+        "node a concept  # trailing comment\n"
+        "node b concept\n"
+        "link a rel b 1.5\n");
+    SemanticNetwork net = loadNetwork(is);
+    EXPECT_EQ(net.numNodes(), 2u);
+    EXPECT_EQ(net.numLinks(), 1u);
+}
+
+TEST(KbIoDeath, MissingHeaderIsFatal)
+{
+    std::istringstream is("node a concept\n");
+    EXPECT_EXIT(loadNetwork(is), ::testing::ExitedWithCode(1),
+                "snapkb 1");
+}
+
+TEST(KbIoDeath, UnknownNodeInLinkIsFatal)
+{
+    std::istringstream is("snapkb 1\nnode a concept\n"
+                          "link a rel ghost 1\n");
+    EXPECT_EXIT(loadNetwork(is), ::testing::ExitedWithCode(1),
+                "unknown node");
+}
+
+TEST(KbIoDeath, BadWeightIsFatal)
+{
+    std::istringstream is("snapkb 1\nnode a concept\nnode b concept\n"
+                          "link a rel b xyz\n");
+    EXPECT_EXIT(loadNetwork(is), ::testing::ExitedWithCode(1),
+                "bad weight");
+}
+
+// --- symbols ----------------------------------------------------------------------
+
+TEST(SymbolTable, InternAndLookup)
+{
+    SymbolTable<std::uint16_t> t("thing", 4);
+    auto a = t.intern("alpha");
+    auto b = t.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.intern("alpha"), a);
+    EXPECT_EQ(t.lookup("beta"), b);
+    EXPECT_EQ(t.name(a), "alpha");
+    EXPECT_EQ(t.size(), 2u);
+
+    std::uint16_t out;
+    EXPECT_FALSE(t.tryLookup("gamma", out));
+    EXPECT_TRUE(t.tryLookup("alpha", out));
+    EXPECT_EQ(out, a);
+}
+
+TEST(SymbolTableDeath, OverflowIsFatal)
+{
+    SymbolTable<std::uint8_t> t("tiny", 2);
+    t.intern("a");
+    t.intern("b");
+    EXPECT_EXIT(t.intern("c"), ::testing::ExitedWithCode(1),
+                "overflow");
+}
+
+} // namespace
+} // namespace snap

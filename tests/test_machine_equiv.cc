@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Randomized equivalence: for race-free programs, the SNAP machine
+ * model and the sequential golden-model interpreter must produce
+ * bit-identical marker state and collection results, for every
+ * cluster count and partitioning strategy.
+ *
+ * This is the central correctness property of the reproduction: the
+ * distributed, message-passing, multi-MU execution (with bursts,
+ * blocking queues, and arbitrary event interleavings) converges to
+ * the same unique fixpoint as sequential execution, because marker
+ * merging is a monotone relaxation under a deterministic total order
+ * (DESIGN.md §5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+#include "common/rng.hh"
+#include "runtime/validate.hh"
+#include "tests/test_helpers.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+/** Random race-free program over a random knowledge base. */
+Program
+makeRandomProgram(SemanticNetwork &net, std::uint64_t seed,
+                  std::uint32_t length)
+{
+    Rng rng(seed);
+    Program prog;
+
+    // A pool of rules over the network's relation types.
+    std::vector<RelationType> rels;
+    for (RelationType r = 0; r < net.relations().size(); ++r)
+        rels.push_back(r);
+    snap_assert(rels.size() >= 2, "need >= 2 relation types");
+
+    std::vector<RuleId> rules;
+    for (int i = 0; i < 8; ++i) {
+        RelationType r1 = rels[rng.below(rels.size())];
+        RelationType r2 = rels[rng.below(rels.size())];
+        PropRule rule;
+        switch (rng.below(4)) {
+          case 0: rule = PropRule::chain(r1); break;
+          case 1: rule = PropRule::spread(r1, r2); break;
+          case 2: rule = PropRule::seq(r1, r2); break;
+          default: rule = PropRule::comb(r1, r2); break;
+        }
+        // Mix ample and *binding* step limits: the Pareto frontier
+        // must keep the fixpoint order-independent even when the
+        // bound cuts paths mid-cycle.
+        rule.maxSteps = (i % 2 == 0) ? 40 : 2 + i / 2;
+        rules.push_back(prog.addRule(std::move(rule)));
+    }
+
+    const MarkerFunc funcs[] = {MarkerFunc::AddWeight,
+                                MarkerFunc::None, MarkerFunc::Count,
+                                MarkerFunc::MaxWeight,
+                                MarkerFunc::MinWeight};
+    const CombineOp combs[] = {CombineOp::Sum, CombineOp::Min,
+                               CombineOp::Max, CombineOp::First};
+
+    auto rand_marker = [&] {
+        // Mix complex (0..9) and binary (64..69) markers.
+        return static_cast<MarkerId>(
+            rng.chance(0.7) ? rng.below(10) : 64 + rng.below(6));
+    };
+    auto rand_node = [&] {
+        return static_cast<NodeId>(rng.below(net.numNodes()));
+    };
+
+    std::uint32_t emitted = 0;
+    while (emitted < length) {
+        switch (rng.below(14)) {
+          case 0:
+          case 1: {  // barrier + propagate batch + barrier
+            // The leading barrier closes the epoch so earlier
+            // instructions touching the batch's m2 markers cannot
+            // race with remote deliveries (backward hazard).
+            prog.append(Instruction::barrier());
+            ++emitted;
+            std::uint32_t batch = 1 + rng.below(3);
+            std::vector<MarkerId> used;
+            bool any = false;
+            for (std::uint32_t b = 0; b < batch; ++b) {
+                MarkerId m1 = rand_marker();
+                MarkerId m2 = rand_marker();
+                bool clash = m1 == m2;
+                // Overlapped propagates must be fully independent:
+                // neither marker may appear in any earlier propagate
+                // of the batch (Fig. 7 discipline).
+                for (MarkerId u : used)
+                    if (u == m1 || u == m2)
+                        clash = true;
+                if (clash)
+                    continue;
+                used.push_back(m1);
+                used.push_back(m2);
+                any = true;
+                prog.append(Instruction::propagate(
+                    m1, m2, rules[rng.below(rules.size())],
+                    funcs[rng.below(5)]));
+                ++emitted;
+            }
+            if (any) {
+                prog.append(Instruction::barrier());
+                ++emitted;
+            }
+            break;
+          }
+          case 2:
+            prog.append(Instruction::searchNode(
+                rand_node(), rand_marker(),
+                static_cast<float>(rng.uniform(0, 4))));
+            ++emitted;
+            break;
+          case 3:
+            prog.append(Instruction::searchColor(
+                0, rand_marker(),
+                static_cast<float>(rng.uniform(0, 2))));
+            ++emitted;
+            break;
+          case 4:
+            prog.append(Instruction::searchRelation(
+                rels[rng.below(rels.size())], rand_marker(), 1.0f));
+            ++emitted;
+            break;
+          case 5: {
+            MarkerId m1 = rand_marker();
+            MarkerId m2 = rand_marker();
+            MarkerId m3 = rand_marker();
+            if (rng.chance(0.5)) {
+                prog.append(Instruction::andMarker(
+                    m1, m2, m3, combs[rng.below(4)]));
+            } else {
+                prog.append(Instruction::orMarker(
+                    m1, m2, m3, combs[rng.below(4)]));
+            }
+            ++emitted;
+            break;
+          }
+          case 6:
+            prog.append(Instruction::notMarker(rand_marker(),
+                                               rand_marker()));
+            ++emitted;
+            break;
+          case 7:
+            if (rng.chance(0.5)) {
+                prog.append(Instruction::setMarker(
+                    rand_marker(),
+                    static_cast<float>(rng.uniform(0, 3))));
+            } else {
+                prog.append(
+                    Instruction::clearMarker(rand_marker()));
+            }
+            ++emitted;
+            break;
+          case 8: {
+            ScalarFunc f;
+            f.op = rng.chance(0.5) ? ScalarFunc::Op::Add
+                                   : ScalarFunc::Op::ThresholdGe;
+            f.imm = static_cast<float>(rng.uniform(0, 2));
+            prog.append(
+                Instruction::funcMarker(rand_marker(), f));
+            ++emitted;
+            break;
+          }
+          case 10: {
+            // Node maintenance: create / delete / re-weight a link,
+            // or recolor a node.  A barrier first keeps the edit out
+            // of any in-flight propagation epoch.
+            prog.append(Instruction::barrier());
+            NodeId src = rand_node();
+            NodeId dst = rand_node();
+            RelationType rel = rels[rng.below(rels.size())];
+            switch (rng.below(4)) {
+              case 0:
+                prog.append(Instruction::create(
+                    src, rel, static_cast<float>(rng.uniform(0.1, 2)),
+                    dst));
+                break;
+              case 1:
+                prog.append(Instruction::del(src, rel, dst));
+                break;
+              case 2:
+                prog.append(Instruction::setWeight(
+                    src, rel, dst,
+                    static_cast<float>(rng.uniform(0.1, 2))));
+                break;
+              default:
+                prog.append(Instruction::setColor(
+                    src, static_cast<Color>(rng.below(3))));
+                break;
+            }
+            emitted += 2;
+            break;
+          }
+          case 11: {
+            // Marker maintenance: bind marked nodes to an end node
+            // (spawns LinkCreate/LinkDelete messages), bracketed by
+            // barriers so the link edits are race free.
+            prog.append(Instruction::barrier());
+            MarkerId m = rand_marker();
+            RelationType fwd = rels[0];
+            RelationType rev = rels[1];
+            NodeId end = rand_node();
+            if (rng.chance(0.6)) {
+                prog.append(
+                    Instruction::markerCreate(m, fwd, end, rev));
+            } else {
+                prog.append(
+                    Instruction::markerDelete(m, fwd, end, rev));
+            }
+            prog.append(Instruction::barrier());
+            emitted += 3;
+            break;
+          }
+          case 12:
+            prog.append(Instruction::markerSetColor(
+                rand_marker(), static_cast<Color>(rng.below(3))));
+            ++emitted;
+            break;
+          case 13:
+            prog.append(Instruction::collectColor(
+                static_cast<Color>(rng.below(3))));
+            ++emitted;
+            break;
+          default:
+            if (rng.chance(0.6)) {
+                prog.append(
+                    Instruction::collectMarker(rand_marker()));
+            } else {
+                prog.append(Instruction::collectRelation(
+                    rand_marker(), rels[rng.below(rels.size())]));
+            }
+            ++emitted;
+            break;
+        }
+    }
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(0));
+    prog.append(Instruction::collectMarker(64));
+    return prog;
+}
+
+struct EquivCase
+{
+    std::uint32_t clusters;
+    PartitionStrategy strategy;
+    std::uint64_t seed;
+};
+
+class MachineEquiv : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(MachineEquiv, MatchesGolden)
+{
+    const EquivCase &c = GetParam();
+
+    SemanticNetwork net_machine =
+        makeRandomKb(120, 3.0, 4, c.seed);
+    SemanticNetwork net_golden = makeRandomKb(120, 3.0, 4, c.seed);
+
+    Program prog = makeRandomProgram(net_machine, c.seed * 17 + 3,
+                                     60);
+    ASSERT_TRUE(validateProgram(prog).empty());
+
+    MachineConfig cfg;
+    cfg.numClusters = c.clusters;
+    cfg.partition = c.strategy;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(net_machine);
+    RunResult run = machine.run(prog);
+
+    ReferenceInterpreter golden(net_golden);
+    ResultSet gres = golden.run(prog);
+
+    test::expectSameResults(run.results, gres);
+    test::expectSameMarkers(machine.image(), golden.store(),
+                            net_golden.numNodes());
+}
+
+std::vector<EquivCase>
+makeCases()
+{
+    std::vector<EquivCase> cases;
+    for (std::uint32_t clusters : {1u, 2u, 3u, 4u, 8u, 16u, 32u}) {
+        for (PartitionStrategy s : {PartitionStrategy::Sequential,
+                                    PartitionStrategy::RoundRobin,
+                                    PartitionStrategy::Semantic}) {
+            cases.push_back(EquivCase{clusters, s,
+                                      1000 + clusters * 7 +
+                                          static_cast<std::uint64_t>(
+                                              s)});
+        }
+    }
+    // Extra seeds on the paper configuration.
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        cases.push_back(
+            EquivCase{16, PartitionStrategy::Semantic, seed});
+    }
+    // And on the full prototype.
+    for (std::uint64_t seed = 20; seed <= 23; ++seed) {
+        cases.push_back(
+            EquivCase{32, PartitionStrategy::RoundRobin, seed});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MachineEquiv, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<EquivCase> &info) {
+        return "c" + std::to_string(info.param.clusters) + "_p" +
+               std::to_string(
+                   static_cast<int>(info.param.strategy)) +
+               "_s" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace snap

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the NLU application stack: lexicon, layered knowledge
+ * base, corpus, phrasal parser, and the memory-based parser —
+ * including end-to-end parses on the machine and machine-vs-golden
+ * equivalence of the parsing programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+#include "nlu/corpus.hh"
+#include "nlu/kb_factory.hh"
+#include "nlu/mb_parser.hh"
+#include "nlu/phrasal_parser.hh"
+#include "runtime/validate.hh"
+#include "tests/test_helpers.hh"
+#include "workload/alpha_beta.hh"
+
+namespace snap
+{
+namespace
+{
+
+LinguisticKbParams
+smallParams()
+{
+    LinguisticKbParams p;
+    p.nonlexicalNodes = 1200;
+    p.vocabulary = 200;
+    p.seed = 17;
+    return p;
+}
+
+TEST(Lexicon, CoreWordsPresent)
+{
+    Lexicon lex(200);
+    EXPECT_EQ(lex.size(), 200u);
+    EXPECT_TRUE(lex.contains("guerrillas"));
+    EXPECT_TRUE(lex.contains("attacked"));
+    EXPECT_TRUE(lex.contains("the"));
+    EXPECT_FALSE(lex.contains("zebra"));
+    EXPECT_GE(lex.wordsOf(SemField::Organization).size(), 5u);
+    EXPECT_GE(lex.wordsOf(WordClass::Verb).size(), 5u);
+}
+
+TEST(Lexicon, FillerKeepsComposition)
+{
+    Lexicon lex(500);
+    std::uint32_t nouns = 0;
+    for (const auto &e : lex.entries())
+        if (e.wclass == WordClass::Noun)
+            ++nouns;
+    EXPECT_GT(nouns, 100u);
+}
+
+TEST(LexiconDeath, TooSmallIsFatal)
+{
+    EXPECT_EXIT(Lexicon(10), ::testing::ExitedWithCode(1),
+                "domain core");
+}
+
+TEST(LinguisticKbTest, LayerProportions)
+{
+    LinguisticKb kb(smallParams());
+    std::uint32_t nonlex = kb.numTypes() + kb.numSyntax() +
+                           kb.numRoots() + kb.numElements() +
+                           kb.numAux();
+    // Paper proportions: 75% sequences, 15% hierarchy, 5% syntax,
+    // 5% auxiliary (within rounding of the generator).
+    double seq_frac =
+        static_cast<double>(kb.numRoots() + kb.numElements()) /
+        nonlex;
+    double hier_frac = static_cast<double>(kb.numTypes()) / nonlex;
+    EXPECT_NEAR(seq_frac, 0.75, 0.05);
+    EXPECT_NEAR(hier_frac, 0.15, 0.05);
+
+    // Total = nonlexical + lexical.
+    EXPECT_EQ(kb.net().numNodes(), nonlex + kb.lexicon().size());
+}
+
+TEST(LinguisticKbTest, WordsWiredIntoLayers)
+{
+    LinguisticKb kb(smallParams());
+    NodeId w = kb.wordNode("guerrillas");
+    bool has_means = false, has_syn = false;
+    for (const Link &l : kb.net().links(w)) {
+        if (l.rel == kb.relMeans()) {
+            has_means = true;
+            EXPECT_EQ(kb.net().color(l.dst), kb.colorType());
+        }
+        if (l.rel == kb.relSyn()) {
+            has_syn = true;
+            EXPECT_EQ(kb.net().color(l.dst), kb.colorSyntax());
+        }
+    }
+    EXPECT_TRUE(has_means);
+    EXPECT_TRUE(has_syn);
+}
+
+TEST(LinguisticKbTest, SequencesHaveStructure)
+{
+    LinguisticKb kb(smallParams());
+    ASSERT_FALSE(kb.rootNodes().empty());
+    NodeId root = kb.rootNodes()[0];
+    EXPECT_EQ(kb.net().color(root), kb.colorCsRoot());
+    // Root has a first element; elements chain via next and point
+    // back via part-of.
+    NodeId first = invalidNode;
+    for (const Link &l : kb.net().links(root))
+        if (l.rel == kb.relFirst())
+            first = l.dst;
+    ASSERT_NE(first, invalidNode);
+    EXPECT_EQ(kb.net().color(first), kb.colorCsElem());
+    bool part_of = false, expects = false;
+    for (const Link &l : kb.net().links(first)) {
+        part_of |= l.rel == kb.relPartOf() && l.dst == root;
+        expects |= l.rel == kb.relExpects();
+    }
+    EXPECT_TRUE(part_of);
+    EXPECT_TRUE(expects);
+}
+
+TEST(LinguisticKbTest, DeterministicBySeed)
+{
+    LinguisticKb a(smallParams());
+    LinguisticKb b(smallParams());
+    EXPECT_EQ(a.net().numNodes(), b.net().numNodes());
+    EXPECT_EQ(a.net().numLinks(), b.net().numLinks());
+}
+
+TEST(Corpus, Muc4SentenceLengths)
+{
+    Lexicon lex(200);
+    auto sents = makeMuc4Sentences(lex);
+    ASSERT_EQ(sents.size(), 4u);
+    EXPECT_EQ(sents[0].length(), 8u);
+    EXPECT_EQ(sents[1].length(), 14u);
+    EXPECT_EQ(sents[2].length(), 22u);
+    EXPECT_EQ(sents[3].length(), 30u);
+    EXPECT_EQ(sents[0].id, "S1");
+    EXPECT_NE(sents[0].text().find("guerrillas"),
+              std::string::npos);
+}
+
+TEST(Corpus, NewswireBatchCovered)
+{
+    Lexicon lex(300);
+    auto batch = makeNewswireBatch(lex, 20, 5);
+    EXPECT_EQ(batch.size(), 20u);
+    for (const auto &s : batch) {
+        EXPECT_GE(s.length(), 9u);
+        EXPECT_LE(s.length(), 28u);
+        for (const auto &w : s.words)
+            EXPECT_TRUE(lex.contains(w)) << w;
+    }
+}
+
+TEST(Corpus, SpeechLatticeHasAlternatives)
+{
+    Lexicon lex(300);
+    auto lattice = makeSpeechLattice(lex, 12, 3);
+    EXPECT_EQ(lattice.size(), 12u);
+    bool any_multi = false;
+    for (const auto &alt : lattice) {
+        EXPECT_GE(alt.size(), 1u);
+        EXPECT_LE(alt.size(), 3u);
+        any_multi |= alt.size() > 1;
+    }
+    EXPECT_TRUE(any_multi);
+}
+
+TEST(PhrasalParserTest, ChunksAtFunctionWords)
+{
+    Lexicon lex(200);
+    PhrasalParser pp(lex);
+    PhrasalResult res = pp.parse({"the", "guerrillas", "attacked",
+                                  "the", "embassy", "in",
+                                  "salvador"});
+    // Openers: the / attacked / the / in -> 4 phrases.
+    ASSERT_EQ(res.phrases.size(), 4u);
+    EXPECT_EQ(res.phrases[0].words,
+              (std::vector<std::string>{"the", "guerrillas"}));
+    EXPECT_EQ(res.phrases[3].words,
+              (std::vector<std::string>{"in", "salvador"}));
+}
+
+TEST(PhrasalParserTest, TimeProportionalToLength)
+{
+    Lexicon lex(200);
+    PhrasalParser pp(lex);
+    Tick t2 = pp.parse({"the", "mayor"}).time;
+    Tick t6 = pp.parse({"the", "mayor", "the", "mayor", "the",
+                        "mayor"}).time;
+    EXPECT_EQ(t6, 3 * t2);
+}
+
+TEST(MbParser, ProgramIsRaceFreeAndSized)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+    auto sents = makeMuc4Sentences(kb.lexicon());
+
+    Program prog = parser.buildProgram(sents[3].words);  // 30 words
+    EXPECT_TRUE(validateProgram(prog).empty());
+    // The paper: "Most sentences can be processed with around
+    // 400-900 SNAP instructions" — our longest sentence lands in
+    // the low hundreds.
+    EXPECT_GT(prog.size(), 250u);
+    EXPECT_LT(prog.size(), 900u);
+
+    // The instruction mix has all the profiled categories.
+    auto counts = prog.categoryCounts();
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  InstrCategory::Propagation)], 0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  InstrCategory::Boolean)], 0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  InstrCategory::SetClear)], 0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  InstrCategory::Collection)], 0u);
+}
+
+TEST(MbParser, ParsesS1ToTemplateSequence)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+    auto sents = makeMuc4Sentences(kb.lexicon());
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+
+    ParseOutcome out = parser.parseOn(machine, sents[0]);
+    EXPECT_NE(out.bestRoot, invalidNode);
+    EXPECT_GT(out.bestScore, 0.0f);
+    EXPECT_FALSE(out.candidates.empty());
+    EXPECT_GT(out.ppTime, 0u);
+    EXPECT_GT(out.mbTime, 0u);
+    // The winner is a concept-sequence root.
+    EXPECT_EQ(kb.net().color(out.bestRoot), kb.colorCsRoot());
+}
+
+TEST(MbParser, MachineMatchesGoldenOnParseProgram)
+{
+    LinguisticKbParams params = smallParams();
+    LinguisticKb kb_machine(params);
+    LinguisticKb kb_golden(params);
+    MemoryBasedParser parser(kb_machine);
+    auto sents = makeMuc4Sentences(kb_machine.lexicon());
+
+    Program prog = parser.buildProgram(sents[1].words);
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb_machine.net());
+    RunResult run = machine.run(prog);
+
+    ReferenceInterpreter golden(kb_golden.net());
+    ResultSet gres = golden.run(prog);
+
+    test::expectSameResults(run.results, gres);
+    test::expectSameMarkers(machine.image(), golden.store(),
+                            kb_golden.net().numNodes());
+}
+
+TEST(MbParser, ExtractMeaningReturnsWinnerSlots)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+    auto sents = makeMuc4Sentences(kb.lexicon());
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+
+    ParseOutcome out = parser.parseOn(machine, sents[0]);
+    ASSERT_NE(out.bestRoot, invalidNode);
+
+    auto slots = parser.extractMeaning(machine, out.bestRoot);
+    ASSERT_EQ(slots.size(), kb.params().elementsPerSequence);
+    bool any_filled = false;
+    for (const auto &slot : slots) {
+        EXPECT_EQ(kb.net().color(slot.element), kb.colorCsElem());
+        EXPECT_EQ(kb.net().color(slot.expectedType), kb.colorType());
+        // Every element belongs to the winning root.
+        bool part_of = false;
+        for (const Link &l : kb.net().links(slot.element))
+            part_of |= l.rel == kb.relPartOf() &&
+                       l.dst == out.bestRoot;
+        EXPECT_TRUE(part_of);
+        any_filled |= slot.filled;
+        if (slot.filled) {
+            EXPECT_GT(slot.score, 0.0f);
+        }
+    }
+    EXPECT_TRUE(any_filled);
+
+    // The binding links landed in the machine's distributed
+    // relation tables: element --instance-of--> root and root
+    // --filled-by--> element.
+    RelationType inst = kb.net().relationId("instance-of");
+    RelationType fby = kb.net().relationId("filled-by");
+    Placement rp = machine.image().place(out.bestRoot);
+    std::uint32_t bound = 0;
+    for (const RelSlot &s :
+         machine.image().cluster(rp.cluster).slots(rp.local))
+        bound += s.rel == fby;
+    EXPECT_EQ(bound, slots.size());
+    for (const auto &slot : slots) {
+        Placement ep = machine.image().place(slot.element);
+        bool has = false;
+        for (const RelSlot &s :
+             machine.image().cluster(ep.cluster).slots(ep.local))
+            has |= s.rel == inst && s.destGlobal == out.bestRoot;
+        EXPECT_TRUE(has);
+    }
+}
+
+TEST(MbParser, TimeRoughlyProportionalToSentenceLength)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+    auto sents = makeMuc4Sentences(kb.lexicon());
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+
+    ParseOutcome s1 = parser.parseOn(machine, sents[0]);  // 8 words
+    ParseOutcome s4 = parser.parseOn(machine, sents[3]);  // 30 words
+    double ratio = static_cast<double>(s4.mbTime) /
+                   static_cast<double>(s1.mbTime);
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 7.0);
+}
+
+TEST(MbParser, LatticeProgramMachineMatchesGolden)
+{
+    LinguisticKbParams params = smallParams();
+    LinguisticKb kb_machine(params);
+    LinguisticKb kb_golden(params);
+    MemoryBasedParser parser(kb_machine);
+
+    auto lattice = makeSpeechLattice(kb_machine.lexicon(), 10, 21);
+    Program prog = parser.buildLatticeProgram(lattice);
+    ASSERT_TRUE(validateProgram(prog).empty());
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb_machine.net());
+    RunResult run = machine.run(prog);
+
+    ReferenceInterpreter golden(kb_golden.net());
+    ResultSet gres = golden.run(prog);
+    test::expectSameResults(run.results, gres);
+    test::expectSameMarkers(machine.image(), golden.store(),
+                            kb_golden.net().numNodes());
+}
+
+TEST(MbParser, RecognizeLatticePicksPerPositionWinners)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(kb.net());
+
+    auto lattice = makeSpeechLattice(kb.lexicon(), 9, 13);
+    auto out = parser.recognizeLattice(machine, lattice);
+
+    ASSERT_EQ(out.words.size(), lattice.size());
+    ASSERT_EQ(out.scores.size(), lattice.size());
+    for (std::size_t p = 0; p < lattice.size(); ++p) {
+        // Each winner is one of that position's hypotheses.
+        bool member = false;
+        for (const auto &w : lattice[p])
+            member |= w == out.words[p];
+        EXPECT_TRUE(member) << "position " << p;
+        // Single-hypothesis positions are decided trivially.
+        if (lattice[p].size() == 1) {
+            EXPECT_EQ(out.words[p], lattice[p][0]);
+        }
+    }
+    EXPECT_GT(out.machineTime, 0u);
+    EXPECT_GT(out.instructions, lattice.size() * 4);
+    EXPECT_NE(out.bestRoot, invalidNode);
+
+    // Deterministic across repeat runs on a fresh machine.
+    SnapMachine machine2(cfg);
+    LinguisticKb kb2(smallParams());
+    machine2.loadKb(kb2.net());
+    auto out2 = parser.recognizeLattice(machine2, lattice);
+    EXPECT_EQ(out.words, out2.words);
+}
+
+TEST(MbParser, LatticeProgramRaisesBeta)
+{
+    LinguisticKb kb(smallParams());
+    MemoryBasedParser parser(kb);
+
+    auto lattice = makeSpeechLattice(kb.lexicon(), 16, 7);
+    Program prog = parser.buildLatticeProgram(lattice);
+    EXPECT_TRUE(validateProgram(prog).empty());
+
+    auto sents = makeMuc4Sentences(kb.lexicon());
+    Program text_prog = parser.buildProgram(sents[2].words);
+
+    BetaStats lattice_beta = analyzeBeta(prog);
+    BetaStats text_beta = analyzeBeta(text_prog);
+    // PASS-style lattices overlap more propagations than DMSNAP-
+    // style text parsing (paper: 2.8-6 vs 2.3-5).
+    EXPECT_GE(lattice_beta.betaMax, text_beta.betaMax);
+    EXPECT_GT(lattice_beta.betaAvg, 1.0);
+}
+
+} // namespace
+} // namespace snap
