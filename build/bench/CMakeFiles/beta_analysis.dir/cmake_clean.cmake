@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beta_analysis.dir/beta_analysis.cc.o"
+  "CMakeFiles/beta_analysis.dir/beta_analysis.cc.o.d"
+  "beta_analysis"
+  "beta_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beta_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_instruction_mix.dir/fig06_instruction_mix.cc.o"
+  "CMakeFiles/fig06_instruction_mix.dir/fig06_instruction_mix.cc.o.d"
+  "fig06_instruction_mix"
+  "fig06_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_inheritance.dir/fig15_inheritance.cc.o"
+  "CMakeFiles/fig15_inheritance.dir/fig15_inheritance.cc.o.d"
+  "fig15_inheritance"
+  "fig15_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

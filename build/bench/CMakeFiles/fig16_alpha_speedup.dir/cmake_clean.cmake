@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_alpha_speedup.dir/fig16_alpha_speedup.cc.o"
+  "CMakeFiles/fig16_alpha_speedup.dir/fig16_alpha_speedup.cc.o.d"
+  "fig16_alpha_speedup"
+  "fig16_alpha_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_alpha_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_kb_profile.dir/fig19_kb_profile.cc.o"
+  "CMakeFiles/fig19_kb_profile.dir/fig19_kb_profile.cc.o.d"
+  "fig19_kb_profile"
+  "fig19_kb_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_kb_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_prop_count.dir/fig20_prop_count.cc.o"
+  "CMakeFiles/fig20_prop_count.dir/fig20_prop_count.cc.o.d"
+  "fig20_prop_count"
+  "fig20_prop_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_prop_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

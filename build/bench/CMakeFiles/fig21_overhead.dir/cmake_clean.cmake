@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_overhead.dir/fig21_overhead.cc.o"
+  "CMakeFiles/fig21_overhead.dir/fig21_overhead.cc.o.d"
+  "fig21_overhead"
+  "fig21_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

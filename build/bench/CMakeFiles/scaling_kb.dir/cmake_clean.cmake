@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_kb.dir/scaling_kb.cc.o"
+  "CMakeFiles/scaling_kb.dir/scaling_kb.cc.o.d"
+  "scaling_kb"
+  "scaling_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_parsing.dir/table4_parsing.cc.o"
+  "CMakeFiles/table4_parsing.dir/table4_parsing.cc.o.d"
+  "table4_parsing"
+  "table4_parsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

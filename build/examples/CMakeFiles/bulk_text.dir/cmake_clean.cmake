@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_text.dir/bulk_text.cpp.o"
+  "CMakeFiles/bulk_text.dir/bulk_text.cpp.o.d"
+  "bulk_text"
+  "bulk_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inheritance.dir/inheritance.cpp.o"
+  "CMakeFiles/inheritance.dir/inheritance.cpp.o.d"
+  "inheritance"
+  "inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

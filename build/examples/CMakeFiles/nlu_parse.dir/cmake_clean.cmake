@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlu_parse.dir/nlu_parse.cpp.o"
+  "CMakeFiles/nlu_parse.dir/nlu_parse.cpp.o.d"
+  "nlu_parse"
+  "nlu_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlu_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

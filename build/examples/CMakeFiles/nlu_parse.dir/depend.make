@@ -1,0 +1,2 @@
+# Empty dependencies file for nlu_parse.
+# This may be replaced when dependencies are built.

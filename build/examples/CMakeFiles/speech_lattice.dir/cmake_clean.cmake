@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_lattice.dir/speech_lattice.cpp.o"
+  "CMakeFiles/speech_lattice.dir/speech_lattice.cpp.o.d"
+  "speech_lattice"
+  "speech_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cluster.cc" "src/arch/CMakeFiles/snap_arch.dir/cluster.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/cluster.cc.o.d"
+  "/root/repo/src/arch/controller.cc" "src/arch/CMakeFiles/snap_arch.dir/controller.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/controller.cc.o.d"
+  "/root/repo/src/arch/exec_stats.cc" "src/arch/CMakeFiles/snap_arch.dir/exec_stats.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/exec_stats.cc.o.d"
+  "/root/repo/src/arch/icn.cc" "src/arch/CMakeFiles/snap_arch.dir/icn.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/icn.cc.o.d"
+  "/root/repo/src/arch/kb_image.cc" "src/arch/CMakeFiles/snap_arch.dir/kb_image.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/kb_image.cc.o.d"
+  "/root/repo/src/arch/machine.cc" "src/arch/CMakeFiles/snap_arch.dir/machine.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/machine.cc.o.d"
+  "/root/repo/src/arch/perf_net.cc" "src/arch/CMakeFiles/snap_arch.dir/perf_net.cc.o" "gcc" "src/arch/CMakeFiles/snap_arch.dir/perf_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/snap_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/snap_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_arch.dir/cluster.cc.o"
+  "CMakeFiles/snap_arch.dir/cluster.cc.o.d"
+  "CMakeFiles/snap_arch.dir/controller.cc.o"
+  "CMakeFiles/snap_arch.dir/controller.cc.o.d"
+  "CMakeFiles/snap_arch.dir/exec_stats.cc.o"
+  "CMakeFiles/snap_arch.dir/exec_stats.cc.o.d"
+  "CMakeFiles/snap_arch.dir/icn.cc.o"
+  "CMakeFiles/snap_arch.dir/icn.cc.o.d"
+  "CMakeFiles/snap_arch.dir/kb_image.cc.o"
+  "CMakeFiles/snap_arch.dir/kb_image.cc.o.d"
+  "CMakeFiles/snap_arch.dir/machine.cc.o"
+  "CMakeFiles/snap_arch.dir/machine.cc.o.d"
+  "CMakeFiles/snap_arch.dir/perf_net.cc.o"
+  "CMakeFiles/snap_arch.dir/perf_net.cc.o.d"
+  "libsnap_arch.a"
+  "libsnap_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_baseline.dir/cm2_sim.cc.o"
+  "CMakeFiles/snap_baseline.dir/cm2_sim.cc.o.d"
+  "CMakeFiles/snap_baseline.dir/seq_sim.cc.o"
+  "CMakeFiles/snap_baseline.dir/seq_sim.cc.o.d"
+  "libsnap_baseline.a"
+  "libsnap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_common.dir/logging.cc.o"
+  "CMakeFiles/snap_common.dir/logging.cc.o.d"
+  "CMakeFiles/snap_common.dir/stats.cc.o"
+  "CMakeFiles/snap_common.dir/stats.cc.o.d"
+  "CMakeFiles/snap_common.dir/strutil.cc.o"
+  "CMakeFiles/snap_common.dir/strutil.cc.o.d"
+  "libsnap_common.a"
+  "libsnap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_isa.dir/assembler.cc.o"
+  "CMakeFiles/snap_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/snap_isa.dir/encoding.cc.o"
+  "CMakeFiles/snap_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/snap_isa.dir/function.cc.o"
+  "CMakeFiles/snap_isa.dir/function.cc.o.d"
+  "CMakeFiles/snap_isa.dir/instruction.cc.o"
+  "CMakeFiles/snap_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/snap_isa.dir/program.cc.o"
+  "CMakeFiles/snap_isa.dir/program.cc.o.d"
+  "CMakeFiles/snap_isa.dir/prop_rule.cc.o"
+  "CMakeFiles/snap_isa.dir/prop_rule.cc.o.d"
+  "libsnap_isa.a"
+  "libsnap_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

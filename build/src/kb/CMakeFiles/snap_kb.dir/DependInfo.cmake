@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/kb_io.cc" "src/kb/CMakeFiles/snap_kb.dir/kb_io.cc.o" "gcc" "src/kb/CMakeFiles/snap_kb.dir/kb_io.cc.o.d"
+  "/root/repo/src/kb/partition.cc" "src/kb/CMakeFiles/snap_kb.dir/partition.cc.o" "gcc" "src/kb/CMakeFiles/snap_kb.dir/partition.cc.o.d"
+  "/root/repo/src/kb/semantic_network.cc" "src/kb/CMakeFiles/snap_kb.dir/semantic_network.cc.o" "gcc" "src/kb/CMakeFiles/snap_kb.dir/semantic_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_kb.dir/kb_io.cc.o"
+  "CMakeFiles/snap_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/snap_kb.dir/partition.cc.o"
+  "CMakeFiles/snap_kb.dir/partition.cc.o.d"
+  "CMakeFiles/snap_kb.dir/semantic_network.cc.o"
+  "CMakeFiles/snap_kb.dir/semantic_network.cc.o.d"
+  "libsnap_kb.a"
+  "libsnap_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_nlu.dir/corpus.cc.o"
+  "CMakeFiles/snap_nlu.dir/corpus.cc.o.d"
+  "CMakeFiles/snap_nlu.dir/kb_factory.cc.o"
+  "CMakeFiles/snap_nlu.dir/kb_factory.cc.o.d"
+  "CMakeFiles/snap_nlu.dir/lexicon.cc.o"
+  "CMakeFiles/snap_nlu.dir/lexicon.cc.o.d"
+  "CMakeFiles/snap_nlu.dir/mb_parser.cc.o"
+  "CMakeFiles/snap_nlu.dir/mb_parser.cc.o.d"
+  "CMakeFiles/snap_nlu.dir/phrasal_parser.cc.o"
+  "CMakeFiles/snap_nlu.dir/phrasal_parser.cc.o.d"
+  "libsnap_nlu.a"
+  "libsnap_nlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_nlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

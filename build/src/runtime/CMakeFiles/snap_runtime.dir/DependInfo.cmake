@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/propagate.cc" "src/runtime/CMakeFiles/snap_runtime.dir/propagate.cc.o" "gcc" "src/runtime/CMakeFiles/snap_runtime.dir/propagate.cc.o.d"
+  "/root/repo/src/runtime/reference.cc" "src/runtime/CMakeFiles/snap_runtime.dir/reference.cc.o" "gcc" "src/runtime/CMakeFiles/snap_runtime.dir/reference.cc.o.d"
+  "/root/repo/src/runtime/snapshot.cc" "src/runtime/CMakeFiles/snap_runtime.dir/snapshot.cc.o" "gcc" "src/runtime/CMakeFiles/snap_runtime.dir/snapshot.cc.o.d"
+  "/root/repo/src/runtime/validate.cc" "src/runtime/CMakeFiles/snap_runtime.dir/validate.cc.o" "gcc" "src/runtime/CMakeFiles/snap_runtime.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/snap_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snap_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

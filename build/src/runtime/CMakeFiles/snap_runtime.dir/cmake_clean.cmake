@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_runtime.dir/propagate.cc.o"
+  "CMakeFiles/snap_runtime.dir/propagate.cc.o.d"
+  "CMakeFiles/snap_runtime.dir/reference.cc.o"
+  "CMakeFiles/snap_runtime.dir/reference.cc.o.d"
+  "CMakeFiles/snap_runtime.dir/snapshot.cc.o"
+  "CMakeFiles/snap_runtime.dir/snapshot.cc.o.d"
+  "CMakeFiles/snap_runtime.dir/validate.cc.o"
+  "CMakeFiles/snap_runtime.dir/validate.cc.o.d"
+  "libsnap_runtime.a"
+  "libsnap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_sim.dir/event_queue.cc.o"
+  "CMakeFiles/snap_sim.dir/event_queue.cc.o.d"
+  "libsnap_sim.a"
+  "libsnap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapkb-gen.dir/snapkb_gen.cc.o"
+  "CMakeFiles/snapkb-gen.dir/snapkb_gen.cc.o.d"
+  "snapkb-gen"
+  "snapkb-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapkb-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapsh.dir/snapsh.cc.o"
+  "CMakeFiles/snapsh.dir/snapsh.cc.o.d"
+  "snapsh"
+  "snapsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapvm.dir/snapvm.cc.o"
+  "CMakeFiles/snapvm.dir/snapvm.cc.o.d"
+  "snapvm"
+  "snapvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

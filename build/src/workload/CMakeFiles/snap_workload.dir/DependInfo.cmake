@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/alpha_beta.cc" "src/workload/CMakeFiles/snap_workload.dir/alpha_beta.cc.o" "gcc" "src/workload/CMakeFiles/snap_workload.dir/alpha_beta.cc.o.d"
+  "/root/repo/src/workload/kb_gen.cc" "src/workload/CMakeFiles/snap_workload.dir/kb_gen.cc.o" "gcc" "src/workload/CMakeFiles/snap_workload.dir/kb_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/snap_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_workload.dir/alpha_beta.cc.o"
+  "CMakeFiles/snap_workload.dir/alpha_beta.cc.o.d"
+  "CMakeFiles/snap_workload.dir/kb_gen.cc.o"
+  "CMakeFiles/snap_workload.dir/kb_gen.cc.o.d"
+  "libsnap_workload.a"
+  "libsnap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_components.dir/test_arch_components.cc.o"
+  "CMakeFiles/test_arch_components.dir/test_arch_components.cc.o.d"
+  "test_arch_components"
+  "test_arch_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

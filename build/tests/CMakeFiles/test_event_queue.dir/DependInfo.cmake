@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/test_event_queue.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/test_event_queue.dir/test_event_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nlu/CMakeFiles/snap_nlu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/snap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/snap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/snap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/snap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/snap_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_arch.dir/test_machine_arch.cc.o"
+  "CMakeFiles/test_machine_arch.dir/test_machine_arch.cc.o.d"
+  "test_machine_arch"
+  "test_machine_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_equiv.dir/test_machine_equiv.cc.o"
+  "CMakeFiles/test_machine_equiv.dir/test_machine_equiv.cc.o.d"
+  "test_machine_equiv"
+  "test_machine_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlu.dir/test_nlu.cc.o"
+  "CMakeFiles/test_nlu.dir/test_nlu.cc.o.d"
+  "test_nlu"
+  "test_nlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

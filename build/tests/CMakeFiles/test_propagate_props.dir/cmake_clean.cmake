@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagate_props.dir/test_propagate_props.cc.o"
+  "CMakeFiles/test_propagate_props.dir/test_propagate_props.cc.o.d"
+  "test_propagate_props"
+  "test_propagate_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagate_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
