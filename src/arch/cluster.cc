@@ -19,7 +19,8 @@ Cluster::Cluster(MachineContext &ctx, ClusterId id,
       instrQueue_(t_.instrQueueDepth),
       taskQueue_(t_.taskQueueDepth),
       activationOut_(t_.activationOutDepth),
-      arbiter_(0x5eed0000ull + id)
+      arbiter_(0x5eed0000ull + id),
+      best_(ctx.cfg->seedHotPath)
 {
     puEvent_ = std::make_unique<EventFunctionWrapper>(
         [this] {
@@ -376,7 +377,7 @@ Cluster::continueExpansion(std::uint32_t i)
             w.rowStart + capacity::relationSlotsPerNode,
             slots.size()));
 
-    std::vector<std::uint8_t> nexts;
+    std::vector<std::uint8_t> &nexts = mu.nexts;
     while (mu.slotIdx < row_end) {
         const RelSlot &s = slots[mu.slotIdx];
         nexts.clear();
@@ -694,8 +695,7 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
       case Opcode::Propagate: {
         const BitVector &src = ms.bits(instr.m1);
         std::uint32_t sources = 0;
-        for (std::uint32_t l = src.findNext(0); l < src.size();
-             l = src.findNext(l + 1)) {
+        src.forEachSet([&](std::uint32_t l) {
             float v0 = ms.value(instr.m1, l);
             NodeId g = kb_.globalId(l);
             frontierAdmit(instr.func, best_[bestKey(task.seq, l, 0)],
@@ -712,7 +712,7 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
             item.propId = task.seq;
             localWork_.push_back(item);
             ++sources;
-        }
+        });
         if (ctx_.alphaPerProp)
             (*ctx_.alphaPerProp)[task.seq] += sources;
         dur += cy(words * t_.muWordOpCycles +
@@ -721,51 +721,67 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
         break;
       }
       case Opcode::MarkerSetColor: {
-        std::uint32_t count = 0;
         const BitVector &bits = ms.bits(instr.m1);
-        for (std::uint32_t l = bits.findNext(0); l < bits.size();
-             l = bits.findNext(l + 1)) {
-            kb_.setColor(l, instr.color);
-            ++count;
-        }
+        bits.forEachSet(
+            [&](std::uint32_t l) { kb_.setColor(l, instr.color); });
         dur += cy(words * t_.muWordOpCycles +
-                  count * t_.muNodeScanCycles);
+                  bits.count() * t_.muNodeScanCycles);
         break;
       }
       case Opcode::AndMarker:
       case Opcode::OrMarker:
       case Opcode::NotMarker: {
+        // Word-parallel combine of the operand status rows into m3.
+        // Operand words are captured before the destination write so
+        // the kernel stays correct when m3 aliases an input row
+        // (reads of bit l always see pre-write state, exactly like
+        // the scalar loop, which never revisits a node).  A binary
+        // destination needs no per-node work at all; a complex one
+        // merges value/origin for each result bit.
+        const bool complexDst = isComplexMarker(instr.m3);
+        BitVector &dst = ms.bits(instr.m3);
         std::uint32_t updates = 0;
-        for (LocalNodeId l = 0; l < n; ++l) {
-            bool s1 = ms.test(instr.m1, l);
-            if (instr.op == Opcode::NotMarker) {
-                if (!s1) {
-                    ms.set(instr.m3, l, 0.0f, kb_.globalId(l));
-                    ++updates;
-                } else {
-                    ms.clear(instr.m3, l);
-                }
+        const std::uint32_t hostWords = dst.numWords();
+        for (std::uint32_t w = 0; w < hostWords; ++w) {
+            const BitVector::Word w1 = ms.bits(instr.m1).word(w);
+            const BitVector::Word w2 =
+                instr.op == Opcode::NotMarker
+                    ? 0 : ms.bits(instr.m2).word(w);
+            BitVector::Word w3;
+            if (instr.op == Opcode::AndMarker)
+                w3 = w1 & w2;
+            else if (instr.op == Opcode::OrMarker)
+                w3 = w1 | w2;
+            else
+                w3 = ~w1;
+            dst.setWord(w, w3);  // masks the tail bits
+            BitVector::Word res = dst.word(w);
+            updates += static_cast<std::uint32_t>(
+                __builtin_popcountll(res));
+            if (!complexDst)
                 continue;
-            }
-            bool s2 = ms.test(instr.m2, l);
-            float v1 = ms.value(instr.m1, l);
-            float v2 = ms.value(instr.m2, l);
-            NodeId o1 = isComplexMarker(instr.m1) && s1
-                            ? ms.origin(instr.m1, l) : invalidNode;
-            NodeId o2 = isComplexMarker(instr.m2) && s2
-                            ? ms.origin(instr.m2, l) : invalidNode;
-            bool s3;
-            float v3 = 0.0f;
-            NodeId o3 = kb_.globalId(l);
-            if (instr.op == Opcode::AndMarker) {
-                s3 = s1 && s2;
-                if (s3) {
-                    v3 = combine(instr.comb, v1, v2);
-                    o3 = o1 != invalidNode ? o1
-                         : o2 != invalidNode ? o2 : o3;
+            while (res) {
+                const std::uint32_t bit = static_cast<std::uint32_t>(
+                    __builtin_ctzll(res));
+                res &= res - 1;
+                const LocalNodeId l =
+                    w * BitVector::bitsPerWord + bit;
+                if (instr.op == Opcode::NotMarker) {
+                    ms.setValue(instr.m3, l, 0.0f, kb_.globalId(l));
+                    continue;
                 }
-            } else {
-                s3 = s1 || s2;
+                const bool s1 = (w1 >> bit) & 1;
+                const bool s2 = (w2 >> bit) & 1;
+                const float v1 = ms.value(instr.m1, l);
+                const float v2 = ms.value(instr.m2, l);
+                const NodeId o1 =
+                    isComplexMarker(instr.m1) && s1
+                        ? ms.origin(instr.m1, l) : invalidNode;
+                const NodeId o2 =
+                    isComplexMarker(instr.m2) && s2
+                        ? ms.origin(instr.m2, l) : invalidNode;
+                float v3 = 0.0f;
+                NodeId o3 = kb_.globalId(l);
                 if (s1 && s2) {
                     v3 = combine(instr.comb, v1, v2);
                     o3 = o1 != invalidNode ? o1
@@ -773,30 +789,28 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
                 } else if (s1) {
                     v3 = v1;
                     o3 = o1 != invalidNode ? o1 : o3;
-                } else if (s2) {
+                } else {
                     v3 = v2;
                     o3 = o2 != invalidNode ? o2 : o3;
                 }
-            }
-            if (s3) {
-                ms.set(instr.m3, l, v3, o3);
-                ++updates;
-            } else {
-                ms.clear(instr.m3, l);
+                ms.setValue(instr.m3, l, v3, o3);
             }
         }
-        // Word-parallel: three row accesses per word, plus value
-        // updates for result bits.
+        // Timing model: three row accesses per 32-bit status word,
+        // plus value updates for result bits (unchanged).
         dur += cy(words * 3 * t_.muWordOpCycles +
                   updates * t_.muValueOpCycles);
         break;
       }
       case Opcode::SetMarker: {
-        for (LocalNodeId l = 0; l < n; ++l)
-            ms.set(instr.m1, l, instr.value, kb_.globalId(l));
+        ms.bits(instr.m1).setAll();
         dur += cy(words * t_.muWordOpCycles);
-        if (isComplexMarker(instr.m1))
+        if (isComplexMarker(instr.m1)) {
+            for (LocalNodeId l = 0; l < n; ++l)
+                ms.setValue(instr.m1, l, instr.value,
+                            kb_.globalId(l));
             dur += cy(n * t_.muValueOpCycles);
+        }
         break;
       }
       case Opcode::ClearMarker: {
@@ -807,7 +821,8 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
       case Opcode::FuncMarker: {
         std::uint32_t touched = 0;
         const BitVector &bits = ms.bits(instr.m1);
-        std::vector<LocalNodeId> marked;
+        std::vector<LocalNodeId> &marked = funcScratch_;
+        marked.clear();
         bits.collect(marked);
         for (LocalNodeId l : marked) {
             float v = ms.value(instr.m1, l);
@@ -827,12 +842,11 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
         res.op = instr.op;
         res.marker = instr.m1;
         const BitVector &bits = ms.bits(instr.m1);
-        for (std::uint32_t l = bits.findNext(0); l < bits.size();
-             l = bits.findNext(l + 1)) {
+        bits.forEachSet([&](std::uint32_t l) {
             res.nodes.push_back(CollectedNode{
                 kb_.globalId(l), ms.value(instr.m1, l),
                 ms.origin(instr.m1, l)});
-        }
+        });
         dur += cy(words * t_.muWordOpCycles +
                   res.nodes.size() * t_.muCollectItemCycles);
         collects_[task.seq] = std::move(res);
@@ -845,8 +859,7 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
         res.rel = instr.rel;
         std::uint32_t rows = 0;
         const BitVector &bits = ms.bits(instr.m1);
-        for (std::uint32_t l = bits.findNext(0); l < bits.size();
-             l = bits.findNext(l + 1)) {
+        bits.forEachSet([&](std::uint32_t l) {
             rows += kb_.numRows(l);
             for (const RelSlot &s : kb_.slots(l)) {
                 if (s.rel == instr.rel) {
@@ -855,7 +868,7 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
                                       s.destGlobal, s.weight});
                 }
             }
-        }
+        });
         dur += cy(words * t_.muWordOpCycles +
                   rows * t_.muRelRowCycles +
                   res.links.size() * t_.muCollectItemCycles);
@@ -990,10 +1003,14 @@ Cluster::cuStep()
             // may emit and kick the CU re-entrantly.
             cuBusy_ = true;
             // Space opened: resume MUs stalled on the out queue.
+            // Drain by index and trim the prefix afterwards — an MU
+            // that stalls again (or a delivery that stalls another
+            // MU) appends past the snapshot, and no vector is
+            // allocated per wake.
             if (!outWaiters_.empty()) {
-                std::vector<std::uint32_t> ws;
-                ws.swap(outWaiters_);
-                for (std::uint32_t w : ws) {
+                const std::size_t snapshot = outWaiters_.size();
+                for (std::size_t k = 0; k < snapshot; ++k) {
+                    std::uint32_t w = outWaiters_[k];
                     MuState &mu = mus_[w];
                     bool done = mu.expanding ? continueExpansion(w)
                                 : mu.maintaining
@@ -1002,6 +1019,10 @@ Cluster::cuStep()
                     if (done)
                         scheduleMuDone(w);
                 }
+                outWaiters_.erase(outWaiters_.begin(),
+                                  outWaiters_.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          snapshot));
             }
 
             msg.sentAt = curTick();

@@ -38,6 +38,7 @@
 #include "arch/perf_net.hh"
 #include "arch/sync_tree.hh"
 #include "isa/program.hh"
+#include "runtime/frontier_map.hh"
 #include "runtime/propagate.hh"
 #include "runtime/results.hh"
 #include "sim/sim_object.hh"
@@ -196,6 +197,9 @@ class Cluster : public ClockedObject
         bool consumeOnDone = false;
         std::uint8_t consumeLevel = 0;
         std::unique_ptr<EventFunctionWrapper> doneEvent;
+        /** Rule-step scratch for continueExpansion; per-MU because
+         *  deliveries can start expansions on other MUs mid-walk. */
+        std::vector<std::uint8_t> nexts;
     };
 
     void tryStartMu(std::uint32_t i);
@@ -290,8 +294,10 @@ class Cluster : public ClockedObject
 
     // Per-propagation re-propagation bookkeeping:
     // (propId, local node, state) -> non-dominated label frontier
-    // (see runtime/propagate.hh).
-    std::unordered_map<std::uint64_t, std::vector<PropLabel>> best_;
+    // (see runtime/propagate.hh and runtime/frontier_map.hh).
+    FrontierMap best_;
+    /** FUNC-MARKER snapshot scratch (consumed within one task). */
+    std::vector<LocalNodeId> funcScratch_;
     static std::uint64_t
     bestKey(std::uint16_t prop, LocalNodeId node, std::uint8_t state)
     {

@@ -167,6 +167,15 @@ struct MachineConfig
     /** Enable the performance collection network. */
     bool perfNetEnabled = true;
 
+    /**
+     * Run the host-side hot path with the seed data structures
+     * (binary-heap event queue, node-based frontier maps) instead of
+     * the tuned ones.  Simulated results are identical either way;
+     * bench/host_perf uses this to measure the host speedup honestly
+     * in a single binary.
+     */
+    bool seedHotPath = false;
+
     TimingParams t;
 
     /** MUs in cluster @p c under the default or explicit mix. */

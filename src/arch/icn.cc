@@ -15,6 +15,7 @@ HypercubeIcn::HypercubeIcn(std::uint32_t num_clusters,
     for (std::uint32_t i = 0; i < num_clusters * numIcnDims; ++i)
         mailboxes_.emplace_back(t.icnMailboxDepth);
     blockedSenders_.resize(num_clusters * numIcnDims);
+    wakeScratch_.resize(num_clusters * numIcnDims);
 }
 
 std::uint32_t
@@ -78,12 +79,21 @@ ActivationMessage
 HypercubeIcn::popAndWake(ClusterId c, std::uint32_t dim)
 {
     ActivationMessage msg = mailbox(c, dim).pop();
-    auto &v = blockedSenders_.at(c * numIcnDims + dim);
+    const std::size_t idx = c * numIcnDims + dim;
+    auto &v = blockedSenders_.at(idx);
     if (!v.empty() && kickCu_) {
-        std::vector<ClusterId> waiters;
-        waiters.swap(v);
-        for (ClusterId w : waiters)
+        // Swap into this mailbox's scratch so noteBlockedSender's
+        // dedup sees an empty list while senders are re-kicked (a
+        // kicked cluster can re-block here mid-drain).  The two
+        // vectors ping-pong their capacity, so no allocation per
+        // message.  Recursive popAndWake on the same mailbox cannot
+        // happen (the owning CU is busy), only on other mailboxes,
+        // which use their own scratch.
+        auto &scratch = wakeScratch_.at(idx);
+        scratch.swap(v);
+        for (ClusterId w : scratch)
             kickCu_(w);
+        scratch.clear();
     }
     return msg;
 }

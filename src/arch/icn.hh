@@ -112,6 +112,8 @@ class HypercubeIcn
     const TimingParams &t_;
     std::vector<BoundedQueue<ActivationMessage>> mailboxes_;
     std::vector<std::vector<ClusterId>> blockedSenders_;
+    /** Per-mailbox drain scratch for popAndWake (capacity reuse). */
+    std::vector<std::vector<ClusterId>> wakeScratch_;
     std::function<void(ClusterId)> kickCu_;
 };
 

@@ -7,7 +7,10 @@
 namespace snap
 {
 
-SnapMachine::SnapMachine(MachineConfig cfg) : cfg_(std::move(cfg))
+SnapMachine::SnapMachine(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      eq_(cfg_.seedHotPath ? EventQueue::Impl::Heap
+                           : EventQueue::Impl::Indexed)
 {
     cfg_.validate();
 }

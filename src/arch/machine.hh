@@ -105,6 +105,19 @@ class SnapMachine
     /** Simulated time elapsed since construction. */
     Tick now() const { return eq_.curTick(); }
 
+    /** Host-side event count (perf harness instrumentation). */
+    std::uint64_t eventsProcessed() const
+    {
+        return eq_.eventsProcessed();
+    }
+
+    /** Record the event-schedule trace of subsequent runs into
+     *  @p trace (perf harness instrumentation; nullptr stops). */
+    void recordEventTrace(ScheduleTrace *trace)
+    {
+        eq_.recordTrace(trace);
+    }
+
     /**
      * Component statistics ("integrated measurement system",
      * §II-B): ICN traffic, performance-network activity, and

@@ -20,7 +20,7 @@
 #define SNAP_ARCH_MULTIPORT_MEM_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -31,20 +31,24 @@ namespace snap
 
 /**
  * Single-writer/single-reader queue region of a multiport memory.
+ *
+ * Fixed ring buffer: the capacity is a hardware property, so the
+ * backing storage is allocated once up front and push/pop never
+ * touch the heap (std::deque allocates chunks as it migrates).
  */
 template <typename T>
 class BoundedQueue
 {
   public:
     explicit BoundedQueue(std::uint32_t capacity)
-        : capacity_(capacity)
+        : capacity_(capacity), items_(capacity)
     {
         snap_assert(capacity > 0, "zero-capacity queue");
     }
 
-    bool full() const { return items_.size() >= capacity_; }
-    bool empty() const { return items_.empty(); }
-    std::size_t size() const { return items_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
     std::uint32_t capacity() const { return capacity_; }
 
     /** Push; caller must check !full() first. */
@@ -52,10 +56,14 @@ class BoundedQueue
     push(T item)
     {
         snap_assert(!full(), "push to full queue");
-        items_.push_back(std::move(item));
+        std::size_t tail = head_ + count_;
+        if (tail >= items_.size())
+            tail -= items_.size();
+        items_[tail] = std::move(item);
+        ++count_;
         ++totalEnqueued_;
-        if (items_.size() > highWater_)
-            highWater_ = items_.size();
+        if (count_ > highWater_)
+            highWater_ = count_;
     }
 
     /** Pop the head; caller must check !empty() first. */
@@ -63,8 +71,10 @@ class BoundedQueue
     pop()
     {
         snap_assert(!empty(), "pop from empty queue");
-        T item = std::move(items_.front());
-        items_.pop_front();
+        T item = std::move(items_[head_]);
+        if (++head_ >= items_.size())
+            head_ = 0;
+        --count_;
         return item;
     }
 
@@ -72,7 +82,7 @@ class BoundedQueue
     front() const
     {
         snap_assert(!empty(), "front of empty queue");
-        return items_.front();
+        return items_[head_];
     }
 
     /** Record that a producer found the queue full and blocked. */
@@ -84,7 +94,9 @@ class BoundedQueue
 
   private:
     std::uint32_t capacity_;
-    std::deque<T> items_;
+    std::vector<T> items_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::size_t highWater_ = 0;
     std::uint64_t totalEnqueued_ = 0;
     std::uint64_t blockedPushes_ = 0;

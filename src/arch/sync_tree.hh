@@ -40,7 +40,8 @@ class SyncTree
   public:
     explicit SyncTree(std::uint32_t num_clusters)
         : atBarrier_(num_clusters, false),
-          idle_(num_clusters, true)
+          idle_(num_clusters, true),
+          numIdle_(num_clusters)
     {
         counters_.fill(0);
     }
@@ -59,7 +60,8 @@ class SyncTree
     created(std::uint8_t lvl)
     {
         snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
-        ++counters_[lvl];
+        if (counters_[lvl]++ == 0)
+            ++nonzeroLevels_;
         ++totalCreated_;
     }
 
@@ -70,7 +72,8 @@ class SyncTree
         snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
         snap_assert(counters_[lvl] > 0,
                     "sync counter underflow at level %u", lvl);
-        --counters_[lvl];
+        if (--counters_[lvl] == 0)
+            --nonzeroLevels_;
         ++totalConsumed_;
         maybeFire();
     }
@@ -79,7 +82,10 @@ class SyncTree
     void
     setAtBarrier(ClusterId c, bool at)
     {
-        atBarrier_.at(c) = at;
+        if (atBarrier_.at(c) != at) {
+            atBarrier_[c] = at;
+            numAtBarrier_ += at ? 1 : -1;
+        }
         if (at)
             maybeFire();
     }
@@ -88,23 +94,23 @@ class SyncTree
     void
     setIdle(ClusterId c, bool idle)
     {
-        idle_.at(c) = idle;
+        if (idle_.at(c) != idle) {
+            idle_[c] = idle;
+            numIdle_ += idle ? 1 : -1;
+        }
         if (idle)
             maybeFire();
     }
 
     /** True when every cluster is at the barrier, idle, and all
-     *  tier counters are zero. */
+     *  tier counters are zero.  O(1): the AND-tree lines and the
+     *  nonzero-tier count are maintained incrementally, so the
+     *  detection check costs the same regardless of array size. */
     bool
     complete() const
     {
-        for (std::size_t c = 0; c < atBarrier_.size(); ++c)
-            if (!atBarrier_[c] || !idle_[c])
-                return false;
-        for (std::int64_t v : counters_)
-            if (v != 0)
-                return false;
-        return true;
+        return numAtBarrier_ == atBarrier_.size() &&
+               numIdle_ == idle_.size() && nonzeroLevels_ == 0;
     }
 
     /** Sum of in-flight work over all tiers. */
@@ -123,17 +129,11 @@ class SyncTree
     }
 
     /** All clusters idle and all counters drained (ignores the
-     *  at-barrier lines) — end-of-program quiescence. */
+     *  at-barrier lines) — end-of-program quiescence.  O(1). */
     bool
     quiescent() const
     {
-        for (bool i : idle_)
-            if (!i)
-                return false;
-        for (std::int64_t v : counters_)
-            if (v != 0)
-                return false;
-        return true;
+        return numIdle_ == idle_.size() && nonzeroLevels_ == 0;
     }
 
     /** Install the completion callback (the controller's detection
@@ -165,6 +165,10 @@ class SyncTree
     std::array<std::int64_t, numSyncLevels> counters_;
     std::vector<bool> atBarrier_;
     std::vector<bool> idle_;
+    /** Maintained aggregates backing the O(1) checks. */
+    std::size_t numAtBarrier_ = 0;
+    std::size_t numIdle_ = 0;
+    std::uint32_t nonzeroLevels_ = 0;
     std::function<void()> onComplete_;
     std::function<void()> onQuiescent_;
     std::uint64_t totalCreated_ = 0;

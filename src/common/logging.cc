@@ -98,6 +98,19 @@ panicImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string detail = vformatString(fmt, ap);
+    va_end(ap);
+    panicImpl(file, line,
+              std::string("assertion failed: ") + cond + " " +
+                  detail);
+}
+
+void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     Logger::emit(LogLevel::Fatal, msg, file, line);

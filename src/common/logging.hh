@@ -70,6 +70,13 @@ void warnImpl(const char *file, int line, const std::string &msg);
 void informImpl(const char *file, int line, const std::string &msg);
 void debugImpl(const char *file, int line, const std::string &msg);
 
+/** Out-of-line failure path for snap_assert: keeps assert sites to a
+ *  single compare-and-branch so hot functions stay inlinable. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt,
+                                 ...)
+    __attribute__((cold, format(printf, 4, 5)));
+
 } // namespace snap
 
 #define snap_panic(...) \
@@ -99,10 +106,9 @@ void debugImpl(const char *file, int line, const std::string &msg);
 /** Assert an internal simulator invariant; compiled in all builds. */
 #define snap_assert(cond, ...) \
     do { \
-        if (!(cond)) { \
-            ::snap::panicImpl(__FILE__, __LINE__, \
-                std::string("assertion failed: " #cond " ") + \
-                ::snap::formatString("" __VA_ARGS__)); \
+        if (__builtin_expect(!(cond), 0)) { \
+            ::snap::assertFailImpl(__FILE__, __LINE__, #cond, \
+                                   "" __VA_ARGS__); \
         } \
     } while (0)
 

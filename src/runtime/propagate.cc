@@ -1,9 +1,9 @@
 #include "runtime/propagate.hh"
 
 #include <deque>
-#include <unordered_map>
 
 #include "common/logging.hh"
+#include "runtime/frontier_map.hh"
 
 namespace snap
 {
@@ -98,7 +98,7 @@ propagateFunctional(const SemanticNetwork &net, MarkerStore &store,
 
     // Non-dominated label frontier per (node, state): controls
     // re-propagation.
-    std::unordered_map<std::uint64_t, std::vector<PropLabel>> best;
+    FrontierMap best;
     auto key = [](NodeId n, std::uint8_t s) {
         return (static_cast<std::uint64_t>(n) << 8) | s;
     };
@@ -106,15 +106,14 @@ propagateFunctional(const SemanticNetwork &net, MarkerStore &store,
     std::deque<Arrival> queue;
 
     // Seed from every node currently holding marker-1, in node order
-    // (the MU scans the m1 status table row by row).
+    // (the MU scans the m1 status table row by row, ctz per word).
     const BitVector &src_bits = store.bits(m1);
-    for (std::uint32_t u = src_bits.findNext(0); u < src_bits.size();
-         u = src_bits.findNext(u + 1)) {
+    src_bits.forEachSet([&](std::uint32_t u) {
         ++st.sources;
         float v0 = store.value(m1, u);
         queue.push_back(Arrival{u, 0, v0, u, 0});
         frontierAdmit(func, best[key(u, 0)], PropLabel{v0, u, 0});
-    }
+    });
 
     std::vector<std::uint8_t> next_states;
     while (!queue.empty()) {

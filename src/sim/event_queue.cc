@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace snap
 {
 
@@ -10,24 +12,200 @@ Event::~Event()
                 name_.c_str());
 }
 
+EventQueue::~EventQueue()
+{
+    // Pooled wrappers still sitting in the queue (simulation torn
+    // down mid-flight) are owned by poolChunks_; silence the
+    // still-scheduled assertion before the chunks are freed.
+    std::uint64_t remaining = poolAllocs_;
+    for (auto &chunk : poolChunks_) {
+        const std::uint64_t used =
+            std::min<std::uint64_t>(remaining, poolChunkSize);
+        for (std::uint64_t i = 0; i < used; ++i)
+            chunk[i].scheduled_ = false;
+        remaining -= used;
+    }
+}
+
 void
 EventQueue::schedule(Event *event, Tick when)
 {
-    snap_assert(event != nullptr, "scheduling null event");
-    snap_assert(!event->scheduled_,
-                "event '%s' already scheduled",
-                event->name().c_str());
-    snap_assert(when >= curTick_,
-                "event '%s' scheduled in the past (%llu < %llu)",
-                event->name().c_str(),
-                static_cast<unsigned long long>(when),
-                static_cast<unsigned long long>(curTick_));
+    scheduleImpl(event, when);
+}
 
-    event->when_ = when;
-    event->seq_ = nextSeq_++;
-    event->scheduled_ = true;
-    queue_.push(Entry{when, event->seq_, event});
-    ++live_;
+void
+EventQueue::insertOverflow(const Entry &e)
+{
+    overflow_.push(e);
+}
+
+void
+EventQueue::insertSorted(Bucket &bk, const Entry &e)
+{
+    auto it = std::upper_bound(
+        bk.entries.begin() + bk.drainPos, bk.entries.end(), e,
+        [](const Entry &a, const Entry &x) {
+            if (a.when != x.when)
+                return a.when < x.when;
+            return a.seq < x.seq;
+        });
+    bk.entries.insert(it, e);
+}
+
+std::uint32_t
+EventQueue::nextOccupied(std::uint32_t cursor) const
+{
+    // Pass 1: buckets [cursor, numBuckets).
+    std::uint32_t w = cursor >> 6;
+    std::uint64_t word = occ_[w] & (~0ull << (cursor & 63));
+    for (;;) {
+        if (word)
+            return (w << 6) +
+                   static_cast<std::uint32_t>(__builtin_ctzll(word));
+        if (++w == occ_.size())
+            break;
+        word = occ_[w];
+    }
+    // Pass 2 (wrap): buckets [0, cursor).
+    const std::uint32_t cw = cursor >> 6;
+    for (w = 0; w <= cw; ++w) {
+        word = occ_[w];
+        if (w == cw) {
+            const std::uint32_t bits = cursor & 63;
+            word &= bits ? ((1ull << bits) - 1) : 0ull;
+        }
+        if (word)
+            return (w << 6) +
+                   static_cast<std::uint32_t>(__builtin_ctzll(word));
+    }
+    return noBucket;
+}
+
+void
+EventQueue::resetBucket(std::uint32_t b)
+{
+    Bucket &bk = buckets_[b];
+    bk.entries.clear();
+    bk.drainPos = 0;
+    occ_[b >> 6] &= ~(1ull << (b & 63));
+}
+
+void
+EventQueue::reclaimStale(Event *ev, const Entry &entry)
+{
+    // A stale entry normally belongs to an event that moved on
+    // (rescheduled, fired, or recycled — its seq no longer matches).
+    // The one case that still owns memory: a non-pooled auto-delete
+    // one-shot descheduled and untouched since.  Its seq still
+    // matches, so this entry — the only reference left — frees it.
+    if (ev->scheduled_ || ev->seq_ != entry.seq)
+        return;
+    if (!ev->autoDelete_ || ev->pooled_ || ev->inFreeList_)
+        return;
+    delete ev;
+}
+
+EventQueue::Head
+EventQueue::findHead()
+{
+    // Ring candidate: first occupied bucket in ring order from the
+    // current-time cursor.  Ring entries are always within nearSpan
+    // of curTick_ (delta < nearSpan at insert, and time only moves
+    // forward), so no two entries in one bucket are a lap apart and
+    // the first occupied bucket holds the ring minimum.
+    Head head;
+    if (ringCount_ != 0) {
+        const std::uint32_t cursor =
+            static_cast<std::uint32_t>(curTick_ >> bucketShift) &
+            bucketMask;
+        std::uint32_t b;
+        while ((b = nextOccupied(cursor)) != noBucket) {
+            Bucket &bk = buckets_[b];
+            while (staleEntries_ != 0 &&
+                   bk.drainPos < bk.entries.size() &&
+                   stale(bk.entries[bk.drainPos])) {
+                const Entry &e = bk.entries[bk.drainPos];
+                reclaimStale(e.event, e);
+                ++bk.drainPos;
+                --ringCount_;
+                --staleEntries_;
+            }
+            if (bk.drainPos == bk.entries.size()) {
+                resetBucket(b);
+                if (ringCount_ == 0)
+                    break;
+                continue;
+            }
+            const Entry &e = bk.entries[bk.drainPos];
+            head.when = e.when;
+            head.bucket = b;
+            head.valid = true;
+            break;
+        }
+    }
+
+    // Heap candidate, pruning stale tops.
+    while (!overflow_.empty()) {
+        const Entry &top = overflow_.top();
+        if (staleEntries_ != 0 && stale(top)) {
+            reclaimStale(top.event, top);
+            overflow_.pop();
+            --staleEntries_;
+            continue;
+        }
+        bool heapWins = !head.valid || top.when < head.when;
+        if (!heapWins && top.when == head.when) {
+            const Bucket &bk = buckets_[head.bucket];
+            heapWins = top.seq < bk.entries[bk.drainPos].seq;
+        }
+        if (heapWins) {
+            head.when = top.when;
+            head.bucket = noBucket;
+            head.valid = true;
+        }
+        break;
+    }
+    return head;
+}
+
+void
+EventQueue::serviceHead(const Head &head)
+{
+    snap_assert(head.valid, "servicing an empty queue");
+    Event *ev;
+    if (head.bucket != noBucket) {
+        Bucket &bk = buckets_[head.bucket];
+        ev = bk.entries[bk.drainPos].event;
+        ++bk.drainPos;
+        --ringCount_;
+        if (bk.drainPos == bk.entries.size())
+            resetBucket(head.bucket);
+    } else {
+        ev = overflow_.top().event;
+        overflow_.pop();
+    }
+
+    snap_assert(head.when >= curTick_, "time went backwards");
+    curTick_ = head.when;
+    ev->scheduled_ = false;
+    --live_;
+    ++processed_;
+
+    if (trace_) [[unlikely]]
+        trace_->fanout.push_back(0);
+
+    if (ev->pooled_) {
+        // Pooled one-shots are the hot case: call through the stored
+        // function pointer directly (no virtual dispatch) and return
+        // the wrapper to the free list.
+        auto *cb = static_cast<PooledCallback *>(ev);
+        cb->invoke_(cb->store_);
+        recycle(cb);
+    } else {
+        ev->process();
+        if (ev->autoDelete_)
+            delete ev;
+    }
 }
 
 void
@@ -36,89 +214,118 @@ EventQueue::deschedule(Event *event)
     snap_assert(event != nullptr && event->scheduled_,
                 "descheduling an unscheduled event");
     // Lazy deletion: mark unscheduled; the stale queue entry is
-    // discarded when popped.
+    // discarded when it surfaces.  Pooled one-shots go straight back
+    // to the free list (the pool keeps the storage alive, so the
+    // stale entry is safe to examine later; its seq check rejects
+    // any reuse).  Non-pooled auto-delete events must outlive their
+    // stale entry and are freed when it surfaces (reclaimStale).
     event->scheduled_ = false;
     --live_;
+    ++staleEntries_;
+    if (event->pooled_)
+        recycle(event);
 }
 
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
+    snap_assert(event != nullptr && !event->autoDelete_,
+                "rescheduling an auto-delete event");
     if (event->scheduled_)
         deschedule(event);
     schedule(event, when);
 }
 
 void
-EventQueue::scheduleCallback(Tick when, std::function<void()> fn,
-                             const std::string &name)
+EventQueue::recycle(Event *ev)
 {
-    class OneShot : public EventFunctionWrapper
-    {
-      public:
-        OneShot(std::function<void()> f, std::string n)
-            : EventFunctionWrapper(std::move(f), std::move(n))
-        {
-            setAutoDelete();
-        }
-    };
-    schedule(new OneShot(std::move(fn), name), when);
+    auto *cb = static_cast<PooledCallback *>(ev);
+    cb->reset();  // drop captured state now, not at reuse
+    cb->inFreeList_ = true;
+    cb->nextFree_ = freeHead_;
+    freeHead_ = cb;
 }
 
-void
-EventQueue::serviceOne()
+EventQueue::PooledCallback *
+EventQueue::growPool()
 {
-    Entry top = queue_.top();
-    queue_.pop();
-
-    Event *ev = top.event;
-    // Discard entries for descheduled/rescheduled events.
-    if (!ev->scheduled_ || ev->seq_ != top.seq)
-        return;
-
-    snap_assert(top.when >= curTick_, "time went backwards");
-    curTick_ = top.when;
-    ev->scheduled_ = false;
-    --live_;
-    ++processed_;
-
-    bool auto_delete = ev->isAutoDelete();
-    ev->process();
-    if (auto_delete)
-        delete ev;
+    const std::uint64_t used = poolAllocs_ % poolChunkSize;
+    if (used == 0)
+        poolChunks_.push_back(
+            std::make_unique<PooledCallback[]>(poolChunkSize));
+    PooledCallback *cb = &poolChunks_.back()[used];
+    cb->pooled_ = true;
+    ++poolAllocs_;
+    return cb;
 }
 
-std::uint64_t
+// flatten: pull findHead/serviceHead into the dispatch loop; they are
+// too large for the inliner's default budget but run once per event.
+__attribute__((flatten)) std::uint64_t
 EventQueue::run(std::uint64_t max_events)
 {
     std::uint64_t fired = 0;
     while (live_ != 0 && fired < max_events) {
-        std::uint64_t before = processed_;
-        serviceOne();
-        fired += processed_ - before;
+        // Ring fast path: with no overflow entries to arbitrate
+        // against and no stale entries to prune, the first occupied
+        // bucket can be drained in place.  Entries past drainPos stay
+        // sorted even while events fire — a handler's new schedules
+        // land at or after the drain point (insertSorted starts
+        // there) or in a later bucket, never earlier.
+        if (ringCount_ != 0 && staleEntries_ == 0 &&
+            overflow_.empty()) {
+            const std::uint32_t cursor =
+                static_cast<std::uint32_t>(curTick_ >> bucketShift) &
+                bucketMask;
+            const std::uint32_t b = nextOccupied(cursor);
+            Bucket &bk = buckets_[b];
+            while (bk.drainPos < bk.entries.size() &&
+                   staleEntries_ == 0 && overflow_.empty() &&
+                   fired < max_events) {
+                // Copy: the handler may grow this bucket's vector.
+                const Entry e = bk.entries[bk.drainPos];
+                ++bk.drainPos;
+                --ringCount_;
+                snap_assert(e.when >= curTick_,
+                            "time went backwards");
+                curTick_ = e.when;
+                Event *ev = e.event;
+                ev->scheduled_ = false;
+                --live_;
+                ++processed_;
+                ++fired;
+                if (trace_) [[unlikely]]
+                    trace_->fanout.push_back(0);
+                if (ev->pooled_) {
+                    auto *cb = static_cast<PooledCallback *>(ev);
+                    cb->invoke_(cb->store_);
+                    recycle(cb);
+                } else {
+                    ev->process();
+                    if (ev->autoDelete_)
+                        delete ev;
+                }
+            }
+            if (bk.drainPos == bk.entries.size())
+                resetBucket(b);
+            continue;
+        }
+        serviceHead(findHead());
+        ++fired;
     }
     return fired;
 }
 
-std::uint64_t
+__attribute__((flatten)) std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t fired = 0;
     while (live_ != 0) {
-        Entry top = queue_.top();
-        if (!top.event->scheduled_ || top.event->seq_ != top.seq) {
-            queue_.pop();
-            continue;
-        }
-        if (top.when > until)
+        Head head = findHead();
+        if (!head.valid || head.when > until)
             break;
-        std::uint64_t before = processed_;
-        serviceOne();
-        fired += processed_ - before;
-    }
-    if (curTick_ < until && live_ == 0) {
-        // Queue drained before the horizon; time does not advance
-        // past the last event.
+        serviceHead(head);
+        ++fired;
     }
     return fired;
 }

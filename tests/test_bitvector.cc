@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit and property tests for the packed bit vector behind the
- * marker status table.
+ * marker status table: 64-bit backing words, word-seam behavior,
+ * last-partial-word masking, and the bulk word-parallel kernels.
  */
 
 #include <gtest/gtest.h>
@@ -20,7 +21,7 @@ TEST(BitVector, StartsEmpty)
 {
     BitVector bv(100);
     EXPECT_EQ(bv.size(), 100u);
-    EXPECT_EQ(bv.numWords(), 4u);
+    EXPECT_EQ(bv.numWords(), 2u);  // 64-bit backing words
     EXPECT_TRUE(bv.none());
     EXPECT_FALSE(bv.any());
     EXPECT_EQ(bv.count(), 0u);
@@ -43,12 +44,12 @@ TEST(BitVector, SetTestClear)
 
 TEST(BitVector, WordAccessMasksTail)
 {
-    BitVector bv(40);  // 2 words, 8 tail bits in word 1
-    bv.setWord(1, 0xffffffffu);
+    BitVector bv(72);  // 2 words, 8 tail bits in word 1
+    bv.setWord(1, ~BitVector::Word{0});
     EXPECT_EQ(bv.word(1), 0xffu);
     EXPECT_EQ(bv.count(), 8u);
     bv.setAll();
-    EXPECT_EQ(bv.count(), 40u);
+    EXPECT_EQ(bv.count(), 72u);
     EXPECT_EQ(bv.word(1), 0xffu);
     bv.clearAll();
     EXPECT_TRUE(bv.none());
@@ -68,6 +69,25 @@ TEST(BitVector, FindNextWalksSetBits)
               (std::vector<std::uint32_t>{0, 31, 32, 63, 64, 199}));
 }
 
+TEST(BitVector, FindNextAcrossWordSeams)
+{
+    // Adjacent bits straddling every 64-bit boundary of four words.
+    BitVector bv(256);
+    for (std::uint32_t seam : {64u, 128u, 192u}) {
+        bv.set(seam - 1);
+        bv.set(seam);
+    }
+    std::vector<std::uint32_t> found;
+    bv.collect(found);
+    EXPECT_EQ(found, (std::vector<std::uint32_t>{63, 64, 127, 128,
+                                                 191, 192}));
+    // Starting exactly on a seam skips the bit just before it.
+    EXPECT_EQ(bv.findNext(64), 64u);
+    EXPECT_EQ(bv.findNext(65), 127u);
+    // Starting mid-word finds the next seam pair.
+    EXPECT_EQ(bv.findNext(129), 191u);
+}
+
 TEST(BitVector, FindNextOnEmpty)
 {
     BitVector bv(65);
@@ -75,6 +95,20 @@ TEST(BitVector, FindNextOnEmpty)
     EXPECT_EQ(bv.findNext(64), 65u);
     EXPECT_EQ(bv.findNext(65), 65u);
     EXPECT_EQ(bv.findNext(9999), 65u);
+}
+
+TEST(BitVector, ForEachSetMatchesFindNext)
+{
+    BitVector bv(300);
+    for (std::uint32_t i : {0u, 63u, 64u, 65u, 127u, 128u, 255u, 299u})
+        bv.set(i);
+    std::vector<std::uint32_t> viaFind, viaForEach;
+    for (std::uint32_t i = bv.findNext(0); i < bv.size();
+         i = bv.findNext(i + 1)) {
+        viaFind.push_back(i);
+    }
+    bv.forEachSet([&](std::uint32_t i) { viaForEach.push_back(i); });
+    EXPECT_EQ(viaForEach, viaFind);
 }
 
 TEST(BitVector, CollectMatchesTests)
@@ -105,6 +139,91 @@ TEST(BitVector, ZeroSize)
     EXPECT_EQ(bv.size(), 0u);
     EXPECT_TRUE(bv.none());
     EXPECT_EQ(bv.findNext(0), 0u);
+    bv.setAll();
+    EXPECT_EQ(bv.count(), 0u);
+    std::uint32_t visits = 0;
+    bv.forEachSet([&](std::uint32_t) { ++visits; });
+    EXPECT_EQ(visits, 0u);
+}
+
+// --- bulk word-parallel operations --------------------------------------
+
+TEST(BitVectorBulk, AndOrAndNotBasics)
+{
+    BitVector a(130), b(130);
+    for (std::uint32_t i : {0u, 63u, 64u, 100u, 129u})
+        a.set(i);
+    for (std::uint32_t i : {0u, 64u, 101u, 129u})
+        b.set(i);
+
+    BitVector conj = a;
+    conj.andWith(b);
+    std::vector<std::uint32_t> out;
+    conj.collect(out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 64, 129}));
+
+    BitVector disj = a;
+    disj.orWith(b);
+    out.clear();
+    disj.collect(out);
+    EXPECT_EQ(out,
+              (std::vector<std::uint32_t>{0, 63, 64, 100, 101, 129}));
+
+    BitVector diff = a;
+    diff.andNotWith(b);
+    out.clear();
+    diff.collect(out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{63, 100}));
+}
+
+TEST(BitVectorBulk, PartialTailWordStaysMasked)
+{
+    // 70 bits: 6 valid bits in the last word.  Bulk ops on full
+    // vectors must never resurrect tail bits past size(), and
+    // count() must not see them.
+    BitVector a(70), b(70);
+    a.setAll();
+    b.setAll();
+    EXPECT_EQ(a.count(), 70u);
+
+    BitVector disj = a;
+    disj.orWith(b);
+    EXPECT_EQ(disj.count(), 70u);
+    EXPECT_EQ(disj.word(1), 0x3fu);
+    EXPECT_EQ(disj.findNext(69), 69u);
+
+    BitVector conj = a;
+    conj.andWith(b);
+    EXPECT_EQ(conj.count(), 70u);
+    EXPECT_EQ(conj.word(1), 0x3fu);
+
+    BitVector diff = a;
+    diff.andNotWith(b);
+    EXPECT_TRUE(diff.none());
+    EXPECT_EQ(diff.word(1), 0u);
+}
+
+TEST(BitVectorBulk, EmptyAndFullOperands)
+{
+    BitVector full(96), empty(96);
+    full.setAll();
+
+    BitVector x = full;
+    x.andWith(empty);
+    EXPECT_TRUE(x.none());
+
+    x = empty;
+    x.orWith(full);
+    EXPECT_EQ(x.count(), 96u);
+    EXPECT_TRUE(x == full);
+
+    x = full;
+    x.andNotWith(empty);
+    EXPECT_TRUE(x == full);
+
+    x = full;
+    x.andNotWith(full);
+    EXPECT_TRUE(x.none());
 }
 
 class BitVectorProperty
@@ -141,13 +260,47 @@ TEST_P(BitVectorProperty, AgreesWithSetModel)
     // Popcount over words equals count().
     std::uint32_t pop = 0;
     for (std::uint32_t w = 0; w < bv.numWords(); ++w)
-        pop += __builtin_popcount(bv.word(w));
+        pop += static_cast<std::uint32_t>(
+            __builtin_popcountll(bv.word(w)));
     EXPECT_EQ(pop, bv.count());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorProperty,
-                         ::testing::Values(1u, 31u, 32u, 33u, 64u,
-                                           100u, 1024u));
+                         ::testing::Values(1u, 31u, 32u, 33u, 63u,
+                                           64u, 65u, 100u, 1024u));
+
+/** Bulk ops agree with per-bit evaluation on random vectors,
+ *  including sizes that exercise the partial last word. */
+TEST_P(BitVectorProperty, BulkOpsMatchScalar)
+{
+    std::uint32_t n = GetParam();
+    BitVector a(n), b(n);
+    Rng rng(n * 131 + 7);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (rng.chance(0.4))
+            a.set(i);
+        if (rng.chance(0.4))
+            b.set(i);
+    }
+
+    BitVector conj = a, disj = a, diff = a;
+    conj.andWith(b);
+    disj.orWith(b);
+    diff.andNotWith(b);
+
+    std::uint32_t nAnd = 0, nOr = 0, nAndNot = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(conj.test(i), a.test(i) && b.test(i));
+        EXPECT_EQ(disj.test(i), a.test(i) || b.test(i));
+        EXPECT_EQ(diff.test(i), a.test(i) && !b.test(i));
+        nAnd += conj.test(i);
+        nOr += disj.test(i);
+        nAndNot += diff.test(i);
+    }
+    EXPECT_EQ(conj.count(), nAnd);
+    EXPECT_EQ(disj.count(), nOr);
+    EXPECT_EQ(diff.count(), nAndNot);
+}
 
 TEST(BitVectorDeath, OutOfRangePanics)
 {
@@ -155,6 +308,8 @@ TEST(BitVectorDeath, OutOfRangePanics)
     EXPECT_DEATH(bv.test(10), "bit index");
     EXPECT_DEATH(bv.set(11), "bit index");
     EXPECT_DEATH((void)bv.word(1), "word index");
+    BitVector other(11);
+    EXPECT_DEATH(bv.andWith(other), "size mismatch");
 }
 
 } // namespace

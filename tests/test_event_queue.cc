@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
 
@@ -99,6 +104,134 @@ TEST(EventQueue, MemberEventReuse)
         eq.run();
     }
     EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, FarFutureEventsFire)
+{
+    // Deltas past the near-bucket span route through the overflow
+    // heap and must interleave correctly with near events.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleCallback(Tick{1} << 35, [&] { order.push_back(2); });
+    eq.scheduleCallback(10, [&] { order.push_back(1); });
+    eq.scheduleCallback(Tick{1} << 40, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), Tick{1} << 40);
+}
+
+TEST(EventQueue, RescheduleAcrossNearFarBoundary)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev([&] { fired_at = eq.curTick(); }, "far");
+    eq.schedule(&ev, 10);                // near ring
+    eq.reschedule(&ev, Tick{1} << 35);   // overflow heap
+    eq.scheduleCallback(100, [] {});     // stale ring entry is pruned
+    eq.run();
+    EXPECT_EQ(fired_at, Tick{1} << 35);
+
+    eq.schedule(&ev, eq.curTick() + (Tick{1} << 35));
+    eq.reschedule(&ev, eq.curTick() + 5);  // overflow back to ring
+    eq.run();
+    EXPECT_EQ(fired_at, (Tick{1} << 35) + 5);
+}
+
+TEST(EventQueue, DescheduleFarFutureCancels)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventFunctionWrapper ev([&] { fired = true; }, "cancel-far");
+    eq.schedule(&ev, Tick{1} << 40);
+    eq.deschedule(&ev);
+    eq.scheduleCallback(10, [] {});
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.numScheduled(), 0u);
+}
+
+TEST(EventQueue, CallbackPoolReachesSteadyState)
+{
+    // After warm-up, scheduleCallback must recycle pooled events
+    // instead of allocating: zero per-event heap allocations in
+    // steady state.
+    EventQueue eq;
+    const int burst = 32;
+    int fired = 0;
+    auto round = [&] {
+        for (int i = 0; i < burst; ++i)
+            eq.scheduleCallback(eq.curTick() + 1 + i, [&] { ++fired; });
+        eq.run();
+    };
+    for (int r = 0; r < 3; ++r)
+        round();
+    std::uint64_t allocated = eq.callbackPoolAllocated();
+    EXPECT_GT(allocated, 0u);
+    EXPECT_LE(allocated, static_cast<std::uint64_t>(burst));
+
+    for (int r = 0; r < 50; ++r)
+        round();
+    EXPECT_EQ(eq.callbackPoolAllocated(), allocated);
+    EXPECT_GT(eq.callbackPoolReused(), 0u);
+    EXPECT_EQ(eq.callbackPoolFree(), allocated);
+    EXPECT_EQ(fired, 53 * burst);
+}
+
+TEST(EventQueue, HeapImplBehavesIdentically)
+{
+    EventQueue eq(EventQueue::Impl::Heap);
+    EXPECT_EQ(eq.impl(), EventQueue::Impl::Heap);
+    std::vector<int> order;
+    eq.scheduleCallback(30, [&] { order.push_back(3); });
+    eq.scheduleCallback(10, [&] { order.push_back(1); });
+    for (int i = 0; i < 3; ++i)
+        eq.scheduleCallback(20, [&, i] { order.push_back(10 + i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 10, 11, 12, 3}));
+}
+
+/** Self-expanding random storm; returns the (tick, id) fire log. */
+static std::vector<std::pair<Tick, int>>
+stormFireLog(EventQueue::Impl impl)
+{
+    EventQueue eq(impl);
+    Rng rng(987);
+    std::vector<std::pair<Tick, int>> log;
+    int next_id = 0;
+    const int total = 3000;
+
+    std::function<void()> spawnSome = [&] {
+        int fanout = static_cast<int>(rng.below(4));
+        for (int i = 0; i < fanout && next_id < total; ++i) {
+            Tick delta;
+            switch (rng.below(4)) {
+              case 0: delta = 0; break;                    // same tick
+              case 1: delta = rng.below(1000); break;      // near
+              case 2: delta = rng.below(1u << 20); break;  // mid ring
+              default:                                     // overflow
+                delta = (Tick{1} << 30) + rng.below(1u << 30);
+                break;
+            }
+            int id = next_id++;
+            eq.scheduleCallback(eq.curTick() + delta, [&, id] {
+                log.emplace_back(eq.curTick(), id);
+                spawnSome();
+            });
+        }
+    };
+    // Seed enough roots that the storm sustains itself.
+    for (int i = 0; i < 64; ++i)
+        spawnSome();
+    eq.run();
+    return log;
+}
+
+TEST(EventQueue, IndexedMatchesHeapUnderRandomStorm)
+{
+    auto indexed = stormFireLog(EventQueue::Impl::Indexed);
+    auto heap = stormFireLog(EventQueue::Impl::Heap);
+    ASSERT_FALSE(indexed.empty());
+    EXPECT_EQ(indexed, heap);
 }
 
 TEST(EventQueueDeath, PastSchedulingPanics)

@@ -15,10 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <tuple>
+
 #include "arch/machine.hh"
 #include "common/rng.hh"
 #include "runtime/validate.hh"
 #include "tests/test_helpers.hh"
+#include "workload/alpha_beta.hh"
 #include "workload/kb_gen.hh"
 
 namespace snap
@@ -322,6 +326,150 @@ INSTANTIATE_TEST_SUITE_P(
                    static_cast<int>(info.param.strategy)) +
                "_s" + std::to_string(info.param.seed);
     });
+
+// --- seeded golden regression ------------------------------------------
+//
+// Exact values (wallTicks, ExecBreakdown totals, and an FNV-1a digest
+// of the retrieval results) captured from the seed revision on fixed
+// workloads.  Any change to the simulated-time semantics of the host
+// hot path — event ordering, marker kernels, frontier bookkeeping —
+// shows up here as a hard failure, not just a statistical drift.
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ull;
+}
+
+std::uint64_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+std::uint64_t
+digestResults(const ResultSet &rs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const CollectResult &r : rs) {
+        h = fnv(h, static_cast<std::uint64_t>(r.op));
+        h = fnv(h, r.marker);
+        h = fnv(h, r.color);
+        h = fnv(h, r.rel);
+        for (const CollectedNode &n : r.nodes) {
+            h = fnv(h, n.node);
+            h = fnv(h, floatBits(n.value));
+            h = fnv(h, n.origin);
+        }
+        for (const CollectedLink &l : r.links) {
+            h = fnv(h, l.src);
+            h = fnv(h, l.rel);
+            h = fnv(h, l.dst);
+            h = fnv(h, floatBits(l.weight));
+        }
+    }
+    return h;
+}
+
+/** Fig. 17-style workload: β=8 overlapped PROPAGATEs + retrieval. */
+Workload
+makeFig17Golden()
+{
+    Workload w = makeBetaWorkload(8, 8, 8, 2, true, 11);
+    for (std::uint32_t j = 0; j < 8; ++j) {
+        w.prog.append(Instruction::searchRelation(
+            w.net.relation("hop" + std::to_string(j)),
+            static_cast<MarkerId>(2 * j), 1.0f));
+    }
+    for (std::uint32_t j = 0; j < 8; ++j) {
+        w.prog.append(Instruction::propagate(
+            static_cast<MarkerId>(2 * j),
+            static_cast<MarkerId>(2 * j + 1),
+            static_cast<RuleId>(j), MarkerFunc::AddWeight));
+    }
+    w.prog.append(Instruction::barrier());
+    for (std::uint32_t j = 0; j < 8; ++j) {
+        w.prog.append(Instruction::collectMarker(
+            static_cast<MarkerId>(2 * j + 1)));
+    }
+    return w;
+}
+
+TEST(MachineGolden, Fig17SeededRegression)
+{
+    Workload w = makeFig17Golden();
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.partition = PartitionStrategy::RoundRobin;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(w.net);
+    RunResult r = machine.run(w.prog);
+
+    EXPECT_EQ(r.wallTicks, 8048947500ull);
+    EXPECT_EQ(r.stats.messagesSent, 2688ull);
+    EXPECT_EQ(r.stats.expansions, 3072ull);
+    EXPECT_EQ(r.stats.arrivalsProcessed, 2688ull);
+    EXPECT_EQ(r.stats.localDeliveries, 0ull);
+    EXPECT_EQ(r.stats.linkTraversals, 2688ull);
+    EXPECT_EQ(r.stats.muBusyTicks, 129277920000ull);
+    EXPECT_EQ(r.stats.puBusyTicks, 17132800000ull);
+    EXPECT_EQ(r.stats.commTicks, 4270080000ull);
+    EXPECT_EQ(digestResults(r.results), 0xa7addb5c77c8e3d5ull);
+}
+
+TEST(MachineGolden, Fig16SeededRegression)
+{
+    Workload w = makeAlphaWorkload(448, 64, 6, 2, 71);
+    w.prog.append(Instruction::searchRelation(
+        w.net.relation("hop"), 0, 1.0f));
+    w.prog.append(
+        Instruction::propagate(0, 1, 0, MarkerFunc::AddWeight));
+    w.prog.append(Instruction::barrier());
+    w.prog.append(Instruction::collectMarker(0));
+    w.prog.append(Instruction::collectMarker(1));
+
+    MachineConfig cfg;
+    cfg.numClusters = 16;
+    cfg.partition = PartitionStrategy::Semantic;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(w.net);
+    RunResult r = machine.run(w.prog);
+
+    EXPECT_EQ(r.wallTicks, 2600067500ull);
+    EXPECT_EQ(r.stats.messagesSent, 0ull);
+    EXPECT_EQ(r.stats.expansions, 2432ull);
+    EXPECT_EQ(r.stats.localDeliveries, 2112ull);
+    EXPECT_EQ(r.stats.linkTraversals, 2112ull);
+    EXPECT_EQ(r.stats.muBusyTicks, 56218880000ull);
+    EXPECT_EQ(r.stats.puBusyTicks, 3027200000ull);
+    EXPECT_EQ(r.stats.commTicks, 0ull);
+    EXPECT_EQ(digestResults(r.results), 0x6f0edaeb4ac41b8aull);
+}
+
+TEST(MachineGolden, TunedAndSeedHotPathsAgree)
+{
+    // The tuned host structures (indexed event queue, pooled events,
+    // flat frontier map) and the seed ones must be observationally
+    // identical: same simulated time, same event count, same results.
+    auto runWith = [](bool seed_hot_path) {
+        Workload w = makeFig17Golden();
+        MachineConfig cfg = MachineConfig::paperSetup();
+        cfg.partition = PartitionStrategy::RoundRobin;
+        cfg.maxNodesPerCluster = capacity::maxNodes;
+        cfg.seedHotPath = seed_hot_path;
+        SnapMachine machine(cfg);
+        machine.loadKb(w.net);
+        RunResult r = machine.run(w.prog);
+        return std::tuple<Tick, std::uint64_t, std::uint64_t>(
+            r.wallTicks, machine.eventsProcessed(),
+            digestResults(r.results));
+    };
+    EXPECT_EQ(runWith(false), runWith(true));
+}
 
 } // namespace
 } // namespace snap
