@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Serving-engine load generator: worker-count sweep over a fixed
+ * query mix.
+ *
+ *   serving [num_queries]        (default 48; writes
+ *                                 BENCH_serving.json)
+ *
+ * Builds one 2000-node concept hierarchy, generates a deterministic
+ * mix of inheritance (downward `includes`) and classification
+ * (upward `is-a`) marker-propagation queries — each query's start
+ * node drawn from its own requestSeed() chain, so the mix replays
+ * identically at any worker count — and drains the mix through
+ * ServeEngine pools of 1, 2, 4, and 8 replicas.
+ *
+ * Metrics:
+ *  - per-query *results and simulated wallTicks must be identical at
+ *    every worker count* (the engine's determinism guarantee);
+ *  - aggregate serving capacity is measured in **simulated time**:
+ *    the makespan of list-scheduling the measured per-query
+ *    wallTicks onto W replicas (earliest-free-first, submission
+ *    order) — the throughput of the modeled W-machine SNAP-1 farm.
+ *    This is deterministic and host-independent, which is the point:
+ *    the repo's currency is simulated time, and host wall-clock
+ *    scaling on a CI box says more about the runner's core count
+ *    than about the serving engine.  Host-side throughput is still
+ *    reported informationally.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "serve/engine.hh"
+#include "workload/kb_gen.hh"
+
+using namespace snap;
+
+namespace
+{
+
+constexpr std::uint64_t kBaseSeed = 0x5e471ce;
+
+struct QueryOutcome
+{
+    ResultSet results;
+    Tick wallTicks = 0;
+};
+
+/** Build query @p i of the mix: start node and direction are drawn
+ *  from the query's own deterministic seed chain. */
+Program
+makeQuery(std::uint64_t i, const SemanticNetwork &net,
+          RelationType down, RelationType up)
+{
+    Rng rng(serve::requestSeed(kBaseSeed, i));
+    auto start = static_cast<NodeId>(rng.below(net.numNodes()));
+    bool downward = rng.chance(0.5);
+
+    Program prog;
+    RuleId rule = prog.addRule(
+        PropRule::chain(downward ? down : up));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+bool
+sameOutcome(QueryOutcome a, QueryOutcome b)
+{
+    if (a.wallTicks != b.wallTicks)
+        return false;
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        a.results[i].sortNodes();
+        b.results[i].sortNodes();
+        if (a.results[i].nodes != b.results[i].nodes ||
+            a.results[i].links != b.results[i].links)
+            return false;
+    }
+    return true;
+}
+
+/** Simulated farm makespan: list-schedule the measured per-query
+ *  machine times onto @p workers replicas, earliest-free-first, in
+ *  submission order. */
+Tick
+farmMakespan(const std::vector<QueryOutcome> &outcomes,
+             std::uint32_t workers)
+{
+    std::vector<Tick> freeAt(workers, 0);
+    for (const QueryOutcome &q : outcomes) {
+        std::size_t best = 0;
+        for (std::size_t w = 1; w < freeAt.size(); ++w)
+            if (freeAt[w] < freeAt[best])
+                best = w;
+        freeAt[best] += q.wallTicks;
+    }
+    Tick makespan = 0;
+    for (Tick t : freeAt)
+        if (t > makespan)
+            makespan = t;
+    return makespan;
+}
+
+struct SweepRow
+{
+    std::uint32_t workers = 0;
+    double hostSec = 0.0;
+    double hostQps = 0.0;
+    double simMakespanUs = 0.0;
+    double simQps = 0.0;
+    bool identical = false;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t num_queries = 48;
+    if (argc > 1) {
+        long long n;
+        if (!parseInt(argv[1], n) || n < 1)
+            snap_fatal("usage: serving [num_queries]");
+        num_queries = static_cast<std::uint64_t>(n);
+    }
+
+    bench::banner(
+        "serving — worker-count sweep of the snapserve engine",
+        "a farm of machine replicas serves independent queries "
+        "against one KB; capacity scales with replicas while every "
+        "answer stays bit-identical");
+
+    SemanticNetwork net = makeTreeKb(2000, 4);
+    RelationType down = net.relationId("includes");
+    RelationType up = net.relationId("is-a");
+
+    std::vector<Program> mix;
+    mix.reserve(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i)
+        mix.push_back(makeQuery(i, net, down, up));
+    std::printf("query mix: %llu marker-propagation queries over a "
+                "%u-node hierarchy\n\n",
+                static_cast<unsigned long long>(num_queries),
+                net.numNodes());
+
+    const std::uint32_t sweep[] = {1, 2, 4, 8};
+    std::vector<QueryOutcome> baseline;
+    std::vector<SweepRow> rows;
+
+    std::printf("%8s %12s %12s %16s %14s %10s\n", "workers",
+                "host_s", "host_qps", "sim_makespan_ms", "sim_qps",
+                "identical");
+    for (std::uint32_t w : sweep) {
+        serve::ServeConfig cfg;
+        cfg.numWorkers = w;
+        cfg.queueCapacity = num_queries;
+        cfg.baseSeed = kBaseSeed;
+        cfg.startPaused = true;
+
+        serve::ServeEngine engine(net, cfg);
+        std::vector<std::future<serve::Response>> futures;
+        futures.reserve(num_queries);
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            serve::Request req;
+            req.prog = mix[i];
+            futures.push_back(engine.submit(std::move(req)));
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        engine.start();
+        engine.drain();
+        auto t1 = std::chrono::steady_clock::now();
+
+        std::vector<QueryOutcome> outcomes;
+        outcomes.reserve(num_queries);
+        for (auto &f : futures) {
+            serve::Response resp = f.get();
+            snap_assert(resp.status == serve::RequestStatus::Ok,
+                        "query not served");
+            outcomes.push_back(QueryOutcome{std::move(resp.results),
+                                            resp.wallTicks});
+        }
+
+        SweepRow row;
+        row.workers = w;
+        row.hostSec =
+            std::chrono::duration<double>(t1 - t0).count();
+        row.hostQps = static_cast<double>(num_queries) / row.hostSec;
+        row.simMakespanUs = ticksToUs(farmMakespan(outcomes, w));
+        row.simQps = static_cast<double>(num_queries) /
+                     (row.simMakespanUs * 1e-6);
+
+        if (baseline.empty()) {
+            baseline = outcomes;
+            row.identical = true;
+        } else {
+            row.identical = true;
+            for (std::uint64_t i = 0; i < num_queries; ++i) {
+                if (!sameOutcome(baseline[i], outcomes[i])) {
+                    row.identical = false;
+                    break;
+                }
+            }
+        }
+
+        serve::MetricsSnapshot m = engine.metricsSnapshot();
+        row.completed = m.completed;
+        row.rejected = m.rejected;
+
+        std::printf("%8u %12.3f %12.1f %16.3f %14.1f %10s\n", w,
+                    row.hostSec, row.hostQps,
+                    row.simMakespanUs / 1000.0, row.simQps,
+                    row.identical ? "yes" : "NO");
+        rows.push_back(row);
+    }
+
+    double speedup_1to4 = rows[2].simQps / rows[0].simQps;
+    std::printf("\nsimulated farm capacity speedup 1 -> 4 workers: "
+                "%.2fx\n\n", speedup_1to4);
+
+    bool all_identical = true;
+    bool all_served = true;
+    for (const SweepRow &r : rows) {
+        all_identical = all_identical && r.identical;
+        all_served = all_served && r.completed == num_queries &&
+                     r.rejected == 0;
+    }
+    bench::check("per-query results and wallTicks identical at "
+                 "every worker count", all_identical);
+    bench::check("every query served, none rejected", all_served);
+    bench::check("simulated capacity scales >= 3x from 1 to 4 "
+                 "workers", speedup_1to4 >= 3.0);
+
+    std::ofstream os("BENCH_serving.json");
+    os << "{\n  \"num_queries\": " << num_queries << ",\n";
+    os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
+    os << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        os << "    {\"workers\": " << r.workers
+           << ", \"host_sec\": " << formatString("%.6f", r.hostSec)
+           << ", \"host_qps\": " << formatString("%.1f", r.hostQps)
+           << ", \"sim_makespan_us\": "
+           << formatString("%.3f", r.simMakespanUs)
+           << ", \"sim_qps\": " << formatString("%.1f", r.simQps)
+           << ", \"identical\": "
+           << (r.identical ? "true" : "false")
+           << ", \"completed\": " << r.completed
+           << ", \"rejected\": " << r.rejected << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"sim_speedup_1_to_4\": "
+       << formatString("%.3f", speedup_1to4) << "\n";
+    os << "}\n";
+    std::printf("wrote BENCH_serving.json\n");
+
+    return bench::finish();
+}

@@ -86,6 +86,13 @@ KbImage::KbImage(const SemanticNetwork &net, const MachineConfig &cfg)
             std::make_unique<ClusterKb>(net, part_, c));
 }
 
+KbImage::KbImage(const KbImage &other) : part_(other.part_)
+{
+    clusters_.reserve(other.clusters_.size());
+    for (const auto &ckb : other.clusters_)
+        clusters_.push_back(std::make_unique<ClusterKb>(*ckb));
+}
+
 bool
 KbImage::markerSet(MarkerId m, NodeId n) const
 {
@@ -142,8 +149,23 @@ KbImage::loadMarkers(std::istream &is)
         snap_fatal("snapshot holds %u nodes but the loaded knowledge "
                    "base has %u", flat.numNodes(), numNodes());
     }
+    restoreMarkers(flat);
+}
+
+void
+KbImage::resetMarkers()
+{
     for (auto &ckb : clusters_)
         ckb->markers().reset();
+}
+
+void
+KbImage::restoreMarkers(const MarkerStore &flat)
+{
+    snap_assert(flat.numNodes() == numNodes(),
+                "restoreMarkers over %u nodes onto a %u-node image",
+                flat.numNodes(), numNodes());
+    resetMarkers();
     for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
         auto mid = static_cast<MarkerId>(m);
         const BitVector &bits = flat.bits(mid);

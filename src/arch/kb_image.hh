@@ -49,6 +49,9 @@ class ClusterKb
     ClusterKb(const SemanticNetwork &net, const Partition &part,
               ClusterId cluster);
 
+    /** Copyable so a compiled image can be replicated per worker. */
+    ClusterKb(const ClusterKb &) = default;
+
     ClusterId clusterId() const { return cluster_; }
     std::uint32_t numLocalNodes() const
     {
@@ -129,6 +132,14 @@ class KbImage
   public:
     KbImage(const SemanticNetwork &net, const MachineConfig &cfg);
 
+    /**
+     * Deep copy.  Partitioning and compiling a large network is the
+     * expensive part of machine bring-up; the serve engine compiles
+     * one master image and stamps out per-worker replicas from it.
+     */
+    KbImage(const KbImage &other);
+    KbImage &operator=(const KbImage &) = delete;
+
     const Partition &partition() const { return part_; }
     std::uint32_t numClusters() const
     {
@@ -160,6 +171,15 @@ class KbImage
 
     /** Restore a checkpoint; the node count must match. */
     void loadMarkers(std::istream &is);
+
+    /** Clear every marker plane in every cluster (fresh-query
+     *  state). */
+    void resetMarkers();
+
+    /** Install flat marker state @p flat (global node ids) into the
+     *  distributed tables; the node count must match.  The in-memory
+     *  counterpart of loadMarkers(). */
+    void restoreMarkers(const MarkerStore &flat);
 
   private:
     Partition part_;

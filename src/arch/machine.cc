@@ -26,6 +26,27 @@ SnapMachine::loadKb(const SemanticNetwork &net)
     clusters_.clear();
 
     image_ = std::make_unique<KbImage>(net, cfg_);
+    wireArray();
+}
+
+void
+SnapMachine::loadKb(const KbImage &image)
+{
+    snap_assert(eq_.empty(), "loadKb while events are pending");
+    if (image.numClusters() != cfg_.numClusters) {
+        snap_fatal("image compiled for %u clusters but this machine "
+                   "has %u", image.numClusters(), cfg_.numClusters);
+    }
+    controller_.reset();
+    clusters_.clear();
+
+    image_ = std::make_unique<KbImage>(image);
+    wireArray();
+}
+
+void
+SnapMachine::wireArray()
+{
     icn_ = std::make_unique<HypercubeIcn>(cfg_.numClusters, cfg_.t);
     sync_ = std::make_unique<SyncTree>(cfg_.numClusters);
     perf_ = std::make_unique<PerfNet>(cfg_.numProcessors() + 1,

@@ -62,6 +62,15 @@ class SnapMachine
      *  Replaces any previously loaded knowledge base. */
     void loadKb(const SemanticNetwork &net);
 
+    /**
+     * Load a replica of an already-compiled image, skipping the
+     * partition + table-compilation work.  The serve engine compiles
+     * one immutable master image and stamps per-worker machines from
+     * it.  @p image must have been compiled for this machine's
+     * cluster count (fatal otherwise).
+     */
+    void loadKb(const KbImage &image);
+
     /** Execute @p prog to completion.  Marker state persists across
      *  runs (applications issue multiple programs). */
     RunResult run(const Program &prog);
@@ -127,6 +136,9 @@ class SnapMachine
     std::string formatComponentStats() const;
 
   private:
+    /** Build ICN/sync/perf/clusters/controller around image_. */
+    void wireArray();
+
     MachineConfig cfg_;
     EventQueue eq_;
 

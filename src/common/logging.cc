@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <exception>
+#include <mutex>
 
 namespace snap
 {
@@ -10,7 +12,16 @@ namespace
 {
 
 Logger::Hook g_hook = nullptr;
-bool g_debug_enabled = false;
+std::atomic<bool> g_debug_enabled{false};
+
+/** Serializes sink writes and hook swaps (see header).  Function-local
+ *  so it is constructed before any static-initialization logging. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 const char *
 levelName(LogLevel level)
@@ -30,6 +41,7 @@ levelName(LogLevel level)
 Logger::Hook
 Logger::setHook(Hook hook)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     Hook old = g_hook;
     g_hook = hook;
     return old;
@@ -38,19 +50,20 @@ Logger::setHook(Hook hook)
 void
 Logger::setDebugEnabled(bool enabled)
 {
-    g_debug_enabled = enabled;
+    g_debug_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 Logger::debugEnabled()
 {
-    return g_debug_enabled;
+    return g_debug_enabled.load(std::memory_order_relaxed);
 }
 
 void
 Logger::emit(LogLevel level, const std::string &msg,
              const char *file, int line)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     if (g_hook)
         g_hook(level, msg);
 

@@ -10,6 +10,13 @@
  * warn()   — something is suspicious or approximated but execution can
  *            continue.
  * inform() — normal status messages.
+ *
+ * Thread safety: emit() and setHook() serialize on one internal
+ * mutex, so concurrent workers (the serve engine pool) never
+ * interleave message bytes and a hook swap never races an in-flight
+ * emit — setHook() returns only once no thread is still inside the
+ * old hook.  Consequently a hook must not log (self-deadlock) and
+ * must be fast; capture-and-return is the intended shape.
  */
 
 #ifndef SNAP_COMMON_LOGGING_HH

@@ -1,0 +1,281 @@
+#include "serve/engine.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace serve
+{
+
+namespace
+{
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+const char *
+requestStatusName(RequestStatus s)
+{
+    switch (s) {
+      case RequestStatus::Ok: return "ok";
+      case RequestStatus::Rejected: return "rejected";
+      case RequestStatus::TimedOut: return "timed-out";
+    }
+    return "?";
+}
+
+std::uint64_t
+requestSeed(std::uint64_t base_seed, std::uint64_t request_id)
+{
+    // One splitmix64 step over the combined word: well-mixed,
+    // platform-independent, and trivially replayable.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (request_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.queueCapacity),
+      sessions_(net.numNodes()),
+      metrics_(cfg_.numWorkers),
+      startedAt_(Clock::now())
+{
+    if (cfg_.numWorkers < 1)
+        snap_fatal("ServeConfig.numWorkers must be >= 1");
+    cfg_.machine.validate();
+
+    // Compile once; stamp bit-identical replicas from the master.
+    master_ = std::make_unique<KbImage>(net, cfg_.machine);
+    machines_.reserve(cfg_.numWorkers);
+    for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
+        machines_.push_back(
+            std::make_unique<SnapMachine>(cfg_.machine));
+        machines_.back()->loadKb(*master_);
+    }
+
+    if (!cfg_.startPaused)
+        start();
+}
+
+ServeEngine::~ServeEngine()
+{
+    shutdown();
+}
+
+void
+ServeEngine::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMu_);
+    if (started_ || shutdown_)
+        return;
+    started_ = true;
+    workers_.reserve(cfg_.numWorkers);
+    for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w)
+        workers_.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+ServeEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(lifecycleMu_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+        // A paused engine must still drain whatever was admitted.
+        if (!started_ && outstandingCount() > 0) {
+            started_ = true;
+            workers_.reserve(cfg_.numWorkers);
+            for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w)
+                workers_.emplace_back([this, w] { workerMain(w); });
+        }
+    }
+    queue_.close();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+std::uint64_t
+ServeEngine::outstandingCount() const
+{
+    std::lock_guard<std::mutex> lock(doneMu_);
+    return outstanding_;
+}
+
+std::future<Response>
+ServeEngine::submit(Request req)
+{
+    auto pending = std::make_unique<Pending>();
+    std::future<Response> fut = pending->promise.get_future();
+
+    std::lock_guard<std::mutex> admit(admitMu_);
+
+    req.id = nextId_++;
+    if (req.rngSeed == 0)
+        req.rngSeed = requestSeed(cfg_.baseSeed, req.id);
+    if (req.timeoutMs == 0.0)
+        req.timeoutMs = cfg_.defaultTimeoutMs;
+
+    pending->enqueuedAt = Clock::now();
+    if (req.timeoutMs > 0.0) {
+        pending->hasDeadline = true;
+        pending->deadline =
+            pending->enqueuedAt +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    req.timeoutMs));
+    }
+
+    bool sessioned = !req.sessionId.empty();
+    if (sessioned)
+        pending->sessionSeq = sessions_.admit(req.sessionId);
+
+    Response early;
+    early.id = req.id;
+    early.rngSeed = req.rngSeed;
+
+    std::string session_id = req.sessionId;
+    std::uint64_t session_seq = pending->sessionSeq;
+    pending->req = std::move(req);
+
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        ++outstanding_;
+    }
+    if (!queue_.tryPush(std::move(pending))) {
+        // Backpressure: answer immediately and release the session
+        // turn so successors are not blocked behind a hole.
+        if (sessioned)
+            sessions_.cancel(session_id, session_seq);
+        metrics_.noteRejected();
+        early.status = RequestStatus::Rejected;
+        std::promise<Response> p;
+        fut = p.get_future();
+        p.set_value(std::move(early));
+        noteDone();
+        return fut;
+    }
+    metrics_.noteSubmitted();
+    return fut;
+}
+
+void
+ServeEngine::workerMain(std::uint32_t idx)
+{
+    while (auto pending = queue_.pop())
+        serveOne(idx, std::move(**pending));
+}
+
+void
+ServeEngine::serveOne(std::uint32_t idx, Pending p)
+{
+    Request &req = p.req;
+    const bool sessioned = !req.sessionId.empty();
+
+    // Take the session turn first: deadline time spent waiting for a
+    // predecessor counts against the request, like queue time.
+    if (sessioned)
+        sessions_.awaitTurn(req.sessionId, p.sessionSeq);
+
+    Clock::time_point begin = Clock::now();
+    double queue_ms = msBetween(p.enqueuedAt, begin);
+
+    Response resp;
+    resp.id = req.id;
+    resp.rngSeed = req.rngSeed;
+    resp.worker = idx;
+    resp.queueMs = queue_ms;
+
+    if (p.hasDeadline && begin > p.deadline) {
+        if (sessioned)
+            sessions_.cancel(req.sessionId, p.sessionSeq);
+        metrics_.noteTimedOut(queue_ms);
+        resp.status = RequestStatus::TimedOut;
+        p.promise.set_value(std::move(resp));
+        noteDone();
+        return;
+    }
+
+    SnapMachine &machine = *machines_.at(idx);
+    if (sessioned) {
+        machine.image().restoreMarkers(
+            sessions_.fetch(req.sessionId));
+    } else {
+        // Fresh-query state: the determinism anchor for stateless
+        // requests (identical replicas + cleared markers => the run
+        // is a pure function of the program).
+        machine.image().resetMarkers();
+    }
+
+    RunResult run = machine.run(req.prog);
+    Clock::time_point end = Clock::now();
+
+    if (sessioned) {
+        sessions_.complete(req.sessionId, p.sessionSeq,
+                           machine.image().flatten());
+    }
+
+    resp.status = RequestStatus::Ok;
+    resp.results = std::move(run.results);
+    resp.wallTicks = run.wallTicks;
+    resp.serviceMs = msBetween(begin, end);
+    metrics_.noteCompleted(idx, queue_ms, resp.serviceMs,
+                           resp.wallTicks);
+    p.promise.set_value(std::move(resp));
+    noteDone();
+}
+
+void
+ServeEngine::noteDone()
+{
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        snap_assert(outstanding_ > 0, "noteDone underflow");
+        --outstanding_;
+        if (outstanding_ > 0)
+            return;
+    }
+    allDone_.notify_all();
+}
+
+void
+ServeEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(doneMu_);
+    allDone_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+MetricsSnapshot
+ServeEngine::metricsSnapshot() const
+{
+    double uptime = std::chrono::duration<double>(
+                        Clock::now() - startedAt_).count();
+    return metrics_.snapshot(queue_.depth(), queue_.highWater(),
+                             queue_.capacity(), uptime);
+}
+
+MarkerStore
+ServeEngine::sessionMarkers(const std::string &id) const
+{
+    return sessions_.fetch(id);
+}
+
+std::vector<std::string>
+ServeEngine::sessionIds() const
+{
+    return sessions_.sessionIds();
+}
+
+} // namespace serve
+} // namespace snap

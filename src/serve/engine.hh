@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ServeEngine: the concurrent batch query-serving engine.
+ *
+ * Models the deployment the paper argues for — one SNAP-1 knowledge
+ * base answering many independent marker-propagation queries — as a
+ * host-parallel farm of simulated machines:
+ *
+ *     submit() ──► bounded MPMC queue ──► worker 0 ─ SnapMachine #0
+ *        │  reject-on-full backpressure   worker 1 ─ SnapMachine #1
+ *        │                                   ...        ...
+ *        └─► future<Response>  ◄─── completion (promise)
+ *
+ * One immutable master KbImage is compiled at construction; every
+ * worker gets a replica stamped from it (SnapMachine::loadKb(image)),
+ * so bring-up cost is paid once and all replicas are bit-identical.
+ *
+ * Determinism guarantees (see docs/serving.md):
+ *  - stateless requests run against cleared marker state on an
+ *    otherwise-identical replica, so results AND simulated wallTicks
+ *    depend only on the program — never on the worker count, the
+ *    host scheduler, or what ran before;
+ *  - session requests execute in submission order against the
+ *    session's marker state, so the state sequence is reproducible;
+ *  - every request carries a deterministic seed (requestSeed) echoed
+ *    in its response.
+ *
+ * Non-goals in this layer: running programs with structural KB edits
+ * (CREATE/DELETE) outside a session is undefined — edits would make
+ * one replica diverge from the others.  Programs are assumed
+ * assembled and validated on the submission side; a malformed
+ * program is a fatal user error, as everywhere else in the tree.
+ */
+
+#ifndef SNAP_SERVE_ENGINE_HH
+#define SNAP_SERVE_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "arch/machine.hh"
+#include "serve/metrics.hh"
+#include "serve/request.hh"
+#include "serve/request_queue.hh"
+#include "serve/session_store.hh"
+
+namespace snap
+{
+namespace serve
+{
+
+struct ServeConfig
+{
+    /** Worker threads == machine replicas. */
+    std::uint32_t numWorkers = 2;
+    /** Admission-queue capacity; a full queue rejects. */
+    std::size_t queueCapacity = 256;
+    /** Base of the deterministic per-request seed chain. */
+    std::uint64_t baseSeed = 0x5eed5eed5eed5eedull;
+    /** Default queue-wait deadline (host ms); 0 = none. */
+    double defaultTimeoutMs = 0.0;
+    /**
+     * Construct workers idle: requests only queue until start() is
+     * called.  Gives tests and the load generator a deterministic
+     * enqueue-then-serve boundary.
+     */
+    bool startPaused = false;
+    /**
+     * Replica machine configuration.  The performance-collection
+     * network defaults off for serving: its record FIFO grows per
+     * run, which a long-lived replica must not.
+     */
+    MachineConfig machine;
+
+    ServeConfig() { machine.perfNetEnabled = false; }
+};
+
+class ServeEngine
+{
+  public:
+    /** Compiles the master image and spins up the worker pool. */
+    ServeEngine(const SemanticNetwork &net, ServeConfig cfg);
+
+    /** Drains admissions, joins workers. */
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /**
+     * Admission control.  Assigns id/seed, applies the default
+     * deadline, and enqueues.  The returned future resolves with the
+     * response — immediately, with status Rejected, when the queue
+     * is full or the engine is shut down.
+     */
+    std::future<Response> submit(Request req);
+
+    /** Launch the workers of a startPaused engine (idempotent). */
+    void start();
+
+    /** Block until every admitted request has a response. */
+    void drain();
+
+    /** Stop admissions, drain the queue, join the workers.  Called
+     *  by the destructor; safe to call explicitly first. */
+    void shutdown();
+
+    MetricsSnapshot metricsSnapshot() const;
+
+    /** Marker state of session @p id (checkpoint via
+     *  runtime/snapshot's saveMarkers). */
+    MarkerStore sessionMarkers(const std::string &id) const;
+    std::vector<std::string> sessionIds() const;
+
+    const KbImage &sharedImage() const { return *master_; }
+    std::uint32_t numWorkers() const { return cfg_.numWorkers; }
+    const ServeConfig &config() const { return cfg_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        Request req;
+        std::promise<Response> promise;
+        Clock::time_point enqueuedAt;
+        Clock::time_point deadline;
+        bool hasDeadline = false;
+        std::uint64_t sessionSeq = 0;
+    };
+
+    void workerMain(std::uint32_t idx);
+    void serveOne(std::uint32_t idx, Pending p);
+    void noteDone();
+    std::uint64_t outstandingCount() const;
+
+    ServeConfig cfg_;
+    std::unique_ptr<KbImage> master_;
+    std::vector<std::unique_ptr<SnapMachine>> machines_;
+
+    BoundedQueue<std::unique_ptr<Pending>> queue_;
+    SessionStore sessions_;
+    ServeMetrics metrics_;
+    Clock::time_point startedAt_;
+
+    /** Admission lock: id/seed assignment, session sequencing, and
+     *  the queue push happen atomically so queue order == session
+     *  order. */
+    std::mutex admitMu_;
+    std::uint64_t nextId_ = 0;
+
+    /** drain() bookkeeping: admitted-but-unanswered requests. */
+    mutable std::mutex doneMu_;
+    std::condition_variable allDone_;
+    std::uint64_t outstanding_ = 0;
+
+    std::mutex lifecycleMu_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    bool shutdown_ = false;
+};
+
+} // namespace serve
+} // namespace snap
+
+#endif // SNAP_SERVE_ENGINE_HH

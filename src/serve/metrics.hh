@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Serving observability: counters, gauges, latency histograms.
+ *
+ * The serving-layer analogue of the machine model's "integrated
+ * measurement system" (§II-B): every request's queue wait, service
+ * time, end-to-end latency (host milliseconds), and simulated
+ * execution time feed log-bucketed histograms; admission outcomes
+ * feed counters; the queue reports depth/high-water gauges.  A
+ * snapshot renders as a JSON document (metricsJson) for dashboards
+ * and the bench harness.
+ *
+ * Recording is mutex-serialized — one short critical section per
+ * request completion, negligible next to a multi-millisecond
+ * machine-model run.
+ */
+
+#ifndef SNAP_SERVE_METRICS_HH
+#define SNAP_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+namespace serve
+{
+
+/** Per-worker serving tallies. */
+struct WorkerStats
+{
+    std::uint64_t served = 0;
+    /** Simulated machine time spent executing (sum of wallTicks). */
+    Tick busyTicks = 0;
+    /** Host milliseconds spent executing. */
+    double busyMs = 0.0;
+};
+
+/** Point-in-time copy of every serving metric. */
+struct MetricsSnapshot
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t timedOut = 0;
+
+    std::size_t queueDepth = 0;
+    std::size_t queueHighWater = 0;
+    std::size_t queueCapacity = 0;
+
+    /** Host wall-clock seconds since the engine started. */
+    double uptimeSec = 0.0;
+
+    Histogram queueWaitMs;
+    Histogram serviceMs;
+    Histogram totalMs;
+    Histogram simUs;
+
+    std::vector<WorkerStats> workers;
+
+    /** Completed requests per host wall-clock second. */
+    double
+    throughputQps() const
+    {
+        return uptimeSec > 0.0
+                   ? static_cast<double>(completed) / uptimeSec
+                   : 0.0;
+    }
+
+    /** Longest per-replica simulated busy time: the makespan of the
+     *  simulated machine farm under the actual assignment. */
+    Tick
+    simMakespanTicks() const
+    {
+        Tick makespan = 0;
+        for (const WorkerStats &w : workers)
+            if (w.busyTicks > makespan)
+                makespan = w.busyTicks;
+        return makespan;
+    }
+};
+
+/** Render @p snap as a pretty-printed JSON object. */
+std::string metricsJson(const MetricsSnapshot &snap);
+
+/** Shared recording surface for the engine's workers. */
+class ServeMetrics
+{
+  public:
+    explicit ServeMetrics(std::uint32_t num_workers)
+        : workers_(num_workers)
+    {}
+
+    void
+    noteSubmitted()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+    }
+
+    void
+    noteRejected()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        ++rejected_;
+    }
+
+    void
+    noteTimedOut(double queue_ms)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++timedOut_;
+        queueWaitMs_.record(queue_ms);
+    }
+
+    void
+    noteCompleted(std::uint32_t worker, double queue_ms,
+                  double service_ms, Tick sim_ticks)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++completed_;
+        queueWaitMs_.record(queue_ms);
+        serviceMs_.record(service_ms);
+        totalMs_.record(queue_ms + service_ms);
+        simUs_.record(ticksToUs(sim_ticks));
+        WorkerStats &w = workers_.at(worker);
+        ++w.served;
+        w.busyTicks += sim_ticks;
+        w.busyMs += service_ms;
+    }
+
+    /** Copy everything out; queue gauges and uptime are supplied by
+     *  the engine (it owns the queue and the start timestamp). */
+    MetricsSnapshot
+    snapshot(std::size_t queue_depth, std::size_t queue_high_water,
+             std::size_t queue_capacity, double uptime_sec) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        MetricsSnapshot s;
+        s.submitted = submitted_;
+        s.completed = completed_;
+        s.rejected = rejected_;
+        s.timedOut = timedOut_;
+        s.queueDepth = queue_depth;
+        s.queueHighWater = queue_high_water;
+        s.queueCapacity = queue_capacity;
+        s.uptimeSec = uptime_sec;
+        s.queueWaitMs = queueWaitMs_;
+        s.serviceMs = serviceMs_;
+        s.totalMs = totalMs_;
+        s.simUs = simUs_;
+        s.workers = workers_;
+        return s;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t timedOut_ = 0;
+    Histogram queueWaitMs_;
+    Histogram serviceMs_;
+    Histogram totalMs_;
+    Histogram simUs_;
+    std::vector<WorkerStats> workers_;
+};
+
+} // namespace serve
+} // namespace snap
+
+#endif // SNAP_SERVE_METRICS_HH

@@ -10,6 +10,10 @@
  * The linguistic generator builds the paper's Fig. 1 layering
  * (lexical layer, syntactic/semantic constraints, concept sequences
  * with the 75/15/5/5 budget).
+ *
+ * Exit status: 0 on success, 1 on user error (bad parameter values —
+ * the snap_fatal path), 2 on a command-line usage error.  This
+ * convention is shared by snapvm, snapsh, and snapserve.
  */
 
 #include <cstdio>
@@ -38,7 +42,7 @@ usage()
         "       snapkb-gen linguistic <nonlexical> [vocab] [seed]\n"
         "       snapkb-gen chain <length>\n"
         "writes .snapkb text to stdout\n");
-    std::exit(1);
+    std::exit(2);
 }
 
 long long

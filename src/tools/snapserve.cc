@@ -1,0 +1,304 @@
+/**
+ * @file
+ * snapserve — drive the concurrent query-serving engine from a
+ * request file (see docs/serving.md for the architecture).
+ *
+ *   snapserve <kb.snapkb> <requests.txt> [options]
+ *     --workers N           worker replicas (default 2)
+ *     --queue N             admission queue capacity (default 256)
+ *     --timeout-ms X        default per-request queue deadline
+ *     --clusters N          replica array size (1..32, default 16)
+ *     --partition seq|rr|sem  allocation strategy (default sem)
+ *     --relax-capacity      lift the 1024-nodes-per-cluster limit
+ *     --seed N              base of the per-request seed chain
+ *     --metrics FILE        write the metrics JSON dump to FILE
+ *     --sessions-out DIR    checkpoint final session marker state to
+ *                           DIR/<session>.snapmarkers
+ *     --quiet               suppress per-request result listings
+ *
+ * Request file format (line oriented, '#' comments):
+ *
+ *     query <program.snap>            # stateless request
+ *     session <id> <program.snap>     # request in session <id>
+ *
+ * Program paths are relative to the request file's directory and are
+ * assembled once up front (assembly resolves symbols against the
+ * knowledge base and must not race the workers).
+ *
+ * Exit status: 0 on success, 1 on user error (bad input files or
+ * configuration), 2 on a command-line usage error.  This convention
+ * is shared by snapvm, snapsh, and snapkb-gen.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "isa/assembler.hh"
+#include "kb/kb_io.hh"
+#include "runtime/snapshot.hh"
+#include "runtime/validate.hh"
+#include "serve/engine.hh"
+
+using namespace snap;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: snapserve <kb.snapkb> <requests.txt> [options]\n"
+        "  --workers N            worker replicas (default 2)\n"
+        "  --queue N              admission queue capacity "
+        "(default 256)\n"
+        "  --timeout-ms X         default queue deadline, host ms\n"
+        "  --clusters N           replica array size (1..32)\n"
+        "  --partition seq|rr|sem allocation (default sem)\n"
+        "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
+        "  --seed N               base request-seed chain\n"
+        "  --metrics FILE         write metrics JSON to FILE\n"
+        "  --sessions-out DIR     checkpoint session marker state\n"
+        "  --quiet                suppress per-request results\n");
+    std::exit(2);
+}
+
+/** One parsed request-file line. */
+struct RequestSpec
+{
+    std::string sessionId;  // empty = stateless
+    std::string progPath;
+    int line = 0;
+};
+
+std::string
+dirOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+std::vector<RequestSpec>
+parseRequestFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        snap_fatal("cannot open request file '%s'", path.c_str());
+
+    std::string base = dirOf(path);
+    std::vector<RequestSpec> specs;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::vector<std::string> tok = tokenize(body);
+        RequestSpec spec;
+        spec.line = lineno;
+        if (tok.size() == 2 && tok[0] == "query") {
+            spec.progPath = tok[1];
+        } else if (tok.size() == 3 && tok[0] == "session") {
+            spec.sessionId = tok[1];
+            spec.progPath = tok[2];
+        } else {
+            snap_fatal("%s:%d: expected 'query <prog>' or "
+                       "'session <id> <prog>', got '%s'",
+                       path.c_str(), lineno, body.c_str());
+        }
+        if (spec.progPath[0] != '/')
+            spec.progPath = base + "/" + spec.progPath;
+        specs.push_back(std::move(spec));
+    }
+    if (specs.empty())
+        snap_fatal("request file '%s' holds no requests",
+                   path.c_str());
+    return specs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string kb_path = argv[1];
+    std::string req_path = argv[2];
+
+    serve::ServeConfig cfg;
+    cfg.machine = MachineConfig::paperSetup();
+    cfg.machine.perfNetEnabled = false;
+    std::string metrics_path;
+    std::string sessions_dir;
+    bool quiet = false;
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--workers") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 64)
+                snap_fatal("--workers must be 1..64");
+            cfg.numWorkers = static_cast<std::uint32_t>(n);
+        } else if (arg == "--queue") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1)
+                snap_fatal("--queue must be >= 1");
+            cfg.queueCapacity = static_cast<std::size_t>(n);
+        } else if (arg == "--timeout-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                snap_fatal("--timeout-ms must be >= 0");
+            cfg.defaultTimeoutMs = x;
+        } else if (arg == "--clusters") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 32)
+                snap_fatal("--clusters must be 1..32");
+            cfg.machine.numClusters = static_cast<std::uint32_t>(n);
+        } else if (arg == "--partition") {
+            std::string p = next();
+            if (p == "seq")
+                cfg.machine.partition = PartitionStrategy::Sequential;
+            else if (p == "rr")
+                cfg.machine.partition = PartitionStrategy::RoundRobin;
+            else if (p == "sem")
+                cfg.machine.partition = PartitionStrategy::Semantic;
+            else
+                snap_fatal("--partition must be seq, rr, or sem");
+        } else if (arg == "--relax-capacity") {
+            cfg.machine.maxNodesPerCluster = capacity::maxNodes;
+        } else if (arg == "--seed") {
+            long long n;
+            if (!parseInt(next(), n))
+                snap_fatal("--seed must be an integer");
+            cfg.baseSeed = static_cast<std::uint64_t>(n);
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--sessions-out") {
+            sessions_dir = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+
+    SemanticNetwork net = loadNetworkFile(kb_path);
+    std::printf("loaded %s: %u nodes, %llu links\n", kb_path.c_str(),
+                net.numNodes(),
+                static_cast<unsigned long long>(net.numLinks()));
+
+    std::vector<RequestSpec> specs = parseRequestFile(req_path);
+
+    // Assemble each distinct program once, before any worker exists:
+    // assembly interns symbols into the (shared) network.
+    std::map<std::string, Program> progs;
+    for (const RequestSpec &s : specs) {
+        if (progs.count(s.progPath))
+            continue;
+        Program prog = assembleFile(s.progPath, net);
+        auto violations = validateProgram(prog);
+        for (const auto &v : violations)
+            snap_warn("%s: %s", s.progPath.c_str(),
+                      v.message.c_str());
+        progs.emplace(s.progPath, std::move(prog));
+    }
+    std::printf("parsed %zu request(s), %zu distinct program(s)\n",
+                specs.size(), progs.size());
+
+    serve::ServeEngine engine(net, cfg);
+    std::printf("engine: %u worker replicas x %u clusters, queue "
+                "capacity %zu\n\n",
+                engine.numWorkers(), cfg.machine.numClusters,
+                cfg.queueCapacity);
+
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(specs.size());
+    for (const RequestSpec &s : specs) {
+        serve::Request req;
+        req.sessionId = s.sessionId;
+        req.prog = progs.at(s.progPath);
+        futures.push_back(engine.submit(std::move(req)));
+    }
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        serve::Response resp = futures[i].get();
+        const RequestSpec &s = specs[i];
+        std::string kind = s.sessionId.empty()
+                               ? std::string("query")
+                               : "session " + s.sessionId;
+        std::printf("request #%zu (%s): %s, worker %u, sim "
+                    "%.1f us, queue %.3f ms\n",
+                    i, kind.c_str(),
+                    serve::requestStatusName(resp.status),
+                    resp.worker, resp.wallUs(), resp.queueMs);
+        if (quiet || resp.status != serve::RequestStatus::Ok)
+            continue;
+        int idx = 0;
+        for (const CollectResult &res : resp.results) {
+            std::printf("  collect #%d (%s):\n", idx++,
+                        opcodeName(res.op));
+            for (const CollectedNode &c : res.nodes) {
+                std::printf("    %-24s value %-10.4f origin %s\n",
+                            net.nodeName(c.node).c_str(), c.value,
+                            c.origin == invalidNode
+                                ? "-"
+                                : net.nodeName(c.origin).c_str());
+            }
+            for (const CollectedLink &l : res.links) {
+                std::printf("    %s -%s-> %s (w %.4f)\n",
+                            net.nodeName(l.src).c_str(),
+                            net.relations().name(l.rel).c_str(),
+                            net.nodeName(l.dst).c_str(), l.weight);
+            }
+            if (res.nodes.empty() && res.links.empty())
+                std::printf("    (empty)\n");
+        }
+    }
+
+    engine.drain();
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    std::printf("\nserved %llu ok, %llu rejected, %llu timed out "
+                "(%.1f qps host, sim makespan %.1f us)\n",
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.rejected),
+                static_cast<unsigned long long>(m.timedOut),
+                m.throughputQps(),
+                ticksToUs(m.simMakespanTicks()));
+
+    if (!metrics_path.empty()) {
+        std::ofstream os(metrics_path);
+        if (!os)
+            snap_fatal("cannot open '%s' for writing",
+                       metrics_path.c_str());
+        os << serve::metricsJson(m);
+        std::printf("wrote metrics JSON to %s\n",
+                    metrics_path.c_str());
+    }
+
+    if (!sessions_dir.empty()) {
+        for (const std::string &sid : engine.sessionIds()) {
+            std::string path =
+                sessions_dir + "/" + sid + ".snapmarkers";
+            saveMarkersFile(engine.sessionMarkers(sid), path);
+            std::printf("checkpointed session %s to %s\n",
+                        sid.c_str(), path.c_str());
+        }
+    }
+    return 0;
+}

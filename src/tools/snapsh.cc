@@ -19,6 +19,10 @@
  *   .load <file>       restore marker state
  *   .help              this list
  *   .quit              exit
+ *
+ * Exit status: 0 on success, 1 on user error (bad input files or
+ * values — the snap_fatal path), 2 on a command-line usage error.
+ * This convention is shared by snapvm, snapkb-gen, and snapserve.
  */
 
 #include <cstdio>
@@ -60,7 +64,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: snapsh <kb.snapkb> [--clusters N] "
                      "[--partition seq|rr|sem]\n");
-        return 1;
+        return 2;
     }
 
     MachineConfig cfg = MachineConfig::paperSetup();

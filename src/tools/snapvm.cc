@@ -11,8 +11,12 @@
  *     --relax-capacity      lift the 1024-nodes-per-cluster limit
  *     --stats               print the full execution breakdown
  *     --disasm              print the program before running
+ *     --perf-csv FILE       dump performance-network records as CSV
  *
- * Exit status: 0 on success, 1 on user error.
+ * Exit status: 0 on success, 1 on user error (bad input files,
+ * values, or configuration — the snap_fatal path), 2 on a
+ * command-line usage error (unknown/missing arguments).  This
+ * convention is shared by snapsh, snapkb-gen, and snapserve.
  */
 
 #include <cstdio>
@@ -43,7 +47,7 @@ usage()
         "  --stats                print the execution breakdown\n"
         "  --disasm               print the program first\n"
         "  --perf-csv FILE        dump performance-network records\n");
-    std::exit(1);
+    std::exit(2);
 }
 
 } // namespace

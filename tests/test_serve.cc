@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Tests for the concurrent query-serving subsystem: the bounded MPMC
+ * queue, the latency histogram, thread-safe logging, shared-image
+ * replication, and the engine's determinism / session / admission
+ * semantics.  The concurrency tests double as the TSan CI workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "serve/engine.hh"
+#include "serve/request_queue.hh"
+#include "tests/test_helpers.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+using serve::BoundedQueue;
+using serve::Request;
+using serve::RequestStatus;
+using serve::Response;
+using serve::ServeConfig;
+using serve::ServeEngine;
+
+// --- bounded queue ------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndBackpressure)
+{
+    BoundedQueue<int> q(3);
+    EXPECT_EQ(q.capacity(), 3u);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_TRUE(q.tryPush(3));
+    EXPECT_FALSE(q.tryPush(4)) << "full queue must reject";
+    EXPECT_EQ(q.depth(), 3u);
+    EXPECT_EQ(q.highWater(), 3u);
+
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_TRUE(q.tryPush(5));
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.pop().value(), 5);
+
+    q.close();
+    EXPECT_FALSE(q.tryPush(6)) << "closed queue must reject";
+    EXPECT_FALSE(q.pop().has_value())
+        << "pop on a closed empty queue signals consumer exit";
+}
+
+TEST(BoundedQueue, DrainsAfterClose)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.tryPush(7));
+    ASSERT_TRUE(q.tryPush(8));
+    q.close();
+    EXPECT_EQ(q.pop().value(), 7);
+    EXPECT_EQ(q.pop().value(), 8);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumers)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> q(64);
+
+    std::mutex mu;
+    std::set<int> received;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            while (auto v = q.pop()) {
+                std::lock_guard<std::mutex> lock(mu);
+                received.insert(*v);
+            }
+        });
+    }
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int v = p * kPerProducer + i;
+                // Spin through transient fullness: the queue is
+                // intentionally smaller than the item count.
+                while (!q.tryPush(v))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    // Wait for the consumers to drain the queue, then release them.
+    while (q.depth() > 0)
+        std::this_thread::yield();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(received.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer))
+        << "every item delivered exactly once";
+}
+
+// --- histogram ----------------------------------------------------------
+
+TEST(Histogram, ExactStatsAndQuantileBounds)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.sum(), 500500.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+
+    // Log-linear buckets bound the relative error at ~1/8.
+    EXPECT_NEAR(h.quantile(0.50), 500.0, 500.0 / 8.0);
+    EXPECT_NEAR(h.quantile(0.95), 950.0, 950.0 / 8.0);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 / 8.0);
+    EXPECT_LE(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, MergeAndEdges)
+{
+    Histogram a, b;
+    a.record(0.0);      // clamps into the bottom bucket
+    a.record(1e-9);
+    b.record(1e12);     // clamps into the top bucket
+    b.record(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1e12);
+
+    Histogram empty;
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+// --- thread-safe logging ------------------------------------------------
+
+std::mutex g_cap_mu;
+std::vector<std::string> g_captured;
+
+void
+captureHook(LogLevel, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_cap_mu);
+    g_captured.push_back(msg);
+}
+
+TEST(Logging, ConcurrentEmitAndHookSwap)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_cap_mu);
+        g_captured.clear();
+    }
+    Logger::Hook old = Logger::setHook(&captureHook);
+
+    constexpr int kThreads = 4;
+    constexpr int kEach = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kEach; ++i)
+                snap_warn("serve-log-test t%d i%d", t, i);
+        });
+    }
+    // Swap the sink while writers are live: setHook must serialize
+    // against in-flight emits (no torn reads of the hook pointer).
+    for (int s = 0; s < 20; ++s) {
+        Logger::Hook h = Logger::setHook(&captureHook);
+        EXPECT_EQ(h, &captureHook);
+        std::this_thread::yield();
+    }
+    for (auto &t : threads)
+        t.join();
+    Logger::setHook(old);
+
+    std::lock_guard<std::mutex> lock(g_cap_mu);
+    EXPECT_EQ(g_captured.size(),
+              static_cast<std::size_t>(kThreads * kEach));
+    for (const std::string &msg : g_captured) {
+        EXPECT_EQ(msg.rfind("serve-log-test t", 0), 0u)
+            << "interleaved/torn message: " << msg;
+    }
+}
+
+// --- shared image replication -------------------------------------------
+
+Program
+countQuery(NodeId start, RelationType rel, float threshold)
+{
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(rel));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    if (threshold > 0) {
+        prog.append(Instruction::funcMarker(
+            1, ScalarFunc{ScalarFunc::Op::ThresholdGe, threshold}));
+    }
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+TEST(SharedImage, ReplicaMatchesDirectLoad)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    MachineConfig cfg;
+    cfg.numClusters = 8;
+    cfg.perfNetEnabled = false;
+
+    KbImage master(net, cfg);
+
+    SnapMachine direct(cfg);
+    direct.loadKb(net);
+    SnapMachine replica(cfg);
+    replica.loadKb(master);
+
+    Program q = countQuery(0, inc, 0.0f);
+    RunResult a = direct.run(q);
+    RunResult b = replica.run(q);
+    test::expectSameResults(a.results, b.results);
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+
+    // The replica's marker state is private: running on it must not
+    // leak into the master image.
+    EXPECT_GT(replica.image().flatten().count(1), 0u);
+    EXPECT_EQ(master.flatten().count(1), 0u);
+}
+
+TEST(SharedImage, ResetMarkersClearsEverything)
+{
+    SemanticNetwork net = makeTreeKb(120, 3);
+    RelationType inc = net.relationId("includes");
+    MachineConfig cfg = MachineConfig::singleCluster(2);
+    SnapMachine machine(cfg);
+    machine.loadKb(net);
+    machine.run(countQuery(0, inc, 0.0f));
+    ASSERT_GT(machine.image().flatten().count(1), 0u);
+
+    machine.image().resetMarkers();
+    MarkerStore flat = machine.image().flatten();
+    for (std::uint32_t m = 0; m < capacity::numMarkers; ++m)
+        EXPECT_EQ(flat.count(static_cast<MarkerId>(m)), 0u);
+}
+
+// --- the engine ---------------------------------------------------------
+
+ServeConfig
+smallEngineConfig(std::uint32_t workers)
+{
+    ServeConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.machine.numClusters = 8;
+    return cfg;
+}
+
+TEST(ServeEngine, MatchesDirectExecutionAndIsDeterministic)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    RelationType isa = net.relationId("is-a");
+
+    std::vector<Program> mix;
+    for (NodeId n = 0; n < 8; ++n)
+        mix.push_back(countQuery(n * 37 % 300,
+                                 n % 2 ? inc : isa, 0.0f));
+
+    // Direct reference: one machine, markers cleared per query.
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine direct(mcfg);
+    direct.loadKb(net);
+    std::vector<RunResult> expect;
+    for (const Program &p : mix) {
+        direct.image().resetMarkers();
+        expect.push_back(direct.run(p));
+    }
+
+    for (std::uint32_t workers : {1u, 2u, 3u}) {
+        ServeEngine engine(net, smallEngineConfig(workers));
+        std::vector<std::future<Response>> futures;
+        for (const Program &p : mix) {
+            Request req;
+            req.prog = p;
+            futures.push_back(engine.submit(std::move(req)));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            Response resp = futures[i].get();
+            ASSERT_EQ(resp.status, RequestStatus::Ok);
+            EXPECT_EQ(resp.id, i);
+            EXPECT_NE(resp.rngSeed, 0u);
+            test::expectSameResults(resp.results,
+                                    expect[i].results);
+            EXPECT_EQ(resp.wallTicks, expect[i].wallTicks)
+                << "simulated time must not depend on worker "
+                   "count (query " << i << ", workers "
+                << workers << ")";
+        }
+        serve::MetricsSnapshot m = engine.metricsSnapshot();
+        EXPECT_EQ(m.completed, mix.size());
+        EXPECT_EQ(m.rejected, 0u);
+        EXPECT_EQ(m.totalMs.count(), mix.size());
+    }
+}
+
+TEST(ServeEngine, SessionCarriesMarkerState)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+
+    Program first = countQuery(0, inc, 0.0f);
+    Program second;
+    second.append(Instruction::funcMarker(
+        1, ScalarFunc{ScalarFunc::Op::ThresholdGe, 3.0f}));
+    second.append(Instruction::collectMarker(1));
+
+    // Reference: uninterrupted run on one machine.
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine straight(mcfg);
+    straight.loadKb(net);
+    straight.run(first);
+    RunResult expect = straight.run(second);
+
+    ServeEngine engine(net, smallEngineConfig(2));
+    Request r1;
+    r1.sessionId = "parse-1";
+    r1.prog = first;
+    Request r2;
+    r2.sessionId = "parse-1";
+    r2.prog = second;
+    auto f1 = engine.submit(std::move(r1));
+    auto f2 = engine.submit(std::move(r2));
+
+    ASSERT_EQ(f1.get().status, RequestStatus::Ok);
+    Response resp = f2.get();
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    test::expectSameResults(resp.results, expect.results);
+
+    // The session's checkpointable state survives the requests.
+    EXPECT_EQ(engine.sessionIds(),
+              std::vector<std::string>{"parse-1"});
+    EXPECT_GT(engine.sessionMarkers("parse-1").count(1), 0u);
+}
+
+TEST(ServeEngine, SessionRequestsExecuteInSubmissionOrder)
+{
+    SemanticNetwork net = makeTreeKb(64, 4);
+    constexpr int kRounds = 12;
+
+    // Request j: collect m0 (observing round j-1's value), then
+    // overwrite m0 at node 0 with value j.  Any reordering or lost
+    // update shows up as a wrong observed value.
+    std::vector<Program> progs;
+    for (int j = 0; j < kRounds; ++j) {
+        Program p;
+        p.append(Instruction::collectMarker(0));
+        p.append(Instruction::searchNode(
+            0, 0, static_cast<float>(j + 1)));
+        progs.push_back(std::move(p));
+    }
+
+    ServeEngine engine(net, smallEngineConfig(3));
+    std::vector<std::future<Response>> futures;
+    for (int j = 0; j < kRounds; ++j) {
+        Request req;
+        req.sessionId = "ordered";
+        req.prog = progs[j];
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    for (int j = 0; j < kRounds; ++j) {
+        Response resp = futures[j].get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        ASSERT_EQ(resp.results.size(), 1u);
+        const CollectResult &c = resp.results[0];
+        if (j == 0) {
+            EXPECT_TRUE(c.nodes.empty())
+                << "round 0 must observe pristine state";
+        } else {
+            ASSERT_EQ(c.nodes.size(), 1u);
+            EXPECT_EQ(c.nodes[0].node, 0u);
+            EXPECT_FLOAT_EQ(c.nodes[0].value,
+                            static_cast<float>(j));
+        }
+    }
+    EXPECT_FLOAT_EQ(engine.sessionMarkers("ordered").value(0, 0),
+                    static_cast<float>(kRounds));
+}
+
+TEST(ServeEngine, RejectsWhenQueueFull)
+{
+    SemanticNetwork net = makeTreeKb(64, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.queueCapacity = 2;
+    cfg.startPaused = true;
+    ServeEngine engine(net, cfg);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.prog = countQuery(0, inc, 0.0f);
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    // Paused engine: exactly queueCapacity admissions succeed.
+    EXPECT_EQ(futures[2].get().status, RequestStatus::Rejected);
+    EXPECT_EQ(futures[3].get().status, RequestStatus::Rejected);
+
+    engine.start();
+    engine.drain();
+    EXPECT_EQ(futures[0].get().status, RequestStatus::Ok);
+    EXPECT_EQ(futures[1].get().status, RequestStatus::Ok);
+
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.submitted, 4u);
+    EXPECT_EQ(m.completed, 2u);
+    EXPECT_EQ(m.rejected, 2u);
+    EXPECT_EQ(m.queueHighWater, 2u);
+}
+
+TEST(ServeEngine, RejectedSessionTurnDoesNotBlockSuccessors)
+{
+    SemanticNetwork net = makeTreeKb(64, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.queueCapacity = 1;
+    cfg.startPaused = true;
+    ServeEngine engine(net, cfg);
+
+    Request a;
+    a.sessionId = "s";
+    a.prog = countQuery(0, inc, 0.0f);
+    Request b;
+    b.sessionId = "s";
+    b.prog = countQuery(0, inc, 0.0f);
+    auto fa = engine.submit(std::move(a));
+    auto fb = engine.submit(std::move(b));  // rejected: queue full
+    EXPECT_EQ(fb.get().status, RequestStatus::Rejected);
+
+    // A third request in the same session must still run even
+    // though its predecessor's turn was cancelled.
+    Request c;
+    c.sessionId = "s";
+    c.prog = countQuery(0, inc, 0.0f);
+    engine.start();
+    ASSERT_EQ(fa.get().status, RequestStatus::Ok);
+    auto fc = engine.submit(std::move(c));
+    EXPECT_EQ(fc.get().status, RequestStatus::Ok);
+}
+
+TEST(ServeEngine, QueueDeadlineTimesOut)
+{
+    SemanticNetwork net = makeTreeKb(64, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.startPaused = true;
+    ServeEngine engine(net, cfg);
+
+    Request doomed;
+    doomed.prog = countQuery(0, inc, 0.0f);
+    doomed.timeoutMs = 1.0;
+    Request fine;
+    fine.prog = countQuery(0, inc, 0.0f);
+    auto f1 = engine.submit(std::move(doomed));
+    auto f2 = engine.submit(std::move(fine));
+
+    // Let the deadline lapse while the engine is still paused, so
+    // the outcome does not depend on scheduling.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    engine.start();
+
+    Response r1 = f1.get();
+    EXPECT_EQ(r1.status, RequestStatus::TimedOut);
+    EXPECT_TRUE(r1.results.empty());
+    EXPECT_EQ(f2.get().status, RequestStatus::Ok)
+        << "deadline-free request is unaffected";
+
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.timedOut, 1u);
+    EXPECT_EQ(m.completed, 1u);
+}
+
+TEST(ServeEngine, MetricsJsonIsWellFormed)
+{
+    SemanticNetwork net = makeTreeKb(64, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeEngine engine(net, smallEngineConfig(2));
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 6; ++i) {
+        Request req;
+        req.prog = countQuery(0, inc, 0.0f);
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    for (auto &f : futures)
+        ASSERT_EQ(f.get().status, RequestStatus::Ok);
+
+    std::string json =
+        serve::metricsJson(engine.metricsSnapshot());
+    for (const char *key :
+         {"\"submitted\": 6", "\"completed\": 6", "\"rejected\": 0",
+          "\"queue_wait_ms\"", "\"service_ms\"", "\"total_ms\"",
+          "\"sim_us\"", "\"p95\"", "\"workers\"",
+          "\"sim_makespan_us\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key << " in:\n" << json;
+    }
+    // Balanced braces/brackets as a cheap well-formedness probe.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(RequestSeed, DeterministicAndSpread)
+{
+    EXPECT_EQ(serve::requestSeed(1, 0), serve::requestSeed(1, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(serve::requestSeed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u) << "seed chain must not collide";
+    EXPECT_NE(serve::requestSeed(1, 5), serve::requestSeed(2, 5));
+}
+
+} // namespace
+} // namespace snap

@@ -109,6 +109,62 @@ TEST(Snapshot, MachineCheckpointAcrossPartitionings)
     test::expectSameResults(got.results, expect.results);
 }
 
+TEST(Snapshot, SixteenSemToEightRrRestore)
+{
+    // The serving engine's session checkpoints must be portable
+    // across deployments: state saved on a 16-cluster semantic
+    // partitioning restores onto an 8-cluster round-robin machine
+    // and yields identical query results.
+    SemanticNetwork net_a = makeTreeKb(500, 5);
+    SemanticNetwork net_b = makeTreeKb(500, 5);
+    RelationType inc = net_a.relationId("includes");
+    RelationType isa = net_a.relationId("is-a");
+
+    Program mark;
+    RuleId rid = mark.addRule(PropRule::chain(inc));
+    mark.append(Instruction::searchNode(0, 0, 0.0f));
+    mark.append(Instruction::propagate(0, 1, rid,
+                                       MarkerFunc::Count));
+    mark.append(Instruction::barrier());
+
+    Program query;
+    RuleId up = query.addRule(PropRule::chain(isa));
+    query.append(Instruction::funcMarker(
+        1, ScalarFunc{ScalarFunc::Op::ThresholdGe, 2.0f}));
+    query.append(Instruction::propagate(1, 2, up,
+                                        MarkerFunc::AddWeight));
+    query.append(Instruction::barrier());
+    query.append(Instruction::collectMarker(1));
+    query.append(Instruction::collectMarker(2));
+
+    MachineConfig cfg_sem;
+    cfg_sem.numClusters = 16;
+    cfg_sem.partition = PartitionStrategy::Semantic;
+    MachineConfig cfg_rr;
+    cfg_rr.numClusters = 8;
+    cfg_rr.partition = PartitionStrategy::RoundRobin;
+
+    // Save on the 16-cluster sem machine...
+    SnapMachine saver(cfg_sem);
+    saver.loadKb(net_a);
+    saver.run(mark);
+    std::ostringstream os;
+    saver.image().saveMarkers(os);
+
+    // ...restore on the 8-cluster rr machine and query there.
+    SnapMachine restorer(cfg_rr);
+    restorer.loadKb(net_b);
+    std::istringstream is(os.str());
+    restorer.image().loadMarkers(is);
+    RunResult got = restorer.run(query);
+
+    // Reference: the query run where the state was produced.
+    RunResult expect = saver.run(query);
+    test::expectSameResults(got.results, expect.results);
+    ASSERT_EQ(got.results.size(), 2u);
+    EXPECT_FALSE(got.results[0].nodes.empty());
+}
+
 TEST(SnapshotDeath, BadHeaderIsFatal)
 {
     std::istringstream is("wrong 1 10\n");
