@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Lane-batched query execution bench (writes BENCH_batch.json).
+ *
+ *   batch [num_serve_queries]    (default 64)
+ *
+ * Three measurements, one per layer of the batching stack:
+ *
+ *  1. **Machine lane sweep** — the fig. 17-style workload (same
+ *     recipe as host_perf) executed via SnapMachine::runBatch at
+ *     lane counts 1..64.  The simulated answer (results digest and
+ *     wallTicks) must be bit-identical at every lane count; the host
+ *     DES event bill is paid once per batch, so events-per-query
+ *     falls as 1/lanes.  The gate is on deterministic event counts,
+ *     not wall-clock: at 8 lanes a query must cost >= 3x fewer host
+ *     events than solo.
+ *
+ *  2. **Serving engine end-to-end** — a 64-query mix of 8 distinct
+ *     programs drained through a 1-worker ServeEngine with
+ *     maxBatchLanes 8 (startPaused, so batch formation is
+ *     deterministic).  Every response must match the unbatched
+ *     engine bit-for-bit, every batch must fill all 8 lanes, and
+ *     the simulated makespan — the farm's op-count currency — must
+ *     shrink >= 2x (it shrinks 8x: one simulated run serves eight
+ *     queries).
+ *
+ *  3. **Functional amortization curve** — propagateFunctionalBatch
+ *     over a random KB at lane counts 1..64 vs the same lanes run
+ *     solo, reporting host ns/query.  This is the heterogeneous
+ *     case: every lane has a different source node, the traversal is
+ *     genuinely shared, and per-lane PropagationStats must still
+ *     equal the solo run exactly.  The curve is informational (host
+ *     timing); the equality check is the gate.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hh"
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "runtime/lane_store.hh"
+#include "runtime/propagate.hh"
+#include "serve/engine.hh"
+#include "workload/alpha_beta.hh"
+#include "workload/kb_gen.hh"
+
+using namespace snap;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 1099511628211ull;
+}
+
+std::uint64_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    static_assert(sizeof u == sizeof f, "float width");
+    std::memcpy(&u, &f, sizeof u);
+    return u;
+}
+
+std::uint64_t
+digestResults(const ResultSet &rs)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const CollectResult &r : rs) {
+        h = fnv(h, static_cast<std::uint64_t>(r.op));
+        h = fnv(h, r.marker);
+        h = fnv(h, r.color);
+        h = fnv(h, r.rel);
+        for (const CollectedNode &n : r.nodes) {
+            h = fnv(h, n.node);
+            h = fnv(h, floatBits(n.value));
+            h = fnv(h, n.origin);
+        }
+        for (const CollectedLink &l : r.links) {
+            h = fnv(h, l.src);
+            h = fnv(h, l.rel);
+            h = fnv(h, l.dst);
+            h = fnv(h, floatBits(l.weight));
+        }
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------
+// 1. Machine lane sweep (fig. 17-style workload, same recipe as
+//    host_perf so the numbers are comparable across benches).
+// ---------------------------------------------------------------
+
+struct LaneRow
+{
+    std::uint32_t lanes = 0;
+    std::uint64_t hostEvents = 0;  // whole batch
+    Tick wallTicks = 0;            // per lane (bit-identical)
+    std::uint64_t digest = 0;
+    double seconds = 0.0;
+
+    double eventsPerQuery() const
+    {
+        return static_cast<double>(hostEvents) / lanes;
+    }
+    double usPerQuery() const { return seconds * 1e6 / lanes; }
+};
+
+Workload
+fig17Workload(std::uint32_t rounds)
+{
+    Workload w = makeBetaWorkload(8, 8, 8, 2, true, 11);
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t j = 0; j < 8; ++j) {
+            w.prog.append(Instruction::searchRelation(
+                w.net.relation("hop" + std::to_string(j)),
+                static_cast<MarkerId>(2 * j), 1.0f));
+        }
+        for (std::uint32_t j = 0; j < 8; ++j) {
+            w.prog.append(Instruction::propagate(
+                static_cast<MarkerId>(2 * j),
+                static_cast<MarkerId>(2 * j + 1),
+                static_cast<RuleId>(j), MarkerFunc::AddWeight));
+        }
+        w.prog.append(Instruction::barrier());
+    }
+    for (std::uint32_t j = 0; j < 8; ++j) {
+        w.prog.append(Instruction::collectMarker(
+            static_cast<MarkerId>(2 * j + 1)));
+    }
+    return w;
+}
+
+LaneRow
+runLanes(const Workload &w, std::uint32_t lanes)
+{
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.partition = PartitionStrategy::RoundRobin;
+    cfg.maxNodesPerCluster = capacity::maxNodes;
+    SnapMachine machine(cfg);
+    machine.loadKb(w.net);
+
+    double t0 = now();
+    BatchRunResult r = machine.runBatch(w.prog, lanes);
+    double t1 = now();
+
+    LaneRow row;
+    row.lanes = lanes;
+    row.hostEvents = r.hostEvents;
+    row.wallTicks = r.wallTicks;
+    row.digest = digestResults(r.results);
+    row.seconds = t1 - t0;
+    return row;
+}
+
+// ---------------------------------------------------------------
+// 2. Serving engine end-to-end: batch former + runBatch.
+// ---------------------------------------------------------------
+
+struct ServeRun
+{
+    std::vector<ResultSet> results;
+    std::vector<Tick> wallTicks;
+    std::vector<std::uint32_t> lanes;
+    serve::MetricsSnapshot metrics;
+    double seconds = 0.0;
+};
+
+/** Query @p i of the serve mix: 8 distinct programs (8 start
+ *  nodes), repeated so maxBatchLanes=8 forms full batches. */
+Program
+serveQuery(std::uint64_t i, const SemanticNetwork &net,
+           RelationType down)
+{
+    auto start = static_cast<NodeId>(1 + (i % 8) * 97 %
+                                     net.numNodes());
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(down));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+ServeRun
+runServe(const SemanticNetwork &net,
+         const std::vector<Program> &mix, std::uint32_t max_lanes)
+{
+    serve::ServeConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.queueCapacity = mix.size();
+    cfg.maxBatchLanes = max_lanes;
+    cfg.startPaused = true;
+
+    serve::ServeEngine engine(net, cfg);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(mix.size());
+    for (const Program &p : mix) {
+        serve::Request req;
+        req.prog = p;
+        futures.push_back(engine.submit(std::move(req)));
+    }
+
+    double t0 = now();
+    engine.start();
+    engine.drain();
+    double t1 = now();
+
+    ServeRun run;
+    for (auto &f : futures) {
+        serve::Response resp = f.get();
+        snap_assert(resp.status == serve::RequestStatus::Ok,
+                    "query not served");
+        run.results.push_back(std::move(resp.results));
+        run.wallTicks.push_back(resp.wallTicks);
+        run.lanes.push_back(resp.batchLanes);
+    }
+    run.metrics = engine.metricsSnapshot();
+    run.seconds = t1 - t0;
+    return run;
+}
+
+// ---------------------------------------------------------------
+// 3. Functional heterogeneous amortization curve.
+// ---------------------------------------------------------------
+
+struct FuncRow
+{
+    std::string mode;
+    std::uint32_t lanes = 0;
+    double batchSec = 0.0;  // one shared traversal, all lanes
+    double soloSec = 0.0;   // the same lanes run one at a time
+    bool statsMatch = false;
+
+    double batchNsPerQuery() const
+    {
+        return batchSec * 1e9 / lanes;
+    }
+    double soloNsPerQuery() const { return soloSec * 1e9 / lanes; }
+    double amortization() const
+    {
+        return batchSec > 0.0 ? soloSec / batchSec : 0.0;
+    }
+};
+
+bool
+statsEqual(const PropagationStats &a, const PropagationStats &b)
+{
+    return a.nodesMarked == b.nodesMarked &&
+           a.linksScanned == b.linksScanned &&
+           a.traversals == b.traversals && a.sources == b.sources &&
+           a.maxDepth == b.maxDepth &&
+           a.levelExpansions == b.levelExpansions;
+}
+
+/**
+ * @p overlap picks the source layout: overlapping frontiers (every
+ * lane starts at the same node — the state the serving batch former
+ * creates, where one relation scan serves every lane) or disjoint
+ * sources (every lane explores its own region, so waves rarely
+ * coincide and the per-lane merge bookkeeping dominates — the
+ * honest worst case).
+ */
+FuncRow
+runFunctional(const SemanticNetwork &net, const PropRule &rule,
+              std::uint32_t lanes, bool overlap)
+{
+    auto sourceOf = [&](std::uint32_t lane) {
+        return overlap ? static_cast<NodeId>(13)
+                       : static_cast<NodeId>((7919ull * lane + 13) %
+                                             net.numNodes());
+    };
+
+    LaneMarkerStore store(net.numNodes(), lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        store.set(0, sourceOf(l), l, 0.0f, sourceOf(l));
+
+    double t0 = now();
+    std::vector<PropagationStats> batch_stats =
+        propagateFunctionalBatch(net, store, 0, 1, rule,
+                                 MarkerFunc::AddWeight);
+    double t1 = now();
+
+    FuncRow row;
+    row.mode = overlap ? "overlapping" : "disjoint";
+    row.lanes = lanes;
+    row.batchSec = t1 - t0;
+    row.statsMatch = true;
+
+    double solo_sec = 0.0;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        MarkerStore solo(net.numNodes());
+        solo.set(0, sourceOf(l), 0.0f, sourceOf(l));
+        double s0 = now();
+        PropagationStats st = propagateFunctional(
+            net, solo, 0, 1, rule, MarkerFunc::AddWeight);
+        solo_sec += now() - s0;
+        row.statsMatch &= statsEqual(st, batch_stats[l]);
+    }
+    row.soloSec = solo_sec;
+    return row;
+}
+
+// ---------------------------------------------------------------
+
+void
+writeJson(const std::vector<LaneRow> &machine_rows,
+          const ServeRun &solo, const ServeRun &batched,
+          const std::vector<FuncRow> &func_rows)
+{
+    FILE *f = std::fopen("BENCH_batch.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_batch.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"batch\",\n");
+
+    std::fprintf(f, "  \"machine_lane_sweep\": [\n");
+    for (std::size_t i = 0; i < machine_rows.size(); ++i) {
+        const LaneRow &r = machine_rows[i];
+        std::fprintf(
+            f,
+            "    {\"lanes\": %u, \"host_events\": %llu, "
+            "\"events_per_query\": %.1f, \"us_per_query\": %.1f, "
+            "\"sim_ticks\": %llu}%s\n",
+            r.lanes, static_cast<unsigned long long>(r.hostEvents),
+            r.eventsPerQuery(), r.usPerQuery(),
+            static_cast<unsigned long long>(r.wallTicks),
+            i + 1 < machine_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(
+        f,
+        "  \"serving\": {\"queries\": %zu, "
+        "\"solo_sim_makespan_us\": %.1f, "
+        "\"batched_sim_makespan_us\": %.1f, "
+        "\"sim_amortization\": %.2f, \"batches\": %llu, "
+        "\"mean_lanes\": %.2f, \"solo_host_s\": %.4f, "
+        "\"batched_host_s\": %.4f},\n",
+        solo.results.size(),
+        ticksToUs(solo.metrics.simMakespanTicks()),
+        ticksToUs(batched.metrics.simMakespanTicks()),
+        static_cast<double>(solo.metrics.simMakespanTicks()) /
+            static_cast<double>(batched.metrics.simMakespanTicks()),
+        static_cast<unsigned long long>(batched.metrics.batches),
+        batched.metrics.batchLanes.mean(), solo.seconds,
+        batched.seconds);
+
+    std::fprintf(f, "  \"functional_curve\": [\n");
+    for (std::size_t i = 0; i < func_rows.size(); ++i) {
+        const FuncRow &r = func_rows[i];
+        std::fprintf(
+            f,
+            "    {\"mode\": \"%s\", \"lanes\": %u, "
+            "\"batch_ns_per_query\": %.0f, "
+            "\"solo_ns_per_query\": %.0f, "
+            "\"amortization\": %.2f}%s\n",
+            r.mode.c_str(), r.lanes, r.batchNsPerQuery(),
+            r.soloNsPerQuery(), r.amortization(),
+            i + 1 < func_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_batch.json\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t num_queries = 64;
+    if (argc > 1) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(argv[1], &end, 10);
+        if (end == argv[1] || *end != '\0' || v < 8 || v % 8) {
+            std::fprintf(
+                stderr,
+                "usage: batch [num_serve_queries, multiple of 8]\n");
+            return 2;
+        }
+        num_queries = v;
+    }
+
+    bench::banner(
+        "batch — lane-batched query execution",
+        "one simulated traversal serves up to 64 same-program "
+        "queries; answers stay bit-identical to solo while host "
+        "events per query fall as 1/lanes");
+
+    // 1. Machine lane sweep.
+    Workload w = fig17Workload(4);
+    const std::uint32_t sweep[] = {1, 2, 4, 8, 16, 32, 64};
+    std::vector<LaneRow> machine_rows;
+    std::printf("%8s %14s %18s %14s %12s\n", "lanes", "host_events",
+                "events_per_query", "us_per_query", "sim_us");
+    for (std::uint32_t lanes : sweep) {
+        machine_rows.push_back(runLanes(w, lanes));
+        const LaneRow &r = machine_rows.back();
+        std::printf("%8u %14llu %18.1f %14.1f %12.1f\n", r.lanes,
+                    static_cast<unsigned long long>(r.hostEvents),
+                    r.eventsPerQuery(), r.usPerQuery(),
+                    ticksToUs(r.wallTicks));
+    }
+
+    bool machine_identical = true;
+    for (const LaneRow &r : machine_rows) {
+        machine_identical &=
+            r.digest == machine_rows[0].digest &&
+            r.wallTicks == machine_rows[0].wallTicks;
+    }
+    const LaneRow *eight = nullptr;
+    for (const LaneRow &r : machine_rows)
+        if (r.lanes == 8)
+            eight = &r;
+    double event_amortization =
+        static_cast<double>(machine_rows[0].hostEvents) /
+        eight->eventsPerQuery();
+    std::printf("\nfig17 events/query: solo %llu, 8 lanes %.1f "
+                "(%.1fx amortization)\n\n",
+                static_cast<unsigned long long>(
+                    machine_rows[0].hostEvents),
+                eight->eventsPerQuery(), event_amortization);
+
+    // 2. Serving engine end-to-end.
+    SemanticNetwork net = makeTreeKb(2000, 4);
+    RelationType down = net.relationId("includes");
+    std::vector<Program> mix;
+    mix.reserve(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i)
+        mix.push_back(serveQuery(i, net, down));
+
+    ServeRun solo = runServe(net, mix, 1);
+    ServeRun batched = runServe(net, mix, 8);
+
+    bool serve_identical = true;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        serve_identical &=
+            batched.wallTicks[i] == solo.wallTicks[i] &&
+            digestResults(batched.results[i]) ==
+                digestResults(solo.results[i]);
+    }
+    bool lanes_full = true;
+    for (std::uint32_t l : batched.lanes)
+        lanes_full &= l == 8;
+    double sim_amortization =
+        static_cast<double>(solo.metrics.simMakespanTicks()) /
+        static_cast<double>(batched.metrics.simMakespanTicks());
+    std::printf("serving %zu queries (8 programs x %zu): solo sim "
+                "makespan %.1f us, batched %.1f us (%.1fx); %llu "
+                "batches, mean %.2f lanes\n\n",
+                mix.size(), mix.size() / 8,
+                ticksToUs(solo.metrics.simMakespanTicks()),
+                ticksToUs(batched.metrics.simMakespanTicks()),
+                sim_amortization,
+                static_cast<unsigned long long>(
+                    batched.metrics.batches),
+                batched.metrics.batchLanes.mean());
+
+    // 3. Functional heterogeneous curve.
+    // Scan-heavy KB: at fanout 24 the relation-table scan dominates
+    // the per-lane merge bookkeeping, so sharing the scan shows.
+    SemanticNetwork rnet = makeRandomKb(3000, 24.0, 2, 0xba7c4);
+    PropRule rule = PropRule::chain(0);
+    rule.maxSteps = 32;
+    std::vector<FuncRow> func_rows;
+    bool func_stats_match = true;
+    std::printf("%12s %8s %16s %15s %14s\n", "mode", "lanes",
+                "batch_ns/query", "solo_ns/query", "amortization");
+    for (bool overlap : {true, false}) {
+        for (std::uint32_t lanes : sweep) {
+            func_rows.push_back(
+                runFunctional(rnet, rule, lanes, overlap));
+            const FuncRow &r = func_rows.back();
+            func_stats_match &= r.statsMatch;
+            std::printf("%12s %8u %16.0f %15.0f %13.2fx\n",
+                        r.mode.c_str(), r.lanes,
+                        r.batchNsPerQuery(), r.soloNsPerQuery(),
+                        r.amortization());
+        }
+    }
+    std::printf("\n");
+
+    writeJson(machine_rows, solo, batched, func_rows);
+
+    bench::check(
+        "per-lane answers bit-identical at every lane count",
+        machine_identical);
+    bench::check(
+        "host events/query at 8 lanes >= 3x cheaper than solo",
+        event_amortization >= 3.0);
+    bench::check("batched serving answers match solo bit-for-bit",
+                 serve_identical);
+    bench::check("batch former fills all 8 lanes deterministically",
+                 lanes_full &&
+                     batched.metrics.batchedRequests == num_queries);
+    bench::check(
+        "batched serving sim throughput >= 2x solo at 8 lanes",
+        sim_amortization >= 2.0);
+    bench::check(
+        "heterogeneous per-lane stats equal solo at every lane count",
+        func_stats_match);
+    return bench::finish();
+}

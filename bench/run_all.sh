@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run every fig/ablation/host_perf/serving/batch bench and regenerate
+# all BENCH_*.json artifacts at the repo root.
+#
+#   bench/run_all.sh [build_dir]       (default: <repo>/build)
+#
+# Every bench is a shape-checked binary: it exits non-zero when one
+# of its paper-shape or perf gates fails, so this script doubles as
+# the full perf regression sweep.  Benches run from the repo root —
+# the JSON writers use the working directory, which is how the
+# BENCH_*.json files land next to this script's parent.
+# (micro_substrate is excluded: it is a google-benchmark microbench
+# with no gates and no JSON output.)
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+benches=(
+    fig06_instruction_mix
+    fig08_marker_traffic
+    table4_parsing
+    fig15_inheritance
+    fig16_alpha_speedup
+    fig17_beta_speedup
+    fig18_cluster_sweep
+    fig19_kb_profile
+    fig20_prop_count
+    fig21_overhead
+    beta_analysis
+    host_perf
+    serving
+    batch
+    ablation_partition
+    ablation_queues
+    ablation_machine
+    scaling_kb
+)
+
+cd "$root"
+failed=()
+for b in "${benches[@]}"; do
+    bin="$build/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (cmake --build $build)" >&2
+        exit 1
+    fi
+    echo
+    echo "==================== $b ===================="
+    if ! "$bin"; then
+        failed+=("$b")
+    fi
+done
+
+echo
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "FAILED: ${failed[*]}"
+    exit 1
+fi
+echo "all ${#benches[@]} benches passed; BENCH_*.json written to $root"
+ls -1 "$root"/BENCH_*.json

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/multibitvector.hh"
 #include "common/stats.hh"
 
 namespace snap
@@ -126,6 +127,24 @@ SnapMachine::run(const Program &prog)
     ctx_.rules = nullptr;
     ctx_.alphaPerProp = nullptr;
     return result;
+}
+
+BatchRunResult
+SnapMachine::runBatch(const Program &prog, std::uint32_t lanes)
+{
+    snap_assert(lanes >= 1 && lanes <= MultiBitVector::maxLanes,
+                "batch lanes %u out of 1..64", lanes);
+
+    const std::uint64_t events_before = eq_.eventsProcessed();
+    RunResult pilot = run(prog);
+
+    BatchRunResult batch;
+    batch.lanes = lanes;
+    batch.results = std::move(pilot.results);
+    batch.wallTicks = pilot.wallTicks;
+    batch.stats = std::move(pilot.stats);
+    batch.hostEvents = eq_.eventsProcessed() - events_before;
+    return batch;
 }
 
 std::string

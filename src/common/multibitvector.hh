@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Lane-packed bit matrix for cross-query marker batching.
+ *
+ * BitVector packs one query's marker plane as N bits; MultiBitVector
+ * packs the same plane for up to 64 *queries* ("lanes") side by side:
+ * word i holds bit i of every lane, lane l in word bit l.  One 64-bit
+ * word operation therefore updates one node's marker status for the
+ * whole batch — the cross-query analogue of the paper's 32-node
+ * status words (§II-B, Fig. 4), turned sideways so a single
+ * status-table pass, relation-table search, or delivery merge is
+ * amortized over every query in a LaneBatch.
+ *
+ * The layout is the transpose of BitVector's: extractLane()/
+ * insertLane() convert between the two (gather/scatter across the
+ * 64-bit word seams), so solo marker state moves in and out of a
+ * batch without touching unrelated lanes.  Lane counts need not be a
+ * multiple of anything; tail lanes above numLanes() are forced clear
+ * by masking, mirroring BitVector's tail-bit invariant.
+ */
+
+#ifndef SNAP_COMMON_MULTIBITVECTOR_HH
+#define SNAP_COMMON_MULTIBITVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/logging.hh"
+
+namespace snap
+{
+
+/**
+ * N bit-positions x L lanes (L <= 64), one backing word per
+ * position holding the position's bit for every lane.
+ */
+class MultiBitVector
+{
+  public:
+    using Word = std::uint64_t;
+    static constexpr std::uint32_t maxLanes = 64;
+
+    MultiBitVector() = default;
+
+    /** @p num_bits positions x @p num_lanes lanes, all clear. */
+    MultiBitVector(std::uint32_t num_bits, std::uint32_t num_lanes)
+        : numBits_(num_bits), numLanes_(num_lanes),
+          words_(num_bits, 0)
+    {
+        snap_assert(num_lanes >= 1 && num_lanes <= maxLanes,
+                    "lane count %u out of 1..64", num_lanes);
+    }
+
+    /** Number of addressable bit positions (nodes). */
+    std::uint32_t size() const { return numBits_; }
+
+    /** Number of lanes (queries) packed side by side. */
+    std::uint32_t numLanes() const { return numLanes_; }
+
+    /** Mask with one bit set per valid lane. */
+    Word
+    laneMask() const
+    {
+        return numLanes_ == maxLanes ? ~Word{0}
+                                     : (Word{1} << numLanes_) - 1;
+    }
+
+    /** Read one lane's bit at one position. */
+    bool
+    test(std::uint32_t idx, std::uint32_t lane) const
+    {
+        checkAt(idx, lane);
+        return (words_[idx] >> lane) & 1u;
+    }
+
+    void
+    set(std::uint32_t idx, std::uint32_t lane)
+    {
+        checkAt(idx, lane);
+        words_[idx] |= Word{1} << lane;
+    }
+
+    void
+    clear(std::uint32_t idx, std::uint32_t lane)
+    {
+        checkAt(idx, lane);
+        words_[idx] &= ~(Word{1} << lane);
+    }
+
+    /** Lane mask at position @p idx: bit l = lane l's bit. */
+    Word
+    lanes(std::uint32_t idx) const
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        return words_[idx];
+    }
+
+    /** Overwrite the lane mask at @p idx (tail lanes forced clear). */
+    void
+    setLanes(std::uint32_t idx, Word mask)
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        words_[idx] = mask & laneMask();
+    }
+
+    /** OR @p mask into the lanes at @p idx. */
+    void
+    orLanes(std::uint32_t idx, Word mask)
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        words_[idx] |= mask & laneMask();
+    }
+
+    // --- whole-plane kernels: one pass serves every lane ----------------
+
+    /** this |= other (same geometry). */
+    void
+    orWith(const MultiBitVector &other)
+    {
+        checkGeometry(other);
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] |= other.words_[i];
+    }
+
+    /** this &= other. */
+    void
+    andWith(const MultiBitVector &other)
+    {
+        checkGeometry(other);
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= other.words_[i];
+    }
+
+    /** this &= ~other. */
+    void
+    andNotWith(const MultiBitVector &other)
+    {
+        checkGeometry(other);
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= ~other.words_[i];
+    }
+
+    void
+    clearAll()
+    {
+        for (Word &w : words_)
+            w = 0;
+    }
+
+    /** Population count of one lane. */
+    std::uint32_t
+    countLane(std::uint32_t lane) const
+    {
+        snap_assert(lane < numLanes_, "lane %u out of %u", lane,
+                    numLanes_);
+        std::uint32_t n = 0;
+        const Word bit = Word{1} << lane;
+        for (Word w : words_)
+            n += static_cast<std::uint32_t>((w & bit) != 0);
+        return n;
+    }
+
+    /** Population count over every lane. */
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t n = 0;
+        for (Word w : words_)
+            n += static_cast<std::uint64_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** True if no lane has any bit set. */
+    bool
+    none() const
+    {
+        for (Word w : words_)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /**
+     * Invoke @p fn(idx, mask) for every position where at least one
+     * lane is set, in ascending position order — the shared-frontier
+     * scan of a batched traversal (positions dead in every lane cost
+     * one word test).
+     */
+    template <typename Fn>
+    void
+    forEachActive(Fn &&fn) const
+    {
+        for (std::uint32_t i = 0; i < numBits_; ++i)
+            if (words_[i])
+                fn(i, words_[i]);
+    }
+
+    // --- solo <-> batch conversion --------------------------------------
+
+    /**
+     * Gather lane @p lane into a solo BitVector: bit i of the result
+     * is this lane's bit at position i.  Assembles 64 positions per
+     * output word so the word-seam handling matches BitVector's
+     * packing exactly.
+     */
+    BitVector
+    extractLane(std::uint32_t lane) const
+    {
+        snap_assert(lane < numLanes_, "lane %u out of %u", lane,
+                    numLanes_);
+        BitVector out(numBits_);
+        const std::uint32_t wb = BitVector::bitsPerWord;
+        for (std::uint32_t base = 0; base < numBits_; base += wb) {
+            const std::uint32_t n =
+                base + wb <= numBits_ ? wb : numBits_ - base;
+            BitVector::Word packed = 0;
+            for (std::uint32_t j = 0; j < n; ++j)
+                packed |= ((words_[base + j] >> lane) & Word{1}) << j;
+            out.setWord(base / wb, packed);
+        }
+        return out;
+    }
+
+    /** Scatter @p bv into lane @p lane; other lanes untouched. */
+    void
+    insertLane(std::uint32_t lane, const BitVector &bv)
+    {
+        snap_assert(lane < numLanes_, "lane %u out of %u", lane,
+                    numLanes_);
+        snap_assert(bv.size() == numBits_, "size mismatch %u vs %u",
+                    bv.size(), numBits_);
+        const Word bit = Word{1} << lane;
+        const std::uint32_t wb = BitVector::bitsPerWord;
+        for (std::uint32_t base = 0; base < numBits_; base += wb) {
+            const std::uint32_t n =
+                base + wb <= numBits_ ? wb : numBits_ - base;
+            BitVector::Word packed = bv.word(base / wb);
+            for (std::uint32_t j = 0; j < n; ++j) {
+                if ((packed >> j) & 1u)
+                    words_[base + j] |= bit;
+                else
+                    words_[base + j] &= ~bit;
+            }
+        }
+    }
+
+    /** Replicate @p bv into every lane (homogeneous-batch stamp):
+     *  one pass, one word write per position. */
+    void
+    broadcast(const BitVector &bv)
+    {
+        snap_assert(bv.size() == numBits_, "size mismatch %u vs %u",
+                    bv.size(), numBits_);
+        const Word all = laneMask();
+        const std::uint32_t wb = BitVector::bitsPerWord;
+        for (std::uint32_t i = 0; i < numBits_; ++i) {
+            bool on = (bv.word(i / wb) >> (i % wb)) & 1u;
+            words_[i] = on ? all : 0;
+        }
+    }
+
+    bool
+    operator==(const MultiBitVector &other) const
+    {
+        return numBits_ == other.numBits_ &&
+               numLanes_ == other.numLanes_ &&
+               words_ == other.words_;
+    }
+
+  private:
+    void
+    checkAt(std::uint32_t idx, std::uint32_t lane) const
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        snap_assert(lane < numLanes_, "lane %u out of %u", lane,
+                    numLanes_);
+    }
+
+    void
+    checkGeometry(const MultiBitVector &other) const
+    {
+        snap_assert(numBits_ == other.numBits_ &&
+                        numLanes_ == other.numLanes_,
+                    "geometry mismatch %ux%u vs %ux%u", numBits_,
+                    numLanes_, other.numBits_, other.numLanes_);
+    }
+
+    std::uint32_t numBits_ = 0;
+    std::uint32_t numLanes_ = 0;
+    std::vector<Word> words_;
+};
+
+} // namespace snap
+
+#endif // SNAP_COMMON_MULTIBITVECTOR_HH

@@ -74,6 +74,16 @@ class Program
             instrs_.push_back(i);
     }
 
+    /**
+     * Content digest over the instruction stream and rule table
+     * (FNV-1a; rule names excluded — they do not affect execution).
+     * Two programs with equal hashes run identically against the
+     * same stateless replica, which is what the serving layer's
+     * lane-batch former groups on.  Allocation-free: computed once
+     * at admission on the hot path.
+     */
+    std::uint64_t contentHash() const;
+
     /** Instruction count per profiling category. */
     std::array<std::uint64_t,
                static_cast<std::size_t>(InstrCategory::NumCategories)>

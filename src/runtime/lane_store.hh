@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Lane-packed marker state for a batch of queries.
+ *
+ * The batch-execution analogue of MarkerStore: each of the 128 marker
+ * planes is a MultiBitVector over (node x lane), so one word
+ * operation touches one node's marker status for every query in the
+ * batch, and complex-marker value registers are kept per (node,
+ * lane).  Solo state moves in and out per lane (insertLane /
+ * extractLane), which is how the batch former stages queued queries
+ * into a LaneBatch and how per-query answers are pulled back out.
+ */
+
+#ifndef SNAP_RUNTIME_LANE_STORE_HH
+#define SNAP_RUNTIME_LANE_STORE_HH
+
+#include <vector>
+
+#include "common/multibitvector.hh"
+#include "common/types.hh"
+#include "isa/function.hh"
+#include "runtime/marker_store.hh"
+
+namespace snap
+{
+
+/** 128 lane-packed marker planes over N nodes x L lanes. */
+class LaneMarkerStore
+{
+  public:
+    LaneMarkerStore(std::uint32_t num_nodes, std::uint32_t num_lanes)
+        : numNodes_(num_nodes), numLanes_(num_lanes),
+          bits_(capacity::numMarkers,
+                MultiBitVector(num_nodes, num_lanes)),
+          values_(capacity::numComplexMarkers)
+    {}
+
+    std::uint32_t numNodes() const { return numNodes_; }
+    std::uint32_t numLanes() const { return numLanes_; }
+
+    bool
+    test(MarkerId m, NodeId n, std::uint32_t lane) const
+    {
+        return bits_[m].test(n, lane);
+    }
+
+    /** Lanes holding marker @p m at node @p n. */
+    MultiBitVector::Word
+    lanes(MarkerId m, NodeId n) const
+    {
+        return bits_[m].lanes(n);
+    }
+
+    /** Set bit and, for complex markers, the value register. */
+    void
+    set(MarkerId m, NodeId n, std::uint32_t lane, float value,
+        NodeId origin)
+    {
+        bits_[m].set(n, lane);
+        if (isComplexMarker(m)) {
+            MarkerValue &v = slot(m, n, lane);
+            v.value = value;
+            v.origin = origin;
+        }
+    }
+
+    /** Value register (0 for binary markers / untouched planes). */
+    float
+    value(MarkerId m, NodeId n, std::uint32_t lane) const
+    {
+        if (!isComplexMarker(m) || values_[m].empty())
+            return 0.0f;
+        return values_[m][idx(n, lane)].value;
+    }
+
+    NodeId
+    origin(MarkerId m, NodeId n, std::uint32_t lane) const
+    {
+        if (!isComplexMarker(m) || values_[m].empty())
+            return invalidNode;
+        return values_[m][idx(n, lane)].origin;
+    }
+
+    void
+    setValue(MarkerId m, NodeId n, std::uint32_t lane, float value,
+             NodeId origin)
+    {
+        if (isComplexMarker(m)) {
+            MarkerValue &v = slot(m, n, lane);
+            v.value = value;
+            v.origin = origin;
+        }
+    }
+
+    MultiBitVector &bits(MarkerId m) { return bits_[m]; }
+    const MultiBitVector &bits(MarkerId m) const { return bits_[m]; }
+
+    /** Stage one query's solo marker state into lane @p lane. */
+    void
+    insertLane(std::uint32_t lane, const MarkerStore &solo)
+    {
+        snap_assert(solo.numNodes() == numNodes_,
+                    "node count mismatch %u vs %u", solo.numNodes(),
+                    numNodes_);
+        for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+            const MarkerId mid = static_cast<MarkerId>(m);
+            bits_[m].insertLane(lane, solo.bits(mid));
+            if (!isComplexMarker(mid))
+                continue;
+            solo.bits(mid).forEachSet([&](std::uint32_t n) {
+                MarkerValue &v = slot(mid, n, lane);
+                v.value = solo.value(mid, n);
+                v.origin = solo.origin(mid, n);
+            });
+        }
+    }
+
+    /** Pull lane @p lane's state back out as a solo MarkerStore. */
+    MarkerStore
+    extractLane(std::uint32_t lane) const
+    {
+        MarkerStore solo(numNodes_);
+        for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+            const MarkerId mid = static_cast<MarkerId>(m);
+            bits_[m].extractLane(lane).forEachSet(
+                [&](std::uint32_t n) {
+                    solo.set(mid, n, value(mid, n, lane),
+                             origin(mid, n, lane));
+                });
+        }
+        return solo;
+    }
+
+    void
+    reset()
+    {
+        for (MultiBitVector &b : bits_)
+            b.clearAll();
+        for (auto &v : values_)
+            v.clear();
+    }
+
+  private:
+    std::size_t
+    idx(NodeId n, std::uint32_t lane) const
+    {
+        return static_cast<std::size_t>(n) * numLanes_ + lane;
+    }
+
+    /** Lazily allocated per-(node, lane) value plane. */
+    MarkerValue &
+    slot(MarkerId m, NodeId n, std::uint32_t lane)
+    {
+        auto &vals = values_[m];
+        if (vals.empty())
+            vals.resize(static_cast<std::size_t>(numNodes_) *
+                        numLanes_);
+        return vals[idx(n, lane)];
+    }
+
+    std::uint32_t numNodes_;
+    std::uint32_t numLanes_;
+    std::vector<MultiBitVector> bits_;
+    std::vector<std::vector<MarkerValue>> values_;
+};
+
+} // namespace snap
+
+#endif // SNAP_RUNTIME_LANE_STORE_HH

@@ -166,4 +166,153 @@ propagateFunctional(const SemanticNetwork &net, MarkerStore &store,
     return st;
 }
 
+std::vector<PropagationStats>
+propagateFunctionalBatch(const SemanticNetwork &net,
+                         LaneMarkerStore &store, MarkerId m1,
+                         MarkerId m2, const PropRule &rule,
+                         MarkerFunc func)
+{
+    snap_assert(m1 != m2,
+                "PROPAGATE with identical source and destination "
+                "marker m%u", static_cast<unsigned>(m1));
+
+    using Word = MultiBitVector::Word;
+    const std::uint32_t num_lanes = store.numLanes();
+    std::vector<PropagationStats> st(num_lanes);
+
+    // One shared queue entry: (node, state, steps) plus the lanes
+    // present, with per-lane labels packed in ascending lane order
+    // (entry i of values/origins belongs to the i-th set bit of
+    // mask).  state and steps are shared by construction — see the
+    // header comment's order-preservation argument.
+    struct BatchArrival
+    {
+        NodeId node;
+        std::uint8_t state;
+        std::uint32_t steps;
+        Word mask;
+        std::vector<float> values;
+        std::vector<NodeId> origins;
+    };
+
+    // Per-lane non-dominated label frontiers (admission control is a
+    // per-query decision; only the traversal is shared).
+    std::vector<FrontierMap> best(num_lanes);
+    auto key = [](NodeId n, std::uint8_t s) {
+        return (static_cast<std::uint64_t>(n) << 8) | s;
+    };
+    auto forEachLane = [](Word mask, auto &&fn) {
+        std::uint32_t i = 0;
+        while (mask) {
+            std::uint32_t lane = static_cast<std::uint32_t>(
+                __builtin_ctzll(mask));
+            mask &= mask - 1;
+            fn(lane, i++);
+        }
+    };
+
+    std::deque<BatchArrival> queue;
+
+    // Seed: one pass over the lane-packed m1 status plane, ascending
+    // node order; each active word yields the whole batch's sources
+    // at that node.
+    store.bits(m1).forEachActive([&](std::uint32_t u, Word mask) {
+        BatchArrival a{u, 0, 0, mask, {}, {}};
+        forEachLane(mask, [&](std::uint32_t lane, std::uint32_t) {
+            ++st[lane].sources;
+            float v0 = store.value(m1, u, lane);
+            a.values.push_back(v0);
+            a.origins.push_back(u);
+            frontierAdmit(func, best[lane][key(u, 0)],
+                          PropLabel{v0, u, 0});
+        });
+        queue.push_back(std::move(a));
+    });
+
+    std::vector<std::uint8_t> next_states;
+    std::vector<float> cand_values;
+    std::vector<NodeId> cand_origins;
+    while (!queue.empty()) {
+        BatchArrival a = std::move(queue.front());
+        queue.pop_front();
+
+        // Liveness and the step bound depend only on the shared
+        // (state, steps), so the whole wave passes or dies together —
+        // exactly as each lane would solo.
+        if (!rule.live(a.state))
+            continue;
+        if (a.steps >= rule.maxSteps)
+            continue;
+
+        forEachLane(a.mask, [&](std::uint32_t lane, std::uint32_t) {
+            if (st[lane].levelExpansions.size() <= a.steps)
+                st[lane].levelExpansions.resize(a.steps + 1, 0);
+            ++st[lane].levelExpansions[a.steps];
+        });
+
+        for (const Link &l : net.links(a.node)) {
+            forEachLane(a.mask,
+                        [&](std::uint32_t lane, std::uint32_t) {
+                            ++st[lane].linksScanned;
+                        });
+            next_states.clear();
+            rule.step(a.state, l.rel, next_states);
+            if (next_states.empty())
+                continue;
+
+            std::uint32_t nsteps = a.steps + 1;
+
+            // Deliver marker-2 to the destination for every lane of
+            // the wave: one word read gives the whole batch's
+            // already-marked set, one word OR sets the newcomers.
+            const Word have = store.bits(m2).lanes(l.dst);
+            store.bits(m2).orLanes(l.dst, a.mask);
+            forEachLane(a.mask,
+                        [&](std::uint32_t lane, std::uint32_t i) {
+                float nv = applyStep(func, a.values[i], l.weight);
+                if (nsteps > st[lane].maxDepth)
+                    st[lane].maxDepth = nsteps;
+                if (!((have >> lane) & 1u)) {
+                    store.setValue(m2, l.dst, lane, nv,
+                                   a.origins[i]);
+                    ++st[lane].nodesMarked;
+                } else if (betterArrival(
+                               func, nv, a.origins[i],
+                               store.value(m2, l.dst, lane),
+                               store.origin(m2, l.dst, lane))) {
+                    store.setValue(m2, l.dst, lane, nv,
+                                   a.origins[i]);
+                }
+            });
+
+            // Continue per reachable rule state: per-lane admission,
+            // one shared child entry for all admitted lanes.
+            for (std::uint8_t ns : next_states) {
+                Word admit = 0;
+                cand_values.clear();
+                cand_origins.clear();
+                forEachLane(a.mask, [&](std::uint32_t lane,
+                                        std::uint32_t i) {
+                    ++st[lane].traversals;
+                    float nv =
+                        applyStep(func, a.values[i], l.weight);
+                    if (!frontierAdmit(
+                            func, best[lane][key(l.dst, ns)],
+                            PropLabel{nv, a.origins[i], nsteps}))
+                        return;  // dominated: no re-propagation
+                    admit |= Word{1} << lane;
+                    cand_values.push_back(nv);
+                    cand_origins.push_back(a.origins[i]);
+                });
+                if (admit) {
+                    queue.push_back(BatchArrival{
+                        l.dst, ns, nsteps, admit, cand_values,
+                        cand_origins});
+                }
+            }
+        }
+    }
+    return st;
+}
+
 } // namespace snap

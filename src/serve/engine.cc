@@ -52,7 +52,17 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
 {
     if (cfg_.numWorkers < 1)
         snap_fatal("ServeConfig.numWorkers must be >= 1");
+    if (cfg_.maxBatchLanes < 1 || cfg_.maxBatchLanes > 64)
+        snap_fatal("ServeConfig.maxBatchLanes must be 1..64");
     cfg_.machine.validate();
+
+    // Warm pending pool: sized so steady-state admission never
+    // allocates (every queued request plus one in flight per worker).
+    const std::size_t pool_target =
+        cfg_.queueCapacity + cfg_.numWorkers;
+    pool_.reserve(pool_target);
+    for (std::size_t i = 0; i < pool_target; ++i)
+        pool_.push_back(std::make_unique<Pending>());
 
     // Compile once; stamp bit-identical replicas from the master.
     master_ = std::make_unique<KbImage>(net, cfg_.machine);
@@ -113,13 +123,48 @@ ServeEngine::outstandingCount() const
     return outstanding_;
 }
 
-std::future<Response>
-ServeEngine::submit(Request req)
+std::unique_ptr<ServeEngine::Pending>
+ServeEngine::acquirePending()
 {
-    auto pending = std::make_unique<Pending>();
-    std::future<Response> fut = pending->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(poolMu_);
+        if (!pool_.empty()) {
+            auto p = std::move(pool_.back());
+            pool_.pop_back();
+            return p;
+        }
+    }
+    return std::make_unique<Pending>();
+}
 
-    std::lock_guard<std::mutex> admit(admitMu_);
+void
+ServeEngine::releasePending(std::unique_ptr<Pending> p)
+{
+    p->slot = nullptr;
+    p->batchable = false;
+    p->progHash = 0;
+    p->sessionSeq = 0;
+    p->hasDeadline = false;
+    // p->req keeps its buffers: the next admission's move-assign
+    // recycles or releases them without allocating here.
+    std::lock_guard<std::mutex> lock(poolMu_);
+    if (pool_.size() < cfg_.queueCapacity + cfg_.numWorkers)
+        pool_.push_back(std::move(p));
+}
+
+/**
+ * Shared admission: assign id/seed/deadline, take the session turn,
+ * hoist the batching key, and enqueue — all under admitMu_ so queue
+ * order == session order.  On reject (@return false) the response is
+ * in @p early, the session turn is released, and @p pending has been
+ * recycled.  Allocation-free on the admit path: every derived field
+ * lands in the pooled Pending, and contentHash() does not allocate.
+ */
+bool
+ServeEngine::admit(Request &&req, std::unique_ptr<Pending> &pending,
+                   Response &early)
+{
+    std::lock_guard<std::mutex> admit_lock(admitMu_);
 
     req.id = nextId_++;
     if (req.rngSeed == 0)
@@ -137,59 +182,137 @@ ServeEngine::submit(Request req)
                     req.timeoutMs));
     }
 
-    bool sessioned = !req.sessionId.empty();
+    const bool sessioned = !req.sessionId.empty();
     if (sessioned)
         pending->sessionSeq = sessions_.admit(req.sessionId);
+    pending->batchable = !sessioned && cfg_.maxBatchLanes > 1;
+    pending->progHash =
+        pending->batchable ? req.prog.contentHash() : 0;
 
-    Response early;
     early.id = req.id;
     early.rngSeed = req.rngSeed;
 
-    std::string session_id = req.sessionId;
-    std::uint64_t session_seq = pending->sessionSeq;
     pending->req = std::move(req);
 
     {
         std::lock_guard<std::mutex> lock(doneMu_);
         ++outstanding_;
     }
-    if (!queue_.tryPush(std::move(pending))) {
+    if (!queue_.tryPush(pending)) {
         // Backpressure: answer immediately and release the session
         // turn so successors are not blocked behind a hole.
         if (sessioned)
-            sessions_.cancel(session_id, session_seq);
+            sessions_.cancel(pending->req.sessionId,
+                             pending->sessionSeq);
         metrics_.noteRejected();
         early.status = RequestStatus::Rejected;
+        releasePending(std::move(pending));
+        noteDone();
+        return false;
+    }
+    metrics_.noteSubmitted();
+    return true;
+}
+
+std::future<Response>
+ServeEngine::submit(Request req)
+{
+    auto pending = acquirePending();
+    pending->promise = std::promise<Response>();
+    pending->slot = nullptr;
+    std::future<Response> fut = pending->promise.get_future();
+
+    Response early;
+    if (!admit(std::move(req), pending, early)) {
         std::promise<Response> p;
         fut = p.get_future();
         p.set_value(std::move(early));
-        noteDone();
-        return fut;
     }
-    metrics_.noteSubmitted();
     return fut;
+}
+
+void
+ServeEngine::submit(Request req, ResponseSlot &slot)
+{
+    auto pending = acquirePending();
+    pending->slot = &slot;
+    slot.reset();
+
+    Response early;
+    if (!admit(std::move(req), pending, early))
+        slot.deliver(std::move(early));
+}
+
+void
+ServeEngine::deliverResponse(std::unique_ptr<Pending> p,
+                             Response &&resp)
+{
+    if (p->slot)
+        p->slot->deliver(std::move(resp));
+    else
+        p->promise.set_value(std::move(resp));
+    releasePending(std::move(p));
+    noteDone();
 }
 
 void
 ServeEngine::workerMain(std::uint32_t idx)
 {
-    while (auto pending = queue_.pop())
-        serveOne(idx, std::move(**pending));
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.reserve(cfg_.maxBatchLanes);
+    while (auto pending = queue_.pop()) {
+        std::unique_ptr<Pending> p = std::move(*pending);
+        if (p->batchable) {
+            batch.clear();
+            batch.push_back(std::move(p));
+            gatherBatch(batch);
+            serveBatch(idx, batch);
+            batch.clear();
+        } else {
+            serveOne(idx, std::move(p));
+        }
+    }
+}
+
+/**
+ * The batch former's gulp: pull queued stateless requests with the
+ * same program hash as batch.front(), waiting up to batchWindowMs
+ * for the lanes to fill.  FIFO order is preserved both inside the
+ * batch and among the requests left behind.
+ */
+void
+ServeEngine::gatherBatch(std::vector<std::unique_ptr<Pending>> &batch)
+{
+    const std::size_t want = cfg_.maxBatchLanes;
+    if (batch.size() >= want)
+        return;
+    Clock::time_point deadline = Clock::now();
+    if (cfg_.batchWindowMs > 0.0) {
+        deadline += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                cfg_.batchWindowMs));
+    }
+    const std::uint64_t h = batch.front()->progHash;
+    queue_.extractMatching(
+        [h](const std::unique_ptr<Pending> &q) {
+            return q->batchable && q->progHash == h;
+        },
+        want - batch.size(), batch, deadline);
 }
 
 void
-ServeEngine::serveOne(std::uint32_t idx, Pending p)
+ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
 {
-    Request &req = p.req;
+    Request &req = p->req;
     const bool sessioned = !req.sessionId.empty();
 
     // Take the session turn first: deadline time spent waiting for a
     // predecessor counts against the request, like queue time.
     if (sessioned)
-        sessions_.awaitTurn(req.sessionId, p.sessionSeq);
+        sessions_.awaitTurn(req.sessionId, p->sessionSeq);
 
     Clock::time_point begin = Clock::now();
-    double queue_ms = msBetween(p.enqueuedAt, begin);
+    double queue_ms = msBetween(p->enqueuedAt, begin);
 
     Response resp;
     resp.id = req.id;
@@ -197,13 +320,12 @@ ServeEngine::serveOne(std::uint32_t idx, Pending p)
     resp.worker = idx;
     resp.queueMs = queue_ms;
 
-    if (p.hasDeadline && begin > p.deadline) {
+    if (p->hasDeadline && begin > p->deadline) {
         if (sessioned)
-            sessions_.cancel(req.sessionId, p.sessionSeq);
+            sessions_.cancel(req.sessionId, p->sessionSeq);
         metrics_.noteTimedOut(queue_ms);
         resp.status = RequestStatus::TimedOut;
-        p.promise.set_value(std::move(resp));
-        noteDone();
+        deliverResponse(std::move(p), std::move(resp));
         return;
     }
 
@@ -222,7 +344,7 @@ ServeEngine::serveOne(std::uint32_t idx, Pending p)
     Clock::time_point end = Clock::now();
 
     if (sessioned) {
-        sessions_.complete(req.sessionId, p.sessionSeq,
+        sessions_.complete(req.sessionId, p->sessionSeq,
                            machine.image().flatten());
     }
 
@@ -232,8 +354,85 @@ ServeEngine::serveOne(std::uint32_t idx, Pending p)
     resp.serviceMs = msBetween(begin, end);
     metrics_.noteCompleted(idx, queue_ms, resp.serviceMs,
                            resp.wallTicks);
-    p.promise.set_value(std::move(resp));
-    noteDone();
+    deliverResponse(std::move(p), std::move(resp));
+}
+
+/**
+ * Serve a gulped group as one lane-batched run.  Every member is
+ * stateless and same-program by construction (gatherBatch matched on
+ * progHash over batchable == stateless entries), so one run over
+ * cleared markers is each lane's solo run — per-request results and
+ * wallTicks are bit-identical to the unbatched path.
+ */
+void
+ServeEngine::serveBatch(std::uint32_t idx,
+                        std::vector<std::unique_ptr<Pending>> &batch)
+{
+    Clock::time_point begin = Clock::now();
+
+    // Deadline triage per member (stateless: no session turn to
+    // release).  Expired members leave before the run.
+    std::size_t live = 0;
+    for (auto &p : batch) {
+        if (p->hasDeadline && begin > p->deadline) {
+            double queue_ms = msBetween(p->enqueuedAt, begin);
+            Response resp;
+            resp.id = p->req.id;
+            resp.rngSeed = p->req.rngSeed;
+            resp.worker = idx;
+            resp.queueMs = queue_ms;
+            resp.status = RequestStatus::TimedOut;
+            metrics_.noteTimedOut(queue_ms);
+            deliverResponse(std::move(p), std::move(resp));
+        } else {
+            batch[live++] = std::move(p);
+        }
+    }
+    batch.resize(live);
+    if (batch.empty())
+        return;
+    if (batch.size() == 1) {
+        // Straggler: no partner arrived inside the window.
+        serveOne(idx, std::move(batch.front()));
+        batch.clear();
+        return;
+    }
+
+    const std::uint32_t lanes =
+        static_cast<std::uint32_t>(batch.size());
+    SnapMachine &machine = *machines_.at(idx);
+    machine.image().resetMarkers();
+    BatchRunResult run =
+        machine.runBatch(batch.front()->req.prog, lanes);
+    Clock::time_point end = Clock::now();
+    double service_ms = msBetween(begin, end);
+
+    metrics_.noteBatch(lanes);
+    for (std::uint32_t i = 0; i < lanes; ++i) {
+        std::unique_ptr<Pending> p = std::move(batch[i]);
+        Response resp;
+        resp.id = p->req.id;
+        resp.rngSeed = p->req.rngSeed;
+        resp.worker = idx;
+        resp.queueMs = msBetween(p->enqueuedAt, begin);
+        resp.status = RequestStatus::Ok;
+        if (i + 1 < lanes)
+            resp.results = run.results;
+        else
+            resp.results = std::move(run.results);
+        resp.wallTicks = run.wallTicks;
+        resp.serviceMs = service_ms;
+        resp.batchLanes = lanes;
+        // Request-facing metrics take the full batch cost; the
+        // worker's busy share divides it, and the simulated run is
+        // billed to the farm once (first lane), so utilization and
+        // the sim makespan show the amortization.
+        metrics_.noteCompletedShared(
+            idx, resp.queueMs, service_ms, service_ms / lanes,
+            run.wallTicks, i == 0 ? run.wallTicks : 0);
+        deliverResponse(std::move(p), std::move(resp));
+    }
+    batch.clear();
 }
 
 void

@@ -25,6 +25,15 @@
  *  - every request carries a deterministic seed (requestSeed) echoed
  *    in its response.
  *
+ * Lane batching (ServeConfig::maxBatchLanes > 1): a worker that pops
+ * a stateless request gulps queued stateless requests with the same
+ * Program::contentHash (waiting up to batchWindowMs for more) and
+ * serves the whole group as one lane-batched traversal.  Because the
+ * lanes are same-program over cleared state, each one's results and
+ * simulated wallTicks are bit-identical to its solo run — batching
+ * changes host cost only, never answers.  Stragglers that find no
+ * partner fall back to the solo path.
+ *
  * Non-goals in this layer: running programs with structural KB edits
  * (CREATE/DELETE) outside a session is undefined — edits would make
  * one replica diverge from the others.  Programs are assumed
@@ -65,6 +74,21 @@ struct ServeConfig
     /** Default queue-wait deadline (host ms); 0 = none. */
     double defaultTimeoutMs = 0.0;
     /**
+     * Lane-batch former: a worker that pops a stateless request may
+     * gulp up to this many queued stateless requests with the same
+     * Program::contentHash and serve them as one lane-batched
+     * traversal (SnapMachine::runBatch) — identical per-request
+     * results and simulated wallTicks, one simulated run's host cost.
+     * 1 disables batching; capped at 64 (the lane-packed word width).
+     */
+    std::uint32_t maxBatchLanes = 1;
+    /**
+     * Host milliseconds a worker holding a partial batch waits for
+     * more same-program arrivals before serving what it has.
+     * 0 = batch only what is already queued (never wait).
+     */
+    double batchWindowMs = 0.0;
+    /**
      * Construct workers idle: requests only queue until start() is
      * called.  Gives tests and the load generator a deterministic
      * enqueue-then-serve boundary.
@@ -100,6 +124,16 @@ class ServeEngine
      */
     std::future<Response> submit(Request req);
 
+    /**
+     * Allocation-free admission: like submit(Request) but the
+     * response is delivered into caller-owned @p slot instead of a
+     * freshly allocated promise/future pair.  With a warm pending
+     * pool, the whole admission path performs no heap allocation
+     * (asserted by the host-perf harness).  @p slot must outlive the
+     * request and serve one request at a time.
+     */
+    void submit(Request req, ResponseSlot &slot);
+
     /** Launch the workers of a startPaused engine (idempotent). */
     void start();
 
@@ -128,14 +162,30 @@ class ServeEngine
     {
         Request req;
         std::promise<Response> promise;
+        /** Non-null: deliver through the slot, not the promise. */
+        ResponseSlot *slot = nullptr;
         Clock::time_point enqueuedAt;
         Clock::time_point deadline;
         bool hasDeadline = false;
         std::uint64_t sessionSeq = 0;
+        /** Stateless and batching enabled: a gulp candidate. */
+        bool batchable = false;
+        /** Program::contentHash, hoisted to admission (stateless
+         *  only) — workers group on it without touching the queue's
+         *  programs. */
+        std::uint64_t progHash = 0;
     };
 
     void workerMain(std::uint32_t idx);
-    void serveOne(std::uint32_t idx, Pending p);
+    void serveOne(std::uint32_t idx, std::unique_ptr<Pending> p);
+    void gatherBatch(std::vector<std::unique_ptr<Pending>> &batch);
+    void serveBatch(std::uint32_t idx,
+                    std::vector<std::unique_ptr<Pending>> &batch);
+    bool admit(Request &&req, std::unique_ptr<Pending> &pending,
+               Response &early);
+    void deliverResponse(std::unique_ptr<Pending> p, Response &&resp);
+    std::unique_ptr<Pending> acquirePending();
+    void releasePending(std::unique_ptr<Pending> p);
     void noteDone();
     std::uint64_t outstandingCount() const;
 
@@ -153,6 +203,11 @@ class ServeEngine
      *  order. */
     std::mutex admitMu_;
     std::uint64_t nextId_ = 0;
+
+    /** Pending-record pool: admissions reuse retired records (and
+     *  their Request buffers) instead of allocating. */
+    std::mutex poolMu_;
+    std::vector<std::unique_ptr<Pending>> pool_;
 
     /** drain() bookkeeping: admitted-but-unanswered requests. */
     mutable std::mutex doneMu_;

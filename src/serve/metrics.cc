@@ -37,6 +37,10 @@ metricsJson(const MetricsSnapshot &s)
     os << "  \"completed\": " << s.completed << ",\n";
     os << "  \"rejected\": " << s.rejected << ",\n";
     os << "  \"timed_out\": " << s.timedOut << ",\n";
+    os << "  \"batching\": {\"batches\": " << s.batches
+       << ", \"batched_requests\": " << s.batchedRequests
+       << ", \"mean_lanes\": "
+       << formatString("%.6g", s.batchLanes.mean()) << "},\n";
     os << "  \"queue\": {\"depth\": " << s.queueDepth
        << ", \"high_water\": " << s.queueHighWater
        << ", \"capacity\": " << s.queueCapacity << "},\n";
@@ -51,6 +55,8 @@ metricsJson(const MetricsSnapshot &s)
     histJson(os, "total_ms", s.totalMs, "  ");
     os << ",\n";
     histJson(os, "sim_us", s.simUs, "  ");
+    os << ",\n";
+    histJson(os, "batch_lanes", s.batchLanes, "  ");
     os << ",\n";
     os << "  \"sim_makespan_us\": "
        << formatString("%.6g", ticksToUs(s.simMakespanTicks()))

@@ -49,6 +49,11 @@ struct MetricsSnapshot
     std::uint64_t rejected = 0;
     std::uint64_t timedOut = 0;
 
+    /** Lane batches served (>= 2 lanes; solo runs are not batches). */
+    std::uint64_t batches = 0;
+    /** Requests that were served inside those batches. */
+    std::uint64_t batchedRequests = 0;
+
     std::size_t queueDepth = 0;
     std::size_t queueHighWater = 0;
     std::size_t queueCapacity = 0;
@@ -60,6 +65,8 @@ struct MetricsSnapshot
     Histogram serviceMs;
     Histogram totalMs;
     Histogram simUs;
+    /** Occupancy (lanes filled) per lane batch. */
+    Histogram batchLanes;
 
     std::vector<WorkerStats> workers;
 
@@ -123,6 +130,23 @@ class ServeMetrics
     noteCompleted(std::uint32_t worker, double queue_ms,
                   double service_ms, Tick sim_ticks)
     {
+        noteCompletedShared(worker, queue_ms, service_ms, service_ms,
+                            sim_ticks, sim_ticks);
+    }
+
+    /**
+     * Completion of one request served inside a lane batch.  The
+     * request-facing histograms record the full batch cost (that is
+     * what the request experienced); the worker's busy tallies take
+     * only this request's *share*, so utilization and the simulated
+     * makespan reflect the amortization instead of double-counting
+     * the shared run once per lane.
+     */
+    void
+    noteCompletedShared(std::uint32_t worker, double queue_ms,
+                        double service_ms, double busy_share_ms,
+                        Tick sim_ticks, Tick sim_share_ticks)
+    {
         std::lock_guard<std::mutex> lock(mu_);
         ++completed_;
         queueWaitMs_.record(queue_ms);
@@ -131,8 +155,18 @@ class ServeMetrics
         simUs_.record(ticksToUs(sim_ticks));
         WorkerStats &w = workers_.at(worker);
         ++w.served;
-        w.busyTicks += sim_ticks;
-        w.busyMs += service_ms;
+        w.busyTicks += sim_share_ticks;
+        w.busyMs += busy_share_ms;
+    }
+
+    /** One lane batch was formed and served with @p lanes lanes. */
+    void
+    noteBatch(std::uint32_t lanes)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++batches_;
+        batchedRequests_ += lanes;
+        batchLanes_.record(static_cast<double>(lanes));
     }
 
     /** Copy everything out; queue gauges and uptime are supplied by
@@ -147,6 +181,8 @@ class ServeMetrics
         s.completed = completed_;
         s.rejected = rejected_;
         s.timedOut = timedOut_;
+        s.batches = batches_;
+        s.batchedRequests = batchedRequests_;
         s.queueDepth = queue_depth;
         s.queueHighWater = queue_high_water;
         s.queueCapacity = queue_capacity;
@@ -155,6 +191,7 @@ class ServeMetrics
         s.serviceMs = serviceMs_;
         s.totalMs = totalMs_;
         s.simUs = simUs_;
+        s.batchLanes = batchLanes_;
         s.workers = workers_;
         return s;
     }
@@ -165,10 +202,13 @@ class ServeMetrics
     std::uint64_t completed_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t timedOut_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchedRequests_ = 0;
     Histogram queueWaitMs_;
     Histogram serviceMs_;
     Histogram totalMs_;
     Histogram simUs_;
+    Histogram batchLanes_;
     std::vector<WorkerStats> workers_;
 };
 

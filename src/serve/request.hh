@@ -14,9 +14,12 @@
 #ifndef SNAP_SERVE_REQUEST_HH
 #define SNAP_SERVE_REQUEST_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 #include "runtime/results.hh"
@@ -91,8 +94,76 @@ struct Response
     double serviceMs = 0.0;
     /** Worker replica that served the request. */
     std::uint32_t worker = 0;
+    /** Lanes in the batch this request was served in (1 = solo). */
+    std::uint32_t batchLanes = 1;
 
     double wallUs() const { return ticksToUs(wallTicks); }
+};
+
+/**
+ * In-place completion slot: the zero-allocation alternative to the
+ * future returned by ServeEngine::submit(Request).
+ *
+ * std::promise allocates its shared state on every submission; a
+ * caller that instead owns a ResponseSlot (stack or pre-allocated
+ * pool) and submits via submit(req, slot) keeps the whole admission
+ * path allocation-free — the property the host-perf harness asserts.
+ *
+ * One outstanding request per slot: submit() arms it, deliver() (the
+ * engine) publishes the response, wait() blocks for and consumes it.
+ * Reusable for the next request after wait() returns.
+ */
+class ResponseSlot
+{
+  public:
+    ResponseSlot() = default;
+    ResponseSlot(const ResponseSlot &) = delete;
+    ResponseSlot &operator=(const ResponseSlot &) = delete;
+
+    /** Arm for one request (engine calls this at submission). */
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ready_ = false;
+    }
+
+    /** Publish the response and wake the waiter. */
+    void
+    deliver(Response &&resp)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            snap_assert(!ready_, "ResponseSlot delivered twice");
+            resp_ = std::move(resp);
+            ready_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Block until delivered; consumes the response (the slot can be
+     *  reused for the next submission afterwards). */
+    Response
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return ready_; });
+        ready_ = false;
+        return std::move(resp_);
+    }
+
+    bool
+    ready() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return ready_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool ready_ = false;
+    Response resp_;
 };
 
 } // namespace serve

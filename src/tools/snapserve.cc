@@ -7,6 +7,9 @@
  *     --workers N           worker replicas (default 2)
  *     --queue N             admission queue capacity (default 256)
  *     --timeout-ms X        default per-request queue deadline
+ *     --batch-lanes N       lane-batch up to N same-program stateless
+ *                           queries per simulated run (default 1)
+ *     --batch-window X      host ms to wait filling a batch
  *     --clusters N          replica array size (1..32, default 16)
  *     --partition seq|rr|sem  allocation strategy (default sem)
  *     --relax-capacity      lift the 1024-nodes-per-cluster limit
@@ -59,6 +62,9 @@ usage()
         "  --queue N              admission queue capacity "
         "(default 256)\n"
         "  --timeout-ms X         default queue deadline, host ms\n"
+        "  --batch-lanes N        lane-batch same-program queries "
+        "(1..64)\n"
+        "  --batch-window X       host ms to wait filling a batch\n"
         "  --clusters N           replica array size (1..32)\n"
         "  --partition seq|rr|sem allocation (default sem)\n"
         "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
@@ -163,6 +169,16 @@ main(int argc, char **argv)
             if (!parseDouble(next(), x) || x < 0)
                 snap_fatal("--timeout-ms must be >= 0");
             cfg.defaultTimeoutMs = x;
+        } else if (arg == "--batch-lanes") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 64)
+                snap_fatal("--batch-lanes must be 1..64");
+            cfg.maxBatchLanes = static_cast<std::uint32_t>(n);
+        } else if (arg == "--batch-window") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                snap_fatal("--batch-window must be >= 0");
+            cfg.batchWindowMs = x;
         } else if (arg == "--clusters") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 32)
@@ -243,10 +259,11 @@ main(int argc, char **argv)
                                ? std::string("query")
                                : "session " + s.sessionId;
         std::printf("request #%zu (%s): %s, worker %u, sim "
-                    "%.1f us, queue %.3f ms\n",
+                    "%.1f us, queue %.3f ms, lanes %u\n",
                     i, kind.c_str(),
                     serve::requestStatusName(resp.status),
-                    resp.worker, resp.wallUs(), resp.queueMs);
+                    resp.worker, resp.wallUs(), resp.queueMs,
+                    resp.batchLanes);
         if (quiet || resp.status != serve::RequestStatus::Ok)
             continue;
         int idx = 0;
@@ -280,6 +297,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(m.timedOut),
                 m.throughputQps(),
                 ticksToUs(m.simMakespanTicks()));
+    if (m.batches > 0) {
+        std::printf("lane batches: %llu served %llu requests "
+                    "(mean %.2f lanes)\n",
+                    static_cast<unsigned long long>(m.batches),
+                    static_cast<unsigned long long>(
+                        m.batchedRequests),
+                    m.batchLanes.mean());
+    }
 
     if (!metrics_path.empty()) {
         std::ofstream os(metrics_path);

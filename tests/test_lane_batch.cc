@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Lane-batched execution tests.
+ *
+ * Three layers, mirroring the batching stack:
+ *  - MultiBitVector: the lane-packed bit matrix (transpose of
+ *    BitVector) — lane widths that are not multiples of 64, word-seam
+ *    cases mirroring the BitVector seam tests, insert/extract
+ *    round-trips, and the whole-plane kernels;
+ *  - LaneMarkerStore + propagateFunctionalBatch: batched reference
+ *    propagation must reproduce every lane's solo run bit-for-bit —
+ *    marker state AND PropagationStats — fuzzed over random KBs,
+ *    rules, marker functions, and heterogeneous per-lane sources;
+ *  - SnapMachine::runBatch: per-lane results and simulated wallTicks
+ *    bit-identical to a fresh solo machine at every lane count in
+ *    {1, 2, 7, 8, 33, 64} (the issue's acceptance pin).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/machine.hh"
+#include "common/multibitvector.hh"
+#include "common/rng.hh"
+#include "runtime/lane_store.hh"
+#include "runtime/propagate.hh"
+#include "tests/test_helpers.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+// --- MultiBitVector ----------------------------------------------------
+
+TEST(MultiBitVector, StartsEmptyAtOddGeometry)
+{
+    for (std::uint32_t lanes : {1u, 2u, 7u, 33u, 64u}) {
+        MultiBitVector mv(70, lanes);
+        EXPECT_EQ(mv.size(), 70u);
+        EXPECT_EQ(mv.numLanes(), lanes);
+        EXPECT_TRUE(mv.none());
+        EXPECT_EQ(mv.count(), 0u);
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            EXPECT_EQ(mv.countLane(l), 0u);
+    }
+}
+
+TEST(MultiBitVector, LaneMaskCoversExactlyTheLanes)
+{
+    EXPECT_EQ(MultiBitVector(8, 1).laneMask(), 0x1u);
+    EXPECT_EQ(MultiBitVector(8, 7).laneMask(), 0x7fu);
+    EXPECT_EQ(MultiBitVector(8, 33).laneMask(),
+              (std::uint64_t{1} << 33) - 1);
+    EXPECT_EQ(MultiBitVector(8, 64).laneMask(), ~std::uint64_t{0});
+}
+
+TEST(MultiBitVector, SetTestClearPerLane)
+{
+    MultiBitVector mv(100, 7);
+    mv.set(5, 0);
+    mv.set(5, 6);
+    mv.set(99, 3);
+    EXPECT_TRUE(mv.test(5, 0));
+    EXPECT_FALSE(mv.test(5, 1));
+    EXPECT_TRUE(mv.test(5, 6));
+    EXPECT_TRUE(mv.test(99, 3));
+    EXPECT_EQ(mv.lanes(5), 0x41u);
+    EXPECT_EQ(mv.count(), 3u);
+    EXPECT_EQ(mv.countLane(6), 1u);
+    mv.clear(5, 6);
+    EXPECT_FALSE(mv.test(5, 6));
+    EXPECT_EQ(mv.lanes(5), 0x1u);
+}
+
+TEST(MultiBitVector, SetLanesMasksTailLanes)
+{
+    // 7 lanes: bits 7..63 of a lane word are tail and must stay
+    // clear, the lane analogue of BitVector's tail-bit masking.
+    MultiBitVector mv(10, 7);
+    mv.setLanes(4, ~std::uint64_t{0});
+    EXPECT_EQ(mv.lanes(4), 0x7fu);
+    EXPECT_EQ(mv.count(), 7u);
+    mv.orLanes(4, std::uint64_t{1} << 63);
+    EXPECT_EQ(mv.lanes(4), 0x7fu) << "orLanes must mask tail lanes";
+}
+
+TEST(MultiBitVector, ExtractLaneCrossesWordSeams)
+{
+    // Positions straddling every 64-bit boundary of the extracted
+    // BitVector's packing, mirroring BitVector's seam tests.
+    MultiBitVector mv(256, 3);
+    for (std::uint32_t seam : {64u, 128u, 192u}) {
+        mv.set(seam - 1, 1);
+        mv.set(seam, 1);
+    }
+    mv.set(0, 1);
+    mv.set(255, 1);
+    BitVector lane1 = mv.extractLane(1);
+    EXPECT_EQ(lane1.count(), 8u);
+    for (std::uint32_t i : {0u, 63u, 64u, 127u, 128u, 191u, 192u,
+                            255u})
+        EXPECT_TRUE(lane1.test(i)) << "bit " << i;
+    EXPECT_TRUE(mv.extractLane(0).none());
+    EXPECT_TRUE(mv.extractLane(2).none());
+}
+
+TEST(MultiBitVector, InsertExtractRoundTripFuzz)
+{
+    Rng rng(0xba7c4);
+    for (std::uint32_t bits : {1u, 63u, 64u, 65u, 200u}) {
+        for (std::uint32_t lanes : {1u, 2u, 7u, 33u, 64u}) {
+            MultiBitVector mv(bits, lanes);
+            std::vector<BitVector> ref;
+            for (std::uint32_t l = 0; l < lanes; ++l) {
+                BitVector bv(bits);
+                for (std::uint32_t i = 0; i < bits; ++i)
+                    if (rng.chance(0.3))
+                        bv.set(i);
+                mv.insertLane(l, bv);
+                ref.push_back(std::move(bv));
+            }
+            // Re-insert lane 0 with fresh content: the overwrite
+            // must not disturb neighbours.
+            BitVector bv0(bits);
+            for (std::uint32_t i = 0; i < bits; ++i)
+                if (rng.chance(0.5))
+                    bv0.set(i);
+            mv.insertLane(0, bv0);
+            ref[0] = bv0;
+
+            std::uint64_t total = 0;
+            for (std::uint32_t l = 0; l < lanes; ++l) {
+                BitVector got = mv.extractLane(l);
+                ASSERT_EQ(got.size(), ref[l].size());
+                for (std::uint32_t i = 0; i < bits; ++i)
+                    ASSERT_EQ(got.test(i), ref[l].test(i))
+                        << "bits=" << bits << " lane=" << l
+                        << " bit=" << i;
+                EXPECT_EQ(mv.countLane(l), ref[l].count());
+                total += ref[l].count();
+            }
+            EXPECT_EQ(mv.count(), total);
+        }
+    }
+}
+
+TEST(MultiBitVector, WholePlaneKernelsMatchPerLaneOps)
+{
+    Rng rng(0x5ea1);
+    const std::uint32_t bits = 130, lanes = 33;
+    MultiBitVector a(bits, lanes), b(bits, lanes);
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        a.setLanes(i, rng.next());
+        b.setLanes(i, rng.next());
+    }
+    MultiBitVector or_ab = a, and_ab = a, andnot_ab = a;
+    or_ab.orWith(b);
+    and_ab.andWith(b);
+    andnot_ab.andNotWith(b);
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        EXPECT_EQ(or_ab.lanes(i), a.lanes(i) | b.lanes(i));
+        EXPECT_EQ(and_ab.lanes(i), a.lanes(i) & b.lanes(i));
+        EXPECT_EQ(andnot_ab.lanes(i), a.lanes(i) & ~b.lanes(i));
+    }
+    or_ab.clearAll();
+    EXPECT_TRUE(or_ab.none());
+}
+
+TEST(MultiBitVector, BroadcastStampsEveryLane)
+{
+    MultiBitVector mv(130, 7);
+    BitVector bv(130);
+    bv.set(0);
+    bv.set(64);
+    bv.set(129);
+    mv.set(5, 3);  // must be overwritten by the stamp
+    mv.broadcast(bv);
+    for (std::uint32_t i = 0; i < 130; ++i)
+        EXPECT_EQ(mv.lanes(i), bv.test(i) ? 0x7fu : 0u) << i;
+}
+
+TEST(MultiBitVector, ForEachActiveAscendingSharedFrontier)
+{
+    MultiBitVector mv(200, 2);
+    mv.set(7, 0);
+    mv.set(7, 1);
+    mv.set(64, 1);
+    mv.set(199, 0);
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> seen;
+    mv.forEachActive([&](std::uint32_t i, std::uint64_t mask) {
+        seen.emplace_back(i, mask);
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], std::make_pair(7u, std::uint64_t{3}));
+    EXPECT_EQ(seen[1], std::make_pair(64u, std::uint64_t{2}));
+    EXPECT_EQ(seen[2], std::make_pair(199u, std::uint64_t{1}));
+}
+
+// --- LaneMarkerStore ---------------------------------------------------
+
+TEST(LaneMarkerStore, InsertExtractRoundTripWithValues)
+{
+    const std::uint32_t n = 90, lanes = 7;
+    Rng rng(0x1a9e5);
+    std::vector<MarkerStore> solo;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        MarkerStore s(n);
+        for (int k = 0; k < 25; ++k) {
+            auto m = static_cast<MarkerId>(
+                rng.chance(0.5) ? rng.below(4) : 64 + rng.below(4));
+            auto node = static_cast<NodeId>(rng.below(n));
+            s.set(m, node, static_cast<float>(rng.uniform(0, 5)),
+                  static_cast<NodeId>(rng.below(n)));
+        }
+        solo.push_back(std::move(s));
+    }
+
+    LaneMarkerStore batch(n, lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        batch.insertLane(l, solo[l]);
+
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        MarkerStore got = batch.extractLane(l);
+        for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+            auto mid = static_cast<MarkerId>(m);
+            for (NodeId node = 0; node < n; ++node) {
+                ASSERT_EQ(got.test(mid, node),
+                          solo[l].test(mid, node))
+                    << "lane " << l << " m" << m << " node " << node;
+                if (got.test(mid, node) && isComplexMarker(mid)) {
+                    EXPECT_EQ(got.value(mid, node),
+                              solo[l].value(mid, node));
+                    EXPECT_EQ(got.origin(mid, node),
+                              solo[l].origin(mid, node));
+                }
+            }
+        }
+    }
+}
+
+// --- batched reference propagation vs solo golden ----------------------
+
+void
+expectSameStats(const PropagationStats &a, const PropagationStats &b,
+                std::uint32_t lane)
+{
+    EXPECT_EQ(a.sources, b.sources) << "lane " << lane;
+    EXPECT_EQ(a.nodesMarked, b.nodesMarked) << "lane " << lane;
+    EXPECT_EQ(a.linksScanned, b.linksScanned) << "lane " << lane;
+    EXPECT_EQ(a.traversals, b.traversals) << "lane " << lane;
+    EXPECT_EQ(a.maxDepth, b.maxDepth) << "lane " << lane;
+    EXPECT_EQ(a.levelExpansions, b.levelExpansions) << "lane " << lane;
+}
+
+class BatchedPropagation
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BatchedPropagation, EveryLaneMatchesItsSoloRun)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    SemanticNetwork net = makeRandomKb(120, 3.0, 2, seed);
+    RelationType r0 = net.relationId("r0");
+    RelationType r1 = net.relationId("r1");
+
+    PropRule rule;
+    switch (seed % 4) {
+      case 0: rule = PropRule::chain(r0); break;
+      case 1: rule = PropRule::spread(r0, r1); break;
+      case 2: rule = PropRule::seq(r0, r1); break;
+      default: rule = PropRule::comb(r0, r1); break;
+    }
+    rule.maxSteps = (seed % 2 == 0) ? 100 : 2 + seed % 5;
+
+    const MarkerFunc funcs[] = {MarkerFunc::AddWeight,
+                                MarkerFunc::None, MarkerFunc::Count,
+                                MarkerFunc::MaxWeight,
+                                MarkerFunc::MinWeight};
+    MarkerFunc func = funcs[seed % 5];
+
+    const std::uint32_t lane_counts[] = {1, 2, 7, 8, 33};
+    const std::uint32_t lanes = lane_counts[seed % 5];
+
+    // Heterogeneous lanes: each gets its own random source set.
+    std::vector<MarkerStore> solo;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        MarkerStore s(net.numNodes());
+        std::uint32_t nsrc = 1 + rng.below(4);
+        for (std::uint32_t k = 0; k < nsrc; ++k) {
+            auto node =
+                static_cast<NodeId>(rng.below(net.numNodes()));
+            s.set(0, node, static_cast<float>(rng.uniform(0, 3)),
+                  node);
+        }
+        solo.push_back(std::move(s));
+    }
+
+    LaneMarkerStore batch(net.numNodes(), lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        batch.insertLane(l, solo[l]);
+
+    std::vector<PropagationStats> batch_stats =
+        propagateFunctionalBatch(net, batch, 0, 1, rule, func);
+    ASSERT_EQ(batch_stats.size(), lanes);
+
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        PropagationStats solo_stats =
+            propagateFunctional(net, solo[l], 0, 1, rule, func);
+        expectSameStats(batch_stats[l], solo_stats, l);
+
+        MarkerStore got = batch.extractLane(l);
+        for (MarkerId m : {MarkerId{0}, MarkerId{1}}) {
+            for (NodeId n = 0; n < net.numNodes(); ++n) {
+                ASSERT_EQ(got.test(m, n), solo[l].test(m, n))
+                    << "lane " << l << " m" << unsigned(m)
+                    << " node " << n;
+                if (!got.test(m, n))
+                    continue;
+                // Bit-identical, not approximately equal: the batch
+                // performs each lane's merges in the lane's solo
+                // order.
+                EXPECT_EQ(got.value(m, n), solo[l].value(m, n))
+                    << "lane " << l << " node " << n;
+                EXPECT_EQ(got.origin(m, n), solo[l].origin(m, n))
+                    << "lane " << l << " node " << n;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BatchedPropagation,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// --- SnapMachine::runBatch ---------------------------------------------
+
+TEST(MachineBatch, EveryLaneCountMatchesSoloRun)
+{
+    SemanticNetwork net = makeTreeKb(600, 4);
+    RelationType down = net.relationId("includes");
+
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(down));
+    prog.append(Instruction::searchNode(3, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.numClusters = 8;
+    cfg.perfNetEnabled = false;
+
+    SnapMachine solo(cfg);
+    solo.loadKb(net);
+    RunResult ref = solo.run(prog);
+
+    for (std::uint32_t lanes : {1u, 2u, 7u, 8u, 33u, 64u}) {
+        SnapMachine machine(cfg);
+        machine.loadKb(net);
+        BatchRunResult batch = machine.runBatch(prog, lanes);
+        EXPECT_EQ(batch.lanes, lanes);
+        EXPECT_EQ(batch.wallTicks, ref.wallTicks)
+            << "lanes=" << lanes
+            << ": per-lane simulated time must be bit-identical to "
+               "the solo run";
+        test::expectSameResults(batch.results, ref.results);
+        EXPECT_GT(batch.hostEvents, 0u);
+    }
+}
+
+TEST(MachineBatch, HostEventsAmortizeAcrossLanes)
+{
+    SemanticNetwork net = makeTreeKb(600, 4);
+    RelationType down = net.relationId("includes");
+
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(down));
+    prog.append(Instruction::searchNode(3, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+
+    MachineConfig cfg = MachineConfig::paperSetup();
+    cfg.numClusters = 8;
+    cfg.perfNetEnabled = false;
+
+    SnapMachine machine(cfg);
+    machine.loadKb(net);
+    BatchRunResult one = machine.runBatch(prog, 1);
+    machine.image().resetMarkers();
+    BatchRunResult eight = machine.runBatch(prog, 8);
+
+    // The whole batch costs one simulated run's host events, so the
+    // per-lane charge drops ~8x; >= 2x is the CI perf-smoke floor.
+    EXPECT_LE(eight.hostEvents / 8, one.hostEvents / 2)
+        << "batched per-lane host events must be at least 2x "
+           "cheaper than solo";
+}
+
+} // namespace
+} // namespace snap

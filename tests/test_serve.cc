@@ -533,6 +533,285 @@ TEST(ServeEngine, MetricsJsonIsWellFormed)
               std::count(json.begin(), json.end(), ']'));
 }
 
+// --- queue extraction (the batch former's gulp primitive) ---------------
+
+TEST(BoundedQueue, ExtractMatchingPreservesBothFifoOrders)
+{
+    BoundedQueue<int> q(8);
+    for (int v : {1, 10, 2, 20, 3, 30})
+        ASSERT_TRUE(q.tryPush(v));
+
+    std::vector<int> out;
+    std::size_t n = q.extractMatching(
+        [](const int &v) { return v >= 10; }, 2, out,
+        std::chrono::steady_clock::now());  // past deadline: no wait
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(out, (std::vector<int>{10, 20}));
+
+    // Survivors keep FIFO order, including the unmatched 30 (the
+    // limit was hit first).
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.pop().value(), 30);
+    EXPECT_EQ(q.depth(), 0u);
+
+    // The freed slots are reusable (ring compaction intact).
+    for (int v = 100; v < 108; ++v)
+        EXPECT_TRUE(q.tryPush(v));
+    EXPECT_FALSE(q.tryPush(200));
+    for (int v = 100; v < 108; ++v)
+        EXPECT_EQ(q.pop().value(), v);
+}
+
+TEST(BoundedQueue, ExtractMatchingWaitsForLatePartners)
+{
+    BoundedQueue<int> q(8);
+    ASSERT_TRUE(q.tryPush(5));
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        q.tryPush(6);
+        q.tryPush(7);
+    });
+    std::vector<int> out;
+    std::size_t n = q.extractMatching(
+        [](const int &v) { return v >= 6; }, 2, out,
+        std::chrono::steady_clock::now() +
+            std::chrono::seconds(10));
+    producer.join();
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(out, (std::vector<int>{6, 7}));
+    EXPECT_EQ(q.pop().value(), 5);
+}
+
+TEST(BoundedQueue, ExtractMatchingUnblocksOnClose)
+{
+    BoundedQueue<int> q(4);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        q.close();
+    });
+    std::vector<int> out;
+    std::size_t n = q.extractMatching(
+        [](const int &) { return true; }, 4, out,
+        std::chrono::steady_clock::now() +
+            std::chrono::seconds(60));
+    closer.join();
+    EXPECT_EQ(n, 0u);
+}
+
+// --- lane batching ------------------------------------------------------
+
+TEST(ServeEngine, BatchedAnswersMatchSoloBitForBit)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    Program prog = countQuery(0, inc, 0.0f);
+
+    // Solo reference.
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine direct(mcfg);
+    direct.loadKb(net);
+    RunResult ref = direct.run(prog);
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.startPaused = true;  // everything queues, then one gulp
+    cfg.maxBatchLanes = 8;
+    ServeEngine engine(net, cfg);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 8; ++i) {
+        Request req;
+        req.prog = prog;
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.start();
+    for (auto &f : futures) {
+        Response resp = f.get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        EXPECT_EQ(resp.batchLanes, 8u);
+        EXPECT_EQ(resp.wallTicks, ref.wallTicks)
+            << "batching must not change simulated time";
+        test::expectSameResults(resp.results, ref.results);
+    }
+
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.completed, 8u);
+    EXPECT_EQ(m.batches, 1u);
+    EXPECT_EQ(m.batchedRequests, 8u);
+    EXPECT_DOUBLE_EQ(m.batchLanes.mean(), 8.0);
+}
+
+TEST(ServeEngine, BatchFormerGroupsByProgramHash)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    RelationType isa = net.relationId("is-a");
+    Program down = countQuery(0, inc, 0.0f);
+    Program up = countQuery(77, isa, 0.0f);
+
+    EXPECT_EQ(down.contentHash(), countQuery(0, inc, 0.0f)
+                                      .contentHash());
+    EXPECT_NE(down.contentHash(), up.contentHash());
+
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine direct(mcfg);
+    direct.loadKb(net);
+    RunResult ref_down = direct.run(down);
+    direct.image().resetMarkers();
+    RunResult ref_up = direct.run(up);
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.startPaused = true;
+    cfg.maxBatchLanes = 64;
+    ServeEngine engine(net, cfg);
+
+    // Interleave the two programs: the former must split them into
+    // two same-hash batches, never mix lanes across programs.
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 10; ++i) {
+        Request req;
+        req.prog = (i % 2 == 0) ? down : up;
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.start();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        Response resp = futures[i].get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        EXPECT_EQ(resp.batchLanes, 5u);
+        const RunResult &ref = (i % 2 == 0) ? ref_down : ref_up;
+        EXPECT_EQ(resp.wallTicks, ref.wallTicks) << "query " << i;
+        test::expectSameResults(resp.results, ref.results);
+    }
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.batches, 2u);
+    EXPECT_EQ(m.batchedRequests, 10u);
+}
+
+TEST(ServeEngine, StragglerFallsBackToSoloPath)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.startPaused = true;
+    cfg.maxBatchLanes = 8;  // window 0: gulp only what is queued
+    ServeEngine engine(net, cfg);
+
+    Request req;
+    req.prog = countQuery(0, inc, 0.0f);
+    auto fut = engine.submit(std::move(req));
+    engine.start();
+    Response resp = fut.get();
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    EXPECT_EQ(resp.batchLanes, 1u) << "no partner: solo service";
+
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.completed, 1u);
+    EXPECT_EQ(m.batches, 0u) << "a solo run is not a batch";
+}
+
+TEST(ServeEngine, SessionsNeverBatch)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+
+    ServeConfig cfg = smallEngineConfig(2);
+    cfg.startPaused = true;
+    cfg.maxBatchLanes = 8;
+    ServeEngine engine(net, cfg);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.sessionId = "s1";
+        req.prog = countQuery(0, inc, 0.0f);
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.start();
+    for (auto &f : futures) {
+        Response resp = f.get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        EXPECT_EQ(resp.batchLanes, 1u)
+            << "session requests carry state and must run solo";
+    }
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.batches, 0u);
+}
+
+TEST(ServeEngine, BatchWindowCollectsLateArrivals)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    Program prog = countQuery(0, inc, 0.0f);
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.maxBatchLanes = 4;
+    cfg.batchWindowMs = 2000.0;  // worker waits for partners
+    ServeEngine engine(net, cfg);
+
+    // Engine running: the worker pops the first request, then parks
+    // in the window until the remaining lanes (or the cap) arrive.
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.prog = prog;
+        futures.push_back(engine.submit(std::move(req)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::uint64_t total_lanes = 0;
+    for (auto &f : futures) {
+        Response resp = f.get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        total_lanes += resp.batchLanes;
+    }
+    // Timing-dependent split, but the window must have merged at
+    // least once (4 solo runs would sum to 4).
+    EXPECT_GT(total_lanes, 4u) << "window formed no batch at all";
+}
+
+TEST(ServeEngine, ResponseSlotPathMatchesFuturePath)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    Program prog = countQuery(0, inc, 0.0f);
+
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine direct(mcfg);
+    direct.loadKb(net);
+    RunResult ref = direct.run(prog);
+
+    ServeConfig cfg = smallEngineConfig(2);
+    ServeEngine engine(net, cfg);
+
+    serve::ResponseSlot slot;
+    for (int round = 0; round < 3; ++round) {  // slot is reusable
+        Request req;
+        req.prog = prog;
+        engine.submit(std::move(req), slot);
+        Response resp = slot.wait();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        EXPECT_EQ(resp.wallTicks, ref.wallTicks);
+        test::expectSameResults(resp.results, ref.results);
+    }
+
+    // Rejection is delivered through the slot too.
+    ServeConfig tiny = smallEngineConfig(1);
+    tiny.startPaused = true;
+    tiny.queueCapacity = 1;
+    ServeEngine full(net, tiny);
+    serve::ResponseSlot s1, s2;
+    Request r1, r2;
+    r1.prog = prog;
+    r2.prog = prog;
+    full.submit(std::move(r1), s1);
+    full.submit(std::move(r2), s2);
+    Response rejected = s2.wait();
+    EXPECT_EQ(rejected.status, RequestStatus::Rejected);
+    full.start();
+    EXPECT_EQ(s1.wait().status, RequestStatus::Ok);
+}
+
 TEST(RequestSeed, DeterministicAndSpread)
 {
     EXPECT_EQ(serve::requestSeed(1, 0), serve::requestSeed(1, 0));
