@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Fault-tolerance sweep of the serving engine: availability and tail
+ * latency vs injected ICN message-fault rate.
+ *
+ *   fault_tolerance [num_queries]   (default 120; writes
+ *                                    BENCH_faults.json)
+ *
+ * Builds one 600-node concept hierarchy and a deterministic mix of
+ * downward (`includes`) and upward (`is-a`) marker-propagation
+ * queries, then drains the same mix through a 4-replica ServeEngine
+ * at increasing fault rates (0 .. 2% per ICN message, the canonical
+ * 40/40/20 drop/corrupt/delay split).  Every Ok answer is compared
+ * against the query's fault-free reference results.
+ *
+ * Gates (the robustness contract, enforced in CI):
+ *  - zero wrong answers escape detection across the whole sweep —
+ *    a response is either Ok-and-correct or typed Failed;
+ *  - at the 1% rate faults are actually injected (the sweep is not
+ *    vacuous) and >= 99% of fault-touched requests eventually
+ *    succeed within the retry budget;
+ *  - the zero-rate row serves everything cleanly (fault machinery
+ *    armed at rate 0 is free).
+ *
+ * Start nodes for downward queries are drawn from depth >= 2 of the
+ * hierarchy: serving SLOs are per-request, and a root query's
+ * traversal crosses the ICN hundreds of times, so at a per-message
+ * fault rate its per-attempt clean probability vanishes — no retry
+ * budget can save it.  That is a workload property, not an engine
+ * one (see docs/faults.md).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "fault/fault_plan.hh"
+#include "serve/engine.hh"
+#include "workload/kb_gen.hh"
+
+using namespace snap;
+
+namespace
+{
+
+constexpr std::uint64_t kBaseSeed = 0xfa017;
+/** One worker on purpose: with a single replica the pop order is
+ *  FIFO and one seeded stream serves every attempt, so every number
+ *  in BENCH_faults.json except the host-time percentile is
+ *  bit-reproducible across runs (CI compares two runs).  More
+ *  workers shift requests between per-worker fault streams at the
+ *  host scheduler's whim — the correctness gates still hold, but the
+ *  tallies stop being byte-stable. */
+constexpr std::uint32_t kWorkers = 1;
+constexpr std::uint32_t kRetries = 16;
+
+Program
+makeQuery(std::uint64_t i, const SemanticNetwork &net,
+          RelationType down, RelationType up)
+{
+    Rng rng(serve::requestSeed(kBaseSeed, i));
+    bool downward = rng.chance(0.5);
+    // Downward propagation floods the start node's whole subtree;
+    // keep start nodes at depth >= 2 (id >= 5 in makeTreeKb's
+    // breadth-first numbering) so one query's ICN exposure stays
+    // bounded.  Upward chains are depth-bounded from anywhere.
+    NodeId lo = downward ? 5 : 1;
+    auto start = static_cast<NodeId>(
+        lo + rng.below(net.numNodes() - lo));
+
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(downward ? down : up));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+struct SweepRow
+{
+    double rate = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t wrongAnswers = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t quarantines = 0;
+    double availability = 0.0;
+    /** Of the requests that hit >= 1 injected fault, the fraction
+     *  that still ended Ok within the retry budget. */
+    double faultedSuccess = 1.0;
+    double p99TotalMs = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t num_queries = 120;
+    if (argc > 1) {
+        long long n;
+        if (!parseInt(argv[1], n) || n < 1)
+            snap_fatal("usage: fault_tolerance [num_queries]");
+        num_queries = static_cast<std::uint64_t>(n);
+    }
+
+    bench::banner(
+        "fault_tolerance — availability vs injected fault rate",
+        "deterministic fault injection across the machine model; "
+        "the serving layer detects, retries, and quarantines so "
+        "answers stay correct and availability degrades gracefully");
+
+    SemanticNetwork net = makeTreeKb(600, 4);
+    RelationType down = net.relationId("includes");
+    RelationType up = net.relationId("is-a");
+
+    std::vector<Program> mix;
+    mix.reserve(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i)
+        mix.push_back(makeQuery(i, net, down, up));
+
+    // Fault-free reference answer for every query in the mix.
+    MachineConfig mcfg;
+    mcfg.perfNetEnabled = false;
+    SnapMachine refMachine(mcfg);
+    refMachine.loadKb(net);
+    std::vector<ResultSet> reference;
+    reference.reserve(num_queries);
+    for (const Program &q : mix) {
+        refMachine.image().resetMarkers();
+        reference.push_back(refMachine.run(q).results);
+    }
+    std::printf("query mix: %llu queries over a %u-node hierarchy, "
+                "%u replicas, retry budget %u\n\n",
+                static_cast<unsigned long long>(num_queries),
+                net.numNodes(), kWorkers, kRetries);
+
+    const double rates[] = {0.0, 0.0025, 0.005, 0.01, 0.02};
+    std::vector<SweepRow> rows;
+
+    std::printf("%8s %6s %7s %7s %8s %8s %6s %7s %13s %11s\n",
+                "rate", "ok", "failed", "wrong", "faults", "retries",
+                "quar", "avail", "fault_success", "p99_ms");
+    for (double rate : rates) {
+        serve::ServeConfig cfg;
+        cfg.numWorkers = kWorkers;
+        cfg.queueCapacity = num_queries;
+        cfg.baseSeed = kBaseSeed;
+        cfg.startPaused = true;
+        cfg.maxRetries = kRetries;
+        cfg.quarantineThreshold = 3;
+        cfg.faults = FaultSpec::messageFaults(kBaseSeed, rate);
+
+        serve::ServeEngine engine(net, cfg);
+        std::vector<std::future<serve::Response>> futures;
+        futures.reserve(num_queries);
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            serve::Request req;
+            req.prog = mix[i];
+            futures.push_back(engine.submit(std::move(req)));
+        }
+        engine.start();
+        engine.drain();
+
+        SweepRow row;
+        row.rate = rate;
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            serve::Response resp = futures[i].get();
+            if (resp.status == serve::RequestStatus::Ok) {
+                if (!resultsEquivalent(resp.results, reference[i]))
+                    ++row.wrongAnswers;
+            } else {
+                snap_assert(resp.status ==
+                                serve::RequestStatus::Failed,
+                            "unexpected response status");
+                snap_assert(resp.results.empty(),
+                            "Failed response carries results");
+            }
+        }
+
+        serve::MetricsSnapshot m = engine.metricsSnapshot();
+        row.completed = m.completed;
+        row.failed = m.failed;
+        row.faultsDetected = m.faultsDetected;
+        row.retries = m.retries;
+        row.recovered = m.recovered;
+        row.quarantines = m.quarantines;
+        row.availability = static_cast<double>(m.completed) /
+                           static_cast<double>(num_queries);
+        std::uint64_t touched = m.recovered + m.failed;
+        row.faultedSuccess =
+            touched == 0 ? 1.0
+                         : static_cast<double>(m.recovered) /
+                               static_cast<double>(touched);
+        row.p99TotalMs = m.totalMs.quantile(0.99);
+
+        std::printf("%8.4f %6llu %7llu %7llu %8llu %8llu %6llu "
+                    "%6.1f%% %12.1f%% %11.3f\n",
+                    rate,
+                    static_cast<unsigned long long>(row.completed),
+                    static_cast<unsigned long long>(row.failed),
+                    static_cast<unsigned long long>(
+                        row.wrongAnswers),
+                    static_cast<unsigned long long>(
+                        row.faultsDetected),
+                    static_cast<unsigned long long>(row.retries),
+                    static_cast<unsigned long long>(
+                        row.quarantines),
+                    row.availability * 100.0,
+                    row.faultedSuccess * 100.0, row.p99TotalMs);
+        rows.push_back(row);
+    }
+    std::printf("\n");
+
+    std::uint64_t wrong = 0;
+    for (const SweepRow &r : rows)
+        wrong += r.wrongAnswers;
+    const SweepRow &clean = rows.front();
+    const SweepRow *at1pct = nullptr;
+    for (const SweepRow &r : rows)
+        if (r.rate == 0.01)
+            at1pct = &r;
+    snap_assert(at1pct != nullptr, "no 1%% row in the sweep");
+
+    bench::check("zero wrong answers escaped detection (whole "
+                 "sweep)", wrong == 0);
+    bench::check("rate 0: everything served, zero faults detected",
+                 clean.completed == num_queries &&
+                     clean.failed == 0 &&
+                     clean.faultsDetected == 0);
+    bench::check("rate 1%: faults actually injected",
+                 at1pct->faultsDetected > 0);
+    bench::check("rate 1%: >= 99% of fault-touched requests "
+                 "eventually succeed", at1pct->faultedSuccess >= 0.99);
+
+    std::ofstream os("BENCH_faults.json");
+    os << "{\n  \"num_queries\": " << num_queries << ",\n";
+    os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
+    os << "  \"workers\": " << kWorkers << ",\n";
+    os << "  \"max_retries\": " << kRetries << ",\n";
+    os << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        os << "    {\"rate\": " << formatString("%.4f", r.rate)
+           << ", \"completed\": " << r.completed
+           << ", \"failed\": " << r.failed
+           << ", \"wrong_answers\": " << r.wrongAnswers
+           << ", \"faults_detected\": " << r.faultsDetected
+           << ", \"retries\": " << r.retries
+           << ", \"recovered\": " << r.recovered
+           << ", \"quarantines\": " << r.quarantines
+           << ", \"availability\": "
+           << formatString("%.4f", r.availability)
+           << ", \"fault_request_success\": "
+           << formatString("%.4f", r.faultedSuccess)
+           << ", \"p99_total_ms\": "
+           << formatString("%.3f", r.p99TotalMs) << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote BENCH_faults.json\n");
+
+    return bench::finish();
+}

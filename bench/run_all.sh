@@ -31,6 +31,7 @@ benches=(
     host_perf
     serving
     batch
+    fault_tolerance
     ablation_partition
     ablation_queues
     ablation_machine

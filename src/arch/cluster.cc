@@ -141,6 +141,12 @@ Cluster::noteInstrQueuePop(bool was_full)
 void
 Cluster::kickPu()
 {
+    // A dead cluster's units stop dequeuing work: queued instructions
+    // and pending messages pile up, and the array wedges at the next
+    // barrier or drain — the failure mode the sync-tree watchdog is
+    // there to catch.
+    if (ctx_.faults && ctx_.faults->clusterDead(id_))
+        return;
     if (puBusy_ || puStalled_ || atBarrier_ || instrQueue_.empty())
         return;
     bool was_full = instrQueue_.full();
@@ -251,6 +257,8 @@ Cluster::tryDispatch()
 void
 Cluster::kickMus()
 {
+    if (ctx_.faults && ctx_.faults->clusterDead(id_))
+        return;
     for (std::uint32_t i = 0; i < mus_.size(); ++i)
         tryStartMu(i);
 }
@@ -466,6 +474,10 @@ Cluster::deliverMarker(LocalNodeId dst, MarkerId m2, float value,
     // concurrently through the four-port memory (CREW access).
     Tick hold = cy(t_.muLockCycles);
     Tick grant = arbiter_.acquire(curTick(), hold);
+    // Semaphore fault: this grant fails to release on time, so later
+    // acquires queue behind the stuck hold (timing-only).
+    if (ctx_.faults && ctx_.faults->rollSemStall())
+        arbiter_.stall(curTick(), ctx_.faults->spec().semStallTicks);
     dur += (grant - curTick()) + hold + cy(t_.muLocalDeliverCycles);
 
     MarkerStore &ms = kb_.markers();
@@ -974,6 +986,8 @@ Cluster::finishMu(std::uint32_t i)
 void
 Cluster::kickCu()
 {
+    if (ctx_.faults && ctx_.faults->clusterDead(id_))
+        return;
     if (!cuBusy_)
         cuStep();
 }
@@ -1025,6 +1039,38 @@ Cluster::cuStep()
                                           snapshot));
             }
 
+            // Link-fault injection at the send port.  A dropped
+            // message is silent loss: no sync credit, no delivery —
+            // the propagation quietly loses a subtree (caught by the
+            // integrity shadow) or strands a consumer (caught as a
+            // wedge).  The CU still pays its service slot.
+            FaultPlan *fp = ctx_.faults;
+            Tick fault_delay = 0;
+            if (fp) {
+                if (fp->rollIcnDrop()) {
+                    ++ctx_.icn->messagesDropped;
+                    cuRr_ = 1;
+                    Tick lost_dur = cy(t_.cuServiceCycles) +
+                                    ctx_.icn->transferTime();
+                    ctx_.stats->commTicks += lost_dur;
+                    cuNotifyCluster_ = id_;
+                    scheduleRel(cuEvent_.get(), lost_dur);
+                    updateIdle();
+                    return;
+                }
+                if (fp->rollIcnCorrupt()) {
+                    // Payload corruption only: routing and marker
+                    // fields stay intact (a misrouted id would index
+                    // out of the destination's tables, which real
+                    // hardware rejects at the port).
+                    msg.value = fp->corruptValue(msg.value);
+                    if (fp->draw(FaultKind::IcnCorrupt) & 1)
+                        msg.origin = invalidNode;
+                }
+                if (fp->rollIcnDelay())
+                    fault_delay = fp->spec().icnDelayTicks;
+            }
+
             msg.sentAt = curTick();
             msg.hops = 1;
             ctx_.sync->created(msg.syncLevel);
@@ -1039,7 +1085,7 @@ Cluster::cuStep()
 
             cuRr_ = 1;  // give inboxes a turn next
             Tick dur = cy(t_.cuServiceCycles) +
-                       ctx_.icn->transferTime();
+                       ctx_.icn->transferTime() + fault_delay;
             ctx_.stats->commTicks += dur;
             cuNotifyCluster_ = nb;
             scheduleRel(cuEvent_.get(), dur);

@@ -37,6 +37,7 @@
 #include "arch/multiport_mem.hh"
 #include "arch/perf_net.hh"
 #include "arch/sync_tree.hh"
+#include "fault/fault_plan.hh"
 #include "isa/program.hh"
 #include "runtime/frontier_map.hh"
 #include "runtime/propagate.hh"
@@ -56,6 +57,8 @@ struct MachineContext
     SyncTree *sync = nullptr;
     PerfNet *perf = nullptr;
     ExecBreakdown *stats = nullptr;
+    /** Live fault plan, or nullptr (the default, fault-free path). */
+    FaultPlan *faults = nullptr;
 
     // Per-run state, set by the machine before each program.
     const RuleTable *rules = nullptr;

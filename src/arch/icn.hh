@@ -106,6 +106,7 @@ class HypercubeIcn
     stats::Distribution hopDist;      ///< hops per delivered message
     stats::Distribution latency;      ///< end-to-end ticks per message
     stats::Scalar blockedSends;       ///< sends stalled on full mailbox
+    stats::Scalar messagesDropped;    ///< injected link-fault losses
 
   private:
     std::uint32_t numClusters_;

@@ -4,6 +4,7 @@
 
 #include "common/multibitvector.hh"
 #include "common/stats.hh"
+#include "runtime/reference.hh"
 
 namespace snap
 {
@@ -73,6 +74,7 @@ SnapMachine::wireArray()
     ctx_.kickMusOf = [this](ClusterId c) {
         clusters_.at(c)->kickMus();
     };
+    ctx_.faults = faults_.get();
 
     icn_->onKickCu([this](ClusterId c) { clusters_.at(c)->kickCu(); });
 
@@ -87,12 +89,164 @@ SnapMachine::wireArray()
     controller_ = std::make_unique<Controller>(ctx_, std::move(raw));
 }
 
+void
+SnapMachine::installFaults(const FaultSpec &spec)
+{
+    faults_ = std::make_unique<FaultPlan>(spec);
+    ctx_.faults = faults_.get();
+}
+
+void
+SnapMachine::clearFaults()
+{
+    faults_.reset();
+    ctx_.faults = nullptr;
+}
+
+void
+SnapMachine::repair()
+{
+    if (!poisoned_)
+        return;
+    snap_assert(image_ != nullptr, "repair() before loadKb()");
+    // The aborted run's in-flight events reference the old component
+    // graph; drop them before tearing it down.  Marker state lives in
+    // image_ and survives the re-wire.
+    eq_.clearPending();
+    controller_.reset();
+    clusters_.clear();
+    wireArray();
+    poisoned_ = false;
+}
+
+void
+SnapMachine::scheduleRunFaults(Tick start)
+{
+    const FaultSpec &s = faults_->spec();
+    auto arm = [&](FaultKind k, double rate, std::function<void()> fn,
+                   const char *name) {
+        if (rate <= 0.0 || !faults_->rollRun(k, rate))
+            return;
+        Tick at = start + 1 +
+                  static_cast<Tick>(
+                      faults_->drawUnit(k) *
+                      static_cast<double>(s.scheduleWindowTicks));
+        auto ev = std::make_unique<EventFunctionWrapper>(
+            std::move(fn), name);
+        eq_.schedule(ev.get(), at);
+        faultEvents_.push_back(std::move(ev));
+    };
+    arm(FaultKind::MarkerFlip, s.markerFlipRate,
+        [this] { applyMarkerFault(false); }, "fault.markerFlip");
+    arm(FaultKind::MarkerStick, s.markerStickRate,
+        [this] { applyMarkerFault(true); }, "fault.markerStick");
+    arm(FaultKind::SyncWedge, s.syncWedgeRate,
+        [this] {
+            // A phantom creation credit that is never consumed: the
+            // level-0 completion aggregate can no longer reach zero,
+            // exactly a lost completion pulse in the sync tree.
+            sync_->created(0);
+            ++faults_->tally().syncWedges;
+        },
+        "fault.syncWedge");
+    arm(FaultKind::DeadCluster, s.deadClusterRate,
+        [this] {
+            ClusterId c = static_cast<ClusterId>(
+                faults_->draw(FaultKind::DeadCluster) %
+                cfg_.numClusters);
+            faults_->markDead(c);
+            ++faults_->tally().deadClusters;
+        },
+        "fault.deadCluster");
+}
+
+bool
+SnapMachine::runFaultLoop(Tick start)
+{
+    FaultReport &t = faults_->tally();
+    const Tick budget = faults_->spec().watchdogTicks;
+    constexpr std::uint64_t chunk = 4096;
+    for (;;) {
+        eq_.run(chunk);
+        std::size_t armed = 0;
+        for (const auto &ev : faultEvents_)
+            if (ev->scheduled())
+                ++armed;
+        // Drained (apart from never-fired scheduled faults): done,
+        // either finished or wedged.
+        if (eq_.numScheduled() == armed)
+            break;
+        if (budget != 0 && eq_.curTick() - start > budget) {
+            t.watchdogFired = true;
+            break;
+        }
+    }
+    for (const auto &ev : faultEvents_)
+        if (ev->scheduled())
+            eq_.deschedule(ev.get());
+    // Drop the watchdog abort's in-flight events plus the stale
+    // entries of the just-descheduled fault events — those entries
+    // point at the events faultEvents_.clear() is about to destroy.
+    eq_.clearPending();
+    faultEvents_.clear();
+    if (!controller_->finished())
+        t.wedged = true;
+    return !t.wedged;
+}
+
+void
+SnapMachine::applyMarkerFault(bool stick)
+{
+    const FaultKind k =
+        stick ? FaultKind::MarkerStick : FaultKind::MarkerFlip;
+    ClusterId c = static_cast<ClusterId>(faults_->draw(k) %
+                                         cfg_.numClusters);
+    ClusterKb &kb = image_->cluster(c);
+    if (kb.numLocalNodes() == 0)
+        return;
+    MarkerId m = static_cast<MarkerId>(faults_->draw(k) %
+                                       capacity::numMarkers);
+    LocalNodeId l = static_cast<LocalNodeId>(faults_->draw(k) %
+                                             kb.numLocalNodes());
+    MarkerStore &ms = kb.markers();
+    if (!stick && ms.test(m, l)) {
+        ms.clear(m, l);
+        ++faults_->tally().markerFlips;
+        return;
+    }
+    ms.set(m, l, 1.0f, kb.globalId(l));
+    if (stick)
+        ++faults_->tally().markerSticks;
+    else
+        ++faults_->tally().markerFlips;
+}
+
+void
+SnapMachine::checkIntegrity(const Program &prog,
+                            const MarkerStore &entry, RunResult &result)
+{
+    result.fault.integrityChecked = true;
+    // The shadow network is never mutated: integrity runs only for
+    // pure programs (no maintenance opcodes).
+    ReferenceInterpreter ref(
+        const_cast<SemanticNetwork &>(*shadowNet_));
+    ref.store() = entry;
+    ResultSet want = ref.run(prog);
+    bool ok = resultsEquivalent(want, result.results) &&
+              markersEquivalent(ref.store(), image_->flatten());
+    result.fault.integrityFailed = !ok;
+}
+
 RunResult
 SnapMachine::run(const Program &prog)
 {
     snap_assert(image_ != nullptr,
                 "run() before loadKb(): no knowledge base");
+    snap_assert(!poisoned_,
+                "run() on a poisoned machine: repair() first");
     snap_assert(eq_.empty(), "run() while events are pending");
+
+    const bool faulty = faults_ && faults_->spec().any();
 
     stats_ = ExecBreakdown{};
     alphaPerProp_.assign(prog.size(), 0);
@@ -102,27 +256,55 @@ SnapMachine::run(const Program &prog)
     for (auto &c : clusters_)
         c->resetForRun();
 
-    Tick start = eq_.curTick();
-    controller_->startProgram(prog);
-    eq_.run();
-
-    snap_assert(controller_->finished(),
-                "event queue drained but the program did not finish "
-                "(deadlock in the machine model)");
-    snap_assert(stats_.categoryTimer.allClosed(),
-                "ActiveTimer interval left open");
-
-    stats_.wallTicks = eq_.curTick() - start;
-    for (std::size_t i = 0; i < prog.size(); ++i) {
-        if (prog[i].op == Opcode::Propagate)
-            stats_.alphaDist.sample(
-                static_cast<double>(alphaPerProp_[i]));
+    // Under a live plan, capture the entry marker state the integrity
+    // shadow will replay from.
+    std::unique_ptr<MarkerStore> entry;
+    if (faulty) {
+        faults_->beginRun();
+        if (shadowNet_ && programIsPure(prog))
+            entry = std::make_unique<MarkerStore>(image_->flatten());
     }
 
+    Tick start = eq_.curTick();
+    controller_->startProgram(prog);
+
+    bool completed = true;
+    if (!faulty) {
+        eq_.run();
+        snap_assert(controller_->finished(),
+                    "event queue drained but the program did not "
+                    "finish (deadlock in the machine model)");
+        snap_assert(stats_.categoryTimer.allClosed(),
+                    "ActiveTimer interval left open");
+    } else {
+        scheduleRunFaults(start);
+        // Injected faults turn the no-deadlock invariant into a run
+        // outcome: a wedge is detected and reported, not asserted.
+        completed = runFaultLoop(start);
+    }
+
+    stats_.wallTicks = eq_.curTick() - start;
+
     RunResult result;
-    result.results = controller_->takeResults();
+    if (completed) {
+        for (std::size_t i = 0; i < prog.size(); ++i) {
+            if (prog[i].op == Opcode::Propagate)
+                stats_.alphaDist.sample(
+                    static_cast<double>(alphaPerProp_[i]));
+        }
+        result.results = controller_->takeResults();
+    } else {
+        // Component state (mailboxes, sync counters, controller
+        // phase) is dirty; refuse further runs until repair().
+        poisoned_ = true;
+    }
     result.wallTicks = stats_.wallTicks;
     result.stats = stats_;
+    if (faulty) {
+        result.fault = faults_->tally();
+        if (completed && entry)
+            checkIntegrity(prog, *entry, result);
+    }
 
     ctx_.rules = nullptr;
     ctx_.alphaPerProp = nullptr;
@@ -144,6 +326,7 @@ SnapMachine::runBatch(const Program &prog, std::uint32_t lanes)
     batch.wallTicks = pilot.wallTicks;
     batch.stats = std::move(pilot.stats);
     batch.hostEvents = eq_.eventsProcessed() - events_before;
+    batch.fault = pilot.fault;
     return batch;
 }
 
@@ -159,6 +342,7 @@ SnapMachine::formatComponentStats() const
     icn_group.addScalar("hopsTraversed", &icn_->hopsTraversed);
     icn_group.addScalar("relays", &icn_->relays);
     icn_group.addScalar("blockedSends", &icn_->blockedSends);
+    icn_group.addScalar("messagesDropped", &icn_->messagesDropped);
     icn_group.addDistribution("hops", &icn_->hopDist);
     icn_group.addDistribution("latencyTicks", &icn_->latency);
     os << icn_group.format();

@@ -23,6 +23,7 @@
 #include "arch/kb_image.hh"
 #include "arch/perf_net.hh"
 #include "arch/sync_tree.hh"
+#include "fault/fault_plan.hh"
 #include "isa/program.hh"
 #include "kb/semantic_network.hh"
 #include "runtime/results.hh"
@@ -40,6 +41,11 @@ struct RunResult
     Tick wallTicks = 0;
     /** Full statistics breakdown. */
     ExecBreakdown stats;
+    /** What the fault layer injected and detected (enabled only when
+     *  a live FaultPlan covered the run).  When !fault.ok() the
+     *  results are untrustworthy (wedge) or provably wrong
+     *  (integrity); callers must not use them. */
+    FaultReport fault;
 
     double wallMs() const { return ticksToMs(wallTicks); }
     double wallUs() const { return ticksToUs(wallTicks); }
@@ -69,6 +75,10 @@ struct BatchRunResult
     ExecBreakdown stats;
     /** Host DES events consumed by the whole batch. */
     std::uint64_t hostEvents = 0;
+    /** Fault report of the batch's one simulated traversal.  A fault
+     *  poisons every lane (they share the traversal), so the serving
+     *  layer falls back to solo re-execution. */
+    FaultReport fault;
 
     double wallUs() const { return ticksToUs(wallTicks); }
 };
@@ -183,9 +193,56 @@ class SnapMachine
      */
     std::string formatComponentStats() const;
 
+    // --- fault injection / detection --------------------------------
+
+    /**
+     * Arm a fault plan.  Subsequent runs inject per @p spec and take
+     * the detecting path (chunked execution with a simulated-time
+     * watchdog, wedge demotion from fatal assert to typed error,
+     * optional integrity shadow).  An all-zero spec arms the hooks
+     * but never fires — runs stay bit-identical to an unarmed
+     * machine.  Replaces any previous plan.
+     */
+    void installFaults(const FaultSpec &spec);
+    void clearFaults();
+    FaultPlan *faultPlan() { return faults_.get(); }
+
+    /**
+     * Enable end-of-run integrity checking against the golden-model
+     * reference interpreter.  @p net must be the network image_ was
+     * compiled from and must outlive the machine.  Checked only for
+     * pure programs (no KB/marker maintenance opcodes) under a live
+     * fault plan; the check replays the program from the run's entry
+     * marker state and compares results and final marker planes.
+     */
+    void setIntegrityShadow(const SemanticNetwork *net)
+    {
+        shadowNet_ = net;
+    }
+
+    /** True after a wedged/aborted run: component state is dirty and
+     *  run() refuses to continue until repair(). */
+    bool poisoned() const { return poisoned_; }
+
+    /** Rebuild the array around the (preserved) image.  Marker state
+     *  survives; in-flight messages and sync state are discarded. */
+    void repair();
+
   private:
     /** Build ICN/sync/perf/clusters/controller around image_. */
     void wireArray();
+
+    /** Arm this run's scheduled faults (flip/stick/wedge/dead). */
+    void scheduleRunFaults(Tick start);
+    /** Chunked event loop with simulated-time watchdog.
+     *  @return true when the program completed. */
+    bool runFaultLoop(Tick start);
+    /** Fire a marker-table fault on a seed-chosen (cluster, marker,
+     *  node); @p stick forces the bit to 1, else it flips. */
+    void applyMarkerFault(bool stick);
+    /** Golden-model replay from @p entry; flags divergence. */
+    void checkIntegrity(const Program &prog, const MarkerStore &entry,
+                        RunResult &result);
 
     MachineConfig cfg_;
     EventQueue eq_;
@@ -200,6 +257,12 @@ class SnapMachine
     MachineContext ctx_;
     std::vector<std::unique_ptr<Cluster>> clusters_;
     std::unique_ptr<Controller> controller_;
+
+    std::unique_ptr<FaultPlan> faults_;
+    const SemanticNetwork *shadowNet_ = nullptr;
+    bool poisoned_ = false;
+    /** This run's armed scheduled faults (descheduled at run end). */
+    std::vector<std::unique_ptr<EventFunctionWrapper>> faultEvents_;
 };
 
 } // namespace snap

@@ -136,14 +136,30 @@ class ClusterArbiter
     /** Time the table frees up. */
     Tick busyUntil() const { return busyUntil_; }
 
+    /**
+     * Fault injection: the current grant fails to release on time,
+     * holding the semaphore table @p extra ticks past max(now, its
+     * normal completion).  Subsequent acquires queue behind it;
+     * timing-only, state is never corrupted.
+     */
+    void
+    stall(Tick now, Tick extra)
+    {
+        Tick base = busyUntil_ > now ? busyUntil_ : now;
+        busyUntil_ = base + extra;
+        ++injectedStalls_;
+    }
+
     std::uint64_t grants() const { return grants_; }
     Tick waitedTicks() const { return waitedTicks_; }
+    std::uint64_t injectedStalls() const { return injectedStalls_; }
 
   private:
     Rng rng_;
     Tick busyUntil_ = 0;
     std::uint64_t grants_ = 0;
     Tick waitedTicks_ = 0;
+    std::uint64_t injectedStalls_ = 0;
 };
 
 } // namespace snap

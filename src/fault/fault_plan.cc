@@ -1,0 +1,478 @@
+#include "fault/fault_plan.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/program.hh"
+#include "runtime/marker_store.hh"
+#include "runtime/results.hh"
+
+namespace snap
+{
+
+namespace
+{
+
+/// Per-kind stream salt so the eight draw streams never collide even
+/// when their counters track each other.
+constexpr std::uint64_t kindSalt[numFaultKinds] = {
+    0xa3c59ac2f1d0e7b5ull, 0x1f83d9abfb41bd6bull,
+    0x5be0cd19137e2179ull, 0x9b05688c2b3e6c1full,
+    0x510e527fade682d1ull, 0xbb67ae8584caa73bull,
+    0x3c6ef372fe94f82bull, 0xa54ff53a5f1d36f1ull,
+};
+
+double
+rateOf(const FaultSpec &s, FaultKind k)
+{
+    switch (k) {
+      case FaultKind::IcnDrop: return s.icnDropRate;
+      case FaultKind::IcnCorrupt: return s.icnCorruptRate;
+      case FaultKind::IcnDelay: return s.icnDelayRate;
+      case FaultKind::SemStall: return s.semStallRate;
+      case FaultKind::MarkerFlip: return s.markerFlipRate;
+      case FaultKind::MarkerStick: return s.markerStickRate;
+      case FaultKind::SyncWedge: return s.syncWedgeRate;
+      case FaultKind::DeadCluster: return s.deadClusterRate;
+      default: return 0.0;
+    }
+}
+
+void
+jsonNum(std::ostringstream &os, const char *key, double v, bool comma)
+{
+    os << "  \"" << key << "\": " << formatString("%.17g", v)
+       << (comma ? "," : "") << "\n";
+}
+
+/// Find `"key"` in @p text and parse the number after the colon.
+/// Returns false when the key is absent, sets *bad when present but
+/// malformed.
+bool
+jsonFind(const std::string &text, const char *key, double &out, bool *bad)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == ':'))
+        ++pos;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) {
+        *bad = true;
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+/// Exact unsigned-64 variant: a double round-trip would shave the low
+/// bits off any seed above 2^53.
+bool
+jsonFindU64(const std::string &text, const char *key,
+            std::uint64_t &out, bool *bad)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == ':'))
+        ++pos;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos) {
+        *bad = true;
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::IcnDrop: return "icn_drop";
+      case FaultKind::IcnCorrupt: return "icn_corrupt";
+      case FaultKind::IcnDelay: return "icn_delay";
+      case FaultKind::SemStall: return "sem_stall";
+      case FaultKind::MarkerFlip: return "marker_flip";
+      case FaultKind::MarkerStick: return "marker_stick";
+      case FaultKind::SyncWedge: return "sync_wedge";
+      case FaultKind::DeadCluster: return "dead_cluster";
+      default: return "?";
+    }
+}
+
+// --- FaultSpec -------------------------------------------------------
+
+bool
+FaultSpec::any() const
+{
+    for (std::size_t k = 0; k < numFaultKinds; ++k)
+        if (rateOf(*this, static_cast<FaultKind>(k)) > 0.0)
+            return true;
+    return false;
+}
+
+void
+FaultSpec::validate() const
+{
+    for (std::size_t k = 0; k < numFaultKinds; ++k) {
+        FaultKind kind = static_cast<FaultKind>(k);
+        double r = rateOf(*this, kind);
+        if (!(r >= 0.0 && r <= 1.0))
+            snap_fatal("fault rate %s=%g outside [0,1]",
+                       faultKindName(kind), r);
+    }
+    if (scheduleWindowTicks == 0)
+        snap_fatal("fault scheduleWindowTicks must be > 0");
+    if (watchdogTicks == 0 && (syncWedgeRate > 0.0 ||
+                               deadClusterRate > 0.0 ||
+                               icnDropRate > 0.0))
+        snap_fatal("faults that can wedge a run require a non-zero "
+                   "watchdogTicks budget");
+}
+
+FaultSpec
+FaultSpec::messageFaults(std::uint64_t seed, double rate)
+{
+    if (!(rate >= 0.0 && rate <= 1.0))
+        snap_fatal("--fault-rate %g outside [0,1]", rate);
+    FaultSpec s;
+    s.seed = seed;
+    s.icnDropRate = rate * 0.4;
+    s.icnCorruptRate = rate * 0.4;
+    s.icnDelayRate = rate * 0.2;
+    return s;
+}
+
+std::string
+FaultSpec::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed\": " << seed << ",\n";
+    jsonNum(os, "icn_drop", icnDropRate, true);
+    jsonNum(os, "icn_corrupt", icnCorruptRate, true);
+    jsonNum(os, "icn_delay", icnDelayRate, true);
+    jsonNum(os, "sem_stall", semStallRate, true);
+    jsonNum(os, "marker_flip", markerFlipRate, true);
+    jsonNum(os, "marker_stick", markerStickRate, true);
+    jsonNum(os, "sync_wedge", syncWedgeRate, true);
+    jsonNum(os, "dead_cluster", deadClusterRate, true);
+    os << "  \"icn_delay_ticks\": " << icnDelayTicks << ",\n";
+    os << "  \"sem_stall_ticks\": " << semStallTicks << ",\n";
+    os << "  \"schedule_window_ticks\": " << scheduleWindowTicks << ",\n";
+    os << "  \"watchdog_ticks\": " << watchdogTicks << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+FaultSpec::fromJson(const std::string &text, FaultSpec &out)
+{
+    if (text.find('{') == std::string::npos)
+        return false;
+    FaultSpec s;
+    bool bad = false;
+    double v = 0.0;
+    std::uint64_t u = 0;
+    if (jsonFindU64(text, "seed", u, &bad))
+        s.seed = u;
+    if (jsonFind(text, "icn_drop", v, &bad))
+        s.icnDropRate = v;
+    if (jsonFind(text, "icn_corrupt", v, &bad))
+        s.icnCorruptRate = v;
+    if (jsonFind(text, "icn_delay", v, &bad))
+        s.icnDelayRate = v;
+    if (jsonFind(text, "sem_stall", v, &bad))
+        s.semStallRate = v;
+    if (jsonFind(text, "marker_flip", v, &bad))
+        s.markerFlipRate = v;
+    if (jsonFind(text, "marker_stick", v, &bad))
+        s.markerStickRate = v;
+    if (jsonFind(text, "sync_wedge", v, &bad))
+        s.syncWedgeRate = v;
+    if (jsonFind(text, "dead_cluster", v, &bad))
+        s.deadClusterRate = v;
+    if (jsonFindU64(text, "icn_delay_ticks", u, &bad))
+        s.icnDelayTicks = static_cast<Tick>(u);
+    if (jsonFindU64(text, "sem_stall_ticks", u, &bad))
+        s.semStallTicks = static_cast<Tick>(u);
+    if (jsonFindU64(text, "schedule_window_ticks", u, &bad))
+        s.scheduleWindowTicks = static_cast<Tick>(u);
+    if (jsonFindU64(text, "watchdog_ticks", u, &bad))
+        s.watchdogTicks = static_cast<Tick>(u);
+    if (bad)
+        return false;
+    out = s;
+    return true;
+}
+
+// --- FaultReport -----------------------------------------------------
+
+std::string
+FaultReport::summary() const
+{
+    if (!enabled)
+        return "faults disabled";
+    std::ostringstream os;
+    if (ok())
+        os << "ok";
+    else if (watchdogFired)
+        os << "WATCHDOG";
+    else if (wedged)
+        os << "WEDGED";
+    else
+        os << "CORRUPT";
+    os << ", " << injected() << " injected";
+    if (injected() > 0) {
+        os << " (";
+        bool first = true;
+        auto item = [&](const char *nm, std::uint64_t n) {
+            if (n == 0)
+                return;
+            if (!first)
+                os << " ";
+            first = false;
+            os << nm << "=" << n;
+        };
+        item("drop", icnDropped);
+        item("corrupt", icnCorrupted);
+        item("delay", icnDelayed);
+        item("stall", semStalls);
+        item("flip", markerFlips);
+        item("stick", markerSticks);
+        item("wedge", syncWedges);
+        item("dead", deadClusters);
+        os << ")";
+    }
+    if (integrityChecked)
+        os << (integrityFailed ? ", integrity FAILED"
+                               : ", integrity passed");
+    return os.str();
+}
+
+// --- FaultPlan -------------------------------------------------------
+
+FaultPlan::FaultPlan(const FaultSpec &spec) : spec_(spec)
+{
+    spec_.validate();
+}
+
+void
+FaultPlan::beginRun()
+{
+    tally_ = FaultReport{};
+    tally_.enabled = true;
+    // Dead clusters scope to one run: a wedged run is torn down and
+    // re-wired (repair()), a clean run left the array drained.
+    deadMask_ = 0;
+}
+
+std::uint64_t
+FaultPlan::draw(FaultKind k)
+{
+    std::size_t i = static_cast<std::size_t>(k);
+    std::uint64_t x = spec_.seed;
+    x ^= kindSalt[i];
+    x += 0x9e3779b97f4a7c15ull * (counters_[i]++ + 1);
+    x += 0xc2b2ae3d27d4eb4full * generation_;
+    return splitmix64(x);
+}
+
+double
+FaultPlan::drawUnit(FaultKind k)
+{
+    return static_cast<double>(draw(k) >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultPlan::roll(FaultKind k, double rate)
+{
+    // Advance the stream exactly once per visit even at rate 0, so a
+    // site's draw history is independent of the other sites' rates.
+    return drawUnit(k) < rate;
+}
+
+bool
+FaultPlan::rollIcnDrop()
+{
+    if (!roll(FaultKind::IcnDrop, spec_.icnDropRate))
+        return false;
+    ++tally_.icnDropped;
+    return true;
+}
+
+bool
+FaultPlan::rollIcnCorrupt()
+{
+    if (!roll(FaultKind::IcnCorrupt, spec_.icnCorruptRate))
+        return false;
+    ++tally_.icnCorrupted;
+    return true;
+}
+
+bool
+FaultPlan::rollIcnDelay()
+{
+    if (!roll(FaultKind::IcnDelay, spec_.icnDelayRate))
+        return false;
+    ++tally_.icnDelayed;
+    return true;
+}
+
+bool
+FaultPlan::rollSemStall()
+{
+    if (!roll(FaultKind::SemStall, spec_.semStallRate))
+        return false;
+    ++tally_.semStalls;
+    return true;
+}
+
+bool
+FaultPlan::rollRun(FaultKind k, double rate)
+{
+    return roll(k, rate);
+}
+
+float
+FaultPlan::corruptValue(float v)
+{
+    // Deterministic finite perturbation: a wrong-but-plausible marker
+    // value, never NaN/inf (those would poison comparisons downstream
+    // of the detection layer itself).
+    std::uint64_t r = draw(FaultKind::IcnCorrupt);
+    float delta = 1.0f + static_cast<float>(r % 7);
+    float out = (r & 8) ? v + delta : v - delta;
+    if (!std::isfinite(out))
+        out = delta;
+    return out;
+}
+
+void
+FaultPlan::markDead(ClusterId c)
+{
+    if (c < 64)
+        deadMask_ |= 1ull << c;
+}
+
+void
+FaultPlan::bumpGeneration()
+{
+    ++generation_;
+    counters_.fill(0);
+    deadMask_ = 0;
+}
+
+// --- helpers ---------------------------------------------------------
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+markerChecksum(const MarkerStore &s)
+{
+    std::uint64_t h = 0x6a09e667f3bcc909ull;
+    for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+        const BitVector &bv = s.bits(static_cast<MarkerId>(m));
+        for (std::uint32_t w = 0; w < bv.numWords(); ++w)
+            h = splitmix64(h ^ bv.word(w) ^ (std::uint64_t{m} << 32));
+        if (!isComplexMarker(static_cast<MarkerId>(m)))
+            continue;
+        for (NodeId n = 0; n < s.numNodes(); ++n) {
+            if (!s.test(static_cast<MarkerId>(m), n))
+                continue;
+            float v = s.value(static_cast<MarkerId>(m), n);
+            std::uint32_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            h = splitmix64(h ^ bits ^
+                           (std::uint64_t{s.origin(
+                                static_cast<MarkerId>(m), n)} << 32) ^
+                           n);
+        }
+    }
+    return h;
+}
+
+bool
+markersEquivalent(const MarkerStore &a, const MarkerStore &b)
+{
+    if (a.numNodes() != b.numNodes())
+        return false;
+    for (std::uint32_t m = 0; m < capacity::numMarkers; ++m) {
+        MarkerId mid = static_cast<MarkerId>(m);
+        const BitVector &ba = a.bits(mid);
+        const BitVector &bb = b.bits(mid);
+        for (std::uint32_t w = 0; w < ba.numWords(); ++w)
+            if (ba.word(w) != bb.word(w))
+                return false;
+        if (!isComplexMarker(mid))
+            continue;
+        for (NodeId n = 0; n < a.numNodes(); ++n) {
+            if (!a.test(mid, n))
+                continue;
+            if (a.value(mid, n) != b.value(mid, n) ||
+                a.origin(mid, n) != b.origin(mid, n))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+resultsEquivalent(std::vector<CollectResult> a,
+                  std::vector<CollectResult> b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i].sortNodes();
+        b[i].sortNodes();
+        if (a[i].op != b[i].op || a[i].marker != b[i].marker ||
+            a[i].color != b[i].color || a[i].rel != b[i].rel ||
+            !(a[i].nodes == b[i].nodes) || !(a[i].links == b[i].links))
+            return false;
+    }
+    return true;
+}
+
+bool
+programIsPure(const Program &prog)
+{
+    for (const Instruction &in : prog.instructions()) {
+        switch (in.op) {
+          case Opcode::Create:
+          case Opcode::Delete:
+          case Opcode::SetColor:
+          case Opcode::SetWeight:
+          case Opcode::MarkerCreate:
+          case Opcode::MarkerDelete:
+          case Opcode::MarkerSetColor:
+            return false;
+          default:
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace snap

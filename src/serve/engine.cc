@@ -28,6 +28,8 @@ requestStatusName(RequestStatus s)
       case RequestStatus::Ok: return "ok";
       case RequestStatus::Rejected: return "rejected";
       case RequestStatus::TimedOut: return "timed-out";
+      case RequestStatus::Failed: return "failed";
+      case RequestStatus::Hung: return "hung";
     }
     return "?";
 }
@@ -55,6 +57,7 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
     if (cfg_.maxBatchLanes < 1 || cfg_.maxBatchLanes > 64)
         snap_fatal("ServeConfig.maxBatchLanes must be 1..64");
     cfg_.machine.validate();
+    cfg_.faults.validate();
 
     // Warm pending pool: sized so steady-state admission never
     // allocates (every queued request plus one in flight per worker).
@@ -66,11 +69,29 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
 
     // Compile once; stamp bit-identical replicas from the master.
     master_ = std::make_unique<KbImage>(net, cfg_.machine);
+    const bool faulty = cfg_.faults.any();
+    if (faulty) {
+        // Functional shadow for end-of-run integrity checks: a plain
+        // copy of the source network, replayed by the reference
+        // interpreter against each run's entry marker state.
+        shadowNet_ = std::make_unique<SemanticNetwork>(net);
+    }
     machines_.reserve(cfg_.numWorkers);
+    health_.assign(cfg_.numWorkers, 0);
+    slots_.reserve(cfg_.numWorkers);
     for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
         machines_.push_back(
             std::make_unique<SnapMachine>(cfg_.machine));
         machines_.back()->loadKb(*master_);
+        slots_.push_back(std::make_unique<WorkerSlot>());
+        if (faulty) {
+            // Independent per-replica fault stream: same plan, seed
+            // re-mixed with the worker index.
+            FaultSpec spec = cfg_.faults;
+            spec.seed = requestSeed(spec.seed, w);
+            machines_.back()->installFaults(spec);
+            machines_.back()->setIntegrityShadow(shadowNet_.get());
+        }
     }
 
     if (!cfg_.startPaused)
@@ -111,9 +132,78 @@ ServeEngine::shutdown()
         }
     }
     queue_.close();
+    if (cfg_.hungWorkerTimeoutMs > 0.0 && !workers_.empty()) {
+        // Hung-worker watchdog: grant the workers a grace period to
+        // drain, then force-fail whatever is still unfinished so no
+        // client blocks forever behind a wedged worker thread.
+        const Clock::time_point grace =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    cfg_.hungWorkerTimeoutMs));
+        while (workersExited_.load(std::memory_order_acquire) <
+                   workers_.size() &&
+               Clock::now() < grace) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        if (workersExited_.load(std::memory_order_acquire) <
+            workers_.size())
+            forceFailHung();
+    }
     for (std::thread &t : workers_)
         t.join();
     workers_.clear();
+}
+
+/**
+ * The shutdown grace period expired with at least one worker still
+ * running.  Answer every request registered in flight, and everything
+ * left in the queue, with status Hung — exactly once per request (the
+ * answered flag arbitrates against a slow worker finishing late).
+ * Requests on workers that were merely slow are failed too: past the
+ * grace period, "still unfinished" is the definition of hung.  The
+ * worker threads themselves are still joined afterwards — the
+ * guarantee is that no *client* waits forever, not that a wedged
+ * thread is reaped.
+ */
+void
+ServeEngine::forceFailHung()
+{
+    auto hungResponse = [](const Request &req) {
+        Response resp;
+        resp.id = req.id;
+        resp.rngSeed = req.rngSeed;
+        resp.status = RequestStatus::Hung;
+        return resp;
+    };
+    for (auto &slot : slots_) {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        for (Pending *p : slot->inflight) {
+            if (p->answered.exchange(true))
+                continue;
+            metrics_.noteHung();
+            if (p->slot)
+                p->slot->deliver(hungResponse(p->req));
+            else
+                p->promise.set_value(hungResponse(p->req));
+            noteDone();
+            // The Pending record itself stays with the worker; it is
+            // recycled if the worker ever finishes, leaked into the
+            // wedged thread otherwise.
+        }
+    }
+    // Whatever is still queued will never be popped by a hung worker;
+    // a live worker racing this drain is harmless (pop hands each
+    // entry to exactly one side).
+    while (auto pending = queue_.pop()) {
+        std::unique_ptr<Pending> p = std::move(*pending);
+        if (!p->req.sessionId.empty())
+            sessions_.cancel(p->req.sessionId, p->sessionSeq);
+        metrics_.noteHung();
+        Response resp = hungResponse(p->req);
+        deliverResponse(std::move(p), std::move(resp));
+    }
 }
 
 std::uint64_t
@@ -145,6 +235,8 @@ ServeEngine::releasePending(std::unique_ptr<Pending> p)
     p->progHash = 0;
     p->sessionSeq = 0;
     p->hasDeadline = false;
+    p->answered.store(false, std::memory_order_relaxed);
+    p->owner = nullptr;
     // p->req keeps its buffers: the next admission's move-assign
     // recycles or releases them without allocating here.
     std::lock_guard<std::mutex> lock(poolMu_);
@@ -183,6 +275,23 @@ ServeEngine::admit(Request &&req, std::unique_ptr<Pending> &pending,
     }
 
     const bool sessioned = !req.sessionId.empty();
+
+    // Graceful degradation: during a fault storm, shed stateless
+    // load at admission so retries of already-admitted work get the
+    // capacity.  Session requests are never shed — their marker
+    // state must advance in submission order.
+    if (!sessioned && cfg_.shedThreshold > 0 &&
+        stormFaults_.load(std::memory_order_relaxed) >=
+            cfg_.shedThreshold) {
+        metrics_.noteShed();
+        early.id = req.id;
+        early.rngSeed = req.rngSeed;
+        early.status = RequestStatus::Rejected;
+        pending->req = std::move(req);
+        releasePending(std::move(pending));
+        return false;
+    }
+
     if (sessioned)
         pending->sessionSeq = sessions_.admit(req.sessionId);
     pending->batchable = !sessioned && cfg_.maxBatchLanes > 1;
@@ -247,12 +356,46 @@ void
 ServeEngine::deliverResponse(std::unique_ptr<Pending> p,
                              Response &&resp)
 {
-    if (p->slot)
-        p->slot->deliver(std::move(resp));
-    else
-        p->promise.set_value(std::move(resp));
+    unregisterInflight(p.get());
+    // Exactly-once: the shutdown watchdog may have already answered
+    // this request Hung while the worker was stuck; in that case the
+    // late result is dropped and only the record is recycled.
+    if (!p->answered.exchange(true)) {
+        if (p->slot)
+            p->slot->deliver(std::move(resp));
+        else
+            p->promise.set_value(std::move(resp));
+        noteDone();
+    }
     releasePending(std::move(p));
-    noteDone();
+}
+
+void
+ServeEngine::registerInflight(std::uint32_t idx, Pending *p)
+{
+    WorkerSlot &slot = *slots_[idx];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    p->owner = &slot;
+    slot.inflight.push_back(p);
+}
+
+void
+ServeEngine::unregisterInflight(Pending *p)
+{
+    WorkerSlot *slot = p->owner;
+    if (!slot)
+        return;
+    // Serializes against the watchdog's force-fail scan: once we are
+    // out of the registry, only this thread can answer the request.
+    std::lock_guard<std::mutex> lock(slot->mu);
+    auto &v = slot->inflight;
+    for (auto it = v.begin(); it != v.end(); ++it) {
+        if (*it == p) {
+            v.erase(it);
+            break;
+        }
+    }
+    p->owner = nullptr;
 }
 
 void
@@ -266,12 +409,16 @@ ServeEngine::workerMain(std::uint32_t idx)
             batch.clear();
             batch.push_back(std::move(p));
             gatherBatch(batch);
+            for (auto &q : batch)
+                registerInflight(idx, q.get());
             serveBatch(idx, batch);
             batch.clear();
         } else {
+            registerInflight(idx, p.get());
             serveOne(idx, std::move(p));
         }
     }
+    workersExited_.fetch_add(1, std::memory_order_release);
 }
 
 /**
@@ -329,20 +476,62 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
         return;
     }
 
+    if (cfg_.preRunHook)
+        cfg_.preRunHook(idx);
+
     SnapMachine &machine = *machines_.at(idx);
-    if (sessioned) {
-        machine.image().restoreMarkers(
-            sessions_.fetch(req.sessionId));
-    } else {
-        // Fresh-query state: the determinism anchor for stateless
-        // requests (identical replicas + cleared markers => the run
-        // is a pure function of the program).
-        machine.image().resetMarkers();
+
+    // Execute-with-recovery: re-run (from re-stamped marker state) as
+    // long as fault detection trips and the retry budget allows.  On
+    // a fault-free engine run.fault.ok() is vacuously true and the
+    // loop is a single pass with no extra work.
+    RunResult run;
+    std::uint32_t attempts = 0;
+    for (;;) {
+        if (sessioned) {
+            machine.image().restoreMarkers(
+                sessions_.fetch(req.sessionId));
+        } else {
+            // Fresh-query state: the determinism anchor for stateless
+            // requests (identical replicas + cleared markers => the
+            // run is a pure function of the program).  It also wipes
+            // any marker corruption a faulted attempt left behind.
+            machine.image().resetMarkers();
+        }
+        run = machine.run(req.prog);
+        if (run.fault.ok())
+            break;
+        noteReplicaFault(idx, run.fault);
+        if (attempts >= cfg_.maxRetries)
+            break;
+        ++attempts;
+        metrics_.noteRetry();
+        if (cfg_.retryBackoffMs > 0.0) {
+            const std::uint32_t shift =
+                attempts - 1 < 10 ? attempts - 1 : 10;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    cfg_.retryBackoffMs *
+                    static_cast<double>(1u << shift)));
+        }
+    }
+    Clock::time_point end = Clock::now();
+    resp.serviceMs = msBetween(begin, end);
+    resp.retries = attempts;
+
+    if (!run.fault.ok()) {
+        // Retry budget exhausted; the answer is untrustworthy and is
+        // withheld.  A typed failure, never a silently wrong result.
+        if (sessioned)
+            sessions_.cancel(req.sessionId, p->sessionSeq);
+        resp.status = RequestStatus::Failed;
+        resp.faultDetected = true;
+        metrics_.noteFailed(queue_ms);
+        deliverResponse(std::move(p), std::move(resp));
+        return;
     }
 
-    RunResult run = machine.run(req.prog);
-    Clock::time_point end = Clock::now();
-
+    noteReplicaOk(idx);
     if (sessioned) {
         sessions_.complete(req.sessionId, p->sessionSeq,
                            machine.image().flatten());
@@ -351,9 +540,11 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
     resp.status = RequestStatus::Ok;
     resp.results = std::move(run.results);
     resp.wallTicks = run.wallTicks;
-    resp.serviceMs = msBetween(begin, end);
+    resp.faultDetected = attempts > 0;
     metrics_.noteCompleted(idx, queue_ms, resp.serviceMs,
                            resp.wallTicks);
+    if (attempts > 0)
+        metrics_.noteRecovered();
     deliverResponse(std::move(p), std::move(resp));
 }
 
@@ -404,6 +595,20 @@ ServeEngine::serveBatch(std::uint32_t idx,
     machine.image().resetMarkers();
     BatchRunResult run =
         machine.runBatch(batch.front()->req.prog, lanes);
+
+    if (!run.fault.ok()) {
+        // The shared traversal is poisoned, so no lane's answer is
+        // trustworthy.  Evict the batch and re-serve every lane solo;
+        // each gets its own retry budget, and lanes unaffected by the
+        // re-drawn fault stream commit normally.
+        noteReplicaFault(idx, run.fault);
+        metrics_.noteBatchFallback();
+        for (auto &p : batch)
+            serveOne(idx, std::move(p));
+        batch.clear();
+        return;
+    }
+    noteReplicaOk(idx);
     Clock::time_point end = Clock::now();
     double service_ms = msBetween(begin, end);
 
@@ -433,6 +638,52 @@ ServeEngine::serveBatch(std::uint32_t idx,
         deliverResponse(std::move(p), std::move(resp));
     }
     batch.clear();
+}
+
+/**
+ * One run attempt on replica @p idx tripped fault detection.  Repair
+ * the machine if the fault wedged it, score the replica's health
+ * (quarantine after quarantineThreshold consecutive faults), and
+ * advance the engine-wide storm counter that drives admission
+ * shedding.  health_[idx] is only ever touched by worker idx.
+ */
+void
+ServeEngine::noteReplicaFault(std::uint32_t idx, const FaultReport &r)
+{
+    SnapMachine &machine = *machines_.at(idx);
+    if (machine.poisoned())
+        machine.repair();
+    metrics_.noteFaultDetected(r.wedged || r.watchdogFired);
+    stormFaults_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.quarantineThreshold > 0 &&
+        ++health_[idx] >= cfg_.quarantineThreshold) {
+        quarantineReplica(idx);
+        health_[idx] = 0;
+    }
+}
+
+void
+ServeEngine::noteReplicaOk(std::uint32_t idx)
+{
+    health_[idx] = 0;
+    stormFaults_.store(0, std::memory_order_relaxed);
+}
+
+/**
+ * The replica's runs keep tripping detection: distrust its state
+ * wholesale.  Re-stamp the knowledge base from the immutable master
+ * image and bump the fault plan's generation so subsequent draws come
+ * from a fresh stream (re-seeded replica selection — the retry does
+ * not deterministically re-hit the same fault).
+ */
+void
+ServeEngine::quarantineReplica(std::uint32_t idx)
+{
+    SnapMachine &machine = *machines_.at(idx);
+    machine.loadKb(*master_);
+    if (machine.faultPlan())
+        machine.faultPlan()->bumpGeneration();
+    metrics_.noteQuarantine();
 }
 
 void

@@ -44,8 +44,10 @@
 #ifndef SNAP_SERVE_ENGINE_HH
 #define SNAP_SERVE_ENGINE_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -53,6 +55,8 @@
 #include <vector>
 
 #include "arch/machine.hh"
+#include "fault/fault_plan.hh"
+#include "kb/semantic_network.hh"
 #include "serve/metrics.hh"
 #include "serve/request.hh"
 #include "serve/request_queue.hh"
@@ -94,6 +98,58 @@ struct ServeConfig
      * enqueue-then-serve boundary.
      */
     bool startPaused = false;
+    /**
+     * Fault-injection plan armed on every replica (all-zero rates =
+     * disabled, the default).  Each worker's plan is re-seeded from
+     * faults.seed and the worker index, so replicas inject
+     * independent, individually reproducible fault streams, and a
+     * retry of a request on the same replica sees fresh draws rather
+     * than deterministically re-hitting the same fault.
+     */
+    FaultSpec faults{};
+    /**
+     * Recovery policy: how many times a worker re-executes a request
+     * whose run tripped fault detection (wedge, simulated-time
+     * watchdog, or integrity-check failure) before answering Failed.
+     * 0 = fail fast.  Detection always wins over delivery: a
+     * corrupted answer is never returned.
+     */
+    std::uint32_t maxRetries = 3;
+    /** Host milliseconds slept before retry n (doubled each retry);
+     *  0 = retry immediately. */
+    double retryBackoffMs = 0.0;
+    /**
+     * Health scoring: a replica whose runs trip fault detection this
+     * many times consecutively (no intervening clean run) is
+     * quarantined — re-stamped from the master image and its fault
+     * stream re-seeded.  0 disables quarantine.
+     */
+    std::uint32_t quarantineThreshold = 3;
+    /**
+     * Graceful degradation: once this many faults have been detected
+     * engine-wide without an intervening success (a "fault storm"),
+     * stateless requests are shed at admission (status Rejected)
+     * until a run succeeds.  Session requests are never shed.
+     * 0 = never shed (default).
+     */
+    std::uint32_t shedThreshold = 0;
+    /**
+     * Shutdown watchdog: host milliseconds shutdown() waits for the
+     * workers to drain after closing the queue.  If any worker is
+     * still running past the grace period, its in-flight requests
+     * (and everything left queued) are force-failed with status Hung
+     * so no client blocks forever on a wedged worker thread.
+     * 0 = wait indefinitely (default; preserves strict semantics for
+     * well-behaved workloads).
+     */
+    double hungWorkerTimeoutMs = 0.0;
+    /**
+     * Test hook: invoked by worker @p idx in serveOne() between
+     * deadline triage and machine execution.  Lets tests wedge a
+     * worker deterministically (hung-worker watchdog coverage).
+     * Null in production.
+     */
+    std::function<void(std::uint32_t)> preRunHook;
     /**
      * Replica machine configuration.  The performance-collection
      * network defaults off for serving: its record FIFO grows per
@@ -158,6 +214,16 @@ class ServeEngine
   private:
     using Clock = std::chrono::steady_clock;
 
+    struct Pending;
+
+    /** Per-worker registry of requests currently being served, for
+     *  the shutdown watchdog (see forceFailHung). */
+    struct WorkerSlot
+    {
+        std::mutex mu;
+        std::vector<Pending *> inflight;
+    };
+
     struct Pending
     {
         Request req;
@@ -174,6 +240,12 @@ class ServeEngine
          *  only) — workers group on it without touching the queue's
          *  programs. */
         std::uint64_t progHash = 0;
+        /** Exactly-once delivery: set by whoever answers first — the
+         *  serving worker or the shutdown watchdog. */
+        std::atomic<bool> answered{false};
+        /** Worker registry holding this request (worker-thread
+         *  private; registered/unregistered under owner->mu). */
+        WorkerSlot *owner = nullptr;
     };
 
     void workerMain(std::uint32_t idx);
@@ -189,9 +261,34 @@ class ServeEngine
     void noteDone();
     std::uint64_t outstandingCount() const;
 
+    // --- recovery machinery -------------------------------------------
+    void registerInflight(std::uint32_t idx, Pending *p);
+    void unregisterInflight(Pending *p);
+    /** Repair, score health, maybe quarantine, bump the storm. */
+    void noteReplicaFault(std::uint32_t idx, const FaultReport &r);
+    void noteReplicaOk(std::uint32_t idx);
+    /** Re-stamp the replica from the master image and re-seed its
+     *  fault stream. */
+    void quarantineReplica(std::uint32_t idx);
+    /** Shutdown watchdog: force-fail everything in flight or queued
+     *  with status Hung. */
+    void forceFailHung();
+
     ServeConfig cfg_;
     std::unique_ptr<KbImage> master_;
+    /** Functional shadow of the KB for integrity checks (only
+     *  allocated when fault injection is armed). */
+    std::unique_ptr<SemanticNetwork> shadowNet_;
     std::vector<std::unique_ptr<SnapMachine>> machines_;
+    /** Consecutive detected faults per replica (owning worker thread
+     *  only). */
+    std::vector<std::uint32_t> health_;
+    /** Engine-wide consecutive detected faults (any worker); reset on
+     *  any clean run.  Drives admission shedding. */
+    std::atomic<std::uint32_t> stormFaults_{0};
+    /** Watchdog bookkeeping. */
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::atomic<std::uint32_t> workersExited_{0};
 
     BoundedQueue<std::unique_ptr<Pending>> queue_;
     SessionStore sessions_;

@@ -41,6 +41,15 @@ metricsJson(const MetricsSnapshot &s)
        << ", \"batched_requests\": " << s.batchedRequests
        << ", \"mean_lanes\": "
        << formatString("%.6g", s.batchLanes.mean()) << "},\n";
+    os << "  \"robustness\": {\"faults_detected\": " << s.faultsDetected
+       << ", \"wedges\": " << s.wedges
+       << ", \"retries\": " << s.retries
+       << ", \"recovered\": " << s.recovered
+       << ", \"failed\": " << s.failed
+       << ", \"hung\": " << s.hung
+       << ", \"shed\": " << s.shed
+       << ", \"quarantines\": " << s.quarantines
+       << ", \"batch_fallbacks\": " << s.batchFallbacks << "},\n";
     os << "  \"queue\": {\"depth\": " << s.queueDepth
        << ", \"high_water\": " << s.queueHighWater
        << ", \"capacity\": " << s.queueCapacity << "},\n";

@@ -54,6 +54,28 @@ struct MetricsSnapshot
     /** Requests that were served inside those batches. */
     std::uint64_t batchedRequests = 0;
 
+    // --- robustness (all zero unless fault injection is armed) ---------
+    /** Run attempts that tripped fault detection (integrity mismatch,
+     *  wedge, or simulated-time watchdog). */
+    std::uint64_t faultsDetected = 0;
+    /** Subset of faultsDetected where the machine wedged or the
+     *  watchdog fired (vs a caught-but-completed corruption). */
+    std::uint64_t wedges = 0;
+    /** Re-execution attempts issued after detected faults. */
+    std::uint64_t retries = 0;
+    /** Requests answered Ok only after >= 1 retry. */
+    std::uint64_t recovered = 0;
+    /** Requests answered Failed (retry budget exhausted). */
+    std::uint64_t failed = 0;
+    /** Requests force-failed Hung by the shutdown watchdog. */
+    std::uint64_t hung = 0;
+    /** Stateless requests shed at admission during a fault storm. */
+    std::uint64_t shed = 0;
+    /** Replica quarantines (re-stamped from the master image). */
+    std::uint64_t quarantines = 0;
+    /** Lane batches evicted to solo re-serves after a poisoned run. */
+    std::uint64_t batchFallbacks = 0;
+
     std::size_t queueDepth = 0;
     std::size_t queueHighWater = 0;
     std::size_t queueCapacity = 0;
@@ -169,6 +191,73 @@ class ServeMetrics
         batchLanes_.record(static_cast<double>(lanes));
     }
 
+    /** One run attempt tripped fault detection. */
+    void
+    noteFaultDetected(bool wedged)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++faultsDetected_;
+        if (wedged)
+            ++wedges_;
+    }
+
+    void
+    noteRetry()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++retries_;
+    }
+
+    /** Request answered Ok after at least one retry. */
+    void
+    noteRecovered()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++recovered_;
+    }
+
+    /** Retry budget exhausted; request answered Failed. */
+    void
+    noteFailed(double queue_ms)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+        queueWaitMs_.record(queue_ms);
+    }
+
+    /** Shutdown watchdog force-failed a request as Hung. */
+    void
+    noteHung()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++hung_;
+    }
+
+    /** Stateless request shed at admission under a fault storm. */
+    void
+    noteShed()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        ++shed_;
+    }
+
+    /** Replica quarantined and re-stamped from the master image. */
+    void
+    noteQuarantine()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++quarantines_;
+    }
+
+    /** Lane batch evicted to solo re-serves after a poisoned run. */
+    void
+    noteBatchFallback()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++batchFallbacks_;
+    }
+
     /** Copy everything out; queue gauges and uptime are supplied by
      *  the engine (it owns the queue and the start timestamp). */
     MetricsSnapshot
@@ -183,6 +272,15 @@ class ServeMetrics
         s.timedOut = timedOut_;
         s.batches = batches_;
         s.batchedRequests = batchedRequests_;
+        s.faultsDetected = faultsDetected_;
+        s.wedges = wedges_;
+        s.retries = retries_;
+        s.recovered = recovered_;
+        s.failed = failed_;
+        s.hung = hung_;
+        s.shed = shed_;
+        s.quarantines = quarantines_;
+        s.batchFallbacks = batchFallbacks_;
         s.queueDepth = queue_depth;
         s.queueHighWater = queue_high_water;
         s.queueCapacity = queue_capacity;
@@ -204,6 +302,15 @@ class ServeMetrics
     std::uint64_t timedOut_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t batchedRequests_ = 0;
+    std::uint64_t faultsDetected_ = 0;
+    std::uint64_t wedges_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t recovered_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t hung_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t batchFallbacks_ = 0;
     Histogram queueWaitMs_;
     Histogram serviceMs_;
     Histogram totalMs_;

@@ -39,6 +39,20 @@ enum class RequestStatus
     Rejected,
     /** Deadline expired before execution started; never ran. */
     TimedOut,
+    /**
+     * Executed, but every attempt (initial + retries) tripped fault
+     * detection — a wedge, a watchdog abort, or an integrity-check
+     * failure.  No possibly-corrupt results are ever attached; the
+     * results field is empty.
+     */
+    Failed,
+    /**
+     * Force-failed by the shutdown watchdog: the request was in
+     * flight on (or queued behind) a worker that never drained
+     * within the hung-worker grace period.  It may or may not have
+     * partially executed; no results are attached.
+     */
+    Hung,
 };
 
 const char *requestStatusName(RequestStatus s);
@@ -96,6 +110,11 @@ struct Response
     std::uint32_t worker = 0;
     /** Lanes in the batch this request was served in (1 = solo). */
     std::uint32_t batchLanes = 1;
+    /** Re-executions needed after detected faults (0 = clean first
+     *  try).  Ok with retries > 0 means the engine recovered. */
+    std::uint32_t retries = 0;
+    /** At least one attempt tripped fault detection. */
+    bool faultDetected = false;
 
     double wallUs() const { return ticksToUs(wallTicks); }
 };

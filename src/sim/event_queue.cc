@@ -259,6 +259,42 @@ EventQueue::growPool()
     return cb;
 }
 
+void
+EventQueue::clearPending()
+{
+    auto drop = [this](const Entry &e) {
+        Event *ev = e.event;
+        if (stale(e)) {
+            snap_assert(staleEntries_ != 0,
+                        "stale accounting underflow in clearPending");
+            reclaimStale(ev, e);
+            --staleEntries_;
+            return;
+        }
+        ev->scheduled_ = false;
+        --live_;
+        if (ev->pooled_)
+            recycle(ev);
+        else if (ev->autoDelete_)
+            delete ev;
+    };
+    for (std::uint32_t b = 0; b < numBuckets; ++b) {
+        Bucket &bk = buckets_[b];
+        for (std::size_t i = bk.drainPos; i < bk.entries.size(); ++i)
+            drop(bk.entries[i]);
+        if (!bk.entries.empty())
+            resetBucket(b);
+    }
+    ringCount_ = 0;
+    while (!overflow_.empty()) {
+        drop(overflow_.top());
+        overflow_.pop();
+    }
+    snap_assert(live_ == 0, "live events survived clearPending");
+    snap_assert(staleEntries_ == 0,
+                "stale entries survived clearPending");
+}
+
 // flatten: pull findHead/serviceHead into the dispatch loop; they are
 // too large for the inliner's default budget but run once per event.
 __attribute__((flatten)) std::uint64_t

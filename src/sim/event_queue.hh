@@ -224,6 +224,15 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick until);
 
+    /**
+     * Discard every pending event without firing it.  Pooled one-shots
+     * return to the free list, non-pooled auto-delete events are freed,
+     * component-owned events are left unscheduled (safe to destroy or
+     * reschedule).  Simulated time does not move.  Used to abort a
+     * wedged machine run before the component graph is rebuilt.
+     */
+    void clearPending();
+
     /** Total events processed over the queue's lifetime. */
     std::uint64_t eventsProcessed() const { return processed_; }
 

@@ -18,6 +18,15 @@
  *     --sessions-out DIR    checkpoint final session marker state to
  *                           DIR/<session>.snapmarkers
  *     --quiet               suppress per-request result listings
+ *     --fault-seed N        seed for deterministic fault injection
+ *     --fault-rate X        inject ICN message faults at rate X
+ *     --fault-spec FILE     load a full fault plan from JSON
+ *     --max-retries N       re-executions after a detected fault
+ *     --retry-backoff X     base host ms between retries (doubling)
+ *     --quarantine N        consecutive faults before a replica is
+ *                           quarantined and re-stamped (0 = never)
+ *     --shed-threshold N    engine-wide consecutive faults before
+ *                           stateless load is shed (0 = never)
  *
  * Request file format (line oriented, '#' comments):
  *
@@ -29,19 +38,22 @@
  * knowledge base and must not race the workers).
  *
  * Exit status: 0 on success, 1 on user error (bad input files or
- * configuration), 2 on a command-line usage error.  This convention
- * is shared by snapvm, snapsh, and snapkb-gen.
+ * configuration), 2 on a command-line usage error (unknown arguments
+ * or out-of-range flag values).  This convention is shared by snapvm,
+ * snapsh, and snapkb-gen.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "fault/fault_plan.hh"
 #include "isa/assembler.hh"
 #include "kb/kb_io.hh"
 #include "runtime/snapshot.hh"
@@ -71,7 +83,23 @@ usage()
         "  --seed N               base request-seed chain\n"
         "  --metrics FILE         write metrics JSON to FILE\n"
         "  --sessions-out DIR     checkpoint session marker state\n"
-        "  --quiet                suppress per-request results\n");
+        "  --quiet                suppress per-request results\n"
+        "  --fault-seed N         deterministic fault-injection seed\n"
+        "  --fault-rate X         ICN message-fault rate (0..1)\n"
+        "  --fault-spec FILE      full fault plan from JSON\n"
+        "  --max-retries N        retries after a detected fault\n"
+        "  --retry-backoff X      base retry backoff, host ms\n"
+        "  --quarantine N         replica quarantine threshold\n"
+        "  --shed-threshold N     fault-storm shedding threshold\n");
+    std::exit(2);
+}
+
+/** Out-of-range or malformed flag value: a usage error (exit 2),
+ *  distinct from the snap_fatal path (exit 1, bad input files). */
+[[noreturn]] void
+usageError(const char *msg)
+{
+    std::fprintf(stderr, "snapserve: %s\n", msg);
     std::exit(2);
 }
 
@@ -146,6 +174,10 @@ main(int argc, char **argv)
     std::string metrics_path;
     std::string sessions_dir;
     bool quiet = false;
+    std::uint64_t fault_seed = 1;
+    bool fault_seed_set = false;
+    double fault_rate = 0.0;
+    std::string fault_spec_path;
 
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -157,32 +189,32 @@ main(int argc, char **argv)
         if (arg == "--workers") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 64)
-                snap_fatal("--workers must be 1..64");
+                usageError("--workers must be 1..64");
             cfg.numWorkers = static_cast<std::uint32_t>(n);
         } else if (arg == "--queue") {
             long long n;
             if (!parseInt(next(), n) || n < 1)
-                snap_fatal("--queue must be >= 1");
+                usageError("--queue must be >= 1");
             cfg.queueCapacity = static_cast<std::size_t>(n);
         } else if (arg == "--timeout-ms") {
             double x;
             if (!parseDouble(next(), x) || x < 0)
-                snap_fatal("--timeout-ms must be >= 0");
+                usageError("--timeout-ms must be >= 0");
             cfg.defaultTimeoutMs = x;
         } else if (arg == "--batch-lanes") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 64)
-                snap_fatal("--batch-lanes must be 1..64");
+                usageError("--batch-lanes must be 1..64");
             cfg.maxBatchLanes = static_cast<std::uint32_t>(n);
         } else if (arg == "--batch-window") {
             double x;
             if (!parseDouble(next(), x) || x < 0)
-                snap_fatal("--batch-window must be >= 0");
+                usageError("--batch-window must be >= 0");
             cfg.batchWindowMs = x;
         } else if (arg == "--clusters") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 32)
-                snap_fatal("--clusters must be 1..32");
+                usageError("--clusters must be 1..32");
             cfg.machine.numClusters = static_cast<std::uint32_t>(n);
         } else if (arg == "--partition") {
             std::string p = next();
@@ -193,14 +225,47 @@ main(int argc, char **argv)
             else if (p == "sem")
                 cfg.machine.partition = PartitionStrategy::Semantic;
             else
-                snap_fatal("--partition must be seq, rr, or sem");
+                usageError("--partition must be seq, rr, or sem");
         } else if (arg == "--relax-capacity") {
             cfg.machine.maxNodesPerCluster = capacity::maxNodes;
         } else if (arg == "--seed") {
             long long n;
             if (!parseInt(next(), n))
-                snap_fatal("--seed must be an integer");
+                usageError("--seed must be an integer");
             cfg.baseSeed = static_cast<std::uint64_t>(n);
+        } else if (arg == "--fault-seed") {
+            long long n;
+            if (!parseInt(next(), n))
+                usageError("--fault-seed must be an integer");
+            fault_seed = static_cast<std::uint64_t>(n);
+            fault_seed_set = true;
+        } else if (arg == "--fault-rate") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0 || x > 1.0)
+                usageError("--fault-rate must be 0..1");
+            fault_rate = x;
+        } else if (arg == "--fault-spec") {
+            fault_spec_path = next();
+        } else if (arg == "--max-retries") {
+            long long n;
+            if (!parseInt(next(), n) || n < 0 || n > 100)
+                usageError("--max-retries must be 0..100");
+            cfg.maxRetries = static_cast<std::uint32_t>(n);
+        } else if (arg == "--retry-backoff") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                usageError("--retry-backoff must be >= 0");
+            cfg.retryBackoffMs = x;
+        } else if (arg == "--quarantine") {
+            long long n;
+            if (!parseInt(next(), n) || n < 0)
+                usageError("--quarantine must be >= 0");
+            cfg.quarantineThreshold = static_cast<std::uint32_t>(n);
+        } else if (arg == "--shed-threshold") {
+            long long n;
+            if (!parseInt(next(), n) || n < 0)
+                usageError("--shed-threshold must be >= 0");
+            cfg.shedThreshold = static_cast<std::uint32_t>(n);
         } else if (arg == "--metrics") {
             metrics_path = next();
         } else if (arg == "--sessions-out") {
@@ -237,11 +302,35 @@ main(int argc, char **argv)
     std::printf("parsed %zu request(s), %zu distinct program(s)\n",
                 specs.size(), progs.size());
 
+    // Optional deterministic fault injection across the replica farm.
+    if (!fault_spec_path.empty()) {
+        std::ifstream is(fault_spec_path);
+        if (!is)
+            snap_fatal("cannot open fault spec '%s'",
+                       fault_spec_path.c_str());
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        if (!FaultSpec::fromJson(buf.str(), cfg.faults))
+            snap_fatal("cannot parse fault spec '%s'",
+                       fault_spec_path.c_str());
+        if (fault_seed_set)
+            cfg.faults.seed = fault_seed;
+    } else if (fault_rate > 0.0) {
+        cfg.faults = FaultSpec::messageFaults(fault_seed, fault_rate);
+    }
+
     serve::ServeEngine engine(net, cfg);
     std::printf("engine: %u worker replicas x %u clusters, queue "
-                "capacity %zu\n\n",
+                "capacity %zu\n",
                 engine.numWorkers(), cfg.machine.numClusters,
                 cfg.queueCapacity);
+    if (cfg.faults.any()) {
+        std::printf("fault injection armed (seed %llu, max %u "
+                    "retries, quarantine at %u)\n",
+                    static_cast<unsigned long long>(cfg.faults.seed),
+                    cfg.maxRetries, cfg.quarantineThreshold);
+    }
+    std::printf("\n");
 
     std::vector<std::future<serve::Response>> futures;
     futures.reserve(specs.size());
@@ -259,11 +348,14 @@ main(int argc, char **argv)
                                ? std::string("query")
                                : "session " + s.sessionId;
         std::printf("request #%zu (%s): %s, worker %u, sim "
-                    "%.1f us, queue %.3f ms, lanes %u\n",
+                    "%.1f us, queue %.3f ms, lanes %u",
                     i, kind.c_str(),
                     serve::requestStatusName(resp.status),
                     resp.worker, resp.wallUs(), resp.queueMs,
                     resp.batchLanes);
+        if (resp.retries > 0)
+            std::printf(", retries %u", resp.retries);
+        std::printf("\n");
         if (quiet || resp.status != serve::RequestStatus::Ok)
             continue;
         int idx = 0;
@@ -304,6 +396,21 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         m.batchedRequests),
                     m.batchLanes.mean());
+    }
+    if (cfg.faults.any()) {
+        std::printf("robustness: %llu faults detected, %llu "
+                    "retries, %llu recovered, %llu failed, %llu "
+                    "shed, %llu quarantines, %llu batch "
+                    "fallbacks\n",
+                    static_cast<unsigned long long>(
+                        m.faultsDetected),
+                    static_cast<unsigned long long>(m.retries),
+                    static_cast<unsigned long long>(m.recovered),
+                    static_cast<unsigned long long>(m.failed),
+                    static_cast<unsigned long long>(m.shed),
+                    static_cast<unsigned long long>(m.quarantines),
+                    static_cast<unsigned long long>(
+                        m.batchFallbacks));
     }
 
     if (!metrics_path.empty()) {

@@ -12,20 +12,27 @@
  *     --stats               print the full execution breakdown
  *     --disasm              print the program before running
  *     --perf-csv FILE       dump performance-network records as CSV
+ *     --fault-seed N        seed for deterministic fault injection
+ *     --fault-rate X        inject ICN message faults at rate X
+ *     --fault-spec FILE     load a full fault plan from JSON
  *
- * Exit status: 0 on success, 1 on user error (bad input files,
- * values, or configuration — the snap_fatal path), 2 on a
- * command-line usage error (unknown/missing arguments).  This
- * convention is shared by snapsh, snapkb-gen, and snapserve.
+ * Exit status: 0 on success, 1 on user error (bad input files or
+ * configuration, and runs rejected by fault detection), 2 on a
+ * command-line usage error (unknown arguments or out-of-range flag
+ * values).  This convention is shared by snapsh, snapkb-gen, and
+ * snapserve.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "arch/machine.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "fault/fault_plan.hh"
 #include "isa/assembler.hh"
 #include "kb/kb_io.hh"
 #include "runtime/validate.hh"
@@ -46,7 +53,19 @@ usage()
         "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
         "  --stats                print the execution breakdown\n"
         "  --disasm               print the program first\n"
-        "  --perf-csv FILE        dump performance-network records\n");
+        "  --perf-csv FILE        dump performance-network records\n"
+        "  --fault-seed N         deterministic fault-injection seed\n"
+        "  --fault-rate X         ICN message-fault rate (0..1)\n"
+        "  --fault-spec FILE      full fault plan from JSON\n");
+    std::exit(2);
+}
+
+/** Out-of-range or malformed flag value: a usage error (exit 2),
+ *  distinct from the snap_fatal path (exit 1, bad input files). */
+[[noreturn]] void
+usageError(const char *msg)
+{
+    std::fprintf(stderr, "snapvm: %s\n", msg);
     std::exit(2);
 }
 
@@ -64,6 +83,10 @@ main(int argc, char **argv)
     bool stats = false;
     bool disasm = false;
     std::string perf_csv;
+    std::uint64_t fault_seed = 1;
+    bool fault_seed_set = false;
+    double fault_rate = 0.0;
+    std::string fault_spec_path;
 
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -75,7 +98,7 @@ main(int argc, char **argv)
         if (arg == "--clusters") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 32)
-                snap_fatal("--clusters must be 1..32");
+                usageError("--clusters must be 1..32");
             cfg.numClusters = static_cast<std::uint32_t>(n);
         } else if (arg == "--partition") {
             std::string p = next();
@@ -86,13 +109,26 @@ main(int argc, char **argv)
             else if (p == "sem")
                 cfg.partition = PartitionStrategy::Semantic;
             else
-                snap_fatal("--partition must be seq, rr, or sem");
+                usageError("--partition must be seq, rr, or sem");
         } else if (arg == "--mus") {
             long long n;
             if (!parseInt(next(), n) || n < 1 || n > 3)
-                snap_fatal("--mus must be 1..3");
+                usageError("--mus must be 1..3");
             cfg.musPerCluster.assign(32,
                                      static_cast<std::uint32_t>(n));
+        } else if (arg == "--fault-seed") {
+            long long n;
+            if (!parseInt(next(), n))
+                usageError("--fault-seed must be an integer");
+            fault_seed = static_cast<std::uint64_t>(n);
+            fault_seed_set = true;
+        } else if (arg == "--fault-rate") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0 || x > 1.0)
+                usageError("--fault-rate must be 0..1");
+            fault_rate = x;
+        } else if (arg == "--fault-spec") {
+            fault_spec_path = next();
         } else if (arg == "--relax-capacity") {
             cfg.maxNodesPerCluster = capacity::maxNodes;
         } else if (arg == "--stats") {
@@ -128,14 +164,53 @@ main(int argc, char **argv)
                   violations.size());
     }
 
+    // Optional deterministic fault injection: a JSON plan, or the
+    // canonical ICN message-fault mix at --fault-rate.
+    FaultSpec fspec;
+    if (!fault_spec_path.empty()) {
+        std::ifstream is(fault_spec_path);
+        if (!is)
+            snap_fatal("cannot open fault spec '%s'",
+                       fault_spec_path.c_str());
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        if (!FaultSpec::fromJson(buf.str(), fspec))
+            snap_fatal("cannot parse fault spec '%s'",
+                       fault_spec_path.c_str());
+        if (fault_seed_set)
+            fspec.seed = fault_seed;
+    } else if (fault_rate > 0.0) {
+        fspec = FaultSpec::messageFaults(fault_seed, fault_rate);
+    }
+
     SnapMachine machine(cfg);
     machine.loadKb(net);
+    if (fspec.any()) {
+        machine.installFaults(fspec);
+        machine.setIntegrityShadow(&net);
+        std::printf("fault injection armed (seed %llu)\n",
+                    static_cast<unsigned long long>(fspec.seed));
+    }
     std::printf("machine: %u clusters, %u processors, %s "
                 "allocation\n\n", cfg.numClusters,
                 cfg.numProcessors(),
                 partitionStrategyName(cfg.partition));
 
     RunResult run = machine.run(prog);
+
+    if (fspec.any()) {
+        std::printf("fault report: %s\n\n",
+                    run.fault.summary().c_str());
+        if (!run.fault.ok()) {
+            // Detection turned a possibly-wrong answer into a typed
+            // error; refuse to print results.
+            std::fprintf(stderr,
+                         "run rejected by fault detection (re-run "
+                         "with a different --fault-seed to vary the "
+                         "injection)\n");
+            return 1;
+        }
+    }
 
     int idx = 0;
     for (const CollectResult &res : run.results) {

@@ -600,6 +600,71 @@ TEST(BoundedQueue, ExtractMatchingUnblocksOnClose)
     EXPECT_EQ(n, 0u);
 }
 
+// The gulp primitive racing producers, a plain-pop consumer, and a
+// mid-stream close: every accepted item must come out exactly once,
+// through exactly one of the two consumption paths, and every
+// extracted item must satisfy the predicate.  (TSan workload.)
+TEST(BoundedQueue, ConcurrentExtractPushCloseAccountsForEveryItem)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 400;
+    BoundedQueue<int> q(32);
+
+    std::vector<std::thread> producers;
+    std::vector<std::vector<int>> accepted(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int v = p * 10'000 + i;
+                // Retry on backpressure: the queue only closes after
+                // the producers join, so every item lands eventually.
+                while (!q.tryPush(v))
+                    std::this_thread::yield();
+                accepted[p].push_back(v);
+            }
+        });
+    }
+
+    std::vector<int> extracted;
+    std::thread extractor([&] {
+        auto even = [](const int &v) { return v % 2 == 0; };
+        for (;;) {
+            std::size_t n = q.extractMatching(
+                even, 8, extracted,
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(1));
+            if (n == 0 && q.closed())
+                break;
+        }
+    });
+
+    std::vector<int> popped;
+    std::thread popper([&] {
+        while (auto v = q.pop())
+            popped.push_back(*v);
+    });
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    extractor.join();
+    popper.join();
+
+    for (int v : extracted)
+        EXPECT_EQ(v % 2, 0) << "extractMatching broke its predicate";
+
+    std::multiset<int> got(extracted.begin(), extracted.end());
+    got.insert(popped.begin(), popped.end());
+    std::multiset<int> want;
+    for (const auto &vec : accepted)
+        want.insert(vec.begin(), vec.end());
+    EXPECT_EQ(got.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    EXPECT_EQ(got, want)
+        << "an accepted item was lost or duplicated across the "
+           "extract/pop race";
+}
+
 // --- lane batching ------------------------------------------------------
 
 TEST(ServeEngine, BatchedAnswersMatchSoloBitForBit)
