@@ -331,7 +331,8 @@ writeJson(const std::vector<LaneRow> &machine_rows,
         std::fprintf(stderr, "cannot write BENCH_batch.json\n");
         return;
     }
-    std::fprintf(f, "{\n  \"benchmark\": \"batch\",\n");
+    std::fprintf(f, "{\n  \"benchmark\": \"batch\",\n  %s,\n",
+                 bench::jsonEnvelope().c_str());
 
     std::fprintf(f, "  \"machine_lane_sweep\": [\n");
     for (std::size_t i = 0; i < machine_rows.size(); ++i) {

@@ -11,12 +11,22 @@
 #ifndef SNAP_BENCH_BENCH_UTIL_HH
 #define SNAP_BENCH_BENCH_UTIL_HH
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/types.hh"
+
+#ifndef SNAP_GIT_SHA
+#define SNAP_GIT_SHA "unknown"
+#endif
+#ifndef SNAP_BUILD_TYPE
+#define SNAP_BUILD_TYPE "unknown"
+#endif
 
 namespace snap
 {
@@ -57,6 +67,30 @@ finish()
     else
         std::printf("\nall shape checks passed\n");
     return g_failures == 0 ? 0 : 1;
+}
+
+/**
+ * Common provenance envelope embedded in every BENCH_*.json.
+ *
+ * Returns one JSON object member (no trailing comma), e.g.
+ *   "envelope": {"schema_version": 1, "git_sha": "abc1234", ...}
+ *
+ * Deliberately timestamp-free: CI byte-compares back-to-back runs of
+ * the fault-tolerance bench, so everything here must be stable within
+ * one build on one host.
+ */
+inline std::string
+jsonEnvelope()
+{
+    char host[256];
+    if (::gethostname(host, sizeof(host)) != 0)
+        std::snprintf(host, sizeof(host), "unknown");
+    host[sizeof(host) - 1] = '\0';
+    return formatString(
+        "\"envelope\": {\"schema_version\": 1, "
+        "\"git_sha\": \"%s\", \"build_type\": \"%s\", "
+        "\"hostname\": \"%s\"}",
+        SNAP_GIT_SHA, SNAP_BUILD_TYPE, host);
 }
 
 /** Least-squares slope of y over x. */

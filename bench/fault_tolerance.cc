@@ -242,7 +242,8 @@ main(int argc, char **argv)
                  "eventually succeed", at1pct->faultedSuccess >= 0.99);
 
     std::ofstream os("BENCH_faults.json");
-    os << "{\n  \"num_queries\": " << num_queries << ",\n";
+    os << "{\n  " << bench::jsonEnvelope() << ",\n";
+    os << "  \"num_queries\": " << num_queries << ",\n";
     os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
     os << "  \"workers\": " << kWorkers << ",\n";
     os << "  \"max_retries\": " << kRetries << ",\n";

@@ -469,9 +469,11 @@ writeJson(const std::vector<Measured> &rows,
     }
     std::fprintf(f,
                  "{\n  \"benchmark\": \"host_perf\",\n"
+                 "  %s,\n"
                  "  \"admission_submits\": %zu,\n"
                  "  \"admission_allocs\": %llu,\n"
                  "  \"results\": [\n",
+                 bench::jsonEnvelope().c_str(),
                  admission_submits,
                  static_cast<unsigned long long>(admission_allocs));
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -245,7 +245,8 @@ main(int argc, char **argv)
                  "workers", speedup_1to4 >= 3.0);
 
     std::ofstream os("BENCH_serving.json");
-    os << "{\n  \"num_queries\": " << num_queries << ",\n";
+    os << "{\n  " << bench::jsonEnvelope() << ",\n";
+    os << "  \"num_queries\": " << num_queries << ",\n";
     os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
     os << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

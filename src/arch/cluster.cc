@@ -3,9 +3,34 @@
 #include <algorithm>
 
 #include "runtime/propagate.hh"
+#include "trace/trace.hh"
 
 namespace snap
 {
+
+namespace
+{
+
+/** Mirror an ActiveTimer union-interval transition as a trace B/E
+ *  pair on the per-category instr track, so summed span durations
+ *  equal ExecBreakdown::categoryTicks exactly. */
+inline void
+traceCatStart(std::uint32_t pid, InstrCategory cat, Tick now)
+{
+    trace::simBegin(trace::kInstr, pid,
+                    trace::tidInstr(static_cast<std::uint32_t>(cat)),
+                    categoryName(cat), now);
+}
+
+inline void
+traceCatStop(std::uint32_t pid, InstrCategory cat, Tick now)
+{
+    trace::simEnd(trace::kInstr, pid,
+                  trace::tidInstr(static_cast<std::uint32_t>(cat)),
+                  categoryName(cat), now);
+}
+
+} // namespace
 
 Cluster::Cluster(MachineContext &ctx, ClusterId id,
                  std::uint32_t num_mus, std::uint32_t pe_base)
@@ -155,7 +180,9 @@ Cluster::kickPu()
 
     puBusy_ = true;
     InstrCategory cat = pendingInstr_.instr.category();
-    ctx_.stats->categoryTimer.start(cat, curTick());
+    if (ctx_.stats->categoryTimer.start(cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStart(ctx_.tracePid, cat, curTick());
 
     Tick dur = cy(t_.puDecodeCycles);
     ctx_.stats->categoryBusy[static_cast<std::size_t>(cat)] += dur;
@@ -169,7 +196,9 @@ Cluster::puFinishDecode()
 {
     const Instruction &instr = pendingInstr_.instr;
     InstrCategory cat = instr.category();
-    ctx_.stats->categoryTimer.stop(cat, curTick());
+    if (ctx_.stats->categoryTimer.stop(cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStop(ctx_.tracePid, cat, curTick());
     if (ctx_.perf)
         ctx_.perf->emit(peBase_, curTick(), PerfEvent::InstrDecoded,
                         pendingInstr_.seq);
@@ -198,7 +227,9 @@ Cluster::puFinishDecode()
     puBusy_ = true;
     puDispatching_ = true;
     Tick dur = cy(t_.puDispatchCycles);
-    ctx_.stats->categoryTimer.start(cat, curTick());
+    if (ctx_.stats->categoryTimer.start(cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStart(ctx_.tracePid, cat, curTick());
     ctx_.stats->categoryBusy[static_cast<std::size_t>(cat)] += dur;
     ctx_.stats->puBusyTicks += dur;
     scheduleRel(puEvent_.get(), dur);
@@ -207,8 +238,10 @@ Cluster::puFinishDecode()
 void
 Cluster::puFinishDispatch()
 {
-    ctx_.stats->categoryTimer.stop(pendingInstr_.instr.category(),
-                                   curTick());
+    InstrCategory cat = pendingInstr_.instr.category();
+    if (ctx_.stats->categoryTimer.stop(cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStop(ctx_.tracePid, cat, curTick());
     puDispatching_ = false;
     puBusy_ = false;
 
@@ -333,7 +366,9 @@ Cluster::startArrival(std::uint32_t i)
         break;
     }
 
-    ctx_.stats->categoryTimer.start(mu.cat, curTick());
+    if (ctx_.stats->categoryTimer.start(mu.cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStart(ctx_.tracePid, mu.cat, curTick());
     scheduleMuDone(i);
 }
 
@@ -353,7 +388,9 @@ Cluster::startExpansion(std::uint32_t i)
     mu.cat = InstrCategory::Propagation;
 
     ++ctx_.stats->expansions;
-    ctx_.stats->categoryTimer.start(mu.cat, curTick());
+    if (ctx_.stats->categoryTimer.start(mu.cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStart(ctx_.tracePid, mu.cat, curTick());
 
     // This item covers one 16-slot relation row.  Fanout beyond it
     // lives in subnode rows (the preprocessor's splitting), each its
@@ -476,8 +513,19 @@ Cluster::deliverMarker(LocalNodeId dst, MarkerId m2, float value,
     Tick grant = arbiter_.acquire(curTick(), hold);
     // Semaphore fault: this grant fails to release on time, so later
     // acquires queue behind the stuck hold (timing-only).
-    if (ctx_.faults && ctx_.faults->rollSemStall())
+    if (ctx_.faults && ctx_.faults->rollSemStall()) {
         arbiter_.stall(curTick(), ctx_.faults->spec().semStallTicks);
+        if (SNAP_TRACE_ON(trace::kFault)) {
+            trace::simInstant(trace::kFault, ctx_.tracePid,
+                              trace::tidSem(id_), "fault.sem_stall",
+                              curTick());
+        }
+    }
+    if (grant > curTick() && SNAP_TRACE_ON(trace::kSem)) {
+        trace::simSpan(trace::kSem, ctx_.tracePid,
+                       trace::tidSem(id_), "sem.wait", curTick(),
+                       grant);
+    }
     dur += (grant - curTick()) + hold + cy(t_.muLocalDeliverCycles);
 
     MarkerStore &ms = kb_.markers();
@@ -547,7 +595,9 @@ Cluster::startTask(std::uint32_t i)
     if (task.ordered)
         ++orderedOutstanding_;
 
-    ctx_.stats->categoryTimer.start(mu.cat, curTick());
+    if (ctx_.stats->categoryTimer.start(mu.cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStart(ctx_.tracePid, mu.cat, curTick());
     if (ctx_.perf)
         ctx_.perf->emit(peBase_ + 1 + i, curTick(),
                         PerfEvent::TaskStart, task.seq);
@@ -918,6 +968,13 @@ Cluster::scheduleMuDone(std::uint32_t i)
     ctx_.stats->categoryBusy[static_cast<std::size_t>(mu.cat)] += dur;
     ctx_.stats->muBusyTicks += dur;
     muBusyLocal_ += dur;
+    // Per-cluster busy span: summed durations on this track equal
+    // muBusyLocal() exactly (the utilization heatmap's invariant).
+    if (SNAP_TRACE_ON(trace::kCluster)) {
+        trace::simSpan(trace::kCluster, ctx_.tracePid,
+                       trace::tidCluster(id_), categoryName(mu.cat),
+                       curTick(), curTick() + dur);
+    }
     scheduleRel(mu.doneEvent.get(), dur);
 }
 
@@ -927,7 +984,9 @@ Cluster::finishMu(std::uint32_t i)
     MuState &mu = mus_[i];
     snap_assert(mu.busy, "finishMu on idle MU");
 
-    ctx_.stats->categoryTimer.stop(mu.cat, curTick());
+    if (ctx_.stats->categoryTimer.stop(mu.cat, curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr))
+        traceCatStop(ctx_.tracePid, mu.cat, curTick());
     if (ctx_.perf && mu.hasTask)
         ctx_.perf->emit(peBase_ + 1 + i, curTick(),
                         PerfEvent::TaskEnd, mu.task.seq);
@@ -1054,6 +1113,12 @@ Cluster::cuStep()
                                     ctx_.icn->transferTime();
                     ctx_.stats->commTicks += lost_dur;
                     cuNotifyCluster_ = id_;
+                    if (SNAP_TRACE_ON(trace::kFault)) {
+                        trace::simInstant(
+                            trace::kFault, ctx_.tracePid,
+                            trace::tidCu(id_), "fault.icn_drop",
+                            curTick());
+                    }
                     scheduleRel(cuEvent_.get(), lost_dur);
                     updateIdle();
                     return;
@@ -1066,9 +1131,22 @@ Cluster::cuStep()
                     msg.value = fp->corruptValue(msg.value);
                     if (fp->draw(FaultKind::IcnCorrupt) & 1)
                         msg.origin = invalidNode;
+                    if (SNAP_TRACE_ON(trace::kFault)) {
+                        trace::simInstant(
+                            trace::kFault, ctx_.tracePid,
+                            trace::tidCu(id_), "fault.icn_corrupt",
+                            curTick());
+                    }
                 }
-                if (fp->rollIcnDelay())
+                if (fp->rollIcnDelay()) {
                     fault_delay = fp->spec().icnDelayTicks;
+                    if (SNAP_TRACE_ON(trace::kFault)) {
+                        trace::simInstant(
+                            trace::kFault, ctx_.tracePid,
+                            trace::tidCu(id_), "fault.icn_delay",
+                            curTick());
+                    }
+                }
             }
 
             msg.sentAt = curTick();
@@ -1088,6 +1166,11 @@ Cluster::cuStep()
                        ctx_.icn->transferTime() + fault_delay;
             ctx_.stats->commTicks += dur;
             cuNotifyCluster_ = nb;
+            if (SNAP_TRACE_ON(trace::kIcn)) {
+                trace::simSpan(trace::kIcn, ctx_.tracePid,
+                               trace::tidCu(id_), "icn.send",
+                               curTick(), curTick() + dur);
+            }
             scheduleRel(cuEvent_.get(), dur);
             updateIdle();
             return;
@@ -1118,6 +1201,11 @@ Cluster::cuStep()
             Tick dur = cy(t_.cuDeliverCycles);
             ctx_.stats->commTicks += dur;
             cuNotifyCluster_ = id_;  // kick own MUs at completion
+            if (SNAP_TRACE_ON(trace::kIcn)) {
+                trace::simSpan(trace::kIcn, ctx_.tracePid,
+                               trace::tidCu(id_), "icn.deliver",
+                               curTick(), curTick() + dur);
+            }
             scheduleRel(cuEvent_.get(), dur);
             updateIdle();
             return;
@@ -1141,6 +1229,11 @@ Cluster::cuStep()
         Tick dur = cy(t_.cuRelayCycles) + ctx_.icn->transferTime();
         ctx_.stats->commTicks += dur;
         cuNotifyCluster_ = nb;
+        if (SNAP_TRACE_ON(trace::kIcn)) {
+            trace::simSpan(trace::kIcn, ctx_.tracePid,
+                           trace::tidCu(id_), "icn.relay",
+                           curTick(), curTick() + dur);
+        }
         scheduleRel(cuEvent_.get(), dur);
         updateIdle();
         return;

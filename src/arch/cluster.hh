@@ -59,6 +59,9 @@ struct MachineContext
     ExecBreakdown *stats = nullptr;
     /** Live fault plan, or nullptr (the default, fault-free path). */
     FaultPlan *faults = nullptr;
+    /** Chrome trace process id of this machine's simulated-time
+     *  events (trace::kSimPidBase + cfg->traceDomain). */
+    std::uint32_t tracePid = 0;
 
     // Per-run state, set by the machine before each program.
     const RuleTable *rules = nullptr;

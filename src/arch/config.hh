@@ -176,6 +176,14 @@ struct MachineConfig
      */
     bool seedHotPath = false;
 
+    /**
+     * Trace-domain index of this machine: its simulated-time events
+     * land in Chrome process trace::kSimPidBase + traceDomain, so a
+     * serve engine's replicas get distinct track groups.  Purely an
+     * observability knob — no effect on simulated behaviour.
+     */
+    std::uint32_t traceDomain = 0;
+
     TimingParams t;
 
     /** MUs in cluster @p c under the default or explicit mix. */

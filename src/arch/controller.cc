@@ -1,5 +1,7 @@
 #include "arch/controller.hh"
 
+#include "trace/trace.hh"
+
 namespace snap
 {
 
@@ -112,6 +114,7 @@ Controller::broadcastDone()
     if (instr.op == Opcode::Barrier) {
         phase_ = Phase::BarrierWait;
         ++ctx_.stats->barriers;
+        barrierStart_ = curTick();
         // Completion arrives via the sync-tree callback; it cannot
         // have fired yet because no cluster has decoded the barrier.
         return;
@@ -173,6 +176,16 @@ Controller::releaseDone()
         static_cast<std::uint32_t>(msgs));
     epochStartMsgs_ = ctx_.stats->messagesSent;
 
+    if (SNAP_TRACE_ON(trace::kSync)) {
+        // One span per barrier epoch (wait + detect + release) with
+        // the epoch's inter-cluster message count as the instant.
+        trace::simSpan(trace::kSync, ctx_.tracePid, trace::kTidScp,
+                       "barrier.epoch", barrierStart_, curTick());
+        trace::simInstantArg(trace::kSync, ctx_.tracePid,
+                             trace::kTidScp, "epoch.msgs",
+                             curTick(), msgs);
+    }
+
     if (ctx_.perf)
         ctx_.perf->emit(0, curTick(), PerfEvent::BarrierComplete,
                         static_cast<std::uint32_t>(
@@ -218,16 +231,30 @@ Controller::collectAdvance()
                       static_cast<std::uint64_t>(items) *
                           t_.collectItemCycles);
     ctx_.stats->collectTicks += dur;
-    ctx_.stats->categoryTimer.start(InstrCategory::Collection,
-                                    curTick());
+    if (ctx_.stats->categoryTimer.start(InstrCategory::Collection,
+                                        curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr)) {
+        trace::simBegin(
+            trace::kInstr, ctx_.tracePid,
+            trace::tidInstr(static_cast<std::uint32_t>(
+                InstrCategory::Collection)),
+            categoryName(InstrCategory::Collection), curTick());
+    }
     scheduleRel(scpEvent_.get(), dur);
 }
 
 void
 Controller::collectReadDone()
 {
-    ctx_.stats->categoryTimer.stop(InstrCategory::Collection,
-                                   curTick());
+    if (ctx_.stats->categoryTimer.stop(InstrCategory::Collection,
+                                       curTick()) &&
+        SNAP_TRACE_ON(trace::kInstr)) {
+        trace::simEnd(
+            trace::kInstr, ctx_.tracePid,
+            trace::tidInstr(static_cast<std::uint32_t>(
+                InstrCategory::Collection)),
+            categoryName(InstrCategory::Collection), curTick());
+    }
     ++collectTarget_;
     phase_ = Phase::CollectWait;
     collectAdvance();

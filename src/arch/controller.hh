@@ -103,6 +103,9 @@ class Controller : public ClockedObject
 
     // Epoch bookkeeping for the Fig. 8 series.
     std::uint64_t epochStartMsgs_ = 0;
+    /** Tick the current barrier epoch entered BarrierWait (trace
+     *  span anchor). */
+    Tick barrierStart_ = 0;
 
     ResultSet results_;
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -33,21 +34,32 @@ namespace snap
 class ActiveTimer
 {
   public:
-    void
+    /** Returns true when the category transitions idle -> active
+     *  (the union interval opens), so tracers can mirror the exact
+     *  intervals this timer accumulates. */
+    bool
     start(InstrCategory c, Tick now)
     {
         auto i = static_cast<std::size_t>(c);
-        if (count_[i]++ == 0)
+        if (count_[i]++ == 0) {
             since_[i] = now;
+            return true;
+        }
+        return false;
     }
 
-    void
+    /** Returns true when the category transitions active -> idle
+     *  (the union interval closes). */
+    bool
     stop(InstrCategory c, Tick now)
     {
         auto i = static_cast<std::size_t>(c);
         snap_assert(count_[i] > 0, "ActiveTimer underflow cat %zu", i);
-        if (--count_[i] == 0)
+        if (--count_[i] == 0) {
             accum_[i] += now - since_[i];
+            return true;
+        }
+        return false;
     }
 
     /** Accumulated active wall time (all intervals closed). */
@@ -64,6 +76,21 @@ class ActiveTimer
             if (c != 0)
                 return false;
         return true;
+    }
+
+    /** Force-close every open interval at `now`.  Used when a run is
+     *  demoted by a wedge/watchdog fault with units still mid-work:
+     *  the accumulated times stay meaningful and allClosed() holds
+     *  again for the merge paths. */
+    void
+    closeAll(Tick now)
+    {
+        for (std::size_t i = 0; i < N; ++i) {
+            if (count_[i] != 0) {
+                accum_[i] += now - since_[i];
+                count_[i] = 0;
+            }
+        }
     }
 
     void
@@ -169,6 +196,12 @@ struct ExecBreakdown
 
     /** Human-readable multi-line summary. */
     std::string summary() const;
+
+    /** Push every counter into a MetricsRegistry under the
+     *  snap_exec_* prefix, with `labels` (e.g. worker="3") applied
+     *  to each sample. */
+    void exportMetrics(MetricsRegistry &reg,
+                       MetricsRegistry::Labels labels = {}) const;
 
     /** Accumulate another run's statistics (multi-program
      *  applications: the parser issues several programs per

@@ -5,6 +5,7 @@
 #include "common/multibitvector.hh"
 #include "common/stats.hh"
 #include "runtime/reference.hh"
+#include "trace/trace.hh"
 
 namespace snap
 {
@@ -75,6 +76,10 @@ SnapMachine::wireArray()
         clusters_.at(c)->kickMus();
     };
     ctx_.faults = faults_.get();
+    ctx_.tracePid = trace::kSimPidBase + cfg_.traceDomain;
+
+    if (trace::active())
+        nameTraceTracks();
 
     icn_->onKickCu([this](ClusterId c) { clusters_.at(c)->kickCu(); });
 
@@ -87,6 +92,31 @@ SnapMachine::wireArray()
         pe_base += 2 + cfg_.mus(c);
     }
     controller_ = std::make_unique<Controller>(ctx_, std::move(raw));
+}
+
+void
+SnapMachine::nameTraceTracks() const
+{
+    const std::uint32_t pid = ctx_.tracePid;
+    trace::nameProcess(
+        pid, formatString("sim machine %u (ticks)",
+                          cfg_.traceDomain));
+    trace::nameTrack(pid, trace::kTidMachine, "machine");
+    trace::nameTrack(pid, trace::kTidScp, "SCP");
+    for (std::size_t c = 0; c < ExecBreakdown::numCats; ++c) {
+        auto cat = static_cast<InstrCategory>(c);
+        trace::nameTrack(
+            pid, trace::tidInstr(static_cast<std::uint32_t>(c)),
+            formatString("instr %s", categoryName(cat)));
+    }
+    for (ClusterId c = 0; c < cfg_.numClusters; ++c) {
+        trace::nameTrack(pid, trace::tidCluster(c),
+                         formatString("cluster %u MU", c));
+        trace::nameTrack(pid, trace::tidCu(c),
+                         formatString("cluster %u CU/ICN", c));
+        trace::nameTrack(pid, trace::tidSem(c),
+                         formatString("cluster %u sem", c));
+    }
 }
 
 void
@@ -117,6 +147,11 @@ SnapMachine::repair()
     clusters_.clear();
     wireArray();
     poisoned_ = false;
+    if (SNAP_TRACE_ON(trace::kFault)) {
+        trace::simInstant(trace::kFault, ctx_.tracePid,
+                          trace::kTidMachine, "fault.repair",
+                          eq_.curTick());
+    }
 }
 
 void
@@ -147,6 +182,11 @@ SnapMachine::scheduleRunFaults(Tick start)
             // exactly a lost completion pulse in the sync tree.
             sync_->created(0);
             ++faults_->tally().syncWedges;
+            if (SNAP_TRACE_ON(trace::kFault)) {
+                trace::simInstant(trace::kFault, ctx_.tracePid,
+                                  trace::kTidMachine,
+                                  "fault.sync_wedge", eq_.curTick());
+            }
         },
         "fault.syncWedge");
     arm(FaultKind::DeadCluster, s.deadClusterRate,
@@ -156,6 +196,12 @@ SnapMachine::scheduleRunFaults(Tick start)
                 cfg_.numClusters);
             faults_->markDead(c);
             ++faults_->tally().deadClusters;
+            if (SNAP_TRACE_ON(trace::kFault)) {
+                trace::simInstant(trace::kFault, ctx_.tracePid,
+                                  trace::kTidMachine,
+                                  "fault.dead_cluster",
+                                  eq_.curTick());
+            }
         },
         "fault.deadCluster");
 }
@@ -208,6 +254,13 @@ SnapMachine::applyMarkerFault(bool stick)
                                        capacity::numMarkers);
     LocalNodeId l = static_cast<LocalNodeId>(faults_->draw(k) %
                                              kb.numLocalNodes());
+    if (SNAP_TRACE_ON(trace::kFault)) {
+        trace::simInstant(trace::kFault, ctx_.tracePid,
+                          trace::kTidMachine,
+                          stick ? "fault.marker_stick"
+                                : "fault.marker_flip",
+                          eq_.curTick());
+    }
     MarkerStore &ms = kb.markers();
     if (!stick && ms.test(m, l)) {
         ms.clear(m, l);
@@ -281,9 +334,33 @@ SnapMachine::run(const Program &prog)
         // Injected faults turn the no-deadlock invariant into a run
         // outcome: a wedge is detected and reported, not asserted.
         completed = runFaultLoop(start);
+        // A watchdog abort can clear pending stop events with units
+        // mid-work; force the union intervals closed so the partial
+        // category times stay meaningful and merge paths see a
+        // closed timer again.
+        stats_.categoryTimer.closeAll(eq_.curTick());
     }
 
     stats_.wallTicks = eq_.curTick() - start;
+
+    if (SNAP_TRACE_ON(trace::kMachine)) {
+        trace::simSpan(trace::kMachine, ctx_.tracePid,
+                       trace::kTidMachine, "machine.run", start,
+                       eq_.curTick());
+        std::uint64_t flow = trace::takeArmedFlow();
+        if (flow != 0) {
+            trace::simFlowEnd(trace::kMachine, ctx_.tracePid,
+                              trace::kTidMachine, flow, start);
+        }
+    }
+    if (faulty && !completed && SNAP_TRACE_ON(trace::kFault)) {
+        trace::simInstant(trace::kFault, ctx_.tracePid,
+                          trace::kTidMachine,
+                          faults_->tally().watchdogFired
+                              ? "fault.watchdog_abort"
+                              : "fault.wedge_demoted",
+                          eq_.curTick());
+    }
 
     RunResult result;
     if (completed) {
@@ -364,6 +441,50 @@ SnapMachine::formatComponentStats() const
            << ticksToMs(c->muBusyLocal()) << "\n";
     }
     return os.str();
+}
+
+void
+SnapMachine::exportMetrics(MetricsRegistry &reg,
+                           MetricsRegistry::Labels labels) const
+{
+    snap_assert(icn_ != nullptr, "metrics before loadKb()");
+
+    stats::Group icn_group("icn");
+    icn_group.addScalar("messagesInjected",
+                        &icn_->messagesInjected);
+    icn_group.addScalar("hopsTraversed", &icn_->hopsTraversed);
+    icn_group.addScalar("relays", &icn_->relays);
+    icn_group.addScalar("blockedSends", &icn_->blockedSends);
+    icn_group.addScalar("messagesDropped", &icn_->messagesDropped);
+    icn_group.addDistribution("hops", &icn_->hopDist);
+    icn_group.addDistribution("latencyTicks", &icn_->latency);
+    icn_group.exportTo(reg, labels);
+
+    stats::Group perf_group("perfNet");
+    perf_group.addScalar("emitted", &perf_->emitted);
+    perf_group.addScalar("dropped", &perf_->droppedRecords);
+    perf_group.exportTo(reg, labels);
+
+    reg.counter("snap_sync_total_created",
+                static_cast<double>(sync_->totalCreated()),
+                "sync-tree creation credits", labels);
+    reg.counter("snap_sync_total_consumed",
+                static_cast<double>(sync_->totalConsumed()),
+                "sync-tree consumption credits", labels);
+
+    for (const auto &c : clusters_) {
+        MetricsRegistry::Labels l = labels;
+        l.emplace_back("cluster", formatString("%u", c->id()));
+        reg.gauge("snap_cluster_activation_out_high_water",
+                  static_cast<double>(c->activationOutHighWater()),
+                  "activation-out queue high-water mark", l);
+        reg.gauge("snap_cluster_arrivals_high_water",
+                  static_cast<double>(c->arrivalsHighWater()),
+                  "arrival queue high-water mark", l);
+        reg.counter("snap_cluster_mu_busy_ticks",
+                    static_cast<double>(c->muBusyLocal()),
+                    "cumulative MU busy ticks on this cluster", l);
+    }
 }
 
 } // namespace snap

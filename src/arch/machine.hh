@@ -193,6 +193,12 @@ class SnapMachine
      */
     std::string formatComponentStats() const;
 
+    /** Push the component stats (ICN, perf net, sync tree, per-
+     *  cluster queues) into the unified MetricsRegistry; `labels`
+     *  (e.g. worker="2") is applied to every sample. */
+    void exportMetrics(MetricsRegistry &reg,
+                       MetricsRegistry::Labels labels = {}) const;
+
     // --- fault injection / detection --------------------------------
 
     /**
@@ -231,6 +237,10 @@ class SnapMachine
   private:
     /** Build ICN/sync/perf/clusters/controller around image_. */
     void wireArray();
+
+    /** Register Perfetto process/track names for this machine's
+     *  trace domain (cold; only when tracing is active). */
+    void nameTraceTracks() const;
 
     /** Arm this run's scheduled faults (flip/stick/wedge/dead). */
     void scheduleRunFaults(Tick start);

@@ -14,6 +14,17 @@ namespace
 Logger::Hook g_hook = nullptr;
 std::atomic<bool> g_debug_enabled{false};
 
+constexpr std::size_t kNumLevels = 5;
+std::atomic<std::uint64_t> g_emitted[kNumLevels] = {};
+std::atomic<std::uint64_t> g_suppressed[kNumLevels] = {};
+
+std::size_t
+levelIndex(LogLevel level)
+{
+    auto i = static_cast<std::size_t>(level);
+    return i < kNumLevels ? i : kNumLevels - 1;
+}
+
 /** Serializes sink writes and hook swaps (see header).  Function-local
  *  so it is constructed before any static-initialization logging. */
 std::mutex &
@@ -59,10 +70,42 @@ Logger::debugEnabled()
     return g_debug_enabled.load(std::memory_order_relaxed);
 }
 
+std::uint64_t
+Logger::emittedCount(LogLevel level)
+{
+    return g_emitted[levelIndex(level)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Logger::suppressedCount(LogLevel level)
+{
+    return g_suppressed[levelIndex(level)].load(
+        std::memory_order_relaxed);
+}
+
+void
+Logger::resetCounters()
+{
+    for (std::size_t i = 0; i < kNumLevels; ++i) {
+        g_emitted[i].store(0, std::memory_order_relaxed);
+        g_suppressed[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Logger::noteSuppressed(LogLevel level)
+{
+    g_suppressed[levelIndex(level)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
 void
 Logger::emit(LogLevel level, const std::string &msg,
              const char *file, int line)
 {
+    g_emitted[levelIndex(level)].fetch_add(
+        1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(logMutex());
     if (g_hook)
         g_hook(level, msg);

@@ -22,7 +22,9 @@
 #ifndef SNAP_COMMON_LOGGING_HH
 #define SNAP_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -62,6 +64,18 @@ class Logger
     /** Enable or disable Debug-level output (off by default). */
     static void setDebugEnabled(bool enabled);
     static bool debugEnabled();
+
+    /** Messages emitted at `level` since start / resetCounters().
+     *  Counts every emit(), including ones a hook swallowed. */
+    static std::uint64_t emittedCount(LogLevel level);
+
+    /** Messages swallowed at `level` by SNAP_LOG_EVERY_N. */
+    static std::uint64_t suppressedCount(LogLevel level);
+
+    static void resetCounters();
+
+    /** Internal: SNAP_LOG_EVERY_N bookkeeping. */
+    static void noteSuppressed(LogLevel level);
 };
 
 /** Internal: printf-style formatting into a std::string. */
@@ -107,6 +121,45 @@ void debugImpl(const char *file, int line, const std::string &msg);
         if (::snap::Logger::debugEnabled()) { \
             ::snap::debugImpl(__FILE__, __LINE__, \
                               ::snap::formatString(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/**
+ * Rate-limited logging: emits the 1st, (n+1)th, (2n+1)th ... hit of
+ * this call site and counts the rest as suppressed, so a per-message
+ * fault rate of 1% over 10^5 events costs ~n-th of the log volume.
+ * `level` is a bare LogLevel enumerator (Warn, Inform, ...).
+ *
+ *   SNAP_LOG_EVERY_N(Warn, 64, "replica %u fault: %s", id, what);
+ *
+ * The per-site counter is process-lifetime and thread-safe; every
+ * emitted message after the first carries a "(k similar suppressed)"
+ * suffix.
+ */
+#define SNAP_LOG_EVERY_N(level, n, ...) \
+    do { \
+        static ::std::atomic<::std::uint64_t> snap_len_hits_{0}; \
+        ::std::uint64_t snap_len_i_ = \
+            snap_len_hits_.fetch_add(1, \
+                                     ::std::memory_order_relaxed); \
+        ::std::uint64_t snap_len_n_ = \
+            static_cast<::std::uint64_t>(n) ? \
+                static_cast<::std::uint64_t>(n) : 1; \
+        if (snap_len_i_ % snap_len_n_ == 0) { \
+            ::std::string snap_len_msg_ = \
+                ::snap::formatString(__VA_ARGS__); \
+            if (snap_len_i_ > 0) { \
+                snap_len_msg_ += ::snap::formatString( \
+                    " (%llu similar suppressed)", \
+                    static_cast<unsigned long long>(snap_len_n_ - \
+                                                    1)); \
+            } \
+            ::snap::Logger::emit(::snap::LogLevel::level, \
+                                 snap_len_msg_, __FILE__, \
+                                 __LINE__); \
+        } else { \
+            ::snap::Logger::noteSuppressed( \
+                ::snap::LogLevel::level); \
         } \
     } while (0)
 

@@ -1,0 +1,138 @@
+#include "common/metrics_registry.hh"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+namespace
+{
+
+/** Counters are integral in practice; keep them integer-exact in
+ *  both output formats and fall back to %g for real gauges. */
+std::string
+formatValue(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.0e15) {
+        return formatString("%lld", static_cast<long long>(v));
+    }
+    return formatString("%.9g", v);
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        else if (c == '\n') {
+            os << "\\n";
+            continue;
+        }
+        os << c;
+    }
+}
+
+} // namespace
+
+void
+MetricsRegistry::add(const std::string &name, Kind kind,
+                     double value, const std::string &help,
+                     Labels labels)
+{
+    Sample s;
+    s.name = sanitizeName(name);
+    s.help = help;
+    s.kind = kind;
+    s.labels = std::move(labels);
+    s.value = value;
+    samples_.push_back(std::move(s));
+}
+
+std::string
+MetricsRegistry::sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  c == '_' || c == ':' ||
+                  (!out.empty() && c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const Sample &s = samples_[i];
+        os << "    {\"name\": \"" << s.name << "\", \"kind\": \""
+           << (s.kind == Kind::Counter ? "counter" : "gauge")
+           << "\"";
+        if (!s.labels.empty()) {
+            os << ", \"labels\": {";
+            for (std::size_t j = 0; j < s.labels.size(); ++j) {
+                os << "\"" << s.labels[j].first << "\": \"";
+                writeEscaped(os, s.labels[j].second);
+                os << "\"" << (j + 1 < s.labels.size() ? ", " : "");
+            }
+            os << "}";
+        }
+        os << ", \"value\": " << formatValue(s.value) << "}"
+           << (i + 1 < samples_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    // Group samples by metric name, preserving first-seen order, so
+    // each name gets exactly one # HELP / # TYPE block (promlint
+    // rejects interleaved groups).
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const Sample *>> groups;
+    for (const Sample &s : samples_) {
+        auto it = groups.find(s.name);
+        if (it == groups.end())
+            order.push_back(s.name);
+        groups[s.name].push_back(&s);
+    }
+
+    for (const std::string &name : order) {
+        const auto &group = groups[name];
+        const Sample *first = group.front();
+        if (!first->help.empty()) {
+            os << "# HELP " << name << " " << first->help << "\n";
+        }
+        os << "# TYPE " << name << " "
+           << (first->kind == Kind::Counter ? "counter" : "gauge")
+           << "\n";
+        for (const Sample *s : group) {
+            os << name;
+            if (!s->labels.empty()) {
+                os << "{";
+                for (std::size_t j = 0; j < s->labels.size(); ++j) {
+                    os << s->labels[j].first << "=\"";
+                    writeEscaped(os, s->labels[j].second);
+                    os << "\""
+                       << (j + 1 < s->labels.size() ? "," : "");
+                }
+                os << "}";
+            }
+            os << " " << formatValue(s->value) << "\n";
+        }
+    }
+}
+
+} // namespace snap

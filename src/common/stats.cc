@@ -62,6 +62,48 @@ Group::format() const
 }
 
 void
+Group::exportTo(MetricsRegistry &reg,
+                MetricsRegistry::Labels labels) const
+{
+    using Kind = MetricsRegistry::Kind;
+    auto metricName = [&](const std::string &stat,
+                          const char *suffix) {
+        std::string n = "snap_" + name_ + "_" + stat;
+        if (suffix[0] != '\0')
+            n += suffix;
+        return MetricsRegistry::sanitizeName(n);
+    };
+
+    for (const auto &[name, s] : scalars_) {
+        reg.add(metricName(name, ""), Kind::Counter, s->value(),
+                "component counter " + name_ + "." + name, labels);
+    }
+    for (const auto &[name, d] : dists_) {
+        reg.add(metricName(name, "_count"), Kind::Counter,
+                static_cast<double>(d->count()),
+                "sample count of " + name_ + "." + name, labels);
+        reg.add(metricName(name, "_sum"), Kind::Counter, d->sum(),
+                "sample sum of " + name_ + "." + name, labels);
+        reg.add(metricName(name, "_min"), Kind::Gauge, d->min(), "",
+                labels);
+        reg.add(metricName(name, "_max"), Kind::Gauge, d->max(), "",
+                labels);
+        reg.add(metricName(name, "_mean"), Kind::Gauge, d->mean(),
+                "", labels);
+    }
+    for (const auto &[name, h] : histos_) {
+        reg.add(metricName(name, "_count"), Kind::Counter,
+                static_cast<double>(h->dist().count()),
+                "sample count of " + name_ + "." + name, labels);
+        reg.add(metricName(name, "_sum"), Kind::Counter,
+                h->dist().sum(),
+                "sample sum of " + name_ + "." + name, labels);
+        reg.add(metricName(name, "_overflow"), Kind::Counter,
+                static_cast<double>(h->overflow()), "", labels);
+    }
+}
+
+void
 Group::resetAll()
 {
     for (auto &[name, s] : scalars_)

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.hh"
+
 namespace snap
 {
 namespace stats
@@ -186,6 +188,13 @@ class Group
 
     /** Reset every registered statistic. */
     void resetAll();
+
+    /** Bridge into the unified MetricsRegistry: scalars export as
+     *  snap_<group>_<stat> counters; distributions and histograms
+     *  export count/sum/min/max/mean samples.  `labels` is applied
+     *  to every emitted sample. */
+    void exportTo(MetricsRegistry &reg,
+                  MetricsRegistry::Labels labels = {}) const;
 
     const std::string &name() const { return name_; }
 

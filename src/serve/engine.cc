@@ -1,8 +1,10 @@
 #include "serve/engine.hh"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace snap
 {
@@ -80,8 +82,13 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
     health_.assign(cfg_.numWorkers, 0);
     slots_.reserve(cfg_.numWorkers);
     for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
+        // Each replica gets its own trace domain (Perfetto
+        // "process"), so the per-machine simulated-time tracks of
+        // different workers never interleave.
+        MachineConfig worker_cfg = cfg_.machine;
+        worker_cfg.traceDomain = w;
         machines_.push_back(
-            std::make_unique<SnapMachine>(cfg_.machine));
+            std::make_unique<SnapMachine>(worker_cfg));
         machines_.back()->loadKb(*master_);
         slots_.push_back(std::make_unique<WorkerSlot>());
         if (faulty) {
@@ -91,6 +98,16 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
             spec.seed = requestSeed(spec.seed, w);
             machines_.back()->installFaults(spec);
             machines_.back()->setIntegrityShadow(shadowNet_.get());
+        }
+    }
+
+    if (trace::active()) {
+        trace::nameProcess(trace::kHostPid, "snapserve host (ns)");
+        trace::nameTrack(trace::kHostPid, trace::kTidAdmission,
+                         "admission");
+        for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
+            trace::nameTrack(trace::kHostPid, trace::tidWorker(w),
+                             formatString("worker %u", w));
         }
     }
 
@@ -183,6 +200,14 @@ ServeEngine::forceFailHung()
             if (p->answered.exchange(true))
                 continue;
             metrics_.noteHung();
+            if (SNAP_TRACE_ON(trace::kServe)) {
+                trace::hostInstant(trace::kServe,
+                                   trace::kTidAdmission,
+                                   "request.hung");
+                trace::hostAsyncEnd(trace::kServe,
+                                    trace::kTidAdmission, "request",
+                                    p->req.id);
+            }
             if (p->slot)
                 p->slot->deliver(hungResponse(p->req));
             else
@@ -237,6 +262,7 @@ ServeEngine::releasePending(std::unique_ptr<Pending> p)
     p->hasDeadline = false;
     p->answered.store(false, std::memory_order_relaxed);
     p->owner = nullptr;
+    p->traceAdmitNs = 0;
     // p->req keeps its buffers: the next admission's move-assign
     // recycles or releases them without allocating here.
     std::lock_guard<std::mutex> lock(poolMu_);
@@ -284,6 +310,10 @@ ServeEngine::admit(Request &&req, std::unique_ptr<Pending> &pending,
         stormFaults_.load(std::memory_order_relaxed) >=
             cfg_.shedThreshold) {
         metrics_.noteShed();
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostInstant(trace::kServe, trace::kTidAdmission,
+                               "admit.shed");
+        }
         early.id = req.id;
         early.rngSeed = req.rngSeed;
         early.status = RequestStatus::Rejected;
@@ -303,6 +333,10 @@ ServeEngine::admit(Request &&req, std::unique_ptr<Pending> &pending,
 
     pending->req = std::move(req);
 
+    const std::uint64_t rid = pending->req.id;
+    if (SNAP_TRACE_ON(trace::kServe))
+        pending->traceAdmitNs = trace::hostNowNs();
+
     {
         std::lock_guard<std::mutex> lock(doneMu_);
         ++outstanding_;
@@ -314,12 +348,22 @@ ServeEngine::admit(Request &&req, std::unique_ptr<Pending> &pending,
             sessions_.cancel(pending->req.sessionId,
                              pending->sessionSeq);
         metrics_.noteRejected();
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostInstant(trace::kServe, trace::kTidAdmission,
+                               "admit.reject");
+        }
         early.status = RequestStatus::Rejected;
         releasePending(std::move(pending));
         noteDone();
         return false;
     }
     metrics_.noteSubmitted();
+    if (SNAP_TRACE_ON(trace::kServe)) {
+        // One async-nestable lifecycle per request on the admission
+        // track; closed by deliverResponse (or the hung watchdog).
+        trace::hostAsyncBegin(trace::kServe, trace::kTidAdmission,
+                              "request", rid);
+    }
     return true;
 }
 
@@ -361,6 +405,10 @@ ServeEngine::deliverResponse(std::unique_ptr<Pending> p,
     // this request Hung while the worker was stuck; in that case the
     // late result is dropped and only the record is recycled.
     if (!p->answered.exchange(true)) {
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostAsyncEnd(trace::kServe, trace::kTidAdmission,
+                                "request", resp.id);
+        }
         if (p->slot)
             p->slot->deliver(std::move(resp));
         else
@@ -408,7 +456,16 @@ ServeEngine::workerMain(std::uint32_t idx)
         if (p->batchable) {
             batch.clear();
             batch.push_back(std::move(p));
+            std::uint64_t form_ns =
+                SNAP_TRACE_ON(trace::kServe) ? trace::hostNowNs()
+                                             : 0;
             gatherBatch(batch);
+            if (form_ns != 0) {
+                trace::hostSpanArg(trace::kServe,
+                                   trace::tidWorker(idx),
+                                   "batch.form", form_ns,
+                                   trace::hostNowNs(), batch.size());
+            }
             for (auto &q : batch)
                 registerInflight(idx, q.get());
             serveBatch(idx, batch);
@@ -461,6 +518,12 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
     Clock::time_point begin = Clock::now();
     double queue_ms = msBetween(p->enqueuedAt, begin);
 
+    if (SNAP_TRACE_ON(trace::kServe) && p->traceAdmitNs != 0) {
+        trace::hostSpan(trace::kServe, trace::tidWorker(idx),
+                        "queue.wait", p->traceAdmitNs,
+                        trace::hostNowNs());
+    }
+
     Response resp;
     resp.id = req.id;
     resp.rngSeed = req.rngSeed;
@@ -471,6 +534,10 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
         if (sessioned)
             sessions_.cancel(req.sessionId, p->sessionSeq);
         metrics_.noteTimedOut(queue_ms);
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                               "deadline.expired");
+        }
         resp.status = RequestStatus::TimedOut;
         deliverResponse(std::move(p), std::move(resp));
         return;
@@ -498,7 +565,27 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
             // any marker corruption a faulted attempt left behind.
             machine.image().resetMarkers();
         }
+        std::uint64_t flow_id = 0;
+        std::uint64_t attempt_ns = 0;
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            // Link this host-side attempt to the simulated-time
+            // machine.run span it is about to produce: emit the
+            // flow start here and arm the id; SnapMachine::run
+            // consumes it and emits the matching finish.
+            flow_id = trace::nextFlowId();
+            attempt_ns = trace::hostNowNs();
+            trace::hostFlowStart(trace::kServe,
+                                 trace::tidWorker(idx), flow_id,
+                                 attempt_ns);
+            trace::armFlow(flow_id);
+        }
         run = machine.run(req.prog);
+        accumulateRunStats(run.stats);
+        if (flow_id != 0) {
+            trace::hostSpanArg(trace::kServe, trace::tidWorker(idx),
+                               "attempt", attempt_ns,
+                               trace::hostNowNs(), attempts);
+        }
         if (run.fault.ok())
             break;
         noteReplicaFault(idx, run.fault);
@@ -506,6 +593,10 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
             break;
         ++attempts;
         metrics_.noteRetry();
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                               "retry", attempts, true);
+        }
         if (cfg_.retryBackoffMs > 0.0) {
             const std::uint32_t shift =
                 attempts - 1 < 10 ? attempts - 1 : 10;
@@ -574,6 +665,11 @@ ServeEngine::serveBatch(std::uint32_t idx,
             resp.queueMs = queue_ms;
             resp.status = RequestStatus::TimedOut;
             metrics_.noteTimedOut(queue_ms);
+            if (SNAP_TRACE_ON(trace::kServe)) {
+                trace::hostInstant(trace::kServe,
+                                   trace::tidWorker(idx),
+                                   "deadline.expired");
+            }
             deliverResponse(std::move(p), std::move(resp));
         } else {
             batch[live++] = std::move(p);
@@ -593,8 +689,22 @@ ServeEngine::serveBatch(std::uint32_t idx,
         static_cast<std::uint32_t>(batch.size());
     SnapMachine &machine = *machines_.at(idx);
     machine.image().resetMarkers();
+    std::uint64_t flow_id = 0;
+    std::uint64_t attempt_ns = 0;
+    if (SNAP_TRACE_ON(trace::kServe)) {
+        flow_id = trace::nextFlowId();
+        attempt_ns = trace::hostNowNs();
+        trace::hostFlowStart(trace::kServe, trace::tidWorker(idx),
+                             flow_id, attempt_ns);
+        trace::armFlow(flow_id);
+    }
     BatchRunResult run =
         machine.runBatch(batch.front()->req.prog, lanes);
+    if (flow_id != 0) {
+        trace::hostSpanArg(trace::kServe, trace::tidWorker(idx),
+                           "batch.attempt", attempt_ns,
+                           trace::hostNowNs(), lanes);
+    }
 
     if (!run.fault.ok()) {
         // The shared traversal is poisoned, so no lane's answer is
@@ -603,12 +713,17 @@ ServeEngine::serveBatch(std::uint32_t idx,
         // re-drawn fault stream commit normally.
         noteReplicaFault(idx, run.fault);
         metrics_.noteBatchFallback();
+        if (SNAP_TRACE_ON(trace::kServe)) {
+            trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                               "batch.fallback", lanes, true);
+        }
         for (auto &p : batch)
             serveOne(idx, std::move(p));
         batch.clear();
         return;
     }
     noteReplicaOk(idx);
+    accumulateRunStats(run.stats);
     Clock::time_point end = Clock::now();
     double service_ms = msBetween(begin, end);
 
@@ -654,6 +769,16 @@ ServeEngine::noteReplicaFault(std::uint32_t idx, const FaultReport &r)
     if (machine.poisoned())
         machine.repair();
     metrics_.noteFaultDetected(r.wedged || r.watchdogFired);
+    // Fault storms produce one of these per failing attempt;
+    // rate-limit so the log stays readable under sustained injection.
+    SNAP_LOG_EVERY_N(Warn, 64,
+                     "serve: replica %u tripped fault detection "
+                     "(wedged=%d watchdog=%d)",
+                     idx, r.wedged ? 1 : 0, r.watchdogFired ? 1 : 0);
+    if (SNAP_TRACE_ON(trace::kServe)) {
+        trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                           "replica.fault");
+    }
     stormFaults_.fetch_add(1, std::memory_order_relaxed);
     if (cfg_.quarantineThreshold > 0 &&
         ++health_[idx] >= cfg_.quarantineThreshold) {
@@ -684,6 +809,14 @@ ServeEngine::quarantineReplica(std::uint32_t idx)
     if (machine.faultPlan())
         machine.faultPlan()->bumpGeneration();
     metrics_.noteQuarantine();
+    SNAP_LOG_EVERY_N(Warn, 64,
+                     "serve: replica %u quarantined (re-stamped "
+                     "from master, fault stream re-seeded)",
+                     idx);
+    if (SNAP_TRACE_ON(trace::kServe)) {
+        trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                           "replica.quarantine");
+    }
 }
 
 void
@@ -704,6 +837,31 @@ ServeEngine::drain()
 {
     std::unique_lock<std::mutex> lock(doneMu_);
     allDone_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void
+ServeEngine::accumulateRunStats(const ExecBreakdown &stats)
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    aggExec_.merge(stats);
+    // The per-epoch message series grows with every run and is not
+    // exported; drop it so a long-lived engine stays bounded.
+    aggExec_.msgsPerEpoch.clear();
+    aggExec_.msgsPerEpoch.shrink_to_fit();
+}
+
+void
+ServeEngine::exportMetrics(MetricsRegistry &reg) const
+{
+    metricsSnapshot().exportMetrics(reg);
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        aggExec_.exportMetrics(reg);
+    }
+    for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
+        machines_[w]->exportMetrics(reg,
+                                    {{"worker", std::to_string(w)}});
+    }
 }
 
 MetricsSnapshot

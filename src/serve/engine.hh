@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "arch/machine.hh"
+#include "common/metrics_registry.hh"
 #include "fault/fault_plan.hh"
 #include "kb/semantic_network.hh"
 #include "serve/metrics.hh"
@@ -202,6 +203,17 @@ class ServeEngine
 
     MetricsSnapshot metricsSnapshot() const;
 
+    /**
+     * Unified observability export: pushes the serving counters
+     * (snap_serve_*), the aggregated simulated-execution breakdown
+     * of every run attempt (snap_exec_*), and each replica's
+     * component stats (ICN, perf net, sync tree, queues; labelled
+     * worker="N") into one MetricsRegistry.  Replica component stats
+     * are read without synchronization, so call after drain() or
+     * shutdown() for exact values; mid-flight reads are approximate.
+     */
+    void exportMetrics(MetricsRegistry &reg) const;
+
     /** Marker state of session @p id (checkpoint via
      *  runtime/snapshot's saveMarkers). */
     MarkerStore sessionMarkers(const std::string &id) const;
@@ -243,6 +255,9 @@ class ServeEngine
         /** Exactly-once delivery: set by whoever answers first — the
          *  serving worker or the shutdown watchdog. */
         std::atomic<bool> answered{false};
+        /** Host-ns admission timestamp (trace epoch); 0 when tracing
+         *  was off at admission.  Anchors the queue.wait span. */
+        std::uint64_t traceAdmitNs = 0;
         /** Worker registry holding this request (worker-thread
          *  private; registered/unregistered under owner->mu). */
         WorkerSlot *owner = nullptr;
@@ -260,6 +275,9 @@ class ServeEngine
     void releasePending(std::unique_ptr<Pending> p);
     void noteDone();
     std::uint64_t outstandingCount() const;
+    /** Fold one run attempt's ExecBreakdown into the engine-wide
+     *  aggregate (under statsMu_). */
+    void accumulateRunStats(const ExecBreakdown &stats);
 
     // --- recovery machinery -------------------------------------------
     void registerInflight(std::uint32_t idx, Pending *p);
@@ -294,6 +312,13 @@ class ServeEngine
     SessionStore sessions_;
     ServeMetrics metrics_;
     Clock::time_point startedAt_;
+
+    /** Engine-wide sum of every run attempt's ExecBreakdown (the
+     *  simulated-execution island of exportMetrics).  msgsPerEpoch
+     *  is dropped on each merge so a long-lived engine stays
+     *  bounded. */
+    mutable std::mutex statsMu_;
+    ExecBreakdown aggExec_;
 
     /** Admission lock: id/seed assignment, session sequencing, and
      *  the queue push happen atomically so queue order == session

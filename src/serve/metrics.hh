@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/metrics_registry.hh"
 #include "common/types.hh"
 
 namespace snap
@@ -112,6 +113,12 @@ struct MetricsSnapshot
                 makespan = w.busyTicks;
         return makespan;
     }
+
+    /** Push every serving counter, queue gauge, histogram summary,
+     *  and per-worker tally into the unified MetricsRegistry under
+     *  the snap_serve_* prefix; `labels` is applied to each sample. */
+    void exportMetrics(MetricsRegistry &reg,
+                       MetricsRegistry::Labels labels = {}) const;
 };
 
 /** Render @p snap as a pretty-printed JSON object. */

@@ -15,6 +15,16 @@
  *     --relax-capacity      lift the 1024-nodes-per-cluster limit
  *     --seed N              base of the per-request seed chain
  *     --metrics FILE        write the metrics JSON dump to FILE
+ *     --metrics-format F    serve-json (default; the legacy rich
+ *                           document) | json | prometheus (the
+ *                           unified MetricsRegistry export covering
+ *                           serving counters, aggregated execution
+ *                           stats, and per-replica component stats)
+ *     --trace-out FILE      write a Chrome trace-event JSON with
+ *                           host request spans flow-linked to the
+ *                           replicas' simulated-time machine spans
+ *     --trace-categories L  comma list of trace categories (default
+ *                           all; see docs/observability.md)
  *     --sessions-out DIR    checkpoint final session marker state to
  *                           DIR/<session>.snapmarkers
  *     --quiet               suppress per-request result listings
@@ -52,8 +62,10 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 #include "common/strutil.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 #include "isa/assembler.hh"
 #include "kb/kb_io.hh"
 #include "runtime/snapshot.hh"
@@ -82,6 +94,9 @@ usage()
         "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
         "  --seed N               base request-seed chain\n"
         "  --metrics FILE         write metrics JSON to FILE\n"
+        "  --metrics-format F     serve-json|json|prometheus\n"
+        "  --trace-out FILE       write Chrome trace-event JSON\n"
+        "  --trace-categories L   trace category list (default all)\n"
         "  --sessions-out DIR     checkpoint session marker state\n"
         "  --quiet                suppress per-request results\n"
         "  --fault-seed N         deterministic fault-injection seed\n"
@@ -172,6 +187,9 @@ main(int argc, char **argv)
     cfg.machine = MachineConfig::paperSetup();
     cfg.machine.perfNetEnabled = false;
     std::string metrics_path;
+    std::string metrics_format = "serve-json";
+    std::string trace_out;
+    std::string trace_categories = "all";
     std::string sessions_dir;
     bool quiet = false;
     std::uint64_t fault_seed = 1;
@@ -268,6 +286,17 @@ main(int argc, char **argv)
             cfg.shedThreshold = static_cast<std::uint32_t>(n);
         } else if (arg == "--metrics") {
             metrics_path = next();
+        } else if (arg == "--metrics-format") {
+            metrics_format = next();
+            if (metrics_format != "serve-json" &&
+                metrics_format != "json" &&
+                metrics_format != "prometheus")
+                usageError("--metrics-format must be serve-json, "
+                           "json, or prometheus");
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-categories") {
+            trace_categories = next();
         } else if (arg == "--sessions-out") {
             sessions_dir = next();
         } else if (arg == "--quiet") {
@@ -317,6 +346,20 @@ main(int argc, char **argv)
             cfg.faults.seed = fault_seed;
     } else if (fault_rate > 0.0) {
         cfg.faults = FaultSpec::messageFaults(fault_seed, fault_rate);
+    }
+
+    // Arm tracing before the engine exists: host and per-replica
+    // track names are registered at construction time only while
+    // tracing is active.
+    if (!trace_out.empty()) {
+        std::uint32_t mask = 0;
+        if (!trace::parseCategories(trace_categories, mask) ||
+            mask == 0) {
+            usageError("--trace-categories must be a comma list "
+                       "from: all,instr,cluster,icn,sync,sem,fault,"
+                       "machine,serve");
+        }
+        trace::start(mask);
     }
 
     serve::ServeEngine engine(net, cfg);
@@ -418,9 +461,23 @@ main(int argc, char **argv)
         if (!os)
             snap_fatal("cannot open '%s' for writing",
                        metrics_path.c_str());
-        os << serve::metricsJson(m);
-        std::printf("wrote metrics JSON to %s\n",
-                    metrics_path.c_str());
+        if (metrics_format == "serve-json") {
+            os << serve::metricsJson(m);
+            std::printf("wrote metrics JSON to %s\n",
+                        metrics_path.c_str());
+        } else {
+            // Unified registry export: serving counters, aggregated
+            // execution breakdown, per-replica component stats.
+            MetricsRegistry reg;
+            engine.exportMetrics(reg);
+            if (metrics_format == "prometheus")
+                reg.writePrometheus(os);
+            else
+                reg.writeJson(os);
+            std::printf("wrote %zu metrics (%s) to %s\n", reg.size(),
+                        metrics_format.c_str(),
+                        metrics_path.c_str());
+        }
     }
 
     if (!sessions_dir.empty()) {
@@ -430,6 +487,19 @@ main(int argc, char **argv)
             saveMarkersFile(engine.sessionMarkers(sid), path);
             std::printf("checkpointed session %s to %s\n",
                         sid.c_str(), path.c_str());
+        }
+    }
+
+    if (!trace_out.empty()) {
+        // Join the workers first so every per-thread ring buffer is
+        // quiescent before the serializer walks them.
+        engine.shutdown();
+        trace::stop();
+        if (trace::writeJsonFile(trace_out)) {
+            std::printf("wrote trace to %s (%llu events dropped)\n",
+                        trace_out.c_str(),
+                        static_cast<unsigned long long>(
+                            trace::droppedCount()));
         }
     }
     return 0;

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * snaptrace — offline companion for the snap trace/metrics layer.
+ *
+ *   snaptrace report <trace.json> [--top N]
+ *       Summarize a Chrome trace-event dump produced by
+ *       --trace-out: per-category event counts, the top-N
+ *       simulated-time span breakdown, a per-cluster MU utilization
+ *       heatmap (busy span time vs machine wall time, one row per
+ *       cluster track), and the host<->sim flow-link tally.
+ *
+ *   snaptrace check <trace.json>
+ *       Machine-checkable smoke: the file parses as JSON, holds a
+ *       traceEvents array, and contains at least one matched
+ *       's'/'f' flow pair.  Exit 0 on pass, 1 on fail (CI gate).
+ *
+ *   snaptrace promlint <metrics.prom>
+ *       Lint a Prometheus text-exposition file: name charset,
+ *       HELP/TYPE discipline, parseable sample values.  Exit 0/1.
+ *
+ * Exit status: 0 on success/pass, 1 on check failure or bad input,
+ * 2 on a command-line usage error, matching the other snap tools.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+using namespace snap;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: snaptrace <mode> <file> [options]\n"
+        "  report <trace.json> [--top N]  summarize a trace dump\n"
+        "  check <trace.json>             validate JSON + flow pairs\n"
+        "  promlint <metrics.prom>        lint Prometheus text "
+        "output\n");
+    std::exit(2);
+}
+
+// -------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.  Covers exactly the
+// grammar the trace writer and metrics exporters emit; rejects
+// anything else with a position-tagged error.
+// -------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (!value(out, err))
+            return false;
+        skipWs();
+        if (pos_ != s_.size()) {
+            err = errorAt("trailing data after document");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    value(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            err = errorAt("unexpected end of input");
+            return false;
+        }
+        char c = s_[pos_];
+        if (c == '{')
+            return object(out, err);
+        if (c == '[')
+            return array(out, err);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return string(out.str, err);
+        }
+        if (c == 't' || c == 'f')
+            return boolean(out, err);
+        if (c == 'n') {
+            if (s_.compare(pos_, 4, "null") != 0) {
+                err = errorAt("bad literal");
+                return false;
+            }
+            pos_ += 4;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return number(out, err);
+    }
+
+    bool
+    object(JsonValue &out, std::string &err)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key, err))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':') {
+                err = errorAt("expected ':'");
+                return false;
+            }
+            ++pos_;
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size()) {
+                err = errorAt("unterminated object");
+                return false;
+            }
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            err = errorAt("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    bool
+    array(JsonValue &out, std::string &err)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size()) {
+                err = errorAt("unterminated array");
+                return false;
+            }
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            err = errorAt("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    string(std::string &out, std::string &err)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"') {
+            err = errorAt("expected string");
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size()) {
+                    err = errorAt("bad escape");
+                    return false;
+                }
+                char e = s_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u':
+                    // The trace writer never emits \u escapes;
+                    // tolerate them opaquely for foreign files.
+                    if (pos_ + 4 > s_.size()) {
+                        err = errorAt("bad \\u escape");
+                        return false;
+                    }
+                    out += '?';
+                    pos_ += 4;
+                    break;
+                  default:
+                    err = errorAt("bad escape");
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= s_.size()) {
+            err = errorAt("unterminated string");
+            return false;
+        }
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool
+    boolean(JsonValue &out, std::string &err)
+    {
+        out.type = JsonValue::Type::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        err = errorAt("bad literal");
+        return false;
+    }
+
+    bool
+    number(JsonValue &out, std::string &err)
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '-' ||
+                s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start) {
+            err = errorAt("expected number");
+            return false;
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        double v;
+        if (!parseDouble(tok, v)) {
+            err = errorAt("bad number");
+            return false;
+        }
+        out.type = JsonValue::Type::Number;
+        out.number = v;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    std::string
+    errorAt(const char *msg) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+            if (s_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return formatString("%s at line %zu col %zu", msg, line, col);
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        snap_fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+// -------------------------------------------------------------------
+// Trace-event model shared by report and check.
+// -------------------------------------------------------------------
+
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    std::string id;      // flow/async id (string form)
+    std::string ph;
+    double ts = 0.0;     // microseconds
+    double dur = 0.0;    // microseconds ('X' only)
+    long long pid = 0;
+    long long tid = 0;
+};
+
+struct TraceDoc
+{
+    std::vector<TraceEvent> events;
+    /** pid -> process_name metadata. */
+    std::map<long long, std::string> processNames;
+    /** (pid, tid) -> thread_name metadata. */
+    std::map<std::pair<long long, long long>, std::string>
+        threadNames;
+};
+
+bool
+loadTrace(const std::string &path, TraceDoc &doc, std::string &err)
+{
+    std::string text = slurp(path);
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root, err))
+        return false;
+    if (root.type != JsonValue::Type::Object) {
+        err = "top level is not an object";
+        return false;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || events->type != JsonValue::Type::Array) {
+        err = "no traceEvents array";
+        return false;
+    }
+    for (const JsonValue &e : events->arr) {
+        if (e.type != JsonValue::Type::Object)
+            continue;
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *name = e.find("name");
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (!ph || ph->type != JsonValue::Type::String)
+            continue;
+        long long pidv =
+            pid && pid->type == JsonValue::Type::Number
+                ? static_cast<long long>(pid->number) : 0;
+        long long tidv =
+            tid && tid->type == JsonValue::Type::Number
+                ? static_cast<long long>(tid->number) : 0;
+        if (ph->str == "M") {
+            const JsonValue *args = e.find("args");
+            const JsonValue *nv =
+                args ? args->find("name") : nullptr;
+            if (name && nv &&
+                nv->type == JsonValue::Type::String) {
+                if (name->str == "process_name")
+                    doc.processNames[pidv] = nv->str;
+                else if (name->str == "thread_name")
+                    doc.threadNames[{pidv, tidv}] = nv->str;
+            }
+            continue;
+        }
+        TraceEvent ev;
+        ev.ph = ph->str;
+        if (name && name->type == JsonValue::Type::String)
+            ev.name = name->str;
+        const JsonValue *cat = e.find("cat");
+        if (cat && cat->type == JsonValue::Type::String)
+            ev.cat = cat->str;
+        const JsonValue *id = e.find("id");
+        if (id && id->type == JsonValue::Type::String)
+            ev.id = id->str;
+        const JsonValue *ts = e.find("ts");
+        if (ts && ts->type == JsonValue::Type::Number)
+            ev.ts = ts->number;
+        const JsonValue *dur = e.find("dur");
+        if (dur && dur->type == JsonValue::Type::Number)
+            ev.dur = dur->number;
+        ev.pid = pidv;
+        ev.tid = tidv;
+        doc.events.push_back(std::move(ev));
+    }
+    return true;
+}
+
+/** Matched 's'/'f' pairs, keyed on the flow id string. */
+std::size_t
+countFlowPairs(const TraceDoc &doc)
+{
+    std::map<std::string, int> sides;
+    for (const TraceEvent &e : doc.events) {
+        if (e.ph == "s")
+            sides[e.id] |= 1;
+        else if (e.ph == "f")
+            sides[e.id] |= 2;
+    }
+    std::size_t pairs = 0;
+    for (const auto &kv : sides)
+        if (kv.second == 3)
+            ++pairs;
+    return pairs;
+}
+
+// -------------------------------------------------------------------
+// report
+// -------------------------------------------------------------------
+
+int
+cmdReport(const std::string &path, int topN)
+{
+    TraceDoc doc;
+    std::string err;
+    if (!loadTrace(path, doc, err)) {
+        std::fprintf(stderr, "snaptrace: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    // Per-span totals: 'X' contributes dur directly; 'B'/'E' pairs
+    // are matched per (pid, tid, name) in stream order (the
+    // per-thread rings preserve emission order, which is
+    // monotonically non-decreasing in ts within a track).
+    struct SpanAgg
+    {
+        double totalUs = 0.0;
+        std::uint64_t count = 0;
+    };
+    std::map<std::string, SpanAgg> simSpans;   // sim pids only
+    std::map<std::string, SpanAgg> hostSpans;  // host pid 1
+    std::map<std::string, std::uint64_t> catCounts;
+    std::map<std::pair<long long, long long>, double> trackBusyUs;
+    std::map<long long, double> machineWallUs;
+    std::map<std::tuple<long long, long long, std::string>,
+             std::vector<double>> open;
+
+    for (const TraceEvent &e : doc.events) {
+        ++catCounts[e.cat.empty() ? std::string("?") : e.cat];
+        const bool host = e.pid == 1;
+        if (e.ph == "X") {
+            auto &agg = host ? hostSpans[e.name] : simSpans[e.name];
+            agg.totalUs += e.dur;
+            ++agg.count;
+            if (!host) {
+                trackBusyUs[{e.pid, e.tid}] += e.dur;
+                if (e.name == "machine.run")
+                    machineWallUs[e.pid] += e.dur;
+            }
+        } else if (e.ph == "B") {
+            open[{e.pid, e.tid, e.name}].push_back(e.ts);
+        } else if (e.ph == "E") {
+            auto &stack = open[{e.pid, e.tid, e.name}];
+            if (stack.empty())
+                continue;  // truncated by drop-oldest
+            double begin = stack.back();
+            stack.pop_back();
+            double d = e.ts - begin;
+            auto &agg = host ? hostSpans[e.name] : simSpans[e.name];
+            agg.totalUs += d;
+            ++agg.count;
+            if (!host)
+                trackBusyUs[{e.pid, e.tid}] += d;
+        }
+    }
+
+    std::printf("trace: %s\n", path.c_str());
+    std::printf("  %zu events, %zu processes, %zu named tracks\n\n",
+                doc.events.size(), doc.processNames.size(),
+                doc.threadNames.size());
+
+    {
+        TextTable t;
+        t.header({"category", "events"});
+        for (const auto &kv : catCounts)
+            t.row({kv.first, std::to_string(kv.second)});
+        std::printf("event counts by category\n%s\n",
+                    t.render().c_str());
+    }
+
+    auto printTop = [&](const char *title,
+                        const std::map<std::string, SpanAgg> &spans,
+                        const char *unit) {
+        std::vector<std::pair<std::string, SpanAgg>> sorted(
+            spans.begin(), spans.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.totalUs > b.second.totalUs;
+                  });
+        if (sorted.size() > static_cast<std::size_t>(topN))
+            sorted.resize(static_cast<std::size_t>(topN));
+        TextTable t;
+        t.header({"span", std::string("total ") + unit, "count"});
+        for (const auto &kv : sorted) {
+            t.row({kv.first, fmtDouble(kv.second.totalUs, 3),
+                   std::to_string(kv.second.count)});
+        }
+        std::printf("%s (top %d)\n%s\n", title, topN,
+                    t.render().c_str());
+    };
+
+    if (!simSpans.empty())
+        printTop("simulated-time breakdown", simSpans, "us (sim)");
+    if (!hostSpans.empty())
+        printTop("host-time breakdown", hostSpans, "us (host)");
+
+    // Per-cluster utilization heatmap: cluster MU tracks are tid
+    // 100..199 in each sim process; busy share is against that
+    // machine's summed machine.run wall time.
+    bool anyCluster = false;
+    TextTable heat;
+    heat.header({"machine", "cluster", "busy us", "util",
+                 "heat"});
+    for (const auto &kv : trackBusyUs) {
+        long long pid = kv.first.first;
+        long long tid = kv.first.second;
+        if (pid == 1 || tid < 100 || tid >= 200)
+            continue;
+        double wall = 0.0;
+        auto mw = machineWallUs.find(pid);
+        if (mw != machineWallUs.end())
+            wall = mw->second;
+        double util = wall > 0.0 ? kv.second / wall : 0.0;
+        if (util > 1.0)
+            util = 1.0;
+        std::string bar;
+        int blocks = static_cast<int>(std::lround(util * 20.0));
+        for (int i = 0; i < 20; ++i)
+            bar += i < blocks ? '#' : '.';
+        std::string mname;
+        auto pn = doc.processNames.find(pid);
+        mname = pn != doc.processNames.end()
+                    ? pn->second
+                    : formatString("pid %lld", pid);
+        heat.row({mname, std::to_string(tid - 100),
+                  fmtDouble(kv.second, 3),
+                  fmtDouble(util * 100.0, 1) + "%", bar});
+        anyCluster = true;
+    }
+    if (anyCluster) {
+        std::printf("per-cluster MU utilization (vs machine.run "
+                    "wall)\n%s\n", heat.render().c_str());
+    }
+
+    std::printf("flow links: %zu matched host->sim pair(s)\n",
+                countFlowPairs(doc));
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// check
+// -------------------------------------------------------------------
+
+int
+cmdCheck(const std::string &path)
+{
+    TraceDoc doc;
+    std::string err;
+    if (!loadTrace(path, doc, err)) {
+        std::fprintf(stderr, "snaptrace check: FAIL: %s: %s\n",
+                     path.c_str(), err.c_str());
+        return 1;
+    }
+    if (doc.events.empty()) {
+        std::fprintf(stderr,
+                     "snaptrace check: FAIL: %s: no events\n",
+                     path.c_str());
+        return 1;
+    }
+    std::size_t pairs = countFlowPairs(doc);
+    if (pairs == 0) {
+        std::fprintf(stderr,
+                     "snaptrace check: FAIL: %s: no matched "
+                     "'s'/'f' flow pair\n", path.c_str());
+        return 1;
+    }
+    std::printf("snaptrace check: OK: %zu events, %zu flow "
+                "pair(s)\n", doc.events.size(), pairs);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// promlint
+// -------------------------------------------------------------------
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto ok_first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) ||
+               c == '_' || c == ':';
+    };
+    auto ok_rest = [&](char c) {
+        return ok_first(c) ||
+               std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!ok_first(name[0]))
+        return false;
+    for (std::size_t i = 1; i < name.size(); ++i)
+        if (!ok_rest(name[i]))
+            return false;
+    return true;
+}
+
+int
+cmdPromlint(const std::string &path)
+{
+    std::string text = slurp(path);
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    int failures = 0;
+    std::size_t samples = 0;
+    /** Names that have seen a # TYPE line. */
+    std::map<std::string, std::string> typedNames;
+
+    auto fail = [&](const char *what) {
+        std::fprintf(stderr, "%s:%d: %s: %s\n", path.c_str(),
+                     lineno, what, line.c_str());
+        ++failures;
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (startsWith(line, "# HELP ")) {
+            std::vector<std::string> tok = tokenize(line);
+            if (tok.size() < 3 || !validMetricName(tok[2]))
+                fail("malformed HELP line");
+            continue;
+        }
+        if (startsWith(line, "# TYPE ")) {
+            std::vector<std::string> tok = tokenize(line);
+            if (tok.size() != 4 || !validMetricName(tok[2]) ||
+                (tok[3] != "counter" && tok[3] != "gauge" &&
+                 tok[3] != "histogram" && tok[3] != "summary" &&
+                 tok[3] != "untyped")) {
+                fail("malformed TYPE line");
+                continue;
+            }
+            if (typedNames.count(tok[2]))
+                fail("duplicate TYPE for metric");
+            typedNames[tok[2]] = tok[3];
+            continue;
+        }
+        if (line[0] == '#')
+            continue;  // plain comment
+
+        // Sample line: name[{labels}] value
+        std::size_t brace = line.find('{');
+        std::size_t name_end =
+            brace != std::string::npos ? brace : line.find(' ');
+        if (name_end == std::string::npos) {
+            fail("sample line has no value");
+            continue;
+        }
+        std::string name = line.substr(0, name_end);
+        if (!validMetricName(name)) {
+            fail("invalid metric name");
+            continue;
+        }
+        std::string rest = line.substr(name_end);
+        if (brace != std::string::npos) {
+            std::size_t close = rest.find('}');
+            if (close == std::string::npos) {
+                fail("unterminated label set");
+                continue;
+            }
+            std::string labels = rest.substr(1, close - 1);
+            // Each label: key="value"
+            bool labels_ok = true;
+            for (const std::string &lab : tokenize(labels, ",")) {
+                std::size_t eq = lab.find('=');
+                if (eq == std::string::npos ||
+                    !validMetricName(lab.substr(0, eq)) ||
+                    eq + 1 >= lab.size() || lab[eq + 1] != '"' ||
+                    lab.back() != '"')
+                    labels_ok = false;
+            }
+            if (!labels_ok) {
+                fail("malformed label set");
+                continue;
+            }
+            rest = rest.substr(close + 1);
+        }
+        std::string value = trim(rest);
+        double v;
+        if (!parseDouble(value, v)) {
+            fail("unparseable sample value");
+            continue;
+        }
+        if (!typedNames.count(name))
+            fail("sample before its TYPE line");
+        ++samples;
+    }
+
+    if (samples == 0) {
+        std::fprintf(stderr, "%s: no samples found\n",
+                     path.c_str());
+        ++failures;
+    }
+    if (failures > 0) {
+        std::fprintf(stderr,
+                     "snaptrace promlint: FAIL: %d problem(s)\n",
+                     failures);
+        return 1;
+    }
+    std::printf("snaptrace promlint: OK: %zu sample(s), %zu "
+                "metric(s)\n", samples, typedNames.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string mode = argv[1];
+    std::string path = argv[2];
+    int topN = 15;
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            long long n;
+            if (!parseInt(argv[++i], n) || n < 1) {
+                std::fprintf(stderr,
+                             "snaptrace: --top must be >= 1\n");
+                return 2;
+            }
+            topN = static_cast<int>(n);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+
+    if (mode == "report")
+        return cmdReport(path, topN);
+    if (mode == "check")
+        return cmdCheck(path);
+    if (mode == "promlint")
+        return cmdPromlint(path);
+    usage();
+}

@@ -15,6 +15,12 @@
  *     --fault-seed N        seed for deterministic fault injection
  *     --fault-rate X        inject ICN message faults at rate X
  *     --fault-spec FILE     load a full fault plan from JSON
+ *     --trace-out FILE      write a Chrome trace-event JSON of the
+ *                           run (load in Perfetto / chrome://tracing)
+ *     --trace-categories L  comma list of trace categories (default
+ *                           all; see docs/observability.md)
+ *     --metrics-out FILE    export the unified metrics registry
+ *     --metrics-format F    json|prometheus (default json)
  *
  * Exit status: 0 on success, 1 on user error (bad input files or
  * configuration, and runs rejected by fault detection), 2 on a
@@ -31,8 +37,10 @@
 
 #include "arch/machine.hh"
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 #include "common/strutil.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 #include "isa/assembler.hh"
 #include "kb/kb_io.hh"
 #include "runtime/validate.hh"
@@ -56,7 +64,12 @@ usage()
         "  --perf-csv FILE        dump performance-network records\n"
         "  --fault-seed N         deterministic fault-injection seed\n"
         "  --fault-rate X         ICN message-fault rate (0..1)\n"
-        "  --fault-spec FILE      full fault plan from JSON\n");
+        "  --fault-spec FILE      full fault plan from JSON\n"
+        "  --trace-out FILE       write Chrome trace-event JSON\n"
+        "  --trace-categories L   trace category list (default all)\n"
+        "  --metrics-out FILE     export the unified metrics "
+        "registry\n"
+        "  --metrics-format F     json|prometheus (default json)\n");
     std::exit(2);
 }
 
@@ -87,6 +100,10 @@ main(int argc, char **argv)
     bool fault_seed_set = false;
     double fault_rate = 0.0;
     std::string fault_spec_path;
+    std::string trace_out;
+    std::string trace_categories = "all";
+    std::string metrics_out;
+    std::string metrics_format = "json";
 
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -137,6 +154,18 @@ main(int argc, char **argv)
             disasm = true;
         } else if (arg == "--perf-csv") {
             perf_csv = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-categories") {
+            trace_categories = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--metrics-format") {
+            metrics_format = next();
+            if (metrics_format != "json" &&
+                metrics_format != "prometheus")
+                usageError("--metrics-format must be json or "
+                           "prometheus");
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -183,6 +212,22 @@ main(int argc, char **argv)
         fspec = FaultSpec::messageFaults(fault_seed, fault_rate);
     }
 
+    // Tracing must be armed before the machine is built: track names
+    // are registered at wire-up only while tracing is active.
+    if (!trace_out.empty()) {
+        std::uint32_t mask = 0;
+        if (!trace::parseCategories(trace_categories, mask) ||
+            mask == 0) {
+            usageError("--trace-categories must be a comma list "
+                       "from: all,instr,cluster,icn,sync,sem,fault,"
+                       "machine,serve");
+        }
+        trace::start(mask);
+        trace::nameProcess(trace::kHostPid, "snapvm host (ns)");
+        trace::nameTrack(trace::kHostPid, trace::kTidAdmission,
+                         "driver");
+    }
+
     SnapMachine machine(cfg);
     machine.loadKb(net);
     if (fspec.any()) {
@@ -196,12 +241,40 @@ main(int argc, char **argv)
                 cfg.numProcessors(),
                 partitionStrategyName(cfg.partition));
 
+    // Flow-link the host-side driver span to the simulated run so
+    // even a snapvm trace carries at least one 's'/'f' pair.
+    std::uint64_t flow_id = 0;
+    std::uint64_t run_ns = 0;
+    if (SNAP_TRACE_ON(trace::kMachine)) {
+        flow_id = trace::nextFlowId();
+        run_ns = trace::hostNowNs();
+        trace::hostFlowStart(trace::kMachine, trace::kTidAdmission,
+                             flow_id, run_ns);
+        trace::armFlow(flow_id);
+    }
     RunResult run = machine.run(prog);
+    if (flow_id != 0) {
+        trace::hostSpan(trace::kMachine, trace::kTidAdmission, "run",
+                        run_ns, trace::hostNowNs());
+    }
+
+    auto writeTrace = [&]() {
+        if (trace_out.empty())
+            return;
+        trace::stop();
+        if (trace::writeJsonFile(trace_out)) {
+            std::printf("wrote trace to %s (%llu events dropped)\n",
+                        trace_out.c_str(),
+                        static_cast<unsigned long long>(
+                            trace::droppedCount()));
+        }
+    };
 
     if (fspec.any()) {
         std::printf("fault report: %s\n\n",
                     run.fault.summary().c_str());
         if (!run.fault.ok()) {
+            writeTrace();
             // Detection turned a possibly-wrong answer into a typed
             // error; refuse to print results.
             std::fprintf(stderr,
@@ -260,6 +333,26 @@ main(int argc, char **argv)
                     perf_csv.c_str(),
                     static_cast<unsigned long long>(
                         machine.perfNet().dropped()));
+    }
+
+    writeTrace();
+
+    if (!metrics_out.empty()) {
+        // Unified export: the run's ExecBreakdown plus the machine's
+        // component stats, one registry, one format switch.
+        MetricsRegistry reg;
+        run.stats.exportMetrics(reg);
+        machine.exportMetrics(reg);
+        std::ofstream os(metrics_out);
+        if (!os)
+            snap_fatal("cannot open '%s' for writing",
+                       metrics_out.c_str());
+        if (metrics_format == "prometheus")
+            reg.writePrometheus(os);
+        else
+            reg.writeJson(os);
+        std::printf("wrote %zu metrics (%s) to %s\n", reg.size(),
+                    metrics_format.c_str(), metrics_out.c_str());
     }
     return 0;
 }

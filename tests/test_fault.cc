@@ -304,6 +304,10 @@ TEST(FaultRecovery, WedgeIsDetectedAndRepairable)
     EXPECT_TRUE(r.fault.wedged || r.fault.watchdogFired);
     EXPECT_EQ(r.fault.syncWedges, 1u);
     EXPECT_TRUE(m.poisoned());
+    // A wedge abort leaves units mid-work; the run must still hand
+    // back a closed ActiveTimer (closeAll on the abort path) or the
+    // serving layer's stats merge would assert.
+    EXPECT_TRUE(r.stats.categoryTimer.allClosed());
 
     // repair() + a zero-rate plan: the machine must serve correct
     // answers again on the same image.
@@ -335,6 +339,7 @@ TEST(FaultRecovery, DeadClusterStallsTheRunNotTheHost)
     EXPECT_FALSE(r.fault.ok())
         << "a cluster that stops participating must wedge or trip "
            "the watchdog, not return a partial answer";
+    EXPECT_TRUE(r.stats.categoryTimer.allClosed());
     if (m.poisoned())
         m.repair();
     EXPECT_FALSE(m.poisoned());

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the stats:: package (reset/merge semantics, group export)
+ * and the log-linear Histogram's quantile edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/histogram.hh"
+#include "common/metrics_registry.hh"
+#include "common/stats.hh"
+
+namespace snap
+{
+namespace
+{
+
+// --- stats::Scalar ---------------------------------------------------------
+
+TEST(StatsScalar, IncrementAssignReset)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 7.0;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+// --- stats::Distribution ---------------------------------------------------
+
+TEST(StatsDistribution, ResetRestoresEmptyState)
+{
+    stats::Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+
+    // A reset distribution must accept new samples as if fresh.
+    d.sample(5.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+}
+
+TEST(StatsDistribution, MergePoolsSamples)
+{
+    stats::Distribution a, b;
+    a.sample(1.0);
+    a.sample(2.0);
+    b.sample(10.0);
+    b.sample(20.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 33.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+
+    // Merged moments must match sampling everything into one
+    // distribution directly.
+    stats::Distribution direct;
+    for (double v : {1.0, 2.0, 10.0, 20.0})
+        direct.sample(v);
+    EXPECT_DOUBLE_EQ(a.mean(), direct.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), direct.variance());
+}
+
+TEST(StatsDistribution, MergeEmptyLeavesEnvelopeAlone)
+{
+    stats::Distribution a, empty;
+    a.sample(4.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 4.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+    // And merging INTO an empty one adopts the other's envelope.
+    stats::Distribution c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.min(), 4.0);
+    EXPECT_DOUBLE_EQ(c.max(), 4.0);
+}
+
+// --- stats::Histogram (fixed-width) ----------------------------------------
+
+TEST(StatsHistogram, BucketsAndOverflowReset)
+{
+    stats::Histogram h(1.0, 4);
+    h.sample(-1.0); // underflow
+    h.sample(0.5);  // bucket 0
+    h.sample(2.5);  // bucket 2
+    h.sample(9.0);  // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.dist().count(), 4u);
+
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::uint32_t i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+    EXPECT_EQ(h.dist().count(), 0u);
+}
+
+// --- stats::Group ----------------------------------------------------------
+
+TEST(StatsGroup, ResetAllAndExport)
+{
+    stats::Scalar s;
+    stats::Distribution d;
+    stats::Group g("unit");
+    g.addScalar("hits", &s);
+    g.addDistribution("lat", &d);
+
+    s += 3;
+    d.sample(2.0);
+
+    MetricsRegistry reg;
+    g.exportTo(reg, {{"worker", "0"}});
+    EXPECT_GT(reg.size(), 0u);
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("snap_unit_hits"), std::string::npos);
+    EXPECT_NE(text.find("worker=\"0\""), std::string::npos);
+
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+// --- snap::Histogram (log-linear) quantile edges ---------------------------
+
+TEST(LogLinearHistogram, EmptyQuantileIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LogLinearHistogram, SingleSampleQuantilesClampToIt)
+{
+    Histogram h;
+    h.record(3.7);
+    // With one sample every quantile must return exactly that value:
+    // the bucket midpoint is clamped to the [min, max] envelope.
+    EXPECT_DOUBLE_EQ(h.quantile(0.01), 3.7);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.7);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.7);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.7);
+}
+
+TEST(LogLinearHistogram, AllSamplesInOneBucket)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(8.0);
+    // Every quantile lands in the same bucket and clamps to 8.0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 8.0);
+    EXPECT_DOUBLE_EQ(h.min(), 8.0);
+    EXPECT_DOUBLE_EQ(h.max(), 8.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 8.0);
+}
+
+TEST(LogLinearHistogram, QuantileOrderingAndBoundedError)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    double p50 = h.quantile(0.50);
+    double p95 = h.quantile(0.95);
+    double p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    // Sub-bucketed octaves bound the relative error at ~6%.
+    EXPECT_NEAR(p50, 500.0, 500.0 * 0.07);
+    EXPECT_NEAR(p99, 990.0, 990.0 * 0.07);
+    // p100 lands in the top occupied bucket; its midpoint may sit
+    // below max, but never above it.
+    EXPECT_NEAR(h.quantile(1.0), 1000.0, 1000.0 * 0.07);
+    EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(LogLinearHistogram, MergeAndReset)
+{
+    Histogram a, b;
+    a.record(1.0);
+    b.record(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 101.0);
+    // Merging an empty histogram is a no-op on the envelope.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.quantile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace snap
