@@ -8,6 +8,12 @@
  * ICN mailbox depths under a bursty star workload and reports how
  * much sender blocking costs — the design argument for the
  * multiport memories' "large buffering capacity".
+ *
+ * "Mailbox depth" (cfg.t.icnMailboxDepth) is realized as the credit
+ * capacity of each ICN link in the retimed wire model: a sender
+ * holds one credit per free slot of the neighbor's port memory and
+ * blocks at zero, which reproduces the same burst-absorption
+ * behaviour the physical mailboxes gave the prototype.
  */
 
 #include "arch/machine.hh"

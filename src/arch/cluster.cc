@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/host_prof.hh"
 #include "runtime/propagate.hh"
 #include "trace/trace.hh"
 
@@ -64,18 +65,47 @@ Cluster::Cluster(MachineContext &ctx, ClusterId id,
             [this, i] { finishMu(i); },
             formatString("cluster%u.mu%u", id, i));
     }
+
+    // Sender-side flow control: every outgoing link starts with the
+    // neighbor's full port-memory capacity.
+    for (auto &perDim : credits_)
+        perDim.fill(t_.icnMailboxDepth);
 }
 
 // ---------------------------------------------------------------------------
-// Controller interface
+// Wire interface
 // ---------------------------------------------------------------------------
+
+void
+Cluster::applyDeliverable(Deliverable &&d)
+{
+    switch (d.kind) {
+      case WireKind::IcnMsg:
+        dimInbox_[d.dim].push_back(std::move(d.msg));
+        kickCu();
+        break;
+      case WireKind::IcnCredit:
+        ++credits_[d.dim][d.nbField];
+        kickCu();
+        break;
+      case WireKind::Instr:
+        enqueueInstr(d.qi);
+        break;
+      case WireKind::BarrierRelease:
+        releaseBarrier();
+        break;
+      default:
+        snap_panic("cluster %u: bad deliverable kind %u", id_,
+                   static_cast<unsigned>(d.kind));
+    }
+}
 
 void
 Cluster::enqueueInstr(const QueuedInstr &qi)
 {
     snap_assert(!instrQueue_.full(),
                 "broadcast into full instruction queue (cluster %u); "
-                "controller must respect backpressure", id_);
+                "controller must respect its credit count", id_);
     instrQueue_.push(qi);
     updateIdle();
     kickPu();
@@ -87,27 +117,9 @@ Cluster::releaseBarrier()
     snap_assert(atBarrier_, "barrier release while not at barrier "
                 "(cluster %u)", id_);
     atBarrier_ = false;
-    ctx_.sync->setAtBarrier(id_, false);
+    ctx_.sync->setAtBarrier(id_, false, curTick());
     kickPu();
     updateIdle();
-}
-
-bool
-Cluster::collectReady(std::uint16_t seq) const
-{
-    auto it = collectDone_.find(seq);
-    return it != collectDone_.end() && it->second;
-}
-
-CollectResult
-Cluster::takeCollect(std::uint16_t seq)
-{
-    snap_assert(collectReady(seq), "takeCollect(%u) not ready", seq);
-    auto it = collects_.find(seq);
-    CollectResult res = std::move(it->second);
-    collects_.erase(it);
-    collectDone_.erase(seq);
-    return res;
 }
 
 void
@@ -117,9 +129,11 @@ Cluster::resetForRun()
                 "resetForRun on a busy cluster %u", id_);
     best_.clear();
     collects_.clear();
-    collectDone_.clear();
     atBarrier_ = false;
     puStalled_ = false;
+    idleLine_ = -1;
+    icnDelta_.reset();
+    msgLatency_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -129,16 +143,13 @@ Cluster::resetForRun()
 bool
 Cluster::localIdle() const
 {
-    if (puBusy_ || puStalled_ || cuBusy_)
+    if (puBusy_ || puStalled_ || cuBusy_ || busyMus_ != 0)
         return false;
     if (tasksOutstanding_ != 0 || !taskQueue_.empty())
         return false;
     if (!localWork_.empty() || !arrivals_.empty() ||
         !activationOut_.empty())
         return false;
-    for (const MuState &mu : mus_)
-        if (mu.busy)
-            return false;
     // At a barrier, post-barrier instructions may legitimately wait
     // in the queue; otherwise the queue must be drained too.
     if (!atBarrier_ && !instrQueue_.empty())
@@ -149,14 +160,12 @@ Cluster::localIdle() const
 void
 Cluster::updateIdle()
 {
-    ctx_.sync->setIdle(id_, localIdle());
-}
-
-void
-Cluster::noteInstrQueuePop(bool was_full)
-{
-    if (was_full && ctx_.onInstrQueueSpace)
-        ctx_.onInstrQueueSpace(id_);
+    const std::int8_t idle = localIdle() ? 1 : 0;
+    if (idle == idleLine_)
+        return;
+    hostprof::Scope hp(hostprof::Phase::Sync);
+    idleLine_ = idle;
+    ctx_.sync->setIdle(id_, idle != 0, curTick());
 }
 
 // ---------------------------------------------------------------------------
@@ -174,9 +183,20 @@ Cluster::kickPu()
         return;
     if (puBusy_ || puStalled_ || atBarrier_ || instrQueue_.empty())
         return;
-    bool was_full = instrQueue_.full();
     pendingInstr_ = instrQueue_.pop();
-    noteInstrQueuePop(was_full);
+
+    // Return the freed instruction-queue slot to the SCP as a
+    // credit; the broadcast bus carries it back in one wire lag.
+    {
+        Deliverable d;
+        d.kind = WireKind::InstrCredit;
+        d.when = curTick() + ctx_.wire->lag();
+        d.receiver = ctx_.cfg->numClusters;
+        d.sender = id_;
+        d.senderSeq = nextWireSeq();
+        d.cluster = id_;
+        ctx_.wire->send(ctx_.shard, std::move(d));
+    }
 
     puBusy_ = true;
     InstrCategory cat = pendingInstr_.instr.category();
@@ -211,7 +231,7 @@ Cluster::puFinishDecode()
             ctx_.perf->emit(peBase_, curTick(),
                             PerfEvent::BarrierReached,
                             pendingInstr_.seq);
-        ctx_.sync->setAtBarrier(id_, true);
+        ctx_.sync->setAtBarrier(id_, true, curTick());
         updateIdle();
         return;
     }
@@ -290,6 +310,9 @@ Cluster::tryDispatch()
 void
 Cluster::kickMus()
 {
+    // Nothing a marker unit could start: skip the per-MU scan.
+    if (arrivals_.empty() && localWork_.empty() && taskQueue_.empty())
+        return;
     if (ctx_.faults && ctx_.faults->clusterDead(id_))
         return;
     for (std::uint32_t i = 0; i < mus_.size(); ++i)
@@ -330,6 +353,7 @@ Cluster::startArrival(std::uint32_t i)
     arrivals_.pop_front();
 
     mu.busy = true;
+    ++busyMus_;
     mu.hasTask = false;
     mu.expanding = false;
     mu.maintaining = false;
@@ -377,6 +401,7 @@ Cluster::startExpansion(std::uint32_t i)
 {
     MuState &mu = mus_[i];
     mu.busy = true;
+    ++busyMus_;
     mu.hasTask = false;
     mu.expanding = true;
     mu.maintaining = false;
@@ -394,8 +419,8 @@ Cluster::startExpansion(std::uint32_t i)
 
     // This item covers one 16-slot relation row.  Fanout beyond it
     // lives in subnode rows (the preprocessor's splitting), each its
-    // own work item claimable by any MU — high-fanout nodes expand
-    // in parallel.
+    // own work item claimable by any available MU — high-fanout nodes
+    // expand in parallel.
     std::size_t row_end = mu.item.rowStart +
                           capacity::relationSlotsPerNode;
     if (row_end < kb_.slots(mu.item.node).size()) {
@@ -413,6 +438,7 @@ Cluster::startExpansion(std::uint32_t i)
 bool
 Cluster::continueExpansion(std::uint32_t i)
 {
+    hostprof::Scope hp(hostprof::Phase::Kernels);
     MuState &mu = mus_[i];
     WorkItem &w = mu.item;
     const PropRule &rule = ctx_.rules->rule(w.rule);
@@ -505,6 +531,7 @@ Cluster::deliverMarker(LocalNodeId dst, MarkerId m2, float value,
                        std::uint16_t prop_id, std::uint8_t state,
                        std::uint16_t steps, RuleId rule, Tick &dur)
 {
+    hostprof::Scope hp(hostprof::Phase::Markers);
     // Type-1 traffic: shared marker bits go through the semaphore
     // table arbiter.  Only the in-use-flag critical section is
     // serialized; the delivery microcode itself proceeds
@@ -513,7 +540,7 @@ Cluster::deliverMarker(LocalNodeId dst, MarkerId m2, float value,
     Tick grant = arbiter_.acquire(curTick(), hold);
     // Semaphore fault: this grant fails to release on time, so later
     // acquires queue behind the stuck hold (timing-only).
-    if (ctx_.faults && ctx_.faults->rollSemStall()) {
+    if (ctx_.faults && ctx_.faults->rollSemStall(id_)) {
         arbiter_.stall(curTick(), ctx_.faults->spec().semStallTicks);
         if (SNAP_TRACE_ON(trace::kFault)) {
             trace::simInstant(trace::kFault, ctx_.tracePid,
@@ -584,6 +611,7 @@ Cluster::startTask(std::uint32_t i)
     Task task = taskQueue_.pop();
 
     mu.busy = true;
+    ++busyMus_;
     mu.hasTask = true;
     mu.task = task;
     mu.expanding = false;
@@ -679,6 +707,7 @@ Cluster::continueMaintenance(std::uint32_t i)
 Tick
 Cluster::executeTask(std::uint32_t i, const Task &task)
 {
+    hostprof::Scope hp(hostprof::Phase::Kernels);
     (void)i;
     const Instruction &instr = task.instr;
     MarkerStore &ms = kb_.markers();
@@ -962,6 +991,7 @@ Cluster::executeTask(std::uint32_t i, const Task &task)
 void
 Cluster::scheduleMuDone(std::uint32_t i)
 {
+    hostprof::Scope hp(hostprof::Phase::Stats);
     MuState &mu = mus_[i];
     Tick dur = mu.accum;
     mu.accum = 0;
@@ -997,6 +1027,8 @@ Cluster::finishMu(std::uint32_t i)
     std::uint8_t level = mu.consumeLevel;
 
     mu.busy = false;
+    snap_assert(busyMus_ > 0, "busy MU count underflow");
+    --busyMus_;
     mu.hasTask = false;
     mu.expanding = false;
     mu.maintaining = false;
@@ -1013,11 +1045,27 @@ Cluster::finishMu(std::uint32_t i)
         switch (task.instr.op) {
           case Opcode::CollectMarker:
           case Opcode::CollectRelation:
-          case Opcode::CollectColor:
-            collectDone_[task.seq] = true;
-            if (ctx_.onCollectReady)
-                ctx_.onCollectReady(id_, task.seq);
+          case Opcode::CollectColor: {
+            // Ship the buffered collect up to the SCP; it arrives
+            // one wire lag later and is consumed there in cluster
+            // order.
+            auto it = collects_.find(task.seq);
+            snap_assert(it != collects_.end(),
+                        "collect %u finished without a buffer",
+                        task.seq);
+            Deliverable d;
+            d.kind = WireKind::CollectReady;
+            d.when = curTick() + ctx_.wire->lag();
+            d.receiver = ctx_.cfg->numClusters;
+            d.sender = id_;
+            d.senderSeq = nextWireSeq();
+            d.cluster = id_;
+            d.collectSeq = task.seq;
+            d.collect = std::move(it->second);
+            collects_.erase(it);
+            ctx_.wire->send(ctx_.shard, std::move(d));
             break;
+          }
           default:
             break;
         }
@@ -1035,7 +1083,7 @@ Cluster::finishMu(std::uint32_t i)
     kickMus();
 
     if (consume)
-        ctx_.sync->consumed(level);
+        ctx_.sync->consumed(level, curTick());
 }
 
 // ---------------------------------------------------------------------------
@@ -1051,10 +1099,52 @@ Cluster::kickCu()
         cuStep();
 }
 
+ActivationMessage
+Cluster::popInbox(std::uint32_t dim)
+{
+    ActivationMessage msg = dimInbox_[dim].front();
+    dimInbox_[dim].pop_front();
+    // The freed port-memory slot flows back to whichever cluster
+    // last drove this link, one wire lag later.
+    Deliverable d;
+    d.kind = WireKind::IcnCredit;
+    d.when = curTick() + ctx_.wire->lag();
+    d.receiver = msg.lastHop;
+    d.sender = id_;
+    d.senderSeq = nextWireSeq();
+    d.dim = static_cast<std::uint8_t>(dim);
+    d.nbField =
+        static_cast<std::uint8_t>(HypercubeIcn::field(id_, dim));
+    ctx_.wire->send(ctx_.shard, std::move(d));
+    return msg;
+}
+
+void
+Cluster::stageIcnMsg(ClusterId nb, std::uint32_t dim,
+                     ActivationMessage &&msg, Tick latency)
+{
+    Deliverable d;
+    d.kind = WireKind::IcnMsg;
+    d.when = curTick() + latency;
+    d.receiver = nb;
+    d.sender = id_;
+    d.senderSeq = nextWireSeq();
+    d.dim = static_cast<std::uint8_t>(dim);
+    d.msg = std::move(msg);
+    ctx_.wire->send(ctx_.shard, std::move(d));
+}
+
 void
 Cluster::cuStep()
 {
     snap_assert(!cuBusy_, "cuStep while busy");
+    // Common no-op: a unit finished or a credit returned with no
+    // traffic pending anywhere.  Bail before the profiling scope and
+    // the round-robin scan.
+    if (activationOut_.empty() && dimInbox_[0].empty() &&
+        dimInbox_[1].empty() && dimInbox_[2].empty())
+        return;
+    hostprof::Scope hp(hostprof::Phase::Icn);
 
     // Round-robin over four sources: the outgoing activation queue
     // and the three dimension inboxes.
@@ -1067,8 +1157,12 @@ Cluster::cuStep()
                 continue;
             const ActivationMessage &head = activationOut_.front();
             auto [dim, nb] = ctx_.icn->nextHop(id_, head.destCluster);
-            if (ctx_.icn->mailbox(nb, dim).full()) {
-                ctx_.icn->noteBlockedSender(nb, dim, id_);
+            auto &credit =
+                credits_[dim][HypercubeIcn::field(nb, dim)];
+            if (credit == 0) {
+                // The neighbor's port memory is full; the credit
+                // returning after its CU pops will kick us.
+                ++icnDelta_.blockedSends;
                 continue;
             }
             ActivationMessage msg = activationOut_.pop();
@@ -1082,8 +1176,8 @@ Cluster::cuStep()
             // allocated per wake.
             if (!outWaiters_.empty()) {
                 const std::size_t snapshot = outWaiters_.size();
-                for (std::size_t k = 0; k < snapshot; ++k) {
-                    std::uint32_t w = outWaiters_[k];
+                for (std::size_t w_i = 0; w_i < snapshot; ++w_i) {
+                    std::uint32_t w = outWaiters_[w_i];
                     MuState &mu = mus_[w];
                     bool done = mu.expanding ? continueExpansion(w)
                                 : mu.maintaining
@@ -1106,13 +1200,13 @@ Cluster::cuStep()
             FaultPlan *fp = ctx_.faults;
             Tick fault_delay = 0;
             if (fp) {
-                if (fp->rollIcnDrop()) {
-                    ++ctx_.icn->messagesDropped;
+                if (fp->rollIcnDrop(id_)) {
+                    ++icnDelta_.dropped;
                     cuRr_ = 1;
                     Tick lost_dur = cy(t_.cuServiceCycles) +
                                     ctx_.icn->transferTime();
                     ctx_.stats->commTicks += lost_dur;
-                    cuNotifyCluster_ = id_;
+                    cuKickMusOnDone_ = false;
                     if (SNAP_TRACE_ON(trace::kFault)) {
                         trace::simInstant(
                             trace::kFault, ctx_.tracePid,
@@ -1123,13 +1217,13 @@ Cluster::cuStep()
                     updateIdle();
                     return;
                 }
-                if (fp->rollIcnCorrupt()) {
+                if (fp->rollIcnCorrupt(id_)) {
                     // Payload corruption only: routing and marker
                     // fields stay intact (a misrouted id would index
                     // out of the destination's tables, which real
                     // hardware rejects at the port).
-                    msg.value = fp->corruptValue(msg.value);
-                    if (fp->draw(FaultKind::IcnCorrupt) & 1)
+                    msg.value = fp->corruptValue(id_, msg.value);
+                    if (fp->draw(id_, FaultKind::IcnCorrupt) & 1)
                         msg.origin = invalidNode;
                     if (SNAP_TRACE_ON(trace::kFault)) {
                         trace::simInstant(
@@ -1138,7 +1232,7 @@ Cluster::cuStep()
                             curTick());
                     }
                 }
-                if (fp->rollIcnDelay()) {
+                if (fp->rollIcnDelay(id_)) {
                     fault_delay = fp->spec().icnDelayTicks;
                     if (SNAP_TRACE_ON(trace::kFault)) {
                         trace::simInstant(
@@ -1149,49 +1243,50 @@ Cluster::cuStep()
                 }
             }
 
+            --credit;
             msg.sentAt = curTick();
             msg.hops = 1;
-            ctx_.sync->created(msg.syncLevel);
+            msg.lastHop = id_;
+            ctx_.sync->created(msg.syncLevel, curTick());
             ++ctx_.stats->messagesSent;
             ++ctx_.stats->messageHops;
-            ++ctx_.icn->messagesInjected;
-            ++ctx_.icn->hopsTraversed;
+            ++icnDelta_.injected;
+            ++icnDelta_.hops;
             if (ctx_.perf)
                 ctx_.perf->emit(peBase_ + 1 + numMus(), curTick(),
                                 PerfEvent::MsgSent, msg.destCluster);
-            ctx_.icn->mailbox(nb, dim).push(msg);
 
             cuRr_ = 1;  // give inboxes a turn next
             Tick dur = cy(t_.cuServiceCycles) +
                        ctx_.icn->transferTime() + fault_delay;
             ctx_.stats->commTicks += dur;
-            cuNotifyCluster_ = nb;
+            cuKickMusOnDone_ = false;
             if (SNAP_TRACE_ON(trace::kIcn)) {
                 trace::simSpan(trace::kIcn, ctx_.tracePid,
                                trace::tidCu(id_), "icn.send",
                                curTick(), curTick() + dur);
             }
+            // The message lands in the neighbor's port memory when
+            // the transfer completes (it is in flight until then).
+            stageIcnMsg(nb, dim, std::move(msg), dur);
             scheduleRel(cuEvent_.get(), dur);
             updateIdle();
             return;
         }
 
         std::uint32_t dim = src - 1;
-        auto &inbox = ctx_.icn->mailbox(id_, dim);
+        auto &inbox = dimInbox_[dim];
         if (inbox.empty())
             continue;
         const ActivationMessage &head = inbox.front();
 
         if (head.destCluster == id_) {
-            // Claim the CU before popAndWake: waking a blocked
-            // sender can recursively wake us through its own
-            // mailbox service chain.
             cuBusy_ = true;
-            ActivationMessage msg = ctx_.icn->popAndWake(id_, dim);
-            ctx_.icn->hopDist.sample(msg.hops);
-            ctx_.icn->latency.sample(
+            ActivationMessage msg = popInbox(dim);
+            icnDelta_.hopDist.sample(msg.hops);
+            icnDelta_.latency.sample(
                 static_cast<double>(curTick() - msg.sentAt));
-            ctx_.stats->msgLatency.sample(
+            msgLatency_.sample(
                 static_cast<double>(curTick() - msg.sentAt));
             arrivals_.push_back(msg);
             if (arrivals_.size() > arrivalsHigh_)
@@ -1200,7 +1295,7 @@ Cluster::cuStep()
             cuRr_ = src + 1;
             Tick dur = cy(t_.cuDeliverCycles);
             ctx_.stats->commTicks += dur;
-            cuNotifyCluster_ = id_;  // kick own MUs at completion
+            cuKickMusOnDone_ = true;  // kick own MUs at completion
             if (SNAP_TRACE_ON(trace::kIcn)) {
                 trace::simSpan(trace::kIcn, ctx_.tracePid,
                                trace::tidCu(id_), "icn.deliver",
@@ -1213,27 +1308,30 @@ Cluster::cuStep()
 
         // Relay toward the destination.
         auto [ndim, nb] = ctx_.icn->nextHop(id_, head.destCluster);
-        if (ctx_.icn->mailbox(nb, ndim).full()) {
-            ctx_.icn->noteBlockedSender(nb, ndim, id_);
+        auto &credit = credits_[ndim][HypercubeIcn::field(nb, ndim)];
+        if (credit == 0) {
+            ++icnDelta_.blockedSends;
             continue;
         }
-        cuBusy_ = true;  // claim before popAndWake (reentrancy)
-        ActivationMessage msg = ctx_.icn->popAndWake(id_, dim);
+        cuBusy_ = true;
+        ActivationMessage msg = popInbox(dim);
+        --credit;
         ++msg.hops;
-        ++ctx_.icn->relays;
-        ++ctx_.icn->hopsTraversed;
+        msg.lastHop = id_;
+        ++icnDelta_.relays;
+        ++icnDelta_.hops;
         ++ctx_.stats->messageHops;
-        ctx_.icn->mailbox(nb, ndim).push(msg);
 
         cuRr_ = src + 1;
         Tick dur = cy(t_.cuRelayCycles) + ctx_.icn->transferTime();
         ctx_.stats->commTicks += dur;
-        cuNotifyCluster_ = nb;
+        cuKickMusOnDone_ = false;
         if (SNAP_TRACE_ON(trace::kIcn)) {
             trace::simSpan(trace::kIcn, ctx_.tracePid,
                            trace::tidCu(id_), "icn.relay",
                            curTick(), curTick() + dur);
         }
+        stageIcnMsg(nb, ndim, std::move(msg), dur);
         scheduleRel(cuEvent_.get(), dur);
         updateIdle();
         return;
@@ -1244,15 +1342,12 @@ Cluster::cuStep()
 void
 Cluster::finishCu()
 {
+    hostprof::Scope hp(hostprof::Phase::Icn);
     cuBusy_ = false;
-    ClusterId notify = cuNotifyCluster_;
-    cuNotifyCluster_ = id_;
-
-    if (notify == id_)
+    if (cuKickMusOnDone_) {
+        cuKickMusOnDone_ = false;
         kickMus();
-    else if (ctx_.kickCuOf)
-        ctx_.kickCuOf(notify);
-
+    }
     updateIdle();
     kickCu();
 }

@@ -17,14 +17,22 @@
  * processing"); PROPAGATE initiations may overlap each other
  * (β-parallelism) and their marker deliveries are asynchronous until
  * a BARRIER.
+ *
+ * Isolation contract: a cluster mutates only its own state (and its
+ * shard's queue/stats/sync-tree through MachineContext).  Every
+ * interaction with another cluster or the controller goes through
+ * the Wire as a latency-stamped Deliverable — incoming ones arrive
+ * via applyDeliverable().  This is what lets the machine shard
+ * clusters across host threads while staying bit-identical to the
+ * single-threaded run.
  */
 
 #ifndef SNAP_ARCH_CLUSTER_HH
 #define SNAP_ARCH_CLUSTER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +45,7 @@
 #include "arch/multiport_mem.hh"
 #include "arch/perf_net.hh"
 #include "arch/sync_tree.hh"
+#include "arch/wire.hh"
 #include "fault/fault_plan.hh"
 #include "isa/program.hh"
 #include "runtime/frontier_map.hh"
@@ -47,16 +56,25 @@
 namespace snap
 {
 
-/** Shared machine context handed to every cluster. */
+/** Per-shard machine context handed to every cluster of the shard
+ *  (and, for shard 0, the controller).  eq/sync/stats/perf point at
+ *  the shard's own instances; cfg/image/icn/wire/faults are shared
+ *  (read-only or internally partitioned by owner). */
 struct MachineContext
 {
     EventQueue *eq = nullptr;
     const MachineConfig *cfg = nullptr;
     KbImage *image = nullptr;
-    HypercubeIcn *icn = nullptr;
-    SyncTree *sync = nullptr;
-    PerfNet *perf = nullptr;
-    ExecBreakdown *stats = nullptr;
+    const HypercubeIcn *icn = nullptr;  ///< topology + lifetime stats
+    SyncTree *sync = nullptr;           ///< this shard's tree
+    PerfNet::View *perf = nullptr;      ///< this shard's emit view
+    ExecBreakdown *stats = nullptr;     ///< this shard's breakdown
+    Wire *wire = nullptr;
+    std::uint32_t shard = 0;
+    /** True when this shard's sync tree covers the whole machine
+     *  (single-shard runs), i.e. its complete()/quiescent() are exact
+     *  and may be polled directly. */
+    bool syncIsGlobal = true;
     /** Live fault plan, or nullptr (the default, fault-free path). */
     FaultPlan *faults = nullptr;
     /** Chrome trace process id of this machine's simulated-time
@@ -66,20 +84,6 @@ struct MachineContext
     // Per-run state, set by the machine before each program.
     const RuleTable *rules = nullptr;
     std::vector<std::uint64_t> *alphaPerProp = nullptr;
-
-    /** Controller notifications. */
-    std::function<void(ClusterId)> onInstrQueueSpace;
-    std::function<void(ClusterId, std::uint16_t)> onCollectReady;
-    /** Kick another cluster's units (cross-cluster wakeups). */
-    std::function<void(ClusterId)> kickCuOf;
-    std::function<void(ClusterId)> kickMusOf;
-};
-
-/** Instruction entry in the dual-port instruction queue. */
-struct QueuedInstr
-{
-    Instruction instr;
-    std::uint16_t seq = 0;
 };
 
 /** Task entry in the marker processing memory. */
@@ -125,21 +129,10 @@ class Cluster : public ClockedObject
         return static_cast<std::uint32_t>(mus_.size());
     }
 
-    // --- controller interface ------------------------------------------
+    // --- wire interface -----------------------------------------------------
 
-    bool instrQueueFull() const { return instrQueue_.full(); }
-
-    /** Broadcast landing in the dual-port instruction memory. */
-    void enqueueInstr(const QueuedInstr &qi);
-
-    /** Barrier release broadcast from the SCP. */
-    void releaseBarrier();
-
-    /** True once the collect for instruction @p seq is buffered. */
-    bool collectReady(std::uint16_t seq) const;
-
-    /** Hand the buffered collect data to the SCP (clears buffer). */
-    CollectResult takeCollect(std::uint16_t seq);
+    /** Apply one arrived deliverable (wire pump callback). */
+    void applyDeliverable(Deliverable &&d);
 
     // --- unit wakeups ------------------------------------------------------
 
@@ -153,6 +146,37 @@ class Cluster : public ClockedObject
     /** Clear per-run state (best-maps, collect buffers, barrier
      *  flags).  Marker state persists across runs. */
     void resetForRun();
+
+    // --- per-run stat deltas, folded by the machine -------------------------
+
+    /** Per-cluster ICN traffic accumulated this run.  Folding these
+     *  into HypercubeIcn in canonical cluster order keeps the
+     *  floating-point distribution state bit-identical across host
+     *  thread counts. */
+    struct IcnDelta
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t hops = 0;
+        std::uint64_t relays = 0;
+        std::uint64_t blockedSends = 0;
+        std::uint64_t dropped = 0;
+        stats::Distribution hopDist;
+        stats::Distribution latency;
+
+        void
+        reset()
+        {
+            injected = hops = relays = blockedSends = dropped = 0;
+            hopDist.reset();
+            latency.reset();
+        }
+    };
+
+    IcnDelta &icnDelta() { return icnDelta_; }
+
+    /** Per-cluster message-latency samples for ExecBreakdown
+     *  (order-canonical fold, same reason as IcnDelta). */
+    stats::Distribution &msgLatencyDelta() { return msgLatency_; }
 
     // --- introspection ---------------------------------------------------
 
@@ -170,6 +194,14 @@ class Cluster : public ClockedObject
     Tick muBusyLocal() const { return muBusyLocal_; }
 
   private:
+    // --- wire arrivals ------------------------------------------------------
+
+    /** Broadcast landing in the dual-port instruction memory. */
+    void enqueueInstr(const QueuedInstr &qi);
+
+    /** Barrier release broadcast from the SCP. */
+    void releaseBarrier();
+
     // --- PU -----------------------------------------------------------------
     void puFinishDecode();
     void puFinishDispatch();
@@ -242,6 +274,15 @@ class Cluster : public ClockedObject
     void cuStep();
     void finishCu();
 
+    /** Pop the head of dimension inbox @p dim and return the
+     *  flow-control credit to the cluster that sent it. */
+    ActivationMessage popInbox(std::uint32_t dim);
+
+    /** Stage a message on the wire toward neighbor @p nb along
+     *  @p dim, arriving after @p latency. */
+    void stageIcnMsg(ClusterId nb, std::uint32_t dim,
+                     ActivationMessage &&msg, Tick latency);
+
     // --- shared helpers ---------------------------------------------------
     Tick cy(std::uint32_t cycles) const
     {
@@ -253,7 +294,7 @@ class Cluster : public ClockedObject
                capacity::wordBits;
     }
     void updateIdle();
-    void noteInstrQueuePop(bool was_full);
+    std::uint64_t nextWireSeq() { return wireSeq_++; }
 
     MachineContext &ctx_;
     ClusterId id_;
@@ -269,6 +310,23 @@ class Cluster : public ClockedObject
     std::deque<WorkItem> localWork_;
     std::size_t arrivalsHigh_ = 0;
     ClusterArbiter arbiter_;
+
+    // ICN receive/flow-control state (owned by this cluster; the old
+    // shared mailbox array is gone).  dimInbox_ is the unbounded
+    // in-flight view of the neighbor-facing port memory; the finite
+    // icnMailboxDepth capacity is enforced sender-side by credits_:
+    // credits_[dim][field] counts free slots in the neighbor whose
+    // address field along dim is `field`.
+    std::array<std::deque<ActivationMessage>, numIcnDims> dimInbox_;
+    std::array<std::array<std::uint32_t, 4>, numIcnDims> credits_;
+
+    /** Last idle value pushed into the sync tree, or -1 when
+     *  unknown (fresh cluster / after resetForRun).  localIdle() is
+     *  re-derived on every unit state change; most re-derivations
+     *  land on the same value, and the tree's completion check fires
+     *  from whichever mutation actually completes it, so unchanged
+     *  lines can skip the tree call entirely. */
+    std::int8_t idleLine_ = -1;
 
     // PU state.
     bool puBusy_ = false;
@@ -286,6 +344,7 @@ class Cluster : public ClockedObject
 
     // MUs.
     std::vector<MuState> mus_;
+    std::uint32_t busyMus_ = 0;  ///< O(1) idle check
     Tick muBusyLocal_ = 0;
     /** MUs stalled on a full activation-out queue. */
     std::vector<std::uint32_t> outWaiters_;
@@ -293,10 +352,17 @@ class Cluster : public ClockedObject
     // CU state.
     bool cuBusy_ = false;
     std::uint32_t cuRr_ = 0;  ///< round-robin source pointer
-    /** Cluster to kick when the current CU action completes (own id
-     *  means "kick local MUs": an arrival was delivered). */
-    ClusterId cuNotifyCluster_ = 0;
+    /** Kick local MUs when the current CU action completes (an
+     *  arrival was delivered into the activation memory). */
+    bool cuKickMusOnDone_ = false;
     std::unique_ptr<EventFunctionWrapper> cuEvent_;
+
+    /** Per-sender wire ordering stamp. */
+    std::uint64_t wireSeq_ = 0;
+
+    // Per-run stat deltas (folded canonically by the machine).
+    IcnDelta icnDelta_;
+    stats::Distribution msgLatency_;
 
     // Per-propagation re-propagation bookkeeping:
     // (propId, local node, state) -> non-dominated label frontier
@@ -311,9 +377,9 @@ class Cluster : public ClockedObject
                (static_cast<std::uint64_t>(node) << 8) | state;
     }
 
-    // Collect buffers per instruction seq.
+    // Collect buffers per instruction seq (shipped to the SCP as
+    // CollectReady deliverables when the task completes).
     std::unordered_map<std::uint16_t, CollectResult> collects_;
-    std::unordered_map<std::uint16_t, bool> collectDone_;
 };
 
 } // namespace snap

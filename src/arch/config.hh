@@ -184,6 +184,18 @@ struct MachineConfig
      */
     std::uint32_t traceDomain = 0;
 
+    /**
+     * Host worker threads driving the simulation.  1 (the default)
+     * runs the classic single-threaded event loop; N > 1 shards the
+     * clusters across min(N, numClusters) host threads that exchange
+     * wire deliverables at conservative-lookahead window boundaries.
+     * Purely a host-performance knob: results, statistics, and
+     * simulated timing are bit-identical at every value (the
+     * single-threaded run is the oracle the parallel tests pin
+     * against).  Simulated-time tracing forces one shard.
+     */
+    std::uint32_t hostThreads = 1;
+
     TimingParams t;
 
     /** MUs in cluster @p c under the default or explicit mix. */
@@ -261,6 +273,16 @@ struct MachineConfig
                 snap_fatal("cluster %u has %u MUs (1..3 supported)",
                            c, mus(c));
         }
+        if (hostThreads < 1 || hostThreads > 64)
+            snap_fatal("hostThreads %u out of [1,64]", hostThreads);
+        // The parallel machine's lookahead window is
+        // min(broadcast time, ICN hop transfer time); both must be
+        // positive for the wire model to have any latency to hide.
+        if (t.instrWords == 0 || t.busCyclesPerWord == 0 ||
+            controllerClockPeriod == 0)
+            snap_fatal("broadcast time must be positive");
+        if (t.icnBytesPerMsg == 0 || t.icnByteNs == 0)
+            snap_fatal("ICN transfer time must be positive");
     }
 };
 

@@ -1,17 +1,20 @@
 #include "arch/controller.hh"
 
+#include "arch/wire.hh"
 #include "trace/trace.hh"
 
 namespace snap
 {
 
-Controller::Controller(MachineContext &ctx,
-                       std::vector<Cluster *> clusters)
+Controller::Controller(MachineContext &ctx, std::uint32_t num_clusters)
     : ClockedObject(ctx.eq, "controller",
                     ctx.cfg->controllerClockPeriod),
       ctx_(ctx),
       t_(ctx.cfg->t),
-      clusters_(std::move(clusters))
+      numClusters_(num_clusters),
+      instrCredits_(num_clusters, ctx.cfg->t.instrQueueDepth),
+      collectParts_(num_clusters),
+      collectHave_(num_clusters, false)
 {
     scpEvent_ = std::make_unique<EventFunctionWrapper>(
         [this] {
@@ -36,9 +39,6 @@ Controller::Controller(MachineContext &ctx,
         "controller.scp");
     kickEvent_ = std::make_unique<EventFunctionWrapper>(
         [this] { kickScp(); }, "controller.kick");
-
-    ctx_.sync->onComplete([this] { onSyncComplete(); });
-    ctx_.sync->onQuiescent([this] { onQuiescent(); });
 }
 
 void
@@ -49,14 +49,28 @@ Controller::startProgram(const Program &prog)
     if (prog.size() > 0xffff)
         snap_fatal("program of %zu instructions exceeds the 16-bit "
                    "sequence space", prog.size());
+    for (std::uint32_t cr : instrCredits_)
+        snap_assert(cr == t_.instrQueueDepth,
+                    "startProgram with %u instr credits outstanding",
+                    t_.instrQueueDepth - cr);
     prog_ = &prog;
     instrIdx_ = 0;
     phase_ = Phase::Issue;
     programStart_ = curTick();
     waitingForSpace_ = false;
-    epochStartMsgs_ = ctx_.stats->messagesSent;
+    epochStartMsgs_ = 0;
+    pendingEpochMsgs_ = 0;
     results_.clear();
     kickScp();
+}
+
+void
+Controller::sendToCluster(ClusterId c, Deliverable &&d)
+{
+    d.receiver = c;
+    d.sender = numClusters_;
+    d.senderSeq = wireSeq_++;
+    ctx_.wire->send(ctx_.shard, std::move(d));
 }
 
 void
@@ -69,8 +83,13 @@ Controller::kickScp()
         // All instructions issued: drain to quiescence (an implicit
         // final barrier without the explicit detection protocol).
         phase_ = Phase::Drain;
-        if (ctx_.sync->quiescent())
-            finishProgram();
+        drainEntry_ = curTick();
+        // In a single-shard run the tree is exact and the array may
+        // already be quiescent (no transition left to observe).
+        // Sharded runs poll the merged predicate at every window
+        // boundary instead.
+        if (ctx_.syncIsGlobal && ctx_.sync->quiescent())
+            onQuiescentAt(ctx_.sync->lastMutation());
         return;
     }
 
@@ -83,16 +102,30 @@ Controller::kickScp()
     }
 
     // Global-bus backpressure: every cluster must have queue space.
-    for (Cluster *c : clusters_) {
-        if (c->instrQueueFull()) {
+    // Credits track the queues exactly (one returns per PU pop), so
+    // "any cluster out of credits" == "some queue full".
+    for (std::uint32_t cr : instrCredits_) {
+        if (cr == 0) {
             waitingForSpace_ = true;
             return;
         }
     }
 
+    // The broadcast occupies the bus for the full word burst; the
+    // instruction lands in every queue when the burst completes.
+    const Instruction &instr = (*prog_)[instrIdx_];
+    auto seq = static_cast<std::uint16_t>(instrIdx_);
     phase_ = Phase::Broadcasting;
     Tick dur = broadcastTicks();
     ctx_.stats->broadcastTicks += dur;
+    for (ClusterId c = 0; c < numClusters_; ++c) {
+        --instrCredits_[c];
+        Deliverable d;
+        d.kind = WireKind::Instr;
+        d.when = curTick() + dur;
+        d.qi = QueuedInstr{instr, seq};
+        sendToCluster(c, std::move(d));
+    }
     scheduleRel(scpEvent_.get(), dur);
 }
 
@@ -100,7 +133,6 @@ void
 Controller::broadcastDone()
 {
     const Instruction &instr = (*prog_)[instrIdx_];
-    auto seq = static_cast<std::uint16_t>(instrIdx_);
     ++instrIdx_;
 
     ++ctx_.stats->opcodeCounts[static_cast<std::size_t>(instr.op)];
@@ -108,21 +140,19 @@ Controller::broadcastDone()
           ->categoryCounts[static_cast<std::size_t>(
               instr.category())];
 
-    for (Cluster *c : clusters_)
-        c->enqueueInstr(QueuedInstr{instr, seq});
-
     if (instr.op == Opcode::Barrier) {
         phase_ = Phase::BarrierWait;
         ++ctx_.stats->barriers;
         barrierStart_ = curTick();
-        // Completion arrives via the sync-tree callback; it cannot
-        // have fired yet because no cluster has decoded the barrier.
+        // Completion is reported by the machine; it cannot have
+        // happened yet because no cluster has decoded the barrier.
         return;
     }
 
     if (instr.op == Opcode::CollectMarker ||
         instr.op == Opcode::CollectRelation ||
         instr.op == Opcode::CollectColor) {
+        auto seq = static_cast<std::uint16_t>(instrIdx_ - 1);
         phase_ = Phase::CollectWait;
         collectSeq_ = seq;
         collectTarget_ = 0;
@@ -140,30 +170,42 @@ Controller::broadcastDone()
 }
 
 void
-Controller::onSyncComplete()
+Controller::onSyncCompleteAt(Tick tstar, std::uint64_t msgs_so_far)
 {
     if (phase_ != Phase::BarrierWait)
         return;
     // Detection procedure: AND-tree settle plus a serial scan of
-    // every cluster's tiered counters.
+    // every cluster's tiered counters, timed from the completion
+    // tick t* — not from when the machine noticed.
     phase_ = Phase::BarrierDetect;
+    pendingEpochMsgs_ = msgs_so_far;
     Tick dur = static_cast<Tick>(t_.barrierTreeNs) * ticksPerNs +
-               ctrlCy(static_cast<std::uint64_t>(clusters_.size()) *
+               ctrlCy(static_cast<std::uint64_t>(numClusters_) *
                       t_.barrierCounterCycles);
     ctx_.stats->syncTicks += dur;
-    scheduleRel(scpEvent_.get(), dur);
+    snap_assert(tstar + dur >= curTick(),
+                "barrier detection (%llu + %llu) behind the present "
+                "%llu; detection time must exceed the wire lag",
+                static_cast<unsigned long long>(tstar),
+                static_cast<unsigned long long>(dur),
+                static_cast<unsigned long long>(curTick()));
+    schedule(scpEvent_.get(), tstar + dur);
 }
 
 void
 Controller::detectionDone()
 {
-    // Quiescence is stable once reached with all PUs held at the
-    // barrier: nothing can create new work.
-    snap_assert(ctx_.sync->complete(),
-                "barrier detection raced with new work");
+    // Between completion and release no cluster can create work:
+    // all PUs are held at the barrier and the array is idle.
     phase_ = Phase::BarrierRelease;
     Tick dur = broadcastTicks();
     ctx_.stats->syncTicks += dur;
+    for (ClusterId c = 0; c < numClusters_; ++c) {
+        Deliverable d;
+        d.kind = WireKind::BarrierRelease;
+        d.when = curTick() + dur;
+        sendToCluster(c, std::move(d));
+    }
     scheduleRel(scpEvent_.get(), dur);
 }
 
@@ -171,10 +213,12 @@ void
 Controller::releaseDone()
 {
     // Close the epoch for the traffic-per-synchronization series.
-    std::uint64_t msgs = ctx_.stats->messagesSent - epochStartMsgs_;
+    // The message count was snapshot at completion; nothing has been
+    // sent since (the array sat at the barrier).
+    std::uint64_t msgs = pendingEpochMsgs_ - epochStartMsgs_;
     ctx_.stats->msgsPerEpoch.push_back(
         static_cast<std::uint32_t>(msgs));
-    epochStartMsgs_ = ctx_.stats->messagesSent;
+    epochStartMsgs_ = pendingEpochMsgs_;
 
     if (SNAP_TRACE_ON(trace::kSync)) {
         // One span per barrier epoch (wait + detect + release) with
@@ -191,9 +235,9 @@ Controller::releaseDone()
                         static_cast<std::uint32_t>(
                             ctx_.stats->barriers));
 
+    // The release broadcasts landed this tick (wire events run ahead
+    // of this one); the PUs are already moving again.
     phase_ = Phase::Issue;
-    for (Cluster *c : clusters_)
-        c->releaseBarrier();
     kickScp();
 }
 
@@ -201,7 +245,7 @@ void
 Controller::collectAdvance()
 {
     snap_assert(phase_ == Phase::CollectWait, "collectAdvance phase");
-    if (collectTarget_ >= clusters_.size()) {
+    if (collectTarget_ >= numClusters_) {
         ++ctx_.stats->collects;
         ctx_.stats->collectedItems += collectAggregate_.nodes.size() +
                                       collectAggregate_.links.size();
@@ -215,11 +259,12 @@ Controller::collectAdvance()
         return;
     }
 
-    Cluster *c = clusters_[collectTarget_];
-    if (!c->collectReady(collectSeq_))
-        return;  // resumed by noteCollectReady
+    if (!collectHave_[collectTarget_])
+        return;  // resumed when the part arrives over the wire
 
-    CollectResult part = c->takeCollect(collectSeq_);
+    CollectResult part = std::move(collectParts_[collectTarget_]);
+    collectParts_[collectTarget_] = CollectResult{};
+    collectHave_[collectTarget_] = false;
     std::size_t items = part.nodes.size() + part.links.size();
     for (auto &nd : part.nodes)
         collectAggregate_.nodes.push_back(nd);
@@ -261,36 +306,53 @@ Controller::collectReadDone()
 }
 
 void
-Controller::noteInstrQueueSpace(ClusterId c)
+Controller::applyDeliverable(Deliverable &&d)
 {
-    (void)c;
-    if (waitingForSpace_ && phase_ == Phase::Issue) {
-        waitingForSpace_ = false;
-        kickScp();
+    switch (d.kind) {
+      case WireKind::InstrCredit:
+        snap_assert(d.cluster < numClusters_ &&
+                        instrCredits_[d.cluster] < t_.instrQueueDepth,
+                    "stray instr credit from cluster %u", d.cluster);
+        ++instrCredits_[d.cluster];
+        if (waitingForSpace_ && phase_ == Phase::Issue) {
+            waitingForSpace_ = false;
+            kickScp();
+        }
+        break;
+      case WireKind::CollectReady:
+        snap_assert(phase_ == Phase::CollectWait ||
+                        phase_ == Phase::CollectRead,
+                    "collect part outside a collect");
+        snap_assert(d.collectSeq == collectSeq_,
+                    "collect part seq %u vs %u", d.collectSeq,
+                    collectSeq_);
+        snap_assert(d.cluster < numClusters_ &&
+                        !collectHave_[d.cluster],
+                    "duplicate collect part from cluster %u",
+                    d.cluster);
+        collectParts_[d.cluster] = std::move(d.collect);
+        collectHave_[d.cluster] = true;
+        if (phase_ == Phase::CollectWait)
+            collectAdvance();
+        break;
+      default:
+        snap_panic("controller: bad deliverable kind %u",
+                   static_cast<unsigned>(d.kind));
     }
 }
 
 void
-Controller::noteCollectReady(ClusterId c, std::uint16_t seq)
-{
-    if (phase_ == Phase::CollectWait && seq == collectSeq_ &&
-        c == collectTarget_) {
-        collectAdvance();
-    }
-}
-
-void
-Controller::onQuiescent()
+Controller::onQuiescentAt(Tick tstar)
 {
     if (phase_ == Phase::Drain)
-        finishProgram();
+        finishProgram(std::max(tstar, drainEntry_));
 }
 
 void
-Controller::finishProgram()
+Controller::finishProgram(Tick when)
 {
-    snap_assert(ctx_.sync->quiescent(), "finish while active");
     phase_ = Phase::Done;
+    finishTick_ = when;
 }
 
 } // namespace snap

@@ -9,6 +9,17 @@
  * instructions to the array.  The SCP also runs barrier detection
  * (AND-tree + tiered counter scan) and serial result collection from
  * each cluster's dual-port memory — the COLLECT overhead of Fig. 21.
+ *
+ * The controller is a wire endpoint like the clusters: broadcasts and
+ * barrier releases leave as Deliverables timed with the broadcast-bus
+ * latency, and the array talks back the same way (instruction-queue
+ * credits, collect buffers).  The controller never touches cluster
+ * state directly, which is what lets the clusters live on other host
+ * shards.  Barrier completion and quiescence are *predicates over the
+ * sync tree* evaluated by the machine — in serial runs via the tree's
+ * transition callbacks, in sharded runs at window boundaries — and
+ * reported here with the exact mutation tick t*, so the detection
+ * procedure starts at t* + detection time in both modes.
  */
 
 #ifndef SNAP_ARCH_CONTROLLER_HH
@@ -29,19 +40,36 @@ namespace snap
 class Controller : public ClockedObject
 {
   public:
-    Controller(MachineContext &ctx, std::vector<Cluster *> clusters);
+    Controller(MachineContext &ctx, std::uint32_t num_clusters);
 
     /** Begin executing @p prog (events drive it to completion). */
     void startProgram(const Program &prog);
 
     bool finished() const { return phase_ == Phase::Done; }
+    bool awaitingBarrier() const { return phase_ == Phase::BarrierWait; }
+    bool draining() const { return phase_ == Phase::Drain; }
+
+    /** Tick the program finished at (valid once finished()). */
+    Tick finishTick() const { return finishTick_; }
 
     ResultSet takeResults() { return std::move(results_); }
 
-    // --- notifications from clusters -----------------------------------
+    // --- wire endpoint (InstrCredit / CollectReady) ----------------------
+    void applyDeliverable(Deliverable &&d);
 
-    void noteInstrQueueSpace(ClusterId c);
-    void noteCollectReady(ClusterId c, std::uint16_t seq);
+    // --- sync predicates, reported by the machine ------------------------
+
+    /**
+     * The barrier the SCP is waiting on completed at tick @p tstar
+     * (the last sync-tree mutation), with @p msgs_so_far inter-cluster
+     * messages sent machine-wide since the run began.  @p tstar may be
+     * earlier than curTick() (window-boundary detection); the
+     * detection procedure is timed from @p tstar regardless.
+     */
+    void onSyncCompleteAt(Tick tstar, std::uint64_t msgs_so_far);
+
+    /** The array went quiescent at tick @p tstar while draining. */
+    void onQuiescentAt(Tick tstar);
 
   private:
     enum class Phase
@@ -60,13 +88,12 @@ class Controller : public ClockedObject
 
     void kickScp();
     void broadcastDone();
-    void onSyncComplete();
-    void onQuiescent();
     void detectionDone();
     void releaseDone();
     void collectAdvance();
     void collectReadDone();
-    void finishProgram();
+    void finishProgram(Tick when);
+    void sendToCluster(ClusterId c, Deliverable &&d);
 
     Tick ctrlCy(std::uint64_t cycles) const
     {
@@ -88,24 +115,36 @@ class Controller : public ClockedObject
 
     MachineContext &ctx_;
     const TimingParams &t_;
-    std::vector<Cluster *> clusters_;
+    const std::uint32_t numClusters_;
 
     const Program *prog_ = nullptr;
     std::size_t instrIdx_ = 0;
     Phase phase_ = Phase::Idle;
     Tick programStart_ = 0;
+    Tick finishTick_ = 0;
     bool waitingForSpace_ = false;
 
-    // Collect state.
+    /** Outstanding instruction-queue slots per cluster (the global
+     *  bus stalls while any cluster is out of credits). */
+    std::vector<std::uint32_t> instrCredits_;
+    std::uint64_t wireSeq_ = 0;
+
+    // Collect state: parts stream in over the wire and are consumed
+    // in cluster order.
     std::uint16_t collectSeq_ = 0;
     std::uint32_t collectTarget_ = 0;
     CollectResult collectAggregate_;
+    std::vector<CollectResult> collectParts_;
+    std::vector<bool> collectHave_;
 
     // Epoch bookkeeping for the Fig. 8 series.
     std::uint64_t epochStartMsgs_ = 0;
+    std::uint64_t pendingEpochMsgs_ = 0;
     /** Tick the current barrier epoch entered BarrierWait (trace
      *  span anchor). */
     Tick barrierStart_ = 0;
+    /** Tick the SCP entered Drain (lower bound for the finish tick). */
+    Tick drainEntry_ = 0;
 
     ResultSet results_;
 

@@ -1,6 +1,6 @@
 #include "arch/icn.hh"
 
-#include <algorithm>
+#include "common/logging.hh"
 
 namespace snap
 {
@@ -12,10 +12,6 @@ HypercubeIcn::HypercubeIcn(std::uint32_t num_clusters,
     snap_assert(num_clusters >= 1 &&
                 num_clusters <= capacity::maxClusters,
                 "icn cluster count %u", num_clusters);
-    for (std::uint32_t i = 0; i < num_clusters * numIcnDims; ++i)
-        mailboxes_.emplace_back(t.icnMailboxDepth);
-    blockedSenders_.resize(num_clusters * numIcnDims);
-    wakeScratch_.resize(num_clusters * numIcnDims);
 }
 
 std::uint32_t
@@ -62,40 +58,6 @@ HypercubeIcn::nextHop(ClusterId cur, ClusterId dest) const
                 "route through cluster %u of %u", neighbor,
                 numClusters_);
     return {highest, neighbor};
-}
-
-void
-HypercubeIcn::noteBlockedSender(ClusterId c, std::uint32_t dim,
-                                ClusterId sender)
-{
-    auto &v = blockedSenders_.at(c * numIcnDims + dim);
-    if (std::find(v.begin(), v.end(), sender) == v.end())
-        v.push_back(sender);
-    ++blockedSends;
-    mailbox(c, dim).noteBlocked();
-}
-
-ActivationMessage
-HypercubeIcn::popAndWake(ClusterId c, std::uint32_t dim)
-{
-    ActivationMessage msg = mailbox(c, dim).pop();
-    const std::size_t idx = c * numIcnDims + dim;
-    auto &v = blockedSenders_.at(idx);
-    if (!v.empty() && kickCu_) {
-        // Swap into this mailbox's scratch so noteBlockedSender's
-        // dedup sees an empty list while senders are re-kicked (a
-        // kicked cluster can re-block here mid-drain).  The two
-        // vectors ping-pong their capacity, so no allocation per
-        // message.  Recursive popAndWake on the same mailbox cannot
-        // happen (the owning CU is busy), only on other mailboxes,
-        // which use their own scratch.
-        auto &scratch = wakeScratch_.at(idx);
-        scratch.swap(v);
-        for (ClusterId w : scratch)
-            kickCu_(w);
-        scratch.clear();
-    }
-    return msg;
 }
 
 } // namespace snap

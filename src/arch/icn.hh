@@ -10,26 +10,25 @@
  * either X, Y, or L", so any of 32 clusters is reachable in at most
  * three hops.  "Since each memory port is dedicated to a single CU,
  * there is no bus contention" — the serialization points are each
- * CU's service rate and the finite mailbox capacity, which this model
- * keeps explicit (senders block on a full mailbox: the burst
- * behaviour of Fig. 8).
+ * CU's service rate and the finite port-memory capacity.
  *
- * The model: per (cluster, dimension) a bounded mailbox; routing
- * corrects the lowest differing address field first; the sending CU
- * is busy for the 8-bit-parallel transfer time of the 64-bit message
- * (8 x 80 ns port-to-port).
+ * This class is the static topology (routing, field arithmetic,
+ * transfer time) plus the machine-lifetime traffic statistics.  The
+ * dynamic state — per-dimension receive queues, sender-side
+ * flow-control credits sized by icnMailboxDepth, and the in-flight
+ * messages themselves — lives in the clusters and the Wire layer
+ * (arch/wire.hh), so that every piece of mutable ICN state has
+ * exactly one owning cluster and the array can be sharded across
+ * host threads without shared writes.
  */
 
 #ifndef SNAP_ARCH_ICN_HH
 #define SNAP_ARCH_ICN_HH
 
 #include <cstdint>
-#include <functional>
-#include <vector>
+#include <utility>
 
 #include "arch/config.hh"
-#include "arch/message.hh"
-#include "arch/multiport_mem.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -74,48 +73,22 @@ class HypercubeIcn
                ticksPerNs;
     }
 
-    // --- mailboxes ---------------------------------------------------------
-
-    BoundedQueue<ActivationMessage> &
-    mailbox(ClusterId c, std::uint32_t dim)
-    {
-        return mailboxes_.at(c * numIcnDims + dim);
-    }
-
-    /** Record that @p sender is blocked on (c, dim)'s mailbox. */
-    void noteBlockedSender(ClusterId c, std::uint32_t dim,
-                           ClusterId sender);
-
-    /**
-     * Pop one message from (c, dim) and wake blocked senders via the
-     * kick callback installed by the machine.
-     */
-    ActivationMessage popAndWake(ClusterId c, std::uint32_t dim);
-
-    /** Install the CU-kick callback. */
-    void onKickCu(std::function<void(ClusterId)> fn)
-    {
-        kickCu_ = std::move(fn);
-    }
-
     // --- statistics ---------------------------------------------------------
+    // Machine-lifetime totals.  Clusters tally into per-cluster
+    // deltas during a run; the machine folds them in canonical
+    // cluster order at end of run (see Cluster::IcnDelta).
 
     stats::Scalar messagesInjected;   ///< first-hop sends
     stats::Scalar hopsTraversed;      ///< total port-to-port hops
     stats::Scalar relays;             ///< intermediate-hop handlings
     stats::Distribution hopDist;      ///< hops per delivered message
     stats::Distribution latency;      ///< end-to-end ticks per message
-    stats::Scalar blockedSends;       ///< sends stalled on full mailbox
+    stats::Scalar blockedSends;       ///< sends stalled on zero credit
     stats::Scalar messagesDropped;    ///< injected link-fault losses
 
   private:
     std::uint32_t numClusters_;
     const TimingParams &t_;
-    std::vector<BoundedQueue<ActivationMessage>> mailboxes_;
-    std::vector<std::vector<ClusterId>> blockedSenders_;
-    /** Per-mailbox drain scratch for popAndWake (capacity reuse). */
-    std::vector<std::vector<ClusterId>> wakeScratch_;
-    std::function<void(ClusterId)> kickCu_;
 };
 
 } // namespace snap

@@ -78,6 +78,9 @@ struct ActivationMessage
     std::uint8_t hops = 0;
     /** Tiered synchronization level this message was counted at. */
     std::uint8_t syncLevel = 0;
+    /** Cluster that put the message on its current link (for the
+     *  receiver's flow-control credit return). */
+    ClusterId lastHop = 0;
 };
 
 } // namespace snap

@@ -1,5 +1,9 @@
 #include "arch/perf_net.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace snap
 {
 
@@ -13,22 +17,53 @@ PerfNet::PerfNet(std::uint32_t num_pes, const TimingParams &t,
 }
 
 void
-PerfNet::emit(std::uint32_t pe, Tick now, PerfEvent event,
-              std::uint32_t status)
+PerfNet::View::emit(std::uint32_t pe, Tick now, PerfEvent event,
+                    std::uint32_t status)
 {
-    if (!enabled_)
+    PerfNet *net = net_;
+    if (!net || !net->enabled_)
         return;
-    ++emitted;
-    snap_assert(pe < portBusyUntil_.size(), "perf pe %u out of %zu",
-                pe, portBusyUntil_.size());
-    if (portBusyUntil_[pe] > now) {
+    ++emitted_;
+    snap_assert(pe < net->portBusyUntil_.size(),
+                "perf pe %u out of %zu", pe,
+                net->portBusyUntil_.size());
+    Tick &busy = net->portBusyUntil_[pe];
+    if (busy > now) {
         // Serial-port register still shifting the previous record.
-        ++droppedRecords;
+        ++dropped_;
         return;
     }
-    portBusyUntil_[pe] = now + shiftTicks_;
-    records_.push_back(PerfRecord{now + shiftTicks_, pe, event,
+    busy = now + net->shiftTicks_;
+    records_.push_back(PerfRecord{now + net->shiftTicks_, pe, event,
                                   status & 0xffffffu});
+}
+
+void
+PerfNet::fold(const std::vector<View *> &views)
+{
+    std::size_t extra = 0;
+    for (View *v : views)
+        extra += v->records_.size();
+    records_.reserve(records_.size() + extra);
+    auto mid = records_.end() - records_.begin();
+    for (View *v : views) {
+        emitted += v->emitted_;
+        droppedRecords += v->dropped_;
+        v->emitted_ = 0;
+        v->dropped_ = 0;
+        records_.insert(records_.end(),
+                        std::make_move_iterator(v->records_.begin()),
+                        std::make_move_iterator(v->records_.end()));
+        v->records_.clear();
+    }
+    // (timestamp, pe) is unique: one shard drives each PE, and the
+    // serial port serializes that PE's records in time.
+    std::sort(records_.begin() + mid, records_.end(),
+              [](const PerfRecord &a, const PerfRecord &b) {
+                  if (a.timestamp != b.timestamp)
+                      return a.timestamp < b.timestamp;
+                  return a.pe < b.pe;
+              });
 }
 
 } // namespace snap

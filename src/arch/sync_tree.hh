@@ -10,11 +10,27 @@
  * If the processors are idle and the counters sum to zero, then the
  * propagation has terminated and the barrier is complete."
  *
- * The model keeps the per-level global counter sums exactly (the
- * hardware keeps them distributed and the SCP collects them — the
- * collection cost is charged by the controller), plus the AND-tree of
- * per-cluster idle lines.  A callback fires on the idle-and-drained
- * transition so the controller can run its detection procedure.
+ * The model keeps one SyncTree per execution shard.  Every tree is
+ * sized over the full array; a shard only ever mutates the lines of
+ * its own clusters, so foreign lines keep their initial values (idle,
+ * not at barrier) and the machine-level predicates are computed by
+ * folding the shard trees:
+ *
+ *   - every tree reports all idle lines up  (own clusters idle)
+ *   - the at-barrier counts sum to the cluster count
+ *   - the per-tier counters sum to zero across trees
+ *
+ * Counters are signed because creation and consumption of one message
+ * may land on different shards (a shard's counter can legitimately go
+ * negative); only the cross-shard sum is meaningful.  Every mutation
+ * is stamped with the simulated tick so detection can be attributed
+ * to the exact tick the merged predicate became true, independent of
+ * when (in host time) the fold runs.
+ *
+ * On the single-shard path the optional callbacks fire synchronously
+ * at the completing mutation — the fold is then the identity and the
+ * controller is notified at the same tick the window-boundary fold
+ * would compute.
  */
 
 #ifndef SNAP_ARCH_SYNC_TREE_HH
@@ -57,34 +73,33 @@ class SyncTree
     /** A marker message / local continuation was created at tier
      *  @p lvl. */
     void
-    created(std::uint8_t lvl)
+    created(std::uint8_t lvl, Tick now)
     {
         snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
-        if (counters_[lvl]++ == 0)
-            ++nonzeroLevels_;
+        bump(lvl, +1);
         ++totalCreated_;
+        lastMutation_ = now;
     }
 
     /** A marker message / continuation was fully consumed. */
     void
-    consumed(std::uint8_t lvl)
+    consumed(std::uint8_t lvl, Tick now)
     {
         snap_assert(lvl < numSyncLevels, "bad sync level %u", lvl);
-        snap_assert(counters_[lvl] > 0,
-                    "sync counter underflow at level %u", lvl);
-        if (--counters_[lvl] == 0)
-            --nonzeroLevels_;
+        bump(lvl, -1);
         ++totalConsumed_;
+        lastMutation_ = now;
         maybeFire();
     }
 
     /** Cluster @p c reached a BARRIER instruction (or left it). */
     void
-    setAtBarrier(ClusterId c, bool at)
+    setAtBarrier(ClusterId c, bool at, Tick now)
     {
         if (atBarrier_.at(c) != at) {
             atBarrier_[c] = at;
             numAtBarrier_ += at ? 1 : -1;
+            lastMutation_ = now;
         }
         if (at)
             maybeFire();
@@ -92,11 +107,12 @@ class SyncTree
 
     /** Cluster @p c's idle line (all units quiescent locally). */
     void
-    setIdle(ClusterId c, bool idle)
+    setIdle(ClusterId c, bool idle, Tick now)
     {
         if (idle_.at(c) != idle) {
             idle_[c] = idle;
             numIdle_ += idle ? 1 : -1;
+            lastMutation_ = now;
         }
         if (idle)
             maybeFire();
@@ -105,7 +121,9 @@ class SyncTree
     /** True when every cluster is at the barrier, idle, and all
      *  tier counters are zero.  O(1): the AND-tree lines and the
      *  nonzero-tier count are maintained incrementally, so the
-     *  detection check costs the same regardless of array size. */
+     *  detection check costs the same regardless of array size.
+     *  Exact only on a single shard; multi-shard machines fold the
+     *  shard trees instead. */
     bool
     complete() const
     {
@@ -129,14 +147,24 @@ class SyncTree
     }
 
     /** All clusters idle and all counters drained (ignores the
-     *  at-barrier lines) — end-of-program quiescence.  O(1). */
+     *  at-barrier lines) — end-of-program quiescence.  O(1); exact
+     *  only on a single shard. */
     bool
     quiescent() const
     {
         return numIdle_ == idle_.size() && nonzeroLevels_ == 0;
     }
 
-    /** Install the completion callback (the controller's detection
+    /** Tick of the most recent state-changing mutation.  When a
+     *  merged predicate holds, the fold of this over shards is the
+     *  tick it became true (sync state is stable once complete). */
+    Tick lastMutation() const { return lastMutation_; }
+
+    std::size_t numAtBarrier() const { return numAtBarrier_; }
+    bool allIdle() const { return numIdle_ == idle_.size(); }
+
+    /** Install the completion callback (single-shard machines only:
+     *  the machine forwards to the controller's detection
      *  procedure). */
     void onComplete(std::function<void()> fn)
     {
@@ -154,6 +182,21 @@ class SyncTree
 
   private:
     void
+    bump(std::uint8_t lvl, std::int64_t delta)
+    {
+        // Signed: consumption may be tallied by a different shard
+        // than creation, so a single tree's counter can dip below
+        // zero while the cross-shard sum stays exact.
+        std::int64_t before = counters_[lvl];
+        std::int64_t after = before + delta;
+        counters_[lvl] = after;
+        if (before == 0)
+            ++nonzeroLevels_;
+        else if (after == 0)
+            --nonzeroLevels_;
+    }
+
+    void
     maybeFire()
     {
         if (onComplete_ && complete())
@@ -169,6 +212,7 @@ class SyncTree
     std::size_t numAtBarrier_ = 0;
     std::size_t numIdle_ = 0;
     std::uint32_t nonzeroLevels_ = 0;
+    Tick lastMutation_ = 0;
     std::function<void()> onComplete_;
     std::function<void()> onQuiescent_;
     std::uint64_t totalCreated_ = 0;

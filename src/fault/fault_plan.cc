@@ -272,89 +272,135 @@ FaultPlan::FaultPlan(const FaultSpec &spec) : spec_(spec)
 }
 
 void
+FaultPlan::bindClusters(std::uint32_t num_clusters)
+{
+    if (streams_.size() < num_clusters + 1u)
+        streams_.resize(num_clusters + 1u);
+}
+
+void
 FaultPlan::beginRun()
 {
     tally_ = FaultReport{};
     tally_.enabled = true;
+    for (Stream &s : streams_)
+        s.tally = FaultReport{};
     // Dead clusters scope to one run: a wedged run is torn down and
     // re-wired (repair()), a clean run left the array drained.
-    deadMask_ = 0;
+    deadMask_.store(0, std::memory_order_relaxed);
+}
+
+void
+FaultPlan::foldTallies()
+{
+    for (std::size_t s = 1; s < streams_.size(); ++s) {
+        FaultReport &t = streams_[s].tally;
+        tally_.icnDropped += t.icnDropped;
+        tally_.icnCorrupted += t.icnCorrupted;
+        tally_.icnDelayed += t.icnDelayed;
+        tally_.semStalls += t.semStalls;
+        tally_.markerFlips += t.markerFlips;
+        tally_.markerSticks += t.markerSticks;
+        tally_.syncWedges += t.syncWedges;
+        tally_.deadClusters += t.deadClusters;
+        t = FaultReport{};
+    }
+}
+
+FaultPlan::Stream &
+FaultPlan::stream(std::uint32_t s)
+{
+    snap_assert(s < streams_.size(),
+                "fault stream %u of %zu (bindClusters not called?)",
+                s, streams_.size());
+    return streams_[s];
 }
 
 std::uint64_t
-FaultPlan::draw(FaultKind k)
+FaultPlan::drawOn(std::uint32_t s, FaultKind k)
 {
     std::size_t i = static_cast<std::size_t>(k);
     std::uint64_t x = spec_.seed;
     x ^= kindSalt[i];
-    x += 0x9e3779b97f4a7c15ull * (counters_[i]++ + 1);
+    x += 0x9e3779b97f4a7c15ull * (stream(s).counters[i]++ + 1);
     x += 0xc2b2ae3d27d4eb4full * generation_;
+    // Stream 0 (the machine) reproduces the historical single-stream
+    // draws exactly; cluster streams diverge by this term.
+    x += 0x94d049bb133111ebull * s;
     return splitmix64(x);
 }
 
 double
 FaultPlan::drawUnit(FaultKind k)
 {
-    return static_cast<double>(draw(k) >> 11) * 0x1.0p-53;
+    return drawUnitOn(0, k);
+}
+
+double
+FaultPlan::drawUnitOn(std::uint32_t s, FaultKind k)
+{
+    return static_cast<double>(drawOn(s, k) >> 11) * 0x1.0p-53;
 }
 
 bool
-FaultPlan::roll(FaultKind k, double rate)
+FaultPlan::rollOn(std::uint32_t s, FaultKind k, double rate)
 {
     // Advance the stream exactly once per visit even at rate 0, so a
     // site's draw history is independent of the other sites' rates.
-    return drawUnit(k) < rate;
+    return drawUnitOn(s, k) < rate;
 }
 
 bool
-FaultPlan::rollIcnDrop()
+FaultPlan::rollIcnDrop(ClusterId c)
 {
-    if (!roll(FaultKind::IcnDrop, spec_.icnDropRate))
+    if (!rollOn(c + 1, FaultKind::IcnDrop, spec_.icnDropRate))
         return false;
-    ++tally_.icnDropped;
+    ++stream(c + 1).tally.icnDropped;
     return true;
 }
 
 bool
-FaultPlan::rollIcnCorrupt()
+FaultPlan::rollIcnCorrupt(ClusterId c)
 {
-    if (!roll(FaultKind::IcnCorrupt, spec_.icnCorruptRate))
+    if (!rollOn(c + 1, FaultKind::IcnCorrupt, spec_.icnCorruptRate))
         return false;
-    ++tally_.icnCorrupted;
+    ++stream(c + 1).tally.icnCorrupted;
     return true;
 }
 
 bool
-FaultPlan::rollIcnDelay()
+FaultPlan::rollIcnDelay(ClusterId c)
 {
-    if (!roll(FaultKind::IcnDelay, spec_.icnDelayRate))
+    if (!rollOn(c + 1, FaultKind::IcnDelay, spec_.icnDelayRate))
         return false;
-    ++tally_.icnDelayed;
+    ++stream(c + 1).tally.icnDelayed;
     return true;
 }
 
 bool
-FaultPlan::rollSemStall()
+FaultPlan::rollSemStall(ClusterId c)
 {
-    if (!roll(FaultKind::SemStall, spec_.semStallRate))
+    if (!rollOn(c + 1, FaultKind::SemStall, spec_.semStallRate))
         return false;
-    ++tally_.semStalls;
+    ++stream(c + 1).tally.semStalls;
     return true;
 }
 
 bool
 FaultPlan::rollRun(FaultKind k, double rate)
 {
-    return roll(k, rate);
+    return rollOn(0, k, rate);
 }
 
+namespace
+{
+
 float
-FaultPlan::corruptValue(float v)
+perturb(std::uint64_t r, float v)
 {
     // Deterministic finite perturbation: a wrong-but-plausible marker
     // value, never NaN/inf (those would poison comparisons downstream
     // of the detection layer itself).
-    std::uint64_t r = draw(FaultKind::IcnCorrupt);
     float delta = 1.0f + static_cast<float>(r % 7);
     float out = (r & 8) ? v + delta : v - delta;
     if (!std::isfinite(out))
@@ -362,19 +408,34 @@ FaultPlan::corruptValue(float v)
     return out;
 }
 
+} // namespace
+
+float
+FaultPlan::corruptValue(ClusterId c, float v)
+{
+    return perturb(draw(c, FaultKind::IcnCorrupt), v);
+}
+
+float
+FaultPlan::corruptValue(float v)
+{
+    return perturb(draw(FaultKind::IcnCorrupt), v);
+}
+
 void
 FaultPlan::markDead(ClusterId c)
 {
     if (c < 64)
-        deadMask_ |= 1ull << c;
+        deadMask_.fetch_or(1ull << c, std::memory_order_relaxed);
 }
 
 void
 FaultPlan::bumpGeneration()
 {
     ++generation_;
-    counters_.fill(0);
-    deadMask_ = 0;
+    for (Stream &s : streams_)
+        s.counters.fill(0);
+    deadMask_.store(0, std::memory_order_relaxed);
 }
 
 // --- helpers ---------------------------------------------------------

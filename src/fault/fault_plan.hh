@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -127,6 +128,16 @@ struct FaultReport {
  * per-kind monotonic counters so repeated runs see fresh (but still
  * seed-determined) fault patterns.  bumpGeneration() reseeds the whole
  * stream — used when a serving replica is quarantined and re-stamped.
+ *
+ * Sharded execution: injection sites are visited concurrently by the
+ * host shards, so the entropy is split into independent streams —
+ * stream 0 for the machine itself (per-run arm decisions, made
+ * single-threaded before the run starts) and stream c+1 for cluster c
+ * (its CU/MU injection-site rolls).  Each stream's draw history is a
+ * pure function of that cluster's own simulated event order, which the
+ * wire model keeps identical across thread counts — so the injected
+ * fault pattern is too.  Tallies are likewise kept per stream and
+ * folded at run end.
  */
 class FaultPlan
 {
@@ -135,52 +146,98 @@ class FaultPlan
 
     const FaultSpec &spec() const { return spec_; }
 
-    /// Reset the per-run tally.  Called by SnapMachine::run.
+    /// Size the per-cluster streams.  Called once at machine wiring;
+    /// growing preserves existing stream state (draw counters persist
+    /// across runs by design).
+    void bindClusters(std::uint32_t num_clusters);
+
+    /// Reset the per-run tallies.  Called by SnapMachine::run.
     void beginRun();
 
     FaultReport &tally() { return tally_; }
     const FaultReport &tally() const { return tally_; }
 
-    // --- per-event injection-site rolls (each advances its counter
-    //     exactly once per call, hit or miss) -------------------------
-    bool rollIcnDrop();
-    bool rollIcnCorrupt();
-    bool rollIcnDelay();
-    bool rollSemStall();
+    /// Injection tally of cluster @p c's stream.  Written only by the
+    /// shard driving that cluster; folded into tally() at run end.
+    FaultReport &tallyFor(ClusterId c) { return stream(c + 1).tally; }
+
+    /// Sum the per-cluster stream tallies into tally() and clear
+    /// them.  Single-threaded (run end).
+    void foldTallies();
+
+    // --- per-event injection-site rolls on cluster @p c's stream
+    //     (each advances its counter exactly once per call, hit or
+    //     miss) ------------------------------------------------------
+    bool rollIcnDrop(ClusterId c);
+    bool rollIcnCorrupt(ClusterId c);
+    bool rollIcnDelay(ClusterId c);
+    bool rollSemStall(ClusterId c);
 
     /// Per-run roll for scheduled faults (flip/stick/wedge/dead).
+    /// Machine stream, pre-run only.
     bool rollRun(FaultKind k, double rate);
 
     // --- raw entropy (deterministic, per-kind streams) ---------------
-    std::uint64_t draw(FaultKind k);
-    /// Uniform in [0, 1).
+    /// Machine stream (stream 0).
+    std::uint64_t draw(FaultKind k) { return drawOn(0, k); }
+    /// Cluster @p c's stream.
+    std::uint64_t draw(ClusterId c, FaultKind k)
+    {
+        return drawOn(c + 1, k);
+    }
+    /// Uniform in [0, 1), machine stream.
     double drawUnit(FaultKind k);
 
-    /// Deterministically perturb a marker value (finite in, finite out).
+    /// Deterministically perturb a marker value (finite in, finite
+    /// out) using cluster @p c's stream.
+    float corruptValue(ClusterId c, float v);
+    /// Machine-stream variant (integrity shadows, tests).
     float corruptValue(float v);
 
     // --- dead-cluster state ------------------------------------------
+    // The mask is one shared word: each bit is written only by the
+    // shard driving that cluster (the fault event runs on the owner's
+    // queue), but read by all of them, hence the relaxed atomics.  A
+    // cluster's reads of its *own* bit are same-thread and therefore
+    // deterministic; foreign bits only gate work that the foreign
+    // cluster never sends once dead.
     void markDead(ClusterId c);
     bool clusterDead(ClusterId c) const
     {
-        return deadMask_ != 0 && c < 64 &&
-               (deadMask_ >> c & 1ull) != 0;
+        std::uint64_t m = deadMask_.load(std::memory_order_relaxed);
+        return m != 0 && c < 64 && (m >> c & 1ull) != 0;
     }
-    bool anyDead() const { return deadMask_ != 0; }
-    void reviveAll() { deadMask_ = 0; }
+    bool anyDead() const
+    {
+        return deadMask_.load(std::memory_order_relaxed) != 0;
+    }
+    void reviveAll()
+    {
+        deadMask_.store(0, std::memory_order_relaxed);
+    }
 
     /// Reseed the whole stream (replica re-stamp after quarantine).
     void bumpGeneration();
     std::uint64_t generation() const { return generation_; }
 
   private:
-    bool roll(FaultKind k, double rate);
+    /// One independent entropy stream + its injection tally.
+    struct Stream
+    {
+        std::array<std::uint64_t, numFaultKinds> counters{};
+        FaultReport tally;
+    };
+
+    Stream &stream(std::uint32_t s);
+    std::uint64_t drawOn(std::uint32_t s, FaultKind k);
+    double drawUnitOn(std::uint32_t s, FaultKind k);
+    bool rollOn(std::uint32_t s, FaultKind k, double rate);
 
     FaultSpec spec_;
     FaultReport tally_;
-    std::array<std::uint64_t, numFaultKinds> counters_{};
+    std::vector<Stream> streams_{1};
     std::uint64_t generation_ = 0;
-    std::uint64_t deadMask_ = 0;
+    std::atomic<std::uint64_t> deadMask_{0};
 };
 
 // --- helpers shared by machine integrity checking and tests ----------

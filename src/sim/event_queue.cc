@@ -42,14 +42,20 @@ EventQueue::insertOverflow(const Entry &e)
 void
 EventQueue::insertSorted(Bucket &bk, const Entry &e)
 {
-    auto it = std::upper_bound(
-        bk.entries.begin() + bk.drainPos, bk.entries.end(), e,
-        [](const Entry &a, const Entry &x) {
-            if (a.when != x.when)
-                return a.when < x.when;
-            return a.seq < x.seq;
-        });
-    bk.entries.insert(it, e);
+    // Out-of-order arrivals still land near the tail (interleaved
+    // wire-latency streams put them a handful of slots back, measured
+    // ~5 on the fig17 trace), so a backward linear scan finds the slot
+    // in a few well-predicted compares where a binary search would eat
+    // log2(n) mispredicts.
+    std::size_t i = bk.entries.size();
+    const std::size_t lo = bk.drainPos;
+    while (i > lo) {
+        const Entry &p = bk.entries[i - 1];
+        if (p.when < e.when || (p.when == e.when && p.seq < e.seq))
+            break;
+        --i;
+    }
+    bk.entries.insert(bk.entries.begin() + i, e);
 }
 
 std::uint32_t
@@ -172,6 +178,7 @@ void
 EventQueue::serviceHead(const Head &head)
 {
     snap_assert(head.valid, "servicing an empty queue");
+    hostprof::Scope hpq(hostprof::Phase::Queue);
     Event *ev;
     if (head.bucket != noBucket) {
         Bucket &bk = buckets_[head.bucket];
@@ -194,6 +201,7 @@ EventQueue::serviceHead(const Head &head)
     if (trace_) [[unlikely]]
         trace_->fanout.push_back(0);
 
+    hostprof::Scope hpd(hostprof::Phase::Dispatch);
     if (ev->pooled_) {
         // Pooled one-shots are the hot case: call through the stored
         // function pointer directly (no virtual dispatch) and return
@@ -302,24 +310,43 @@ EventQueue::run(std::uint64_t max_events)
 {
     std::uint64_t fired = 0;
     while (live_ != 0 && fired < max_events) {
-        // Ring fast path: with no overflow entries to arbitrate
-        // against and no stale entries to prune, the first occupied
-        // bucket can be drained in place.  Entries past drainPos stay
-        // sorted even while events fire — a handler's new schedules
-        // land at or after the drain point (insertSorted starts
-        // there) or in a later bucket, never earlier.
-        if (ringCount_ != 0 && staleEntries_ == 0 &&
-            overflow_.empty()) {
+        // Ring fast path: the first occupied bucket can be drained in
+        // place up to the overflow head's tick.  The overflow bound
+        // is loop-invariant for the bucket: new overflow pushes land
+        // a full nearSpan past curTick, far beyond this bucket's
+        // upper edge, so caching the head's tick at bucket entry is
+        // safe.  Stale entries (lazily descheduled — the wire pumps
+        // reschedule constantly) are pruned inline so they never
+        // force the slow path.  Entries past drainPos stay sorted
+        // even while events fire — a handler's new schedules land at
+        // or after the drain point (insertSorted starts there) or in
+        // a later bucket, never earlier.
+        if (ringCount_ != 0) {
+            const Tick ovfWhen =
+                overflow_.empty() ? maxTick : overflow_.top().when;
             const std::uint32_t cursor =
                 static_cast<std::uint32_t>(curTick_ >> bucketShift) &
                 bucketMask;
             const std::uint32_t b = nextOccupied(cursor);
             Bucket &bk = buckets_[b];
+            const std::uint64_t firedBefore = fired;
             while (bk.drainPos < bk.entries.size() &&
-                   staleEntries_ == 0 && overflow_.empty() &&
                    fired < max_events) {
                 // Copy: the handler may grow this bucket's vector.
+                hostprof::Scope hpq(hostprof::Phase::Queue);
                 const Entry e = bk.entries[bk.drainPos];
+                if (staleEntries_ != 0 && stale(e)) [[unlikely]] {
+                    reclaimStale(e.event, e);
+                    ++bk.drainPos;
+                    --ringCount_;
+                    --staleEntries_;
+                    continue;
+                }
+                // At or past the overflow head, the heap must
+                // arbitrate (a same-tick overflow entry can carry an
+                // earlier sort key): drop to the slow path.
+                if (e.when >= ovfWhen)
+                    break;
                 ++bk.drainPos;
                 --ringCount_;
                 snap_assert(e.when >= curTick_,
@@ -332,6 +359,7 @@ EventQueue::run(std::uint64_t max_events)
                 ++fired;
                 if (trace_) [[unlikely]]
                     trace_->fanout.push_back(0);
+                hostprof::Scope hpd(hostprof::Phase::Dispatch);
                 if (ev->pooled_) {
                     auto *cb = static_cast<PooledCallback *>(ev);
                     cb->invoke_(cb->store_);
@@ -344,7 +372,8 @@ EventQueue::run(std::uint64_t max_events)
             }
             if (bk.drainPos == bk.entries.size())
                 resetBucket(b);
-            continue;
+            if (fired != firedBefore)
+                continue;
         }
         serviceHead(findHead());
         ++fired;
@@ -359,6 +388,20 @@ EventQueue::runUntil(Tick until)
     while (live_ != 0) {
         Head head = findHead();
         if (!head.valid || head.when > until)
+            break;
+        serviceHead(head);
+        ++fired;
+    }
+    return fired;
+}
+
+__attribute__((flatten)) std::uint64_t
+EventQueue::runBefore(Tick limit)
+{
+    std::uint64_t fired = 0;
+    while (live_ != 0) {
+        Head head = findHead();
+        if (!head.valid || head.when >= limit)
             break;
         serviceHead(head);
         ++fired;

@@ -11,8 +11,8 @@
  * (identical fire order for identical schedule calls):
  *
  *  - Impl::Indexed (default): a two-level queue.  Near-future events
- *    — within ~537 simulated microseconds of now, which covers every
- *    periodic machine event — live in a ring of time-indexed buckets
+ *    — within ~17 simulated microseconds of now, which covers most
+ *    periodic machine events — live in a ring of time-indexed buckets
  *    addressed by `when >> bucketShift`, giving O(1) schedule and
  *    amortized O(1) pop for the common same-cycle / next-cycle cases.
  *    Far-future events overflow into a binary heap and are compared
@@ -50,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/host_prof.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -88,6 +89,17 @@ class Event
      *  been handed to the queue. */
     bool isAutoDelete() const { return autoDelete_; }
 
+    /**
+     * Mark this event as wire class: at any given tick, wire-class
+     * events fire before every normal event scheduled for the same
+     * tick, regardless of scheduling order.  The parallel machine's
+     * cross-shard delivery pumps use this so that staged arrivals are
+     * applied ahead of same-tick local work in both the serial and
+     * sharded execution modes — a precondition for bit-exactness.
+     */
+    void setWireClass() { wireClass_ = true; }
+    bool isWireClass() const { return wireClass_; }
+
   protected:
     void setAutoDelete() { autoDelete_ = true; }
 
@@ -104,6 +116,8 @@ class Event
     bool pooled_ = false;
     /** Pooled event currently parked on the free list. */
     bool inFreeList_ = false;
+    /** Fires ahead of same-tick normal events (see setWireClass). */
+    bool wireClass_ = false;
 };
 
 /** Event that invokes a bound std::function. */
@@ -223,6 +237,41 @@ class EventQueue
      * exactly @p until still fire).  @return events processed.
      */
     std::uint64_t runUntil(Tick until);
+
+    /**
+     * Run every event strictly before @p limit (events at exactly
+     * @p limit do NOT fire).  The parallel machine's window driver:
+     * one conservative lookahead window is [T, T + W), exclusive at
+     * the upper edge so a window-boundary arrival belongs to the next
+     * window.  curTick() is left at the last processed event, not
+     * advanced to the boundary.  @return events processed.
+     */
+    std::uint64_t runBefore(Tick limit);
+
+    /** Tick of the earliest pending event (maxTick when empty).
+     *  Prunes lazily-descheduled entries while looking. */
+    Tick
+    nextEventTick()
+    {
+        if (live_ == 0)
+            return maxTick;
+        Head head = findHead();
+        return head.valid ? head.when : maxTick;
+    }
+
+    /**
+     * Jump simulated time forward to @p when on an empty queue.  The
+     * sharded machine uses it to realign every shard's clock to the
+     * common run-start tick (shards finish a run at slightly
+     * different curTicks once their last local events differ).
+     */
+    void
+    advanceTo(Tick when)
+    {
+        snap_assert(live_ == 0, "advanceTo on a non-empty queue");
+        snap_assert(when >= curTick_, "advanceTo into the past");
+        curTick_ = when;
+    }
 
     /**
      * Discard every pending event without firing it.  Pooled one-shots
@@ -345,13 +394,22 @@ class EventQueue
         }
     };
 
-    // Ring geometry: 4096 buckets of 2^17 ticks (131.072 ns) each —
-    // a 2^29-tick (~537 us) near-future window that holds every
-    // periodic machine event (cycle costs run ~0.4 us to ~100 us).
-    // The bucket array must stay small enough to live in cache: a
-    // finer 16384 x 2^15 split was measured ~40% slower on the fig17
-    // replay despite fewer sorted-insert fallbacks.
-    static constexpr std::uint32_t bucketShift = 17;
+    // Ring geometry: 4096 buckets of 2^12 ticks (4.096 ns) each — a
+    // 2^24-tick (~16.8 us) near-future window.  Most machine delays
+    // (unit cycle costs, one wire hop) land within it; longer delays
+    // (multi-hop ICN transfers, barrier timeouts) take the overflow
+    // heap, whose cached head tick gates the fast path per bucket.
+    // Fine buckets keep each bucket's entry list near-sorted on
+    // arrival, so inserts are tail appends or short backward scans;
+    // this geometry measured ~15% faster on the fig17 replay than
+    // the earlier 4096 x 2^17 window that kept everything ringed.
+    /** Event-class bit folded into the (when, seq) sort key: clear
+     *  for wire-class events, set for normal ones, so wire events
+     *  sort first within a tick and FIFO order holds within each
+     *  class.  nextSeq_ can never reach bit 63. */
+    static constexpr std::uint64_t normalClassBit = 1ull << 63;
+
+    static constexpr std::uint32_t bucketShift = 12;
     static constexpr std::uint32_t numBuckets = 4096;
     static constexpr std::uint32_t bucketMask = numBuckets - 1;
     static constexpr Tick nearSpan = Tick{numBuckets} << bucketShift;
@@ -384,6 +442,7 @@ class EventQueue
     __attribute__((always_inline)) inline void
     scheduleImpl(Event *event, Tick when)
     {
+        hostprof::Scope hp(hostprof::Phase::Queue);
         snap_assert(event != nullptr, "scheduling null event");
         snap_assert(!event->scheduled_,
                     "event '%s' already scheduled",
@@ -394,8 +453,13 @@ class EventQueue
                     static_cast<unsigned long long>(when),
                     static_cast<unsigned long long>(curTick_));
 
+        // The sort key is (when, seq); the wire/normal class rides in
+        // the sequence number's top bit (wire = 0) so wire-class
+        // events order ahead of every same-tick normal event without
+        // widening Entry or touching any comparison site.
         event->when_ = when;
-        event->seq_ = nextSeq_++;
+        event->seq_ = nextSeq_++ |
+                      (event->wireClass_ ? 0 : normalClassBit);
         event->scheduled_ = true;
         ++live_;
 
@@ -429,10 +493,11 @@ class EventQueue
         // the bucket (both time and seq grow), so probe the back.
         if (bk.entries.empty() || bk.entries.back().when < e.when ||
             (bk.entries.back().when == e.when &&
-             bk.entries.back().seq < e.seq))
+             bk.entries.back().seq < e.seq)) {
             bk.entries.push_back(e);
-        else
+        } else {
             insertSorted(bk, e);
+        }
 
         ++ringCount_;
         occ_[b >> 6] |= 1ull << (b & 63);

@@ -5,6 +5,7 @@
  *
  *   snapserve <kb.snapkb> <requests.txt> [options]
  *     --workers N           worker replicas (default 2)
+ *     --threads N           host threads per worker machine
  *     --queue N             admission queue capacity (default 256)
  *     --timeout-ms X        default per-request queue deadline
  *     --batch-lanes N       lane-batch up to N same-program stateless
@@ -83,6 +84,8 @@ usage()
     std::fprintf(stderr,
         "usage: snapserve <kb.snapkb> <requests.txt> [options]\n"
         "  --workers N            worker replicas (default 2)\n"
+        "  --threads N            host threads per worker machine "
+        "(1..64, default 1)\n"
         "  --queue N              admission queue capacity "
         "(default 256)\n"
         "  --timeout-ms X         default queue deadline, host ms\n"
@@ -234,6 +237,11 @@ main(int argc, char **argv)
             if (!parseInt(next(), n) || n < 1 || n > 32)
                 usageError("--clusters must be 1..32");
             cfg.machine.numClusters = static_cast<std::uint32_t>(n);
+        } else if (arg == "--threads") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 64)
+                usageError("--threads must be 1..64");
+            cfg.machine.hostThreads = static_cast<std::uint32_t>(n);
         } else if (arg == "--partition") {
             std::string p = next();
             if (p == "seq")

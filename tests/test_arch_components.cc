@@ -12,6 +12,7 @@
 #include "arch/multiport_mem.hh"
 #include "arch/perf_net.hh"
 #include "arch/sync_tree.hh"
+#include "arch/wire.hh"
 #include "workload/kb_gen.hh"
 
 namespace snap
@@ -83,29 +84,89 @@ TEST(HypercubeIcnTest, TransferTimeIs640ns)
     EXPECT_EQ(icn.transferTime(), 640 * ticksPerNs);
 }
 
-TEST(HypercubeIcnTest, MailboxWakesBlockedSenders)
+// --- wire --------------------------------------------------------------------
+
+/** Same-tick deliverables apply in the canonical (kind, sender,
+ *  senderSeq) order no matter what order they were staged in. */
+TEST(WireTest, SameTickAppliesInCanonicalOrder)
 {
-    TimingParams t;
-    t.icnMailboxDepth = 2;
-    HypercubeIcn icn(4, t);
+    EventQueue eq(EventQueue::Impl::Indexed);
+    Wire wire(2, 1, 1000);
 
-    std::vector<ClusterId> kicked;
-    icn.onKickCu([&](ClusterId c) { kicked.push_back(c); });
+    struct Applied
+    {
+        WireKind kind;
+        std::uint32_t sender;
+        std::uint64_t seq;
+    };
+    std::vector<Applied> applied;
+    wire.bindEndpoint(0, 0, &eq, [&](Deliverable &&d) {
+        applied.push_back(Applied{d.kind, d.sender, d.senderSeq});
+    });
+    wire.bindEndpoint(1, 0, &eq, [](Deliverable &&) {});
 
-    auto &mb = icn.mailbox(1, 0);
-    mb.push(ActivationMessage{});
-    mb.push(ActivationMessage{});
-    EXPECT_TRUE(mb.full());
-    icn.noteBlockedSender(1, 0, 2);
-    icn.noteBlockedSender(1, 0, 3);
-    icn.noteBlockedSender(1, 0, 2);  // duplicate: recorded once
+    auto stage = [&](WireKind k, std::uint32_t sender,
+                     std::uint64_t seq) {
+        Deliverable d;
+        d.when = 5000;
+        d.kind = k;
+        d.receiver = 0;
+        d.sender = sender;
+        d.senderSeq = seq;
+        wire.send(0, std::move(d));
+    };
+    // Scrambled staging order.
+    stage(WireKind::Instr, 1, 7);
+    stage(WireKind::IcnMsg, 1, 9);
+    stage(WireKind::IcnMsg, 0, 2);
+    stage(WireKind::IcnCredit, 0, 1);
+    stage(WireKind::IcnMsg, 0, 1);
 
-    icn.popAndWake(1, 0);
-    EXPECT_EQ(kicked, (std::vector<ClusterId>{2, 3}));
-    kicked.clear();
-    icn.popAndWake(1, 0);
-    EXPECT_TRUE(kicked.empty());  // waiters fired once
-    EXPECT_EQ(icn.blockedSends.value(), 3.0);
+    EXPECT_FALSE(wire.empty());
+    eq.run();
+    EXPECT_TRUE(wire.empty());
+
+    ASSERT_EQ(applied.size(), 5u);
+    EXPECT_EQ(applied[0].kind, WireKind::IcnMsg);    // sender 0 seq 1
+    EXPECT_EQ(applied[0].seq, 1u);
+    EXPECT_EQ(applied[1].kind, WireKind::IcnMsg);    // sender 0 seq 2
+    EXPECT_EQ(applied[1].seq, 2u);
+    EXPECT_EQ(applied[2].sender, 1u);                // sender 1 next
+    EXPECT_EQ(applied[2].kind, WireKind::IcnMsg);
+    EXPECT_EQ(applied[3].kind, WireKind::IcnCredit); // kinds in order
+    EXPECT_EQ(applied[4].kind, WireKind::Instr);
+    EXPECT_EQ(eq.curTick(), 5000u);
+}
+
+/** Cross-shard sends sit in the sender's outbox until the boundary
+ *  flush, then arrive at their stamped tick on the receiver's
+ *  queue. */
+TEST(WireTest, CrossShardDeliveryWaitsForFlush)
+{
+    EventQueue eqA(EventQueue::Impl::Indexed);
+    EventQueue eqB(EventQueue::Impl::Indexed);
+    Wire wire(2, 2, 1000);
+
+    std::vector<Tick> arrivals;
+    wire.bindEndpoint(0, 0, &eqA, [](Deliverable &&) {});
+    wire.bindEndpoint(1, 1, &eqB, [&](Deliverable &&) {
+        arrivals.push_back(eqB.curTick());
+    });
+
+    Deliverable d;
+    d.when = 2500;
+    d.receiver = 1;
+    wire.send(0, std::move(d));  // endpoint 0 lives on shard 0
+
+    // Still in shard 0's outbox: the receiver's queue has nothing.
+    EXPECT_FALSE(wire.empty());
+    EXPECT_TRUE(eqB.empty());
+
+    wire.flushOutboxes();
+    EXPECT_FALSE(eqB.empty());
+    eqB.run();
+    EXPECT_EQ(arrivals, (std::vector<Tick>{2500}));
+    EXPECT_TRUE(wire.empty());
 }
 
 // --- multiport memory -----------------------------------------------------------
@@ -157,32 +218,34 @@ TEST(SyncTreeTest, CompleteNeedsBarrierIdleAndDrainedCounters)
     SyncTree sync(2);
     EXPECT_FALSE(sync.complete());  // not at barrier
 
-    sync.setAtBarrier(0, true);
-    sync.setAtBarrier(1, true);
+    sync.setAtBarrier(0, true, 10);
+    sync.setAtBarrier(1, true, 20);
     EXPECT_TRUE(sync.complete());
+    EXPECT_EQ(sync.lastMutation(), 20u);
 
-    sync.created(0);
+    sync.created(0, 30);
     EXPECT_FALSE(sync.complete());
     EXPECT_EQ(sync.inFlight(), 1);
-    sync.consumed(0);
+    sync.consumed(0, 40);
     EXPECT_TRUE(sync.complete());
+    EXPECT_EQ(sync.lastMutation(), 40u);
 
-    sync.setIdle(0, false);
+    sync.setIdle(0, false, 50);
     EXPECT_FALSE(sync.complete());
-    sync.setIdle(0, true);
+    sync.setIdle(0, true, 60);
     EXPECT_TRUE(sync.complete());
 }
 
 TEST(SyncTreeTest, TieredLevelsTrackedSeparately)
 {
     SyncTree sync(1);
-    sync.created(0);
-    sync.created(3);
-    sync.created(3);
+    sync.created(0, 1);
+    sync.created(3, 2);
+    sync.created(3, 3);
     EXPECT_EQ(sync.counter(0), 1);
     EXPECT_EQ(sync.counter(3), 2);
     EXPECT_EQ(sync.inFlight(), 3);
-    sync.consumed(3);
+    sync.consumed(3, 4);
     EXPECT_EQ(sync.counter(3), 1);
     EXPECT_EQ(SyncTree::level(5), 5);
     EXPECT_EQ(SyncTree::level(500), numSyncLevels - 1);
@@ -193,32 +256,43 @@ TEST(SyncTreeTest, CallbackFiresOnCompletion)
     SyncTree sync(2);
     int fired = 0;
     sync.onComplete([&] { ++fired; });
-    sync.setAtBarrier(0, true);
+    sync.setAtBarrier(0, true, 10);
     EXPECT_EQ(fired, 0);
-    sync.created(1);
-    sync.setAtBarrier(1, true);
+    sync.created(1, 20);
+    sync.setAtBarrier(1, true, 30);
     EXPECT_EQ(fired, 0);  // counter still nonzero
-    sync.consumed(1);
+    sync.consumed(1, 40);
     EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sync.lastMutation(), 40u);
 }
 
 TEST(SyncTreeTest, QuiescentIgnoresBarrierLines)
 {
     SyncTree sync(2);
     EXPECT_TRUE(sync.quiescent());
-    sync.setIdle(1, false);
+    sync.setIdle(1, false, 10);
     EXPECT_FALSE(sync.quiescent());
-    sync.setIdle(1, true);
-    sync.created(2);
+    sync.setIdle(1, true, 20);
+    sync.created(2, 30);
     EXPECT_FALSE(sync.quiescent());
-    sync.consumed(2);
+    sync.consumed(2, 40);
     EXPECT_TRUE(sync.quiescent());
 }
 
-TEST(SyncTreeDeath, CounterUnderflowPanics)
+/** Counters are signed: a consumption can land on a different tree
+ *  (shard) than its creation, so one tree's counter legitimately
+ *  goes negative — only the cross-tree sum is meaningful. */
+TEST(SyncTreeTest, CountersAreSignedAcrossTrees)
 {
-    SyncTree sync(1);
-    EXPECT_DEATH(sync.consumed(0), "underflow");
+    SyncTree a(1);
+    SyncTree b(1);
+    a.created(0, 10);
+    b.consumed(0, 20);
+    EXPECT_EQ(a.counter(0), 1);
+    EXPECT_EQ(b.counter(0), -1);
+    EXPECT_EQ(a.counter(0) + b.counter(0), 0);
+    EXPECT_EQ(a.totalCreated(), 1u);
+    EXPECT_EQ(b.totalConsumed(), 1u);
 }
 
 // --- perf net ----------------------------------------------------------------------
@@ -235,7 +309,9 @@ TEST(PerfNetTest, RecordsTimestampedAtArrival)
 {
     TimingParams t;
     PerfNet net(4, t, true);
-    net.emit(2, 1000, PerfEvent::MsgSent, 7);
+    PerfNet::View view(&net);
+    view.emit(2, 1000, PerfEvent::MsgSent, 7);
+    net.fold({&view});
     ASSERT_EQ(net.records().size(), 1u);
     EXPECT_EQ(net.records()[0].timestamp, 1000 + net.shiftTime());
     EXPECT_EQ(net.records()[0].pe, 2u);
@@ -247,20 +323,48 @@ TEST(PerfNetTest, BusyPortDropsRecords)
 {
     TimingParams t;
     PerfNet net(2, t, true);
-    net.emit(0, 0, PerfEvent::TaskStart, 1);
-    net.emit(0, 100, PerfEvent::TaskEnd, 2);  // port still shifting
-    net.emit(1, 100, PerfEvent::TaskStart, 3);  // other PE: fine
-    net.emit(0, net.shiftTime(), PerfEvent::TaskEnd, 4);  // done
+    PerfNet::View view(&net);
+    view.emit(0, 0, PerfEvent::TaskStart, 1);
+    view.emit(0, 100, PerfEvent::TaskEnd, 2);  // port still shifting
+    view.emit(1, 100, PerfEvent::TaskStart, 3);  // other PE: fine
+    view.emit(0, net.shiftTime(), PerfEvent::TaskEnd, 4);  // done
+    net.fold({&view});
     EXPECT_EQ(net.dropped(), 1u);
     EXPECT_EQ(net.records().size(), 3u);
     EXPECT_EQ(net.emitted.value(), 4.0);
+}
+
+/** Two views sharing the master's per-PE serial ports: port
+ *  contention spans views, and the fold orders the central FIFO by
+ *  (timestamp, pe) regardless of fold argument order. */
+TEST(PerfNetTest, FoldMergesViewsInTimestampOrder)
+{
+    TimingParams t;
+    PerfNet net(3, t, true);
+    PerfNet::View a(&net);
+    PerfNet::View b(&net);
+    b.emit(2, 500, PerfEvent::MsgReceived, 2);
+    a.emit(0, 0, PerfEvent::TaskStart, 1);
+    a.emit(1, 900, PerfEvent::MsgSent, 3);
+    net.fold({&a, &b});
+    ASSERT_EQ(net.records().size(), 3u);
+    EXPECT_EQ(net.records()[0].pe, 0u);
+    EXPECT_EQ(net.records()[1].pe, 2u);
+    EXPECT_EQ(net.records()[2].pe, 1u);
+    EXPECT_EQ(net.emitted.value(), 3.0);
+    // A second fold of the (drained) views adds nothing.
+    net.fold({&a, &b});
+    EXPECT_EQ(net.records().size(), 3u);
+    EXPECT_EQ(net.emitted.value(), 3.0);
 }
 
 TEST(PerfNetTest, DisabledNetworkIsSilent)
 {
     TimingParams t;
     PerfNet net(2, t, false);
-    net.emit(0, 0, PerfEvent::TaskStart, 1);
+    PerfNet::View view(&net);
+    view.emit(0, 0, PerfEvent::TaskStart, 1);
+    net.fold({&view});
     EXPECT_TRUE(net.records().empty());
     EXPECT_EQ(net.emitted.value(), 0.0);
 }

@@ -408,13 +408,13 @@ TEST(MachineGolden, Fig17SeededRegression)
     machine.loadKb(w.net);
     RunResult r = machine.run(w.prog);
 
-    EXPECT_EQ(r.wallTicks, 8048947500ull);
+    EXPECT_EQ(r.wallTicks, 8050947500ull);
     EXPECT_EQ(r.stats.messagesSent, 2688ull);
     EXPECT_EQ(r.stats.expansions, 3072ull);
     EXPECT_EQ(r.stats.arrivalsProcessed, 2688ull);
     EXPECT_EQ(r.stats.localDeliveries, 0ull);
     EXPECT_EQ(r.stats.linkTraversals, 2688ull);
-    EXPECT_EQ(r.stats.muBusyTicks, 129277920000ull);
+    EXPECT_EQ(r.stats.muBusyTicks, 129277680000ull);
     EXPECT_EQ(r.stats.puBusyTicks, 17132800000ull);
     EXPECT_EQ(r.stats.commTicks, 4270080000ull);
     EXPECT_EQ(digestResults(r.results), 0xa7addb5c77c8e3d5ull);
@@ -439,7 +439,7 @@ TEST(MachineGolden, Fig16SeededRegression)
     machine.loadKb(w.net);
     RunResult r = machine.run(w.prog);
 
-    EXPECT_EQ(r.wallTicks, 2600067500ull);
+    EXPECT_EQ(r.wallTicks, 2601067500ull);
     EXPECT_EQ(r.stats.messagesSent, 0ull);
     EXPECT_EQ(r.stats.expansions, 2432ull);
     EXPECT_EQ(r.stats.localDeliveries, 2112ull);
