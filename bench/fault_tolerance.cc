@@ -9,16 +9,19 @@
  * Builds one 600-node concept hierarchy and a deterministic mix of
  * downward (`includes`) and upward (`is-a`) marker-propagation
  * queries, then drains the same mix through a 4-replica ServeEngine
- * at increasing fault rates (0 .. 2% per ICN message, the canonical
+ * at increasing fault rates (0 .. 5% per ICN message, the canonical
  * 40/40/20 drop/corrupt/delay split).  Every Ok answer is compared
  * against the query's fault-free reference results.
  *
  * Gates (the robustness contract, enforced in CI):
  *  - zero wrong answers escape detection across the whole sweep —
  *    a response is either Ok-and-correct or typed Failed;
- *  - at the 1% rate faults are actually injected (the sweep is not
- *    vacuous) and >= 99% of fault-touched requests eventually
- *    succeed within the retry budget;
+ *  - at the top rate faults are actually injected (the sweep is not
+ *    vacuous), and across the whole sweep >= 99% of fault-touched
+ *    requests eventually succeed within the retry budget.  The gate
+ *    anchors on the top row rather than a fixed mid-sweep rate: the
+ *    DES hot-loop cuts (fewer redundant ICN messages per query)
+ *    legitimately shrink fault exposure at a given per-message rate;
  *  - the zero-rate row serves everything cleanly (fault machinery
  *    armed at rate 0 is free).
  *
@@ -143,7 +146,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(num_queries),
                 net.numNodes(), kWorkers, kRetries);
 
-    const double rates[] = {0.0, 0.0025, 0.005, 0.01, 0.02};
+    const double rates[] = {0.0, 0.0025, 0.005, 0.01, 0.02, 0.05};
     std::vector<SweepRow> rows;
 
     std::printf("%8s %6s %7s %7s %8s %8s %6s %7s %13s %11s\n",
@@ -224,11 +227,11 @@ main(int argc, char **argv)
     for (const SweepRow &r : rows)
         wrong += r.wrongAnswers;
     const SweepRow &clean = rows.front();
-    const SweepRow *at1pct = nullptr;
+    const SweepRow &top = rows.back();
+    double worstFaultedSuccess = 1.0;
     for (const SweepRow &r : rows)
-        if (r.rate == 0.01)
-            at1pct = &r;
-    snap_assert(at1pct != nullptr, "no 1%% row in the sweep");
+        if (r.faultedSuccess < worstFaultedSuccess)
+            worstFaultedSuccess = r.faultedSuccess;
 
     bench::check("zero wrong answers escaped detection (whole "
                  "sweep)", wrong == 0);
@@ -236,10 +239,10 @@ main(int argc, char **argv)
                  clean.completed == num_queries &&
                      clean.failed == 0 &&
                      clean.faultsDetected == 0);
-    bench::check("rate 1%: faults actually injected",
-                 at1pct->faultsDetected > 0);
-    bench::check("rate 1%: >= 99% of fault-touched requests "
-                 "eventually succeed", at1pct->faultedSuccess >= 0.99);
+    bench::check("top rate: faults actually injected",
+                 top.faultsDetected > 0);
+    bench::check("every rate: >= 99% of fault-touched requests "
+                 "eventually succeed", worstFaultedSuccess >= 0.99);
 
     std::ofstream os("BENCH_faults.json");
     os << "{\n  " << bench::jsonEnvelope() << ",\n";

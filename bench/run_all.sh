@@ -32,6 +32,7 @@ benches=(
     serving
     batch
     fault_tolerance
+    shard
     ablation_partition
     ablation_queues
     ablation_machine

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Sharded-serving bench: shard-count sweep plus a live hot-swap
+ * availability gate.
+ *
+ *   shard [num_queries]          (default 48; writes
+ *                                 BENCH_shard.json)
+ *
+ * Packs one 2000-node concept hierarchy into a .kbimg, then drives
+ * the same deterministic query mix as the serving bench through
+ * in-process shard fleets of 1, 2, and 4 ShardServers behind a
+ * consistent-hash ShardRouter over unix sockets.  Reported per
+ * fleet size: host qps, host p50/p99 request latency, and whether
+ * every answer (results + simulated wallTicks) is bit-identical to
+ * direct single-machine execution.
+ *
+ * The availability gate re-runs the mix against a 2-shard fleet with
+ * two epoch hot-swaps injected mid-stream (plus pinned sessions
+ * spanning the swaps): the gate demands zero wrong answers, zero
+ * failed requests, zero dropped sessions, and both epoch flips
+ * observed.  Host-side throughput scaling is reported
+ * informationally only — the fleet shares one host, so the currency
+ * here is correctness under redistribution and under swap, not CI
+ * wall-clock.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/kb_image_io.hh"
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "serve/engine.hh"
+#include "shard/router.hh"
+#include "shard/shard_server.hh"
+#include "workload/kb_gen.hh"
+
+using namespace snap;
+
+namespace
+{
+
+constexpr std::uint64_t kBaseSeed = 0x54a7d;
+
+serve::ServeConfig
+shardServeConfig()
+{
+    serve::ServeConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.machine.numClusters = 8;
+    cfg.machine.perfNetEnabled = false;
+    return cfg;
+}
+
+/** Build query @p i of the mix (same scheme as the serving bench). */
+Program
+makeQuery(std::uint64_t i, const SemanticNetwork &net,
+          RelationType down, RelationType up)
+{
+    Rng rng(serve::requestSeed(kBaseSeed, i));
+    auto start = static_cast<NodeId>(rng.below(net.numNodes()));
+    bool downward = rng.chance(0.5);
+
+    Program prog;
+    RuleId rule = prog.addRule(
+        PropRule::chain(downward ? down : up));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+bool
+sameResults(ResultSet a, ResultSet b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i].sortNodes();
+        b[i].sortNodes();
+        if (a[i].nodes != b[i].nodes || a[i].links != b[i].links)
+            return false;
+    }
+    return true;
+}
+
+/** A running in-process shard: server + its accept-loop thread. */
+struct BenchShard
+{
+    std::unique_ptr<shard::ShardServer> server;
+    std::thread runner;
+
+    BenchShard(const std::string &image_path,
+               const std::string &listen)
+    {
+        KbImageFile kb;
+        std::string detail;
+        if (loadKbImageFile(image_path, kb, detail) !=
+            KbImgStatus::Ok)
+            snap_fatal("cannot load %s: %s", image_path.c_str(),
+                       detail.c_str());
+        shard::ShardServerConfig cfg;
+        cfg.listen = listen;
+        cfg.serve = shardServeConfig();
+        server = std::make_unique<shard::ShardServer>(std::move(kb),
+                                                      cfg);
+        if (!server->bind(detail))
+            snap_fatal("cannot listen on %s: %s", listen.c_str(),
+                       detail.c_str());
+        runner = std::thread([this] { server->run(); });
+    }
+
+    ~BenchShard()
+    {
+        server->stop();
+        runner.join();
+    }
+};
+
+struct Outcome
+{
+    serve::RequestStatus status = serve::RequestStatus::Ok;
+    ResultSet results;
+    Tick wallTicks = 0;
+    double hostMs = 0.0;
+};
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(xs.size() - 1) + 0.5);
+    return xs[std::min(idx, xs.size() - 1)];
+}
+
+struct SweepRow
+{
+    std::uint32_t shards = 0;
+    double hostSec = 0.0;
+    double hostQps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    bool identical = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t num_queries = 48;
+    if (argc > 1) {
+        long long n;
+        if (!parseInt(argv[1], n) || n < 1)
+            snap_fatal("usage: shard [num_queries]");
+        num_queries = static_cast<std::uint64_t>(n);
+    }
+
+    bench::banner(
+        "shard — consistent-hash fleet sweep and hot-swap gate",
+        "N shard processes behind a hashing router answer exactly "
+        "like one machine, and a live .kbimg epoch swap loses "
+        "nothing");
+
+    SemanticNetwork net = makeTreeKb(2000, 4);
+    RelationType down = net.relationId("includes");
+    RelationType up = net.relationId("is-a");
+
+    // Pack once; every shard bulk-loads this image.
+    serve::ServeConfig scfg = shardServeConfig();
+    const std::string image_path = "bench_shard.kbimg";
+    {
+        KbImage image(net, scfg.machine);
+        saveKbImageFile(net, image, scfg.machine.partition,
+                        image_path);
+    }
+
+    std::vector<Program> mix;
+    mix.reserve(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i)
+        mix.push_back(makeQuery(i, net, down, up));
+
+    // Ground truth: every query run on a solo machine.
+    std::vector<Outcome> expected(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i) {
+        SnapMachine direct(scfg.machine);
+        direct.loadKb(net);
+        RunResult run = direct.run(mix[i]);
+        expected[i].results = std::move(run.results);
+        expected[i].wallTicks = run.wallTicks;
+    }
+    std::printf("query mix: %llu marker-propagation queries over a "
+                "%u-node hierarchy (image %s)\n\n",
+                static_cast<unsigned long long>(num_queries),
+                net.numNodes(), image_path.c_str());
+
+    const std::uint32_t sweep[] = {1, 2, 4};
+    std::vector<SweepRow> rows;
+
+    std::printf("%8s %12s %12s %10s %10s %6s %8s %10s\n", "shards",
+                "host_s", "host_qps", "p50_ms", "p99_ms", "ok",
+                "failed", "identical");
+    for (std::uint32_t n_shards : sweep) {
+        std::vector<std::unique_ptr<BenchShard>> fleet;
+        shard::RouterConfig rcfg;
+        for (std::uint32_t s = 0; s < n_shards; ++s) {
+            std::string sock =
+                formatString("bench_shard_%u.sock", s);
+            std::remove(sock.c_str());
+            fleet.push_back(std::make_unique<BenchShard>(
+                image_path, "unix:" + sock));
+            rcfg.shards.push_back("unix:" + sock);
+        }
+        shard::ShardRouter router(rcfg);
+        std::string detail;
+        if (!router.connect(detail))
+            snap_fatal("connect: %s", detail.c_str());
+
+        std::vector<Outcome> got(num_queries);
+        std::mutex mu;
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            shard::RouterRequest req;
+            req.prog = mix[i];
+            req.rngSeed = serve::requestSeed(kBaseSeed, i);
+            auto submitted = std::chrono::steady_clock::now();
+            router.submit(
+                std::move(req),
+                [&, i, submitted](shard::ResponseFrame &&resp) {
+                    auto now = std::chrono::steady_clock::now();
+                    std::lock_guard<std::mutex> lock(mu);
+                    got[i].status = resp.status;
+                    got[i].results = std::move(resp.results);
+                    got[i].wallTicks = resp.wallTicks;
+                    got[i].hostMs =
+                        std::chrono::duration<double, std::milli>(
+                            now - submitted)
+                            .count();
+                });
+        }
+        router.drain();
+        auto t1 = std::chrono::steady_clock::now();
+
+        SweepRow row;
+        row.shards = n_shards;
+        row.hostSec =
+            std::chrono::duration<double>(t1 - t0).count();
+        row.hostQps =
+            static_cast<double>(num_queries) / row.hostSec;
+        row.identical = true;
+        std::vector<double> lat;
+        lat.reserve(num_queries);
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            if (got[i].status == serve::RequestStatus::Ok)
+                ++row.ok;
+            else
+                ++row.failed;
+            lat.push_back(got[i].hostMs);
+            if (got[i].wallTicks != expected[i].wallTicks ||
+                !sameResults(got[i].results, expected[i].results))
+                row.identical = false;
+        }
+        row.p50Ms = percentile(lat, 0.50);
+        row.p99Ms = percentile(lat, 0.99);
+
+        std::printf("%8u %12.3f %12.1f %10.3f %10.3f %6llu %8llu "
+                    "%10s\n",
+                    n_shards, row.hostSec, row.hostQps, row.p50Ms,
+                    row.p99Ms,
+                    static_cast<unsigned long long>(row.ok),
+                    static_cast<unsigned long long>(row.failed),
+                    row.identical ? "yes" : "NO");
+        rows.push_back(row);
+        router.shutdownShards();
+    }
+
+    // --- availability gate: epoch hot-swaps under live traffic ----
+    //
+    // Same mix against 2 shards, with a second image generation
+    // swapped in twice mid-stream and pinned sessions spanning both
+    // flips.  Every answer must stay correct; nothing may fail.
+    const std::string gen2_path = "bench_shard_gen2.kbimg";
+    {
+        KbImage image(net, scfg.machine);
+        saveKbImageFile(net, image, scfg.machine.partition,
+                        gen2_path);
+    }
+    std::uint64_t wrong = 0, swap_failed = 0, session_failed = 0;
+    std::uint64_t swap_ok_count = 0;
+    std::uint64_t epoch_after = 0;
+    {
+        std::vector<std::unique_ptr<BenchShard>> fleet;
+        shard::RouterConfig rcfg;
+        for (std::uint32_t s = 0; s < 2; ++s) {
+            std::string sock =
+                formatString("bench_swap_%u.sock", s);
+            std::remove(sock.c_str());
+            fleet.push_back(std::make_unique<BenchShard>(
+                image_path, "unix:" + sock));
+            rcfg.shards.push_back("unix:" + sock);
+        }
+        shard::ShardRouter router(rcfg);
+        std::string detail;
+        if (!router.connect(detail))
+            snap_fatal("connect: %s", detail.c_str());
+
+        std::vector<Outcome> got(num_queries);
+        std::vector<serve::RequestStatus> session_status(
+            num_queries, serve::RequestStatus::Ok);
+        std::mutex mu;
+        const std::uint64_t swap_at[2] = {num_queries / 3,
+                                          2 * num_queries / 3};
+        const std::string swaps[2] = {gen2_path, image_path};
+        std::size_t next_swap = 0;
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            if (next_swap < 2 && i == swap_at[next_swap]) {
+                std::string err;
+                if (router.swapEpoch(swaps[next_swap], err))
+                    ++swap_ok_count;
+                else
+                    snap_warn("swap %zu failed: %s", next_swap,
+                              err.c_str());
+                ++next_swap;
+            }
+            // A pinned session request rides along every 6th
+            // stateless query; sessions must survive both flips.
+            if (i % 6 == 0) {
+                shard::RouterRequest sreq;
+                sreq.sessionId = formatString("bench-s%llu",
+                    static_cast<unsigned long long>(i % 12));
+                sreq.prog = mix[i];
+                router.submit(
+                    std::move(sreq),
+                    [&, i](shard::ResponseFrame &&resp) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        session_status[i] = resp.status;
+                    });
+            }
+            shard::RouterRequest req;
+            req.prog = mix[i];
+            req.rngSeed = serve::requestSeed(kBaseSeed, i);
+            router.submit(
+                std::move(req),
+                [&, i](shard::ResponseFrame &&resp) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    got[i].status = resp.status;
+                    got[i].results = std::move(resp.results);
+                    got[i].wallTicks = resp.wallTicks;
+                });
+        }
+        router.drain();
+        epoch_after = router.epoch();
+
+        for (std::uint64_t i = 0; i < num_queries; ++i) {
+            if (got[i].status != serve::RequestStatus::Ok) {
+                ++swap_failed;
+                continue;
+            }
+            if (got[i].wallTicks != expected[i].wallTicks ||
+                !sameResults(got[i].results, expected[i].results))
+                ++wrong;
+            if (session_status[i] != serve::RequestStatus::Ok)
+                ++session_failed;
+        }
+        router.shutdownShards();
+    }
+    std::printf("\nhot-swap gate: %llu wrong answers, %llu failed, "
+                "%llu failed sessions, %llu/2 swaps ok, epoch %llu\n",
+                static_cast<unsigned long long>(wrong),
+                static_cast<unsigned long long>(swap_failed),
+                static_cast<unsigned long long>(session_failed),
+                static_cast<unsigned long long>(swap_ok_count),
+                static_cast<unsigned long long>(epoch_after));
+    std::printf("\n");
+
+    bool sweep_ok = true, sweep_identical = true;
+    for (const SweepRow &r : rows) {
+        sweep_ok = sweep_ok && r.ok == num_queries && r.failed == 0;
+        sweep_identical = sweep_identical && r.identical;
+    }
+    bench::check("every request served Ok at 1, 2, and 4 shards",
+                 sweep_ok);
+    bench::check("sharded answers bit-identical to direct "
+                 "execution", sweep_identical);
+    bench::check("hot-swap: zero wrong answers under live traffic",
+                 wrong == 0);
+    bench::check("hot-swap: zero failed requests or sessions",
+                 swap_failed == 0 && session_failed == 0);
+    bench::check("both epoch flips committed", swap_ok_count == 2 &&
+                 epoch_after == 2);
+
+    std::ofstream os("BENCH_shard.json");
+    os << "{\n  " << bench::jsonEnvelope() << ",\n";
+    os << "  \"num_queries\": " << num_queries << ",\n";
+    os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
+    os << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        os << "    {\"shards\": " << r.shards
+           << ", \"host_sec\": " << formatString("%.6f", r.hostSec)
+           << ", \"host_qps\": " << formatString("%.1f", r.hostQps)
+           << ", \"p50_ms\": " << formatString("%.3f", r.p50Ms)
+           << ", \"p99_ms\": " << formatString("%.3f", r.p99Ms)
+           << ", \"ok\": " << r.ok << ", \"failed\": " << r.failed
+           << ", \"identical\": "
+           << (r.identical ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"hot_swap\": {\"swaps\": 2, \"swaps_ok\": "
+       << swap_ok_count << ", \"wrong_answers\": " << wrong
+       << ", \"failed_requests\": " << swap_failed
+       << ", \"failed_sessions\": " << session_failed
+       << ", \"final_epoch\": " << epoch_after << "}\n";
+    os << "}\n";
+    std::printf("wrote BENCH_shard.json\n");
+
+    return bench::finish();
+}

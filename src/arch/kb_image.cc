@@ -29,6 +29,21 @@ ClusterKb::ClusterKb(const SemanticNetwork &net, const Partition &part,
     }
 }
 
+ClusterKb::ClusterKb(ClusterId cluster, std::vector<NodeId> global_ids,
+                     std::vector<Color> colors,
+                     std::vector<std::vector<RelSlot>> slots)
+    : cluster_(cluster),
+      globalIds_(std::move(global_ids)),
+      colors_(std::move(colors)),
+      slots_(std::move(slots)),
+      markers_(static_cast<std::uint32_t>(globalIds_.size()))
+{
+    snap_assert(colors_.size() == globalIds_.size() &&
+                slots_.size() == globalIds_.size(),
+                "ClusterKb table sizes disagree: %zu/%zu/%zu",
+                globalIds_.size(), colors_.size(), slots_.size());
+}
+
 void
 ClusterKb::addSlot(LocalNodeId local, const RelSlot &slot)
 {
@@ -84,6 +99,22 @@ KbImage::KbImage(const SemanticNetwork &net, const MachineConfig &cfg)
     for (ClusterId c = 0; c < cfg.numClusters; ++c)
         clusters_.push_back(
             std::make_unique<ClusterKb>(net, part_, c));
+}
+
+KbImage::KbImage(Partition part,
+                 std::vector<std::unique_ptr<ClusterKb>> clusters)
+    : part_(std::move(part)), clusters_(std::move(clusters))
+{
+    snap_assert(clusters_.size() == part_.numClusters(),
+                "%zu cluster tables for a %u-cluster partition",
+                clusters_.size(), part_.numClusters());
+    for (ClusterId c = 0; c < clusters_.size(); ++c) {
+        snap_assert(clusters_[c]->clusterId() == c &&
+                    clusters_[c]->numLocalNodes() ==
+                        part_.clusterSize(c),
+                    "cluster table %u disagrees with the partition",
+                    c);
+    }
 }
 
 KbImage::KbImage(const KbImage &other) : part_(other.part_)

@@ -49,6 +49,16 @@ class ClusterKb
     ClusterKb(const SemanticNetwork &net, const Partition &part,
               ClusterId cluster);
 
+    /**
+     * Deserialization: adopt already-compiled tables verbatim (the
+     * binary .kbimg bulk-load path — see arch/kb_image_io).  The
+     * three vectors must be equally sized; callers validate
+     * untrusted input first.
+     */
+    ClusterKb(ClusterId cluster, std::vector<NodeId> global_ids,
+              std::vector<Color> colors,
+              std::vector<std::vector<RelSlot>> slots);
+
     /** Copyable so a compiled image can be replicated per worker. */
     ClusterKb(const ClusterKb &) = default;
 
@@ -131,6 +141,14 @@ class KbImage
 {
   public:
     KbImage(const SemanticNetwork &net, const MachineConfig &cfg);
+
+    /**
+     * Deserialization: assemble an image from an explicit partition
+     * and pre-compiled cluster tables (the binary .kbimg bulk-load
+     * path).  One ClusterKb per partition cluster, in cluster order.
+     */
+    KbImage(Partition part,
+            std::vector<std::unique_ptr<ClusterKb>> clusters);
 
     /**
      * Deep copy.  Partitioning and compiling a large network is the

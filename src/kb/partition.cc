@@ -1,5 +1,6 @@
 #include "kb/partition.hh"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/logging.hh"
@@ -109,6 +110,47 @@ Partition::build(const SemanticNetwork &net, std::uint32_t num_clusters,
         break;
       }
     }
+    return part;
+}
+
+Partition
+Partition::fromPlacements(std::uint32_t num_clusters,
+                          std::vector<Placement> placements)
+{
+    snap_assert(num_clusters >= 1 &&
+                num_clusters <= capacity::maxClusters,
+                "bad cluster count %u", num_clusters);
+
+    Partition part;
+    part.numClusters_ = num_clusters;
+    part.clusterNodes_.resize(num_clusters);
+
+    // Size each cluster, then drop every node into its local slot.
+    std::vector<std::uint32_t> sizes(num_clusters, 0);
+    for (NodeId n = 0; n < placements.size(); ++n) {
+        const Placement &p = placements[n];
+        snap_assert(p.cluster < num_clusters,
+                    "node %u placed on cluster %u of %u", n,
+                    p.cluster, num_clusters);
+        sizes[p.cluster] = std::max(sizes[p.cluster], p.local + 1);
+    }
+    for (ClusterId c = 0; c < num_clusters; ++c)
+        part.clusterNodes_[c].assign(sizes[c], invalidNode);
+    for (NodeId n = 0; n < placements.size(); ++n) {
+        const Placement &p = placements[n];
+        auto &slot = part.clusterNodes_[p.cluster][p.local];
+        snap_assert(slot == invalidNode,
+                    "nodes %u and %u share cluster %u local %u", slot,
+                    n, p.cluster, p.local);
+        slot = n;
+    }
+    for (ClusterId c = 0; c < num_clusters; ++c) {
+        for (NodeId n : part.clusterNodes_[c]) {
+            snap_assert(n != invalidNode,
+                        "cluster %u has a local-id hole", c);
+        }
+    }
+    part.placements_ = std::move(placements);
     return part;
 }
 

@@ -64,6 +64,16 @@ class Partition
                            std::uint32_t max_per_cluster =
                                capacity::maxNodesPerCluster);
 
+    /**
+     * Reconstruct a partition from an explicit placement table (the
+     * binary .kbimg deserialization path — see arch/kb_image_io).
+     * Every cluster's local ids must be dense 0..k-1; a malformed
+     * table is a fatal error, so callers validate untrusted input
+     * first.
+     */
+    static Partition fromPlacements(std::uint32_t num_clusters,
+                                    std::vector<Placement> placements);
+
     std::uint32_t numClusters() const { return numClusters_; }
 
     Placement

@@ -48,6 +48,12 @@ requestSeed(std::uint64_t base_seed, std::uint64_t request_id)
 }
 
 ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
+    : ServeEngine(net, nullptr, std::move(cfg))
+{
+}
+
+ServeEngine::ServeEngine(const SemanticNetwork &net,
+                         std::unique_ptr<KbImage> image, ServeConfig cfg)
     : cfg_(std::move(cfg)),
       queue_(cfg_.queueCapacity),
       sessions_(net.numNodes()),
@@ -58,6 +64,15 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
         snap_fatal("ServeConfig.numWorkers must be >= 1");
     if (cfg_.maxBatchLanes < 1 || cfg_.maxBatchLanes > 64)
         snap_fatal("ServeConfig.maxBatchLanes must be 1..64");
+    if (image) {
+        // Adopting a deserialized image: its partition decides the
+        // cluster count, not the configured default.
+        if (image->numNodes() != net.numNodes()) {
+            snap_fatal("adopted image holds %u nodes but the network "
+                       "has %u", image->numNodes(), net.numNodes());
+        }
+        cfg_.machine.numClusters = image->numClusters();
+    }
     cfg_.machine.validate();
     cfg_.faults.validate();
 
@@ -69,8 +84,10 @@ ServeEngine::ServeEngine(const SemanticNetwork &net, ServeConfig cfg)
     for (std::size_t i = 0; i < pool_target; ++i)
         pool_.push_back(std::make_unique<Pending>());
 
-    // Compile once; stamp bit-identical replicas from the master.
-    master_ = std::make_unique<KbImage>(net, cfg_.machine);
+    // Compile once (or adopt the pre-compiled image); stamp
+    // bit-identical replicas from the master.
+    master_ = image ? std::move(image)
+                    : std::make_unique<KbImage>(net, cfg_.machine);
     const bool faulty = cfg_.faults.any();
     if (faulty) {
         // Functional shadow for end-of-run integrity checks: a plain
@@ -208,7 +225,9 @@ ServeEngine::forceFailHung()
                                     trace::kTidAdmission, "request",
                                     p->req.id);
             }
-            if (p->slot)
+            if (p->callback)
+                p->callback(hungResponse(p->req));
+            else if (p->slot)
                 p->slot->deliver(hungResponse(p->req));
             else
                 p->promise.set_value(hungResponse(p->req));
@@ -256,6 +275,7 @@ void
 ServeEngine::releasePending(std::unique_ptr<Pending> p)
 {
     p->slot = nullptr;
+    p->callback = nullptr;
     p->batchable = false;
     p->progHash = 0;
     p->sessionSeq = 0;
@@ -397,6 +417,20 @@ ServeEngine::submit(Request req, ResponseSlot &slot)
 }
 
 void
+ServeEngine::submit(Request req, std::function<void(Response &&)> done)
+{
+    snap_assert(done != nullptr, "submit with a null callback");
+    auto pending = acquirePending();
+    // admit() recycles the record (clearing its callback) on the
+    // reject path, so keep a handle for the early answer.
+    pending->callback = done;
+
+    Response early;
+    if (!admit(std::move(req), pending, early))
+        done(std::move(early));
+}
+
+void
 ServeEngine::deliverResponse(std::unique_ptr<Pending> p,
                              Response &&resp)
 {
@@ -409,7 +443,9 @@ ServeEngine::deliverResponse(std::unique_ptr<Pending> p,
             trace::hostAsyncEnd(trace::kServe, trace::kTidAdmission,
                                 "request", resp.id);
         }
-        if (p->slot)
+        if (p->callback)
+            p->callback(std::move(resp));
+        else if (p->slot)
             p->slot->deliver(std::move(resp));
         else
             p->promise.set_value(std::move(resp));
@@ -817,6 +853,62 @@ ServeEngine::quarantineReplica(std::uint32_t idx)
         trace::hostInstant(trace::kServe, trace::tidWorker(idx),
                            "replica.quarantine");
     }
+}
+
+/**
+ * Epoch hot-swap.  Admissions are blocked (admitMu_ held) while
+ * everything already admitted drains, so no request ever runs half on
+ * the old image and half on the new; then every replica is re-stamped
+ * — the same machinery quarantine uses, pointed at a new master.
+ * Session marker stores are global-node-id keyed and survive as long
+ * as the node count matches, which is checked up front.
+ */
+bool
+ServeEngine::swapImage(const SemanticNetwork &net,
+                       std::unique_ptr<KbImage> image, std::string &err)
+{
+    snap_assert(image != nullptr, "swapImage(null)");
+    if (image->numClusters() != cfg_.machine.numClusters) {
+        err = formatString("new image has %u clusters but the pool "
+                           "was stamped for %u",
+                           image->numClusters(),
+                           cfg_.machine.numClusters);
+        return false;
+    }
+    if (image->numNodes() != master_->numNodes()) {
+        err = formatString("new image holds %u nodes but the serving "
+                           "image holds %u (sessions and wire node "
+                           "ids are sized by it)",
+                           image->numNodes(), master_->numNodes());
+        return false;
+    }
+    if (image->numNodes() != net.numNodes()) {
+        err = formatString("new image holds %u nodes but its network "
+                           "has %u", image->numNodes(), net.numNodes());
+        return false;
+    }
+
+    std::lock_guard<std::mutex> admit_lock(admitMu_);
+    drain();
+
+    // All workers are parked in queue_.pop() now: nothing reads
+    // master_ or the shadow, so the swap is plain stores.
+    master_ = std::move(image);
+    if (shadowNet_) {
+        auto shadow = std::make_unique<SemanticNetwork>(net);
+        shadowNet_ = std::move(shadow);
+    }
+    for (std::uint32_t w = 0; w < cfg_.numWorkers; ++w) {
+        machines_[w]->loadKb(*master_);
+        if (shadowNet_)
+            machines_[w]->setIntegrityShadow(shadowNet_.get());
+    }
+    metrics_.noteImageSwap();
+    snap_inform("serve: hot-swapped knowledge image (%u nodes, %u "
+                "clusters); %u replicas re-stamped",
+                master_->numNodes(), master_->numClusters(),
+                cfg_.numWorkers);
+    return true;
 }
 
 void

@@ -167,6 +167,17 @@ class ServeEngine
     /** Compiles the master image and spins up the worker pool. */
     ServeEngine(const SemanticNetwork &net, ServeConfig cfg);
 
+    /**
+     * Adopt a pre-compiled master image (the .kbimg bulk-load path:
+     * a shard process deserializes the image and stamps replicas
+     * from it without ever re-partitioning or re-compiling).  @p net
+     * must be the network the image was compiled from; @p image must
+     * be non-null.  cfg.machine.numClusters is overridden to the
+     * image's cluster count.
+     */
+    ServeEngine(const SemanticNetwork &net,
+                std::unique_ptr<KbImage> image, ServeConfig cfg);
+
     /** Drains admissions, joins workers. */
     ~ServeEngine();
 
@@ -190,6 +201,33 @@ class ServeEngine
      * request and serve one request at a time.
      */
     void submit(Request req, ResponseSlot &slot);
+
+    /**
+     * Callback admission: @p done is invoked with the response from
+     * whichever thread completes the request (a worker, the shutdown
+     * watchdog, or — on immediate rejection — the submitting thread).
+     * The shard server's delivery mode: its connection writers
+     * serialize responses straight out of the callback instead of
+     * parking a thread per in-flight request.  @p done must not
+     * re-enter the engine.
+     */
+    void submit(Request req, std::function<void(Response &&)> done);
+
+    /**
+     * Epoch hot-swap: replace the master image (and every replica's
+     * stamped copy) with @p image, compiled from @p net.  Blocks new
+     * admissions, drains everything already admitted, re-stamps the
+     * pool, then reopens — so every request executes entirely against
+     * the old image or entirely against the new one, never a mix.
+     * Session marker state is preserved; the node count must match
+     * the serving image (session stores and wire node ids are sized
+     * by it).  Cluster-count and node-count mismatches are reported
+     * by returning false with @p err set (typed rejection, not
+     * fatal: the input is an operator-supplied file).
+     * Must be called from a non-worker thread.
+     */
+    bool swapImage(const SemanticNetwork &net,
+                   std::unique_ptr<KbImage> image, std::string &err);
 
     /** Launch the workers of a startPaused engine (idempotent). */
     void start();
@@ -242,6 +280,8 @@ class ServeEngine
         std::promise<Response> promise;
         /** Non-null: deliver through the slot, not the promise. */
         ResponseSlot *slot = nullptr;
+        /** Non-null: deliver by invoking this (beats slot/promise). */
+        std::function<void(Response &&)> callback;
         Clock::time_point enqueuedAt;
         Clock::time_point deadline;
         bool hasDeadline = false;

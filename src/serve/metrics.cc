@@ -85,6 +85,8 @@ MetricsSnapshot::exportMetrics(MetricsRegistry &reg,
         "Replica quarantines (re-stamped from master)");
     cnt("snap_serve_batch_fallbacks_total", batchFallbacks,
         "Lane batches evicted to solo re-serves");
+    cnt("snap_serve_image_swaps_total", imageSwaps,
+        "Knowledge-image hot-swaps applied (epoch flips)");
 
     gau("snap_serve_queue_depth", static_cast<double>(queueDepth),
         "Admission queue depth at snapshot time");
@@ -151,7 +153,8 @@ metricsJson(const MetricsSnapshot &s)
        << ", \"hung\": " << s.hung
        << ", \"shed\": " << s.shed
        << ", \"quarantines\": " << s.quarantines
-       << ", \"batch_fallbacks\": " << s.batchFallbacks << "},\n";
+       << ", \"batch_fallbacks\": " << s.batchFallbacks
+       << ", \"image_swaps\": " << s.imageSwaps << "},\n";
     os << "  \"queue\": {\"depth\": " << s.queueDepth
        << ", \"high_water\": " << s.queueHighWater
        << ", \"capacity\": " << s.queueCapacity << "},\n";

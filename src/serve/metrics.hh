@@ -76,6 +76,8 @@ struct MetricsSnapshot
     std::uint64_t quarantines = 0;
     /** Lane batches evicted to solo re-serves after a poisoned run. */
     std::uint64_t batchFallbacks = 0;
+    /** Knowledge-image hot-swaps applied (epoch flips). */
+    std::uint64_t imageSwaps = 0;
 
     std::size_t queueDepth = 0;
     std::size_t queueHighWater = 0;
@@ -265,6 +267,14 @@ class ServeMetrics
         ++batchFallbacks_;
     }
 
+    /** One knowledge-image hot-swap (epoch flip) was applied. */
+    void
+    noteImageSwap()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++imageSwaps_;
+    }
+
     /** Copy everything out; queue gauges and uptime are supplied by
      *  the engine (it owns the queue and the start timestamp). */
     MetricsSnapshot
@@ -288,6 +298,7 @@ class ServeMetrics
         s.shed = shed_;
         s.quarantines = quarantines_;
         s.batchFallbacks = batchFallbacks_;
+        s.imageSwaps = imageSwaps_;
         s.queueDepth = queue_depth;
         s.queueHighWater = queue_high_water;
         s.queueCapacity = queue_capacity;
@@ -318,6 +329,7 @@ class ServeMetrics
     std::uint64_t shed_ = 0;
     std::uint64_t quarantines_ = 0;
     std::uint64_t batchFallbacks_ = 0;
+    std::uint64_t imageSwaps_ = 0;
     Histogram queueWaitMs_;
     Histogram serviceMs_;
     Histogram totalMs_;

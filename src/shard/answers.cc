@@ -1,0 +1,48 @@
+#include "shard/answers.hh"
+
+#include <ostream>
+
+#include "common/strutil.hh"
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+void
+writeAnswer(std::ostream &os, const SemanticNetwork &net,
+            std::size_t index, const std::string &sessionId,
+            serve::RequestStatus status, const ResultSet &results)
+{
+    os << "request " << index;
+    if (!sessionId.empty())
+        os << " session " << sessionId;
+    os << " " << serve::requestStatusName(status) << "\n";
+    if (status != serve::RequestStatus::Ok)
+        return;
+    std::size_t ci = 0;
+    for (const CollectResult &res : results) {
+        os << "  collect " << ci++ << " " << opcodeName(res.op)
+           << "\n";
+        for (const CollectedNode &n : res.nodes) {
+            os << "    node " << net.nodeName(n.node) << " "
+               << formatString("%.9g", static_cast<double>(n.value))
+               << " "
+               << (n.origin == invalidNode
+                       ? std::string("-")
+                       : net.nodeName(n.origin))
+               << "\n";
+        }
+        for (const CollectedLink &l : res.links) {
+            os << "    link " << net.nodeName(l.src) << " "
+               << net.relations().name(l.rel) << " "
+               << net.nodeName(l.dst) << " "
+               << formatString("%.9g", static_cast<double>(l.weight))
+               << "\n";
+        }
+    }
+}
+
+} // namespace shard
+} // namespace snap

@@ -1,0 +1,353 @@
+#include "shard/endpoint.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+namespace
+{
+
+std::string
+errnoDetail(const char *what)
+{
+    return formatString("%s: %s", what, std::strerror(errno));
+}
+
+bool
+resolveIpv4(const std::string &host, in_addr &out)
+{
+    if (host == "localhost")
+        return inet_pton(AF_INET, "127.0.0.1", &out) == 1;
+    return inet_pton(AF_INET, host.c_str(), &out) == 1;
+}
+
+/** Fill a sockaddr_un; false when the path does not fit. */
+bool
+fillUnixAddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t k = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += k;
+        n -= static_cast<std::size_t>(k);
+    }
+    return true;
+}
+
+/** @return 1 on success, 0 on clean EOF at a frame boundary start,
+ *  -1 on error/mid-read EOF. */
+int
+recvAll(int fd, std::uint8_t *data, std::size_t n)
+{
+    bool first = true;
+    while (n > 0) {
+        ssize_t k = ::recv(fd, data, n, 0);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (k == 0)
+            return first ? 0 : -1;
+        first = false;
+        data += k;
+        n -= static_cast<std::size_t>(k);
+    }
+    return 1;
+}
+
+} // namespace
+
+std::string
+Endpoint::toString() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + host;
+    return formatString("%s:%u", host.c_str(), port);
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out,
+              std::string &detail)
+{
+    if (text.rfind("unix:", 0) == 0) {
+        std::string path = text.substr(5);
+        if (path.empty()) {
+            detail = "unix endpoint needs a socket path";
+            return false;
+        }
+        out.kind = Endpoint::Kind::Unix;
+        out.host = std::move(path);
+        out.port = 0;
+        return true;
+    }
+    std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == text.size()) {
+        detail = formatString("endpoint '%s' is neither unix:/path "
+                              "nor host:port", text.c_str());
+        return false;
+    }
+    const std::string host = text.substr(0, colon);
+    const std::string port_str = text.substr(colon + 1);
+    std::uint32_t port = 0;
+    for (char c : port_str) {
+        if (c < '0' || c > '9') {
+            detail = formatString("bad port '%s'", port_str.c_str());
+            return false;
+        }
+        port = port * 10 + static_cast<std::uint32_t>(c - '0');
+        if (port > 65535) {
+            detail = formatString("port '%s' out of range",
+                                  port_str.c_str());
+            return false;
+        }
+    }
+    if (port == 0) {
+        detail = formatString("bad port '%s'", port_str.c_str());
+        return false;
+    }
+    in_addr probe;
+    if (!resolveIpv4(host, probe)) {
+        detail = formatString("host '%s' is not a numeric IPv4 "
+                              "address or 'localhost'", host.c_str());
+        return false;
+    }
+    out.kind = Endpoint::Kind::Tcp;
+    out.host = host;
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+int
+listenEndpoint(const Endpoint &ep, std::string &detail)
+{
+    int fd = -1;
+    if (ep.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr;
+        if (!fillUnixAddr(ep.host, addr)) {
+            detail = formatString("socket path '%s' too long (max "
+                                  "%zu bytes)", ep.host.c_str(),
+                                  sizeof(addr.sun_path) - 1);
+            return -1;
+        }
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            detail = errnoDetail("socket");
+            return -1;
+        }
+        // A previous run's socket file would make bind fail; the
+        // path is ours by convention, so reclaim it.
+        ::unlink(ep.host.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            detail = errnoDetail("bind");
+            closeFd(fd);
+            return -1;
+        }
+    } else {
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(ep.port);
+        if (!resolveIpv4(ep.host, addr.sin_addr)) {
+            detail = formatString("cannot resolve '%s'",
+                                  ep.host.c_str());
+            return -1;
+        }
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            detail = errnoDetail("socket");
+            return -1;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            detail = errnoDetail("bind");
+            closeFd(fd);
+            return -1;
+        }
+    }
+    if (::listen(fd, 64) < 0) {
+        detail = errnoDetail("listen");
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptConnection(int listen_fd, std::string &detail)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        detail = errnoDetail("accept");
+        return -1;
+    }
+}
+
+int
+connectEndpoint(const Endpoint &ep, double timeout_ms,
+                std::string &detail)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point give_up =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               timeout_ms));
+    for (;;) {
+        int fd = -1;
+        int rc = -1;
+        if (ep.kind == Endpoint::Kind::Unix) {
+            sockaddr_un addr;
+            if (!fillUnixAddr(ep.host, addr)) {
+                detail = formatString("socket path '%s' too long",
+                                      ep.host.c_str());
+                return -1;
+            }
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd >= 0) {
+                rc = ::connect(fd,
+                               reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr));
+            }
+        } else {
+            sockaddr_in addr;
+            std::memset(&addr, 0, sizeof(addr));
+            addr.sin_family = AF_INET;
+            addr.sin_port = htons(ep.port);
+            if (!resolveIpv4(ep.host, addr.sin_addr)) {
+                detail = formatString("cannot resolve '%s'",
+                                      ep.host.c_str());
+                return -1;
+            }
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd >= 0) {
+                rc = ::connect(fd,
+                               reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr));
+                if (rc == 0) {
+                    int one = 1;
+                    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                                 sizeof(one));
+                }
+            }
+        }
+        if (fd >= 0 && rc == 0) {
+            detail.clear();
+            return fd;
+        }
+        const int err = errno;
+        closeFd(fd);
+        // ENOENT / ECONNREFUSED: the peer has not bound yet — the
+        // normal multi-process bring-up race.  Anything else is
+        // final.
+        if (err != ENOENT && err != ECONNREFUSED) {
+            errno = err;
+            detail = errnoDetail("connect");
+            return -1;
+        }
+        if (Clock::now() >= give_up) {
+            errno = err;
+            detail = errnoDetail("connect (timed out waiting)");
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+writeFrame(int fd, FrameType type,
+           const std::vector<std::uint8_t> &payload)
+{
+    snap_assert(payload.size() <= maxFramePayload,
+                "frame payload %zu over cap", payload.size());
+    std::uint8_t head[5];
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        head[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    head[4] = static_cast<std::uint8_t>(type);
+    if (!sendAll(fd, head, sizeof(head)))
+        return false;
+    return payload.empty() ||
+           sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, FrameType &type, std::vector<std::uint8_t> &payload,
+          std::string &detail)
+{
+    std::uint8_t head[5];
+    int rc = recvAll(fd, head, sizeof(head));
+    if (rc <= 0) {
+        detail = rc == 0 ? "connection closed"
+                         : errnoDetail("recv (frame header)");
+        return false;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+    if (len > maxFramePayload) {
+        detail = formatString("frame payload %u exceeds the %u-byte "
+                              "cap", len, maxFramePayload);
+        return false;
+    }
+    const std::uint8_t raw_type = head[4];
+    if (raw_type < static_cast<std::uint8_t>(FrameType::Hello) ||
+        raw_type > static_cast<std::uint8_t>(FrameType::Shutdown)) {
+        detail = formatString("unknown frame type %u", raw_type);
+        return false;
+    }
+    type = static_cast<FrameType>(raw_type);
+    payload.resize(len);
+    if (len > 0 && recvAll(fd, payload.data(), len) != 1) {
+        detail = errnoDetail("recv (frame payload)");
+        return false;
+    }
+    return true;
+}
+
+} // namespace shard
+} // namespace snap

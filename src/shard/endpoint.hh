@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stream-socket endpoints and frame I/O for the shard protocol.
+ *
+ * An endpoint string is either
+ *
+ *     unix:/path/to/socket      AF_UNIX stream socket
+ *     host:port                 TCP (IPv4), e.g. 127.0.0.1:7070
+ *
+ * Unix sockets are the default everywhere in tests and benches (no
+ * network namespace needed, path-scoped); TCP exists for spreading
+ * shards across hosts.  All I/O is blocking with full-read/full-write
+ * loops; frame reads enforce the protocol's payload cap so a
+ * malformed or hostile peer cannot make the process allocate
+ * unboundedly.
+ *
+ * Errors are typed returns (false / -1 + detail), not fatals: a peer
+ * dropping mid-frame is a normal event the router's retry logic
+ * handles.
+ */
+
+#ifndef SNAP_SHARD_ENDPOINT_HH
+#define SNAP_SHARD_ENDPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/protocol.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+/** A parsed endpoint string. */
+struct Endpoint
+{
+    enum class Kind
+    {
+        Unix,
+        Tcp
+    };
+
+    Kind kind = Kind::Unix;
+    /** Unix: socket path.  Tcp: host (numeric IPv4 or "localhost"). */
+    std::string host;
+    std::uint16_t port = 0;
+
+    std::string toString() const;
+};
+
+/** Parse "unix:/path" or "host:port".  @return false + detail on a
+ *  malformed string. */
+bool parseEndpoint(const std::string &text, Endpoint &out,
+                   std::string &detail);
+
+/** Bind + listen.  Unix sockets unlink a stale path first.
+ *  @return listening fd, or -1 with @p detail set. */
+int listenEndpoint(const Endpoint &ep, std::string &detail);
+
+/** Accept one connection (blocking).  @return fd or -1. */
+int acceptConnection(int listen_fd, std::string &detail);
+
+/**
+ * Connect (blocking), retrying for up to @p timeout_ms while the
+ * endpoint does not answer — covers the "shard process is still
+ * booting" window in multi-process bring-up.  @return fd or -1.
+ */
+int connectEndpoint(const Endpoint &ep, double timeout_ms,
+                    std::string &detail);
+
+/** Close an fd (idempotent; ignores -1). */
+void closeFd(int fd);
+
+// --- frame I/O ----------------------------------------------------------
+
+/** Write one frame (length-prefixed, single full-write loop).
+ *  @return false on a closed/failed peer. */
+bool writeFrame(int fd, FrameType type,
+                const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read one frame.  Blocks until a full frame arrives.
+ * @return false on EOF, I/O error, or an over-cap length prefix;
+ * @p detail says which.
+ */
+bool readFrame(int fd, FrameType &type,
+               std::vector<std::uint8_t> &payload, std::string &detail);
+
+} // namespace shard
+} // namespace snap
+
+#endif // SNAP_SHARD_ENDPOINT_HH

@@ -1,0 +1,386 @@
+#include "shard/protocol.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello: return "hello";
+      case FrameType::HelloAck: return "hello-ack";
+      case FrameType::Request: return "request";
+      case FrameType::Response: return "response";
+      case FrameType::Health: return "health";
+      case FrameType::HealthAck: return "health-ack";
+      case FrameType::Prepare: return "prepare";
+      case FrameType::PrepareAck: return "prepare-ack";
+      case FrameType::Commit: return "commit";
+      case FrameType::CommitAck: return "commit-ack";
+      case FrameType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+// --- program ------------------------------------------------------------
+
+void
+encodeProgram(WireWriter &w, const Program &prog)
+{
+    const RuleTable &rules = prog.rules();
+    w.u32(rules.size());
+    for (std::uint32_t i = 0; i < rules.size(); ++i) {
+        const PropRule &rule = rules.rule(static_cast<RuleId>(i));
+        w.str(rule.name);
+        w.u32(rule.maxSteps);
+        w.u32(static_cast<std::uint32_t>(rule.segments.size()));
+        for (const RuleSegment &seg : rule.segments) {
+            w.u8(seg.star ? 1 : 0);
+            w.u32(static_cast<std::uint32_t>(seg.rels.size()));
+            for (RelationType rel : seg.rels)
+                w.u16(rel);
+        }
+    }
+    const auto &instrs = prog.instructions();
+    w.u32(static_cast<std::uint32_t>(instrs.size()));
+    for (const Instruction &in : instrs) {
+        w.u8(static_cast<std::uint8_t>(in.op));
+        w.u32(in.node);
+        w.u32(in.endNode);
+        w.u16(in.rel);
+        w.u16(in.rel2);
+        w.u8(in.color);
+        w.u8(in.m1);
+        w.u8(in.m2);
+        w.u8(in.m3);
+        w.f32(in.value);
+        w.u8(in.rule);
+        w.u8(static_cast<std::uint8_t>(in.func));
+        w.u8(static_cast<std::uint8_t>(in.comb));
+        w.u8(static_cast<std::uint8_t>(in.sfunc.op));
+        w.f32(in.sfunc.imm);
+    }
+}
+
+bool
+decodeProgram(WireReader &r, Program &out)
+{
+    const std::uint32_t num_rules = r.u32();
+    if (r.failed() || num_rules > maxRules)
+        return false;
+    for (std::uint32_t i = 0; i < num_rules; ++i) {
+        PropRule rule;
+        rule.name = r.str();
+        rule.maxSteps = r.u32();
+        const std::uint32_t num_segs = r.u32();
+        if (r.failed() || num_segs > 255)
+            return false;
+        rule.segments.reserve(num_segs);
+        for (std::uint32_t s = 0; s < num_segs; ++s) {
+            RuleSegment seg;
+            seg.star = r.u8() != 0;
+            const std::uint32_t num_rels = r.u32();
+            if (r.failed() || num_rels > capacity::numRelationTypes)
+                return false;
+            seg.rels.reserve(num_rels);
+            for (std::uint32_t k = 0; k < num_rels; ++k)
+                seg.rels.push_back(r.u16());
+            rule.segments.push_back(std::move(seg));
+        }
+        if (r.failed())
+            return false;
+        out.addRule(std::move(rule));
+    }
+    const std::uint32_t num_instrs = r.u32();
+    if (r.failed())
+        return false;
+    for (std::uint32_t i = 0; i < num_instrs; ++i) {
+        Instruction in;
+        const std::uint8_t op = r.u8();
+        in.node = r.u32();
+        in.endNode = r.u32();
+        in.rel = r.u16();
+        in.rel2 = r.u16();
+        in.color = r.u8();
+        in.m1 = r.u8();
+        in.m2 = r.u8();
+        in.m3 = r.u8();
+        in.value = r.f32();
+        in.rule = r.u8();
+        const std::uint8_t func = r.u8();
+        const std::uint8_t comb = r.u8();
+        const std::uint8_t sfunc_op = r.u8();
+        in.sfunc.imm = r.f32();
+        if (r.failed() ||
+            op >= static_cast<std::uint8_t>(Opcode::NumOpcodes) ||
+            func >= static_cast<std::uint8_t>(MarkerFunc::NumFuncs) ||
+            comb > static_cast<std::uint8_t>(CombineOp::Diff) ||
+            sfunc_op >
+                static_cast<std::uint8_t>(ScalarFunc::Op::ThresholdLt) ||
+            in.m1 >= capacity::numMarkers ||
+            in.m2 >= capacity::numMarkers ||
+            in.m3 >= capacity::numMarkers)
+            return false;
+        in.op = static_cast<Opcode>(op);
+        in.func = static_cast<MarkerFunc>(func);
+        in.comb = static_cast<CombineOp>(comb);
+        in.sfunc.op = static_cast<ScalarFunc::Op>(sfunc_op);
+        // A PROPAGATE must name a rule that the stream carried.
+        if (in.op == Opcode::Propagate && in.rule >= num_rules)
+            return false;
+        out.append(in);
+    }
+    return !r.failed();
+}
+
+// --- results ------------------------------------------------------------
+
+void
+encodeResults(WireWriter &w, const ResultSet &results)
+{
+    w.u32(static_cast<std::uint32_t>(results.size()));
+    for (const CollectResult &cr : results) {
+        w.u8(static_cast<std::uint8_t>(cr.op));
+        w.u8(cr.marker);
+        w.u8(cr.color);
+        w.u16(cr.rel);
+        w.u32(static_cast<std::uint32_t>(cr.nodes.size()));
+        for (const CollectedNode &n : cr.nodes) {
+            w.u32(n.node);
+            w.f32(n.value);
+            w.u32(n.origin);
+        }
+        w.u32(static_cast<std::uint32_t>(cr.links.size()));
+        for (const CollectedLink &l : cr.links) {
+            w.u32(l.src);
+            w.u16(l.rel);
+            w.u32(l.dst);
+            w.f32(l.weight);
+        }
+    }
+}
+
+bool
+decodeResults(WireReader &r, ResultSet &out)
+{
+    const std::uint32_t count = r.u32();
+    if (r.failed())
+        return false;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        CollectResult cr;
+        const std::uint8_t op = r.u8();
+        cr.marker = r.u8();
+        cr.color = r.u8();
+        cr.rel = r.u16();
+        if (r.failed() ||
+            op >= static_cast<std::uint8_t>(Opcode::NumOpcodes))
+            return false;
+        cr.op = static_cast<Opcode>(op);
+        const std::uint32_t num_nodes = r.u32();
+        // Each entry is >= 12 bytes; reject counts the frame cannot
+        // hold before reserving.
+        if (r.failed() || num_nodes > r.remaining() / 12 + 1)
+            return false;
+        cr.nodes.reserve(num_nodes);
+        for (std::uint32_t k = 0; k < num_nodes; ++k) {
+            CollectedNode n;
+            n.node = r.u32();
+            n.value = r.f32();
+            n.origin = r.u32();
+            cr.nodes.push_back(n);
+        }
+        const std::uint32_t num_links = r.u32();
+        if (r.failed() || num_links > r.remaining() / 14 + 1)
+            return false;
+        cr.links.reserve(num_links);
+        for (std::uint32_t k = 0; k < num_links; ++k) {
+            CollectedLink l;
+            l.src = r.u32();
+            l.rel = r.u16();
+            l.dst = r.u32();
+            l.weight = r.f32();
+            cr.links.push_back(l);
+        }
+        if (r.failed())
+            return false;
+        out.push_back(std::move(cr));
+    }
+    return !r.failed();
+}
+
+// --- frames -------------------------------------------------------------
+
+void
+encodeHello(WireWriter &w, const HelloFrame &f)
+{
+    w.u32(f.version);
+}
+
+bool
+decodeHello(WireReader &r, HelloFrame &f)
+{
+    f.version = r.u32();
+    return r.done();
+}
+
+void
+encodeHelloAck(WireWriter &w, const HelloAckFrame &f)
+{
+    w.u32(f.version);
+    w.u64(f.fingerprint);
+    w.u64(f.epoch);
+    w.u32(f.numNodes);
+    w.u32(f.numClusters);
+}
+
+bool
+decodeHelloAck(WireReader &r, HelloAckFrame &f)
+{
+    f.version = r.u32();
+    f.fingerprint = r.u64();
+    f.epoch = r.u64();
+    f.numNodes = r.u32();
+    f.numClusters = r.u32();
+    return r.done();
+}
+
+void
+encodeRequest(WireWriter &w, const RequestFrame &f)
+{
+    w.u64(f.id);
+    w.str(f.sessionId);
+    w.f64(f.timeoutMs);
+    w.u64(f.rngSeed);
+    encodeProgram(w, f.prog);
+}
+
+bool
+decodeRequest(WireReader &r, RequestFrame &f)
+{
+    f.id = r.u64();
+    f.sessionId = r.str(4096);
+    f.timeoutMs = r.f64();
+    f.rngSeed = r.u64();
+    if (r.failed() || !decodeProgram(r, f.prog))
+        return false;
+    return r.done();
+}
+
+void
+encodeResponse(WireWriter &w, const ResponseFrame &f)
+{
+    w.u64(f.id);
+    w.u8(static_cast<std::uint8_t>(f.status));
+    w.u64(f.wallTicks);
+    w.u64(f.rngSeed);
+    w.f64(f.queueMs);
+    w.f64(f.serviceMs);
+    w.u32(f.worker);
+    w.u32(f.batchLanes);
+    w.u32(f.retries);
+    w.u8(f.faultDetected ? 1 : 0);
+    encodeResults(w, f.results);
+}
+
+bool
+decodeResponse(WireReader &r, ResponseFrame &f)
+{
+    f.id = r.u64();
+    const std::uint8_t status = r.u8();
+    f.wallTicks = r.u64();
+    f.rngSeed = r.u64();
+    f.queueMs = r.f64();
+    f.serviceMs = r.f64();
+    f.worker = r.u32();
+    f.batchLanes = r.u32();
+    f.retries = r.u32();
+    f.faultDetected = r.u8() != 0;
+    if (r.failed() ||
+        status > static_cast<std::uint8_t>(serve::RequestStatus::Hung))
+        return false;
+    f.status = static_cast<serve::RequestStatus>(status);
+    if (!decodeResults(r, f.results))
+        return false;
+    return r.done();
+}
+
+void
+encodeHealth(WireWriter &w, const HealthFrame &f)
+{
+    w.u64(f.nonce);
+}
+
+bool
+decodeHealth(WireReader &r, HealthFrame &f)
+{
+    f.nonce = r.u64();
+    return r.done();
+}
+
+void
+encodeHealthAck(WireWriter &w, const HealthAckFrame &f)
+{
+    w.u64(f.nonce);
+    w.u64(f.epoch);
+    w.u64(f.fingerprint);
+}
+
+bool
+decodeHealthAck(WireReader &r, HealthAckFrame &f)
+{
+    f.nonce = r.u64();
+    f.epoch = r.u64();
+    f.fingerprint = r.u64();
+    return r.done();
+}
+
+void
+encodePrepare(WireWriter &w, const PrepareFrame &f)
+{
+    w.u64(f.epoch);
+    w.str(f.imagePath);
+}
+
+bool
+decodePrepare(WireReader &r, PrepareFrame &f)
+{
+    f.epoch = r.u64();
+    f.imagePath = r.str(4096);
+    return r.done();
+}
+
+void
+encodePrepareAck(WireWriter &w, const PrepareAckFrame &f)
+{
+    w.u64(f.epoch);
+    w.u8(f.ok ? 1 : 0);
+    w.str(f.detail);
+}
+
+bool
+decodePrepareAck(WireReader &r, PrepareAckFrame &f)
+{
+    f.epoch = r.u64();
+    f.ok = r.u8() != 0;
+    f.detail = r.str(4096);
+    return r.done();
+}
+
+void
+encodeEpoch(WireWriter &w, const EpochFrame &f)
+{
+    w.u64(f.epoch);
+}
+
+bool
+decodeEpoch(WireReader &r, EpochFrame &f)
+{
+    f.epoch = r.u64();
+    return r.done();
+}
+
+} // namespace shard
+} // namespace snap

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The snapshard wire protocol: length-prefixed frames between the
+ * router and its shard workers.
+ *
+ * Framing (see docs/sharding.md for the full state machines):
+ *
+ *     u32 payload length | u8 frame type | payload
+ *
+ * all little-endian, payload capped at maxFramePayload.  One
+ * connection carries a strictly ordered stream of frames; the shard
+ * answers Request frames in completion order (responses carry the
+ * router-assigned id, so ordering is the router's concern), and
+ * control frames (health, epoch swap) in receive order.
+ *
+ * Codec layer only: everything here turns structs into bytes and
+ * back, with every decode bounds-checked and *typed* — a malformed
+ * frame yields false, never a crash or a fatal, because frames cross
+ * a trust boundary.  Socket I/O lives in shard/endpoint.
+ */
+
+#ifndef SNAP_SHARD_PROTOCOL_HH
+#define SNAP_SHARD_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "runtime/results.hh"
+#include "serve/request.hh"
+#include "shard/wire_format.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+/** Protocol revision; bumped on any incompatible frame change. */
+constexpr std::uint32_t protocolVersion = 1;
+
+/** Hard cap on one frame's payload (a serialized Program or
+ *  ResultSet is well under this; the cap bounds a hostile peer). */
+constexpr std::uint32_t maxFramePayload = 64u * 1024 * 1024;
+
+/** Frame types. */
+enum class FrameType : std::uint8_t
+{
+    /** Router -> shard, once per connection: version check. */
+    Hello = 1,
+    /** Shard -> router: version + image fingerprint + epoch. */
+    HelloAck = 2,
+    /** Router -> shard: one query to execute. */
+    Request = 3,
+    /** Shard -> router: the query's answer. */
+    Response = 4,
+    /** Router -> shard: liveness probe (nonce echo). */
+    Health = 5,
+    /** Shard -> router: probe answer + current epoch/fingerprint. */
+    HealthAck = 6,
+    /** Router -> shard: load .kbimg, swap once drained, then ack. */
+    Prepare = 7,
+    /** Shard -> router: swap outcome (ok or typed detail). */
+    PrepareAck = 8,
+    /** Router -> shard: the epoch is now live everywhere. */
+    Commit = 9,
+    /** Shard -> router: commit acknowledged. */
+    CommitAck = 10,
+    /** Router -> shard: drain and exit. */
+    Shutdown = 11,
+};
+
+const char *frameTypeName(FrameType t);
+
+// --- payload structs ----------------------------------------------------
+
+struct HelloFrame
+{
+    std::uint32_t version = protocolVersion;
+};
+
+struct HelloAckFrame
+{
+    std::uint32_t version = protocolVersion;
+    /** .kbimg fingerprint the shard is serving (KbImageFile). */
+    std::uint64_t fingerprint = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t numNodes = 0;
+    std::uint32_t numClusters = 0;
+};
+
+/** One query on the wire.  The id is router-assigned and opaque to
+ *  the shard; it is echoed verbatim in the response. */
+struct RequestFrame
+{
+    std::uint64_t id = 0;
+    std::string sessionId;
+    double timeoutMs = 0.0;
+    std::uint64_t rngSeed = 0;
+    Program prog;
+};
+
+struct ResponseFrame
+{
+    std::uint64_t id = 0;
+    serve::RequestStatus status = serve::RequestStatus::Ok;
+    ResultSet results;
+    Tick wallTicks = 0;
+    std::uint64_t rngSeed = 0;
+    double queueMs = 0.0;
+    double serviceMs = 0.0;
+    std::uint32_t worker = 0;
+    std::uint32_t batchLanes = 1;
+    std::uint32_t retries = 0;
+    bool faultDetected = false;
+};
+
+struct HealthFrame
+{
+    std::uint64_t nonce = 0;
+};
+
+struct HealthAckFrame
+{
+    std::uint64_t nonce = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+struct PrepareFrame
+{
+    std::uint64_t epoch = 0;
+    /** Path to the .kbimg generation to swap to (shard-local). */
+    std::string imagePath;
+};
+
+struct PrepareAckFrame
+{
+    std::uint64_t epoch = 0;
+    bool ok = false;
+    /** Typed failure detail when !ok (e.g. kbImgStatusName + why). */
+    std::string detail;
+};
+
+struct EpochFrame
+{
+    std::uint64_t epoch = 0;
+};
+
+// --- program / results codecs (shared by request and response) ----------
+
+void encodeProgram(WireWriter &w, const Program &prog);
+/** @return false on malformed bytes (reader poisoned or operands out
+ *  of range). */
+bool decodeProgram(WireReader &r, Program &out);
+
+void encodeResults(WireWriter &w, const ResultSet &results);
+bool decodeResults(WireReader &r, ResultSet &out);
+
+// --- frame payload codecs ----------------------------------------------
+
+void encodeHello(WireWriter &w, const HelloFrame &f);
+bool decodeHello(WireReader &r, HelloFrame &f);
+void encodeHelloAck(WireWriter &w, const HelloAckFrame &f);
+bool decodeHelloAck(WireReader &r, HelloAckFrame &f);
+void encodeRequest(WireWriter &w, const RequestFrame &f);
+bool decodeRequest(WireReader &r, RequestFrame &f);
+void encodeResponse(WireWriter &w, const ResponseFrame &f);
+bool decodeResponse(WireReader &r, ResponseFrame &f);
+void encodeHealth(WireWriter &w, const HealthFrame &f);
+bool decodeHealth(WireReader &r, HealthFrame &f);
+void encodeHealthAck(WireWriter &w, const HealthAckFrame &f);
+bool decodeHealthAck(WireReader &r, HealthAckFrame &f);
+void encodePrepare(WireWriter &w, const PrepareFrame &f);
+bool decodePrepare(WireReader &r, PrepareFrame &f);
+void encodePrepareAck(WireWriter &w, const PrepareAckFrame &f);
+bool decodePrepareAck(WireReader &r, PrepareAckFrame &f);
+void encodeEpoch(WireWriter &w, const EpochFrame &f);
+bool decodeEpoch(WireReader &r, EpochFrame &f);
+
+} // namespace shard
+} // namespace snap
+
+#endif // SNAP_SHARD_PROTOCOL_HH

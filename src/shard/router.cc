@@ -1,0 +1,552 @@
+#include "shard/router.hh"
+
+#include <chrono>
+#include <sys/socket.h>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+ShardRouter::ShardRouter(RouterConfig cfg)
+    : cfg_(std::move(cfg)),
+      ring_(static_cast<std::uint32_t>(cfg_.shards.empty()
+                                           ? 1
+                                           : cfg_.shards.size()),
+            cfg_.vnodes)
+{
+    if (cfg_.shards.empty())
+        snap_fatal("router needs at least one shard endpoint");
+    if (cfg_.maxInflightPerShard < 1)
+        snap_fatal("maxInflightPerShard must be >= 1");
+    shards_.reserve(cfg_.shards.size());
+    down_.assign(cfg_.shards.size(), true);
+    for (const std::string &text : cfg_.shards) {
+        auto shard = std::make_unique<Shard>();
+        std::string detail;
+        if (!parseEndpoint(text, shard->ep, detail))
+            snap_fatal("shard endpoint: %s", detail.c_str());
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ShardRouter::~ShardRouter()
+{
+    closing_.store(true, std::memory_order_release);
+    for (auto &shard : shards_) {
+        if (shard->fd >= 0)
+            ::shutdown(shard->fd, SHUT_RDWR);
+    }
+    for (auto &shard : shards_) {
+        if (shard->reader.joinable())
+            shard->reader.join();
+        closeFd(shard->fd);
+        shard->fd = -1;
+    }
+    // Anything still pending after the readers exited was failed by
+    // their shardDown sweeps; outstanding_ is zero here for callers
+    // that drained, and untracked work dies with the process for
+    // those that did not.
+}
+
+bool
+ShardRouter::connect(std::string &detail)
+{
+    bool have_fp = false;
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        shard.fd = connectEndpoint(shard.ep, cfg_.connectTimeoutMs,
+                                   detail);
+        if (shard.fd < 0) {
+            detail = formatString("shard %u (%s): %s", i,
+                                  shard.ep.toString().c_str(),
+                                  detail.c_str());
+            return false;
+        }
+        // Synchronous handshake before the reader thread owns the
+        // read side.
+        WireWriter w;
+        encodeHello(w, HelloFrame{});
+        if (!writeFrame(shard.fd, FrameType::Hello, w.bytes())) {
+            detail = formatString("shard %u: hello write failed", i);
+            return false;
+        }
+        FrameType type;
+        std::vector<std::uint8_t> payload;
+        if (!readFrame(shard.fd, type, payload, detail) ||
+            type != FrameType::HelloAck) {
+            detail = formatString("shard %u: no hello-ack (%s)", i,
+                                  detail.c_str());
+            return false;
+        }
+        WireReader r(payload.data(), payload.size());
+        HelloAckFrame ack;
+        if (!decodeHelloAck(r, ack)) {
+            detail = formatString("shard %u: malformed hello-ack", i);
+            return false;
+        }
+        if (ack.version != protocolVersion) {
+            detail = formatString("shard %u speaks protocol %u, this "
+                                  "router speaks %u", i, ack.version,
+                                  protocolVersion);
+            return false;
+        }
+        if (cfg_.requireUniformImage) {
+            if (have_fp && ack.fingerprint != fingerprint_) {
+                detail = formatString(
+                    "shard %u serves image %016llx but shard 0 "
+                    "serves %016llx — shards must serve the same "
+                    "knowledge", i,
+                    static_cast<unsigned long long>(ack.fingerprint),
+                    static_cast<unsigned long long>(fingerprint_));
+                return false;
+            }
+            fingerprint_ = ack.fingerprint;
+            have_fp = true;
+        }
+        epoch_ = ack.epoch;
+        shard.up = true;
+    }
+    {
+        std::lock_guard<std::mutex> lock(downMu_);
+        down_.assign(shards_.size(), false);
+    }
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->reader =
+            std::thread([this, i] { readerMain(i); });
+    }
+    detail.clear();
+    return true;
+}
+
+bool
+ShardRouter::shardHealthy(std::uint32_t shard) const
+{
+    std::lock_guard<std::mutex> lock(downMu_);
+    return shard < down_.size() && !down_[shard];
+}
+
+std::uint64_t
+ShardRouter::rerouteCount() const
+{
+    std::lock_guard<std::mutex> lock(doneMu_);
+    return rerouted_;
+}
+
+void
+ShardRouter::readerMain(std::uint32_t idx)
+{
+    Shard &shard = *shards_[idx];
+    for (;;) {
+        FrameType type;
+        std::vector<std::uint8_t> payload;
+        std::string detail;
+        if (!readFrame(shard.fd, type, payload, detail))
+            break;
+        WireReader r(payload.data(), payload.size());
+        switch (type) {
+          case FrameType::Response: {
+            ResponseFrame resp;
+            if (!decodeResponse(r, resp)) {
+                snap_warn("router: shard %u sent a malformed "
+                          "response", idx);
+                goto done;
+            }
+            std::unique_ptr<PendingRoute> p;
+            {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                auto it = shard.pending.find(resp.id);
+                if (it != shard.pending.end()) {
+                    p = std::move(it->second);
+                    shard.pending.erase(it);
+                }
+            }
+            shard.windowCv.notify_all();
+            if (p) {
+                p->done(std::move(resp));
+                noteDone();
+            }
+            break;
+          }
+          case FrameType::HealthAck: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodeHealthAck(r, shard.healthAck)) {
+                shard.controlType = FrameType::HealthAck;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
+          case FrameType::PrepareAck: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodePrepareAck(r, shard.prepareAck)) {
+                shard.controlType = FrameType::PrepareAck;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
+          case FrameType::CommitAck: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodeEpoch(r, shard.commitAck)) {
+                shard.controlType = FrameType::CommitAck;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
+          default:
+            snap_warn("router: unexpected %s frame from shard %u",
+                      frameTypeName(type), idx);
+            goto done;
+        }
+    }
+  done:
+    shardDown(idx);
+}
+
+/**
+ * The shard's connection is gone.  In-flight session requests die
+ * with it (their marker state lived on that shard): status Failed.
+ * In-flight stateless requests are re-dispatched to the next live
+ * shard on the ring — the answer is a pure function of the program,
+ * so a re-route is invisible to the client.
+ */
+void
+ShardRouter::shardDown(std::uint32_t idx)
+{
+    Shard &shard = *shards_[idx];
+    {
+        std::lock_guard<std::mutex> lock(downMu_);
+        if (down_[idx])
+            return;
+        down_[idx] = true;
+    }
+    if (!closing_.load(std::memory_order_acquire)) {
+        snap_warn("router: shard %u (%s) is down", idx,
+                  shard.ep.toString().c_str());
+    }
+
+    std::vector<std::unique_ptr<PendingRoute>> orphans;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.up = false;
+        orphans.reserve(shard.pending.size());
+        for (auto &kv : shard.pending)
+            orphans.push_back(std::move(kv.second));
+        shard.pending.clear();
+    }
+    shard.windowCv.notify_all();
+    shard.controlCv.notify_all();
+
+    const bool closing = closing_.load(std::memory_order_acquire);
+    for (auto &p : orphans) {
+        if (!closing && p->stateless &&
+            p->attempts < cfg_.maxRetries) {
+            ++p->attempts;
+            {
+                std::lock_guard<std::mutex> lock(doneMu_);
+                ++rerouted_;
+            }
+            dispatch(std::move(p));
+        } else {
+            failRequest(std::move(p));
+        }
+    }
+}
+
+bool
+ShardRouter::pickShard(std::uint64_t key, std::uint32_t &out)
+{
+    std::vector<bool> down;
+    {
+        std::lock_guard<std::mutex> lock(downMu_);
+        down = down_;
+    }
+    bool any_up = false;
+    for (std::size_t i = 0; i < down.size(); ++i)
+        any_up = any_up || !down[i];
+    if (!any_up)
+        return false;
+    out = ring_.ownerSkipping(key, down);
+    return true;
+}
+
+void
+ShardRouter::failRequest(std::unique_ptr<PendingRoute> p)
+{
+    ResponseFrame resp;
+    resp.id = p->frame.id;
+    resp.rngSeed = p->frame.rngSeed;
+    resp.status = serve::RequestStatus::Failed;
+    p->done(std::move(resp));
+    noteDone();
+}
+
+void
+ShardRouter::dispatch(std::unique_ptr<PendingRoute> p)
+{
+    for (;;) {
+        std::uint32_t idx;
+        if (!pickShard(p->routeKey, idx)) {
+            failRequest(std::move(p));
+            return;
+        }
+        if (!p->stateless) {
+            // Sessions are pinned: if their owner is down the ring
+            // would move them, but their marker state cannot follow.
+            const std::uint32_t owner = ring_.owner(p->routeKey);
+            if (owner != idx) {
+                failRequest(std::move(p));
+                return;
+            }
+        }
+        Shard &shard = *shards_[idx];
+        const std::uint64_t id = p->frame.id;
+        WireWriter w;
+        encodeRequest(w, p->frame);
+        {
+            std::unique_lock<std::mutex> lock(shard.mu);
+            shard.windowCv.wait(lock, [&] {
+                return !shard.up ||
+                       shard.pending.size() <
+                           cfg_.maxInflightPerShard;
+            });
+            if (!shard.up)
+                continue; // re-pick: this shard died while we waited
+            shard.pending.emplace(id, std::move(p));
+        }
+        bool ok;
+        {
+            std::lock_guard<std::mutex> wlock(shard.writeMu);
+            ok = writeFrame(shard.fd, FrameType::Request, w.bytes());
+        }
+        if (ok)
+            return;
+        // Broken pipe: reclaim our entry (if shardDown has not
+        // already) and let the down-path decide retry vs fail.
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.pending.find(id);
+            if (it == shard.pending.end())
+                return; // shardDown owns it now
+            p = std::move(it->second);
+            shard.pending.erase(it);
+        }
+        shardDown(idx);
+        if (p->stateless && p->attempts < cfg_.maxRetries) {
+            ++p->attempts;
+            std::lock_guard<std::mutex> lock(doneMu_);
+            ++rerouted_;
+            continue;
+        }
+        failRequest(std::move(p));
+        return;
+    }
+}
+
+void
+ShardRouter::submit(RouterRequest req, ResponseFn done)
+{
+    snap_assert(done != nullptr, "submit with a null callback");
+    auto p = std::make_unique<PendingRoute>();
+    p->frame.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    p->frame.sessionId = std::move(req.sessionId);
+    p->frame.timeoutMs = req.timeoutMs;
+    p->frame.rngSeed = req.rngSeed;
+    p->frame.prog = std::move(req.prog);
+    p->stateless = p->frame.sessionId.empty();
+    p->routeKey = p->stateless ? p->frame.prog.contentHash()
+                               : fnv1a64(p->frame.sessionId);
+    p->done = std::move(done);
+
+    {
+        // Epoch-swap gate: requests arriving during a swap are held
+        // here (not dropped, not answered early) until the flip
+        // completes.  Count them as outstanding only once admitted,
+        // so the swap's drain() cannot wait on work parked at the
+        // gate it controls.
+        std::unique_lock<std::mutex> gate(dispatchMu_);
+        swapCv_.wait(gate, [&] { return !swapInProgress_; });
+        std::lock_guard<std::mutex> lock(doneMu_);
+        ++outstanding_;
+    }
+    dispatch(std::move(p));
+}
+
+void
+ShardRouter::noteDone()
+{
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        snap_assert(outstanding_ > 0, "router noteDone underflow");
+        --outstanding_;
+        if (outstanding_ > 0)
+            return;
+    }
+    allDone_.notify_all();
+}
+
+void
+ShardRouter::drain()
+{
+    std::unique_lock<std::mutex> lock(doneMu_);
+    allDone_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+bool
+ShardRouter::sendControl(std::uint32_t idx, FrameType type,
+                         const std::vector<std::uint8_t> &payload,
+                         double timeout_ms)
+{
+    Shard &shard = *shards_[idx];
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (!shard.up)
+            return false;
+        shard.controlReady = false;
+    }
+    {
+        std::lock_guard<std::mutex> wlock(shard.writeMu);
+        if (!writeFrame(shard.fd, type, payload))
+            return false;
+    }
+    std::unique_lock<std::mutex> lock(shard.mu);
+    const bool got = shard.controlCv.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::duration<double, std::milli>(timeout_ms)),
+        [&] { return shard.controlReady || !shard.up; });
+    return got && shard.controlReady;
+}
+
+bool
+ShardRouter::probeShard(std::uint32_t idx, std::string &err)
+{
+    snap_assert(idx < shards_.size(), "probe of shard %u of %zu", idx,
+                shards_.size());
+    Shard &shard = *shards_[idx];
+    HealthFrame probe;
+    probe.nonce = nextId_.fetch_add(1, std::memory_order_relaxed) |
+                  (1ull << 63);
+    WireWriter w;
+    encodeHealth(w, probe);
+    if (!sendControl(idx, FrameType::Health, w.bytes(), 5000.0)) {
+        err = formatString("shard %u did not answer the health probe",
+                           idx);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.healthAck.nonce != probe.nonce) {
+        err = formatString("shard %u echoed a stale nonce", idx);
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+bool
+ShardRouter::swapEpoch(const std::string &image_path, std::string &err)
+{
+    // Close the gate: new submits hold at the gate, then drain what
+    // is already in flight — the barrier half of the swap.
+    {
+        std::unique_lock<std::mutex> gate(dispatchMu_);
+        swapCv_.wait(gate, [&] { return !swapInProgress_; });
+        swapInProgress_ = true;
+    }
+    drain();
+
+    const std::uint64_t next_epoch = epoch_ + 1;
+    bool all_ok = true;
+    std::uint64_t new_fp = 0;
+    err.clear();
+
+    // Prepare: every live shard loads + validates + re-stamps, and
+    // must positively ack before anyone flips.
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        if (!shardHealthy(i))
+            continue;
+        PrepareFrame prep;
+        prep.epoch = next_epoch;
+        prep.imagePath = image_path;
+        WireWriter w;
+        encodePrepare(w, prep);
+        // Re-stamping a replica pool is seconds of work at most;
+        // minutes means the shard is wedged.
+        if (!sendControl(i, FrameType::Prepare, w.bytes(),
+                         120000.0)) {
+            err = formatString("shard %u did not ack prepare", i);
+            all_ok = false;
+            break;
+        }
+        std::lock_guard<std::mutex> lock(shards_[i]->mu);
+        if (!shards_[i]->prepareAck.ok) {
+            err = formatString(
+                "shard %u refused the new image: %s", i,
+                shards_[i]->prepareAck.detail.c_str());
+            all_ok = false;
+            break;
+        }
+    }
+
+    if (all_ok) {
+        EpochFrame commit;
+        commit.epoch = next_epoch;
+        WireWriter w;
+        encodeEpoch(w, commit);
+        for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+            if (!shardHealthy(i))
+                continue;
+            if (!sendControl(i, FrameType::Commit, w.bytes(),
+                             30000.0)) {
+                // The shard re-stamped but its commit-ack was lost;
+                // its advertised epoch lags until the next probe.
+                snap_warn("router: shard %u did not ack commit", i);
+            }
+        }
+        epoch_ = next_epoch;
+        // Fingerprints converged to the new image; refresh ours from
+        // any live shard's next health ack lazily — or proactively:
+        for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+            std::string probe_err;
+            if (shardHealthy(i) && probeShard(i, probe_err)) {
+                std::lock_guard<std::mutex> lock(shards_[i]->mu);
+                new_fp = shards_[i]->healthAck.fingerprint;
+                break;
+            }
+        }
+        if (new_fp != 0)
+            fingerprint_ = new_fp;
+    }
+
+    {
+        std::lock_guard<std::mutex> gate(dispatchMu_);
+        swapInProgress_ = false;
+    }
+    swapCv_.notify_all();
+    return all_ok;
+}
+
+void
+ShardRouter::shutdownShards()
+{
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        bool up;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            up = shard.up;
+        }
+        if (!up)
+            continue;
+        std::lock_guard<std::mutex> wlock(shard.writeMu);
+        writeFrame(shard.fd, FrameType::Shutdown, {});
+    }
+}
+
+} // namespace shard
+} // namespace snap

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ShardRouter: consistent-hash front door for N shard processes.
+ *
+ * Placement: stateless requests hash Program::contentHash onto the
+ * ring — identical queries always land on the same shard, which keeps
+ * that shard's lane-batch former fed; session requests hash the
+ * session id, so a session's marker state accumulates on exactly one
+ * shard.  Each shard connection has a bounded in-flight window;
+ * submit() blocks (backpressure) when the target window is full.
+ *
+ * Fault handling reuses the serving layer's typed statuses: a shard
+ * that drops its connection fails in-flight *session* requests with
+ * RequestStatus::Failed (their marker state died with the shard) and
+ * re-routes in-flight *stateless* requests to the next live shard on
+ * the ring (bounded by maxRetries); when every shard is down,
+ * requests are answered Failed, never silently dropped.
+ *
+ * Epoch hot-swap (swapEpoch) is a coordinated barrier: new dispatch
+ * pauses, all windows drain, every shard gets Prepare(epoch, path)
+ * and must positively ack (it has re-stamped its pool by then), then
+ * Commit flips the epoch and dispatch resumes.  Every request is
+ * served entirely before or entirely after the flip — zero wrong
+ * answers and zero drops under live traffic, which the shard bench
+ * and CI smoke assert.
+ */
+
+#ifndef SNAP_SHARD_ROUTER_HH
+#define SNAP_SHARD_ROUTER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "shard/endpoint.hh"
+#include "shard/hash_ring.hh"
+#include "shard/protocol.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+struct RouterConfig
+{
+    /** Shard endpoints ("unix:/path" or "host:port"), ring order. */
+    std::vector<std::string> shards;
+    /** Virtual ring points per shard. */
+    std::uint32_t vnodes = 64;
+    /** Bounded in-flight window per shard; submit() blocks when the
+     *  target shard's window is full. */
+    std::uint32_t maxInflightPerShard = 64;
+    /** How long connect() waits for a booting shard to answer. */
+    double connectTimeoutMs = 15000.0;
+    /** Re-dispatches of a stateless request to the next live shard
+     *  after its shard died (sessions never migrate). */
+    std::uint32_t maxRetries = 2;
+    /** Require every shard to report the same .kbimg fingerprint at
+     *  connect (they must serve the same knowledge). */
+    bool requireUniformImage = true;
+};
+
+/** One query handed to the router (ids are assigned internally). */
+struct RouterRequest
+{
+    std::string sessionId;
+    Program prog;
+    double timeoutMs = 0.0;
+    std::uint64_t rngSeed = 0;
+};
+
+class ShardRouter
+{
+  public:
+    using ResponseFn = std::function<void(ResponseFrame &&)>;
+
+    explicit ShardRouter(RouterConfig cfg);
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /** Dial + handshake every shard.  @return false with detail on
+     *  version/fingerprint mismatch or an unreachable shard. */
+    bool connect(std::string &detail);
+
+    /**
+     * Route one request.  @p done fires from a router reader thread
+     * (or inline on immediate failure); it must not re-enter the
+     * router.  Blocks while the target shard's window is full or an
+     * epoch swap is in progress — requests are held, never dropped.
+     */
+    void submit(RouterRequest req, ResponseFn done);
+
+    /** Block until every submitted request has been answered. */
+    void drain();
+
+    /**
+     * Coordinated-barrier hot-swap to the .kbimg at @p image_path.
+     * Pauses dispatch, drains every shard, Prepares all (each shard
+     * re-stamps and acks), Commits, resumes.  @return false with
+     * @p err if any shard refuses; dispatch resumes either way.
+     */
+    bool swapEpoch(const std::string &image_path, std::string &err);
+
+    /** Probe one shard (nonce echo).  Updates its health flag. */
+    bool probeShard(std::uint32_t shard, std::string &err);
+
+    /** Send Shutdown to every live shard (they drain and exit). */
+    void shutdownShards();
+
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    /** Fingerprint agreed at connect (0 before connect). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+    std::uint64_t epoch() const { return epoch_; }
+    bool shardHealthy(std::uint32_t shard) const;
+
+    /** Requests answered by a re-dispatch after a shard died. */
+    std::uint64_t rerouteCount() const;
+
+  private:
+    struct PendingRoute
+    {
+        RequestFrame frame;
+        ResponseFn done;
+        bool stateless = true;
+        std::uint32_t attempts = 0;
+        std::uint64_t routeKey = 0;
+    };
+
+    /** One shard connection + its reader thread and window. */
+    struct Shard
+    {
+        Endpoint ep;
+        int fd = -1;
+        bool up = false;
+        std::mutex writeMu;
+        std::thread reader;
+
+        std::mutex mu;
+        std::condition_variable windowCv;
+        std::unordered_map<std::uint64_t,
+                           std::unique_ptr<PendingRoute>> pending;
+
+        /** One outstanding control op (health/prepare/commit) at a
+         *  time; acks land here. */
+        std::condition_variable controlCv;
+        bool controlReady = false;
+        HealthAckFrame healthAck;
+        PrepareAckFrame prepareAck;
+        EpochFrame commitAck;
+        FrameType controlType = FrameType::Health;
+    };
+
+    void readerMain(std::uint32_t idx);
+    /** Mark a shard dead and fail/re-route its in-flight work. */
+    void shardDown(std::uint32_t idx);
+    /** Pick the live owner for a key (ring walk over down shards). */
+    bool pickShard(std::uint64_t key, std::uint32_t &out);
+    void dispatch(std::unique_ptr<PendingRoute> p);
+    void failRequest(std::unique_ptr<PendingRoute> p);
+    void noteDone();
+    bool sendControl(std::uint32_t idx, FrameType type,
+                     const std::vector<std::uint8_t> &payload,
+                     double timeout_ms);
+
+    RouterConfig cfg_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::uint64_t fingerprint_ = 0;
+    std::uint64_t epoch_ = 0;
+
+    /** Wire-id allocator (never reused). */
+    std::atomic<std::uint64_t> nextId_{1};
+
+    /** Dispatch gate: held shared-style by submit (brief) and
+     *  exclusively across an epoch swap. */
+    std::mutex dispatchMu_;
+    bool swapInProgress_ = false;
+    std::condition_variable swapCv_;
+
+    /** Liveness map guarded by downMu_ (readers copy it). */
+    mutable std::mutex downMu_;
+    std::vector<bool> down_;
+
+    mutable std::mutex doneMu_;
+    std::condition_variable allDone_;
+    std::uint64_t outstanding_ = 0;
+    std::uint64_t rerouted_ = 0;
+
+    std::atomic<bool> closing_{false};
+};
+
+} // namespace shard
+} // namespace snap
+
+#endif // SNAP_SHARD_ROUTER_HH

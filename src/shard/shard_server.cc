@@ -1,0 +1,285 @@
+#include "shard/shard_server.hh"
+
+#include <sys/socket.h>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+ShardServer::ShardServer(KbImageFile kb, ShardServerConfig cfg)
+    : cfg_(std::move(cfg)), net_(std::move(kb.net))
+{
+    std::string detail;
+    if (!parseEndpoint(cfg_.listen, endpoint_, detail))
+        snap_fatal("shard listen endpoint: %s", detail.c_str());
+    engine_ = std::make_unique<serve::ServeEngine>(
+        net_, std::move(kb.image), cfg_.serve);
+    fingerprint_.store(kb.fingerprint, std::memory_order_release);
+}
+
+ShardServer::~ShardServer()
+{
+    stop();
+    // Reader threads exit once their fds are closed by stop().
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+bool
+ShardServer::bind(std::string &detail)
+{
+    listenFd_ = listenEndpoint(endpoint_, detail);
+    return listenFd_ >= 0;
+}
+
+void
+ShardServer::run()
+{
+    snap_assert(listenFd_ >= 0, "run() before bind()");
+    snap_inform("shard: serving %u nodes / %u clusters on %s "
+                "(fingerprint %016llx)",
+                engine_->sharedImage().numNodes(),
+                engine_->sharedImage().numClusters(),
+                endpoint_.toString().c_str(),
+                static_cast<unsigned long long>(fingerprint()));
+    for (;;) {
+        std::string detail;
+        int fd = acceptConnection(listenFd_, detail);
+        if (fd < 0) {
+            // stop() closed the listener; anything else is fatal to
+            // the accept loop but existing connections keep serving.
+            if (!stopping_.load(std::memory_order_acquire))
+                snap_warn("shard: accept failed: %s", detail.c_str());
+            break;
+        }
+        std::lock_guard<std::mutex> lock(connMu_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            closeFd(fd);
+            break;
+        }
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+    // Finish everything already admitted before returning, so a
+    // Shutdown-initiated exit never abandons an in-flight answer.
+    engine_->drain();
+}
+
+void
+ShardServer::stop()
+{
+    bool was = stopping_.exchange(true, std::memory_order_acq_rel);
+    if (was)
+        return;
+    // Closing the fds unblocks the accept loop and every reader.
+    std::lock_guard<std::mutex> lock(connMu_);
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+    }
+    for (int fd : connFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+ShardServer::serveConnection(int fd)
+{
+    // One write mutex per connection: engine workers deliver
+    // responses concurrently and frames must not interleave.
+    std::mutex write_mu;
+    for (;;) {
+        FrameType type;
+        std::vector<std::uint8_t> payload;
+        std::string detail;
+        if (!readFrame(fd, type, payload, detail)) {
+            if (!stopping_.load(std::memory_order_acquire) &&
+                detail != "connection closed")
+                snap_warn("shard: %s", detail.c_str());
+            break;
+        }
+        if (!handleFrame(fd, write_mu, type, payload))
+            break;
+    }
+    // Answers still in flight on this connection would write to a
+    // dead fd — harmless (send fails, response dropped), but drain
+    // first so the Pending callbacks never outlive write_mu.
+    engine_->drain();
+    closeFd(fd);
+}
+
+bool
+ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
+                         const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload.data(), payload.size());
+    switch (type) {
+      case FrameType::Hello: {
+        HelloFrame hello;
+        if (!decodeHello(r, hello)) {
+            snap_warn("shard: malformed hello");
+            return false;
+        }
+        HelloAckFrame ack;
+        ack.version = protocolVersion;
+        ack.fingerprint = fingerprint();
+        ack.epoch = epoch();
+        ack.numNodes = engine_->sharedImage().numNodes();
+        ack.numClusters = engine_->sharedImage().numClusters();
+        WireWriter w;
+        encodeHelloAck(w, ack);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::HelloAck, w.bytes());
+      }
+      case FrameType::Request: {
+        RequestFrame frame;
+        if (!decodeRequest(r, frame)) {
+            // A peer that sends undecodable requests is broken;
+            // cut the connection rather than guess.
+            snap_warn("shard: malformed request frame");
+            return false;
+        }
+        handleRequest(fd, write_mu, std::move(frame));
+        return true;
+      }
+      case FrameType::Health: {
+        HealthFrame health;
+        if (!decodeHealth(r, health))
+            return false;
+        HealthAckFrame ack;
+        ack.nonce = health.nonce;
+        ack.epoch = epoch();
+        ack.fingerprint = fingerprint();
+        WireWriter w;
+        encodeHealthAck(w, ack);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::HealthAck, w.bytes());
+      }
+      case FrameType::Prepare: {
+        PrepareFrame prep;
+        if (!decodePrepare(r, prep))
+            return false;
+        handlePrepare(fd, write_mu, prep);
+        return true;
+      }
+      case FrameType::Commit: {
+        EpochFrame commit;
+        if (!decodeEpoch(r, commit))
+            return false;
+        epoch_.store(commit.epoch, std::memory_order_release);
+        WireWriter w;
+        encodeEpoch(w, commit);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::CommitAck, w.bytes());
+      }
+      case FrameType::Shutdown: {
+        stop();
+        return false;
+      }
+      default:
+        snap_warn("shard: unexpected %s frame",
+                  frameTypeName(type));
+        return false;
+    }
+}
+
+void
+ShardServer::handleRequest(int fd, std::mutex &write_mu,
+                           RequestFrame &&frame)
+{
+    serve::Request req;
+    req.sessionId = std::move(frame.sessionId);
+    req.prog = std::move(frame.prog);
+    req.timeoutMs = frame.timeoutMs;
+    req.rngSeed = frame.rngSeed;
+
+    const std::uint64_t wire_id = frame.id;
+    engine_->submit(
+        std::move(req),
+        [this, fd, &write_mu, wire_id](serve::Response &&resp) {
+            ResponseFrame out;
+            out.id = wire_id;
+            out.status = resp.status;
+            out.results = std::move(resp.results);
+            out.wallTicks = resp.wallTicks;
+            out.rngSeed = resp.rngSeed;
+            out.queueMs = resp.queueMs;
+            out.serviceMs = resp.serviceMs;
+            out.worker = resp.worker;
+            out.batchLanes = resp.batchLanes;
+            out.retries = resp.retries;
+            out.faultDetected = resp.faultDetected;
+            WireWriter w;
+            encodeResponse(w, out);
+            std::lock_guard<std::mutex> lock(write_mu);
+            if (!writeFrame(fd, FrameType::Response, w.bytes())) {
+                SNAP_LOG_EVERY_N(Warn, 64,
+                                 "shard: dropping response %llu "
+                                 "(peer gone)",
+                                 static_cast<unsigned long long>(
+                                     wire_id));
+            }
+        });
+}
+
+void
+ShardServer::handlePrepare(int fd, std::mutex &write_mu,
+                           const PrepareFrame &prep)
+{
+    PrepareAckFrame ack;
+    ack.epoch = prep.epoch;
+
+    // One swap at a time; the engine's own admission gate handles
+    // concurrency with request traffic.
+    std::lock_guard<std::mutex> swap_lock(swapMu_);
+
+    KbImageFile next;
+    std::string detail;
+    KbImgStatus status = loadKbImageFile(prep.imagePath, next, detail);
+    if (status != KbImgStatus::Ok) {
+        // Typed rejection: the old image keeps serving.
+        ack.ok = false;
+        ack.detail = formatString("%s: %s", kbImgStatusName(status),
+                                  detail.c_str());
+    } else {
+        std::uint64_t fp = next.fingerprint;
+        std::string err;
+        if (engine_->swapImage(next.net, std::move(next.image), err)) {
+            net_ = std::move(next.net);
+            fingerprint_.store(fp, std::memory_order_release);
+            ack.ok = true;
+            snap_inform("shard: prepared epoch %llu from '%s' "
+                        "(fingerprint %016llx)",
+                        static_cast<unsigned long long>(prep.epoch),
+                        prep.imagePath.c_str(),
+                        static_cast<unsigned long long>(fp));
+        } else {
+            ack.ok = false;
+            ack.detail = err;
+        }
+    }
+    if (!ack.ok) {
+        snap_warn("shard: prepare(%llu, '%s') refused: %s",
+                  static_cast<unsigned long long>(prep.epoch),
+                  prep.imagePath.c_str(), ack.detail.c_str());
+    }
+
+    WireWriter w;
+    encodePrepareAck(w, ack);
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!writeFrame(fd, FrameType::PrepareAck, w.bytes()))
+        snap_warn("shard: prepare-ack write failed");
+}
+
+} // namespace shard
+} // namespace snap

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ShardServer: one serving process of a sharded snapshard deployment.
+ *
+ * Wraps a ServeEngine (replica pool stamped from a deserialized
+ * .kbimg master — never recompiled) behind the shard protocol: an
+ * accept loop hands each connection to a reader thread that decodes
+ * frames, submits Request frames through the engine's callback
+ * delivery mode, and answers control frames inline.  Responses are
+ * written from engine worker threads as requests complete (serialized
+ * per connection), so a slow query never head-of-line-blocks the
+ * answers behind it.
+ *
+ * Epoch hot-swap: a Prepare frame names a .kbimg generation; the
+ * server bulk-loads and validates it (typed rejection on a corrupt
+ * file — the old image keeps serving), then ServeEngine::swapImage
+ * drains in-flight work and re-stamps every replica.  The positive
+ * PrepareAck is the router's barrier token; Commit flips the
+ * advertised epoch.  Sessions survive the swap (marker state is
+ * keyed by global node ids and the node count is checked).
+ */
+
+#ifndef SNAP_SHARD_SHARD_SERVER_HH
+#define SNAP_SHARD_SHARD_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/kb_image_io.hh"
+#include "serve/engine.hh"
+#include "shard/endpoint.hh"
+#include "shard/protocol.hh"
+
+namespace snap
+{
+namespace shard
+{
+
+struct ShardServerConfig
+{
+    /** Listen endpoint ("unix:/path" or "host:port"). */
+    std::string listen;
+    /** Engine configuration (numClusters is overridden by the
+     *  image's partition). */
+    serve::ServeConfig serve;
+};
+
+class ShardServer
+{
+  public:
+    /** Adopt a loaded .kbimg (network + compiled image).  The engine
+     *  stamps its replica pool from the image — no recompilation. */
+    ShardServer(KbImageFile kb, ShardServerConfig cfg);
+    ~ShardServer();
+
+    ShardServer(const ShardServer &) = delete;
+    ShardServer &operator=(const ShardServer &) = delete;
+
+    /** Bind + listen.  @return false with @p detail on failure. */
+    bool bind(std::string &detail);
+
+    /**
+     * Accept/serve until a Shutdown frame arrives or stop() is
+     * called.  Blocks; run it on a dedicated thread for in-process
+     * use.  Connections are served concurrently.
+     */
+    void run();
+
+    /** Unblock run() (idempotent; callable from any thread). */
+    void stop();
+
+    std::uint64_t epoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    std::uint64_t fingerprint() const
+    {
+        return fingerprint_.load(std::memory_order_acquire);
+    }
+
+    serve::ServeEngine &engine() { return *engine_; }
+
+  private:
+    void serveConnection(int fd);
+    /** @return false to drop the connection. */
+    bool handleFrame(int fd, std::mutex &write_mu, FrameType type,
+                     const std::vector<std::uint8_t> &payload);
+    void handleRequest(int fd, std::mutex &write_mu,
+                       RequestFrame &&frame);
+    void handlePrepare(int fd, std::mutex &write_mu,
+                       const PrepareFrame &frame);
+
+    ShardServerConfig cfg_;
+    Endpoint endpoint_;
+    /** Current generation's logical network (swapped with the
+     *  image under swapMu_). */
+    SemanticNetwork net_;
+    std::unique_ptr<serve::ServeEngine> engine_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> fingerprint_{0};
+    /** Serializes Prepare handling (one swap at a time). */
+    std::mutex swapMu_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::mutex connMu_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+};
+
+} // namespace shard
+} // namespace snap
+
+#endif // SNAP_SHARD_SHARD_SERVER_HH

@@ -2,10 +2,23 @@
  * @file
  * snapkb-gen — generate synthetic knowledge bases in .snapkb format.
  *
- *   snapkb-gen tree <nodes> [branching] > kb.snapkb
- *   snapkb-gen random <nodes> <avg-fanout> <rel-types> [seed]
- *   snapkb-gen linguistic <nonlexical-nodes> [vocabulary] [seed]
- *   snapkb-gen chain <length>
+ *   snapkb-gen tree <nodes> [branching] [options]
+ *   snapkb-gen random <nodes> <avg-fanout> <rel-types> [seed] [options]
+ *   snapkb-gen linguistic <nonlexical-nodes> [vocabulary] [seed] [opts]
+ *   snapkb-gen chain <length> [options]
+ *
+ * Options:
+ *   --out FILE       write to FILE instead of stdout.  tree, random,
+ *                    and chain stream the text incrementally (O(1)
+ *                    memory), so million-node KBs never materialize a
+ *                    SemanticNetwork.
+ *   --pack           write a binary .kbimg snapshot instead of text:
+ *                    the KB is compiled (partitioned + relation
+ *                    tables) and serialized via arch/kb_image_io.
+ *                    Requires --out; bounded by machine capacity.
+ *   --clusters N     (--pack) replica array size, 1..32 (default 16)
+ *   --partition P    (--pack) seq|rr|sem allocation (default sem)
+ *   --relax-capacity (--pack) lift the 1024 nodes/cluster cap
  *
  * The linguistic generator builds the paper's Fig. 1 layering
  * (lexical layer, syntactic/semantic constraints, concept sequences
@@ -13,19 +26,26 @@
  *
  * Exit status: 0 on success, 1 on user error (bad parameter values —
  * the snap_fatal path), 2 on a command-line usage error.  This
- * convention is shared by snapvm, snapsh, and snapserve.
+ * convention is shared by snapvm, snapsh, snapserve, snapkb-pack,
+ * and snaprouter.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "arch/config.hh"
+#include "arch/kb_image.hh"
+#include "arch/kb_image_io.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "kb/kb_io.hh"
 #include "nlu/kb_factory.hh"
 #include "workload/kb_gen.hh"
+#include "workload/kb_stream.hh"
 
 using namespace snap;
 
@@ -36,12 +56,21 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-        "usage: snapkb-gen tree <nodes> [branching]\n"
+        "usage: snapkb-gen tree <nodes> [branching] [options]\n"
         "       snapkb-gen random <nodes> <avg-fanout> <rel-types> "
-        "[seed]\n"
-        "       snapkb-gen linguistic <nonlexical> [vocab] [seed]\n"
-        "       snapkb-gen chain <length>\n"
-        "writes .snapkb text to stdout\n");
+        "[seed] [options]\n"
+        "       snapkb-gen linguistic <nonlexical> [vocab] [seed] "
+        "[options]\n"
+        "       snapkb-gen chain <length> [options]\n"
+        "options:\n"
+        "  --out FILE        write to FILE (tree/random/chain "
+        "stream incrementally)\n"
+        "  --pack            write a binary .kbimg snapshot "
+        "(requires --out)\n"
+        "  --clusters N      (--pack) clusters 1..32 (default 16)\n"
+        "  --partition P     (--pack) seq|rr|sem (default sem)\n"
+        "  --relax-capacity  (--pack) lift the nodes/cluster cap\n"
+        "writes .snapkb text to stdout when --out is absent\n");
     std::exit(2);
 }
 
@@ -56,33 +85,134 @@ argInt(int argc, char **argv, int i, long long fallback)
     return v;
 }
 
+struct Options
+{
+    std::string outPath;
+    bool pack = false;
+    MachineConfig machine = MachineConfig::paperSetup();
+};
+
+/** Split flags (from the first "--" argument on) from positionals. */
+Options
+parseOptions(int &argc, char **argv)
+{
+    Options opt;
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--out") {
+            opt.outPath = next();
+        } else if (arg == "--pack") {
+            opt.pack = true;
+        } else if (arg == "--clusters") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 32)
+                usage();
+            opt.machine.numClusters =
+                static_cast<std::uint32_t>(n);
+        } else if (arg == "--partition") {
+            std::string p = next();
+            if (p == "seq")
+                opt.machine.partition = PartitionStrategy::Sequential;
+            else if (p == "rr")
+                opt.machine.partition = PartitionStrategy::RoundRobin;
+            else if (p == "sem")
+                opt.machine.partition = PartitionStrategy::Semantic;
+            else
+                usage();
+        } else if (arg == "--relax-capacity") {
+            opt.machine.maxNodesPerCluster = capacity::maxNodes;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        } else {
+            argv[keep++] = argv[i];
+        }
+    }
+    argc = keep;
+    if (opt.pack && opt.outPath.empty()) {
+        std::fprintf(stderr, "--pack requires --out FILE\n");
+        usage();
+    }
+    return opt;
+}
+
+/** Emit a fully built network as text or as a packed .kbimg. */
+void
+emitNetwork(SemanticNetwork net, const Options &opt)
+{
+    if (opt.pack) {
+        KbImage image(net, opt.machine);
+        saveKbImageFile(net, image, opt.machine.partition,
+                        opt.outPath);
+        return;
+    }
+    if (opt.outPath.empty()) {
+        saveNetwork(net, std::cout);
+        return;
+    }
+    saveNetworkFile(net, opt.outPath);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    Options opt = parseOptions(argc, argv);
     if (argc < 3)
         usage();
     std::string kind = argv[1];
 
+    // Streaming text output: only meaningful without --pack (packing
+    // needs the compiled form, which needs the network in memory).
+    std::ofstream stream_file;
+    std::ostream *stream_os = nullptr;
+    if (!opt.pack) {
+        if (opt.outPath.empty()) {
+            stream_os = &std::cout;
+        } else {
+            stream_file.open(opt.outPath);
+            if (!stream_file)
+                snap_fatal("cannot open '%s' for writing",
+                           opt.outPath.c_str());
+            stream_os = &stream_file;
+        }
+    }
+
     if (kind == "tree") {
-        auto nodes = static_cast<std::uint32_t>(
+        auto nodes = static_cast<std::uint64_t>(
             argInt(argc, argv, 2, 0));
         auto branching = static_cast<std::uint32_t>(
             argInt(argc, argv, 3, 4));
-        saveNetwork(makeTreeKb(nodes, branching), std::cout);
+        if (stream_os)
+            streamTreeKb(nodes, branching, *stream_os);
+        else
+            emitNetwork(makeTreeKb(static_cast<std::uint32_t>(nodes),
+                                   branching),
+                        opt);
     } else if (kind == "random") {
         if (argc < 5)
             usage();
-        auto nodes = static_cast<std::uint32_t>(
+        auto nodes = static_cast<std::uint64_t>(
             argInt(argc, argv, 2, 0));
         double fanout = std::atof(argv[3]);
         auto rels = static_cast<std::uint32_t>(
             argInt(argc, argv, 4, 2));
         auto seed = static_cast<std::uint64_t>(
             argInt(argc, argv, 5, 42));
-        saveNetwork(makeRandomKb(nodes, fanout, rels, seed),
-                    std::cout);
+        if (stream_os)
+            streamRandomKb(nodes, fanout, rels, seed, *stream_os);
+        else
+            emitNetwork(makeRandomKb(static_cast<std::uint32_t>(nodes),
+                                     fanout, rels, seed),
+                        opt);
     } else if (kind == "linguistic") {
         LinguisticKbParams params;
         params.nonlexicalNodes = static_cast<std::uint32_t>(
@@ -92,13 +222,26 @@ main(int argc, char **argv)
         params.seed = static_cast<std::uint64_t>(
             argInt(argc, argv, 4, 42));
         LinguisticKb kb(params);
-        saveNetwork(kb.net(), std::cout);
+        if (stream_os)
+            saveNetwork(kb.net(), *stream_os);
+        else
+            emitNetwork(kb.net(), opt);
     } else if (kind == "chain") {
-        auto length = static_cast<std::uint32_t>(
+        auto length = static_cast<std::uint64_t>(
             argInt(argc, argv, 2, 0));
-        saveNetwork(makeChainKb(length), std::cout);
+        if (stream_os)
+            streamChainKb(length, *stream_os);
+        else
+            emitNetwork(makeChainKb(static_cast<std::uint32_t>(length)),
+                        opt);
     } else {
         usage();
+    }
+
+    if (stream_file.is_open()) {
+        stream_file.close();
+        if (!stream_file)
+            snap_fatal("write error on '%s'", opt.outPath.c_str());
     }
     return 0;
 }

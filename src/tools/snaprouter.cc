@@ -1,0 +1,355 @@
+/**
+ * @file
+ * snaprouter — consistent-hash front door for sharded snapserve.
+ *
+ *   snaprouter <kb.snapkb|kb.kbimg> <requests.txt> --shard EP
+ *              [--shard EP ...] [options]
+ *     --shard ENDPOINT    one shard worker ("unix:/path" or
+ *                         "host:port"); repeat per shard
+ *     --vnodes N          virtual ring points per shard (default 64)
+ *     --window N          max in-flight requests per shard
+ *                         (default 64)
+ *     --retries N         stateless re-dispatches after a shard
+ *                         death (default 2)
+ *     --timeout-ms X      per-request queue deadline on the shard
+ *     --seed N            base of the per-request seed chain
+ *     --connect-ms X      how long to wait for booting shards
+ *     --swap-epoch SPEC   hot-swap the KB mid-run: "FILE@K" swaps
+ *                         every shard to the .kbimg FILE after the
+ *                         K-th request has been submitted (in-flight
+ *                         traffic drains first; zero wrong answers)
+ *     --answers-out FILE  write the canonical answer text (same
+ *                         format as snapserve --answers-out)
+ *     --shutdown          send Shutdown to every shard when done
+ *     --quiet             suppress per-request result lines
+ *
+ * The request file format is snapserve's.  The router needs the same
+ * knowledge base the shards serve only to assemble programs and to
+ * print symbolic names; the compiled tables live in the shards.
+ *
+ * Stateless requests are hashed by Program::contentHash, sessions by
+ * session id — a session's marker state accumulates on exactly one
+ * shard.  See docs/sharding.md for the wire protocol and the epoch
+ * state machine.
+ *
+ * Exit status: 0 on success (all requests answered Ok), 1 on user
+ * error or any non-Ok answer / failed swap, 2 on a usage error or a
+ * corrupt .kbimg.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/kb_image_io.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "isa/assembler.hh"
+#include "kb/kb_io.hh"
+#include "runtime/validate.hh"
+#include "shard/answers.hh"
+#include "shard/router.hh"
+
+using namespace snap;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: snaprouter <kb> <requests.txt> --shard EP "
+        "[--shard EP ...] [options]\n"
+        "  --shard ENDPOINT    a shard worker (repeatable)\n"
+        "  --vnodes N          ring points per shard (default 64)\n"
+        "  --window N          max in-flight per shard (default 64)\n"
+        "  --retries N         stateless re-dispatch budget "
+        "(default 2)\n"
+        "  --timeout-ms X      per-request deadline, host ms\n"
+        "  --seed N            base request-seed chain\n"
+        "  --connect-ms X      shard boot wait (default 15000)\n"
+        "  --swap-epoch FILE@K hot-swap to FILE after K submits\n"
+        "  --answers-out FILE  write canonical answer text\n"
+        "  --shutdown          send Shutdown to shards when done\n"
+        "  --quiet             suppress per-request lines\n");
+    std::exit(2);
+}
+
+[[noreturn]] void
+usageError(const char *msg)
+{
+    std::fprintf(stderr, "snaprouter: %s\n", msg);
+    std::exit(2);
+}
+
+struct RequestSpec
+{
+    std::string sessionId;
+    std::string progPath;
+};
+
+std::string
+dirOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+std::vector<RequestSpec>
+parseRequestFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        snap_fatal("cannot open request file '%s'", path.c_str());
+    std::string base = dirOf(path);
+    std::vector<RequestSpec> specs;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::vector<std::string> tok = tokenize(body);
+        RequestSpec spec;
+        if (tok.size() == 2 && tok[0] == "query") {
+            spec.progPath = tok[1];
+        } else if (tok.size() == 3 && tok[0] == "session") {
+            spec.sessionId = tok[1];
+            spec.progPath = tok[2];
+        } else {
+            snap_fatal("%s:%d: expected 'query <prog>' or "
+                       "'session <id> <prog>', got '%s'",
+                       path.c_str(), lineno, body.c_str());
+        }
+        if (spec.progPath[0] != '/')
+            spec.progPath = base + "/" + spec.progPath;
+        specs.push_back(std::move(spec));
+    }
+    if (specs.empty())
+        snap_fatal("request file '%s' holds no requests",
+                   path.c_str());
+    return specs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string kb_path = argv[1];
+    std::string req_path = argv[2];
+
+    shard::RouterConfig cfg;
+    double timeout_ms = 0.0;
+    std::uint64_t base_seed = 1;
+    std::string answers_path;
+    std::string swap_path;
+    std::size_t swap_after = 0;
+    bool do_shutdown = false;
+    bool quiet = false;
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--shard") {
+            cfg.shards.push_back(next());
+        } else if (arg == "--vnodes") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 4096)
+                usageError("--vnodes must be 1..4096");
+            cfg.vnodes = static_cast<std::uint32_t>(n);
+        } else if (arg == "--window") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1)
+                usageError("--window must be >= 1");
+            cfg.maxInflightPerShard = static_cast<std::uint32_t>(n);
+        } else if (arg == "--retries") {
+            long long n;
+            if (!parseInt(next(), n) || n < 0 || n > 100)
+                usageError("--retries must be 0..100");
+            cfg.maxRetries = static_cast<std::uint32_t>(n);
+        } else if (arg == "--timeout-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                usageError("--timeout-ms must be >= 0");
+            timeout_ms = x;
+        } else if (arg == "--seed") {
+            long long n;
+            if (!parseInt(next(), n))
+                usageError("--seed must be an integer");
+            base_seed = static_cast<std::uint64_t>(n);
+        } else if (arg == "--connect-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                usageError("--connect-ms must be >= 0");
+            cfg.connectTimeoutMs = x;
+        } else if (arg == "--swap-epoch") {
+            std::string spec = next();
+            std::size_t at = spec.find_last_of('@');
+            long long k;
+            if (at == std::string::npos || at == 0 ||
+                !parseInt(spec.substr(at + 1), k) || k < 0)
+                usageError("--swap-epoch must be FILE@K");
+            swap_path = spec.substr(0, at);
+            swap_after = static_cast<std::size_t>(k);
+        } else if (arg == "--answers-out") {
+            answers_path = next();
+        } else if (arg == "--shutdown") {
+            do_shutdown = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (cfg.shards.empty())
+        usageError("at least one --shard endpoint is required");
+
+    // The router's copy of the KB exists for symbol resolution only.
+    SemanticNetwork net;
+    if (isKbImageFile(kb_path)) {
+        KbImageFile kbf;
+        std::string detail;
+        KbImgStatus status = loadKbImageFile(kb_path, kbf, detail);
+        if (status != KbImgStatus::Ok) {
+            std::fprintf(stderr, "snaprouter: %s: %s (%s)\n",
+                         kb_path.c_str(), kbImgStatusName(status),
+                         detail.c_str());
+            return 2;
+        }
+        net = std::move(kbf.net);
+    } else {
+        net = loadNetworkFile(kb_path);
+    }
+
+    std::vector<RequestSpec> specs = parseRequestFile(req_path);
+    std::map<std::string, Program> progs;
+    for (const RequestSpec &s : specs) {
+        if (progs.count(s.progPath))
+            continue;
+        Program prog = assembleFile(s.progPath, net);
+        auto violations = validateProgram(prog);
+        for (const auto &v : violations)
+            snap_warn("%s: %s", s.progPath.c_str(),
+                      v.message.c_str());
+        progs.emplace(s.progPath, std::move(prog));
+    }
+
+    shard::ShardRouter router(cfg);
+    std::string detail;
+    if (!router.connect(detail))
+        snap_fatal("cannot connect shard fleet: %s", detail.c_str());
+    std::printf("connected %u shard(s), image fingerprint %016llx, "
+                "epoch %llu\n",
+                router.numShards(),
+                static_cast<unsigned long long>(router.fingerprint()),
+                static_cast<unsigned long long>(router.epoch()));
+    for (std::uint32_t s = 0; s < router.numShards(); ++s) {
+        std::string err;
+        if (!router.probeShard(s, err))
+            snap_fatal("shard %u failed its health probe: %s", s,
+                       err.c_str());
+    }
+
+    // Responses land on router reader threads in completion order;
+    // park them by request index for ordered reporting.
+    std::vector<shard::ResponseFrame> responses(specs.size());
+    std::mutex resp_mu;
+
+    bool swap_ok = true;
+    std::string swap_err;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!swap_path.empty() && i == swap_after) {
+            // Live hot-swap: traffic submitted so far may still be
+            // in flight; swapEpoch drains it, re-stamps every shard
+            // from the new image, then resumes dispatch.
+            swap_ok = router.swapEpoch(swap_path, swap_err);
+            if (swap_ok) {
+                std::printf("epoch %llu live (swapped to %s after "
+                            "%zu submits)\n",
+                            static_cast<unsigned long long>(
+                                router.epoch()),
+                            swap_path.c_str(), i);
+            } else {
+                snap_warn("epoch swap failed: %s", swap_err.c_str());
+            }
+        }
+        shard::RouterRequest req;
+        req.sessionId = specs[i].sessionId;
+        req.prog = progs.at(specs[i].progPath);
+        req.timeoutMs = timeout_ms;
+        req.rngSeed = base_seed + i;
+        router.submit(std::move(req),
+                      [&responses, &resp_mu,
+                       i](shard::ResponseFrame &&resp) {
+                          std::lock_guard<std::mutex> lock(resp_mu);
+                          responses[i] = std::move(resp);
+                      });
+    }
+    if (!swap_path.empty() && swap_after >= specs.size()) {
+        swap_ok = router.swapEpoch(swap_path, swap_err);
+        if (!swap_ok)
+            snap_warn("epoch swap failed: %s", swap_err.c_str());
+    }
+    router.drain();
+
+    std::uint64_t ok = 0, bad = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const shard::ResponseFrame &resp = responses[i];
+        if (resp.status == serve::RequestStatus::Ok)
+            ++ok;
+        else
+            ++bad;
+        if (quiet)
+            continue;
+        std::string kind = specs[i].sessionId.empty()
+                               ? std::string("query")
+                               : "session " + specs[i].sessionId;
+        std::printf("request #%zu (%s): %s, sim %.1f us, queue "
+                    "%.3f ms, lanes %u\n",
+                    i, kind.c_str(),
+                    serve::requestStatusName(resp.status),
+                    ticksToUs(resp.wallTicks), resp.queueMs,
+                    resp.batchLanes);
+    }
+    std::printf("\nrouted %llu ok, %llu failed over %u shard(s), "
+                "%llu re-routed\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(bad),
+                router.numShards(),
+                static_cast<unsigned long long>(
+                    router.rerouteCount()));
+
+    if (!answers_path.empty()) {
+        std::ofstream os(answers_path);
+        if (!os)
+            snap_fatal("cannot open '%s' for writing",
+                       answers_path.c_str());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            shard::writeAnswer(os, net, i, specs[i].sessionId,
+                               responses[i].status,
+                               responses[i].results);
+        }
+        std::printf("wrote canonical answers to %s\n",
+                    answers_path.c_str());
+    }
+
+    if (do_shutdown)
+        router.shutdownShards();
+    return (bad == 0 && swap_ok) ? 0 : 1;
+}

@@ -3,7 +3,8 @@
  * snapserve — drive the concurrent query-serving engine from a
  * request file (see docs/serving.md for the architecture).
  *
- *   snapserve <kb.snapkb> <requests.txt> [options]
+ *   snapserve <kb.snapkb|kb.kbimg> <requests.txt> [options]
+ *   snapserve <kb.snapkb|kb.kbimg> --listen <endpoint> [options]
  *     --workers N           worker replicas (default 2)
  *     --threads N           host threads per worker machine
  *     --queue N             admission queue capacity (default 256)
@@ -38,6 +39,19 @@
  *                           quarantined and re-stamped (0 = never)
  *     --shed-threshold N    engine-wide consecutive faults before
  *                           stateless load is shed (0 = never)
+ *     --listen ENDPOINT     shard mode: serve the shard wire protocol
+ *                           on "unix:/path" or "host:port" until a
+ *                           Shutdown frame arrives (no request file;
+ *                           see docs/sharding.md)
+ *     --answers-out FILE    write the canonical answer text (status +
+ *                           results by name) for diffing against a
+ *                           snaprouter run over the same requests
+ *
+ * The knowledge base may be .snapkb text or a binary .kbimg snapshot
+ * (sniffed by magic).  A .kbimg is bulk-loaded into the compiled
+ * tables — replica stamping starts from the deserialized image, with
+ * no re-partitioning or recompilation — and a corrupt one exits with
+ * status 2 and the typed KbImgStatus name.
  *
  * Request file format (line oriented, '#' comments):
  *
@@ -62,6 +76,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/kb_image_io.hh"
 #include "common/logging.hh"
 #include "common/metrics_registry.hh"
 #include "common/strutil.hh"
@@ -72,6 +87,8 @@
 #include "runtime/snapshot.hh"
 #include "runtime/validate.hh"
 #include "serve/engine.hh"
+#include "shard/answers.hh"
+#include "shard/shard_server.hh"
 
 using namespace snap;
 
@@ -82,7 +99,10 @@ void
 usage()
 {
     std::fprintf(stderr,
-        "usage: snapserve <kb.snapkb> <requests.txt> [options]\n"
+        "usage: snapserve <kb.snapkb|kb.kbimg> <requests.txt> "
+        "[options]\n"
+        "       snapserve <kb.snapkb|kb.kbimg> --listen <endpoint> "
+        "[options]\n"
         "  --workers N            worker replicas (default 2)\n"
         "  --threads N            host threads per worker machine "
         "(1..64, default 1)\n"
@@ -108,7 +128,10 @@ usage()
         "  --max-retries N        retries after a detected fault\n"
         "  --retry-backoff X      base retry backoff, host ms\n"
         "  --quarantine N         replica quarantine threshold\n"
-        "  --shed-threshold N     fault-storm shedding threshold\n");
+        "  --shed-threshold N     fault-storm shedding threshold\n"
+        "  --listen ENDPOINT      shard mode (unix:/path or "
+        "host:port)\n"
+        "  --answers-out FILE     write canonical answer text\n");
     std::exit(2);
 }
 
@@ -184,7 +207,14 @@ main(int argc, char **argv)
     if (argc < 3)
         usage();
     std::string kb_path = argv[1];
-    std::string req_path = argv[2];
+    // The request file is positional; shard mode (--listen) has no
+    // request file, so argv[2] may already be an option.
+    std::string req_path;
+    int opt_start = 2;
+    if (argv[2][0] != '-') {
+        req_path = argv[2];
+        opt_start = 3;
+    }
 
     serve::ServeConfig cfg;
     cfg.machine = MachineConfig::paperSetup();
@@ -199,8 +229,10 @@ main(int argc, char **argv)
     bool fault_seed_set = false;
     double fault_rate = 0.0;
     std::string fault_spec_path;
+    std::string listen_ep;
+    std::string answers_path;
 
-    for (int i = 3; i < argc; ++i) {
+    for (int i = opt_start; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (++i >= argc)
@@ -307,6 +339,10 @@ main(int argc, char **argv)
             trace_categories = next();
         } else if (arg == "--sessions-out") {
             sessions_dir = next();
+        } else if (arg == "--listen") {
+            listen_ep = next();
+        } else if (arg == "--answers-out") {
+            answers_path = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -316,10 +352,65 @@ main(int argc, char **argv)
         }
     }
 
-    SemanticNetwork net = loadNetworkFile(kb_path);
-    std::printf("loaded %s: %u nodes, %llu links\n", kb_path.c_str(),
-                net.numNodes(),
-                static_cast<unsigned long long>(net.numLinks()));
+    if (listen_ep.empty() && req_path.empty())
+        usage();
+
+    // The KB may be .snapkb text or a binary .kbimg snapshot; sniff
+    // by magic.  A corrupt snapshot is a typed rejection mapped onto
+    // exit status 2 (the convention the .kbimg tests gate on).
+    SemanticNetwork net;
+    std::unique_ptr<KbImage> image;
+    std::uint64_t image_fp = 0;
+    PartitionStrategy image_strategy = PartitionStrategy::Semantic;
+    if (isKbImageFile(kb_path)) {
+        KbImageFile kbf;
+        std::string detail;
+        KbImgStatus status = loadKbImageFile(kb_path, kbf, detail);
+        if (status != KbImgStatus::Ok) {
+            std::fprintf(stderr, "snapserve: %s: %s (%s)\n",
+                         kb_path.c_str(), kbImgStatusName(status),
+                         detail.c_str());
+            return 2;
+        }
+        net = std::move(kbf.net);
+        image = std::move(kbf.image);
+        image_fp = kbf.fingerprint;
+        image_strategy = kbf.strategy;
+        std::printf("loaded %s: %u nodes, %llu links, %u compiled "
+                    "clusters (fingerprint %016llx)\n",
+                    kb_path.c_str(), net.numNodes(),
+                    static_cast<unsigned long long>(net.numLinks()),
+                    image->numClusters(),
+                    static_cast<unsigned long long>(image_fp));
+    } else {
+        net = loadNetworkFile(kb_path);
+        std::printf("loaded %s: %u nodes, %llu links\n",
+                    kb_path.c_str(), net.numNodes(),
+                    static_cast<unsigned long long>(net.numLinks()));
+    }
+
+    if (!listen_ep.empty()) {
+        // Shard mode: hand the engine to the wire protocol and serve
+        // until a Shutdown frame or SIGTERM.  A text KB is compiled
+        // here once; a .kbimg is adopted as-is.
+        KbImageFile kbf;
+        if (!image)
+            image = std::make_unique<KbImage>(net, cfg.machine);
+        kbf.net = std::move(net);
+        kbf.image = std::move(image);
+        kbf.fingerprint = image_fp;
+        kbf.strategy = image_strategy;
+        shard::ShardServerConfig scfg;
+        scfg.listen = listen_ep;
+        scfg.serve = cfg;
+        shard::ShardServer server(std::move(kbf), scfg);
+        std::string detail;
+        if (!server.bind(detail))
+            snap_fatal("cannot listen on '%s': %s", listen_ep.c_str(),
+                       detail.c_str());
+        server.run();
+        return 0;
+    }
 
     std::vector<RequestSpec> specs = parseRequestFile(req_path);
 
@@ -370,10 +461,13 @@ main(int argc, char **argv)
         trace::start(mask);
     }
 
-    serve::ServeEngine engine(net, cfg);
+    // A deserialized .kbimg master is adopted directly — replicas
+    // are stamped from it without recompiling the network.
+    serve::ServeEngine engine(net, std::move(image), cfg);
     std::printf("engine: %u worker replicas x %u clusters, queue "
                 "capacity %zu\n",
-                engine.numWorkers(), cfg.machine.numClusters,
+                engine.numWorkers(),
+                engine.sharedImage().numClusters(),
                 cfg.queueCapacity);
     if (cfg.faults.any()) {
         std::printf("fault injection armed (seed %llu, max %u "
@@ -392,8 +486,11 @@ main(int argc, char **argv)
         futures.push_back(engine.submit(std::move(req)));
     }
 
+    std::vector<serve::Response> responses;
+    responses.reserve(futures.size());
     for (std::size_t i = 0; i < futures.size(); ++i) {
-        serve::Response resp = futures[i].get();
+        responses.push_back(futures[i].get());
+        const serve::Response &resp = responses.back();
         const RequestSpec &s = specs[i];
         std::string kind = s.sessionId.empty()
                                ? std::string("query")
@@ -432,6 +529,21 @@ main(int argc, char **argv)
     }
 
     engine.drain();
+
+    if (!answers_path.empty()) {
+        std::ofstream os(answers_path);
+        if (!os)
+            snap_fatal("cannot open '%s' for writing",
+                       answers_path.c_str());
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            shard::writeAnswer(os, net, i, specs[i].sessionId,
+                               responses[i].status,
+                               responses[i].results);
+        }
+        std::printf("wrote canonical answers to %s\n",
+                    answers_path.c_str());
+    }
+
     serve::MetricsSnapshot m = engine.metricsSnapshot();
     std::printf("\nserved %llu ok, %llu rejected, %llu timed out "
                 "(%.1f qps host, sim makespan %.1f us)\n",

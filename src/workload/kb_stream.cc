@@ -1,0 +1,100 @@
+#include "workload/kb_stream.hh"
+
+#include <ostream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "common/types.hh"
+
+namespace snap
+{
+
+namespace
+{
+
+/** Weight text exactly as saveNetwork() prints it. */
+std::string
+weightText(float w)
+{
+    return formatString("%.9g", static_cast<double>(w));
+}
+
+} // namespace
+
+void
+streamTreeKb(std::uint64_t num_nodes, std::uint32_t branching,
+             std::ostream &os)
+{
+    snap_assert(num_nodes >= 1 && branching >= 1,
+                "streamTreeKb(%llu,%u)",
+                static_cast<unsigned long long>(num_nodes), branching);
+    os << "snapkb 1\n";
+    for (std::uint64_t i = 0; i < num_nodes; ++i) {
+        os << "node n" << i << " " << (i == 0 ? "root" : "concept")
+           << "\n";
+    }
+    // saveNetwork() walks sources in id order and prints each node's
+    // links in insertion order; makeTreeKb inserts node i's is-a link
+    // at iteration i and parent->child includes links at each child's
+    // iteration, so per source: is-a first, then includes by child id.
+    for (std::uint64_t i = 0; i < num_nodes; ++i) {
+        if (i > 0)
+            os << "link n" << i << " is-a n" << (i - 1) / branching
+               << " 1\n";
+        const std::uint64_t first = i * branching + 1;
+        for (std::uint64_t c = first;
+             c < first + branching && c < num_nodes; ++c)
+            os << "link n" << i << " includes n" << c << " 1\n";
+    }
+}
+
+void
+streamRandomKb(std::uint64_t num_nodes, double avg_fanout,
+               std::uint32_t num_rel_types, std::uint64_t seed,
+               std::ostream &os)
+{
+    snap_assert(num_nodes >= 2 && num_rel_types >= 1,
+                "streamRandomKb(%llu,%u)",
+                static_cast<unsigned long long>(num_nodes),
+                num_rel_types);
+    os << "snapkb 1\n";
+    for (std::uint64_t i = 0; i < num_nodes; ++i)
+        os << "node n" << i << " concept\n";
+
+    // Replay makeRandomKb's Rng draw sequence exactly; every link is
+    // emitted the moment it would have been inserted, which is also
+    // its saveNetwork() output position (one source at a time).
+    Rng rng(seed);
+    for (std::uint64_t u = 0; u < num_nodes; ++u) {
+        std::uint32_t fan =
+            rng.truncExp(avg_fanout, capacity::relationSlotsPerNode);
+        for (std::uint32_t k = 0; k < fan; ++k) {
+            std::uint64_t v = rng.below(num_nodes);
+            if (v == u)
+                v = (v + 1) % num_nodes;
+            std::uint64_t rel = rng.below(num_rel_types);
+            float w = static_cast<float>(rng.uniform(0.1, 2.0));
+            os << "link n" << u << " r" << rel << " n" << v << " "
+               << weightText(w) << "\n";
+        }
+    }
+}
+
+void
+streamChainKb(std::uint64_t length, std::ostream &os,
+              const std::string &rel, float weight)
+{
+    snap_assert(length >= 1, "streamChainKb(%llu)",
+                static_cast<unsigned long long>(length));
+    os << "snapkb 1\n";
+    for (std::uint64_t i = 0; i < length; ++i)
+        os << "node n" << i << " concept\n";
+    const std::string w = weightText(weight);
+    for (std::uint64_t i = 0; i + 1 < length; ++i)
+        os << "link n" << i << " " << rel << " n" << (i + 1) << " "
+           << w << "\n";
+}
+
+} // namespace snap

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Streaming .snapkb text generators.
+ *
+ * The in-memory generators in workload/kb_gen build a SemanticNetwork
+ * and hand it to saveNetwork(); that materializes every node, link,
+ * and name before the first byte is written, which stops working at
+ * the million-node KBs the sharded serving layer targets (and which
+ * capacity::maxNodes would reject anyway).  These functions emit the
+ * identical byte stream directly — node lines, then per-source link
+ * lines in the same insertion order kb_gen would have produced — so
+ *
+ *     streamTreeKb(n, b, os)  ==  saveNetwork(makeTreeKb(n, b), os)
+ *
+ * byte for byte whenever n fits in memory (a unit test holds the
+ * generators to this), while arbitrarily large n streams in O(1)
+ * memory.
+ */
+
+#ifndef SNAP_WORKLOAD_KB_STREAM_HH
+#define SNAP_WORKLOAD_KB_STREAM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace snap
+{
+
+/** Stream the byte-identical text form of makeTreeKb(). */
+void streamTreeKb(std::uint64_t num_nodes, std::uint32_t branching,
+                  std::ostream &os);
+
+/** Stream the byte-identical text form of makeRandomKb().  Replays
+ *  the same seeded Rng call sequence, so the emitted links match the
+ *  in-memory generator draw for draw. */
+void streamRandomKb(std::uint64_t num_nodes, double avg_fanout,
+                    std::uint32_t num_rel_types, std::uint64_t seed,
+                    std::ostream &os);
+
+/** Stream the byte-identical text form of makeChainKb(). */
+void streamChainKb(std::uint64_t length, std::ostream &os,
+                   const std::string &rel = "next",
+                   float weight = 1.0f);
+
+} // namespace snap
+
+#endif // SNAP_WORKLOAD_KB_STREAM_HH

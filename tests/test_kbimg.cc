@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the binary .kbimg snapshot format: deterministic
+ * byte-exact round-trips, equal run results from a deserialized
+ * image, and typed rejection of truncated, corrupted, foreign-endian,
+ * and future-version files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/kb_image_io.hh"
+#include "arch/machine.hh"
+#include "isa/program.hh"
+#include "tests/test_helpers.hh"
+#include "workload/kb_gen.hh"
+
+namespace snap
+{
+namespace
+{
+
+/** Self-cleaning temp file path. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good()) << path;
+}
+
+Program
+countQuery(NodeId start, RelationType rel)
+{
+    Program prog;
+    RuleId rule = prog.addRule(PropRule::chain(rel));
+    prog.append(Instruction::searchNode(start, 0, 0.0f));
+    prog.append(Instruction::propagate(0, 1, rule,
+                                       MarkerFunc::Count));
+    prog.append(Instruction::barrier());
+    prog.append(Instruction::collectMarker(1));
+    return prog;
+}
+
+MachineConfig
+testConfig()
+{
+    MachineConfig cfg;
+    cfg.numClusters = 8;
+    cfg.perfNetEnabled = false;
+    return cfg;
+}
+
+TEST(KbImg, SaveIsDeterministicByteForByte)
+{
+    SemanticNetwork net = makeTreeKb(300, 4);
+    MachineConfig cfg = testConfig();
+    KbImage image(net, cfg);
+
+    std::ostringstream a, b;
+    ASSERT_TRUE(saveKbImage(net, image, cfg.partition, a));
+    ASSERT_TRUE(saveKbImage(net, image, cfg.partition, b));
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_GT(a.str().size(), 24u + 7u * 32u)
+        << "header + section table + payloads";
+}
+
+TEST(KbImg, RoundTripIsByteExactAndRunsIdentically)
+{
+    SemanticNetwork net = makeRandomKb(500, 6.0, 3, /*seed=*/7);
+    MachineConfig cfg = testConfig();
+    KbImage image(net, cfg);
+
+    TempFile f("roundtrip.kbimg");
+    saveKbImageFile(net, image, cfg.partition, f.path());
+    EXPECT_TRUE(isKbImageFile(f.path()));
+
+    KbImageFile loaded;
+    std::string detail;
+    ASSERT_EQ(loadKbImageFile(f.path(), loaded, detail),
+              KbImgStatus::Ok)
+        << detail;
+    EXPECT_EQ(loaded.strategy, cfg.partition);
+    EXPECT_NE(loaded.fingerprint, 0u);
+
+    // The logical network survives intact.
+    ASSERT_EQ(loaded.net.numNodes(), net.numNodes());
+    EXPECT_EQ(loaded.net.numLinks(), net.numLinks());
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        EXPECT_EQ(loaded.net.nodeName(n), net.nodeName(n));
+        EXPECT_EQ(loaded.net.color(n), net.color(n));
+    }
+
+    // Re-serializing the loaded image reproduces the file bit for
+    // bit: nothing was lost or reordered in flight.
+    std::ostringstream again;
+    ASSERT_TRUE(saveKbImage(loaded.net, *loaded.image,
+                            loaded.strategy, again));
+    EXPECT_EQ(again.str(), fileBytes(f.path()));
+
+    // A machine stamped from the deserialized image answers exactly
+    // like one stamped from the in-memory compile.
+    SnapMachine direct(cfg);
+    direct.loadKb(image);
+    SnapMachine from_file(cfg);
+    from_file.loadKb(*loaded.image);
+    Program q = countQuery(0, net.relationId("r0"));
+    RunResult a = direct.run(q);
+    RunResult b = from_file.run(q);
+    test::expectSameResults(a.results, b.results);
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+}
+
+TEST(KbImg, TruncationIsTypedRejection)
+{
+    SemanticNetwork net = makeTreeKb(120, 3);
+    MachineConfig cfg = testConfig();
+    KbImage image(net, cfg);
+    TempFile f("trunc.kbimg");
+    saveKbImageFile(net, image, cfg.partition, f.path());
+    const std::string whole = fileBytes(f.path());
+
+    KbImageFile out;
+    std::string detail;
+
+    // Shorter than the header: not even recognizably a .kbimg.
+    writeBytes(f.path(), whole.substr(0, 5));
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::BadMagic);
+
+    // Magic intact but the section table is cut off.
+    writeBytes(f.path(), whole.substr(0, 40));
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::Truncated);
+
+    // Header intact, payload cut off mid-section.
+    writeBytes(f.path(), whole.substr(0, whole.size() / 2));
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::Truncated);
+
+    // One byte short: the final section's size check must notice.
+    writeBytes(f.path(), whole.substr(0, whole.size() - 1));
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::Truncated);
+
+    EXPECT_EQ(loadKbImageFile(
+                  std::string(::testing::TempDir()) + "missing.kbimg",
+                  out, detail),
+              KbImgStatus::IoError);
+}
+
+TEST(KbImg, CorruptionIsTypedRejection)
+{
+    SemanticNetwork net = makeTreeKb(120, 3);
+    MachineConfig cfg = testConfig();
+    KbImage image(net, cfg);
+    TempFile f("corrupt.kbimg");
+    saveKbImageFile(net, image, cfg.partition, f.path());
+    const std::string whole = fileBytes(f.path());
+    const std::size_t table_end = 24 + 7 * 32;
+
+    KbImageFile out;
+    std::string detail;
+
+    // Flip one payload byte: the section checksum must catch it.
+    {
+        std::string bad = whole;
+        bad[table_end + bad.size() / 3] ^= 0x40;
+        writeBytes(f.path(), bad);
+        EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+                  KbImgStatus::ChecksumMismatch)
+            << detail;
+    }
+
+    // Bad magic.
+    {
+        std::string bad = whole;
+        bad[0] ^= 0xff;
+        writeBytes(f.path(), bad);
+        EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+                  KbImgStatus::BadMagic);
+        EXPECT_FALSE(isKbImageFile(f.path()));
+    }
+
+    // Future version field (u32 at offset 8).
+    {
+        std::string bad = whole;
+        bad[8] = 0x7f;
+        writeBytes(f.path(), bad);
+        EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+                  KbImgStatus::BadVersion);
+    }
+
+    // Foreign endian tag (u32 at offset 12).
+    {
+        std::string bad = whole;
+        std::swap(bad[12], bad[15]);
+        std::swap(bad[13], bad[14]);
+        writeBytes(f.path(), bad);
+        EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+                  KbImgStatus::BadEndian);
+    }
+
+    // The pristine file still loads after all that.
+    writeBytes(f.path(), whole);
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::Ok)
+        << detail;
+}
+
+TEST(KbImg, TextKbIsNotAnImage)
+{
+    TempFile f("plain.snapkb");
+    writeBytes(f.path(), "snapkb 1\nnode a concept\n");
+    EXPECT_FALSE(isKbImageFile(f.path()));
+    KbImageFile out;
+    std::string detail;
+    EXPECT_EQ(loadKbImageFile(f.path(), out, detail),
+              KbImgStatus::BadMagic);
+}
+
+TEST(KbImg, FingerprintTracksContent)
+{
+    MachineConfig cfg = testConfig();
+    SemanticNetwork a = makeTreeKb(120, 3);
+    SemanticNetwork b = makeTreeKb(121, 3);
+    KbImage ia(a, cfg), ib(b, cfg);
+    TempFile fa("fp_a.kbimg"), fb("fp_b.kbimg");
+    saveKbImageFile(a, ia, cfg.partition, fa.path());
+    saveKbImageFile(b, ib, cfg.partition, fb.path());
+
+    KbImageFile la, lb;
+    std::string detail;
+    ASSERT_EQ(loadKbImageFile(fa.path(), la, detail), KbImgStatus::Ok);
+    ASSERT_EQ(loadKbImageFile(fb.path(), lb, detail), KbImgStatus::Ok);
+    EXPECT_NE(la.fingerprint, lb.fingerprint)
+        << "different knowledge must not share a fingerprint";
+
+    // Same content -> same fingerprint, across separate compiles.
+    SemanticNetwork a2 = makeTreeKb(120, 3);
+    KbImage ia2(a2, cfg);
+    TempFile fa2("fp_a2.kbimg");
+    saveKbImageFile(a2, ia2, cfg.partition, fa2.path());
+    KbImageFile la2;
+    ASSERT_EQ(loadKbImageFile(fa2.path(), la2, detail),
+              KbImgStatus::Ok);
+    EXPECT_EQ(la.fingerprint, la2.fingerprint);
+}
+
+} // namespace
+} // namespace snap
