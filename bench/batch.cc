@@ -31,8 +31,18 @@
  *     genuinely shared, and per-lane PropagationStats must still
  *     equal the solo run exactly.  The curve is informational (host
  *     timing); the equality check is the gate.
+ *
+ *  4. **Wide-lane sweep** — the thousand-lane path: the machine
+ *     sweep continues past the single-word seam (128..1024 lanes,
+ *     where events/query keeps falling as 1/lanes), and the
+ *     functional kernel runs 64..1024 overlapping lanes under every
+ *     compiled + CPU-supported lane backend.  Exactness gates every
+ *     backend at every width (per-lane stats equal the one solo
+ *     oracle); the queries/sec floor at 1024 lanes gates only the
+ *     SIMD path — scalar is exempt from perf, never from exactness.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +53,7 @@
 
 #include "arch/machine.hh"
 #include "bench/bench_util.hh"
+#include "common/lane_backend.hh"
 #include "common/rng.hh"
 #include "runtime/lane_store.hh"
 #include "runtime/propagate.hh"
@@ -320,11 +331,58 @@ runFunctional(const SemanticNetwork &net, const PropRule &rule,
 }
 
 // ---------------------------------------------------------------
+// 4. Wide-lane sweep: 64..1024 lanes per backend.
+// ---------------------------------------------------------------
+
+struct WideRow
+{
+    const char *backend = "";
+    std::uint32_t lanes = 0;
+    double batchSec = 0.0;
+    bool exact = false;  // every lane's stats equal the solo oracle
+
+    double batchNsPerQuery() const
+    {
+        return batchSec * 1e9 / lanes;
+    }
+    double qps() const
+    {
+        return batchSec > 0.0 ? lanes / batchSec : 0.0;
+    }
+};
+
+/** One wide batch, overlapping sources (the batch former's state:
+ *  every lane is the same query), against the one solo oracle. */
+WideRow
+runWide(const SemanticNetwork &net, const PropRule &rule,
+        std::uint32_t lanes, const PropagationStats &oracle)
+{
+    LaneMarkerStore store(net.numNodes(), lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        store.set(0, 13, l, 0.0f, 13);
+
+    double t0 = now();
+    std::vector<PropagationStats> stats = propagateFunctionalBatch(
+        net, store, 0, 1, rule, MarkerFunc::AddWeight);
+    double t1 = now();
+
+    WideRow row;
+    row.backend = laneOps().name;
+    row.lanes = lanes;
+    row.batchSec = t1 - t0;
+    row.exact = true;
+    for (const PropagationStats &st : stats)
+        row.exact &= statsEqual(st, oracle);
+    return row;
+}
+
+// ---------------------------------------------------------------
 
 void
 writeJson(const std::vector<LaneRow> &machine_rows,
           const ServeRun &solo, const ServeRun &batched,
-          const std::vector<FuncRow> &func_rows)
+          const std::vector<FuncRow> &func_rows,
+          const std::vector<WideRow> &wide_rows)
 {
     FILE *f = std::fopen("BENCH_batch.json", "w");
     if (!f) {
@@ -379,6 +437,20 @@ writeJson(const std::vector<LaneRow> &machine_rows,
             r.soloNsPerQuery(), r.amortization(),
             i + 1 < func_rows.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f, "  \"wide_lane_sweep\": [\n");
+    for (std::size_t i = 0; i < wide_rows.size(); ++i) {
+        const WideRow &r = wide_rows[i];
+        std::fprintf(
+            f,
+            "    {\"backend\": \"%s\", \"lanes\": %u, "
+            "\"batch_ns_per_query\": %.0f, \"qps\": %.1f, "
+            "\"exact\": %s}%s\n",
+            r.backend, r.lanes, r.batchNsPerQuery(), r.qps(),
+            r.exact ? "true" : "false",
+            i + 1 < wide_rows.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_batch.json\n");
@@ -408,13 +480,17 @@ main(int argc, char **argv)
         "queries; answers stay bit-identical to solo while host "
         "events per query fall as 1/lanes");
 
-    // 1. Machine lane sweep.
+    // 1. Machine lane sweep — on past the single-word seam: the DES
+    // bill is still paid once per batch, so events/query keeps
+    // falling as 1/lanes all the way to 1024.
     Workload w = fig17Workload(4);
     const std::uint32_t sweep[] = {1, 2, 4, 8, 16, 32, 64};
+    const std::uint32_t machine_sweep[] = {1,  2,   4,   8,   16, 32,
+                                           64, 128, 256, 512, 1024};
     std::vector<LaneRow> machine_rows;
     std::printf("%8s %14s %18s %14s %12s\n", "lanes", "host_events",
                 "events_per_query", "us_per_query", "sim_us");
-    for (std::uint32_t lanes : sweep) {
+    for (std::uint32_t lanes : machine_sweep) {
         machine_rows.push_back(runLanes(w, lanes));
         const LaneRow &r = machine_rows.back();
         std::printf("%8u %14llu %18.1f %14.1f %12.1f\n", r.lanes,
@@ -501,7 +577,58 @@ main(int argc, char **argv)
     }
     std::printf("\n");
 
-    writeJson(machine_rows, solo, batched, func_rows);
+    // 4. Wide-lane sweep per backend.  Overlapping sources: every
+    // lane is the same query, so one solo run is the oracle for all
+    // 64..1024 of them.
+    MarkerStore wide_solo(rnet.numNodes());
+    wide_solo.set(0, 13, 0.0f, 13);
+    PropagationStats wide_oracle = propagateFunctional(
+        rnet, wide_solo, 0, 1, rule, MarkerFunc::AddWeight);
+
+    std::vector<LaneBackend> backends = {LaneBackend::Scalar};
+    for (LaneBackend b : {LaneBackend::Avx2, LaneBackend::Avx512})
+        if (laneBackendSupported(b))
+            backends.push_back(b);
+
+    const std::uint32_t wide_sweep[] = {64, 128, 256, 512, 1024};
+    std::vector<WideRow> wide_rows;
+    bool wide_exact = true;
+    double simd_qps_1024 = 0.0;
+    std::printf("%10s %8s %16s %12s\n", "backend", "lanes",
+                "batch_ns/query", "queries/s");
+    for (LaneBackend b : backends) {
+        std::string err;
+        if (!setLaneBackend(b, err)) {
+            std::fprintf(stderr, "lane backend: %s\n", err.c_str());
+            return 1;
+        }
+        for (std::uint32_t lanes : wide_sweep) {
+            wide_rows.push_back(
+                runWide(rnet, rule, lanes, wide_oracle));
+            const WideRow &r = wide_rows.back();
+            wide_exact &= r.exact;
+            if (b != LaneBackend::Scalar && r.lanes == 1024)
+                simd_qps_1024 = std::max(simd_qps_1024, r.qps());
+            std::printf("%10s %8u %16.0f %12.1f\n", r.backend,
+                        r.lanes, r.batchNsPerQuery(), r.qps());
+        }
+    }
+    {
+        std::string err;
+        setLaneBackend(LaneBackend::Auto, err);
+    }
+    const bool have_simd = backends.size() > 1;
+    std::printf("\n");
+
+    const LaneRow *m64 = nullptr, *m1024 = nullptr;
+    for (const LaneRow &r : machine_rows) {
+        if (r.lanes == 64)
+            m64 = &r;
+        if (r.lanes == 1024)
+            m1024 = &r;
+    }
+
+    writeJson(machine_rows, solo, batched, func_rows, wide_rows);
 
     bench::check(
         "per-lane answers bit-identical at every lane count",
@@ -520,5 +647,24 @@ main(int argc, char **argv)
     bench::check(
         "heterogeneous per-lane stats equal solo at every lane count",
         func_stats_match);
+    bench::check(
+        "machine events/query keeps falling past 64 lanes",
+        m64 && m1024 &&
+            m1024->eventsPerQuery() < m64->eventsPerQuery());
+    bench::check(
+        "wide lanes exact on every backend at 64..1024 lanes",
+        wide_exact);
+    if (have_simd) {
+        // Absolute floor, deliberately generous: the gate exists to
+        // catch the wide path collapsing (orders of magnitude), not
+        // to pin host-dependent timing.
+        bench::check(
+            "SIMD path sustains >= 50 queries/s at 1024 lanes",
+            simd_qps_1024 >= 50.0);
+    } else {
+        std::printf("note: no SIMD lane backend on this host; "
+                    "1024-lane qps gate skipped (scalar is exempt "
+                    "from perf gates, never from exactness)\n");
+    }
     return bench::finish();
 }

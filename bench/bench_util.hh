@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lane_backend.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/types.hh"
@@ -77,7 +78,9 @@ finish()
  *
  * Deliberately timestamp-free: CI byte-compares back-to-back runs of
  * the fault-tolerance bench, so everything here must be stable within
- * one build on one host.
+ * one build on one host.  "simd" records the widest lane backend the
+ * build + CPU can run (avx512|avx2|none), so perf numbers carry the
+ * capability they were measured under.
  */
 inline std::string
 jsonEnvelope()
@@ -89,8 +92,9 @@ jsonEnvelope()
     return formatString(
         "\"envelope\": {\"schema_version\": 1, "
         "\"git_sha\": \"%s\", \"build_type\": \"%s\", "
-        "\"hostname\": \"%s\"}",
-        SNAP_GIT_SHA, SNAP_BUILD_TYPE, host);
+        "\"hostname\": \"%s\", \"simd\": \"%s\"}",
+        SNAP_GIT_SHA, SNAP_BUILD_TYPE, host,
+        simdCapabilityString());
 }
 
 /** Least-squares slope of y over x. */

@@ -727,7 +727,8 @@ BatchRunResult
 SnapMachine::runBatch(const Program &prog, std::uint32_t lanes)
 {
     snap_assert(lanes >= 1 && lanes <= MultiBitVector::maxLanes,
-                "batch lanes %u out of 1..64", lanes);
+                "batch lanes %u out of 1..%u", lanes,
+                MultiBitVector::maxLanes);
 
     const std::uint64_t events_before = eventsProcessed();
     RunResult pilot = run(prog);

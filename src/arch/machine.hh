@@ -64,7 +64,8 @@ struct RunResult
 
 /**
  * Outcome of one lane-batched execution (SnapMachine::runBatch): up
- * to 64 same-program queries served by one simulated traversal.
+ * to MultiBitVector::maxLanes (2048) same-program queries served by
+ * one simulated traversal.
  *
  * Every lane is billed the full solo cost in *simulated* time — the
  * DES cost model charges lanes independently, so wallTicks is each
@@ -74,7 +75,7 @@ struct RunResult
  */
 struct BatchRunResult
 {
-    /** Lanes served (1..64). */
+    /** Lanes served (1..MultiBitVector::maxLanes). */
     std::uint32_t lanes = 0;
     /** Retrieval results of each lane (identical programs against
      *  identical state produce identical result sets). */
@@ -137,7 +138,8 @@ class SnapMachine
      * whole batch, and the per-lane answer (results and wallTicks)
      * is bit-identical to each lane's solo run at every lane count.
      * The per-lane equivalence ctest pins this for lane counts
-     * {1, 2, 7, 8, 33, 64}.
+     * spanning the row-word seams, {1, 2, 7, 8, 33, 64, 65, 127,
+     * 128, 512, 1024}.
      *
      * Like run(), entry marker state is the caller's: stateless
      * serving resets markers first.

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Scalar lane primitives + process-wide backend dispatch.
+ *
+ * The scalar table is the oracle: every SIMD backend must match it
+ * bit for bit (they compute the same boolean function, so the fuzz in
+ * tests/test_lane_batch.cc is really exercising dispatch and row
+ * geometry).  Dispatch is resolved once and cached; setLaneBackend()
+ * re-resolves so tools can pin a backend after parsing flags.
+ */
+
+#include "common/lane_backend.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace snap
+{
+
+namespace
+{
+
+// --- scalar primitives ----------------------------------------------------
+
+void
+scalarOrInto(std::uint64_t *dst, const std::uint64_t *src,
+             std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+void
+scalarAndInto(std::uint64_t *dst, const std::uint64_t *src,
+              std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+void
+scalarAndNotInto(std::uint64_t *dst, const std::uint64_t *src,
+                 std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+void
+scalarFill(std::uint64_t *dst, std::uint64_t value, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        dst[i] = value;
+}
+
+void
+scalarOrFetch(std::uint64_t *dst, const std::uint64_t *src,
+              std::uint64_t *prev, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        prev[i] = dst[i];
+        dst[i] |= src[i];
+    }
+}
+
+std::uint64_t
+scalarPopcount(const std::uint64_t *src, std::uint32_t n)
+{
+    std::uint64_t c = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        c += static_cast<std::uint64_t>(__builtin_popcountll(src[i]));
+    return c;
+}
+
+bool
+scalarAny(const std::uint64_t *src, std::uint32_t n)
+{
+    std::uint64_t acc = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        acc |= src[i];
+    return acc != 0;
+}
+
+constexpr LaneOps kScalarOps = {
+    LaneBackend::Scalar, "scalar",     scalarOrInto,
+    scalarAndInto,       scalarAndNotInto, scalarFill,
+    scalarOrFetch,       scalarPopcount,   scalarAny,
+};
+
+// --- dispatch -------------------------------------------------------------
+
+bool
+simdDisabledByEnv()
+{
+    const char *s = std::getenv("SNAP_LANE_SIMD_DISABLE");
+    return s && s[0] == '1' && s[1] == '\0';
+}
+
+bool
+cpuSupports(LaneBackend b)
+{
+    switch (b) {
+    case LaneBackend::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    case LaneBackend::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0;
+    default:
+        return true;
+    }
+}
+
+// The pinned request (Auto until setLaneBackend) and the resolved
+// table.  Plain statics: resolution happens during single-threaded
+// tool startup; worker threads only ever read the resolved pointer.
+LaneBackend g_requested = LaneBackend::Auto;
+const LaneOps *g_resolved = nullptr;
+
+LaneBackend
+widestAvailable()
+{
+    if (laneBackendSupported(LaneBackend::Avx512))
+        return LaneBackend::Avx512;
+    if (laneBackendSupported(LaneBackend::Avx2))
+        return LaneBackend::Avx2;
+    return LaneBackend::Scalar;
+}
+
+const LaneOps *
+tableFor(LaneBackend b)
+{
+    switch (b) {
+    case LaneBackend::Scalar:
+        return detail::laneOpsScalar();
+    case LaneBackend::Avx2:
+        return detail::laneOpsAvx2();
+    case LaneBackend::Avx512:
+        return detail::laneOpsAvx512();
+    default:
+        return nullptr;
+    }
+}
+
+const LaneOps *
+resolve()
+{
+    LaneBackend want = g_requested;
+    if (want == LaneBackend::Auto) {
+        const char *env = std::getenv("SNAP_LANE_BACKEND");
+        if (env && *env) {
+            LaneBackend envb;
+            if (!parseLaneBackend(env, envb)) {
+                snap_warn("SNAP_LANE_BACKEND='%s' is not "
+                          "auto|scalar|avx2|avx512; using auto",
+                          env);
+            } else if (envb != LaneBackend::Auto &&
+                       !laneBackendSupported(envb)) {
+                snap_warn("SNAP_LANE_BACKEND=%s not usable on this "
+                          "build/CPU; using auto",
+                          laneBackendName(envb));
+            } else {
+                want = envb;
+            }
+        }
+    }
+    if (want == LaneBackend::Auto)
+        want = widestAvailable();
+    const LaneOps *ops = tableFor(want);
+    snap_assert(ops != nullptr, "lane backend %s resolved but not "
+                "compiled in", laneBackendName(want));
+    return ops;
+}
+
+} // namespace
+
+namespace detail
+{
+
+const LaneOps *
+laneOpsScalar()
+{
+    return &kScalarOps;
+}
+
+} // namespace detail
+
+bool
+parseLaneBackend(const std::string &name, LaneBackend &out)
+{
+    if (name == "auto")
+        out = LaneBackend::Auto;
+    else if (name == "scalar")
+        out = LaneBackend::Scalar;
+    else if (name == "avx2")
+        out = LaneBackend::Avx2;
+    else if (name == "avx512")
+        out = LaneBackend::Avx512;
+    else
+        return false;
+    return true;
+}
+
+const char *
+laneBackendName(LaneBackend b)
+{
+    switch (b) {
+    case LaneBackend::Auto:
+        return "auto";
+    case LaneBackend::Scalar:
+        return "scalar";
+    case LaneBackend::Avx2:
+        return "avx2";
+    case LaneBackend::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+bool
+laneBackendCompiled(LaneBackend b)
+{
+    return b == LaneBackend::Auto || tableFor(b) != nullptr;
+}
+
+bool
+laneBackendSupported(LaneBackend b)
+{
+    if (b == LaneBackend::Auto)
+        return true;
+    if (!laneBackendCompiled(b))
+        return false;
+    if (b != LaneBackend::Scalar && simdDisabledByEnv())
+        return false;
+    return cpuSupports(b);
+}
+
+bool
+setLaneBackend(LaneBackend b, std::string &err)
+{
+    if (b != LaneBackend::Auto) {
+        if (!laneBackendCompiled(b)) {
+            err = std::string("lane backend '") +
+                  laneBackendName(b) +
+                  "' was not compiled into this binary";
+            return false;
+        }
+        if (!laneBackendSupported(b)) {
+            err = std::string("lane backend '") +
+                  laneBackendName(b) +
+                  "' is not supported by this CPU";
+            return false;
+        }
+    }
+    g_requested = b;
+    g_resolved = resolve();
+    return true;
+}
+
+const LaneOps &
+laneOps()
+{
+    if (!g_resolved)
+        g_resolved = resolve();
+    return *g_resolved;
+}
+
+LaneBackend
+activeLaneBackend()
+{
+    return laneOps().kind;
+}
+
+const char *
+simdCapabilityString()
+{
+    if (laneBackendSupported(LaneBackend::Avx512))
+        return "avx512";
+    if (laneBackendSupported(LaneBackend::Avx2))
+        return "avx2";
+    return "none";
+}
+
+} // namespace snap

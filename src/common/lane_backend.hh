@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Pluggable lane-execution backend for wide marker kernels.
+ *
+ * MultiBitVector stores W = ceil(lanes/64) words per node; the hot
+ * batched-propagation loops (status pass, relation search, delivery
+ * merge) reduce to a handful of W-word row primitives: OR, AND,
+ * AND-NOT, fill, fetch-and-OR, popcount, any.  This header defines
+ * that primitive set as a function-pointer table (LaneOps) with three
+ * implementations:
+ *
+ *   scalar  — portable C++, the oracle every other backend must match
+ *             bit for bit;
+ *   avx2    — 4 words (256 lanes) per vector op, compiled only when
+ *             the toolchain accepts -mavx2;
+ *   avx512  — 8 words (512 lanes) per vector op, compiled only when
+ *             the toolchain accepts -mavx512f.
+ *
+ * All three compute the identical boolean function; the backends
+ * differ only in how many words move per instruction, so batched
+ * results are bit-identical by construction and the cross-backend
+ * fuzz in tests/test_lane_batch.cc guards the seam/tail logic, not
+ * arithmetic.
+ *
+ * Dispatch: laneOps() resolves once per process.  Order of
+ * precedence:
+ *   1. setLaneBackend() (from --lane-backend on the tools);
+ *   2. the SNAP_LANE_BACKEND env var (auto|scalar|avx2|avx512);
+ *   3. auto-detection: the widest backend both compiled in and
+ *      reported by the CPU (runtime CPUID via
+ *      __builtin_cpu_supports), falling back to scalar.
+ * Requesting a backend the build lacks or the host CPU cannot run is
+ * an error surfaced through setLaneBackend() — the tools map it to
+ * the standard exit-2 usage convention.  Setting
+ * SNAP_LANE_SIMD_DISABLE=1 makes every SIMD backend report
+ * "unsupported" regardless of the CPU, so the rejection path is
+ * testable on any host.
+ */
+
+#ifndef SNAP_COMMON_LANE_BACKEND_HH
+#define SNAP_COMMON_LANE_BACKEND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace snap
+{
+
+enum class LaneBackend : std::uint8_t
+{
+    Auto = 0,   ///< pick the widest compiled + CPU-supported backend
+    Scalar = 1, ///< portable words, the exactness oracle
+    Avx2 = 2,   ///< 256-bit rows
+    Avx512 = 3, ///< 512-bit rows
+};
+
+/**
+ * The W-word row primitive set.  Every function operates on rows of
+ * @p n 64-bit words; n is the MultiBitVector laneWords() of the
+ * caller and is typically 1..32 (64..2048 lanes).
+ */
+struct LaneOps
+{
+    LaneBackend kind;
+    const char *name; ///< static: "scalar", "avx2", "avx512"
+
+    /** dst[i] |= src[i]. */
+    void (*orInto)(std::uint64_t *dst, const std::uint64_t *src,
+                   std::uint32_t n);
+    /** dst[i] &= src[i]. */
+    void (*andInto)(std::uint64_t *dst, const std::uint64_t *src,
+                    std::uint32_t n);
+    /** dst[i] &= ~src[i]. */
+    void (*andNotInto)(std::uint64_t *dst, const std::uint64_t *src,
+                       std::uint32_t n);
+    /** dst[i] = value. */
+    void (*fill)(std::uint64_t *dst, std::uint64_t value,
+                 std::uint32_t n);
+    /** prev[i] = dst[i]; dst[i] |= src[i] — the delivery merge's
+     *  fetch-and-OR, returning the pre-merge row for newly-arrived
+     *  lane detection. */
+    void (*orFetch)(std::uint64_t *dst, const std::uint64_t *src,
+                    std::uint64_t *prev, std::uint32_t n);
+    /** Total set bits across the row. */
+    std::uint64_t (*popcount)(const std::uint64_t *src,
+                              std::uint32_t n);
+    /** True if any word in the row is non-zero. */
+    bool (*any)(const std::uint64_t *src, std::uint32_t n);
+};
+
+/** Parse "auto|scalar|avx2|avx512"; false on anything else. */
+bool parseLaneBackend(const std::string &name, LaneBackend &out);
+
+/** Static lowercase name of @p b ("auto", "scalar", ...). */
+const char *laneBackendName(LaneBackend b);
+
+/** True when the implementation was compiled into this binary. */
+bool laneBackendCompiled(LaneBackend b);
+
+/** True when compiled in AND runnable on this CPU (honours
+ *  SNAP_LANE_SIMD_DISABLE=1, which force-fails every SIMD backend). */
+bool laneBackendSupported(LaneBackend b);
+
+/**
+ * Pin the process-wide backend.  Returns false and fills @p err when
+ * @p b is not compiled in or not supported by the host CPU (Auto
+ * always succeeds).  Call before the first laneOps() use; later calls
+ * re-resolve the table.
+ */
+bool setLaneBackend(LaneBackend b, std::string &err);
+
+/**
+ * The active primitive table.  First use resolves the backend from
+ * setLaneBackend() / SNAP_LANE_BACKEND / CPUID as documented above;
+ * an unusable env-var request falls back to auto with a warning
+ * (tools validate --lane-backend eagerly so users get exit 2
+ * instead).
+ */
+const LaneOps &laneOps();
+
+/** The backend laneOps() resolved to (resolves if needed). */
+LaneBackend activeLaneBackend();
+
+/** Widest SIMD level this build + CPU can run: "avx512", "avx2" or
+ *  "none" — recorded in the BENCH_*.json provenance envelope. */
+const char *simdCapabilityString();
+
+namespace detail
+{
+/** nullptr when the flag was not compiled in. */
+const LaneOps *laneOpsScalar();
+const LaneOps *laneOpsAvx2();
+const LaneOps *laneOpsAvx512();
+} // namespace detail
+
+} // namespace snap
+
+#endif // SNAP_COMMON_LANE_BACKEND_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * AVX2 lane primitives: 4 row words (256 lanes) per vector op.
+ *
+ * This translation unit alone is compiled with -mavx2 (see
+ * src/common/CMakeLists.txt); everything here is behind runtime
+ * CPUID dispatch in lane_backend.cc, so no AVX instruction executes
+ * on a host that lacks it.  Without the flag (old toolchain) the
+ * accessor returns nullptr and the backend reports "not compiled
+ * in".  Semantics are bit-identical to the scalar oracle: the same
+ * OR/AND/AND-NOT boolean functions, just 256 bits at a time with a
+ * scalar tail for rows not a multiple of 4 words.
+ */
+
+#include "common/lane_backend.hh"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace snap
+{
+
+namespace
+{
+
+void
+avx2OrInto(std::uint64_t *dst, const std::uint64_t *src,
+           std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+void
+avx2AndInto(std::uint64_t *dst, const std::uint64_t *src,
+            std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+void
+avx2AndNotInto(std::uint64_t *dst, const std::uint64_t *src,
+               std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        // _mm256_andnot_si256(a, b) = ~a & b.
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_andnot_si256(s, d));
+    }
+    for (; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+void
+avx2Fill(std::uint64_t *dst, std::uint64_t value, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    const __m256i v = _mm256_set1_epi64x(
+        static_cast<long long>(value));
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), v);
+    for (; i < n; ++i)
+        dst[i] = value;
+}
+
+void
+avx2OrFetch(std::uint64_t *dst, const std::uint64_t *src,
+            std::uint64_t *prev, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(prev + i), d);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(d, s));
+    }
+    for (; i < n; ++i) {
+        prev[i] = dst[i];
+        dst[i] |= src[i];
+    }
+}
+
+std::uint64_t
+avx2Popcount(const std::uint64_t *src, std::uint32_t n)
+{
+    // No vector popcount below AVX-512 VPOPCNTDQ; the scalar
+    // POPCNT instruction per word is already optimal here.
+    std::uint64_t c = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        c += static_cast<std::uint64_t>(__builtin_popcountll(src[i]));
+    return c;
+}
+
+bool
+avx2Any(const std::uint64_t *src, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4)
+        acc = _mm256_or_si256(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(src + i)));
+    std::uint64_t tail = 0;
+    for (; i < n; ++i)
+        tail |= src[i];
+    return !_mm256_testz_si256(acc, acc) || tail != 0;
+}
+
+constexpr LaneOps kAvx2Ops = {
+    LaneBackend::Avx2, "avx2",       avx2OrInto,
+    avx2AndInto,       avx2AndNotInto, avx2Fill,
+    avx2OrFetch,       avx2Popcount,   avx2Any,
+};
+
+} // namespace
+
+namespace detail
+{
+
+const LaneOps *
+laneOpsAvx2()
+{
+    return &kAvx2Ops;
+}
+
+} // namespace detail
+
+} // namespace snap
+
+#else // !__AVX2__
+
+namespace snap::detail
+{
+
+const LaneOps *
+laneOpsAvx2()
+{
+    return nullptr;
+}
+
+} // namespace snap::detail
+
+#endif // __AVX2__

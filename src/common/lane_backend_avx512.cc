@@ -1,0 +1,162 @@
+/**
+ * @file
+ * AVX-512 lane primitives: 8 row words (512 lanes) per vector op.
+ *
+ * Compiled with -mavx512f for this file only; runtime CPUID dispatch
+ * in lane_backend.cc keeps these instructions off hosts without
+ * AVX-512.  A full 512-lane row (8 words) is one load/op/store;
+ * 1024-lane rows take two.  Bit-identical to the scalar oracle by
+ * construction — same boolean functions, wider registers.
+ */
+
+#include "common/lane_backend.hh"
+
+#ifdef __AVX512F__
+
+#include <immintrin.h>
+
+namespace snap
+{
+
+namespace
+{
+
+void
+avx512OrInto(std::uint64_t *dst, const std::uint64_t *src,
+             std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i d = _mm512_loadu_si512(dst + i);
+        __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+void
+avx512AndInto(std::uint64_t *dst, const std::uint64_t *src,
+              std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i d = _mm512_loadu_si512(dst + i);
+        __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(dst + i, _mm512_and_si512(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+void
+avx512AndNotInto(std::uint64_t *dst, const std::uint64_t *src,
+                 std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    // d & ~s spelled as d & (s ^ ones): GCC 12's
+    // _mm512_andnot_si512 reads _mm512_undefined_epi32() and trips
+    // -Wmaybe-uninitialized under -Werror; this form fuses to the
+    // same vpternlogq.
+    const __m512i ones = _mm512_set1_epi64(-1LL);
+    for (; i + 8 <= n; i += 8) {
+        __m512i d = _mm512_loadu_si512(dst + i);
+        __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(
+            dst + i,
+            _mm512_and_si512(d, _mm512_xor_si512(s, ones)));
+    }
+    for (; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+void
+avx512Fill(std::uint64_t *dst, std::uint64_t value, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    const __m512i v = _mm512_set1_epi64(
+        static_cast<long long>(value));
+    for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(dst + i, v);
+    for (; i < n; ++i)
+        dst[i] = value;
+}
+
+void
+avx512OrFetch(std::uint64_t *dst, const std::uint64_t *src,
+              std::uint64_t *prev, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i d = _mm512_loadu_si512(dst + i);
+        __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(prev + i, d);
+        _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+    }
+    for (; i < n; ++i) {
+        prev[i] = dst[i];
+        dst[i] |= src[i];
+    }
+}
+
+std::uint64_t
+avx512Popcount(const std::uint64_t *src, std::uint32_t n)
+{
+    // VPOPCNTDQ is a separate feature bit we do not require; scalar
+    // POPCNT per word keeps the base-AVX512F contract.
+    std::uint64_t c = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        c += static_cast<std::uint64_t>(__builtin_popcountll(src[i]));
+    return c;
+}
+
+bool
+avx512Any(const std::uint64_t *src, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i s = _mm512_loadu_si512(src + i);
+        if (_mm512_test_epi64_mask(s, s) != 0)
+            return true;
+    }
+    std::uint64_t tail = 0;
+    for (; i < n; ++i)
+        tail |= src[i];
+    return tail != 0;
+}
+
+constexpr LaneOps kAvx512Ops = {
+    LaneBackend::Avx512, "avx512",       avx512OrInto,
+    avx512AndInto,       avx512AndNotInto, avx512Fill,
+    avx512OrFetch,       avx512Popcount,   avx512Any,
+};
+
+} // namespace
+
+namespace detail
+{
+
+const LaneOps *
+laneOpsAvx512()
+{
+    return &kAvx512Ops;
+}
+
+} // namespace detail
+
+} // namespace snap
+
+#else // !__AVX512F__
+
+namespace snap::detail
+{
+
+const LaneOps *
+laneOpsAvx512()
+{
+    return nullptr;
+}
+
+} // namespace snap::detail
+
+#endif // __AVX512F__

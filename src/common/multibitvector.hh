@@ -3,20 +3,31 @@
  * Lane-packed bit matrix for cross-query marker batching.
  *
  * BitVector packs one query's marker plane as N bits; MultiBitVector
- * packs the same plane for up to 64 *queries* ("lanes") side by side:
- * word i holds bit i of every lane, lane l in word bit l.  One 64-bit
- * word operation therefore updates one node's marker status for the
- * whole batch — the cross-query analogue of the paper's 32-node
- * status words (§II-B, Fig. 4), turned sideways so a single
- * status-table pass, relation-table search, or delivery merge is
- * amortized over every query in a LaneBatch.
+ * packs the same plane for up to 2048 *queries* ("lanes") side by
+ * side.  Each position (node) owns a row of W = ceil(lanes/64) words;
+ * lane l lives in row word l/64, bit l%64.  One row operation
+ * therefore updates one node's marker status for the whole batch —
+ * the cross-query analogue of the paper's 32-node status words
+ * (§II-B, Fig. 4), turned sideways so a single status-table pass,
+ * relation-table search, or delivery merge is amortized over every
+ * query in a LaneBatch.  Row primitives go through the pluggable
+ * lane-execution backend (common/lane_backend.hh): scalar is the
+ * oracle, AVX2/AVX-512 move 4/8 row words per instruction.
  *
  * The layout is the transpose of BitVector's: extractLane()/
- * insertLane() convert between the two (gather/scatter across the
- * 64-bit word seams), so solo marker state moves in and out of a
- * batch without touching unrelated lanes.  Lane counts need not be a
- * multiple of anything; tail lanes above numLanes() are forced clear
- * by masking, mirroring BitVector's tail-bit invariant.
+ * insertLane() convert between the two (gather/scatter across both
+ * the position-side and lane-side 64-bit word seams), so solo marker
+ * state moves in and out of a batch without touching unrelated
+ * lanes.  Lane counts need not be a multiple of anything; tail lanes
+ * above numLanes() are forced clear by per-row masking — rows below
+ * the last are all-ones masks, the last row mirrors BitVector's
+ * tail-bit invariant.
+ *
+ * With W == 1 the layout is word-for-word identical to the original
+ * single-word MultiBitVector, and the single-word convenience API
+ * (laneMask(), lanes(), setLanes(), orLanes(), the one-word
+ * forEachActive) remains available for ≤64-lane callers; it asserts
+ * laneWords() == 1 so a widened batch cannot silently truncate.
  */
 
 #ifndef SNAP_COMMON_MULTIBITVECTOR_HH
@@ -26,30 +37,35 @@
 #include <vector>
 
 #include "common/bitvector.hh"
+#include "common/lane_backend.hh"
 #include "common/logging.hh"
 
 namespace snap
 {
 
 /**
- * N bit-positions x L lanes (L <= 64), one backing word per
- * position holding the position's bit for every lane.
+ * N bit-positions x L lanes (L <= 2048), one backing row of
+ * ceil(L/64) words per position holding the position's bit for every
+ * lane.
  */
 class MultiBitVector
 {
   public:
     using Word = std::uint64_t;
-    static constexpr std::uint32_t maxLanes = 64;
+    static constexpr std::uint32_t bitsPerWord = 64;
+    static constexpr std::uint32_t maxLanes = 2048;
 
     MultiBitVector() = default;
 
     /** @p num_bits positions x @p num_lanes lanes, all clear. */
     MultiBitVector(std::uint32_t num_bits, std::uint32_t num_lanes)
         : numBits_(num_bits), numLanes_(num_lanes),
-          words_(num_bits, 0)
+          laneWords_((num_lanes + bitsPerWord - 1) / bitsPerWord),
+          words_(static_cast<std::size_t>(num_bits) * laneWords_, 0)
     {
         snap_assert(num_lanes >= 1 && num_lanes <= maxLanes,
-                    "lane count %u out of 1..64", num_lanes);
+                    "lane count %u out of 1..%u", num_lanes,
+                    maxLanes);
     }
 
     /** Number of addressable bit positions (nodes). */
@@ -58,12 +74,31 @@ class MultiBitVector
     /** Number of lanes (queries) packed side by side. */
     std::uint32_t numLanes() const { return numLanes_; }
 
-    /** Mask with one bit set per valid lane. */
+    /** Words per position row: ceil(numLanes / 64). */
+    std::uint32_t laneWords() const { return laneWords_; }
+
+    /**
+     * Valid-lane mask of row word @p row: all-ones below the last
+     * row, the tail mask on it (the multi-word generalization of the
+     * old single-word laneMask()).
+     */
+    Word
+    laneMaskRow(std::uint32_t row) const
+    {
+        snap_assert(row < laneWords_, "row %u out of %u", row,
+                    laneWords_);
+        if (row + 1 < laneWords_)
+            return ~Word{0};
+        const std::uint32_t tail = numLanes_ % bitsPerWord;
+        return tail == 0 ? ~Word{0} : (Word{1} << tail) - 1;
+    }
+
+    /** Single-word lane mask; requires <= 64 lanes. */
     Word
     laneMask() const
     {
-        return numLanes_ == maxLanes ? ~Word{0}
-                                     : (Word{1} << numLanes_) - 1;
+        checkOneWord();
+        return laneMaskRow(0);
     }
 
     /** Read one lane's bit at one position. */
@@ -71,27 +106,88 @@ class MultiBitVector
     test(std::uint32_t idx, std::uint32_t lane) const
     {
         checkAt(idx, lane);
-        return (words_[idx] >> lane) & 1u;
+        return (wordAt(idx, lane / bitsPerWord) >>
+                (lane % bitsPerWord)) &
+               1u;
     }
 
     void
     set(std::uint32_t idx, std::uint32_t lane)
     {
         checkAt(idx, lane);
-        words_[idx] |= Word{1} << lane;
+        wordAt(idx, lane / bitsPerWord) |= Word{1}
+                                           << (lane % bitsPerWord);
     }
 
     void
     clear(std::uint32_t idx, std::uint32_t lane)
     {
         checkAt(idx, lane);
-        words_[idx] &= ~(Word{1} << lane);
+        wordAt(idx, lane / bitsPerWord) &=
+            ~(Word{1} << (lane % bitsPerWord));
     }
+
+    // --- row access: the batched kernels' working set -------------------
+
+    /** The W-word row of position @p idx (read-only). */
+    const Word *
+    row(std::uint32_t idx) const
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        return words_.data() +
+               static_cast<std::size_t>(idx) * laneWords_;
+    }
+
+    /** The W-word row of position @p idx (mutable).  Callers must
+     *  preserve the tail-lane invariant: bits above numLanes() stay
+     *  clear.  The batched kernels only OR in masks that are already
+     *  subsets of the valid lanes, so the invariant holds for free. */
+    Word *
+    rowMut(std::uint32_t idx)
+    {
+        snap_assert(idx < numBits_, "position %u out of %u", idx,
+                    numBits_);
+        return words_.data() +
+               static_cast<std::size_t>(idx) * laneWords_;
+    }
+
+    /** Row word @p rw of the lane mask at position @p idx. */
+    Word
+    lanesRow(std::uint32_t idx, std::uint32_t rw) const
+    {
+        snap_assert(rw < laneWords_, "row %u out of %u", rw,
+                    laneWords_);
+        return row(idx)[rw];
+    }
+
+    /** OR the W-word mask @p mask into position @p idx's row, tail
+     *  lanes forced clear. */
+    void
+    orRow(std::uint32_t idx, const Word *mask)
+    {
+        Word *r = rowMut(idx);
+        for (std::uint32_t w = 0; w < laneWords_; ++w)
+            r[w] |= mask[w] & laneMaskRow(w);
+    }
+
+    /** Overwrite position @p idx's row from the W-word @p mask, tail
+     *  lanes forced clear. */
+    void
+    setRow(std::uint32_t idx, const Word *mask)
+    {
+        Word *r = rowMut(idx);
+        for (std::uint32_t w = 0; w < laneWords_; ++w)
+            r[w] = mask[w] & laneMaskRow(w);
+    }
+
+    // --- single-word convenience API (<= 64 lanes) ----------------------
 
     /** Lane mask at position @p idx: bit l = lane l's bit. */
     Word
     lanes(std::uint32_t idx) const
     {
+        checkOneWord();
         snap_assert(idx < numBits_, "position %u out of %u", idx,
                     numBits_);
         return words_[idx];
@@ -101,18 +197,20 @@ class MultiBitVector
     void
     setLanes(std::uint32_t idx, Word mask)
     {
+        checkOneWord();
         snap_assert(idx < numBits_, "position %u out of %u", idx,
                     numBits_);
-        words_[idx] = mask & laneMask();
+        words_[idx] = mask & laneMaskRow(0);
     }
 
     /** OR @p mask into the lanes at @p idx. */
     void
     orLanes(std::uint32_t idx, Word mask)
     {
+        checkOneWord();
         snap_assert(idx < numBits_, "position %u out of %u", idx,
                     numBits_);
-        words_[idx] |= mask & laneMask();
+        words_[idx] |= mask & laneMaskRow(0);
     }
 
     // --- whole-plane kernels: one pass serves every lane ----------------
@@ -122,8 +220,8 @@ class MultiBitVector
     orWith(const MultiBitVector &other)
     {
         checkGeometry(other);
-        for (std::size_t i = 0; i < words_.size(); ++i)
-            words_[i] |= other.words_[i];
+        laneOps().orInto(words_.data(), other.words_.data(),
+                         totalWords());
     }
 
     /** this &= other. */
@@ -131,8 +229,8 @@ class MultiBitVector
     andWith(const MultiBitVector &other)
     {
         checkGeometry(other);
-        for (std::size_t i = 0; i < words_.size(); ++i)
-            words_[i] &= other.words_[i];
+        laneOps().andInto(words_.data(), other.words_.data(),
+                          totalWords());
     }
 
     /** this &= ~other. */
@@ -140,15 +238,15 @@ class MultiBitVector
     andNotWith(const MultiBitVector &other)
     {
         checkGeometry(other);
-        for (std::size_t i = 0; i < words_.size(); ++i)
-            words_[i] &= ~other.words_[i];
+        laneOps().andNotInto(words_.data(), other.words_.data(),
+                             totalWords());
     }
 
     void
     clearAll()
     {
-        for (Word &w : words_)
-            w = 0;
+        if (!words_.empty())
+            laneOps().fill(words_.data(), 0, totalWords());
     }
 
     /** Population count of one lane. */
@@ -157,10 +255,14 @@ class MultiBitVector
     {
         snap_assert(lane < numLanes_, "lane %u out of %u", lane,
                     numLanes_);
+        const std::uint32_t rw = lane / bitsPerWord;
+        const Word bit = Word{1} << (lane % bitsPerWord);
         std::uint32_t n = 0;
-        const Word bit = Word{1} << lane;
-        for (Word w : words_)
-            n += static_cast<std::uint32_t>((w & bit) != 0);
+        for (std::uint32_t i = 0; i < numBits_; ++i)
+            n += static_cast<std::uint32_t>(
+                (words_[static_cast<std::size_t>(i) * laneWords_ +
+                        rw] &
+                 bit) != 0);
         return n;
     }
 
@@ -168,35 +270,51 @@ class MultiBitVector
     std::uint64_t
     count() const
     {
-        std::uint64_t n = 0;
-        for (Word w : words_)
-            n += static_cast<std::uint64_t>(__builtin_popcountll(w));
-        return n;
+        if (words_.empty())
+            return 0;
+        return laneOps().popcount(words_.data(), totalWords());
     }
 
     /** True if no lane has any bit set. */
     bool
     none() const
     {
-        for (Word w : words_)
-            if (w)
-                return false;
-        return true;
+        if (words_.empty())
+            return true;
+        return !laneOps().any(words_.data(), totalWords());
     }
 
     /**
      * Invoke @p fn(idx, mask) for every position where at least one
      * lane is set, in ascending position order — the shared-frontier
      * scan of a batched traversal (positions dead in every lane cost
-     * one word test).
+     * one word test).  Single-word form; requires <= 64 lanes.
      */
     template <typename Fn>
     void
     forEachActive(Fn &&fn) const
     {
+        checkOneWord();
         for (std::uint32_t i = 0; i < numBits_; ++i)
             if (words_[i])
                 fn(i, words_[i]);
+    }
+
+    /**
+     * Wide form: @p fn(idx, row) for every position whose W-word row
+     * has at least one lane set, ascending position order.  @p row
+     * points at the position's laneWords() words.
+     */
+    template <typename Fn>
+    void
+    forEachActiveRow(Fn &&fn) const
+    {
+        const LaneOps &ops = laneOps();
+        const Word *r = words_.data();
+        for (std::uint32_t i = 0; i < numBits_;
+             ++i, r += laneWords_)
+            if (ops.any(r, laneWords_))
+                fn(i, r);
     }
 
     // --- solo <-> batch conversion --------------------------------------
@@ -205,13 +323,16 @@ class MultiBitVector
      * Gather lane @p lane into a solo BitVector: bit i of the result
      * is this lane's bit at position i.  Assembles 64 positions per
      * output word so the word-seam handling matches BitVector's
-     * packing exactly.
+     * packing exactly; the lane-side seam reduces to one (row, bit)
+     * coordinate held constant across the scan.
      */
     BitVector
     extractLane(std::uint32_t lane) const
     {
         snap_assert(lane < numLanes_, "lane %u out of %u", lane,
                     numLanes_);
+        const std::uint32_t rw = lane / bitsPerWord;
+        const std::uint32_t shift = lane % bitsPerWord;
         BitVector out(numBits_);
         const std::uint32_t wb = BitVector::bitsPerWord;
         for (std::uint32_t base = 0; base < numBits_; base += wb) {
@@ -219,7 +340,13 @@ class MultiBitVector
                 base + wb <= numBits_ ? wb : numBits_ - base;
             BitVector::Word packed = 0;
             for (std::uint32_t j = 0; j < n; ++j)
-                packed |= ((words_[base + j] >> lane) & Word{1}) << j;
+                packed |=
+                    ((words_[static_cast<std::size_t>(base + j) *
+                                 laneWords_ +
+                             rw] >>
+                      shift) &
+                     Word{1})
+                    << j;
             out.setWord(base / wb, packed);
         }
         return out;
@@ -233,33 +360,39 @@ class MultiBitVector
                     numLanes_);
         snap_assert(bv.size() == numBits_, "size mismatch %u vs %u",
                     bv.size(), numBits_);
-        const Word bit = Word{1} << lane;
+        const std::uint32_t rw = lane / bitsPerWord;
+        const Word bit = Word{1} << (lane % bitsPerWord);
         const std::uint32_t wb = BitVector::bitsPerWord;
         for (std::uint32_t base = 0; base < numBits_; base += wb) {
             const std::uint32_t n =
                 base + wb <= numBits_ ? wb : numBits_ - base;
             BitVector::Word packed = bv.word(base / wb);
             for (std::uint32_t j = 0; j < n; ++j) {
+                Word &w =
+                    words_[static_cast<std::size_t>(base + j) *
+                               laneWords_ +
+                           rw];
                 if ((packed >> j) & 1u)
-                    words_[base + j] |= bit;
+                    w |= bit;
                 else
-                    words_[base + j] &= ~bit;
+                    w &= ~bit;
             }
         }
     }
 
     /** Replicate @p bv into every lane (homogeneous-batch stamp):
-     *  one pass, one word write per position. */
+     *  one pass, one row write per position. */
     void
     broadcast(const BitVector &bv)
     {
         snap_assert(bv.size() == numBits_, "size mismatch %u vs %u",
                     bv.size(), numBits_);
-        const Word all = laneMask();
         const std::uint32_t wb = BitVector::bitsPerWord;
         for (std::uint32_t i = 0; i < numBits_; ++i) {
             bool on = (bv.word(i / wb) >> (i % wb)) & 1u;
-            words_[i] = on ? all : 0;
+            Word *r = rowMut(i);
+            for (std::uint32_t w = 0; w < laneWords_; ++w)
+                r[w] = on ? laneMaskRow(w) : 0;
         }
     }
 
@@ -272,6 +405,34 @@ class MultiBitVector
     }
 
   private:
+    Word &
+    wordAt(std::uint32_t idx, std::uint32_t rw)
+    {
+        return words_[static_cast<std::size_t>(idx) * laneWords_ +
+                      rw];
+    }
+
+    Word
+    wordAt(std::uint32_t idx, std::uint32_t rw) const
+    {
+        return words_[static_cast<std::size_t>(idx) * laneWords_ +
+                      rw];
+    }
+
+    std::uint32_t
+    totalWords() const
+    {
+        return static_cast<std::uint32_t>(words_.size());
+    }
+
+    void
+    checkOneWord() const
+    {
+        snap_assert(laneWords_ == 1,
+                    "single-word lane API needs <= 64 lanes, have %u",
+                    numLanes_);
+    }
+
     void
     checkAt(std::uint32_t idx, std::uint32_t lane) const
     {
@@ -292,6 +453,7 @@ class MultiBitVector
 
     std::uint32_t numBits_ = 0;
     std::uint32_t numLanes_ = 0;
+    std::uint32_t laneWords_ = 0;
     std::vector<Word> words_;
 };
 

@@ -3,9 +3,10 @@
  * Lane-packed marker state for a batch of queries.
  *
  * The batch-execution analogue of MarkerStore: each of the 128 marker
- * planes is a MultiBitVector over (node x lane), so one word
- * operation touches one node's marker status for every query in the
- * batch, and complex-marker value registers are kept per (node,
+ * planes is a MultiBitVector over (node x lane), so one row
+ * operation (W = ceil(lanes/64) words, executed by the pluggable
+ * lane backend) touches one node's marker status for every query in
+ * the batch, and complex-marker value registers are kept per (node,
  * lane).  Solo state moves in and out per lane (insertLane /
  * extractLane), which is how the batch former stages queued queries
  * into a LaneBatch and how per-query answers are pulled back out.
@@ -44,7 +45,9 @@ class LaneMarkerStore
         return bits_[m].test(n, lane);
     }
 
-    /** Lanes holding marker @p m at node @p n. */
+    /** Lanes holding marker @p m at node @p n — single-word form,
+     *  valid only for batches of <= 64 lanes; wide callers read
+     *  bits(m).row(n) instead. */
     MultiBitVector::Word
     lanes(MarkerId m, NodeId n) const
     {

@@ -108,8 +108,13 @@ PropagationStats propagateFunctional(const SemanticNetwork &net,
 /**
  * Lane-batched PROPAGATE: one shared traversal serves every lane.
  *
- * Runs the same fixpoint as propagateFunctional for up to 64
- * independent queries whose marker state is lane-packed in @p store.
+ * Runs the same fixpoint as propagateFunctional for up to
+ * MultiBitVector::maxLanes (2048) independent queries whose marker
+ * state is lane-packed in @p store.  Row arithmetic (delivery merge,
+ * admission masks, active-row scans) goes through the pluggable lane
+ * backend (common/lane_backend.hh); every backend computes the same
+ * boolean function, so results are backend-invariant as well as
+ * batch-invariant.
  * The traversal is shared — one relation-table scan per expanded
  * (node, state) wave and one status-word merge per delivery cover
  * every lane present — while admission, value merging, and every

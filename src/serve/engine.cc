@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/lane_backend.hh"
 #include "common/logging.hh"
 #include "trace/trace.hh"
 
@@ -62,8 +63,10 @@ ServeEngine::ServeEngine(const SemanticNetwork &net,
 {
     if (cfg_.numWorkers < 1)
         snap_fatal("ServeConfig.numWorkers must be >= 1");
-    if (cfg_.maxBatchLanes < 1 || cfg_.maxBatchLanes > 64)
-        snap_fatal("ServeConfig.maxBatchLanes must be 1..64");
+    if (cfg_.maxBatchLanes < 1 ||
+        cfg_.maxBatchLanes > MultiBitVector::maxLanes)
+        snap_fatal("ServeConfig.maxBatchLanes must be 1..%u",
+                   MultiBitVector::maxLanes);
     if (image) {
         // Adopting a deserialized image: its partition decides the
         // cluster count, not the configured default.
@@ -618,9 +621,10 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
         run = machine.run(req.prog);
         accumulateRunStats(run.stats);
         if (flow_id != 0) {
-            trace::hostSpanArg(trace::kServe, trace::tidWorker(idx),
-                               "attempt", attempt_ns,
-                               trace::hostNowNs(), attempts);
+            trace::hostSpanArgs(trace::kServe, trace::tidWorker(idx),
+                                "attempt", attempt_ns,
+                                trace::hostNowNs(), attempts,
+                                laneOps().name);
         }
         if (run.fault.ok())
             break;
@@ -737,9 +741,12 @@ ServeEngine::serveBatch(std::uint32_t idx,
     BatchRunResult run =
         machine.runBatch(batch.front()->req.prog, lanes);
     if (flow_id != 0) {
-        trace::hostSpanArg(trace::kServe, trace::tidWorker(idx),
-                           "batch.attempt", attempt_ns,
-                           trace::hostNowNs(), lanes);
+        // Lane width + backend name: the trace attributes this
+        // span's sim amortization to the kernel that produced it.
+        trace::hostSpanArgs(trace::kServe, trace::tidWorker(idx),
+                            "batch.attempt", attempt_ns,
+                            trace::hostNowNs(), lanes,
+                            laneOps().name);
     }
 
     if (!run.fault.ok()) {

@@ -84,7 +84,8 @@ struct ServeConfig
      * Program::contentHash and serve them as one lane-batched
      * traversal (SnapMachine::runBatch) — identical per-request
      * results and simulated wallTicks, one simulated run's host cost.
-     * 1 disables batching; capped at 64 (the lane-packed word width).
+     * 1 disables batching; capped at MultiBitVector::maxLanes
+     * (2048 — the lane planes carry ceil(lanes/64) words per node).
      */
     std::uint32_t maxBatchLanes = 1;
     /**

@@ -12,9 +12,12 @@ namespace serve
 namespace
 {
 
+// Histogram and LinearHistogram expose the same summary surface;
+// templating keeps the JSON and registry shapes identical for both.
+template <typename Hist>
 void
-histJson(std::ostringstream &os, const char *name,
-         const Histogram &h, const char *indent)
+histJson(std::ostringstream &os, const char *name, const Hist &h,
+         const char *indent)
 {
     os << indent << "\"" << name << "\": {"
        << "\"count\": " << h.count()
@@ -26,9 +29,10 @@ histJson(std::ostringstream &os, const char *name,
        << ", \"max\": " << formatString("%.6g", h.max()) << "}";
 }
 
+template <typename Hist>
 void
 histMetrics(MetricsRegistry &reg, const std::string &base,
-            const Histogram &h, const char *help,
+            const Hist &h, const char *help,
             const MetricsRegistry::Labels &labels)
 {
     reg.counter(base + "_count", static_cast<double>(h.count()),

@@ -25,12 +25,22 @@
 
 #include "common/histogram.hh"
 #include "common/metrics_registry.hh"
+#include "common/multibitvector.hh"
 #include "common/types.hh"
 
 namespace snap
 {
 namespace serve
 {
+
+/**
+ * Lane-occupancy distribution: one exact bucket per possible lane
+ * count.  The log-linear Histogram buckets coarsen to 8..128 lanes
+ * wide above 64, which silently blurred wide batches (and reported
+ * bucket-midpoint "lane counts" no batch could have); lane counts
+ * are small integers, so exact buckets cost one word each.
+ */
+using BatchLanesHistogram = LinearHistogram<MultiBitVector::maxLanes>;
 
 /** Per-worker serving tallies. */
 struct WorkerStats
@@ -90,8 +100,9 @@ struct MetricsSnapshot
     Histogram serviceMs;
     Histogram totalMs;
     Histogram simUs;
-    /** Occupancy (lanes filled) per lane batch. */
-    Histogram batchLanes;
+    /** Occupancy (lanes filled) per lane batch — exact buckets so
+     *  wide batches (65..2048 lanes) are not blurred. */
+    BatchLanesHistogram batchLanes;
 
     std::vector<WorkerStats> workers;
 
@@ -334,7 +345,7 @@ class ServeMetrics
     Histogram serviceMs_;
     Histogram totalMs_;
     Histogram simUs_;
-    Histogram batchLanes_;
+    BatchLanesHistogram batchLanes_;
     std::vector<WorkerStats> workers_;
 };
 

@@ -20,6 +20,10 @@
  *                         traffic drains first; zero wrong answers)
  *     --answers-out FILE  write the canonical answer text (same
  *                         format as snapserve --answers-out)
+ *     --lane-backend B    lane-kernel backend for this process:
+ *                         auto|scalar|avx2|avx512 (default auto);
+ *                         a backend this build or CPU lacks is a
+ *                         usage error (exit 2)
  *     --shutdown          send Shutdown to every shard when done
  *     --quiet             suppress per-request result lines
  *
@@ -46,6 +50,7 @@
 #include <vector>
 
 #include "arch/kb_image_io.hh"
+#include "common/lane_backend.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "isa/assembler.hh"
@@ -75,6 +80,8 @@ usage()
         "  --connect-ms X      shard boot wait (default 15000)\n"
         "  --swap-epoch FILE@K hot-swap to FILE after K submits\n"
         "  --answers-out FILE  write canonical answer text\n"
+        "  --lane-backend B    auto|scalar|avx2|avx512 "
+        "(default auto)\n"
         "  --shutdown          send Shutdown to shards when done\n"
         "  --quiet             suppress per-request lines\n");
     std::exit(2);
@@ -207,6 +214,14 @@ main(int argc, char **argv)
             swap_after = static_cast<std::size_t>(k);
         } else if (arg == "--answers-out") {
             answers_path = next();
+        } else if (arg == "--lane-backend") {
+            LaneBackend backend;
+            if (!parseLaneBackend(next(), backend))
+                usageError("--lane-backend must be "
+                           "auto|scalar|avx2|avx512");
+            std::string err;
+            if (!setLaneBackend(backend, err))
+                usageError(err.c_str());
         } else if (arg == "--shutdown") {
             do_shutdown = true;
         } else if (arg == "--quiet") {

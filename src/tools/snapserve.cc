@@ -10,8 +10,13 @@
  *     --queue N             admission queue capacity (default 256)
  *     --timeout-ms X        default per-request queue deadline
  *     --batch-lanes N       lane-batch up to N same-program stateless
- *                           queries per simulated run (default 1)
+ *                           queries per simulated run (1..2048,
+ *                           default 1)
  *     --batch-window X      host ms to wait filling a batch
+ *     --lane-backend B      lane-kernel backend: auto (default,
+ *                           widest compiled + CPU-supported), scalar,
+ *                           avx2, avx512.  A backend this build or
+ *                           CPU lacks is a usage error (exit 2)
  *     --clusters N          replica array size (1..32, default 16)
  *     --partition seq|rr|sem  allocation strategy (default sem)
  *     --relax-capacity      lift the 1024-nodes-per-cluster limit
@@ -77,8 +82,10 @@
 #include <vector>
 
 #include "arch/kb_image_io.hh"
+#include "common/lane_backend.hh"
 #include "common/logging.hh"
 #include "common/metrics_registry.hh"
+#include "common/multibitvector.hh"
 #include "common/strutil.hh"
 #include "fault/fault_plan.hh"
 #include "trace/trace.hh"
@@ -110,8 +117,10 @@ usage()
         "(default 256)\n"
         "  --timeout-ms X         default queue deadline, host ms\n"
         "  --batch-lanes N        lane-batch same-program queries "
-        "(1..64)\n"
+        "(1..2048)\n"
         "  --batch-window X       host ms to wait filling a batch\n"
+        "  --lane-backend B       auto|scalar|avx2|avx512 "
+        "(default auto)\n"
         "  --clusters N           replica array size (1..32)\n"
         "  --partition seq|rr|sem allocation (default sem)\n"
         "  --relax-capacity       lift the 1024 nodes/cluster cap\n"
@@ -256,9 +265,18 @@ main(int argc, char **argv)
             cfg.defaultTimeoutMs = x;
         } else if (arg == "--batch-lanes") {
             long long n;
-            if (!parseInt(next(), n) || n < 1 || n > 64)
-                usageError("--batch-lanes must be 1..64");
+            if (!parseInt(next(), n) || n < 1 ||
+                n > MultiBitVector::maxLanes)
+                usageError("--batch-lanes must be 1..2048");
             cfg.maxBatchLanes = static_cast<std::uint32_t>(n);
+        } else if (arg == "--lane-backend") {
+            LaneBackend backend;
+            if (!parseLaneBackend(next(), backend))
+                usageError("--lane-backend must be "
+                           "auto|scalar|avx2|avx512");
+            std::string err;
+            if (!setLaneBackend(backend, err))
+                usageError(err.c_str());
         } else if (arg == "--batch-window") {
             double x;
             if (!parseDouble(next(), x) || x < 0)

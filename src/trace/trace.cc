@@ -346,8 +346,12 @@ writeJson(std::ostream &os)
                << "\"";
         if (ev.ph == 'f')
             os << ",\"bp\":\"e\"";
-        if (ev.hasArg)
-            os << ",\"args\":{\"v\":" << ev.arg << "}";
+        if (ev.hasArg) {
+            os << ",\"args\":{\"v\":" << ev.arg;
+            if (ev.sarg)
+                os << ",\"backend\":\"" << ev.sarg << "\"";
+            os << "}";
+        }
         os << "}";
     }
 

@@ -13,7 +13,11 @@
  *    rules, marker functions, and heterogeneous per-lane sources;
  *  - SnapMachine::runBatch: per-lane results and simulated wallTicks
  *    bit-identical to a fresh solo machine at every lane count in
- *    {1, 2, 7, 8, 33, 64} (the issue's acceptance pin).
+ *    {1, 2, 7, 8, 33, 64, 65, 128, 1024} (the issue's acceptance
+ *    pin, extended across the multi-word row seams);
+ *  - the lane-execution backends: every compiled + CPU-supported
+ *    SIMD table must match the scalar oracle word for word on random
+ *    rows, and the batched-vs-solo fuzz re-runs under each backend.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "arch/machine.hh"
+#include "common/lane_backend.hh"
 #include "common/multibitvector.hh"
 #include "common/rng.hh"
 #include "runtime/lane_store.hh"
@@ -87,6 +92,97 @@ TEST(MultiBitVector, SetLanesMasksTailLanes)
     EXPECT_EQ(mv.lanes(4), 0x7fu) << "orLanes must mask tail lanes";
 }
 
+TEST(MultiBitVector, WideGeometryRowAndTailMasks)
+{
+    // Row counts and per-row valid-lane masks at widths straddling
+    // the lane-side word seams: rows below the last are all-ones,
+    // the last row carries the tail mask (all-ones when the width is
+    // a multiple of 64).
+    struct Case
+    {
+        std::uint32_t lanes, words;
+        std::uint64_t tail;
+    };
+    const Case cases[] = {
+        {65u, 2u, 0x1u},
+        {127u, 2u, 0x7fffffffffffffffu},
+        {128u, 2u, ~std::uint64_t{0}},
+        {129u, 3u, 0x1u},
+        {1024u, 16u, ~std::uint64_t{0}},
+    };
+    for (const Case &c : cases) {
+        MultiBitVector mv(10, c.lanes);
+        EXPECT_EQ(mv.laneWords(), c.words) << c.lanes;
+        for (std::uint32_t w = 0; w + 1 < c.words; ++w)
+            EXPECT_EQ(mv.laneMaskRow(w), ~std::uint64_t{0})
+                << c.lanes << " row " << w;
+        EXPECT_EQ(mv.laneMaskRow(c.words - 1), c.tail) << c.lanes;
+    }
+}
+
+TEST(MultiBitVector, RowOpsMaskTailLanesAcrossRows)
+{
+    // 129 lanes = two full row words plus a 1-lane tail word:
+    // orRow/setRow/broadcast must force bits above numLanes() clear
+    // in the last row while leaving the full rows intact.
+    using Word = MultiBitVector::Word;
+    const Word ones = ~Word{0};
+    MultiBitVector mv(5, 129);
+
+    const Word all[3] = {ones, ones, ones};
+    mv.orRow(2, all);
+    EXPECT_EQ(mv.lanesRow(2, 0), ones);
+    EXPECT_EQ(mv.lanesRow(2, 1), ones);
+    EXPECT_EQ(mv.lanesRow(2, 2), 0x1u)
+        << "orRow must mask tail lanes of the last row";
+    EXPECT_EQ(mv.countLane(128), 1u);
+    EXPECT_EQ(mv.count(), 129u);
+
+    const Word some[3] = {0x10u, ones, ones};
+    mv.setRow(2, some);
+    EXPECT_EQ(mv.lanesRow(2, 0), 0x10u);
+    EXPECT_EQ(mv.lanesRow(2, 1), ones);
+    EXPECT_EQ(mv.lanesRow(2, 2), 0x1u);
+
+    BitVector bv(5);
+    bv.set(0);
+    bv.set(4);
+    mv.broadcast(bv);
+    for (std::uint32_t i : {0u, 4u}) {
+        EXPECT_EQ(mv.lanesRow(i, 0), ones) << i;
+        EXPECT_EQ(mv.lanesRow(i, 1), ones) << i;
+        EXPECT_EQ(mv.lanesRow(i, 2), 0x1u) << i;
+    }
+    EXPECT_EQ(mv.lanesRow(2, 0), 0u)
+        << "broadcast overwrites previous rows";
+    EXPECT_EQ(mv.count(), 2u * 129u);
+}
+
+TEST(MultiBitVector, InsertExtractCrossesLaneWordSeams)
+{
+    // Lanes 63/64/65 straddle the first lane-side word seam, 127/128
+    // the second; a scatter into a seam lane must not leak into its
+    // neighbours.
+    MultiBitVector mv(130, 129);
+    BitVector bv(130);
+    bv.set(0);
+    bv.set(64);
+    bv.set(129);
+    for (std::uint32_t lane : {63u, 64u, 65u, 127u, 128u})
+        mv.insertLane(lane, bv);
+    for (std::uint32_t lane : {63u, 64u, 65u, 127u, 128u}) {
+        BitVector got = mv.extractLane(lane);
+        EXPECT_EQ(got.count(), 3u) << "lane " << lane;
+        for (std::uint32_t i : {0u, 64u, 129u})
+            EXPECT_TRUE(got.test(i)) << "lane " << lane << " bit "
+                                     << i;
+        EXPECT_EQ(mv.countLane(lane), 3u) << "lane " << lane;
+    }
+    for (std::uint32_t lane : {0u, 62u, 66u, 126u, 1u})
+        EXPECT_TRUE(mv.extractLane(lane).none())
+            << "seam scatter leaked into lane " << lane;
+}
+
 TEST(MultiBitVector, ExtractLaneCrossesWordSeams)
 {
     // Positions straddling every 64-bit boundary of the extracted
@@ -111,7 +207,8 @@ TEST(MultiBitVector, InsertExtractRoundTripFuzz)
 {
     Rng rng(0xba7c4);
     for (std::uint32_t bits : {1u, 63u, 64u, 65u, 200u}) {
-        for (std::uint32_t lanes : {1u, 2u, 7u, 33u, 64u}) {
+        for (std::uint32_t lanes :
+             {1u, 2u, 7u, 33u, 64u, 65u, 127u, 129u}) {
             MultiBitVector mv(bits, lanes);
             std::vector<BitVector> ref;
             for (std::uint32_t l = 0; l < lanes; ++l) {
@@ -199,6 +296,131 @@ TEST(MultiBitVector, ForEachActiveAscendingSharedFrontier)
     EXPECT_EQ(seen[2], std::make_pair(199u, std::uint64_t{1}));
 }
 
+TEST(MultiBitVector, ForEachActiveRowAscendingWideFrontier)
+{
+    // The wide-frontier scan: rows surface in ascending position
+    // order with bits landing in the right (row word, bit) slots
+    // across the lane seams.
+    MultiBitVector mv(200, 129);
+    mv.set(7, 0);
+    mv.set(7, 128);
+    mv.set(64, 65);
+    mv.set(199, 63);
+    std::vector<std::uint32_t> idxs;
+    std::vector<std::vector<std::uint64_t>> rows;
+    mv.forEachActiveRow(
+        [&](std::uint32_t i, const std::uint64_t *r) {
+            idxs.push_back(i);
+            rows.emplace_back(r, r + mv.laneWords());
+        });
+    ASSERT_EQ(idxs.size(), 3u);
+    EXPECT_EQ(idxs[0], 7u);
+    EXPECT_EQ(rows[0][0], 0x1u);
+    EXPECT_EQ(rows[0][1], 0u);
+    EXPECT_EQ(rows[0][2], 0x1u);
+    EXPECT_EQ(idxs[1], 64u);
+    EXPECT_EQ(rows[1][1], 0x2u);
+    EXPECT_EQ(idxs[2], 199u);
+    EXPECT_EQ(rows[2][0], std::uint64_t{1} << 63);
+}
+
+// --- lane-execution backends -------------------------------------------
+
+TEST(LaneBackend, ParseNamesAndCapabilities)
+{
+    LaneBackend b;
+    EXPECT_TRUE(parseLaneBackend("auto", b));
+    EXPECT_EQ(b, LaneBackend::Auto);
+    EXPECT_TRUE(parseLaneBackend("scalar", b));
+    EXPECT_EQ(b, LaneBackend::Scalar);
+    EXPECT_TRUE(parseLaneBackend("avx2", b));
+    EXPECT_EQ(b, LaneBackend::Avx2);
+    EXPECT_TRUE(parseLaneBackend("avx512", b));
+    EXPECT_EQ(b, LaneBackend::Avx512);
+    EXPECT_FALSE(parseLaneBackend("sse9", b));
+    EXPECT_FALSE(parseLaneBackend("", b));
+
+    EXPECT_STREQ(laneBackendName(LaneBackend::Scalar), "scalar");
+    EXPECT_STREQ(laneBackendName(LaneBackend::Avx512), "avx512");
+    // Scalar is unconditional; a SIMD backend that claims support
+    // must also be compiled in.
+    EXPECT_TRUE(laneBackendCompiled(LaneBackend::Scalar));
+    EXPECT_TRUE(laneBackendSupported(LaneBackend::Scalar));
+    for (LaneBackend s : {LaneBackend::Avx2, LaneBackend::Avx512})
+        if (laneBackendSupported(s))
+            EXPECT_TRUE(laneBackendCompiled(s));
+}
+
+/** Every SIMD table that can run on this host, for oracle fuzzing. */
+std::vector<const LaneOps *>
+supportedSimdTables()
+{
+    std::vector<const LaneOps *> out;
+    if (laneBackendSupported(LaneBackend::Avx2))
+        out.push_back(detail::laneOpsAvx2());
+    if (laneBackendSupported(LaneBackend::Avx512))
+        out.push_back(detail::laneOpsAvx512());
+    return out;
+}
+
+TEST(LaneBackend, SimdTablesMatchScalarOracleFuzz)
+{
+    const LaneOps *scalar = detail::laneOpsScalar();
+    ASSERT_NE(scalar, nullptr);
+    const std::vector<const LaneOps *> simd = supportedSimdTables();
+    if (simd.empty())
+        GTEST_SKIP() << "no SIMD lane backend on this host";
+
+    Rng rng(0x51a4d);
+    // Word counts chosen to hit every vector-block/scalar-tail split
+    // of the 4-word (AVX2) and 8-word (AVX-512) strides.
+    for (std::uint32_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 11u,
+                            15u, 16u, 17u, 31u, 32u, 33u}) {
+        std::vector<std::uint64_t> dst(n), src(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            dst[i] = rng.next();
+            src[i] = rng.next();
+        }
+        const std::vector<std::uint64_t> zeros(n, 0);
+        for (const LaneOps *ops : simd) {
+            SCOPED_TRACE(std::string(ops->name) + " n=" +
+                         std::to_string(n));
+            auto d1 = dst, d2 = dst;
+            scalar->orInto(d1.data(), src.data(), n);
+            ops->orInto(d2.data(), src.data(), n);
+            EXPECT_EQ(d1, d2);
+
+            d1 = dst, d2 = dst;
+            scalar->andInto(d1.data(), src.data(), n);
+            ops->andInto(d2.data(), src.data(), n);
+            EXPECT_EQ(d1, d2);
+
+            d1 = dst, d2 = dst;
+            scalar->andNotInto(d1.data(), src.data(), n);
+            ops->andNotInto(d2.data(), src.data(), n);
+            EXPECT_EQ(d1, d2);
+
+            d1 = dst, d2 = dst;
+            std::vector<std::uint64_t> p1(n), p2(n);
+            scalar->orFetch(d1.data(), src.data(), p1.data(), n);
+            ops->orFetch(d2.data(), src.data(), p2.data(), n);
+            EXPECT_EQ(d1, d2);
+            EXPECT_EQ(p1, p2) << "pre-merge snapshot differs";
+
+            d1 = dst, d2 = dst;
+            scalar->fill(d1.data(), 0xdeadbeefcafef00dull, n);
+            ops->fill(d2.data(), 0xdeadbeefcafef00dull, n);
+            EXPECT_EQ(d1, d2);
+
+            EXPECT_EQ(ops->popcount(dst.data(), n),
+                      scalar->popcount(dst.data(), n));
+            EXPECT_EQ(ops->any(dst.data(), n),
+                      scalar->any(dst.data(), n));
+            EXPECT_FALSE(ops->any(zeros.data(), n));
+        }
+    }
+}
+
 // --- LaneMarkerStore ---------------------------------------------------
 
 TEST(LaneMarkerStore, InsertExtractRoundTripWithValues)
@@ -284,11 +506,14 @@ TEST_P(BatchedPropagation, EveryLaneMatchesItsSoloRun)
                                 MarkerFunc::MinWeight};
     MarkerFunc func = funcs[seed % 5];
 
-    const std::uint32_t lane_counts[] = {1, 2, 7, 8, 33};
-    const std::uint32_t lanes = lane_counts[seed % 5];
+    // Lane counts spanning every lane-side word seam: the issue's
+    // acceptance pin {1, 63, 64, 65, 127, 128, 512, 1024}.
+    const std::uint32_t lane_counts[] = {1,   63,  64,  65,
+                                         127, 128, 512, 1024};
+    const std::uint32_t lanes = lane_counts[seed % 8];
 
     // Heterogeneous lanes: each gets its own random source set.
-    std::vector<MarkerStore> solo;
+    std::vector<MarkerStore> inputs;
     for (std::uint32_t l = 0; l < lanes; ++l) {
         MarkerStore s(net.numNodes());
         std::uint32_t nsrc = 1 + rng.below(4);
@@ -298,37 +523,71 @@ TEST_P(BatchedPropagation, EveryLaneMatchesItsSoloRun)
             s.set(0, node, static_cast<float>(rng.uniform(0, 3)),
                   node);
         }
-        solo.push_back(std::move(s));
+        inputs.push_back(std::move(s));
     }
 
-    LaneMarkerStore batch(net.numNodes(), lanes);
-    for (std::uint32_t l = 0; l < lanes; ++l)
-        batch.insertLane(l, solo[l]);
-
-    std::vector<PropagationStats> batch_stats =
-        propagateFunctionalBatch(net, batch, 0, 1, rule, func);
-    ASSERT_EQ(batch_stats.size(), lanes);
-
+    // Solo oracle, computed once and reused against every backend.
+    std::vector<PropagationStats> solo_stats;
+    std::vector<MarkerStore> solo_out;
     for (std::uint32_t l = 0; l < lanes; ++l) {
-        PropagationStats solo_stats =
-            propagateFunctional(net, solo[l], 0, 1, rule, func);
-        expectSameStats(batch_stats[l], solo_stats, l);
+        MarkerStore s = inputs[l];
+        solo_stats.push_back(
+            propagateFunctional(net, s, 0, 1, rule, func));
+        solo_out.push_back(std::move(s));
+    }
 
-        MarkerStore got = batch.extractLane(l);
-        for (MarkerId m : {MarkerId{0}, MarkerId{1}}) {
-            for (NodeId n = 0; n < net.numNodes(); ++n) {
-                ASSERT_EQ(got.test(m, n), solo[l].test(m, n))
-                    << "lane " << l << " m" << unsigned(m)
-                    << " node " << n;
-                if (!got.test(m, n))
-                    continue;
-                // Bit-identical, not approximately equal: the batch
-                // performs each lane's merges in the lane's solo
-                // order.
-                EXPECT_EQ(got.value(m, n), solo[l].value(m, n))
-                    << "lane " << l << " node " << n;
-                EXPECT_EQ(got.origin(m, n), solo[l].origin(m, n))
-                    << "lane " << l << " node " << n;
+    // Every compiled + CPU-supported backend must reproduce the solo
+    // runs bit for bit; scalar is itself checked against the solo
+    // path, the SIMD tables against the same oracle through the
+    // process-wide dispatch the production kernels use.
+    struct RestoreAuto
+    {
+        ~RestoreAuto()
+        {
+            std::string err;
+            setLaneBackend(LaneBackend::Auto, err);
+        }
+    } restore;
+
+    std::vector<LaneBackend> backends = {LaneBackend::Scalar};
+    for (LaneBackend s : {LaneBackend::Avx2, LaneBackend::Avx512})
+        if (laneBackendSupported(s))
+            backends.push_back(s);
+
+    for (LaneBackend b : backends) {
+        SCOPED_TRACE(laneBackendName(b));
+        std::string err;
+        ASSERT_TRUE(setLaneBackend(b, err)) << err;
+
+        LaneMarkerStore batch(net.numNodes(), lanes);
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            batch.insertLane(l, inputs[l]);
+
+        std::vector<PropagationStats> batch_stats =
+            propagateFunctionalBatch(net, batch, 0, 1, rule, func);
+        ASSERT_EQ(batch_stats.size(), lanes);
+
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            expectSameStats(batch_stats[l], solo_stats[l], l);
+
+            MarkerStore got = batch.extractLane(l);
+            for (MarkerId m : {MarkerId{0}, MarkerId{1}}) {
+                for (NodeId n = 0; n < net.numNodes(); ++n) {
+                    ASSERT_EQ(got.test(m, n), solo_out[l].test(m, n))
+                        << "lane " << l << " m" << unsigned(m)
+                        << " node " << n;
+                    if (!got.test(m, n))
+                        continue;
+                    // Bit-identical, not approximately equal: the
+                    // batch performs each lane's merges in the
+                    // lane's solo order, on every backend.
+                    EXPECT_EQ(got.value(m, n),
+                              solo_out[l].value(m, n))
+                        << "lane " << l << " node " << n;
+                    EXPECT_EQ(got.origin(m, n),
+                              solo_out[l].origin(m, n))
+                        << "lane " << l << " node " << n;
+                }
             }
         }
     }
@@ -360,7 +619,8 @@ TEST(MachineBatch, EveryLaneCountMatchesSoloRun)
     solo.loadKb(net);
     RunResult ref = solo.run(prog);
 
-    for (std::uint32_t lanes : {1u, 2u, 7u, 8u, 33u, 64u}) {
+    for (std::uint32_t lanes :
+         {1u, 2u, 7u, 8u, 33u, 64u, 65u, 128u, 1024u}) {
         SnapMachine machine(cfg);
         machine.loadKb(net);
         BatchRunResult batch = machine.runBatch(prog, lanes);

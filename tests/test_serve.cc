@@ -707,6 +707,54 @@ TEST(ServeEngine, BatchedAnswersMatchSoloBitForBit)
     EXPECT_DOUBLE_EQ(m.batchLanes.mean(), 8.0);
 }
 
+TEST(ServeEngine, WideBatchCrossesLaneWordSeam)
+{
+    // 96 lanes: two row words with a 32-lane tail — the serve path's
+    // first stop past the old single-word (64-lane) ceiling.  Also
+    // pins the exact batch_lanes histogram: the log-linear histogram
+    // it replaced had 8-wide buckets at 96 and would misreport the
+    // quantiles.
+    SemanticNetwork net = makeTreeKb(300, 4);
+    RelationType inc = net.relationId("includes");
+    Program prog = countQuery(0, inc, 0.0f);
+
+    MachineConfig mcfg = smallEngineConfig(1).machine;
+    SnapMachine direct(mcfg);
+    direct.loadKb(net);
+    RunResult ref = direct.run(prog);
+
+    ServeConfig cfg = smallEngineConfig(1);
+    cfg.startPaused = true;
+    cfg.maxBatchLanes = 96;
+    ServeEngine engine(net, cfg);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 96; ++i) {
+        Request req;
+        req.prog = prog;
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.start();
+    for (auto &f : futures) {
+        Response resp = f.get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        EXPECT_EQ(resp.batchLanes, 96u);
+        EXPECT_EQ(resp.wallTicks, ref.wallTicks)
+            << "wide batching must not change simulated time";
+        test::expectSameResults(resp.results, ref.results);
+    }
+
+    serve::MetricsSnapshot m = engine.metricsSnapshot();
+    EXPECT_EQ(m.completed, 96u);
+    EXPECT_EQ(m.batches, 1u);
+    EXPECT_EQ(m.batchedRequests, 96u);
+    EXPECT_DOUBLE_EQ(m.batchLanes.mean(), 96.0);
+    EXPECT_DOUBLE_EQ(m.batchLanes.quantile(0.5), 96.0);
+    EXPECT_DOUBLE_EQ(m.batchLanes.quantile(0.99), 96.0)
+        << "batch_lanes must bucket exactly above 64 lanes";
+    EXPECT_DOUBLE_EQ(m.batchLanes.max(), 96.0);
+}
+
 TEST(ServeEngine, BatchFormerGroupsByProgramHash)
 {
     SemanticNetwork net = makeTreeKb(300, 4);
