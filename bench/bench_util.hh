@@ -11,9 +11,11 @@
 #ifndef SNAP_BENCH_BENCH_UTIL_HH
 #define SNAP_BENCH_BENCH_UTIL_HH
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,59 @@ jsonEnvelope()
         SNAP_GIT_SHA, SNAP_BUILD_TYPE, host,
         simdCapabilityString());
 }
+
+/**
+ * RAII scratch directory (mkdtemp under $TMPDIR or /tmp): benches
+ * that need .kbimg images or unix sockets create them here instead
+ * of littering the working tree; everything is removed on exit.
+ * Keep socket names short — AF_UNIX paths cap at ~107 bytes.
+ */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+    {
+        const char *tmp = std::getenv("TMPDIR");
+        const std::string tmpl =
+            std::string(tmp && *tmp ? tmp : "/tmp") + "/snap_" +
+            tag + "_XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr)
+            snap_fatal("mkdtemp(%s) failed", tmpl.c_str());
+        path_ = buf.data();
+    }
+
+    ~ScratchDir()
+    {
+        // Best-effort: the scratch tree is flat (images + sockets).
+        DIR *d = ::opendir(path_.c_str());
+        if (d != nullptr) {
+            while (struct dirent *e = ::readdir(d)) {
+                const std::string name = e->d_name;
+                if (name == "." || name == "..")
+                    continue;
+                ::unlink((path_ + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path_.c_str());
+    }
+
+    ScratchDir(const ScratchDir &) = delete;
+    ScratchDir &operator=(const ScratchDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Absolute path of @p name inside the scratch dir. */
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
 
 /** Least-squares slope of y over x. */
 inline double

@@ -33,6 +33,7 @@ benches=(
     batch
     fault_tolerance
     shard
+    chaos_soak
     ablation_partition
     ablation_queues
     ablation_machine

@@ -178,9 +178,11 @@ main(int argc, char **argv)
     RelationType down = net.relationId("includes");
     RelationType up = net.relationId("is-a");
 
-    // Pack once; every shard bulk-loads this image.
+    // Pack once; every shard bulk-loads this image.  Images and
+    // sockets live in a scratch dir, not the working tree.
+    bench::ScratchDir scratch("shard");
     serve::ServeConfig scfg = shardServeConfig();
-    const std::string image_path = "bench_shard.kbimg";
+    const std::string image_path = scratch.file("bench_shard.kbimg");
     {
         KbImage image(net, scfg.machine);
         saveKbImageFile(net, image, scfg.machine.partition,
@@ -217,7 +219,7 @@ main(int argc, char **argv)
         shard::RouterConfig rcfg;
         for (std::uint32_t s = 0; s < n_shards; ++s) {
             std::string sock =
-                formatString("bench_shard_%u.sock", s);
+                scratch.file(formatString("shard_%u.sock", s));
             std::remove(sock.c_str());
             fleet.push_back(std::make_unique<BenchShard>(
                 image_path, "unix:" + sock));
@@ -291,7 +293,8 @@ main(int argc, char **argv)
     // Same mix against 2 shards, with a second image generation
     // swapped in twice mid-stream and pinned sessions spanning both
     // flips.  Every answer must stay correct; nothing may fail.
-    const std::string gen2_path = "bench_shard_gen2.kbimg";
+    const std::string gen2_path =
+        scratch.file("bench_shard_gen2.kbimg");
     {
         KbImage image(net, scfg.machine);
         saveKbImageFile(net, image, scfg.machine.partition,
@@ -305,7 +308,7 @@ main(int argc, char **argv)
         shard::RouterConfig rcfg;
         for (std::uint32_t s = 0; s < 2; ++s) {
             std::string sock =
-                formatString("bench_swap_%u.sock", s);
+                scratch.file(formatString("swap_%u.sock", s));
             std::remove(sock.c_str());
             fleet.push_back(std::make_unique<BenchShard>(
                 image_path, "unix:" + sock));

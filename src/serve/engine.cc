@@ -984,5 +984,26 @@ ServeEngine::sessionIds() const
     return sessions_.sessionIds();
 }
 
+bool
+ServeEngine::trySessionMarkers(const std::string &id,
+                               MarkerStore &out) const
+{
+    return sessions_.tryFetch(id, out);
+}
+
+bool
+ServeEngine::restoreSession(const std::string &id, MarkerStore state,
+                            std::string &err)
+{
+    if (state.numNodes() != master_->numNodes()) {
+        err = formatString("session checkpoint has %u nodes, the "
+                           "served image has %u",
+                           state.numNodes(), master_->numNodes());
+        return false;
+    }
+    sessions_.restore(id, std::move(state));
+    return true;
+}
+
 } // namespace serve
 } // namespace snap

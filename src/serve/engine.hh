@@ -258,6 +258,16 @@ class ServeEngine
     MarkerStore sessionMarkers(const std::string &id) const;
     std::vector<std::string> sessionIds() const;
 
+    /** Non-asserting checkpoint pull: false when the session does
+     *  not exist on this engine. */
+    bool trySessionMarkers(const std::string &id, MarkerStore &out) const;
+
+    /** Restore (create-or-overwrite) session @p id from a
+     *  checkpoint.  Rejects a node-count mismatch with @p err set
+     *  (typed: the checkpoint crossed a trust boundary). */
+    bool restoreSession(const std::string &id, MarkerStore state,
+                        std::string &err);
+
     const KbImage &sharedImage() const { return *master_; }
     std::uint32_t numWorkers() const { return cfg_.numWorkers; }
     const ServeConfig &config() const { return cfg_; }

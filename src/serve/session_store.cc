@@ -44,6 +44,30 @@ SessionStore::fetch(const std::string &id) const
     return it->second.markers;
 }
 
+bool
+SessionStore::tryFetch(const std::string &id, MarkerStore &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return false;
+    out = it->second.markers;
+    return true;
+}
+
+void
+SessionStore::restore(const std::string &id, MarkerStore state)
+{
+    snap_assert(state.numNodes() == numNodes_,
+                "session restore with %u nodes into a %u-node store",
+                state.numNodes(), numNodes_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stateOf(id).markers = std::move(state);
+    }
+    turn_.notify_all();
+}
+
 void
 SessionStore::skipCancelled(State &s)
 {

@@ -58,6 +58,17 @@ class SessionStore
      *  the holder of the current turn. */
     MarkerStore fetch(const std::string &id) const;
 
+    /** Non-asserting fetch: false when the session does not exist.
+     *  Used by the migration pull path, where "no such session yet"
+     *  is a normal answer, not a protocol error. */
+    bool tryFetch(const std::string &id, MarkerStore &out) const;
+
+    /** Create-or-overwrite a session's marker state from a
+     *  checkpoint (drain migration / warm-backup replication onto
+     *  this replica).  Turn bookkeeping is preserved for an existing
+     *  session and starts fresh for a new one. */
+    void restore(const std::string &id, MarkerStore state);
+
     /** Publish the post-run state of turn @p seq and pass the turn
      *  on. */
     void complete(const std::string &id, std::uint64_t seq,

@@ -64,7 +64,7 @@ sendAll(int fd, const std::uint8_t *data, std::size_t n)
 }
 
 /** @return 1 on success, 0 on clean EOF at a frame boundary start,
- *  -1 on error/mid-read EOF. */
+ *  -1 on mid-read EOF, -2 on a socket error. */
 int
 recvAll(int fd, std::uint8_t *data, std::size_t n)
 {
@@ -74,7 +74,7 @@ recvAll(int fd, std::uint8_t *data, std::size_t n)
         if (k < 0) {
             if (errno == EINTR)
                 continue;
-            return -1;
+            return -2;
         }
         if (k == 0)
             return first ? 0 : -1;
@@ -86,6 +86,22 @@ recvAll(int fd, std::uint8_t *data, std::size_t n)
 }
 
 } // namespace
+
+const char *
+ioErrorKindName(IoErrorKind k)
+{
+    switch (k) {
+      case IoErrorKind::None: return "none";
+      case IoErrorKind::Closed: return "closed";
+      case IoErrorKind::MidFrameEof: return "mid-frame-eof";
+      case IoErrorKind::OverCap: return "over-cap";
+      case IoErrorKind::BadType: return "bad-type";
+      case IoErrorKind::Refused: return "refused";
+      case IoErrorKind::Timeout: return "timeout";
+      case IoErrorKind::IoError: return "io-error";
+    }
+    return "?";
+}
 
 std::string
 Endpoint::toString() const
@@ -224,7 +240,16 @@ int
 connectEndpoint(const Endpoint &ep, double timeout_ms,
                 std::string &detail)
 {
+    IoErrorKind kind = IoErrorKind::None;
+    return connectEndpoint(ep, timeout_ms, detail, kind);
+}
+
+int
+connectEndpoint(const Endpoint &ep, double timeout_ms,
+                std::string &detail, IoErrorKind &kind)
+{
     using Clock = std::chrono::steady_clock;
+    kind = IoErrorKind::None;
     const Clock::time_point give_up =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
@@ -237,6 +262,7 @@ connectEndpoint(const Endpoint &ep, double timeout_ms,
             if (!fillUnixAddr(ep.host, addr)) {
                 detail = formatString("socket path '%s' too long",
                                       ep.host.c_str());
+                kind = IoErrorKind::IoError;
                 return -1;
             }
             fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -253,6 +279,7 @@ connectEndpoint(const Endpoint &ep, double timeout_ms,
             if (!resolveIpv4(ep.host, addr.sin_addr)) {
                 detail = formatString("cannot resolve '%s'",
                                       ep.host.c_str());
+                kind = IoErrorKind::IoError;
                 return -1;
             }
             fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -279,11 +306,13 @@ connectEndpoint(const Endpoint &ep, double timeout_ms,
         if (err != ENOENT && err != ECONNREFUSED) {
             errno = err;
             detail = errnoDetail("connect");
+            kind = IoErrorKind::IoError;
             return -1;
         }
         if (Clock::now() >= give_up) {
             errno = err;
             detail = errnoDetail("connect (timed out waiting)");
+            kind = IoErrorKind::Refused;
             return -1;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -319,11 +348,28 @@ bool
 readFrame(int fd, FrameType &type, std::vector<std::uint8_t> &payload,
           std::string &detail)
 {
+    IoErrorKind kind = IoErrorKind::None;
+    return readFrame(fd, type, payload, detail, kind);
+}
+
+bool
+readFrame(int fd, FrameType &type, std::vector<std::uint8_t> &payload,
+          std::string &detail, IoErrorKind &kind)
+{
+    kind = IoErrorKind::None;
     std::uint8_t head[5];
     int rc = recvAll(fd, head, sizeof(head));
-    if (rc <= 0) {
-        detail = rc == 0 ? "connection closed"
-                         : errnoDetail("recv (frame header)");
+    if (rc != 1) {
+        if (rc == 0) {
+            detail = "connection closed";
+            kind = IoErrorKind::Closed;
+        } else if (rc == -1) {
+            detail = "connection closed mid-frame (header)";
+            kind = IoErrorKind::MidFrameEof;
+        } else {
+            detail = errnoDetail("recv (frame header)");
+            kind = IoErrorKind::IoError;
+        }
         return false;
     }
     std::uint32_t len = 0;
@@ -332,21 +378,53 @@ readFrame(int fd, FrameType &type, std::vector<std::uint8_t> &payload,
     if (len > maxFramePayload) {
         detail = formatString("frame payload %u exceeds the %u-byte "
                               "cap", len, maxFramePayload);
+        kind = IoErrorKind::OverCap;
         return false;
     }
     const std::uint8_t raw_type = head[4];
     if (raw_type < static_cast<std::uint8_t>(FrameType::Hello) ||
-        raw_type > static_cast<std::uint8_t>(FrameType::Shutdown)) {
+        raw_type > maxFrameType) {
         detail = formatString("unknown frame type %u", raw_type);
+        kind = IoErrorKind::BadType;
         return false;
     }
     type = static_cast<FrameType>(raw_type);
     payload.resize(len);
-    if (len > 0 && recvAll(fd, payload.data(), len) != 1) {
-        detail = errnoDetail("recv (frame payload)");
-        return false;
+    if (len > 0) {
+        rc = recvAll(fd, payload.data(), len);
+        if (rc != 1) {
+            if (rc == -2) {
+                detail = errnoDetail("recv (frame payload)");
+                kind = IoErrorKind::IoError;
+            } else {
+                detail = "connection closed mid-frame (payload)";
+                kind = IoErrorKind::MidFrameEof;
+            }
+            return false;
+        }
     }
     return true;
+}
+
+bool
+writeFrameTruncated(int fd, FrameType type,
+                    const std::vector<std::uint8_t> &payload,
+                    std::size_t max_payload_bytes)
+{
+    snap_assert(payload.size() <= maxFramePayload,
+                "frame payload %zu over cap", payload.size());
+    std::uint8_t head[5];
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        head[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    head[4] = static_cast<std::uint8_t>(type);
+    if (!sendAll(fd, head, sizeof(head)))
+        return false;
+    const std::size_t n =
+        payload.size() < max_payload_bytes ? payload.size()
+                                           : max_payload_bytes;
+    return n == 0 || sendAll(fd, payload.data(), n);
 }
 
 } // namespace shard

@@ -50,6 +50,35 @@ struct Endpoint
     std::string toString() const;
 };
 
+/**
+ * What exactly went wrong on a typed I/O failure.  The router keys
+ * its retry/failover decisions off this, not off detail strings:
+ * Refused and Timeout mean the peer never took the work (safe to
+ * fail over), Closed means a clean goodbye at a frame boundary,
+ * MidFrameEof means the peer died mid-message (the in-flight frame
+ * is lost and its fate unknown).
+ */
+enum class IoErrorKind : std::uint8_t
+{
+    None = 0,
+    /** Clean EOF at a frame boundary. */
+    Closed,
+    /** EOF inside a frame (header or payload cut short). */
+    MidFrameEof,
+    /** Length prefix exceeds maxFramePayload. */
+    OverCap,
+    /** Frame type outside the protocol range. */
+    BadType,
+    /** Peer actively refused / never bound within the deadline. */
+    Refused,
+    /** Peer is up but did not answer within the deadline. */
+    Timeout,
+    /** Any other socket-level errno. */
+    IoError,
+};
+
+const char *ioErrorKindName(IoErrorKind k);
+
 /** Parse "unix:/path" or "host:port".  @return false + detail on a
  *  malformed string. */
 bool parseEndpoint(const std::string &text, Endpoint &out,
@@ -70,6 +99,11 @@ int acceptConnection(int listen_fd, std::string &detail);
 int connectEndpoint(const Endpoint &ep, double timeout_ms,
                     std::string &detail);
 
+/** Typed variant: @p kind is Refused when the peer never answered
+ *  within the deadline, IoError for any other failure. */
+int connectEndpoint(const Endpoint &ep, double timeout_ms,
+                    std::string &detail, IoErrorKind &kind);
+
 /** Close an fd (idempotent; ignores -1). */
 void closeFd(int fd);
 
@@ -87,6 +121,22 @@ bool writeFrame(int fd, FrameType type,
  */
 bool readFrame(int fd, FrameType &type,
                std::vector<std::uint8_t> &payload, std::string &detail);
+
+/** Typed variant: @p kind distinguishes clean close, mid-frame EOF,
+ *  over-cap length, bad frame type, and socket errors. */
+bool readFrame(int fd, FrameType &type,
+               std::vector<std::uint8_t> &payload, std::string &detail,
+               IoErrorKind &kind);
+
+/**
+ * Fault-injection helper: write a frame header advertising the full
+ * payload length but send only the first @p max_payload_bytes of the
+ * payload.  The caller is expected to shut the socket down
+ * afterwards, so the peer observes a mid-frame EOF.
+ */
+bool writeFrameTruncated(int fd, FrameType type,
+                         const std::vector<std::uint8_t> &payload,
+                         std::size_t max_payload_bytes);
 
 } // namespace shard
 } // namespace snap

@@ -83,5 +83,32 @@ HashRing::ownerSkipping(std::uint64_t key,
     return start->shard;
 }
 
+std::vector<std::uint32_t>
+HashRing::owners(std::uint64_t key, std::uint32_t r) const
+{
+    const std::uint32_t want = std::min(r, numShards_);
+    std::vector<std::uint32_t> out;
+    out.reserve(want);
+    const std::uint64_t h = mix64(key);
+    auto start = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point &p, std::uint64_t v) { return p.hash < v; });
+    if (start == points_.end())
+        start = points_.begin();
+    auto it = start;
+    do {
+        const std::uint32_t s = it->shard;
+        if (std::find(out.begin(), out.end(), s) == out.end()) {
+            out.push_back(s);
+            if (out.size() == want)
+                break;
+        }
+        ++it;
+        if (it == points_.end())
+            it = points_.begin();
+    } while (it != start);
+    return out;
+}
+
 } // namespace shard
 } // namespace snap

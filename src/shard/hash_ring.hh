@@ -51,6 +51,16 @@ class HashRing
     std::uint32_t ownerSkipping(std::uint64_t key,
                                 const std::vector<bool> &down) const;
 
+    /**
+     * The first min(@p r, numShards()) *distinct* shards clockwise
+     * from hash(key): owners[0] is owner(key) (the primary), the
+     * rest are the replica set in ring order.  Replication R >= 2
+     * keys every range to this set; consistency keeps it stable
+     * across shard-set edits just like owner().
+     */
+    std::vector<std::uint32_t> owners(std::uint64_t key,
+                                      std::uint32_t r) const;
+
   private:
     struct Point
     {

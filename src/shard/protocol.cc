@@ -20,6 +20,10 @@ frameTypeName(FrameType t)
       case FrameType::Commit: return "commit";
       case FrameType::CommitAck: return "commit-ack";
       case FrameType::Shutdown: return "shutdown";
+      case FrameType::SessionPull: return "session-pull";
+      case FrameType::SessionState: return "session-state";
+      case FrameType::SessionPush: return "session-push";
+      case FrameType::SessionPushAck: return "session-push-ack";
     }
     return "?";
 }
@@ -211,6 +215,74 @@ decodeResults(WireReader &r, ResultSet &out)
     return !r.failed();
 }
 
+// --- markers (session checkpoints) --------------------------------------
+
+void
+encodeMarkers(WireWriter &w, const MarkerStore &m)
+{
+    std::uint8_t num_planes = 0;
+    for (std::uint32_t mk = 0; mk < capacity::numMarkers; ++mk)
+        if (m.count(static_cast<MarkerId>(mk)) > 0)
+            ++num_planes;
+    w.u8(num_planes);
+    for (std::uint32_t mk = 0; mk < capacity::numMarkers; ++mk) {
+        const MarkerId marker = static_cast<MarkerId>(mk);
+        const std::uint32_t count = m.count(marker);
+        if (count == 0)
+            continue;
+        w.u8(static_cast<std::uint8_t>(mk));
+        w.u32(count);
+        for (std::uint32_t n = 0; n < m.numNodes(); ++n) {
+            if (!m.test(marker, n))
+                continue;
+            w.u32(n);
+            if (isComplexMarker(marker)) {
+                w.f32(m.value(marker, n));
+                w.u32(m.origin(marker, n));
+            }
+        }
+    }
+}
+
+bool
+decodeMarkers(WireReader &r, MarkerStore &out)
+{
+    const std::uint32_t num_planes = r.u8();
+    if (r.failed() || num_planes > capacity::numMarkers)
+        return false;
+    int prev_plane = -1;
+    for (std::uint32_t p = 0; p < num_planes; ++p) {
+        const std::uint8_t mk = r.u8();
+        const std::uint32_t count = r.u32();
+        if (r.failed() || mk >= capacity::numMarkers ||
+            static_cast<int>(mk) <= prev_plane)
+            return false;
+        prev_plane = mk;
+        const MarkerId marker = static_cast<MarkerId>(mk);
+        const std::size_t entry = isComplexMarker(marker) ? 12 : 4;
+        if (count > out.numNodes() || count > r.remaining() / entry + 1)
+            return false;
+        std::uint32_t prev_node = 0;
+        for (std::uint32_t k = 0; k < count; ++k) {
+            const std::uint32_t node = r.u32();
+            if (r.failed() || node >= out.numNodes() ||
+                (k > 0 && node <= prev_node))
+                return false;
+            prev_node = node;
+            if (isComplexMarker(marker)) {
+                const float value = r.f32();
+                const std::uint32_t origin = r.u32();
+                if (r.failed())
+                    return false;
+                out.set(marker, node, value, origin);
+            } else {
+                out.setBit(marker, node);
+            }
+        }
+    }
+    return !r.failed();
+}
+
 // --- frames -------------------------------------------------------------
 
 void
@@ -283,6 +355,9 @@ encodeResponse(WireWriter &w, const ResponseFrame &f)
     w.u32(f.retries);
     w.u8(f.faultDetected ? 1 : 0);
     encodeResults(w, f.results);
+    // v2: trailing checksum over every payload byte written above, so
+    // a corrupt-but-well-framed response is detected, never served.
+    w.u64(fnv1a64(w.bytes().data(), w.size()));
 }
 
 bool
@@ -304,6 +379,13 @@ decodeResponse(WireReader &r, ResponseFrame &f)
     f.status = static_cast<serve::RequestStatus>(status);
     if (!decodeResults(r, f.results))
         return false;
+    // Version-tolerant tail: a v1 payload ends here; a v2 payload has
+    // exactly 8 checksum bytes left, verified over the bytes consumed.
+    if (r.remaining() == 8) {
+        const std::uint64_t want = fnv1a64(r.data(), r.pos());
+        if (r.u64() != want)
+            return false;
+    }
     return r.done();
 }
 
@@ -379,6 +461,87 @@ bool
 decodeEpoch(WireReader &r, EpochFrame &f)
 {
     f.epoch = r.u64();
+    return r.done();
+}
+
+void
+encodeSessionPull(WireWriter &w, const SessionPullFrame &f)
+{
+    w.str(f.sessionId);
+}
+
+bool
+decodeSessionPull(WireReader &r, SessionPullFrame &f)
+{
+    f.sessionId = r.str(4096);
+    return r.done();
+}
+
+void
+encodeSessionState(WireWriter &w, const SessionStateFrame &f)
+{
+    w.str(f.sessionId);
+    w.u8(f.found ? 1 : 0);
+    w.u32(f.numNodes);
+    if (f.found)
+        encodeMarkers(w, f.markers);
+}
+
+bool
+decodeSessionState(WireReader &r, std::uint32_t expect_nodes,
+                   SessionStateFrame &f)
+{
+    f.sessionId = r.str(4096);
+    f.found = r.u8() != 0;
+    f.numNodes = r.u32();
+    if (r.failed())
+        return false;
+    if (!f.found)
+        return r.done();
+    if (f.numNodes != expect_nodes)
+        return false;
+    f.markers = MarkerStore(f.numNodes);
+    if (!decodeMarkers(r, f.markers))
+        return false;
+    return r.done();
+}
+
+void
+encodeSessionPush(WireWriter &w, const SessionPushFrame &f)
+{
+    w.str(f.sessionId);
+    w.u32(f.numNodes);
+    encodeMarkers(w, f.markers);
+}
+
+bool
+decodeSessionPush(WireReader &r, std::uint32_t expect_nodes,
+                  SessionPushFrame &f)
+{
+    f.sessionId = r.str(4096);
+    f.numNodes = r.u32();
+    if (r.failed() || f.sessionId.empty() || f.numNodes != expect_nodes)
+        return false;
+    f.markers = MarkerStore(f.numNodes);
+    if (!decodeMarkers(r, f.markers))
+        return false;
+    return r.done();
+}
+
+void
+encodeSessionPushAck(WireWriter &w, const SessionPushAckFrame &f)
+{
+    w.str(f.sessionId);
+    w.u8(f.ok ? 1 : 0);
+    w.str(f.detail);
+}
+
+bool
+decodeSessionPushAck(WireReader &r, SessionPushAckFrame &f)
+{
+    f.sessionId = r.str(4096);
+    f.ok = r.u8() != 0;
+    f.detail = r.str(4096);
     return r.done();
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "runtime/marker_store.hh"
 #include "runtime/results.hh"
 #include "serve/request.hh"
 #include "shard/wire_format.hh"
@@ -36,8 +37,11 @@ namespace snap
 namespace shard
 {
 
-/** Protocol revision; bumped on any incompatible frame change. */
-constexpr std::uint32_t protocolVersion = 1;
+/** Protocol revision; bumped on any incompatible frame change.
+ *  v2: Response frames carry a trailing FNV-1a64 payload checksum
+ *  (decode stays tolerant of checksum-less v1 payloads) and the
+ *  session migration frames (SessionPull..SessionPushAck) exist. */
+constexpr std::uint32_t protocolVersion = 2;
 
 /** Hard cap on one frame's payload (a serialized Program or
  *  ResultSet is well under this; the cap bounds a hostile peer). */
@@ -68,7 +72,20 @@ enum class FrameType : std::uint8_t
     CommitAck = 10,
     /** Router -> shard: drain and exit. */
     Shutdown = 11,
+    /** Router -> shard: checkpoint one session's marker state. */
+    SessionPull = 12,
+    /** Shard -> router: the session checkpoint (or not-found). */
+    SessionState = 13,
+    /** Router -> shard: restore a session checkpoint onto this
+     *  shard (drain migration / warm backup replication). */
+    SessionPush = 14,
+    /** Shard -> router: restore outcome (ok or typed detail). */
+    SessionPushAck = 15,
 };
+
+/** Highest valid frame type on the wire (framing-layer range check). */
+constexpr std::uint8_t maxFrameType =
+    static_cast<std::uint8_t>(FrameType::SessionPushAck);
 
 const char *frameTypeName(FrameType t);
 
@@ -147,6 +164,36 @@ struct EpochFrame
     std::uint64_t epoch = 0;
 };
 
+struct SessionPullFrame
+{
+    std::string sessionId;
+};
+
+/** A session's checkpointed marker state.  `found == false` means
+ *  the shard has no such session (markers stay empty). */
+struct SessionStateFrame
+{
+    std::string sessionId;
+    bool found = false;
+    std::uint32_t numNodes = 0;
+    MarkerStore markers{0};
+};
+
+struct SessionPushFrame
+{
+    std::string sessionId;
+    std::uint32_t numNodes = 0;
+    MarkerStore markers{0};
+};
+
+struct SessionPushAckFrame
+{
+    std::string sessionId;
+    bool ok = false;
+    /** Typed failure detail when !ok. */
+    std::string detail;
+};
+
 // --- program / results codecs (shared by request and response) ----------
 
 void encodeProgram(WireWriter &w, const Program &prog);
@@ -156,6 +203,14 @@ bool decodeProgram(WireReader &r, Program &out);
 
 void encodeResults(WireWriter &w, const ResultSet &results);
 bool decodeResults(WireReader &r, ResultSet &out);
+
+/** Sparse marker-state codec (session checkpoints): per non-empty
+ *  plane the marker id, a node count, and ascending node ids (complex
+ *  markers carry value + origin per node). */
+void encodeMarkers(WireWriter &w, const MarkerStore &m);
+/** @p out must be pre-sized to the expected node count; decode
+ *  rejects out-of-range nodes and non-ascending plane/node order. */
+bool decodeMarkers(WireReader &r, MarkerStore &out);
 
 // --- frame payload codecs ----------------------------------------------
 
@@ -177,6 +232,18 @@ void encodePrepareAck(WireWriter &w, const PrepareAckFrame &f);
 bool decodePrepareAck(WireReader &r, PrepareAckFrame &f);
 void encodeEpoch(WireWriter &w, const EpochFrame &f);
 bool decodeEpoch(WireReader &r, EpochFrame &f);
+void encodeSessionPull(WireWriter &w, const SessionPullFrame &f);
+bool decodeSessionPull(WireReader &r, SessionPullFrame &f);
+void encodeSessionState(WireWriter &w, const SessionStateFrame &f);
+/** @p expect_nodes is the decoder's own node count; a found
+ *  checkpoint with a different node count is rejected. */
+bool decodeSessionState(WireReader &r, std::uint32_t expect_nodes,
+                        SessionStateFrame &f);
+void encodeSessionPush(WireWriter &w, const SessionPushFrame &f);
+bool decodeSessionPush(WireReader &r, std::uint32_t expect_nodes,
+                       SessionPushFrame &f);
+void encodeSessionPushAck(WireWriter &w, const SessionPushAckFrame &f);
+bool decodeSessionPushAck(WireReader &r, SessionPushAckFrame &f);
 
 } // namespace shard
 } // namespace snap

@@ -1,7 +1,9 @@
 #include "shard/router.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <sys/socket.h>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -22,6 +24,14 @@ ShardRouter::ShardRouter(RouterConfig cfg)
         snap_fatal("router needs at least one shard endpoint");
     if (cfg_.maxInflightPerShard < 1)
         snap_fatal("maxInflightPerShard must be >= 1");
+    if (cfg_.replication < 1)
+        snap_fatal("replication must be >= 1");
+    if (cfg_.hedgeDelayMs < 0.0 || cfg_.reconnectMs < 0.0)
+        snap_fatal("hedgeDelayMs / reconnectMs must be >= 0");
+    // R > N degenerates to every-shard-owns-every-key; clamp so the
+    // replica-set walks terminate at the shard count.
+    cfg_.replication = std::min(
+        cfg_.replication, static_cast<std::uint32_t>(cfg_.shards.size()));
     shards_.reserve(cfg_.shards.size());
     down_.assign(cfg_.shards.size(), true);
     for (const std::string &text : cfg_.shards) {
@@ -36,6 +46,13 @@ ShardRouter::ShardRouter(RouterConfig cfg)
 ShardRouter::~ShardRouter()
 {
     closing_.store(true, std::memory_order_release);
+    monitorCv_.notify_all();
+    replCv_.notify_all();
+    pinCv_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+    if (replicator_.joinable())
+        replicator_.join();
     for (auto &shard : shards_) {
         if (shard->fd >= 0)
             ::shutdown(shard->fd, SHUT_RDWR);
@@ -53,62 +70,99 @@ ShardRouter::~ShardRouter()
 }
 
 bool
+ShardRouter::dialShard(std::uint32_t idx, double timeout_ms,
+                       std::string &detail, IoErrorKind &kind)
+{
+    Shard &shard = *shards_[idx];
+    kind = IoErrorKind::None;
+    const int fd = connectEndpoint(shard.ep, timeout_ms, detail, kind);
+    if (fd < 0) {
+        detail = formatString("shard %u (%s): %s", idx,
+                              shard.ep.toString().c_str(),
+                              detail.c_str());
+        return false;
+    }
+    // Synchronous handshake before any reader thread owns the read
+    // side.
+    WireWriter w;
+    encodeHello(w, HelloFrame{});
+    if (!writeFrame(fd, FrameType::Hello, w.bytes())) {
+        closeFd(fd);
+        kind = IoErrorKind::IoError;
+        detail = formatString("shard %u: hello write failed", idx);
+        return false;
+    }
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    if (!readFrame(fd, type, payload, detail, kind) ||
+        type != FrameType::HelloAck) {
+        closeFd(fd);
+        if (kind == IoErrorKind::None)
+            kind = IoErrorKind::BadType;
+        detail = formatString("shard %u: no hello-ack (%s)", idx,
+                              detail.c_str());
+        return false;
+    }
+    WireReader r(payload.data(), payload.size());
+    HelloAckFrame ack;
+    if (!decodeHelloAck(r, ack)) {
+        closeFd(fd);
+        kind = IoErrorKind::BadType;
+        detail = formatString("shard %u: malformed hello-ack", idx);
+        return false;
+    }
+    if (ack.version != protocolVersion) {
+        closeFd(fd);
+        kind = IoErrorKind::BadType;
+        detail = formatString("shard %u speaks protocol %u, this "
+                              "router speaks %u", idx, ack.version,
+                              protocolVersion);
+        return false;
+    }
+    if (cfg_.requireUniformImage && fingerprint_ != 0 &&
+        ack.fingerprint != fingerprint_) {
+        closeFd(fd);
+        kind = IoErrorKind::BadType;
+        detail = formatString(
+            "shard %u serves image %016llx but the fleet serves "
+            "%016llx — shards must serve the same knowledge", idx,
+            static_cast<unsigned long long>(ack.fingerprint),
+            static_cast<unsigned long long>(fingerprint_));
+        return false;
+    }
+    if (numNodes_ != 0 && ack.numNodes != numNodes_) {
+        // The session codecs are keyed to one node count.
+        closeFd(fd);
+        kind = IoErrorKind::BadType;
+        detail = formatString("shard %u serves %u nodes, the fleet "
+                              "serves %u", idx, ack.numNodes,
+                              numNodes_);
+        return false;
+    }
+    if (fingerprint_ == 0)
+        fingerprint_ = ack.fingerprint;
+    if (numNodes_ == 0)
+        numNodes_ = ack.numNodes;
+    epoch_ = std::max(epoch_, ack.epoch);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.fd = fd;
+        shard.up = true;
+    }
+    shard.lastError.store(IoErrorKind::None, std::memory_order_release);
+    return true;
+}
+
+bool
 ShardRouter::connect(std::string &detail)
 {
-    bool have_fp = false;
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
-        Shard &shard = *shards_[i];
-        shard.fd = connectEndpoint(shard.ep, cfg_.connectTimeoutMs,
-                                   detail);
-        if (shard.fd < 0) {
-            detail = formatString("shard %u (%s): %s", i,
-                                  shard.ep.toString().c_str(),
-                                  detail.c_str());
+        IoErrorKind kind = IoErrorKind::None;
+        if (!dialShard(i, cfg_.connectTimeoutMs, detail, kind)) {
+            shards_[i]->lastError.store(kind,
+                                        std::memory_order_release);
             return false;
         }
-        // Synchronous handshake before the reader thread owns the
-        // read side.
-        WireWriter w;
-        encodeHello(w, HelloFrame{});
-        if (!writeFrame(shard.fd, FrameType::Hello, w.bytes())) {
-            detail = formatString("shard %u: hello write failed", i);
-            return false;
-        }
-        FrameType type;
-        std::vector<std::uint8_t> payload;
-        if (!readFrame(shard.fd, type, payload, detail) ||
-            type != FrameType::HelloAck) {
-            detail = formatString("shard %u: no hello-ack (%s)", i,
-                                  detail.c_str());
-            return false;
-        }
-        WireReader r(payload.data(), payload.size());
-        HelloAckFrame ack;
-        if (!decodeHelloAck(r, ack)) {
-            detail = formatString("shard %u: malformed hello-ack", i);
-            return false;
-        }
-        if (ack.version != protocolVersion) {
-            detail = formatString("shard %u speaks protocol %u, this "
-                                  "router speaks %u", i, ack.version,
-                                  protocolVersion);
-            return false;
-        }
-        if (cfg_.requireUniformImage) {
-            if (have_fp && ack.fingerprint != fingerprint_) {
-                detail = formatString(
-                    "shard %u serves image %016llx but shard 0 "
-                    "serves %016llx — shards must serve the same "
-                    "knowledge", i,
-                    static_cast<unsigned long long>(ack.fingerprint),
-                    static_cast<unsigned long long>(fingerprint_));
-                return false;
-            }
-            fingerprint_ = ack.fingerprint;
-            have_fp = true;
-        }
-        epoch_ = ack.epoch;
-        shard.up = true;
     }
     {
         std::lock_guard<std::mutex> lock(downMu_);
@@ -118,6 +172,13 @@ ShardRouter::connect(std::string &detail)
         shards_[i]->reader =
             std::thread([this, i] { readerMain(i); });
     }
+    // Warm-backup replication (sessions survive a primary hard-kill)
+    // and the monitor (hedged retries + automatic re-dial of down
+    // shards) are background threads for the connection's lifetime.
+    if (cfg_.replication >= 2 && cfg_.warmBackups)
+        replicator_ = std::thread([this] { replicatorMain(); });
+    if (cfg_.hedgeDelayMs > 0.0 || cfg_.reconnectMs > 0.0)
+        monitor_ = std::thread([this] { monitorMain(); });
     detail.clear();
     return true;
 }
@@ -129,6 +190,14 @@ ShardRouter::shardHealthy(std::uint32_t shard) const
     return shard < down_.size() && !down_[shard];
 }
 
+IoErrorKind
+ShardRouter::shardLastError(std::uint32_t shard) const
+{
+    if (shard >= shards_.size())
+        return IoErrorKind::None;
+    return shards_[shard]->lastError.load(std::memory_order_acquire);
+}
+
 std::uint64_t
 ShardRouter::rerouteCount() const
 {
@@ -136,26 +205,74 @@ ShardRouter::rerouteCount() const
     return rerouted_;
 }
 
+std::uint64_t
+ShardRouter::hedgeCount() const
+{
+    std::lock_guard<std::mutex> lock(doneMu_);
+    return hedged_;
+}
+
+std::uint64_t
+ShardRouter::corruptResponseCount() const
+{
+    std::lock_guard<std::mutex> lock(doneMu_);
+    return corruptResponses_;
+}
+
+std::uint64_t
+ShardRouter::failoverCount() const
+{
+    std::lock_guard<std::mutex> lock(pinMu_);
+    return failovers_;
+}
+
+std::uint64_t
+ShardRouter::migratedCount() const
+{
+    std::lock_guard<std::mutex> lock(pinMu_);
+    return migrated_;
+}
+
+std::uint64_t
+ShardRouter::warmupCount() const
+{
+    std::lock_guard<std::mutex> lock(replMu_);
+    return warmups_;
+}
+
 void
 ShardRouter::readerMain(std::uint32_t idx)
 {
     Shard &shard = *shards_[idx];
+    IoErrorKind exit_kind = IoErrorKind::None;
     for (;;) {
         FrameType type;
         std::vector<std::uint8_t> payload;
         std::string detail;
-        if (!readFrame(shard.fd, type, payload, detail))
+        IoErrorKind kind = IoErrorKind::None;
+        if (!readFrame(shard.fd, type, payload, detail, kind)) {
+            exit_kind = kind;
             break;
+        }
         WireReader r(payload.data(), payload.size());
         switch (type) {
           case FrameType::Response: {
             ResponseFrame resp;
             if (!decodeResponse(r, resp)) {
-                snap_warn("router: shard %u sent a malformed "
-                          "response", idx);
+                // Malformed or checksum-failed: a byzantine-corrupt
+                // payload must never be served.  Treat the whole
+                // connection as compromised; in-flight work fails
+                // over and the monitor re-dials.
+                {
+                    std::lock_guard<std::mutex> lock(doneMu_);
+                    ++corruptResponses_;
+                }
+                snap_warn("router: shard %u sent a corrupt or "
+                          "malformed response", idx);
+                exit_kind = IoErrorKind::BadType;
                 goto done;
             }
-            std::unique_ptr<PendingRoute> p;
+            PendingPtr p;
             {
                 std::lock_guard<std::mutex> lock(shard.mu);
                 auto it = shard.pending.find(resp.id);
@@ -166,8 +283,23 @@ ShardRouter::readerMain(std::uint32_t idx)
             }
             shard.windowCv.notify_all();
             if (p) {
-                p->done(std::move(resp));
-                noteDone();
+                p->copies.fetch_sub(1, std::memory_order_acq_rel);
+                if (!p->answered.exchange(
+                        true, std::memory_order_acq_rel)) {
+                    // Keep the session's backup warm with its
+                    // post-turn state (the turn just completed).
+                    const bool warm =
+                        !p->stateless &&
+                        resp.status == serve::RequestStatus::Ok &&
+                        cfg_.replication >= 2 && cfg_.warmBackups;
+                    std::string sid =
+                        warm ? p->frame.sessionId : std::string();
+                    p->done(std::move(resp));
+                    noteDone();
+                    if (warm)
+                        enqueueWarmup(sid);
+                }
+                // else: the losing copy of a hedged request.
             }
             break;
           }
@@ -198,22 +330,49 @@ ShardRouter::readerMain(std::uint32_t idx)
             }
             break;
           }
+          case FrameType::SessionState: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodeSessionState(r, numNodes_,
+                                   shard.sessionState)) {
+                shard.controlType = FrameType::SessionState;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
+          case FrameType::SessionPushAck: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodeSessionPushAck(r, shard.pushAck)) {
+                shard.controlType = FrameType::SessionPushAck;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
           default:
             snap_warn("router: unexpected %s frame from shard %u",
                       frameTypeName(type), idx);
+            exit_kind = IoErrorKind::BadType;
             goto done;
         }
     }
   done:
+    if (exit_kind != IoErrorKind::None) {
+        shard.lastError.store(exit_kind, std::memory_order_release);
+    }
     shardDown(idx);
 }
 
 /**
- * The shard's connection is gone.  In-flight session requests die
- * with it (their marker state lived on that shard): status Failed.
- * In-flight stateless requests are re-dispatched to the next live
- * shard on the ring — the answer is a pure function of the program,
- * so a re-route is invisible to the client.
+ * The shard's connection is gone.  In-flight stateless requests are
+ * re-dispatched to the next live shard on the ring — the answer is a
+ * pure function of the program, so a re-route is invisible to the
+ * client.  In-flight session requests fail (the turn's execution
+ * fate is unknown; replaying it could double-apply marker state),
+ * but the *session* survives when a warm backup exists: the next
+ * request promotes the backup via pickSessionShard.  A hedged
+ * request whose other copy is still live on another shard is simply
+ * forgotten here; the surviving copy answers.
  */
 void
 ShardRouter::shardDown(std::uint32_t idx)
@@ -226,11 +385,13 @@ ShardRouter::shardDown(std::uint32_t idx)
         down_[idx] = true;
     }
     if (!closing_.load(std::memory_order_acquire)) {
-        snap_warn("router: shard %u (%s) is down", idx,
-                  shard.ep.toString().c_str());
+        snap_warn("router: shard %u (%s) is down (%s)", idx,
+                  shard.ep.toString().c_str(),
+                  ioErrorKindName(shard.lastError.load(
+                      std::memory_order_acquire)));
     }
 
-    std::vector<std::unique_ptr<PendingRoute>> orphans;
+    std::vector<PendingPtr> orphans;
     {
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.up = false;
@@ -241,9 +402,14 @@ ShardRouter::shardDown(std::uint32_t idx)
     }
     shard.windowCv.notify_all();
     shard.controlCv.notify_all();
+    pinCv_.notify_all();
 
     const bool closing = closing_.load(std::memory_order_acquire);
     for (auto &p : orphans) {
+        if (p->copies.fetch_sub(1, std::memory_order_acq_rel) > 1)
+            continue; // a hedged copy is still live elsewhere
+        if (p->answered.load(std::memory_order_acquire))
+            continue;
         if (!closing && p->stateless &&
             p->attempts < cfg_.maxRetries) {
             ++p->attempts;
@@ -251,33 +417,179 @@ ShardRouter::shardDown(std::uint32_t idx)
                 std::lock_guard<std::mutex> lock(doneMu_);
                 ++rerouted_;
             }
-            dispatch(std::move(p));
+            dispatch(p);
         } else {
-            failRequest(std::move(p));
+            failRequest(p);
         }
     }
 }
 
-bool
-ShardRouter::pickShard(std::uint64_t key, std::uint32_t &out)
+std::vector<bool>
+ShardRouter::effectiveDown() const
 {
     std::vector<bool> down;
     {
         std::lock_guard<std::mutex> lock(downMu_);
         down = down_;
     }
+    for (std::size_t i = 0; i < down.size(); ++i) {
+        if (shards_[i]->draining.load(std::memory_order_acquire))
+            down[i] = true;
+    }
+    return down;
+}
+
+ShardRouter::ShardState
+ShardRouter::shardState(std::uint32_t idx) const
+{
+    if (shards_[idx]->draining.load(std::memory_order_acquire))
+        return ShardState::Draining;
+    std::lock_guard<std::mutex> lock(downMu_);
+    return down_[idx] ? ShardState::Down : ShardState::Up;
+}
+
+bool
+ShardRouter::pickShard(std::uint64_t key, std::uint32_t &out,
+                       bool &any_draining)
+{
+    const std::vector<bool> down = effectiveDown();
+    any_draining = false;
     bool any_up = false;
     for (std::size_t i = 0; i < down.size(); ++i)
         any_up = any_up || !down[i];
-    if (!any_up)
+    if (!any_up) {
+        // Anything not hard-down was excluded by a drain, which
+        // completes — worth waiting for, unlike a death.
+        std::lock_guard<std::mutex> lock(downMu_);
+        for (std::size_t i = 0; i < down_.size(); ++i)
+            any_draining = any_draining || !down_[i];
         return false;
+    }
     out = ring_.ownerSkipping(key, down);
     return true;
 }
 
+/**
+ * Choose (or re-choose) a backup owner for @p pin: the first live
+ * shard of the key's replica set that is neither the primary nor
+ * @p excluded.  Caller holds pinMu_.
+ */
 void
-ShardRouter::failRequest(std::unique_ptr<PendingRoute> p)
+ShardRouter::assignBackup(SessionPin &pin, std::uint64_t key,
+                          std::int64_t excluded)
 {
+    pin.hasBackup = false;
+    if (cfg_.replication < 2)
+        return;
+    const std::vector<std::uint32_t> owners =
+        ring_.owners(key, cfg_.replication);
+    for (std::uint32_t s : owners) {
+        if (s == pin.primary)
+            continue;
+        if (excluded >= 0 &&
+            s == static_cast<std::uint32_t>(excluded))
+            continue;
+        if (shardState(s) != ShardState::Up)
+            continue;
+        pin.backup = s;
+        pin.hasBackup = true;
+        return;
+    }
+}
+
+/**
+ * The session placement state machine.  A session is pinned to a
+ * primary (plus a designated warm backup when replication >= 2);
+ * this resolves the pin, waiting out planned drains (the drain
+ * re-pins losslessly) and promoting the backup after a hard kill
+ * (the session continues from its last replicated state — bounded
+ * loss, never a wrong answer).
+ */
+bool
+ShardRouter::pickSessionShard(const std::string &sid,
+                              std::uint64_t key, std::uint32_t &out)
+{
+    // A connection blip is not a session death: when the primary is
+    // down with no warm backup but the background re-dialer is on
+    // (and the shard is not retired), give revival this long before
+    // declaring the session's state unreachable.
+    const auto grace = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(std::max(
+            5.0 * cfg_.reconnectMs, cfg_.reconnectMs > 0 ? 250.0
+                                                         : 0.0)));
+    const Clock::time_point give_up = Clock::now() + grace;
+    std::unique_lock<std::mutex> lock(pinMu_);
+    for (;;) {
+        if (closing_.load(std::memory_order_acquire))
+            return false;
+        auto it = pins_.find(sid);
+        if (it == pins_.end()) {
+            // First query of this session: pin primary + backup from
+            // the replica set.  A draining shard takes no new
+            // sessions.
+            SessionPin pin;
+            bool have = false;
+            const std::vector<std::uint32_t> owners =
+                ring_.owners(key, cfg_.replication);
+            for (std::uint32_t s : owners) {
+                if (shardState(s) == ShardState::Up) {
+                    pin.primary = s;
+                    have = true;
+                    break;
+                }
+            }
+            if (!have)
+                return false; // every replica owner is gone
+            assignBackup(pin, key, -1);
+            it = pins_.emplace(sid, pin).first;
+        }
+        SessionPin &pin = it->second;
+        switch (shardState(pin.primary)) {
+          case ShardState::Up:
+            out = pin.primary;
+            return true;
+          case ShardState::Draining:
+            // A planned drain is migrating this session; it re-pins
+            // before the drain completes.
+            pinCv_.wait_for(lock, std::chrono::milliseconds(10));
+            continue;
+          case ShardState::Down:
+            break;
+        }
+        // Hard kill of the primary.
+        if (pin.hasBackup &&
+            shardState(pin.backup) == ShardState::Draining) {
+            pinCv_.wait_for(lock, std::chrono::milliseconds(10));
+            continue;
+        }
+        if (pin.hasBackup &&
+            shardState(pin.backup) == ShardState::Up) {
+            pin.primary = pin.backup;
+            pin.hasBackup = false;
+            assignBackup(pin, key, -1);
+            ++failovers_;
+            snap_warn("router: session %s failed over to shard %u",
+                      sid.c_str(), pin.primary);
+            continue; // loop re-evaluates the promoted primary
+        }
+        if (cfg_.reconnectMs > 0 &&
+            !shards_[pin.primary]->retired.load(
+                std::memory_order_acquire) &&
+            Clock::now() < give_up) {
+            // No live backup, but the primary may be re-dialed any
+            // moment — its session state is still on the shard.
+            pinCv_.wait_for(lock, std::chrono::milliseconds(10));
+            continue;
+        }
+        return false; // no live owner for this session
+    }
+}
+
+void
+ShardRouter::failRequest(const PendingPtr &p)
+{
+    if (p->answered.exchange(true, std::memory_order_acq_rel))
+        return;
     ResponseFrame resp;
     resp.id = p->frame.id;
     resp.rngSeed = p->frame.rngSeed;
@@ -287,22 +599,27 @@ ShardRouter::failRequest(std::unique_ptr<PendingRoute> p)
 }
 
 void
-ShardRouter::dispatch(std::unique_ptr<PendingRoute> p)
+ShardRouter::dispatch(PendingPtr p)
 {
     for (;;) {
         std::uint32_t idx;
-        if (!pickShard(p->routeKey, idx)) {
-            failRequest(std::move(p));
-            return;
-        }
-        if (!p->stateless) {
-            // Sessions are pinned: if their owner is down the ring
-            // would move them, but their marker state cannot follow.
-            const std::uint32_t owner = ring_.owner(p->routeKey);
-            if (owner != idx) {
-                failRequest(std::move(p));
+        if (p->stateless) {
+            bool any_draining = false;
+            if (!pickShard(p->routeKey, idx, any_draining)) {
+                if (any_draining &&
+                    !closing_.load(std::memory_order_acquire)) {
+                    // Every live shard is mid-drain; drains finish.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                    continue;
+                }
+                failRequest(p);
                 return;
             }
+        } else if (!pickSessionShard(p->frame.sessionId, p->routeKey,
+                                     idx)) {
+            failRequest(p);
+            return;
         }
         Shard &shard = *shards_[idx];
         const std::uint64_t id = p->frame.id;
@@ -312,12 +629,18 @@ ShardRouter::dispatch(std::unique_ptr<PendingRoute> p)
             std::unique_lock<std::mutex> lock(shard.mu);
             shard.windowCv.wait(lock, [&] {
                 return !shard.up ||
+                       shard.draining.load(
+                           std::memory_order_acquire) ||
                        shard.pending.size() <
                            cfg_.maxInflightPerShard;
             });
-            if (!shard.up)
-                continue; // re-pick: this shard died while we waited
-            shard.pending.emplace(id, std::move(p));
+            if (!shard.up ||
+                shard.draining.load(std::memory_order_acquire))
+                continue; // re-pick: died or started draining
+            if (!shard.pending.emplace(id, p).second)
+                return; // a concurrent path already re-registered it
+            p->copies.fetch_add(1, std::memory_order_relaxed);
+            p->sentAt = Clock::now();
         }
         bool ok;
         {
@@ -327,23 +650,29 @@ ShardRouter::dispatch(std::unique_ptr<PendingRoute> p)
         if (ok)
             return;
         // Broken pipe: reclaim our entry (if shardDown has not
-        // already) and let the down-path decide retry vs fail.
+        // already) and decide retry vs fail ourselves.
         {
             std::lock_guard<std::mutex> lock(shard.mu);
             auto it = shard.pending.find(id);
-            if (it == shard.pending.end())
+            if (it == shard.pending.end() || it->second != p) {
+                shardDown(idx);
                 return; // shardDown owns it now
-            p = std::move(it->second);
+            }
             shard.pending.erase(it);
         }
+        p->copies.fetch_sub(1, std::memory_order_acq_rel);
         shardDown(idx);
+        if (p->copies.load(std::memory_order_acquire) > 0)
+            return; // a hedged copy is still live elsewhere
+        if (p->answered.load(std::memory_order_acquire))
+            return;
         if (p->stateless && p->attempts < cfg_.maxRetries) {
             ++p->attempts;
             std::lock_guard<std::mutex> lock(doneMu_);
             ++rerouted_;
             continue;
         }
-        failRequest(std::move(p));
+        failRequest(p);
         return;
     }
 }
@@ -352,7 +681,7 @@ void
 ShardRouter::submit(RouterRequest req, ResponseFn done)
 {
     snap_assert(done != nullptr, "submit with a null callback");
-    auto p = std::make_unique<PendingRoute>();
+    auto p = std::make_shared<PendingRoute>();
     p->frame.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     p->frame.sessionId = std::move(req.sessionId);
     p->frame.timeoutMs = req.timeoutMs;
@@ -429,6 +758,7 @@ ShardRouter::probeShard(std::uint32_t idx, std::string &err)
     snap_assert(idx < shards_.size(), "probe of shard %u of %zu", idx,
                 shards_.size());
     Shard &shard = *shards_[idx];
+    std::lock_guard<std::mutex> op(shard.controlOpMu);
     HealthFrame probe;
     probe.nonce = nextId_.fetch_add(1, std::memory_order_relaxed) |
                   (1ull << 63);
@@ -437,6 +767,15 @@ ShardRouter::probeShard(std::uint32_t idx, std::string &err)
     if (!sendControl(idx, FrameType::Health, w.bytes(), 5000.0)) {
         err = formatString("shard %u did not answer the health probe",
                            idx);
+        if (shardHealthy(idx)) {
+            // The connection is nominally up but the shard sat on a
+            // probe for seconds: a wedged shard is as gone as a dead
+            // one.  Mark it down so in-flight work fails over; the
+            // monitor re-dials it if it comes back.
+            shard.lastError.store(IoErrorKind::Timeout,
+                                  std::memory_order_release);
+            shardDown(idx);
+        }
         return false;
     }
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -446,6 +785,455 @@ ShardRouter::probeShard(std::uint32_t idx, std::string &err)
     }
     err.clear();
     return true;
+}
+
+bool
+ShardRouter::pullSession(std::uint32_t idx, const std::string &sid,
+                         SessionStateFrame &out, std::string &err)
+{
+    Shard &shard = *shards_[idx];
+    std::lock_guard<std::mutex> op(shard.controlOpMu);
+    SessionPullFrame pull;
+    pull.sessionId = sid;
+    WireWriter w;
+    encodeSessionPull(w, pull);
+    if (!sendControl(idx, FrameType::SessionPull, w.bytes(),
+                     30000.0)) {
+        err = formatString("shard %u did not answer the session pull",
+                           idx);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.controlType != FrameType::SessionState ||
+        shard.sessionState.sessionId != sid) {
+        err = formatString("shard %u answered the wrong session pull",
+                           idx);
+        return false;
+    }
+    out = shard.sessionState;
+    err.clear();
+    return true;
+}
+
+bool
+ShardRouter::pushSession(std::uint32_t idx, const std::string &sid,
+                         const MarkerStore &markers, std::string &err)
+{
+    Shard &shard = *shards_[idx];
+    std::lock_guard<std::mutex> op(shard.controlOpMu);
+    SessionPushFrame push;
+    push.sessionId = sid;
+    push.numNodes = numNodes_;
+    push.markers = markers;
+    WireWriter w;
+    encodeSessionPush(w, push);
+    if (!sendControl(idx, FrameType::SessionPush, w.bytes(),
+                     30000.0)) {
+        err = formatString("shard %u did not answer the session push",
+                           idx);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.controlType != FrameType::SessionPushAck ||
+        shard.pushAck.sessionId != sid) {
+        err = formatString("shard %u answered the wrong session push",
+                           idx);
+        return false;
+    }
+    if (!shard.pushAck.ok) {
+        err = formatString("shard %u refused the session push: %s",
+                           idx, shard.pushAck.detail.c_str());
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+bool
+ShardRouter::drainShard(std::uint32_t idx, std::string &err)
+{
+    if (idx >= shards_.size()) {
+        err = formatString("no shard %u (fleet has %zu)", idx,
+                           shards_.size());
+        return false;
+    }
+    Shard &shard = *shards_[idx];
+    if (!shardHealthy(idx)) {
+        err = formatString("shard %u is already down", idx);
+        return false;
+    }
+    if (shard.draining.exchange(true, std::memory_order_acq_rel)) {
+        err = formatString("shard %u is already draining", idx);
+        return false;
+    }
+    snap_inform("router: draining shard %u (%s)", idx,
+                shard.ep.toString().c_str());
+    shard.windowCv.notify_all();
+
+    // 1. New dispatch to the shard stopped above; let the in-flight
+    //    window empty (responses still flow).
+    {
+        std::unique_lock<std::mutex> lock(shard.mu);
+        shard.windowCv.wait(lock, [&] {
+            return !shard.up || shard.pending.empty();
+        });
+    }
+
+    // 2. Migrate every session pinned here: pull its checkpointed
+    //    marker state, push it onto the backup owner (any live shard
+    //    when no designated backup), re-pin.  Zero dropped sessions
+    //    on a planned drain.
+    std::vector<std::string> sids;
+    {
+        std::lock_guard<std::mutex> lock(pinMu_);
+        for (const auto &kv : pins_) {
+            if (kv.second.primary == idx)
+                sids.push_back(kv.first);
+        }
+    }
+    bool all_ok = true;
+    err.clear();
+    for (const std::string &sid : sids) {
+        const std::uint64_t key = fnv1a64(sid);
+        std::uint32_t target = 0;
+        bool have = false;
+        {
+            std::lock_guard<std::mutex> lock(pinMu_);
+            auto it = pins_.find(sid);
+            if (it != pins_.end() && it->second.hasBackup &&
+                shardState(it->second.backup) == ShardState::Up) {
+                target = it->second.backup;
+                have = true;
+            }
+        }
+        if (!have) {
+            std::vector<bool> down = effectiveDown();
+            down[idx] = true;
+            bool any = false;
+            for (std::size_t i = 0; i < down.size(); ++i)
+                any = any || !down[i];
+            if (any) {
+                target = ring_.ownerSkipping(key, down);
+                have = target != idx;
+            }
+        }
+        std::string op_err;
+        SessionStateFrame st;
+        bool ok = have;
+        if (!ok)
+            op_err = "no live shard to migrate to";
+        if (ok)
+            ok = pullSession(idx, sid, st, op_err);
+        if (ok && st.found)
+            ok = pushSession(target, sid, st.markers, op_err);
+        if (ok) {
+            std::lock_guard<std::mutex> lock(pinMu_);
+            auto it = pins_.find(sid);
+            if (it != pins_.end()) {
+                it->second.primary = target;
+                assignBackup(it->second, key,
+                             static_cast<std::int64_t>(idx));
+            }
+            ++migrated_;
+        } else {
+            all_ok = false;
+            snap_warn("router: drain of shard %u could not migrate "
+                      "session %s: %s", idx, sid.c_str(),
+                      op_err.c_str());
+            if (err.empty())
+                err = formatString("session %s: %s", sid.c_str(),
+                                   op_err.c_str());
+        }
+    }
+
+    // 3. Retire the shard: polite Shutdown, sever, mark down.  The
+    //    retired mark keeps the monitor from re-dialing it — it was
+    //    stopped on purpose; reviveShard() clears the mark.
+    shard.retired.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> wlock(shard.writeMu);
+        writeFrame(shard.fd, FrameType::Shutdown, {});
+    }
+    if (shard.fd >= 0)
+        ::shutdown(shard.fd, SHUT_RD);
+    shardDown(idx);
+
+    // 4. Resume: the ring routes around the retired shard, and
+    //    session dispatch parked on the drain re-resolves its pins.
+    shard.draining.store(false, std::memory_order_release);
+    shard.windowCv.notify_all();
+    pinCv_.notify_all();
+    if (all_ok) {
+        snap_inform("router: shard %u drained, %zu sessions migrated",
+                    idx, sids.size());
+    }
+    return all_ok;
+}
+
+bool
+ShardRouter::reviveWith(std::uint32_t idx, double timeout_ms,
+                        std::string &err)
+{
+    Shard &shard = *shards_[idx];
+    std::lock_guard<std::mutex> op(shard.controlOpMu);
+    if (shardHealthy(idx)) {
+        err.clear();
+        return true;
+    }
+    // Sever whatever is left of the old connection; its reader has
+    // exited (or exits now) via its shardDown.
+    {
+        std::lock_guard<std::mutex> wlock(shard.writeMu);
+        if (shard.fd >= 0)
+            ::shutdown(shard.fd, SHUT_RDWR);
+    }
+    if (shard.reader.joinable())
+        shard.reader.join();
+    {
+        std::lock_guard<std::mutex> wlock(shard.writeMu);
+        closeFd(shard.fd);
+        shard.fd = -1;
+        IoErrorKind kind = IoErrorKind::None;
+        if (!dialShard(idx, timeout_ms, err, kind)) {
+            shard.lastError.store(kind, std::memory_order_release);
+            return false;
+        }
+    }
+    shard.retired.store(false, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(downMu_);
+        down_[idx] = false;
+    }
+    shard.reader = std::thread([this, idx] { readerMain(idx); });
+    shard.windowCv.notify_all();
+    pinCv_.notify_all();
+    snap_inform("router: shard %u (%s) rejoined the fleet", idx,
+                shard.ep.toString().c_str());
+    err.clear();
+    return true;
+}
+
+bool
+ShardRouter::reviveShard(std::uint32_t idx, std::string &err)
+{
+    if (idx >= shards_.size()) {
+        err = formatString("no shard %u (fleet has %zu)", idx,
+                           shards_.size());
+        return false;
+    }
+    return reviveWith(idx, cfg_.connectTimeoutMs, err);
+}
+
+void
+ShardRouter::enqueueWarmup(const std::string &sid)
+{
+    {
+        std::lock_guard<std::mutex> lock(replMu_);
+        if (!replQueued_.insert(sid).second)
+            return; // already queued; one pass replicates the latest
+        replQueue_.push_back(sid);
+    }
+    replCv_.notify_one();
+}
+
+/**
+ * Warm-backup replication: after each completed session turn, copy
+ * the session's marker state onto its backup owner.  Asynchronous
+ * and coalesced (a burst of turns replicates once, with the latest
+ * state) — the request path never waits on replication; the cost is
+ * that a hard kill loses turns completed after the last replication.
+ * Bounded loss, by design.
+ */
+void
+ShardRouter::replicatorMain()
+{
+    for (;;) {
+        std::string sid;
+        {
+            std::unique_lock<std::mutex> lock(replMu_);
+            replCv_.wait_for(
+                lock, std::chrono::milliseconds(50), [&] {
+                    return closing_.load(
+                               std::memory_order_acquire) ||
+                           !replQueue_.empty();
+                });
+            if (closing_.load(std::memory_order_acquire))
+                return;
+            if (replQueue_.empty())
+                continue;
+            sid = replQueue_.front();
+            replQueue_.pop_front();
+            replQueued_.erase(sid);
+        }
+        std::uint32_t primary = 0;
+        std::uint32_t backup = 0;
+        bool have = false;
+        {
+            std::lock_guard<std::mutex> lock(pinMu_);
+            auto it = pins_.find(sid);
+            if (it != pins_.end() && !it->second.hasBackup) {
+                // A failover consumed the backup; try to appoint a
+                // fresh one (a shard may have rejoined since).
+                assignBackup(it->second, fnv1a64(sid), -1);
+            }
+            if (it != pins_.end() && it->second.hasBackup) {
+                primary = it->second.primary;
+                backup = it->second.backup;
+                have = true;
+            }
+        }
+        if (!have)
+            continue;
+        if (!shardHealthy(primary) || !shardHealthy(backup))
+            continue; // best-effort; the next turn re-enqueues
+        SessionStateFrame st;
+        std::string err;
+        if (!pullSession(primary, sid, st, err) || !st.found)
+            continue;
+        if (!pushSession(backup, sid, st.markers, err))
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(replMu_);
+            ++warmups_;
+        }
+    }
+}
+
+void
+ShardRouter::hedgeOne(std::uint32_t cur, const PendingPtr &p)
+{
+    if (p->answered.load(std::memory_order_acquire))
+        return;
+    if (p->hedged.exchange(true, std::memory_order_acq_rel))
+        return; // one hedge per request, ever
+    std::vector<bool> down = effectiveDown();
+    if (cur < down.size())
+        down[cur] = true;
+    bool any = false;
+    for (std::size_t i = 0; i < down.size(); ++i)
+        any = any || !down[i];
+    if (!any)
+        return;
+    const std::uint32_t target =
+        ring_.ownerSkipping(p->routeKey, down);
+    if (target == cur || down[target])
+        return;
+    Shard &t = *shards_[target];
+    WireWriter w;
+    encodeRequest(w, p->frame);
+    {
+        std::lock_guard<std::mutex> lock(t.mu);
+        if (!t.up)
+            return;
+        // Hedges bypass the window: they are bounded at one per
+        // request and exist precisely because the primary is slow.
+        if (!t.pending.emplace(p->frame.id, p).second)
+            return;
+        p->copies.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool ok;
+    {
+        std::lock_guard<std::mutex> wlock(t.writeMu);
+        ok = writeFrame(t.fd, FrameType::Request, w.bytes());
+    }
+    if (!ok) {
+        // The hedge target broke; the original copy still stands.
+        std::lock_guard<std::mutex> lock(t.mu);
+        auto it = t.pending.find(p->frame.id);
+        if (it != t.pending.end() && it->second == p) {
+            t.pending.erase(it);
+            p->copies.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        ++hedged_;
+    }
+}
+
+void
+ShardRouter::hedgeScan()
+{
+    const Clock::time_point threshold =
+        Clock::now() -
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                cfg_.hedgeDelayMs));
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        if (!shardHealthy(i))
+            continue;
+        Shard &shard = *shards_[i];
+        std::vector<PendingPtr> stale;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            for (const auto &kv : shard.pending) {
+                const PendingPtr &p = kv.second;
+                if (p->stateless &&
+                    !p->hedged.load(std::memory_order_relaxed) &&
+                    !p->answered.load(std::memory_order_relaxed) &&
+                    p->sentAt <= threshold)
+                    stale.push_back(p);
+            }
+        }
+        for (const PendingPtr &p : stale)
+            hedgeOne(i, p);
+    }
+}
+
+void
+ShardRouter::reviveScan()
+{
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        if (shard.retired.load(std::memory_order_acquire) ||
+            shard.draining.load(std::memory_order_acquire))
+            continue;
+        if (shardHealthy(i))
+            continue;
+        const Clock::time_point now = Clock::now();
+        if (now - shard.lastReviveAttempt <
+            std::chrono::duration<double, std::milli>(
+                cfg_.reconnectMs))
+            continue;
+        shard.lastReviveAttempt = now;
+        // One short dial per round: a restarted shard answers
+        // instantly, a still-dead one costs at most the dial timeout.
+        std::string err;
+        reviveWith(i, 50.0, err);
+    }
+}
+
+/**
+ * Fleet monitor: hedged retries for slow shards and automatic
+ * re-dial of dead (non-retired) ones.  Both are polling scans — the
+ * tick is short enough that hedge latency stays near hedgeDelayMs
+ * and a restarted shard rejoins within ~reconnectMs.
+ */
+void
+ShardRouter::monitorMain()
+{
+    const double tick_ms =
+        cfg_.hedgeDelayMs > 0.0
+            ? std::max(1.0, std::min(cfg_.hedgeDelayMs / 2.0, 25.0))
+            : 25.0;
+    const auto tick =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::duration<double, std::milli>(tick_ms));
+    std::unique_lock<std::mutex> lock(monitorMu_);
+    for (;;) {
+        monitorCv_.wait_for(lock, tick, [&] {
+            return closing_.load(std::memory_order_acquire);
+        });
+        if (closing_.load(std::memory_order_acquire))
+            return;
+        lock.unlock();
+        if (cfg_.hedgeDelayMs > 0.0)
+            hedgeScan();
+        if (cfg_.reconnectMs > 0.0)
+            reviveScan();
+        lock.lock();
+    }
 }
 
 bool
@@ -475,6 +1263,7 @@ ShardRouter::swapEpoch(const std::string &image_path, std::string &err)
         prep.imagePath = image_path;
         WireWriter w;
         encodePrepare(w, prep);
+        std::lock_guard<std::mutex> op(shards_[i]->controlOpMu);
         // Re-stamping a replica pool is seconds of work at most;
         // minutes means the shard is wedged.
         if (!sendControl(i, FrameType::Prepare, w.bytes(),
@@ -501,6 +1290,7 @@ ShardRouter::swapEpoch(const std::string &image_path, std::string &err)
         for (std::uint32_t i = 0; i < shards_.size(); ++i) {
             if (!shardHealthy(i))
                 continue;
+            std::lock_guard<std::mutex> op(shards_[i]->controlOpMu);
             if (!sendControl(i, FrameType::Commit, w.bytes(),
                              30000.0)) {
                 // The shard re-stamped but its commit-ack was lost;
@@ -536,6 +1326,8 @@ ShardRouter::shutdownShards()
 {
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
         Shard &shard = *shards_[i];
+        // Administratively stopped: the monitor must not re-dial.
+        shard.retired.store(true, std::memory_order_release);
         bool up;
         {
             std::lock_guard<std::mutex> lock(shard.mu);

@@ -9,12 +9,37 @@
  * shard.  Each shard connection has a bounded in-flight window;
  * submit() blocks (backpressure) when the target window is full.
  *
- * Fault handling reuses the serving layer's typed statuses: a shard
- * that drops its connection fails in-flight *session* requests with
- * RequestStatus::Failed (their marker state died with the shard) and
- * re-routes in-flight *stateless* requests to the next live shard on
- * the ring (bounded by maxRetries); when every shard is down,
- * requests are answered Failed, never silently dropped.
+ * Replication (replication >= 2): every key range has R distinct
+ * owner shards in ring order.  Stateless requests fail over to the
+ * next live shard when their owner dies (and can be *hedged* — a
+ * duplicate sent to a replica when the owner sits on a response
+ * longer than hedgeDelayMs; first answer wins, the loser is
+ * dropped).  Sessions are pinned to a primary owner with a
+ * designated backup from the replica set, kept warm by an async
+ * replicator that copies marker state to the backup after each
+ * completed turn.  A hard-killed primary promotes the backup: the
+ * in-flight turn fails (its execution fate is unknown — replaying
+ * it could double-apply), but the session continues from the last
+ * replicated state.  Bounded loss, never a wrong answer.
+ *
+ * Planned drains (drainShard) are lossless: dispatch to the shard
+ * pauses, its window empties, every pinned session's marker state is
+ * pulled and pushed to its backup owner (any live shard if no
+ * backup), pins move, and only then does the shard get Shutdown —
+ * zero dropped sessions on a planned drain.
+ *
+ * Fault handling is typed end to end: the endpoint layer reports
+ * *why* I/O failed (connect refused, probe timeout, mid-frame EOF,
+ * over-cap, bad type), responses carry an FNV-1a64 checksum so a
+ * byzantine-corrupt payload is detected and treated as a dead
+ * connection (never served), and down shards are automatically
+ * re-dialed in the background (reconnectMs) so a restarted shard
+ * process rejoins without operator action.  A session whose primary
+ * is down with no warm backup waits out a short revival grace
+ * (5 x reconnectMs) before its turn is failed — a connection blip
+ * is not a session death; the state is still on the shard.  When
+ * every shard is down, requests are answered Failed, never silently
+ * dropped.
  *
  * Epoch hot-swap (swapEpoch) is a coordinated barrier: new dispatch
  * pauses, all windows drain, every shard gets Prepare(epoch, path)
@@ -29,11 +54,14 @@
 #define SNAP_SHARD_ROUTER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,11 +88,24 @@ struct RouterConfig
     /** How long connect() waits for a booting shard to answer. */
     double connectTimeoutMs = 15000.0;
     /** Re-dispatches of a stateless request to the next live shard
-     *  after its shard died (sessions never migrate). */
+     *  after its shard died. */
     std::uint32_t maxRetries = 2;
     /** Require every shard to report the same .kbimg fingerprint at
      *  connect (they must serve the same knowledge). */
     bool requireUniformImage = true;
+    /** Owner shards per key range (1 = the pre-replication single
+     *  owner; clamped to the shard count). */
+    std::uint32_t replication = 1;
+    /** Hedged retry: a stateless request still unanswered after this
+     *  many host ms gets a duplicate on the next live replica (first
+     *  answer wins).  0 disables hedging. */
+    double hedgeDelayMs = 0.0;
+    /** Keep each session's backup owner warm by replicating marker
+     *  state after every completed turn (replication >= 2 only). */
+    bool warmBackups = true;
+    /** Background re-dial interval for down shards (a restarted
+     *  shard process rejoins automatically).  0 disables. */
+    double reconnectMs = 200.0;
 };
 
 /** One query handed to the router (ids are assigned internally). */
@@ -110,7 +151,30 @@ class ShardRouter
      */
     bool swapEpoch(const std::string &image_path, std::string &err);
 
-    /** Probe one shard (nonce echo).  Updates its health flag. */
+    /**
+     * Planned lossless drain of one shard: stop dispatching to it,
+     * wait for its window to empty, migrate every session pinned to
+     * it (pull marker state, push to the backup owner, re-pin), then
+     * send Shutdown.  Concurrent traffic to the shard is re-routed
+     * (stateless) or held until the migration lands (sessions).
+     * Call from the control thread (not concurrently with
+     * swapEpoch).  @return false with @p err when the shard was
+     * already down or a session could not be migrated.
+     */
+    bool drainShard(std::uint32_t shard, std::string &err);
+
+    /**
+     * Re-dial a down shard (shard process restarted): tears down the
+     * old connection, re-handshakes (fingerprint must still match
+     * under requireUniformImage), and resumes dispatch to it.  Also
+     * clears the "retired" mark a drain leaves, so a drained shard
+     * can be brought back deliberately.
+     */
+    bool reviveShard(std::uint32_t shard, std::string &err);
+
+    /** Probe one shard (nonce echo).  A probe *timeout* on a
+     *  healthy shard marks it down and fails over its in-flight
+     *  work — a wedged shard is as gone as a dead one. */
     bool probeShard(std::uint32_t shard, std::string &err);
 
     /** Send Shutdown to every live shard (they drain and exit). */
@@ -126,10 +190,33 @@ class ShardRouter
     std::uint64_t epoch() const { return epoch_; }
     bool shardHealthy(std::uint32_t shard) const;
 
+    /** Typed reason the shard's connection last failed (None while
+     *  healthy and never failed). */
+    IoErrorKind shardLastError(std::uint32_t shard) const;
+
     /** Requests answered by a re-dispatch after a shard died. */
     std::uint64_t rerouteCount() const;
+    /** Hedged duplicates actually sent. */
+    std::uint64_t hedgeCount() const;
+    /** Sessions promoted to their backup after a hard kill. */
+    std::uint64_t failoverCount() const;
+    /** Sessions migrated by planned drains. */
+    std::uint64_t migratedCount() const;
+    /** Completed warm-backup replications. */
+    std::uint64_t warmupCount() const;
+    /** Responses rejected as malformed/corrupt (checksum or codec). */
+    std::uint64_t corruptResponseCount() const;
 
   private:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * One routed request.  Shared between the per-shard pending maps
+     * because hedging can register the same request (same wire id)
+     * on two shards at once: `answered` makes delivery exactly-once,
+     * `copies` counts live map registrations so whichever shard-death
+     * sweep orphans the *last* copy decides retry vs fail.
+     */
     struct PendingRoute
     {
         RequestFrame frame;
@@ -137,7 +224,12 @@ class ShardRouter
         bool stateless = true;
         std::uint32_t attempts = 0;
         std::uint64_t routeKey = 0;
+        std::atomic<bool> answered{false};
+        std::atomic<bool> hedged{false};
+        std::atomic<std::uint32_t> copies{0};
+        Clock::time_point sentAt{};
     };
+    using PendingPtr = std::shared_ptr<PendingRoute>;
 
     /** One shard connection + its reader thread and window. */
     struct Shard
@@ -150,36 +242,96 @@ class ShardRouter
 
         std::mutex mu;
         std::condition_variable windowCv;
-        std::unordered_map<std::uint64_t,
-                           std::unique_ptr<PendingRoute>> pending;
+        std::unordered_map<std::uint64_t, PendingPtr> pending;
 
-        /** One outstanding control op (health/prepare/commit) at a
-         *  time; acks land here. */
+        /** Draining flag: no new dispatch while a planned drain is
+         *  migrating this shard's sessions. */
+        std::atomic<bool> draining{false};
+        /** Administratively shut down (drain / shutdownShards): the
+         *  background re-dialer leaves it alone. */
+        std::atomic<bool> retired{false};
+        /** Why the connection last failed. */
+        std::atomic<IoErrorKind> lastError{IoErrorKind::None};
+        /** Last background re-dial attempt (monitor thread only). */
+        Clock::time_point lastReviveAttempt{};
+
+        /** Serializes whole control *operations* (send + ack read):
+         *  probes, prepares, commits, session pulls/pushes can come
+         *  from the control thread and the replicator at once. */
+        std::mutex controlOpMu;
+
+        /** One outstanding control op at a time; acks land here. */
         std::condition_variable controlCv;
         bool controlReady = false;
         HealthAckFrame healthAck;
         PrepareAckFrame prepareAck;
         EpochFrame commitAck;
+        SessionStateFrame sessionState;
+        SessionPushAckFrame pushAck;
         FrameType controlType = FrameType::Health;
+    };
+
+    /** A session's owner pair.  Guarded by pinMu_. */
+    struct SessionPin
+    {
+        std::uint32_t primary = 0;
+        std::uint32_t backup = 0;
+        bool hasBackup = false;
+    };
+
+    enum class ShardState
+    {
+        Up,
+        Draining,
+        Down
     };
 
     void readerMain(std::uint32_t idx);
     /** Mark a shard dead and fail/re-route its in-flight work. */
     void shardDown(std::uint32_t idx);
-    /** Pick the live owner for a key (ring walk over down shards). */
-    bool pickShard(std::uint64_t key, std::uint32_t &out);
-    void dispatch(std::unique_ptr<PendingRoute> p);
-    void failRequest(std::unique_ptr<PendingRoute> p);
+    /** Pick the live owner for a key (ring walk over down shards).
+     *  @p any_draining reports whether a drain (not death) is what
+     *  made shards unavailable. */
+    bool pickShard(std::uint64_t key, std::uint32_t &out,
+                   bool &any_draining);
+    /** Pick (and maintain) the pinned shard of a session; promotes
+     *  the backup on a dead primary, waits out drains. */
+    bool pickSessionShard(const std::string &sid, std::uint64_t key,
+                          std::uint32_t &out);
+    ShardState shardState(std::uint32_t idx) const;
+    std::vector<bool> effectiveDown() const;
+    /** Choose a backup for @p pin from the replica set (excluding
+     *  its primary and @p excluded). */
+    void assignBackup(SessionPin &pin, std::uint64_t key,
+                      std::int64_t excluded);
+    void dispatch(PendingPtr p);
+    void failRequest(const PendingPtr &p);
     void noteDone();
     bool sendControl(std::uint32_t idx, FrameType type,
                      const std::vector<std::uint8_t> &payload,
                      double timeout_ms);
+    /** Dial + handshake shard @p idx (no reader thread started). */
+    bool dialShard(std::uint32_t idx, double timeout_ms,
+                   std::string &detail, IoErrorKind &kind);
+    bool reviveWith(std::uint32_t idx, double timeout_ms,
+                    std::string &err);
+    bool pullSession(std::uint32_t idx, const std::string &sid,
+                     SessionStateFrame &out, std::string &err);
+    bool pushSession(std::uint32_t idx, const std::string &sid,
+                     const MarkerStore &markers, std::string &err);
+    void enqueueWarmup(const std::string &sid);
+    void replicatorMain();
+    void monitorMain();
+    void hedgeScan();
+    void reviveScan();
+    void hedgeOne(std::uint32_t cur, const PendingPtr &p);
 
     RouterConfig cfg_;
     HashRing ring_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::uint64_t fingerprint_ = 0;
     std::uint64_t epoch_ = 0;
+    std::uint32_t numNodes_ = 0;
 
     /** Wire-id allocator (never reused). */
     std::atomic<std::uint64_t> nextId_{1};
@@ -194,10 +346,32 @@ class ShardRouter
     mutable std::mutex downMu_;
     std::vector<bool> down_;
 
+    /** Session pin table. */
+    mutable std::mutex pinMu_;
+    std::condition_variable pinCv_;
+    std::unordered_map<std::string, SessionPin> pins_;
+    std::uint64_t failovers_ = 0;
+    std::uint64_t migrated_ = 0;
+
+    /** Warm-backup replication queue (coalesced per session). */
+    mutable std::mutex replMu_;
+    std::condition_variable replCv_;
+    std::deque<std::string> replQueue_;
+    std::set<std::string> replQueued_;
+    std::uint64_t warmups_ = 0;
+    std::thread replicator_;
+
+    /** Hedging + background re-dial. */
+    std::mutex monitorMu_;
+    std::condition_variable monitorCv_;
+    std::thread monitor_;
+
     mutable std::mutex doneMu_;
     std::condition_variable allDone_;
     std::uint64_t outstanding_ = 0;
     std::uint64_t rerouted_ = 0;
+    std::uint64_t hedged_ = 0;
+    std::uint64_t corruptResponses_ = 0;
 
     std::atomic<bool> closing_{false};
 };

@@ -1,6 +1,8 @@
 #include "shard/shard_server.hh"
 
+#include <chrono>
 #include <sys/socket.h>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -19,6 +21,8 @@ ShardServer::ShardServer(KbImageFile kb, ShardServerConfig cfg)
     engine_ = std::make_unique<serve::ServeEngine>(
         net_, std::move(kb.image), cfg_.serve);
     fingerprint_.store(kb.fingerprint, std::memory_order_release);
+    if (cfg_.fleetFaults.any())
+        fleetPlan_ = std::make_unique<FleetFaultPlan>(cfg_.fleetFaults);
 }
 
 ShardServer::~ShardServer()
@@ -182,6 +186,50 @@ ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
         std::lock_guard<std::mutex> lock(write_mu);
         return writeFrame(fd, FrameType::CommitAck, w.bytes());
       }
+      case FrameType::SessionPull: {
+        SessionPullFrame pull;
+        if (!decodeSessionPull(r, pull)) {
+            snap_warn("shard: malformed session-pull frame");
+            return false;
+        }
+        SessionStateFrame st;
+        st.sessionId = pull.sessionId;
+        MarkerStore m(engine_->sharedImage().numNodes());
+        if (engine_->trySessionMarkers(pull.sessionId, m)) {
+            st.found = true;
+            st.numNodes = m.numNodes();
+            st.markers = std::move(m);
+        }
+        WireWriter w;
+        encodeSessionState(w, st);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::SessionState, w.bytes());
+      }
+      case FrameType::SessionPush: {
+        SessionPushFrame push;
+        SessionPushAckFrame ack;
+        if (!decodeSessionPush(r, engine_->sharedImage().numNodes(),
+                               push)) {
+            // Unlike a malformed request, answer with a typed nack:
+            // the router is mid-migration and needs the verdict.
+            ack.ok = false;
+            ack.detail = "malformed session-push frame";
+        } else {
+            ack.sessionId = push.sessionId;
+            std::string err;
+            ack.ok = engine_->restoreSession(push.sessionId,
+                                             std::move(push.markers),
+                                             err);
+            ack.detail = err;
+        }
+        if (!ack.ok)
+            snap_warn("shard: session-push('%s') refused: %s",
+                      ack.sessionId.c_str(), ack.detail.c_str());
+        WireWriter w;
+        encodeSessionPushAck(w, ack);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::SessionPushAck, w.bytes());
+      }
       case FrameType::Shutdown: {
         stop();
         return false;
@@ -221,15 +269,76 @@ ShardServer::handleRequest(int fd, std::mutex &write_mu,
             out.faultDetected = resp.faultDetected;
             WireWriter w;
             encodeResponse(w, out);
-            std::lock_guard<std::mutex> lock(write_mu);
-            if (!writeFrame(fd, FrameType::Response, w.bytes())) {
-                SNAP_LOG_EVERY_N(Warn, 64,
-                                 "shard: dropping response %llu "
-                                 "(peer gone)",
-                                 static_cast<unsigned long long>(
-                                     wire_id));
-            }
+            writeResponseWithFaults(fd, write_mu, wire_id, w.take());
         });
+}
+
+/**
+ * Write one encoded Response, injecting any armed fleet-level faults:
+ * delay (slow shard), byte corruption (caught by the response
+ * checksum on the router), mid-frame truncation, and connection drop.
+ * Every kind is rolled exactly once per response so each stream's
+ * draw history is independent of the other kinds' rates.
+ */
+void
+ShardServer::writeResponseWithFaults(int fd, std::mutex &write_mu,
+                                     std::uint64_t wire_id,
+                                     std::vector<std::uint8_t> bytes)
+{
+    bool drop = false;
+    bool trunc = false;
+    if (fleetPlan_) {
+        if (fleetPlan_->rollDelay()) {
+            SNAP_LOG_EVERY_N(Inform, 64,
+                             "shard: fleet fault: delaying response "
+                             "%llu by %.0f ms",
+                             static_cast<unsigned long long>(wire_id),
+                             fleetPlan_->spec().delayMs);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    fleetPlan_->spec().delayMs));
+        }
+        if (fleetPlan_->rollCorrupt() && !bytes.empty()) {
+            const std::uint64_t d =
+                fleetPlan_->draw(FleetFaultKind::Corrupt);
+            const std::size_t at = d % bytes.size();
+            bytes[at] ^= static_cast<std::uint8_t>(1u << (d >> 32 & 7));
+            SNAP_LOG_EVERY_N(Inform, 64,
+                             "shard: fleet fault: corrupting byte "
+                             "%zu of response %llu", at,
+                             static_cast<unsigned long long>(wire_id));
+        }
+        trunc = fleetPlan_->rollTruncate();
+        drop = fleetPlan_->rollConnDrop();
+    }
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (drop) {
+        SNAP_LOG_EVERY_N(Inform, 64,
+                         "shard: fleet fault: dropping connection "
+                         "instead of response %llu",
+                         static_cast<unsigned long long>(wire_id));
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+    }
+    if (trunc) {
+        const std::size_t cut =
+            bytes.empty()
+                ? 0
+                : fleetPlan_->draw(FleetFaultKind::Truncate) %
+                      bytes.size();
+        SNAP_LOG_EVERY_N(Inform, 64,
+                         "shard: fleet fault: truncating response "
+                         "%llu at byte %zu",
+                         static_cast<unsigned long long>(wire_id), cut);
+        writeFrameTruncated(fd, FrameType::Response, bytes, cut);
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+    }
+    if (!writeFrame(fd, FrameType::Response, bytes)) {
+        SNAP_LOG_EVERY_N(Warn, 64,
+                         "shard: dropping response %llu (peer gone)",
+                         static_cast<unsigned long long>(wire_id));
+    }
 }
 
 void

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "arch/kb_image_io.hh"
+#include "fault/fleet_fault.hh"
 #include "serve/engine.hh"
 #include "shard/endpoint.hh"
 #include "shard/protocol.hh"
@@ -48,6 +49,9 @@ struct ShardServerConfig
     /** Engine configuration (numClusters is overridden by the
      *  image's partition). */
     serve::ServeConfig serve;
+    /** Wire-layer fault injection on the Response write path (chaos
+     *  testing).  All-zero rates = no injection at all. */
+    FleetFaultSpec fleetFaults;
 };
 
 class ShardServer
@@ -86,6 +90,9 @@ class ShardServer
 
     serve::ServeEngine &engine() { return *engine_; }
 
+    /** Live fleet fault schedule, or nullptr when none is armed. */
+    const FleetFaultPlan *fleetPlan() const { return fleetPlan_.get(); }
+
   private:
     void serveConnection(int fd);
     /** @return false to drop the connection. */
@@ -93,6 +100,9 @@ class ShardServer
                      const std::vector<std::uint8_t> &payload);
     void handleRequest(int fd, std::mutex &write_mu,
                        RequestFrame &&frame);
+    void writeResponseWithFaults(int fd, std::mutex &write_mu,
+                                 std::uint64_t wire_id,
+                                 std::vector<std::uint8_t> bytes);
     void handlePrepare(int fd, std::mutex &write_mu,
                        const PrepareFrame &frame);
 
@@ -102,6 +112,7 @@ class ShardServer
      *  image under swapMu_). */
     SemanticNetwork net_;
     std::unique_ptr<serve::ServeEngine> engine_;
+    std::unique_ptr<FleetFaultPlan> fleetPlan_;
     std::atomic<std::uint64_t> epoch_{0};
     std::atomic<std::uint64_t> fingerprint_{0};
     /** Serializes Prepare handling (one swap at a time). */

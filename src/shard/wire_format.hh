@@ -192,6 +192,11 @@ class WireReader
     bool done() const { return !failed_ && pos_ == end_; }
     std::size_t remaining() const { return end_ - pos_; }
 
+    /** Raw buffer access for trailing-checksum verification: the
+     *  bytes consumed so far are data()[0 .. pos()). */
+    const std::uint8_t *data() const { return data_; }
+    std::size_t pos() const { return pos_; }
+
   private:
     std::uint8_t
     fail8()

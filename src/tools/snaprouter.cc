@@ -14,6 +14,16 @@
  *     --timeout-ms X      per-request queue deadline on the shard
  *     --seed N            base of the per-request seed chain
  *     --connect-ms X      how long to wait for booting shards
+ *     --replication N     owner shards per key range (default 1);
+ *                         N >= 2 gives stateless requests failover
+ *                         replicas and every session a warm backup
+ *     --hedge-ms X        hedged retry: duplicate a stateless
+ *                         request onto a replica when its owner has
+ *                         sat on it for X host ms (default off)
+ *     --drain K@N         planned drain: after the N-th request has
+ *                         been submitted, migrate every session off
+ *                         shard K and retire it (repeatable; zero
+ *                         dropped sessions is the contract)
  *     --swap-epoch SPEC   hot-swap the KB mid-run: "FILE@K" swaps
  *                         every shard to the .kbimg FILE after the
  *                         K-th request has been submitted (in-flight
@@ -41,12 +51,14 @@
  * corrupt .kbimg.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/kb_image_io.hh"
@@ -78,6 +90,11 @@ usage()
         "  --timeout-ms X      per-request deadline, host ms\n"
         "  --seed N            base request-seed chain\n"
         "  --connect-ms X      shard boot wait (default 15000)\n"
+        "  --replication N     owner shards per key range "
+        "(default 1)\n"
+        "  --hedge-ms X        hedge stateless requests after X ms\n"
+        "  --drain K@N         drain shard K after N submits "
+        "(repeatable)\n"
         "  --swap-epoch FILE@K hot-swap to FILE after K submits\n"
         "  --answers-out FILE  write canonical answer text\n"
         "  --lane-backend B    auto|scalar|avx2|avx512 "
@@ -161,6 +178,8 @@ main(int argc, char **argv)
     std::string answers_path;
     std::string swap_path;
     std::size_t swap_after = 0;
+    // Planned drains, as (submit index, shard) pairs.
+    std::vector<std::pair<std::size_t, std::uint32_t>> drains;
     bool do_shutdown = false;
     bool quiet = false;
 
@@ -203,6 +222,27 @@ main(int argc, char **argv)
             if (!parseDouble(next(), x) || x < 0)
                 usageError("--connect-ms must be >= 0");
             cfg.connectTimeoutMs = x;
+        } else if (arg == "--replication") {
+            long long n;
+            if (!parseInt(next(), n) || n < 1 || n > 64)
+                usageError("--replication must be 1..64");
+            cfg.replication = static_cast<std::uint32_t>(n);
+        } else if (arg == "--hedge-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0)
+                usageError("--hedge-ms must be >= 0");
+            cfg.hedgeDelayMs = x;
+        } else if (arg == "--drain") {
+            std::string spec = next();
+            std::size_t at = spec.find_last_of('@');
+            long long k, n;
+            if (at == std::string::npos || at == 0 ||
+                !parseInt(spec.substr(0, at), k) ||
+                !parseInt(spec.substr(at + 1), n) || k < 0 || n < 0)
+                usageError("--drain must be K@N (drain shard K "
+                           "after N submits)");
+            drains.emplace_back(static_cast<std::size_t>(n),
+                                static_cast<std::uint32_t>(k));
         } else if (arg == "--swap-epoch") {
             std::string spec = next();
             std::size_t at = spec.find_last_of('@');
@@ -234,6 +274,14 @@ main(int argc, char **argv)
     }
     if (cfg.shards.empty())
         usageError("at least one --shard endpoint is required");
+    for (const auto &d : drains) {
+        if (d.second >= cfg.shards.size())
+            usageError("--drain names a shard the fleet lacks");
+    }
+    std::stable_sort(drains.begin(), drains.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
 
     // The router's copy of the KB exists for symbol resolution only.
     SemanticNetwork net;
@@ -287,8 +335,30 @@ main(int argc, char **argv)
     std::mutex resp_mu;
 
     bool swap_ok = true;
+    bool drains_ok = true;
     std::string swap_err;
+    std::size_t next_drain = 0;
+    auto run_drains = [&](std::size_t submitted) {
+        while (next_drain < drains.size() &&
+               drains[next_drain].first <= submitted) {
+            const std::uint32_t target = drains[next_drain].second;
+            ++next_drain;
+            std::string drain_err;
+            if (router.drainShard(target, drain_err)) {
+                std::printf("drained shard %u after %zu submits "
+                            "(%llu sessions migrated so far)\n",
+                            target, submitted,
+                            static_cast<unsigned long long>(
+                                router.migratedCount()));
+            } else {
+                drains_ok = false;
+                snap_warn("drain of shard %u failed: %s", target,
+                          drain_err.c_str());
+            }
+        }
+    };
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        run_drains(i);
         if (!swap_path.empty() && i == swap_after) {
             // Live hot-swap: traffic submitted so far may still be
             // in flight; swapEpoch drains it, re-stamps every shard
@@ -316,6 +386,7 @@ main(int argc, char **argv)
                           responses[i] = std::move(resp);
                       });
     }
+    run_drains(specs.size());
     if (!swap_path.empty() && swap_after >= specs.size()) {
         swap_ok = router.swapEpoch(swap_path, swap_err);
         if (!swap_ok)
@@ -343,12 +414,18 @@ main(int argc, char **argv)
                     resp.batchLanes);
     }
     std::printf("\nrouted %llu ok, %llu failed over %u shard(s), "
-                "%llu re-routed\n",
+                "%llu re-routed, %llu hedged, %llu sessions "
+                "migrated, %llu failed over\n",
                 static_cast<unsigned long long>(ok),
                 static_cast<unsigned long long>(bad),
                 router.numShards(),
                 static_cast<unsigned long long>(
-                    router.rerouteCount()));
+                    router.rerouteCount()),
+                static_cast<unsigned long long>(router.hedgeCount()),
+                static_cast<unsigned long long>(
+                    router.migratedCount()),
+                static_cast<unsigned long long>(
+                    router.failoverCount()));
 
     if (!answers_path.empty()) {
         std::ofstream os(answers_path);
@@ -366,5 +443,5 @@ main(int argc, char **argv)
 
     if (do_shutdown)
         router.shutdownShards();
-    return (bad == 0 && swap_ok) ? 0 : 1;
+    return (bad == 0 && swap_ok && drains_ok) ? 0 : 1;
 }

@@ -48,6 +48,15 @@
  *                           on "unix:/path" or "host:port" until a
  *                           Shutdown frame arrives (no request file;
  *                           see docs/sharding.md)
+ *     --fleet-fault-seed N  seed for wire-layer fault injection
+ *                           (shard mode only)
+ *     --fleet-fault-rate X  inject wire faults on the Response path
+ *                           at combined rate X, split evenly over
+ *                           connection drops, truncated frames,
+ *                           corrupt payloads, and slow responses
+ *                           (shard mode only; chaos testing)
+ *     --fleet-fault-spec F  load a full FleetFaultSpec from JSON
+ *                           (shard mode only)
  *     --answers-out FILE    write the canonical answer text (status +
  *                           results by name) for diffing against a
  *                           snaprouter run over the same requests
@@ -140,6 +149,9 @@ usage()
         "  --shed-threshold N     fault-storm shedding threshold\n"
         "  --listen ENDPOINT      shard mode (unix:/path or "
         "host:port)\n"
+        "  --fleet-fault-seed N   wire fault seed (shard mode)\n"
+        "  --fleet-fault-rate X   wire fault rate 0..1 (shard mode)\n"
+        "  --fleet-fault-spec F   FleetFaultSpec JSON (shard mode)\n"
         "  --answers-out FILE     write canonical answer text\n");
     std::exit(2);
 }
@@ -238,6 +250,10 @@ main(int argc, char **argv)
     bool fault_seed_set = false;
     double fault_rate = 0.0;
     std::string fault_spec_path;
+    std::uint64_t fleet_seed = 1;
+    bool fleet_seed_set = false;
+    double fleet_rate = 0.0;
+    std::string fleet_spec_path;
     std::string listen_ep;
     std::string answers_path;
 
@@ -359,6 +375,19 @@ main(int argc, char **argv)
             sessions_dir = next();
         } else if (arg == "--listen") {
             listen_ep = next();
+        } else if (arg == "--fleet-fault-seed") {
+            long long n;
+            if (!parseInt(next(), n))
+                usageError("--fleet-fault-seed must be an integer");
+            fleet_seed = static_cast<std::uint64_t>(n);
+            fleet_seed_set = true;
+        } else if (arg == "--fleet-fault-rate") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0 || x > 1.0)
+                usageError("--fleet-fault-rate must be 0..1");
+            fleet_rate = x;
+        } else if (arg == "--fleet-fault-spec") {
+            fleet_spec_path = next();
         } else if (arg == "--answers-out") {
             answers_path = next();
         } else if (arg == "--quiet") {
@@ -372,6 +401,11 @@ main(int argc, char **argv)
 
     if (listen_ep.empty() && req_path.empty())
         usage();
+    if (listen_ep.empty() &&
+        (fleet_seed_set || fleet_rate > 0.0 ||
+         !fleet_spec_path.empty()))
+        usageError("--fleet-fault-* flags need --listen (they "
+                   "inject on the shard wire, not the engine)");
 
     // The KB may be .snapkb text or a binary .kbimg snapshot; sniff
     // by magic.  A corrupt snapshot is a typed rejection mapped onto
@@ -421,6 +455,27 @@ main(int argc, char **argv)
         shard::ShardServerConfig scfg;
         scfg.listen = listen_ep;
         scfg.serve = cfg;
+        if (!fleet_spec_path.empty()) {
+            std::ifstream fis(fleet_spec_path);
+            if (!fis)
+                snap_fatal("cannot open fleet fault spec '%s'",
+                           fleet_spec_path.c_str());
+            std::ostringstream fbuf;
+            fbuf << fis.rdbuf();
+            if (!FleetFaultSpec::fromJson(fbuf.str(),
+                                          scfg.fleetFaults))
+                snap_fatal("cannot parse fleet fault spec '%s'",
+                           fleet_spec_path.c_str());
+            if (fleet_seed_set)
+                scfg.fleetFaults.seed = fleet_seed;
+        } else if (fleet_rate > 0.0) {
+            scfg.fleetFaults =
+                FleetFaultSpec::wireFaults(fleet_seed, fleet_rate);
+        }
+        if (scfg.fleetFaults.any()) {
+            snap_warn("fleet fault injection armed: %s",
+                      scfg.fleetFaults.toJson().c_str());
+        }
         shard::ShardServer server(std::move(kbf), scfg);
         std::string detail;
         if (!server.bind(detail))

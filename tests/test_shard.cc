@@ -10,9 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,11 +28,15 @@
 
 #include "arch/kb_image_io.hh"
 #include "arch/machine.hh"
+#include "fault/fleet_fault.hh"
+#include "runtime/marker_store.hh"
 #include "serve/engine.hh"
+#include "shard/endpoint.hh"
 #include "shard/hash_ring.hh"
 #include "shard/protocol.hh"
 #include "shard/router.hh"
 #include "shard/shard_server.hh"
+#include "shard/wire_format.hh"
 #include "tests/test_helpers.hh"
 #include "workload/kb_gen.hh"
 
@@ -38,6 +47,7 @@ namespace
 
 using shard::FrameType;
 using shard::HashRing;
+using shard::IoErrorKind;
 using shard::ShardRouter;
 using shard::ShardServer;
 using shard::WireReader;
@@ -88,6 +98,32 @@ TEST(HashRing, SkippingMovesOnlyOrphanedKeys)
     // All shards down: the walk gives up and returns the home shard.
     std::vector<bool> all(kShards, true);
     EXPECT_EQ(ring.ownerSkipping(42, all), ring.owner(42));
+}
+
+TEST(HashRing, OwnersAreDistinctAndLedByTheOwner)
+{
+    constexpr std::uint32_t kShards = 4;
+    HashRing ring(kShards, 64);
+    for (std::uint64_t k = 0; k < 2000; ++k) {
+        std::vector<std::uint32_t> two = ring.owners(k, 2);
+        ASSERT_EQ(two.size(), 2u);
+        EXPECT_EQ(two[0], ring.owner(k))
+            << "owners[0] must be the primary";
+        EXPECT_NE(two[0], two[1])
+            << "a replica set must not repeat a shard";
+        std::vector<std::uint32_t> one = ring.owners(k, 1);
+        ASSERT_EQ(one.size(), 1u);
+        EXPECT_EQ(one[0], ring.owner(k));
+    }
+    // Asking for more replicas than shards exist clamps to the fleet.
+    std::vector<std::uint32_t> all = ring.owners(42, kShards + 3);
+    EXPECT_EQ(all.size(), kShards);
+    std::vector<bool> seen(kShards, false);
+    for (std::uint32_t s : all) {
+        ASSERT_LT(s, kShards);
+        EXPECT_FALSE(seen[s]);
+        seen[s] = true;
+    }
 }
 
 // --- wire codecs --------------------------------------------------------
@@ -171,8 +207,7 @@ TEST(ShardProtocol, MalformedBytesAreTypedRejections)
 
     // Every strict prefix must fail the decode, never crash.
     const auto &bytes = w.bytes();
-    for (std::size_t cut = 0; cut < bytes.size();
-         cut += 1 + cut / 8) {
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
         WireReader r(bytes.data(), cut);
         shard::RequestFrame out;
         EXPECT_FALSE(shard::decodeRequest(r, out))
@@ -211,6 +246,368 @@ TEST(ShardProtocol, MalformedBytesAreTypedRejections)
     EXPECT_EQ(aout.detail, ack.detail);
 }
 
+/** Encode a representative response with real result content. */
+std::vector<std::uint8_t>
+encodedResponseBytes(shard::ResponseFrame *orig = nullptr)
+{
+    shard::ResponseFrame in;
+    in.id = 77;
+    in.status = serve::RequestStatus::Ok;
+    in.wallTicks = 4242;
+    in.rngSeed = 13;
+    in.serviceMs = 1.5;
+    in.batchLanes = 2;
+    CollectResult res;
+    res.op = Opcode::CollectMarker;
+    res.marker = 1;
+    res.nodes.push_back(CollectedNode{3, 1.0f, 5});
+    res.nodes.push_back(CollectedNode{9, 0.5f, invalidNode});
+    in.results.push_back(res);
+    if (orig)
+        *orig = in;
+    WireWriter w;
+    shard::encodeResponse(w, in);
+    return w.bytes();
+}
+
+/** Run a decoder over every strict prefix of @p bytes; each must be
+ *  a clean rejection.  Offsets in @p allow are expected to decode
+ *  (version-tolerant tails). */
+template <typename Decode>
+void
+expectEveryTruncationRejected(const std::vector<std::uint8_t> &bytes,
+                              Decode decode, const char *what,
+                              std::size_t allow = SIZE_MAX)
+{
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const bool ok = decode(bytes.data(), cut);
+        if (cut == allow)
+            EXPECT_TRUE(ok) << what << ": tolerant tail at " << cut;
+        else
+            EXPECT_FALSE(ok)
+                << what << ": prefix of " << cut << " bytes decoded";
+    }
+}
+
+TEST(ShardProtocol, TruncationAtEveryOffsetIsRejected)
+{
+    // Request.
+    shard::RequestFrame req;
+    req.sessionId = "sess-fuzz";
+    req.prog = countQuery(3, 1);
+    WireWriter rw;
+    shard::encodeRequest(rw, req);
+    expectEveryTruncationRejected(
+        rw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::RequestFrame out;
+            return shard::decodeRequest(r, out);
+        },
+        "request");
+
+    // Response: the only survivable cut is the v1 tail (a payload
+    // missing exactly its trailing 8 checksum bytes — an old peer).
+    std::vector<std::uint8_t> resp = encodedResponseBytes();
+    expectEveryTruncationRejected(
+        resp,
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::ResponseFrame out;
+            return shard::decodeResponse(r, out);
+        },
+        "response", resp.size() - 8);
+
+    // HelloAck.
+    WireWriter hw;
+    shard::encodeHelloAck(hw, shard::HelloAckFrame{});
+    expectEveryTruncationRejected(
+        hw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::HelloAckFrame out;
+            return shard::decodeHelloAck(r, out);
+        },
+        "hello-ack");
+
+    // PrepareAck (carries a string).
+    shard::PrepareAckFrame pack;
+    pack.epoch = 3;
+    pack.detail = "kbimg: checksum mismatch";
+    WireWriter pw;
+    shard::encodePrepareAck(pw, pack);
+    expectEveryTruncationRejected(
+        pw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::PrepareAckFrame out;
+            return shard::decodePrepareAck(r, out);
+        },
+        "prepare-ack");
+
+    // Session checkpoint frames (sparse marker codec inside).
+    constexpr std::uint32_t kNodes = 64;
+    MarkerStore marks(kNodes);
+    marks.setBit(1, 3);
+    marks.setBit(1, 17);
+    marks.set(2, 40, 2.5f, 3);
+    shard::SessionStateFrame st;
+    st.sessionId = "sess-fuzz";
+    st.found = true;
+    st.numNodes = kNodes;
+    st.markers = marks;
+    WireWriter sw;
+    shard::encodeSessionState(sw, st);
+    expectEveryTruncationRejected(
+        sw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::SessionStateFrame out;
+            return shard::decodeSessionState(r, kNodes, out);
+        },
+        "session-state");
+
+    shard::SessionPushFrame push;
+    push.sessionId = "sess-fuzz";
+    push.numNodes = kNodes;
+    push.markers = marks;
+    WireWriter uw;
+    shard::encodeSessionPush(uw, push);
+    expectEveryTruncationRejected(
+        uw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::SessionPushFrame out;
+            return shard::decodeSessionPush(r, kNodes, out);
+        },
+        "session-push");
+}
+
+TEST(ShardProtocol, SessionFramesRoundTripTheMarkerState)
+{
+    constexpr std::uint32_t kNodes = 128;
+    MarkerStore marks(kNodes);
+    marks.setBit(1, 0);
+    marks.setBit(1, 127);
+    marks.set(3, 64, -1.5f, 12);
+
+    shard::SessionPullFrame pull;
+    pull.sessionId = "alice";
+    WireWriter w1;
+    shard::encodeSessionPull(w1, pull);
+    WireReader r1(w1.bytes().data(), w1.bytes().size());
+    shard::SessionPullFrame pull_out;
+    ASSERT_TRUE(shard::decodeSessionPull(r1, pull_out));
+    EXPECT_EQ(pull_out.sessionId, "alice");
+
+    shard::SessionStateFrame st;
+    st.sessionId = "alice";
+    st.found = true;
+    st.numNodes = kNodes;
+    st.markers = marks;
+    WireWriter w2;
+    shard::encodeSessionState(w2, st);
+    WireReader r2(w2.bytes().data(), w2.bytes().size());
+    shard::SessionStateFrame st_out;
+    ASSERT_TRUE(shard::decodeSessionState(r2, kNodes, st_out));
+    EXPECT_TRUE(st_out.found);
+    for (NodeId n = 0; n < kNodes; ++n) {
+        EXPECT_EQ(st_out.markers.test(1, n), marks.test(1, n));
+        EXPECT_EQ(st_out.markers.test(3, n), marks.test(3, n));
+    }
+    EXPECT_FLOAT_EQ(st_out.markers.value(3, 64), -1.5f);
+    EXPECT_EQ(st_out.markers.origin(3, 64), 12u);
+
+    // A checkpoint for a *different* node count must be rejected —
+    // the session codecs are keyed to one KB generation's size.
+    WireReader r3(w2.bytes().data(), w2.bytes().size());
+    shard::SessionStateFrame wrong;
+    EXPECT_FALSE(shard::decodeSessionState(r3, kNodes + 1, wrong));
+
+    shard::SessionPushAckFrame ack;
+    ack.sessionId = "alice";
+    ack.ok = false;
+    ack.detail = "node-count mismatch";
+    WireWriter w4;
+    shard::encodeSessionPushAck(w4, ack);
+    WireReader r4(w4.bytes().data(), w4.bytes().size());
+    shard::SessionPushAckFrame ack_out;
+    ASSERT_TRUE(shard::decodeSessionPushAck(r4, ack_out));
+    EXPECT_FALSE(ack_out.ok);
+    EXPECT_EQ(ack_out.detail, ack.detail);
+}
+
+TEST(ShardProtocol, ResponseChecksumCatchesEveryByteFlip)
+{
+    shard::ResponseFrame orig;
+    std::vector<std::uint8_t> bytes = encodedResponseBytes(&orig);
+
+    // Flip every byte in turn: a corrupt-but-well-framed response
+    // must never decode.  (The trailing 8 bytes are the checksum
+    // itself; flipping those must fail too.)
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[i] ^= 0x40;
+        WireReader r(bad.data(), bad.size());
+        shard::ResponseFrame out;
+        EXPECT_FALSE(shard::decodeResponse(r, out))
+            << "flip at byte " << i << " decoded";
+    }
+
+    // Version tolerance: a v1 peer sends the same payload without
+    // the trailing checksum; that must still decode and match.
+    std::vector<std::uint8_t> v1(bytes.begin(), bytes.end() - 8);
+    WireReader r(v1.data(), v1.size());
+    shard::ResponseFrame out;
+    ASSERT_TRUE(shard::decodeResponse(r, out));
+    EXPECT_EQ(out.id, orig.id);
+    ASSERT_EQ(out.results.size(), 1u);
+    EXPECT_EQ(out.results[0].nodes, orig.results[0].nodes);
+}
+
+// --- typed endpoint errors ----------------------------------------------
+
+TEST(ShardEndpoint, TypedErrorsDistinguishFailureModes)
+{
+    // Refused: nobody is (or will be) listening on this path.
+    shard::Endpoint dead;
+    std::string detail;
+    ASSERT_TRUE(shard::parseEndpoint(
+        "unix:" + std::string(::testing::TempDir()) +
+            "no-such-shard.sock",
+        dead, detail))
+        << detail;
+    IoErrorKind kind = IoErrorKind::None;
+    EXPECT_EQ(shard::connectEndpoint(dead, 50.0, detail, kind), -1);
+    EXPECT_EQ(kind, IoErrorKind::Refused) << detail;
+
+    // Closed: clean EOF at a frame boundary.
+    int sp[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    ::close(sp[1]);
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    kind = IoErrorKind::None;
+    EXPECT_FALSE(shard::readFrame(sp[0], type, payload, detail, kind));
+    EXPECT_EQ(kind, IoErrorKind::Closed) << detail;
+    ::close(sp[0]);
+
+    // MidFrameEof: the peer died inside a frame.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    std::vector<std::uint8_t> body(64, 0xab);
+    ASSERT_TRUE(shard::writeFrameTruncated(sp[1], FrameType::Request,
+                                           body, body.size() / 2));
+    ::close(sp[1]);
+    kind = IoErrorKind::None;
+    EXPECT_FALSE(shard::readFrame(sp[0], type, payload, detail, kind));
+    EXPECT_EQ(kind, IoErrorKind::MidFrameEof) << detail;
+    ::close(sp[0]);
+
+    // OverCap: a length prefix past maxFramePayload must be refused
+    // before any allocation.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    const std::uint32_t huge = shard::maxFramePayload + 1;
+    std::uint8_t head[5];
+    for (int i = 0; i < 4; ++i)
+        head[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    head[4] = static_cast<std::uint8_t>(FrameType::Request);
+    ASSERT_EQ(::write(sp[1], head, sizeof(head)),
+              static_cast<ssize_t>(sizeof(head)));
+    kind = IoErrorKind::None;
+    EXPECT_FALSE(shard::readFrame(sp[0], type, payload, detail, kind));
+    EXPECT_EQ(kind, IoErrorKind::OverCap) << detail;
+    ::close(sp[0]);
+    ::close(sp[1]);
+
+    // BadType: a frame type outside the protocol range.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    std::uint8_t bad_head[5] = {
+        0, 0, 0, 0,
+        static_cast<std::uint8_t>(shard::maxFrameType + 1)};
+    ASSERT_EQ(::write(sp[1], bad_head, sizeof(bad_head)),
+              static_cast<ssize_t>(sizeof(bad_head)));
+    kind = IoErrorKind::None;
+    EXPECT_FALSE(shard::readFrame(sp[0], type, payload, detail, kind));
+    EXPECT_EQ(kind, IoErrorKind::BadType) << detail;
+    ::close(sp[0]);
+    ::close(sp[1]);
+}
+
+// --- fleet fault plans ---------------------------------------------------
+
+TEST(FleetFault, StreamsAreDeterministicAndIndependent)
+{
+    FleetFaultSpec spec;
+    spec.seed = 0xfee1;
+    spec.connDropRate = 0.3;
+    spec.truncateRate = 0.2;
+    spec.corruptRate = 0.1;
+    spec.delayRate = 0.4;
+    ASSERT_TRUE(spec.any());
+    spec.validate();
+
+    // Two plans from the same spec roll identical per-kind streams.
+    FleetFaultPlan a(spec), b(spec);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.rollConnDrop(), b.rollConnDrop());
+        EXPECT_EQ(a.rollTruncate(), b.rollTruncate());
+        EXPECT_EQ(a.rollCorrupt(), b.rollCorrupt());
+        EXPECT_EQ(a.rollDelay(), b.rollDelay());
+    }
+    EXPECT_EQ(a.injected(), b.injected());
+    EXPECT_EQ(a.connDrops() + a.truncates() + a.corrupts() +
+                  a.delays(),
+              a.injected());
+    // Rates are honored to within loose bounds (they are salted
+    // splitmix64 streams, not shared draws).
+    EXPECT_GT(a.connDrops(), 2000 * 0.3 / 2);
+    EXPECT_LT(a.connDrops(), 2000 * 0.3 * 2);
+    EXPECT_GT(a.delays(), 2000 * 0.4 / 2);
+
+    // A different seed must give a different schedule.
+    FleetFaultSpec other = spec;
+    other.seed = 0xfee2;
+    FleetFaultPlan c(other);
+    int diverged = 0;
+    FleetFaultPlan a2(spec);
+    for (int i = 0; i < 2000; ++i)
+        diverged += a2.rollConnDrop() != c.rollConnDrop();
+    EXPECT_GT(diverged, 0);
+}
+
+TEST(FleetFault, SpecSerializesAndSplitsTheAggregateRate)
+{
+    FleetFaultSpec spec;
+    spec.seed = 99;
+    spec.connDropRate = 0.01;
+    spec.truncateRate = 0.02;
+    spec.corruptRate = 0.03;
+    spec.delayRate = 0.04;
+    spec.delayMs = 75.0;
+
+    FleetFaultSpec back;
+    ASSERT_TRUE(FleetFaultSpec::fromJson(spec.toJson(), back))
+        << spec.toJson();
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_DOUBLE_EQ(back.connDropRate, spec.connDropRate);
+    EXPECT_DOUBLE_EQ(back.truncateRate, spec.truncateRate);
+    EXPECT_DOUBLE_EQ(back.corruptRate, spec.corruptRate);
+    EXPECT_DOUBLE_EQ(back.delayRate, spec.delayRate);
+    EXPECT_DOUBLE_EQ(back.delayMs, spec.delayMs);
+
+    EXPECT_FALSE(FleetFaultSpec::fromJson("not json at all", back));
+
+    // --fleet-fault-rate sugar: the aggregate splits evenly.
+    FleetFaultSpec w = FleetFaultSpec::wireFaults(7, 0.2);
+    EXPECT_EQ(w.seed, 7u);
+    EXPECT_DOUBLE_EQ(w.connDropRate, 0.05);
+    EXPECT_DOUBLE_EQ(w.truncateRate, 0.05);
+    EXPECT_DOUBLE_EQ(w.corruptRate, 0.05);
+    EXPECT_DOUBLE_EQ(w.delayRate, 0.05);
+    EXPECT_TRUE(w.any());
+    EXPECT_FALSE(FleetFaultSpec{}.any());
+}
+
 // --- in-process sharded serving ----------------------------------------
 
 /** Self-cleaning temp path. */
@@ -246,7 +643,8 @@ struct TestShard
     std::thread runner;
 
     TestShard(const std::string &image_path,
-              const std::string &listen)
+              const std::string &listen,
+              const FleetFaultSpec &faults = FleetFaultSpec{})
     {
         KbImageFile kb;
         std::string detail;
@@ -256,6 +654,7 @@ struct TestShard
         shard::ShardServerConfig cfg;
         cfg.listen = listen;
         cfg.serve = shardServeConfig();
+        cfg.fleetFaults = faults;
         server = std::make_unique<ShardServer>(std::move(kb), cfg);
         EXPECT_TRUE(server->bind(detail)) << detail;
         runner = std::thread([this] { server->run(); });
@@ -515,6 +914,350 @@ TEST_F(ShardFleetTest, EpochHotSwapUnderLoadGivesZeroWrongAnswers)
     router.drain();
     EXPECT_EQ(after_ok.load(), 1)
         << "the old image must keep serving after a refused swap";
+}
+
+// --- failover edges -----------------------------------------------------
+
+/** Submit one request and block for its answer (failed requests
+ *  still resolve — the router always invokes the callback). */
+shard::ResponseFrame
+submitAndWait(ShardRouter &router, shard::RouterRequest req)
+{
+    auto prom =
+        std::make_shared<std::promise<shard::ResponseFrame>>();
+    auto fut = prom->get_future();
+    router.submit(std::move(req),
+                  [prom](shard::ResponseFrame &&resp) {
+                      prom->set_value(std::move(resp));
+                  });
+    return fut.get();
+}
+
+/** Stateless queries whose route key (program content hash) lands on
+ *  @p shard under @p ring — lets a test aim traffic at the faulted
+ *  shard deterministically. */
+std::vector<Program>
+programsOwnedBy(const HashRing &ring, std::uint32_t shard,
+                SemanticNetwork &net, std::size_t count)
+{
+    RelationType inc = net.relationId("includes");
+    RelationType isa = net.relationId("is-a");
+    std::vector<Program> out;
+    for (NodeId n = 0; out.size() < count && n < 600; ++n) {
+        Program p = countQuery(n % 300, n < 300 ? inc : isa);
+        if (ring.owner(p.contentHash()) == shard)
+            out.push_back(p);
+    }
+    return out;
+}
+
+TEST_F(ShardFleetTest, MidFrameEofFailsOverWithTypedError)
+{
+    TempPath sock0("mfe0.sock"), sock1("mfe1.sock");
+    FleetFaultSpec trunc;
+    trunc.seed = 11;
+    trunc.truncateRate = 1.0;
+    TestShard s0(image_file_->path(), "unix:" + sock0.path(), trunc);
+    TestShard s1(image_file_->path(), "unix:" + sock1.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    rcfg.reconnectMs = 0.0; // a downed shard stays down: assertable
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    HashRing ring(2, rcfg.vnodes);
+    std::vector<Program> progs = programsOwnedBy(ring, 0, net_, 4);
+    ASSERT_GE(progs.size(), 1u);
+    for (const Program &p : progs) {
+        shard::RouterRequest req;
+        req.prog = p;
+        shard::ResponseFrame resp =
+            submitAndWait(router, std::move(req));
+        ASSERT_EQ(resp.status, serve::RequestStatus::Ok)
+            << "a truncating shard must not lose the request";
+        test::expectSameResults(resp.results, reference(p).results);
+    }
+    // Every response shard 0 tried to send died mid-frame: the
+    // router must have the typed cause and the shard marked down.
+    EXPECT_FALSE(router.shardHealthy(0));
+    EXPECT_TRUE(router.shardHealthy(1));
+    EXPECT_EQ(router.shardLastError(0), IoErrorKind::MidFrameEof);
+    EXPECT_GE(router.rerouteCount(), 1u);
+}
+
+TEST_F(ShardFleetTest, ConnectionDropIsACleanCloseAndReroutes)
+{
+    TempPath sock0("drop0.sock"), sock1("drop1.sock");
+    FleetFaultSpec drop;
+    drop.seed = 12;
+    drop.connDropRate = 1.0;
+    TestShard s0(image_file_->path(), "unix:" + sock0.path(), drop);
+    TestShard s1(image_file_->path(), "unix:" + sock1.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    rcfg.reconnectMs = 0.0;
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    HashRing ring(2, rcfg.vnodes);
+    std::vector<Program> progs = programsOwnedBy(ring, 0, net_, 4);
+    ASSERT_GE(progs.size(), 1u);
+    for (const Program &p : progs) {
+        shard::RouterRequest req;
+        req.prog = p;
+        shard::ResponseFrame resp =
+            submitAndWait(router, std::move(req));
+        ASSERT_EQ(resp.status, serve::RequestStatus::Ok);
+        test::expectSameResults(resp.results, reference(p).results);
+    }
+    EXPECT_FALSE(router.shardHealthy(0));
+    EXPECT_EQ(router.shardLastError(0), IoErrorKind::Closed);
+    EXPECT_GE(router.rerouteCount(), 1u);
+}
+
+TEST_F(ShardFleetTest, ByzantineCorruptionIsNeverServed)
+{
+    TempPath sock0("byz0.sock"), sock1("byz1.sock");
+    FleetFaultSpec corrupt;
+    corrupt.seed = 13;
+    corrupt.corruptRate = 1.0;
+    TestShard s0(image_file_->path(), "unix:" + sock0.path(),
+                 corrupt);
+    TestShard s1(image_file_->path(), "unix:" + sock1.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    rcfg.reconnectMs = 0.0;
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    HashRing ring(2, rcfg.vnodes);
+    std::vector<Program> progs = programsOwnedBy(ring, 0, net_, 4);
+    ASSERT_GE(progs.size(), 1u);
+    for (const Program &p : progs) {
+        shard::RouterRequest req;
+        req.prog = p;
+        shard::ResponseFrame resp =
+            submitAndWait(router, std::move(req));
+        // The flipped-bit response must never reach the caller: the
+        // checksum catches it and the clean replica answers.
+        ASSERT_EQ(resp.status, serve::RequestStatus::Ok);
+        test::expectSameResults(resp.results, reference(p).results);
+    }
+    EXPECT_GE(router.corruptResponseCount(), 1u);
+    EXPECT_FALSE(router.shardHealthy(0))
+        << "a corrupting shard is compromised, not trusted again";
+}
+
+TEST_F(ShardFleetTest, ConnectRefusedIsTypedAtConnect)
+{
+    TempPath sock0("ref0.sock");
+    TestShard s0(image_file_->path(), "unix:" + sock0.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(),
+                   "unix:" + std::string(::testing::TempDir()) +
+                       "never-bound.sock"};
+    rcfg.connectTimeoutMs = 150.0;
+    ShardRouter router(rcfg);
+    std::string detail;
+    EXPECT_FALSE(router.connect(detail));
+    EXPECT_NE(detail.find("shard 1"), std::string::npos) << detail;
+    EXPECT_EQ(router.shardLastError(1), IoErrorKind::Refused);
+}
+
+/** A fake shard that completes the Hello handshake and then goes
+ *  silent — a wedged process: accepting, not answering. */
+struct WedgedShard
+{
+    int listenFd = -1;
+    int connFd = -1;
+    std::thread runner;
+
+    explicit WedgedShard(const shard::Endpoint &ep)
+    {
+        std::string detail;
+        listenFd = shard::listenEndpoint(ep, detail);
+        EXPECT_GE(listenFd, 0) << detail;
+        runner = std::thread([this] {
+            std::string err;
+            connFd = shard::acceptConnection(listenFd, err);
+            if (connFd < 0)
+                return;
+            FrameType type;
+            std::vector<std::uint8_t> payload;
+            if (!shard::readFrame(connFd, type, payload, err) ||
+                type != FrameType::Hello)
+                return;
+            shard::HelloAckFrame ack;
+            ack.fingerprint = 0xfeedbeef;
+            ack.numNodes = 300;
+            ack.numClusters = 8;
+            WireWriter w;
+            shard::encodeHelloAck(w, ack);
+            shard::writeFrame(connFd, FrameType::HelloAck, w.bytes());
+            // Swallow everything else (Health probes included)
+            // without ever answering.
+            while (shard::readFrame(connFd, type, payload, err)) {
+            }
+        });
+    }
+
+    ~WedgedShard()
+    {
+        if (connFd >= 0)
+            ::shutdown(connFd, SHUT_RDWR);
+        shard::closeFd(listenFd);
+        runner.join();
+        shard::closeFd(connFd);
+    }
+};
+
+TEST_F(ShardFleetTest, ProbeTimeoutOnAWedgedShardIsTypedAndDownsIt)
+{
+    TempPath sock0("wedge0.sock");
+    shard::Endpoint ep;
+    std::string detail;
+    ASSERT_TRUE(
+        shard::parseEndpoint("unix:" + sock0.path(), ep, detail))
+        << detail;
+    WedgedShard wedged(ep);
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path()};
+    rcfg.reconnectMs = 0.0;
+    ShardRouter router(rcfg);
+    ASSERT_TRUE(router.connect(detail)) << detail;
+    EXPECT_TRUE(router.shardHealthy(0));
+
+    // The connection is nominally up, but the probe gets no answer:
+    // a wedged shard is as gone as a dead one.  (The probe deadline
+    // is seconds — this test deliberately waits it out.)
+    std::string err;
+    EXPECT_FALSE(router.probeShard(0, err));
+    EXPECT_NE(err.find("health probe"), std::string::npos) << err;
+    EXPECT_FALSE(router.shardHealthy(0));
+    EXPECT_EQ(router.shardLastError(0), IoErrorKind::Timeout);
+}
+
+// --- session continuity across failover and drain ------------------------
+
+TEST_F(ShardFleetTest, WarmBackupFailoverPreservesSessionState)
+{
+    TempPath sock0("wb0.sock"), sock1("wb1.sock");
+    std::vector<std::unique_ptr<TestShard>> fleet;
+    fleet.push_back(std::make_unique<TestShard>(
+        image_file_->path(), "unix:" + sock0.path()));
+    fleet.push_back(std::make_unique<TestShard>(
+        image_file_->path(), "unix:" + sock1.path()));
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    rcfg.replication = 2;
+    rcfg.reconnectMs = 0.0; // the killed primary must stay dead
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    const std::string sid = "wb-session";
+    RelationType inc = net_.relationId("includes");
+    Program turn1 = countQuery(5, inc);
+    Program turn2; // collect-only: the answer IS the prior state
+    turn2.append(Instruction::collectMarker(1));
+
+    shard::RouterRequest req1;
+    req1.sessionId = sid;
+    req1.prog = turn1;
+    shard::ResponseFrame r1 = submitAndWait(router, std::move(req1));
+    ASSERT_EQ(r1.status, serve::RequestStatus::Ok);
+
+    // Wait for the replicator to push the post-turn checkpoint onto
+    // the backup owner.
+    for (int i = 0; i < 250 && router.warmupCount() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(router.warmupCount(), 1u)
+        << "the warm-backup replicator never ran";
+
+    // Hard-kill the session's pinned primary.
+    const std::uint32_t primary =
+        HashRing(2, rcfg.vnodes).owner(shard::fnv1a64(sid));
+    fleet[primary].reset();
+
+    shard::RouterRequest req2;
+    req2.sessionId = sid;
+    req2.prog = turn2;
+    shard::ResponseFrame r2 = submitAndWait(router, std::move(req2));
+    ASSERT_EQ(r2.status, serve::RequestStatus::Ok)
+        << "the warm backup must take over the session";
+    EXPECT_GE(router.failoverCount(), 1u);
+
+    // The collect-only turn must see exactly the marker state the
+    // first turn left behind — i.e. what a solo machine running both
+    // turns back to back produces.
+    serve::ServeConfig scfg = shardServeConfig();
+    SnapMachine direct(scfg.machine);
+    direct.loadKb(net_);
+    direct.run(turn1);
+    RunResult ref2 = direct.run(turn2);
+    test::expectSameResults(r2.results, ref2.results);
+    ASSERT_FALSE(ref2.results.empty());
+    ASSERT_FALSE(ref2.results[0].nodes.empty())
+        << "the reference state vanished — the test proves nothing";
+}
+
+TEST_F(ShardFleetTest, PlannedDrainMigratesSessionState)
+{
+    TempPath sock0("mig0.sock"), sock1("mig1.sock");
+    TestShard s0(image_file_->path(), "unix:" + sock0.path());
+    TestShard s1(image_file_->path(), "unix:" + sock1.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    // replication = 1: the drain's ownerSkipping fallback must find
+    // the migration target even with no designated backup.
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    const std::string sid = "drain-session";
+    RelationType inc = net_.relationId("includes");
+    Program turn1 = countQuery(9, inc);
+    Program turn2;
+    turn2.append(Instruction::collectMarker(1));
+
+    shard::RouterRequest req1;
+    req1.sessionId = sid;
+    req1.prog = turn1;
+    ASSERT_EQ(submitAndWait(router, std::move(req1)).status,
+              serve::RequestStatus::Ok);
+
+    const std::uint32_t primary =
+        HashRing(2, rcfg.vnodes).owner(shard::fnv1a64(sid));
+    std::string err;
+    ASSERT_TRUE(router.drainShard(primary, err)) << err;
+    EXPECT_GE(router.migratedCount(), 1u)
+        << "the pinned session must move off the draining shard";
+
+    shard::RouterRequest req2;
+    req2.sessionId = sid;
+    req2.prog = turn2;
+    shard::ResponseFrame r2 = submitAndWait(router, std::move(req2));
+    ASSERT_EQ(r2.status, serve::RequestStatus::Ok)
+        << "zero dropped sessions on a planned drain";
+
+    serve::ServeConfig scfg = shardServeConfig();
+    SnapMachine direct(scfg.machine);
+    direct.loadKb(net_);
+    direct.run(turn1);
+    RunResult ref2 = direct.run(turn2);
+    test::expectSameResults(r2.results, ref2.results);
+    ASSERT_FALSE(ref2.results.empty());
+    ASSERT_FALSE(ref2.results[0].nodes.empty());
 }
 
 } // namespace
