@@ -3,8 +3,16 @@
  * Fleet-level chaos soak: the full replicated serving stack under
  * combined machine-level and fleet-level fault injection.
  *
- *   chaos_soak [budget]          (default 240; writes
- *                                 BENCH_chaos.json)
+ *   chaos_soak [budget] [--traced]
+ *                                (default 240; writes
+ *                                 BENCH_chaos.json, or
+ *                                 BENCH_chaos_traced.json +
+ *                                 chaos_trace.json with --traced)
+ *
+ * --traced arms the serve-category tracer, samples every request's
+ * trace context onto the wire, and records a slow-query log — the
+ * tracing-on soak ROADMAP.md asks for: the same zero-wrong-answers
+ * gates must hold with the observability hot path fully lit.
  *
  * Topology: an R=2 ShardRouter (hedging + warm session backups +
  * background re-dial on) in front of two in-process ShardServers
@@ -63,6 +71,7 @@
 #include "serve/engine.hh"
 #include "shard/router.hh"
 #include "shard/shard_server.hh"
+#include "trace/trace.hh"
 #include "workload/kb_gen.hh"
 
 using namespace snap;
@@ -215,12 +224,19 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t budget = 240;
-    if (argc > 1) {
+    bool traced = false;
+    for (int a = 1; a < argc; ++a) {
+        if (std::string(argv[a]) == "--traced") {
+            traced = true;
+            continue;
+        }
         long long n;
-        if (!parseInt(argv[1], n) || n < 8)
-            snap_fatal("usage: chaos_soak [budget>=8]");
+        if (!parseInt(argv[a], n) || n < 8)
+            snap_fatal("usage: chaos_soak [budget>=8] [--traced]");
         budget = static_cast<std::uint64_t>(n);
     }
+    if (traced)
+        trace::start(trace::kServe);
 
     bench::banner(
         "chaos_soak — replicated fleet under combined fault "
@@ -282,6 +298,10 @@ main(int argc, char **argv)
     rcfg.replication = 2;
     rcfg.hedgeDelayMs = 75.0;
     rcfg.reconnectMs = 100.0;
+    if (traced) {
+        rcfg.traceSample = 1.0;
+        rcfg.slowQueryMs = 250.0;
+    }
     shard::ShardRouter router(rcfg);
     std::string detail;
     if (!router.connect(detail))
@@ -477,8 +497,17 @@ main(int argc, char **argv)
     bench::check("p99 host latency bounded (< 5000 ms)",
                  p99 < 5000.0);
 
-    std::ofstream os("BENCH_chaos.json");
+    if (traced) {
+        const auto slow = router.slowQueries();
+        std::printf("%-26s %zu slow quer%s over 250 ms\n", "traced:",
+                    slow.size(), slow.size() == 1 ? "y" : "ies");
+    }
+
+    const char *json_path =
+        traced ? "BENCH_chaos_traced.json" : "BENCH_chaos.json";
+    std::ofstream os(json_path);
     os << "{\n  " << bench::jsonEnvelope() << ",\n";
+    os << "  \"traced\": " << (traced ? "true" : "false") << ",\n";
     os << "  \"budget\": " << budget << ",\n";
     os << "  \"kb_nodes\": " << net.numNodes() << ",\n";
     os << "  \"fleet_faults\": " << chaos_spec.toJson() << ",\n";
@@ -505,8 +534,18 @@ main(int argc, char **argv)
     os << "  \"p50_ms\": " << formatString("%.3f", p50)
        << ",\n  \"p99_ms\": " << formatString("%.3f", p99) << "\n";
     os << "}\n";
-    std::printf("wrote BENCH_chaos.json\n");
+    std::printf("wrote %s\n", json_path);
 
     fleet.clear();
+    if (traced) {
+        // Stop after the fleet is down so every in-flight serve
+        // span has been emitted, then gate on a non-empty dump:
+        // the observability hot path must survive the same chaos
+        // the serving path just did.
+        trace::setMeta("trace_role", "chaos_soak");
+        trace::stop();
+        bench::check("traced soak wrote chaos_trace.json",
+                     trace::writeJsonFile("chaos_trace.json"));
+    }
     return bench::finish();
 }

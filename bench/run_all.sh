@@ -55,6 +55,15 @@ for b in "${benches[@]}"; do
     fi
 done
 
+# Tracing-on soak: the same chaos gates with the observability hot
+# path lit (trace context on every wire frame, serve spans, slow-query
+# log).  Writes BENCH_chaos_traced.json + chaos_trace.json.
+echo
+echo "==================== chaos_soak --traced ===================="
+if ! "$build/bench/chaos_soak" --traced; then
+    failed+=("chaos_soak--traced")
+fi
+
 echo
 if [ "${#failed[@]}" -gt 0 ]; then
     echo "FAILED: ${failed[*]}"

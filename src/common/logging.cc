@@ -5,6 +5,8 @@
 #include <exception>
 #include <mutex>
 
+#include "common/metrics_registry.hh"
+
 namespace snap
 {
 
@@ -90,6 +92,27 @@ Logger::resetCounters()
     for (std::size_t i = 0; i < kNumLevels; ++i) {
         g_emitted[i].store(0, std::memory_order_relaxed);
         g_suppressed[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Logger::exportMetrics(MetricsRegistry &reg)
+{
+    static const LogLevel kLevels[] = {
+        LogLevel::Panic, LogLevel::Fatal, LogLevel::Warn,
+        LogLevel::Inform, LogLevel::Debug,
+    };
+    for (LogLevel level : kLevels) {
+        MetricsRegistry::Labels labels = {
+            {"level", levelName(level)}};
+        reg.counter("snap_log_emitted_total",
+                    static_cast<double>(emittedCount(level)),
+                    "Log messages emitted, by level", labels);
+        reg.counter("snap_log_suppressed_total",
+                    static_cast<double>(suppressedCount(level)),
+                    "Log messages suppressed by rate limiting, "
+                    "by level",
+                    labels);
     }
 }
 

@@ -33,6 +33,8 @@
 namespace snap
 {
 
+class MetricsRegistry;
+
 /** Severity of a log message. */
 enum class LogLevel
 {
@@ -73,6 +75,13 @@ class Logger
     static std::uint64_t suppressedCount(LogLevel level);
 
     static void resetCounters();
+
+    /** Push the per-level emit/suppressed counters into @p reg as
+     *  snap_log_emitted_total / snap_log_suppressed_total counters
+     *  labelled level="warn"|... — so the logger's rate-limiting
+     *  bookkeeping rides every metrics export instead of staying a
+     *  metric island. */
+    static void exportMetrics(MetricsRegistry &reg);
 
     /** Internal: SNAP_LOG_EVERY_N bookkeeping. */
     static void noteSuppressed(LogLevel level);

@@ -24,17 +24,60 @@ formatValue(double v)
     return formatString("%.9g", v);
 }
 
+/** JSON string escaping: quote, backslash, and every control
+ *  character (common ones as two-character escapes, the rest as
+ *  \u00XX).  JSON and Prometheus have different escape grammars, so
+ *  each format gets its own escaper instead of one shared
+ *  approximation. */
 void
-writeEscaped(std::ostream &os, const std::string &s)
+writeJsonEscaped(std::ostream &os, const std::string &s)
+{
+    for (char raw : s) {
+        unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (c < 0x20)
+                os << formatString("\\u%04x", c);
+            else
+                os << raw;
+        }
+    }
+}
+
+/** Prometheus exposition escaping for label values: exactly
+ *  backslash, double quote, and line feed per the format spec. */
+void
+writePromLabelEscaped(std::ostream &os, const std::string &s)
 {
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        else if (c == '\n') {
+        if (c == '\\')
+            os << "\\\\";
+        else if (c == '"')
+            os << "\\\"";
+        else if (c == '\n')
             os << "\\n";
-            continue;
-        }
-        os << c;
+        else
+            os << c;
+    }
+}
+
+/** Prometheus HELP text escaping: backslash and line feed only
+ *  (double quotes stay raw in HELP). */
+void
+writePromHelpEscaped(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '\\')
+            os << "\\\\";
+        else if (c == '\n')
+            os << "\\n";
+        else
+            os << c;
     }
 }
 
@@ -70,6 +113,21 @@ MetricsRegistry::sanitizeName(const std::string &name)
     return out;
 }
 
+std::string
+MetricsRegistry::sanitizeLabelName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  c == '_' || (!out.empty() && c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
@@ -82,8 +140,10 @@ MetricsRegistry::writeJson(std::ostream &os) const
         if (!s.labels.empty()) {
             os << ", \"labels\": {";
             for (std::size_t j = 0; j < s.labels.size(); ++j) {
-                os << "\"" << s.labels[j].first << "\": \"";
-                writeEscaped(os, s.labels[j].second);
+                os << "\"";
+                writeJsonEscaped(os, s.labels[j].first);
+                os << "\": \"";
+                writeJsonEscaped(os, s.labels[j].second);
                 os << "\"" << (j + 1 < s.labels.size() ? ", " : "");
             }
             os << "}";
@@ -113,7 +173,9 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
         const auto &group = groups[name];
         const Sample *first = group.front();
         if (!first->help.empty()) {
-            os << "# HELP " << name << " " << first->help << "\n";
+            os << "# HELP " << name << " ";
+            writePromHelpEscaped(os, first->help);
+            os << "\n";
         }
         os << "# TYPE " << name << " "
            << (first->kind == Kind::Counter ? "counter" : "gauge")
@@ -123,8 +185,9 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
             if (!s->labels.empty()) {
                 os << "{";
                 for (std::size_t j = 0; j < s->labels.size(); ++j) {
-                    os << s->labels[j].first << "=\"";
-                    writeEscaped(os, s->labels[j].second);
+                    os << sanitizeLabelName(s->labels[j].first)
+                       << "=\"";
+                    writePromLabelEscaped(os, s->labels[j].second);
                     os << "\""
                        << (j + 1 < s->labels.size() ? "," : "");
                 }

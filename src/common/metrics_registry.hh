@@ -31,6 +31,15 @@ class MetricsRegistry
 
     using Labels = std::vector<std::pair<std::string, std::string>>;
 
+    struct Sample
+    {
+        std::string name;
+        std::string help;
+        Kind kind = Kind::Counter;
+        Labels labels;
+        double value = 0.0;
+    };
+
     /** Append one sample. `name` is sanitized to the Prometheus
      *  charset ([a-zA-Z_:][a-zA-Z0-9_:]*) on export; pass
      *  snake_case to avoid surprises. */
@@ -53,6 +62,12 @@ class MetricsRegistry
 
     std::size_t size() const { return samples_.size(); }
 
+    /** Point-in-time sample list, in insertion order.  The shard
+     *  wire layer serializes this directly into a StatsSnapshot
+     *  frame; the router re-adds the samples into its aggregated
+     *  fleet registry with a shard label appended. */
+    const std::vector<Sample> &samples() const { return samples_; }
+
     /** {"metrics": [{"name":..., "kind":..., "labels":{...},
      *  "value":...}, ...]} */
     void writeJson(std::ostream &os) const;
@@ -66,16 +81,11 @@ class MetricsRegistry
      *  Prometheus name charset. */
     static std::string sanitizeName(const std::string &name);
 
-  private:
-    struct Sample
-    {
-        std::string name;
-        std::string help;
-        Kind kind = Kind::Counter;
-        Labels labels;
-        double value = 0.0;
-    };
+    /** Like sanitizeName but for label keys, whose Prometheus
+     *  charset excludes ':' ([a-zA-Z_][a-zA-Z0-9_]*). */
+    static std::string sanitizeLabelName(const std::string &name);
 
+  private:
     std::vector<Sample> samples_;
 };
 

@@ -562,6 +562,13 @@ ServeEngine::serveOne(std::uint32_t idx, std::unique_ptr<Pending> p)
                         "queue.wait", p->traceAdmitNs,
                         trace::hostNowNs());
     }
+    if (SNAP_TRACE_ON(trace::kServe) && req.traceSampled) {
+        // Stamp the inbound fleet trace id on the worker track, so
+        // the serve/machine spans that follow carry the distributed
+        // context a merged timeline groups by.
+        trace::hostInstant(trace::kServe, trace::tidWorker(idx),
+                           "trace.ctx", req.traceId, true);
+    }
 
     Response resp;
     resp.id = req.id;

@@ -89,6 +89,13 @@ struct Request
     double timeoutMs = 0.0;
     /** Per-request seed; 0 = derive via requestSeed() at admission. */
     std::uint64_t rngSeed = 0;
+    /** Inbound distributed-trace context (shard mode): the fleet
+     *  trace id and the router attempt span this execution belongs
+     *  to.  0/false outside a sampled fleet request; never affects
+     *  execution, only what the serve spans are stamped with. */
+    std::uint64_t traceId = 0;
+    std::uint64_t traceParent = 0;
+    bool traceSampled = false;
 };
 
 /** The engine's answer to one request. */

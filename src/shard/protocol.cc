@@ -24,6 +24,8 @@ frameTypeName(FrameType t)
       case FrameType::SessionState: return "session-state";
       case FrameType::SessionPush: return "session-push";
       case FrameType::SessionPushAck: return "session-push-ack";
+      case FrameType::StatsPull: return "stats-pull";
+      case FrameType::StatsSnapshot: return "stats-snapshot";
     }
     return "?";
 }
@@ -306,6 +308,8 @@ encodeHelloAck(WireWriter &w, const HelloAckFrame &f)
     w.u64(f.epoch);
     w.u32(f.numNodes);
     w.u32(f.numClusters);
+    // v3 tail: the shard's trace clock at ack time.
+    w.u64(f.traceClockNs);
 }
 
 bool
@@ -316,6 +320,12 @@ decodeHelloAck(WireReader &r, HelloAckFrame &f)
     f.epoch = r.u64();
     f.numNodes = r.u32();
     f.numClusters = r.u32();
+    if (r.failed())
+        return false;
+    // Version-tolerant tail: a v2 payload ends here; a v3 payload
+    // has exactly 8 bytes of shard trace-clock left.
+    if (r.remaining() == 8)
+        f.traceClockNs = r.u64();
     return r.done();
 }
 
@@ -327,6 +337,13 @@ encodeRequest(WireWriter &w, const RequestFrame &f)
     w.f64(f.timeoutMs);
     w.u64(f.rngSeed);
     encodeProgram(w, f.prog);
+    // v3 trace-context tail, present only for sampled requests: with
+    // tracing off the encoding is byte-identical to v2.
+    if (f.traceFlags != 0) {
+        w.u64(f.traceId);
+        w.u64(f.traceParent);
+        w.u8(f.traceFlags);
+    }
 }
 
 bool
@@ -338,6 +355,16 @@ decodeRequest(WireReader &r, RequestFrame &f)
     f.rngSeed = r.u64();
     if (r.failed() || !decodeProgram(r, f.prog))
         return false;
+    // Version-tolerant tail: a v2 (or unsampled v3) payload ends
+    // here; a sampled v3 payload has exactly 17 trace-context bytes
+    // left.
+    if (r.remaining() == 17) {
+        f.traceId = r.u64();
+        f.traceParent = r.u64();
+        f.traceFlags = r.u8();
+        if (f.traceFlags == 0)
+            return false;
+    }
     return r.done();
 }
 
@@ -542,6 +569,72 @@ decodeSessionPushAck(WireReader &r, SessionPushAckFrame &f)
     f.sessionId = r.str(4096);
     f.ok = r.u8() != 0;
     f.detail = r.str(4096);
+    return r.done();
+}
+
+void
+encodeStatsPull(WireWriter &w, const StatsPullFrame &f)
+{
+    w.u64(f.nonce);
+}
+
+bool
+decodeStatsPull(WireReader &r, StatsPullFrame &f)
+{
+    f.nonce = r.u64();
+    return r.done();
+}
+
+void
+encodeStatsSnapshot(WireWriter &w, const StatsSnapshotFrame &f)
+{
+    w.u64(f.nonce);
+    w.u32(static_cast<std::uint32_t>(f.samples.size()));
+    for (const MetricsRegistry::Sample &s : f.samples) {
+        w.str(s.name);
+        w.str(s.help);
+        w.u8(s.kind == MetricsRegistry::Kind::Counter ? 0 : 1);
+        w.u16(static_cast<std::uint16_t>(s.labels.size()));
+        for (const auto &kv : s.labels) {
+            w.str(kv.first);
+            w.str(kv.second);
+        }
+        w.f64(s.value);
+    }
+}
+
+bool
+decodeStatsSnapshot(WireReader &r, StatsSnapshotFrame &f)
+{
+    f.nonce = r.u64();
+    const std::uint32_t count = r.u32();
+    // Each sample is >= 19 bytes (two empty strings, kind, label
+    // count, value); reject counts the frame cannot hold before
+    // reserving.
+    if (r.failed() || count > r.remaining() / 19 + 1)
+        return false;
+    f.samples.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        MetricsRegistry::Sample s;
+        s.name = r.str(512);
+        s.help = r.str(4096);
+        const std::uint8_t kind = r.u8();
+        const std::uint32_t num_labels = r.u16();
+        if (r.failed() || kind > 1 || num_labels > 64)
+            return false;
+        s.kind = kind == 0 ? MetricsRegistry::Kind::Counter
+                           : MetricsRegistry::Kind::Gauge;
+        s.labels.reserve(num_labels);
+        for (std::uint32_t k = 0; k < num_labels; ++k) {
+            std::string key = r.str(256);
+            std::string value = r.str(4096);
+            s.labels.emplace_back(std::move(key), std::move(value));
+        }
+        s.value = r.f64();
+        if (r.failed())
+            return false;
+        f.samples.push_back(std::move(s));
+    }
     return r.done();
 }
 

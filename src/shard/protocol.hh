@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.hh"
 #include "isa/program.hh"
 #include "runtime/marker_store.hh"
 #include "runtime/results.hh"
@@ -40,8 +41,14 @@ namespace shard
 /** Protocol revision; bumped on any incompatible frame change.
  *  v2: Response frames carry a trailing FNV-1a64 payload checksum
  *  (decode stays tolerant of checksum-less v1 payloads) and the
- *  session migration frames (SessionPull..SessionPushAck) exist. */
-constexpr std::uint32_t protocolVersion = 2;
+ *  session migration frames (SessionPull..SessionPushAck) exist.
+ *  v3: Request frames may carry a trailing distributed-trace
+ *  context (only when sampling is on, so trace-off bytes are
+ *  unchanged), HelloAck carries a trailing shard trace-clock
+ *  reading for cross-process timeline alignment, and the Stats
+ *  pull frames (StatsPull/StatsSnapshot) exist.  All tails decode
+ *  version-tolerantly, so a v2 peer's frames still parse. */
+constexpr std::uint32_t protocolVersion = 3;
 
 /** Hard cap on one frame's payload (a serialized Program or
  *  ResultSet is well under this; the cap bounds a hostile peer). */
@@ -81,11 +88,15 @@ enum class FrameType : std::uint8_t
     SessionPush = 14,
     /** Shard -> router: restore outcome (ok or typed detail). */
     SessionPushAck = 15,
+    /** Router -> shard: pull a metrics snapshot (nonce echo). */
+    StatsPull = 16,
+    /** Shard -> router: the MetricsRegistry snapshot. */
+    StatsSnapshot = 17,
 };
 
 /** Highest valid frame type on the wire (framing-layer range check). */
 constexpr std::uint8_t maxFrameType =
-    static_cast<std::uint8_t>(FrameType::SessionPushAck);
+    static_cast<std::uint8_t>(FrameType::StatsSnapshot);
 
 const char *frameTypeName(FrameType t);
 
@@ -104,6 +115,11 @@ struct HelloAckFrame
     std::uint64_t epoch = 0;
     std::uint32_t numNodes = 0;
     std::uint32_t numClusters = 0;
+    /** v3: the shard's trace-epoch host clock (trace::hostNowNs) at
+     *  ack time.  The router subtracts it from its own clock to get
+     *  the per-shard offset `snaptrace merge` uses to align the
+     *  process timelines.  0 from a v2 peer (tolerant decode). */
+    std::uint64_t traceClockNs = 0;
 };
 
 /** One query on the wire.  The id is router-assigned and opaque to
@@ -115,6 +131,16 @@ struct RequestFrame
     double timeoutMs = 0.0;
     std::uint64_t rngSeed = 0;
     Program prog;
+    /** v3 distributed-trace context, encoded as a trailing tail only
+     *  when traceFlags != 0 — so with tracing off the wire bytes are
+     *  byte-identical to v2.  traceParent is the router-side span id
+     *  of the specific attempt (hedged duplicates and failover
+     *  reroutes each get their own), the anchor for the shard's
+     *  cross-process "xrpc" flow arrow. */
+    std::uint64_t traceId = 0;
+    std::uint64_t traceParent = 0;
+    /** Bit 0: head-based sampling decision (sampled). */
+    std::uint8_t traceFlags = 0;
 };
 
 struct ResponseFrame
@@ -194,6 +220,20 @@ struct SessionPushAckFrame
     std::string detail;
 };
 
+struct StatsPullFrame
+{
+    std::uint64_t nonce = 0;
+};
+
+/** A shard's point-in-time MetricsRegistry snapshot (engine + logger
+ *  counters), pulled periodically by the router and re-exported in
+ *  the aggregated fleet view with a shard label. */
+struct StatsSnapshotFrame
+{
+    std::uint64_t nonce = 0;
+    std::vector<MetricsRegistry::Sample> samples;
+};
+
 // --- program / results codecs (shared by request and response) ----------
 
 void encodeProgram(WireWriter &w, const Program &prog);
@@ -244,6 +284,10 @@ bool decodeSessionPush(WireReader &r, std::uint32_t expect_nodes,
                        SessionPushFrame &f);
 void encodeSessionPushAck(WireWriter &w, const SessionPushAckFrame &f);
 bool decodeSessionPushAck(WireReader &r, SessionPushAckFrame &f);
+void encodeStatsPull(WireWriter &w, const StatsPullFrame &f);
+bool decodeStatsPull(WireReader &r, StatsPullFrame &f);
+void encodeStatsSnapshot(WireWriter &w, const StatsSnapshotFrame &f);
+bool decodeStatsSnapshot(WireReader &r, StatsSnapshotFrame &f);
 
 } // namespace shard
 } // namespace snap

@@ -7,11 +7,29 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace snap
 {
 namespace shard
 {
+
+namespace
+{
+
+/** splitmix64 finalizer: the deterministic trace-id / span-id mixer.
+ *  Keyed on the wire id (and attempt ordinal), so a replayed run
+ *  samples the same requests and stamps the same span ids. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 ShardRouter::ShardRouter(RouterConfig cfg)
     : cfg_(std::move(cfg)),
@@ -28,6 +46,10 @@ ShardRouter::ShardRouter(RouterConfig cfg)
         snap_fatal("replication must be >= 1");
     if (cfg_.hedgeDelayMs < 0.0 || cfg_.reconnectMs < 0.0)
         snap_fatal("hedgeDelayMs / reconnectMs must be >= 0");
+    if (cfg_.traceSample < 0.0 || cfg_.traceSample > 1.0)
+        snap_fatal("traceSample must be in [0, 1]");
+    if (cfg_.statsIntervalMs < 0.0)
+        snap_fatal("statsIntervalMs must be >= 0");
     // R > N degenerates to every-shard-owns-every-key; clamp so the
     // replica-set walks terminate at the shard count.
     cfg_.replication = std::min(
@@ -41,6 +63,7 @@ ShardRouter::ShardRouter(RouterConfig cfg)
             snap_fatal("shard endpoint: %s", detail.c_str());
         shards_.push_back(std::move(shard));
     }
+    lastStats_.resize(cfg_.shards.size());
 }
 
 ShardRouter::~ShardRouter()
@@ -144,6 +167,15 @@ ShardRouter::dialShard(std::uint32_t idx, double timeout_ms,
     if (numNodes_ == 0)
         numNodes_ = ack.numNodes;
     epoch_ = std::max(epoch_, ack.epoch);
+    // Clock alignment for snaptrace merge: the ack carries the
+    // shard's trace-clock reading of (approximately) this instant.
+    // 0 means a v2 shard — no alignment available, offset stays 0.
+    if (ack.traceClockNs != 0) {
+        shard.clockOffsetNs.store(
+            static_cast<std::int64_t>(ack.traceClockNs) -
+                static_cast<std::int64_t>(trace::hostNowNs()),
+            std::memory_order_release);
+    }
     {
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.fd = fd;
@@ -177,7 +209,8 @@ ShardRouter::connect(std::string &detail)
     // shards) are background threads for the connection's lifetime.
     if (cfg_.replication >= 2 && cfg_.warmBackups)
         replicator_ = std::thread([this] { replicatorMain(); });
-    if (cfg_.hedgeDelayMs > 0.0 || cfg_.reconnectMs > 0.0)
+    if (cfg_.hedgeDelayMs > 0.0 || cfg_.reconnectMs > 0.0 ||
+        cfg_.statsIntervalMs > 0.0)
         monitor_ = std::thread([this] { monitorMain(); });
     detail.clear();
     return true;
@@ -240,6 +273,29 @@ ShardRouter::warmupCount() const
     return warmups_;
 }
 
+std::uint64_t
+ShardRouter::drainCount() const
+{
+    std::lock_guard<std::mutex> lock(pinMu_);
+    return drains_;
+}
+
+std::int64_t
+ShardRouter::shardClockOffsetNs(std::uint32_t shard) const
+{
+    if (shard >= shards_.size())
+        return 0;
+    return shards_[shard]->clockOffsetNs.load(
+        std::memory_order_acquire);
+}
+
+std::vector<SlowQuery>
+ShardRouter::slowQueries() const
+{
+    std::lock_guard<std::mutex> lock(slowMu_);
+    return std::vector<SlowQuery>(slowLog_.begin(), slowLog_.end());
+}
+
 void
 ShardRouter::readerMain(std::uint32_t idx)
 {
@@ -294,6 +350,8 @@ ShardRouter::readerMain(std::uint32_t idx)
                         cfg_.replication >= 2 && cfg_.warmBackups;
                     std::string sid =
                         warm ? p->frame.sessionId : std::string();
+                    if (p->logHops)
+                        noteDelivered(*p, idx, trace::hostNowNs());
                     p->done(std::move(resp));
                     noteDone();
                     if (warm)
@@ -344,6 +402,15 @@ ShardRouter::readerMain(std::uint32_t idx)
             std::lock_guard<std::mutex> lock(shard.mu);
             if (decodeSessionPushAck(r, shard.pushAck)) {
                 shard.controlType = FrameType::SessionPushAck;
+                shard.controlReady = true;
+                shard.controlCv.notify_all();
+            }
+            break;
+          }
+          case FrameType::StatsSnapshot: {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (decodeStatsSnapshot(r, shard.statsAck)) {
+                shard.controlType = FrameType::StatsSnapshot;
                 shard.controlReady = true;
                 shard.controlCv.notify_all();
             }
@@ -598,6 +665,102 @@ ShardRouter::failRequest(const PendingPtr &p)
     noteDone();
 }
 
+/**
+ * Stamp a fresh per-attempt span id into the frame's trace context
+ * and encode it.  Every attempt — the primary send, each failover
+ * reroute, the hedged duplicate — gets its own span id, so each
+ * wire copy anchors its own cross-process flow arrow and the merged
+ * timeline shows exactly which attempt each shard execution belongs
+ * to.  hopMu serializes against a concurrent encode of the same
+ * frame (a reroute racing hedgeOne).
+ */
+std::uint64_t
+ShardRouter::stampAttempt(PendingRoute &p, WireWriter &w)
+{
+    if (!p.sampled) {
+        encodeRequest(w, p.frame);
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(p.hopMu);
+    const std::uint32_t seq = p.attemptSeq++;
+    const std::uint64_t span_id = mix64(p.traceId ^ (seq + 1));
+    p.frame.traceParent = span_id;
+    encodeRequest(w, p.frame);
+    return span_id;
+}
+
+/** One attempt's bytes are on the wire: record the hop for the
+ *  slow-query log and start the cross-process "xrpc" flow the shard's
+ *  serve span will terminate. */
+void
+ShardRouter::noteAttemptSent(PendingRoute &p, std::uint32_t shard,
+                             const char *kind, std::uint64_t span_id,
+                             std::uint64_t sent_ns)
+{
+    {
+        std::lock_guard<std::mutex> lock(p.hopMu);
+        RouterHop hop;
+        hop.shard = shard;
+        hop.kind = kind;
+        hop.sentNs = sent_ns;
+        hop.spanId = span_id;
+        p.hops.push_back(hop);
+    }
+    if (p.sampled && SNAP_TRACE_ON(trace::kServe)) {
+        trace::hostFlowStartNamed(trace::kServe,
+                                  trace::tidShardLink(shard), "xrpc",
+                                  span_id, sent_ns);
+    }
+}
+
+/** The winning response is in hand: close the winning attempt's
+ *  router-side span and, past the threshold, append a slow-query
+ *  record attributing the latency hop by hop. */
+void
+ShardRouter::noteDelivered(PendingRoute &p, std::uint32_t shard,
+                           std::uint64_t done_ns)
+{
+    RouterHop win;
+    bool have = false;
+    std::vector<RouterHop> hops;
+    {
+        std::lock_guard<std::mutex> lock(p.hopMu);
+        hops = p.hops;
+        for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+            if (it->shard == shard) {
+                win = *it;
+                have = true;
+                break;
+            }
+        }
+    }
+    if (have && p.sampled && SNAP_TRACE_ON(trace::kServe)) {
+        trace::hostSpanArg(trace::kServe, trace::tidShardLink(shard),
+                           "rpc.attempt", win.sentNs, done_ns,
+                           p.traceId);
+    }
+    if (cfg_.slowQueryMs < 0.0)
+        return;
+    const double total_ms =
+        static_cast<double>(done_ns - p.submitNs) * 1e-6;
+    if (total_ms < cfg_.slowQueryMs)
+        return;
+    SlowQuery q;
+    q.traceId = p.traceId;
+    q.requestId = p.frame.id;
+    q.sessionId = p.frame.sessionId;
+    q.totalMs = total_ms;
+    q.winner = shard;
+    q.winnerKind = have ? win.kind : "primary";
+    q.retries = p.attempts.load(std::memory_order_relaxed);
+    q.hedged = p.hedged.load(std::memory_order_relaxed);
+    q.hops = std::move(hops);
+    std::lock_guard<std::mutex> lock(slowMu_);
+    slowLog_.push_back(std::move(q));
+    if (slowLog_.size() > maxSlowQueries)
+        slowLog_.pop_front();
+}
+
 void
 ShardRouter::dispatch(PendingPtr p)
 {
@@ -623,8 +786,12 @@ ShardRouter::dispatch(PendingPtr p)
         }
         Shard &shard = *shards_[idx];
         const std::uint64_t id = p->frame.id;
+        const char *kind =
+            p->attempts.load(std::memory_order_relaxed) > 0
+                ? "reroute"
+                : "primary";
         WireWriter w;
-        encodeRequest(w, p->frame);
+        const std::uint64_t span_id = stampAttempt(*p, w);
         {
             std::unique_lock<std::mutex> lock(shard.mu);
             shard.windowCv.wait(lock, [&] {
@@ -642,13 +809,18 @@ ShardRouter::dispatch(PendingPtr p)
             p->copies.fetch_add(1, std::memory_order_relaxed);
             p->sentAt = Clock::now();
         }
+        const std::uint64_t sent_ns =
+            p->logHops ? trace::hostNowNs() : 0;
         bool ok;
         {
             std::lock_guard<std::mutex> wlock(shard.writeMu);
             ok = writeFrame(shard.fd, FrameType::Request, w.bytes());
         }
-        if (ok)
+        if (ok) {
+            if (p->logHops)
+                noteAttemptSent(*p, idx, kind, span_id, sent_ns);
             return;
+        }
         // Broken pipe: reclaim our entry (if shardDown has not
         // already) and decide retry vs fail ourselves.
         {
@@ -691,6 +863,24 @@ ShardRouter::submit(RouterRequest req, ResponseFn done)
     p->routeKey = p->stateless ? p->frame.prog.contentHash()
                                : fnv1a64(p->frame.sessionId);
     p->done = std::move(done);
+
+    // Head-based sampling: decided once here, deterministically off
+    // the wire id, and carried through every attempt — hedged
+    // duplicates, failover reroutes, and post-migration turns all
+    // share the one trace id chosen now.
+    if (cfg_.traceSample > 0.0) {
+        p->traceId = mix64(p->frame.id);
+        const auto threshold = static_cast<std::uint64_t>(
+            cfg_.traceSample * 10000.0 + 0.5);
+        p->sampled = (p->traceId % 10000u) < threshold;
+        if (p->sampled) {
+            p->frame.traceId = p->traceId;
+            p->frame.traceFlags = 1;
+        }
+    }
+    p->logHops = p->sampled || cfg_.slowQueryMs >= 0.0;
+    if (p->logHops)
+        p->submitNs = trace::hostNowNs();
 
     {
         // Epoch-swap gate: requests arriving during a swap are held
@@ -785,6 +975,112 @@ ShardRouter::probeShard(std::uint32_t idx, std::string &err)
     }
     err.clear();
     return true;
+}
+
+bool
+ShardRouter::pullShardStats(std::uint32_t idx,
+                            StatsSnapshotFrame &out, std::string &err)
+{
+    if (idx >= shards_.size()) {
+        err = formatString("no shard %u (fleet has %zu)", idx,
+                           shards_.size());
+        return false;
+    }
+    Shard &shard = *shards_[idx];
+    std::lock_guard<std::mutex> op(shard.controlOpMu);
+    StatsPullFrame pull;
+    pull.nonce = nextId_.fetch_add(1, std::memory_order_relaxed) |
+                 (1ull << 62);
+    WireWriter w;
+    encodeStatsPull(w, pull);
+    if (!sendControl(idx, FrameType::StatsPull, w.bytes(), 5000.0)) {
+        err = formatString("shard %u did not answer the stats pull",
+                           idx);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.controlType != FrameType::StatsSnapshot ||
+            shard.statsAck.nonce != pull.nonce) {
+            err = formatString("shard %u answered the wrong stats "
+                               "pull", idx);
+            return false;
+        }
+        out = shard.statsAck;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        lastStats_[idx] = out;
+    }
+    err.clear();
+    return true;
+}
+
+/** Periodic telemetry sweep: refresh every live shard's cached
+ *  metrics snapshot (best-effort — a missed pull keeps the previous
+ *  snapshot). */
+void
+ShardRouter::statsScan()
+{
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        if (!shardHealthy(i))
+            continue;
+        StatsSnapshotFrame snap;
+        std::string err;
+        pullShardStats(i, snap, err);
+    }
+}
+
+void
+ShardRouter::exportFleetMetrics(MetricsRegistry &reg) const
+{
+    reg.counter("snap_router_reroutes_total", rerouteCount(),
+                "Stateless requests re-dispatched after a shard "
+                "death");
+    reg.counter("snap_router_hedges_total", hedgeCount(),
+                "Hedged duplicate requests actually sent");
+    reg.counter("snap_router_failovers_total", failoverCount(),
+                "Sessions promoted to their backup after a hard "
+                "kill");
+    reg.counter("snap_router_migrated_sessions_total",
+                migratedCount(),
+                "Sessions migrated losslessly by planned drains");
+    reg.counter("snap_router_drains_total", drainCount(),
+                "Planned shard drains completed losslessly");
+    reg.counter("snap_router_warmups_total", warmupCount(),
+                "Completed warm-backup session replications");
+    reg.counter("snap_router_corrupt_responses_total",
+                corruptResponseCount(),
+                "Responses rejected as corrupt or malformed "
+                "(checksum or codec)");
+    std::uint32_t up = 0;
+    for (std::uint32_t i = 0; i < shards_.size(); ++i)
+        up += shardHealthy(i) ? 1u : 0u;
+    reg.gauge("snap_router_shards_up", up,
+              "Shard connections currently healthy");
+    reg.gauge("snap_router_shards_total",
+              static_cast<double>(shards_.size()),
+              "Shard endpoints configured");
+    {
+        std::lock_guard<std::mutex> lock(slowMu_);
+        reg.counter("snap_router_slow_queries_total",
+                    static_cast<double>(slowLog_.size()),
+                    "Requests recorded in the slow-query log "
+                    "(bounded window)");
+    }
+
+    // Every cached shard snapshot, re-emitted with a shard label —
+    // the aggregated fleet view one scrape sees.
+    std::lock_guard<std::mutex> lock(statsMu_);
+    for (std::uint32_t i = 0; i < lastStats_.size(); ++i) {
+        for (const MetricsRegistry::Sample &s :
+             lastStats_[i].samples) {
+            MetricsRegistry::Labels labels = s.labels;
+            labels.emplace_back("shard", formatString("%u", i));
+            reg.add(s.name, s.kind, s.value, s.help,
+                    std::move(labels));
+        }
+    }
 }
 
 bool
@@ -964,6 +1260,10 @@ ShardRouter::drainShard(std::uint32_t idx, std::string &err)
     shard.windowCv.notify_all();
     pinCv_.notify_all();
     if (all_ok) {
+        {
+            std::lock_guard<std::mutex> lock(pinMu_);
+            ++drains_;
+        }
         snap_inform("router: shard %u drained, %zu sessions migrated",
                     idx, sids.size());
     }
@@ -1120,7 +1420,7 @@ ShardRouter::hedgeOne(std::uint32_t cur, const PendingPtr &p)
         return;
     Shard &t = *shards_[target];
     WireWriter w;
-    encodeRequest(w, p->frame);
+    const std::uint64_t span_id = stampAttempt(*p, w);
     {
         std::lock_guard<std::mutex> lock(t.mu);
         if (!t.up)
@@ -1131,6 +1431,7 @@ ShardRouter::hedgeOne(std::uint32_t cur, const PendingPtr &p)
             return;
         p->copies.fetch_add(1, std::memory_order_relaxed);
     }
+    const std::uint64_t sent_ns = p->logHops ? trace::hostNowNs() : 0;
     bool ok;
     {
         std::lock_guard<std::mutex> wlock(t.writeMu);
@@ -1146,6 +1447,8 @@ ShardRouter::hedgeOne(std::uint32_t cur, const PendingPtr &p)
         }
         return;
     }
+    if (p->logHops)
+        noteAttemptSent(*p, target, "hedge", span_id, sent_ns);
     {
         std::lock_guard<std::mutex> lock(doneMu_);
         ++hedged_;
@@ -1205,10 +1508,11 @@ ShardRouter::reviveScan()
 }
 
 /**
- * Fleet monitor: hedged retries for slow shards and automatic
- * re-dial of dead (non-retired) ones.  Both are polling scans — the
- * tick is short enough that hedge latency stays near hedgeDelayMs
- * and a restarted shard rejoins within ~reconnectMs.
+ * Fleet monitor: hedged retries for slow shards, automatic re-dial
+ * of dead (non-retired) ones, and the periodic telemetry pull.  All
+ * are polling scans — the tick is short enough that hedge latency
+ * stays near hedgeDelayMs and a restarted shard rejoins within
+ * ~reconnectMs.
  */
 void
 ShardRouter::monitorMain()
@@ -1220,6 +1524,11 @@ ShardRouter::monitorMain()
     const auto tick =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::duration<double, std::milli>(tick_ms));
+    const auto stats_every =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                cfg_.statsIntervalMs));
+    lastStatsPull_ = Clock::now();
     std::unique_lock<std::mutex> lock(monitorMu_);
     for (;;) {
         monitorCv_.wait_for(lock, tick, [&] {
@@ -1232,6 +1541,11 @@ ShardRouter::monitorMain()
             hedgeScan();
         if (cfg_.reconnectMs > 0.0)
             reviveScan();
+        if (cfg_.statsIntervalMs > 0.0 &&
+            Clock::now() - lastStatsPull_ >= stats_every) {
+            lastStatsPull_ = Clock::now();
+            statsScan();
+        }
         lock.lock();
     }
 }

@@ -106,6 +106,48 @@ struct RouterConfig
     /** Background re-dial interval for down shards (a restarted
      *  shard process rejoins automatically).  0 disables. */
     double reconnectMs = 200.0;
+    /** Head-based trace sampling rate (0..1).  A sampled request
+     *  carries a trace context (trace id + per-attempt parent span)
+     *  in its Request frames, preserved across hedges, failover
+     *  reroutes, and session migration.  0 disables sampling — the
+     *  wire bytes are then identical to a pre-trace router. */
+    double traceSample = 0.0;
+    /** Periodic shard metrics pull (StatsPull frames) every this
+     *  many host ms; snapshots feed exportFleetMetrics().  0 = pull
+     *  only on demand (pullShardStats). */
+    double statsIntervalMs = 0.0;
+    /** Requests whose end-to-end host latency reaches this many ms
+     *  enter the structured slow-query log.  Negative disables. */
+    double slowQueryMs = -1.0;
+};
+
+/** One dispatch attempt of one request, for the slow-query log and
+ *  the per-attempt trace spans. */
+struct RouterHop
+{
+    std::uint32_t shard = 0;
+    /** "primary", "reroute", or "hedge". */
+    const char *kind = "primary";
+    /** Host-ns send timestamp (trace::hostNowNs clock). */
+    std::uint64_t sentNs = 0;
+    /** Router-side span id carried as the attempt's traceParent. */
+    std::uint64_t spanId = 0;
+};
+
+/** One slow-query log record: where a slow request's latency went. */
+struct SlowQuery
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t requestId = 0;
+    std::string sessionId;
+    double totalMs = 0.0;
+    /** Shard whose answer won, and the kind of hop that sent it. */
+    std::uint32_t winner = 0;
+    const char *winnerKind = "primary";
+    /** Reroute re-dispatches consumed (not counting the hedge). */
+    std::uint32_t retries = 0;
+    bool hedged = false;
+    std::vector<RouterHop> hops;
 };
 
 /** One query handed to the router (ids are assigned internally). */
@@ -206,6 +248,36 @@ class ShardRouter
     std::uint64_t warmupCount() const;
     /** Responses rejected as malformed/corrupt (checksum or codec). */
     std::uint64_t corruptResponseCount() const;
+    /** Planned drains completed losslessly. */
+    std::uint64_t drainCount() const;
+
+    /** Shard clock minus router clock at handshake (trace::hostNowNs
+     *  domain), i.e. routerNs - offset ~= the shard's reading of the
+     *  same instant.  0 for a v2 shard (no clock in its HelloAck). */
+    std::int64_t shardClockOffsetNs(std::uint32_t shard) const;
+
+    /**
+     * Pull one shard's MetricsRegistry snapshot over the wire
+     * (StatsPull / StatsSnapshot) and cache it for
+     * exportFleetMetrics().  @return false with @p err when the
+     * shard is down or the ack is missing/mismatched.
+     */
+    bool pullShardStats(std::uint32_t shard, StatsSnapshotFrame &out,
+                        std::string &err);
+
+    /**
+     * Aggregated fleet view: the router's own counters plus every
+     * cached shard snapshot re-emitted with a `shard="N"` label.
+     * Snapshots come from the periodic pull (statsIntervalMs) or
+     * explicit pullShardStats() calls.
+     */
+    void exportFleetMetrics(MetricsRegistry &reg) const;
+
+    /** Snapshot of the slow-query log (slowQueryMs >= 0; bounded to
+     *  the most recent maxSlowQueries records). */
+    std::vector<SlowQuery> slowQueries() const;
+
+    static constexpr std::size_t maxSlowQueries = 1024;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -222,12 +294,26 @@ class ShardRouter
         RequestFrame frame;
         ResponseFn done;
         bool stateless = true;
-        std::uint32_t attempts = 0;
+        std::atomic<std::uint32_t> attempts{0};
         std::uint64_t routeKey = 0;
         std::atomic<bool> answered{false};
         std::atomic<bool> hedged{false};
         std::atomic<std::uint32_t> copies{0};
         Clock::time_point sentAt{};
+
+        /** Fleet trace id (0 when sampling is off) and the head-based
+         *  sampling decision.  Immutable after submit(). */
+        std::uint64_t traceId = 0;
+        bool sampled = false;
+        /** Record per-attempt hops (sampled, or slow-query logging). */
+        bool logHops = false;
+        std::uint64_t submitNs = 0;
+        /** Guards the mutable trace fields of `frame` (traceParent is
+         *  re-stamped per attempt) plus `hops` — dispatch of a
+         *  reroute and hedgeOne can encode the same frame at once. */
+        std::mutex hopMu;
+        std::vector<RouterHop> hops;
+        std::uint32_t attemptSeq = 0;
     };
     using PendingPtr = std::shared_ptr<PendingRoute>;
 
@@ -268,7 +354,12 @@ class ShardRouter
         EpochFrame commitAck;
         SessionStateFrame sessionState;
         SessionPushAckFrame pushAck;
+        StatsSnapshotFrame statsAck;
         FrameType controlType = FrameType::Health;
+
+        /** Shard clock minus router clock at handshake (see
+         *  shardClockOffsetNs). */
+        std::atomic<std::int64_t> clockOffsetNs{0};
     };
 
     /** A session's owner pair.  Guarded by pinMu_. */
@@ -324,7 +415,19 @@ class ShardRouter
     void monitorMain();
     void hedgeScan();
     void reviveScan();
+    void statsScan();
     void hedgeOne(std::uint32_t cur, const PendingPtr &p);
+    /** Stamp a fresh per-attempt span id into the frame (under
+     *  hopMu) and encode it; @return the span id (0 unsampled). */
+    std::uint64_t stampAttempt(PendingRoute &p, WireWriter &w);
+    /** Record the hop + emit the cross-process "xrpc" flow start
+     *  after a successful write of one attempt. */
+    void noteAttemptSent(PendingRoute &p, std::uint32_t shard,
+                         const char *kind, std::uint64_t span_id,
+                         std::uint64_t sent_ns);
+    /** Attempt-span emission + slow-query recording at delivery. */
+    void noteDelivered(PendingRoute &p, std::uint32_t shard,
+                       std::uint64_t done_ns);
 
     RouterConfig cfg_;
     HashRing ring_;
@@ -352,6 +455,7 @@ class ShardRouter
     std::unordered_map<std::string, SessionPin> pins_;
     std::uint64_t failovers_ = 0;
     std::uint64_t migrated_ = 0;
+    std::uint64_t drains_ = 0;
 
     /** Warm-backup replication queue (coalesced per session). */
     mutable std::mutex replMu_;
@@ -372,6 +476,16 @@ class ShardRouter
     std::uint64_t rerouted_ = 0;
     std::uint64_t hedged_ = 0;
     std::uint64_t corruptResponses_ = 0;
+
+    /** Cached per-shard metrics snapshots (periodic or on-demand
+     *  pulls) for exportFleetMetrics. */
+    mutable std::mutex statsMu_;
+    std::vector<StatsSnapshotFrame> lastStats_;
+    Clock::time_point lastStatsPull_{};
+
+    /** Bounded slow-query log (cfg_.slowQueryMs >= 0). */
+    mutable std::mutex slowMu_;
+    std::deque<SlowQuery> slowLog_;
 
     std::atomic<bool> closing_{false};
 };

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
+#include "trace/trace.hh"
 
 namespace snap
 {
@@ -102,6 +104,8 @@ ShardServer::serveConnection(int fd)
     // One write mutex per connection: engine workers deliver
     // responses concurrently and frames must not interleave.
     std::mutex write_mu;
+    const std::uint32_t conn =
+        connSeq_.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
         FrameType type;
         std::vector<std::uint8_t> payload;
@@ -112,7 +116,7 @@ ShardServer::serveConnection(int fd)
                 snap_warn("shard: %s", detail.c_str());
             break;
         }
-        if (!handleFrame(fd, write_mu, type, payload))
+        if (!handleFrame(fd, conn, write_mu, type, payload))
             break;
     }
     // Answers still in flight on this connection would write to a
@@ -123,7 +127,8 @@ ShardServer::serveConnection(int fd)
 }
 
 bool
-ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
+ShardServer::handleFrame(int fd, std::uint32_t conn,
+                         std::mutex &write_mu, FrameType type,
                          const std::vector<std::uint8_t> &payload)
 {
     WireReader r(payload.data(), payload.size());
@@ -140,6 +145,11 @@ ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
         ack.epoch = epoch();
         ack.numNodes = engine_->sharedImage().numNodes();
         ack.numClusters = engine_->sharedImage().numClusters();
+        // Clock exchange for snaptrace merge: our trace-clock
+        // reading of (approximately) the same instant the router
+        // receives this ack lets it compute the per-shard offset
+        // that aligns the two process timelines.
+        ack.traceClockNs = trace::hostNowNs();
         WireWriter w;
         encodeHelloAck(w, ack);
         std::lock_guard<std::mutex> lock(write_mu);
@@ -153,7 +163,7 @@ ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
             snap_warn("shard: malformed request frame");
             return false;
         }
-        handleRequest(fd, write_mu, std::move(frame));
+        handleRequest(fd, conn, write_mu, std::move(frame));
         return true;
       }
       case FrameType::Health: {
@@ -230,6 +240,24 @@ ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
         std::lock_guard<std::mutex> lock(write_mu);
         return writeFrame(fd, FrameType::SessionPushAck, w.bytes());
       }
+      case FrameType::StatsPull: {
+        StatsPullFrame pull;
+        if (!decodeStatsPull(r, pull))
+            return false;
+        // Point-in-time snapshot: engine metrics plus the logger's
+        // per-level emit/suppression counters, serialized straight
+        // from the registry's sample list.
+        StatsSnapshotFrame snap;
+        snap.nonce = pull.nonce;
+        MetricsRegistry reg;
+        engine_->exportMetrics(reg);
+        Logger::exportMetrics(reg);
+        snap.samples = reg.samples();
+        WireWriter w;
+        encodeStatsSnapshot(w, snap);
+        std::lock_guard<std::mutex> lock(write_mu);
+        return writeFrame(fd, FrameType::StatsSnapshot, w.bytes());
+      }
       case FrameType::Shutdown: {
         stop();
         return false;
@@ -242,19 +270,42 @@ ShardServer::handleFrame(int fd, std::mutex &write_mu, FrameType type,
 }
 
 void
-ShardServer::handleRequest(int fd, std::mutex &write_mu,
-                           RequestFrame &&frame)
+ShardServer::handleRequest(int fd, std::uint32_t conn,
+                           std::mutex &write_mu, RequestFrame &&frame)
 {
     serve::Request req;
     req.sessionId = std::move(frame.sessionId);
     req.prog = std::move(frame.prog);
     req.timeoutMs = frame.timeoutMs;
     req.rngSeed = frame.rngSeed;
+    req.traceId = frame.traceId;
+    req.traceParent = frame.traceParent;
+    req.traceSampled = (frame.traceFlags & 1u) != 0;
 
     const std::uint64_t wire_id = frame.id;
+    // Cross-process join point: the "rpc.serve" span covers receipt
+    // to response-ready, and the 'f' half of the router's "xrpc"
+    // flow arrow lands on it, keyed by the attempt's span id — each
+    // hedged duplicate or reroute pairs with its own arrow.
+    const bool traced =
+        req.traceSampled && SNAP_TRACE_ON(trace::kServe);
+    const std::uint64_t recv_ns = traced ? trace::hostNowNs() : 0;
+    const std::uint64_t trace_id = req.traceId;
+    const std::uint64_t parent = req.traceParent;
     engine_->submit(
         std::move(req),
-        [this, fd, &write_mu, wire_id](serve::Response &&resp) {
+        [this, fd, &write_mu, wire_id, conn, traced, recv_ns,
+         trace_id, parent](serve::Response &&resp) {
+            if (traced && SNAP_TRACE_ON(trace::kServe)) {
+                const std::uint64_t done_ns = trace::hostNowNs();
+                trace::hostFlowEndNamed(trace::kServe,
+                                        trace::tidRpcConn(conn),
+                                        "xrpc", parent, recv_ns);
+                trace::hostSpanArg(trace::kServe,
+                                   trace::tidRpcConn(conn),
+                                   "rpc.serve", recv_ns, done_ns,
+                                   trace_id);
+            }
             ResponseFrame out;
             out.id = wire_id;
             out.status = resp.status;

@@ -95,11 +95,14 @@ class ShardServer
 
   private:
     void serveConnection(int fd);
-    /** @return false to drop the connection. */
-    bool handleFrame(int fd, std::mutex &write_mu, FrameType type,
+    /** @return false to drop the connection.  @p conn is the
+     *  connection ordinal (trace tid of this connection's serve
+     *  spans). */
+    bool handleFrame(int fd, std::uint32_t conn, std::mutex &write_mu,
+                     FrameType type,
                      const std::vector<std::uint8_t> &payload);
-    void handleRequest(int fd, std::mutex &write_mu,
-                       RequestFrame &&frame);
+    void handleRequest(int fd, std::uint32_t conn,
+                       std::mutex &write_mu, RequestFrame &&frame);
     void writeResponseWithFaults(int fd, std::mutex &write_mu,
                                  std::uint64_t wire_id,
                                  std::vector<std::uint8_t> bytes);
@@ -123,6 +126,8 @@ class ShardServer
     std::mutex connMu_;
     std::vector<std::thread> connThreads_;
     std::vector<int> connFds_;
+    /** Connection ordinal allocator (trace tids). */
+    std::atomic<std::uint32_t> connSeq_{0};
 };
 
 } // namespace shard

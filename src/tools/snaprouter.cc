@@ -34,6 +34,28 @@
  *                         auto|scalar|avx2|avx512 (default auto);
  *                         a backend this build or CPU lacks is a
  *                         usage error (exit 2)
+ *     --trace-out FILE    write the router's Chrome trace-event
+ *                         JSON: per-attempt rpc spans with "xrpc"
+ *                         flow starts into the shards' traces, plus
+ *                         the clock_sync offsets snaptrace merge
+ *                         uses to align the process timelines
+ *     --trace-categories L comma category list (default all)
+ *     --trace-sample X    head-based sampling rate 0..1 (default 1
+ *                         when --trace-out is given, else 0); the
+ *                         decision is deterministic per request and
+ *                         sticks across hedges/failover/migration
+ *     --stats-interval-ms X pull every shard's metrics snapshot
+ *                         over the wire every X ms (default off;
+ *                         a final pull always happens when
+ *                         --fleet-metrics is given)
+ *     --fleet-metrics FILE write the aggregated fleet metrics
+ *                         (router counters + per-shard snapshots
+ *                         labelled shard="N")
+ *     --fleet-metrics-format F json (default) | prometheus
+ *     --slow-query-ms X   record requests slower than X host ms in
+ *                         the structured slow-query log
+ *     --slow-log FILE     write the slow-query log as JSON lines
+ *                         (default stderr summary only)
  *     --shutdown          send Shutdown to every shard when done
  *     --quiet             suppress per-request result lines
  *
@@ -64,12 +86,14 @@
 #include "arch/kb_image_io.hh"
 #include "common/lane_backend.hh"
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 #include "common/strutil.hh"
 #include "isa/assembler.hh"
 #include "kb/kb_io.hh"
 #include "runtime/validate.hh"
 #include "shard/answers.hh"
 #include "shard/router.hh"
+#include "trace/trace.hh"
 
 using namespace snap;
 
@@ -99,6 +123,15 @@ usage()
         "  --answers-out FILE  write canonical answer text\n"
         "  --lane-backend B    auto|scalar|avx2|avx512 "
         "(default auto)\n"
+        "  --trace-out FILE    write router Chrome trace JSON\n"
+        "  --trace-categories L trace category list (default all)\n"
+        "  --trace-sample X    sampling rate 0..1 (default 1 with "
+        "--trace-out)\n"
+        "  --stats-interval-ms X periodic shard metrics pull\n"
+        "  --fleet-metrics FILE write aggregated fleet metrics\n"
+        "  --fleet-metrics-format F json|prometheus\n"
+        "  --slow-query-ms X   slow-query log threshold, host ms\n"
+        "  --slow-log FILE     slow-query log as JSON lines\n"
         "  --shutdown          send Shutdown to shards when done\n"
         "  --quiet             suppress per-request lines\n");
     std::exit(2);
@@ -182,6 +215,12 @@ main(int argc, char **argv)
     std::vector<std::pair<std::size_t, std::uint32_t>> drains;
     bool do_shutdown = false;
     bool quiet = false;
+    std::string trace_out;
+    std::string trace_categories = "all";
+    double trace_sample = -1.0; // unset: 1.0 with --trace-out else 0
+    std::string fleet_metrics_path;
+    std::string fleet_metrics_format = "json";
+    std::string slow_log_path;
 
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -262,6 +301,35 @@ main(int argc, char **argv)
             std::string err;
             if (!setLaneBackend(backend, err))
                 usageError(err.c_str());
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-categories") {
+            trace_categories = next();
+        } else if (arg == "--trace-sample") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0 || x > 1.0)
+                usageError("--trace-sample must be in 0..1");
+            trace_sample = x;
+        } else if (arg == "--stats-interval-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0)
+                usageError("--stats-interval-ms must be >= 0");
+            cfg.statsIntervalMs = x;
+        } else if (arg == "--fleet-metrics") {
+            fleet_metrics_path = next();
+        } else if (arg == "--fleet-metrics-format") {
+            fleet_metrics_format = next();
+            if (fleet_metrics_format != "json" &&
+                fleet_metrics_format != "prometheus")
+                usageError("--fleet-metrics-format must be json or "
+                           "prometheus");
+        } else if (arg == "--slow-query-ms") {
+            double x;
+            if (!parseDouble(next(), x) || x < 0.0)
+                usageError("--slow-query-ms must be >= 0");
+            cfg.slowQueryMs = x;
+        } else if (arg == "--slow-log") {
+            slow_log_path = next();
         } else if (arg == "--shutdown") {
             do_shutdown = true;
         } else if (arg == "--quiet") {
@@ -282,6 +350,23 @@ main(int argc, char **argv)
                      [](const auto &a, const auto &b) {
                          return a.first < b.first;
                      });
+
+    // --trace-out without an explicit rate samples everything; a
+    // rate without --trace-out still propagates context (shards can
+    // trace even when the router does not).
+    cfg.traceSample = trace_sample >= 0.0
+                          ? trace_sample
+                          : (trace_out.empty() ? 0.0 : 1.0);
+    if (!trace_out.empty()) {
+        std::uint32_t mask = 0;
+        if (!trace::parseCategories(trace_categories, mask) ||
+            mask == 0) {
+            usageError("--trace-categories must be a comma list "
+                       "from: all,instr,cluster,icn,sync,sem,fault,"
+                       "machine,serve");
+        }
+        trace::start(mask);
+    }
 
     // The router's copy of the KB exists for symbol resolution only.
     SemanticNetwork net;
@@ -441,7 +526,112 @@ main(int argc, char **argv)
                     answers_path.c_str());
     }
 
+    if (!fleet_metrics_path.empty()) {
+        // Final pull so the aggregated view reflects end-of-run
+        // counters even without --stats-interval-ms.
+        for (std::uint32_t s = 0; s < router.numShards(); ++s) {
+            if (!router.shardHealthy(s))
+                continue;
+            shard::StatsSnapshotFrame snap;
+            std::string err;
+            if (!router.pullShardStats(s, snap, err))
+                snap_warn("final stats pull: %s", err.c_str());
+        }
+        MetricsRegistry reg;
+        router.exportFleetMetrics(reg);
+        std::ofstream os(fleet_metrics_path);
+        if (!os)
+            snap_fatal("cannot open '%s' for writing",
+                       fleet_metrics_path.c_str());
+        if (fleet_metrics_format == "prometheus")
+            reg.writePrometheus(os);
+        else
+            reg.writeJson(os);
+        std::printf("wrote fleet metrics (%zu samples) to %s\n",
+                    reg.size(), fleet_metrics_path.c_str());
+    }
+
+    if (cfg.slowQueryMs >= 0.0) {
+        const std::vector<shard::SlowQuery> slow =
+            router.slowQueries();
+        if (!slow_log_path.empty()) {
+            auto esc = [](const std::string &s) {
+                std::string out;
+                for (char c : s) {
+                    if (c == '"' || c == '\\') {
+                        out += '\\';
+                        out += c;
+                    } else if (static_cast<unsigned char>(c) <
+                               0x20) {
+                        out += formatString(
+                            "\\u%04x", static_cast<unsigned>(
+                                           static_cast<unsigned char>(
+                                               c)));
+                    } else {
+                        out += c;
+                    }
+                }
+                return out;
+            };
+            std::ofstream os(slow_log_path);
+            if (!os)
+                snap_fatal("cannot open '%s' for writing",
+                           slow_log_path.c_str());
+            for (const shard::SlowQuery &q : slow) {
+                os << formatString(
+                    "{\"trace_id\":\"0x%llx\",\"request_id\":%llu,"
+                    "\"session\":\"%s\",\"total_ms\":%.3f,"
+                    "\"winner\":%u,\"winner_kind\":\"%s\","
+                    "\"retries\":%u,\"hedged\":%s,\"hops\":[",
+                    static_cast<unsigned long long>(q.traceId),
+                    static_cast<unsigned long long>(q.requestId),
+                    esc(q.sessionId).c_str(), q.totalMs, q.winner,
+                    q.winnerKind, q.retries,
+                    q.hedged ? "true" : "false");
+                for (std::size_t h = 0; h < q.hops.size(); ++h) {
+                    const shard::RouterHop &hop = q.hops[h];
+                    os << formatString(
+                        "%s{\"shard\":%u,\"kind\":\"%s\","
+                        "\"sent_ns\":%llu,\"span_id\":\"0x%llx\"}",
+                        h ? "," : "", hop.shard, hop.kind,
+                        static_cast<unsigned long long>(hop.sentNs),
+                        static_cast<unsigned long long>(hop.spanId));
+                }
+                os << "]}\n";
+            }
+            std::printf("wrote %zu slow-query record(s) to %s\n",
+                        slow.size(), slow_log_path.c_str());
+        } else {
+            std::printf("slow-query log: %zu request(s) took >= "
+                        "%.1f ms\n",
+                        slow.size(), cfg.slowQueryMs);
+        }
+    }
+
     if (do_shutdown)
         router.shutdownShards();
+
+    if (!trace_out.empty()) {
+        // Clock alignment table for `snaptrace merge`: per shard,
+        // the shard-clock-minus-router-clock offset captured in the
+        // Hello handshake.
+        std::string sync;
+        for (std::uint32_t s = 0; s < router.numShards(); ++s) {
+            if (!sync.empty())
+                sync += ",";
+            sync += formatString(
+                "%u:%lld", s,
+                static_cast<long long>(router.shardClockOffsetNs(s)));
+        }
+        trace::setMeta("clock_sync", sync);
+        trace::setMeta("trace_role", "router");
+        trace::stop();
+        if (trace::writeJsonFile(trace_out)) {
+            std::printf("wrote trace to %s (%llu events dropped)\n",
+                        trace_out.c_str(),
+                        static_cast<unsigned long long>(
+                            trace::droppedCount()));
+        }
+    }
     return (bad == 0 && swap_ok && drains_ok) ? 0 : 1;
 }

@@ -476,12 +476,37 @@ main(int argc, char **argv)
             snap_warn("fleet fault injection armed: %s",
                       scfg.fleetFaults.toJson().c_str());
         }
+        // Arm tracing before the server builds its engine (track
+        // names register at construction), so a traced shard emits
+        // serve spans carrying the router's inbound trace context —
+        // the shard half of the fleet's merged timeline.
+        if (!trace_out.empty()) {
+            std::uint32_t mask = 0;
+            if (!trace::parseCategories(trace_categories, mask) ||
+                mask == 0) {
+                usageError("--trace-categories must be a comma list "
+                           "from: all,instr,cluster,icn,sync,sem,"
+                           "fault,machine,serve");
+            }
+            trace::start(mask);
+        }
         shard::ShardServer server(std::move(kbf), scfg);
         std::string detail;
         if (!server.bind(detail))
             snap_fatal("cannot listen on '%s': %s", listen_ep.c_str(),
                        detail.c_str());
         server.run();
+        if (!trace_out.empty()) {
+            server.engine().shutdown();
+            trace::stop();
+            if (trace::writeJsonFile(trace_out)) {
+                std::printf(
+                    "wrote trace to %s (%llu events dropped)\n",
+                    trace_out.c_str(),
+                    static_cast<unsigned long long>(
+                        trace::droppedCount()));
+            }
+        }
         return 0;
     }
 

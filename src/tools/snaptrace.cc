@@ -12,11 +12,28 @@
  *   snaptrace check <trace.json>
  *       Machine-checkable smoke: the file parses as JSON, holds a
  *       traceEvents array, and contains at least one matched
- *       's'/'f' flow pair.  Exit 0 on pass, 1 on fail (CI gate).
+ *       's'/'f' flow pair.  When the trace holds cross-process
+ *       "xrpc" flows (a fleet trace, usually merged), every router
+ *       attempt's 's' must pair with a shard-side 'f' of the same
+ *       id in a different process — hedged duplicates and failover
+ *       reroutes included.  Exit 0 on pass, 1 on fail (CI gate).
+ *
+ *   snaptrace merge --out <merged.json> <router.json>
+ *                   <shard0.json> [shard1.json ...]
+ *       Stitch per-process Chrome traces from one fleet run into a
+ *       single timeline.  The router trace's clock_sync metadata
+ *       (written by snaprouter --trace-out; per-shard clock offsets
+ *       exchanged in the Hello handshake) re-bases each shard's
+ *       host-clock events onto the router's clock; pids are
+ *       re-namespaced (shard k gets pid+1000*(k+1)) and per-process
+ *       flow/async ids are suffixed so only the cross-process
+ *       "xrpc" arrows join across files.
  *
  *   snaptrace promlint <metrics.prom>
  *       Lint a Prometheus text-exposition file: name charset,
- *       HELP/TYPE discipline, parseable sample values.  Exit 0/1.
+ *       HELP/TYPE discipline, label-value escaping (only \\, \",
+ *       and \n may follow a backslash; no raw quote or newline),
+ *       parseable sample values.  Exit 0/1.
  *
  * Exit status: 0 on success/pass, 1 on check failure or bad input,
  * 2 on a command-line usage error, matching the other snap tools.
@@ -30,6 +47,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,7 +66,11 @@ usage()
     std::fprintf(stderr,
         "usage: snaptrace <mode> <file> [options]\n"
         "  report <trace.json> [--top N]  summarize a trace dump\n"
-        "  check <trace.json>             validate JSON + flow pairs\n"
+        "  check <trace.json>             validate JSON + flow pairs "
+        "(+ xrpc gate)\n"
+        "  merge --out OUT <router.json> <shard.json...>\n"
+        "                                 stitch fleet traces into "
+        "one timeline\n"
         "  promlint <metrics.prom>        lint Prometheus text "
         "output\n");
     std::exit(2);
@@ -75,6 +97,15 @@ struct JsonValue
     find(const std::string &key) const
     {
         for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+
+    JsonValue *
+    findMut(const std::string &key)
+    {
+        for (auto &kv : obj)
             if (kv.first == key)
                 return &kv.second;
         return nullptr;
@@ -341,6 +372,86 @@ slurp(const std::string &path)
     std::ostringstream buf;
     buf << is.rdbuf();
     return buf.str();
+}
+
+// -------------------------------------------------------------------
+// JSON serializer (merge output).  Round-trips anything the parser
+// accepts; integral numbers print without a fraction so pids/ids
+// survive, non-integral (ts in microseconds with sub-us precision)
+// keep full double precision.
+// -------------------------------------------------------------------
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << formatString(
+                    "\\u%04x",
+                    static_cast<unsigned>(
+                        static_cast<unsigned char>(c)));
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonValue(std::ostream &os, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        os << "null";
+        break;
+      case JsonValue::Type::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case JsonValue::Type::Number: {
+        const double d = v.number;
+        if (std::floor(d) == d && std::fabs(d) < 9.0e15)
+            os << formatString("%lld",
+                               static_cast<long long>(d));
+        else
+            os << formatString("%.17g", d);
+        break;
+      }
+      case JsonValue::Type::String:
+        writeJsonString(os, v.str);
+        break;
+      case JsonValue::Type::Array: {
+        os << '[';
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            if (i)
+                os << ',';
+            writeJsonValue(os, v.arr[i]);
+        }
+        os << ']';
+        break;
+      }
+      case JsonValue::Type::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &kv : v.obj) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonString(os, kv.first);
+            os << ':';
+            writeJsonValue(os, kv.second);
+        }
+        os << '}';
+        break;
+      }
+    }
 }
 
 // -------------------------------------------------------------------
@@ -626,8 +737,254 @@ cmdCheck(const std::string &path)
                      "'s'/'f' flow pair\n", path.c_str());
         return 1;
     }
+
+    // Fleet gate (automatic when "xrpc" flows are present, i.e. a
+    // merged fleet trace): every sampled router attempt — primary,
+    // reroute, or hedge — must have produced a shard-side serve
+    // span, witnessed by an 'f' with the same flow id in a
+    // *different* process.  A same-pid pair would mean the merge
+    // failed to re-namespace, so it fails too.
+    std::map<std::string, const TraceEvent *> xrpc_starts;
+    std::map<std::string, const TraceEvent *> xrpc_ends;
+    std::set<long long> xrpc_pids;
+    for (const TraceEvent &e : doc.events) {
+        if (e.name != "xrpc")
+            continue;
+        xrpc_pids.insert(e.pid);
+        if (e.ph == "s")
+            xrpc_starts[e.id] = &e;
+        else if (e.ph == "f")
+            xrpc_ends[e.id] = &e;
+    }
+    // An in-process fleet (bench/chaos_soak, the unit tests) traces
+    // router and shards under one pid; the cross-process rule only
+    // binds once a merge has re-namespaced the processes apart.
+    const bool multi_process = xrpc_pids.size() > 1;
+    std::size_t xrpc_ok = 0, xrpc_bad = 0;
+    for (const auto &kv : xrpc_starts) {
+        auto it = xrpc_ends.find(kv.first);
+        if (it == xrpc_ends.end()) {
+            std::fprintf(stderr,
+                         "snaptrace check: xrpc attempt %s (pid "
+                         "%lld) has no shard-side arrival\n",
+                         kv.first.c_str(), kv.second->pid);
+            ++xrpc_bad;
+        } else if (multi_process &&
+                   it->second->pid == kv.second->pid) {
+            std::fprintf(stderr,
+                         "snaptrace check: xrpc flow %s starts and "
+                         "ends in the same process (pid %lld)\n",
+                         kv.first.c_str(), kv.second->pid);
+            ++xrpc_bad;
+        } else {
+            ++xrpc_ok;
+        }
+    }
+    if (xrpc_bad > 0) {
+        std::fprintf(stderr,
+                     "snaptrace check: FAIL: %s: %zu of %zu xrpc "
+                     "attempt(s) unpaired across processes\n",
+                     path.c_str(), xrpc_bad,
+                     xrpc_starts.size());
+        return 1;
+    }
+
     std::printf("snaptrace check: OK: %zu events, %zu flow "
                 "pair(s)\n", doc.events.size(), pairs);
+    if (!xrpc_starts.empty())
+        std::printf("snaptrace check: xrpc: %zu cross-process "
+                    "attempt(s) all paired\n", xrpc_ok);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// merge
+// -------------------------------------------------------------------
+
+/** Parse the router's clock_sync metadata ("IDX:OFFSETNS,...";
+ *  offset = shard clock - router clock at handshake). */
+std::map<long long, long long>
+parseClockSync(const std::string &sync)
+{
+    std::map<long long, long long> offsets;
+    for (const std::string &ent : tokenize(sync, ",")) {
+        std::size_t colon = ent.find(':');
+        if (colon == std::string::npos)
+            continue;
+        long long shard = 0, off = 0;
+        if (parseInt(ent.substr(0, colon), shard) &&
+            parseInt(ent.substr(colon + 1), off))
+            offsets[shard] = off;
+    }
+    return offsets;
+}
+
+int
+cmdMerge(const std::string &out_path,
+         const std::vector<std::string> &files)
+{
+    // Operate on the raw JSON so every event field (args, flow
+    // binding points, categories we do not model) survives the
+    // round trip verbatim.
+    std::vector<JsonValue> roots(files.size());
+    for (std::size_t k = 0; k < files.size(); ++k) {
+        std::string text = slurp(files[k]);
+        std::string err;
+        JsonParser parser(text);
+        if (!parser.parse(roots[k], err)) {
+            std::fprintf(stderr, "snaptrace merge: %s: %s\n",
+                         files[k].c_str(), err.c_str());
+            return 1;
+        }
+        if (roots[k].type != JsonValue::Type::Object ||
+            !roots[k].find("traceEvents")) {
+            std::fprintf(stderr,
+                         "snaptrace merge: %s: no traceEvents\n",
+                         files[k].c_str());
+            return 1;
+        }
+    }
+
+    // Clock re-basing: file 0 is the router and owns the reference
+    // clock; its clock_sync metadata maps shard index -> offset.
+    std::map<long long, long long> offsets;
+    {
+        const JsonValue *other = roots[0].find("otherData");
+        const JsonValue *sync =
+            other ? other->find("clock_sync") : nullptr;
+        if (sync && sync->type == JsonValue::Type::String)
+            offsets = parseClockSync(sync->str);
+    }
+    if (files.size() > 1 && offsets.empty())
+        std::fprintf(stderr,
+                     "snaptrace merge: warning: router trace has "
+                     "no clock_sync metadata; shard timelines are "
+                     "not re-based\n");
+
+    JsonValue merged;
+    merged.type = JsonValue::Type::Object;
+    JsonValue events;
+    events.type = JsonValue::Type::Array;
+
+    std::size_t shifted = 0;
+    for (std::size_t k = 0; k < files.size(); ++k) {
+        const long long pid_base = 1000 * static_cast<long long>(k);
+        // Shard host events were stamped on the shard's clock; the
+        // router-domain time is t_shard - offset.
+        double shift_us = 0.0;
+        if (k > 0) {
+            auto it = offsets.find(static_cast<long long>(k) - 1);
+            if (it != offsets.end())
+                shift_us = -static_cast<double>(it->second) / 1000.0;
+        }
+        const std::string proc_prefix =
+            k == 0 ? std::string("router/")
+                   : formatString("shard%zu/", k - 1);
+        const std::string id_suffix = formatString("-p%zu", k);
+
+        JsonValue *evs = roots[k].findMut("traceEvents");
+        for (JsonValue &e : evs->arr) {
+            if (e.type != JsonValue::Type::Object)
+                continue;
+            JsonValue *ph = e.findMut("ph");
+            JsonValue *pid = e.findMut("pid");
+            const bool meta =
+                ph && ph->type == JsonValue::Type::String &&
+                ph->str == "M";
+            const long long orig_pid =
+                pid && pid->type == JsonValue::Type::Number
+                    ? static_cast<long long>(pid->number) : 0;
+
+            // Re-namespace pids: shard k's pid P becomes
+            // 1000*(k+1)+P in the merged file (the router keeps
+            // its pids — pid_base is 0 for k == 0).
+            if (pid && pid->type == JsonValue::Type::Number)
+                pid->number = orig_pid + pid_base;
+
+            // Re-base host-clock timestamps onto the router's
+            // clock.  Only host events (original pid 1): sim pids
+            // carry *simulated* microseconds, which are already a
+            // common domain and must never be clock-shifted.
+            if (k > 0 && !meta && orig_pid == 1 &&
+                shift_us != 0.0) {
+                JsonValue *ts = e.findMut("ts");
+                if (ts && ts->type == JsonValue::Type::Number) {
+                    ts->number += shift_us;
+                    ++shifted;
+                }
+            }
+
+            // Keep per-process flow/async arrows local: suffix
+            // their ids per source file.  The cross-process
+            // "xrpc" ids are shared router<->shard on purpose.
+            JsonValue *name = e.findMut("name");
+            const bool is_xrpc =
+                name && name->type == JsonValue::Type::String &&
+                name->str == "xrpc";
+            if (ph && ph->type == JsonValue::Type::String &&
+                !is_xrpc &&
+                (ph->str == "s" || ph->str == "f" ||
+                 ph->str == "b" || ph->str == "e")) {
+                JsonValue *id = e.findMut("id");
+                if (id && id->type == JsonValue::Type::String)
+                    id->str += id_suffix;
+            }
+
+            // Prefix process names so the viewer shows which
+            // fleet member each track belongs to.
+            if (meta && name &&
+                name->type == JsonValue::Type::String &&
+                name->str == "process_name") {
+                JsonValue *args = e.findMut("args");
+                JsonValue *nv =
+                    args ? args->findMut("name") : nullptr;
+                if (nv && nv->type == JsonValue::Type::String)
+                    nv->str = proc_prefix + nv->str;
+            }
+
+            events.arr.push_back(std::move(e));
+        }
+    }
+
+    // displayTimeUnit + otherData come from the router file; record
+    // what the merge did alongside.
+    const JsonValue *dtu = roots[0].find("displayTimeUnit");
+    if (dtu)
+        merged.obj.emplace_back("displayTimeUnit", *dtu);
+    const std::size_t n_events = events.arr.size();
+    merged.obj.emplace_back("traceEvents", std::move(events));
+    JsonValue other_out;
+    other_out.type = JsonValue::Type::Object;
+    if (const JsonValue *other = roots[0].find("otherData"))
+        other_out.obj = other->obj;
+    JsonValue merged_from;
+    merged_from.type = JsonValue::Type::Number;
+    merged_from.number = static_cast<double>(files.size());
+    other_out.obj.emplace_back("merged_from",
+                               std::move(merged_from));
+    merged.obj.emplace_back("otherData", std::move(other_out));
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "snaptrace merge: cannot write '%s'\n",
+                     out_path.c_str());
+        return 1;
+    }
+    writeJsonValue(os, merged);
+    os << '\n';
+    os.close();
+    if (!os) {
+        std::fprintf(stderr,
+                     "snaptrace merge: write to '%s' failed\n",
+                     out_path.c_str());
+        return 1;
+    }
+
+    std::printf("snaptrace merge: %zu file(s) -> %s: %zu events, "
+                "%zu host ts re-based, %zu clock offset(s)\n",
+                files.size(), out_path.c_str(), n_events, shifted,
+                offsets.size());
     return 0;
 }
 
@@ -654,6 +1011,88 @@ validMetricName(const std::string &name)
         if (!ok_rest(name[i]))
             return false;
     return true;
+}
+
+/** Prometheus label names: like metric names but no colon. */
+bool
+validLabelName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto ok_first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) ||
+               c == '_';
+    };
+    if (!ok_first(name[0]))
+        return false;
+    for (std::size_t i = 1; i < name.size(); ++i)
+        if (!ok_first(name[i]) &&
+            !std::isdigit(static_cast<unsigned char>(name[i])))
+            return false;
+    return true;
+}
+
+/**
+ * Walk a label set starting at '{' in @p s.  Validates structure
+ * AND value escaping: inside "..." a backslash may only introduce
+ * \\, \", or \n (the three escapes the exposition format defines),
+ * and a raw '"' terminates the value — an unescaped interior quote
+ * therefore surfaces as a structural error.  @return characters
+ * consumed including the closing '}', or 0 with @p why set.
+ */
+std::size_t
+parseLabelSet(const std::string &s, std::string &why)
+{
+    std::size_t i = 1;  // past '{'
+    if (i < s.size() && s[i] == '}')
+        return 2;
+    for (;;) {
+        std::size_t start = i;
+        while (i < s.size() && s[i] != '=' && s[i] != '"' &&
+               s[i] != ',' && s[i] != '}')
+            ++i;
+        if (!validLabelName(s.substr(start, i - start))) {
+            why = "bad label name";
+            return 0;
+        }
+        if (i >= s.size() || s[i] != '=') {
+            why = "expected '=' after label name";
+            return 0;
+        }
+        ++i;
+        if (i >= s.size() || s[i] != '"') {
+            why = "label value is not quoted";
+            return 0;
+        }
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                if (i + 1 >= s.size() ||
+                    (s[i + 1] != '\\' && s[i + 1] != '"' &&
+                     s[i + 1] != 'n')) {
+                    why = "invalid escape in label value "
+                          "(only \\\\, \\\", \\n)";
+                    return 0;
+                }
+                i += 2;
+            } else {
+                ++i;
+            }
+        }
+        if (i >= s.size()) {
+            why = "unterminated label value";
+            return 0;
+        }
+        ++i;  // closing quote
+        if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (i < s.size() && s[i] == '}')
+            return i + 1;
+        why = "expected ',' or '}' after label";
+        return 0;
+    }
 }
 
 int
@@ -716,27 +1155,13 @@ cmdPromlint(const std::string &path)
         }
         std::string rest = line.substr(name_end);
         if (brace != std::string::npos) {
-            std::size_t close = rest.find('}');
-            if (close == std::string::npos) {
-                fail("unterminated label set");
+            std::string why;
+            std::size_t used = parseLabelSet(rest, why);
+            if (used == 0) {
+                fail(why.c_str());
                 continue;
             }
-            std::string labels = rest.substr(1, close - 1);
-            // Each label: key="value"
-            bool labels_ok = true;
-            for (const std::string &lab : tokenize(labels, ",")) {
-                std::size_t eq = lab.find('=');
-                if (eq == std::string::npos ||
-                    !validMetricName(lab.substr(0, eq)) ||
-                    eq + 1 >= lab.size() || lab[eq + 1] != '"' ||
-                    lab.back() != '"')
-                    labels_ok = false;
-            }
-            if (!labels_ok) {
-                fail("malformed label set");
-                continue;
-            }
-            rest = rest.substr(close + 1);
+            rest = rest.substr(used);
         }
         std::string value = trim(rest);
         double v;
@@ -770,9 +1195,41 @@ cmdPromlint(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         usage();
     std::string mode = argv[1];
+
+    if (mode == "merge") {
+        std::string out_path;
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--out" && i + 1 < argc) {
+                out_path = argv[++i];
+            } else if (startsWith(arg, "--")) {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                usage();
+            } else {
+                files.push_back(std::move(arg));
+            }
+        }
+        if (out_path.empty()) {
+            std::fprintf(stderr,
+                         "snaptrace merge: --out is required\n");
+            return 2;
+        }
+        if (files.empty()) {
+            std::fprintf(stderr,
+                         "snaptrace merge: need at least one input "
+                         "trace (router first)\n");
+            return 2;
+        }
+        return cmdMerge(out_path, files);
+    }
+
+    if (argc < 3)
+        usage();
     std::string path = argv[2];
     int topN = 15;
 

@@ -60,6 +60,7 @@ struct Registry
     std::map<std::uint32_t, std::string> processNames;
     std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
         threadNames;
+    std::map<std::string, std::string> meta;
     std::size_t perThreadCapacity = 1u << 16;
     std::chrono::steady_clock::time_point epoch =
         std::chrono::steady_clock::now();
@@ -152,6 +153,7 @@ reset()
     reg.buffers.clear();
     reg.processNames.clear();
     reg.threadNames.clear();
+    reg.meta.clear();
     g_generation.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -217,6 +219,14 @@ nameTrack(std::uint32_t pid, std::uint32_t tid,
     Registry &reg = registry();
     std::lock_guard<std::mutex> lock(reg.mu);
     reg.threadNames[{pid, tid}] = name;
+}
+
+void
+setMeta(const std::string &key, const std::string &value)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.meta[key] = value;
 }
 
 const char *
@@ -365,7 +375,15 @@ writeJson(std::ostream &os)
 
     os << "\n],\n\"displayTimeUnit\": \"ms\",\n"
        << "\"otherData\": {\"tool\": \"snaptrace\", \"dropped\": "
-       << dropped << "}\n}\n";
+       << dropped;
+    for (const auto &kv : reg.meta) {
+        os << ", \"";
+        writeEscaped(os, kv.first);
+        os << "\": \"";
+        writeEscaped(os, kv.second);
+        os << "\"";
+    }
+    os << "}\n}\n";
 }
 
 bool

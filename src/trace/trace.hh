@@ -122,6 +122,13 @@ void nameProcess(std::uint32_t pid, const std::string &name);
 void nameTrack(std::uint32_t pid, std::uint32_t tid,
                const std::string &name);
 
+/** Attach a key/value string to the trace document, emitted under
+ *  "otherData" by writeJson.  The fleet layer uses it to publish the
+ *  per-shard clock offsets (`clock_sync`) that `snaptrace merge`
+ *  needs to align process timelines.  Cold path; cleared by
+ *  reset(). */
+void setMeta(const std::string &key, const std::string &value);
+
 /** Serialize everything buffered so far as Chrome trace-event JSON
  *  ({"traceEvents": [...], ...}). */
 void writeJson(std::ostream &os);
@@ -163,6 +170,12 @@ constexpr std::uint32_t tidInstr(std::uint32_t cat) { return 2 + cat; }
 constexpr std::uint32_t tidCluster(std::uint32_t c) { return 100 + c; }
 constexpr std::uint32_t tidCu(std::uint32_t c) { return 200 + c; }
 constexpr std::uint32_t tidSem(std::uint32_t c) { return 300 + c; }
+
+// Fleet tracks (host domain).  The router puts each shard link's
+// rpc.attempt lifecycles on its own track; a shard server puts
+// inbound rpc.serve spans on one rpc track per connection.
+constexpr std::uint32_t tidShardLink(std::uint32_t s) { return 400 + s; }
+constexpr std::uint32_t tidRpcConn(std::uint32_t c) { return 500 + c; }
 
 // ---------------------------------------------------------------
 // Thin inline emitters. All of them assume the caller already
@@ -292,6 +305,36 @@ hostFlowStart(std::uint32_t cat, std::uint32_t tid,
     Event ev;
     ev.ts = ns; ev.id = id; ev.name = "req";
     ev.pid = kHostPid; ev.tid = tid; ev.cat = cat; ev.ph = 's';
+    ev.host = true;
+    record(ev);
+}
+
+/** Flow start ('s') with a caller-chosen name.  The fleet layer
+ *  names its cross-process arrows "xrpc" so `snaptrace merge` can
+ *  tell them apart from in-process "req" flows and keep their ids
+ *  stable across the pid re-namespacing. */
+inline void
+hostFlowStartNamed(std::uint32_t cat, std::uint32_t tid,
+                   const char *name, std::uint64_t id,
+                   std::uint64_t ns)
+{
+    Event ev;
+    ev.ts = ns; ev.id = id; ev.name = name;
+    ev.pid = kHostPid; ev.tid = tid; ev.cat = cat; ev.ph = 's';
+    ev.host = true;
+    record(ev);
+}
+
+/** Flow finish ('f', bp=e) on the host clock with a caller-chosen
+ *  name; the receiving half of an "xrpc" arrow. */
+inline void
+hostFlowEndNamed(std::uint32_t cat, std::uint32_t tid,
+                 const char *name, std::uint64_t id,
+                 std::uint64_t ns)
+{
+    Event ev;
+    ev.ts = ns; ev.id = id; ev.name = name;
+    ev.pid = kHostPid; ev.tid = tid; ev.cat = cat; ev.ph = 'f';
     ev.host = true;
     record(ev);
 }

@@ -318,7 +318,9 @@ TEST(ShardProtocol, TruncationAtEveryOffsetIsRejected)
         },
         "response", resp.size() - 8);
 
-    // HelloAck.
+    // HelloAck: the v2 tail (payload missing exactly its trailing
+    // 8 traceClockNs bytes — an old peer) is the only survivable
+    // cut.
     WireWriter hw;
     shard::encodeHelloAck(hw, shard::HelloAckFrame{});
     expectEveryTruncationRejected(
@@ -328,7 +330,7 @@ TEST(ShardProtocol, TruncationAtEveryOffsetIsRejected)
             shard::HelloAckFrame out;
             return shard::decodeHelloAck(r, out);
         },
-        "hello-ack");
+        "hello-ack", hw.bytes().size() - 8);
 
     // PrepareAck (carries a string).
     shard::PrepareAckFrame pack;
@@ -381,6 +383,157 @@ TEST(ShardProtocol, TruncationAtEveryOffsetIsRejected)
             return shard::decodeSessionPush(r, kNodes, out);
         },
         "session-push");
+}
+
+TEST(ShardProtocol, TraceContextRoundTripsAndToleratesV2Peers)
+{
+    // Sampled request: the 17-byte trace tail rides along.
+    shard::RequestFrame in;
+    in.id = 5;
+    in.sessionId = "traced";
+    in.prog = countQuery(1, 0);
+    in.traceId = 0xabcdef0123456789ull;
+    in.traceParent = 0x1111222233334444ull;
+    in.traceFlags = 1;
+    WireWriter w;
+    shard::encodeRequest(w, in);
+    {
+        WireReader r(w.bytes().data(), w.bytes().size());
+        shard::RequestFrame out;
+        ASSERT_TRUE(shard::decodeRequest(r, out));
+        EXPECT_EQ(out.traceId, in.traceId);
+        EXPECT_EQ(out.traceParent, in.traceParent);
+        EXPECT_EQ(out.traceFlags, 1u);
+    }
+
+    // Every-byte-offset fuzz over the traced encoding: only the
+    // v2-peer cut (payload without the 17-byte trace tail) decodes,
+    // and it must come back with a zeroed context.
+    expectEveryTruncationRejected(
+        w.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::RequestFrame out;
+            return shard::decodeRequest(r, out);
+        },
+        "traced-request", w.bytes().size() - 17);
+    {
+        WireReader r(w.bytes().data(), w.bytes().size() - 17);
+        shard::RequestFrame out;
+        ASSERT_TRUE(shard::decodeRequest(r, out));
+        EXPECT_EQ(out.traceId, 0u);
+        EXPECT_EQ(out.traceParent, 0u);
+        EXPECT_EQ(out.traceFlags, 0u);
+        EXPECT_EQ(out.sessionId, in.sessionId);
+    }
+
+    // Unsampled requests must not grow a tail at all: trace-off
+    // bytes are byte-identical to a v2 encoding of the same frame.
+    shard::RequestFrame off = in;
+    off.traceId = 0;
+    off.traceParent = 0;
+    off.traceFlags = 0;
+    WireWriter ow;
+    shard::encodeRequest(ow, off);
+    EXPECT_EQ(ow.bytes().size(), w.bytes().size() - 17);
+
+    // A tail whose flags byte says "not sampled" is malformed (the
+    // encoder never emits it), not silently accepted.
+    std::vector<std::uint8_t> forged = w.bytes();
+    forged[forged.size() - 1] = 0;
+    WireReader fr(forged.data(), forged.size());
+    shard::RequestFrame fout;
+    EXPECT_FALSE(shard::decodeRequest(fr, fout));
+
+    // HelloAck v3 tail round-trips; a v2-length payload decodes
+    // with traceClockNs == 0.
+    shard::HelloAckFrame hello;
+    hello.fingerprint = 0xfeed;
+    hello.epoch = 4;
+    hello.traceClockNs = 123456789;
+    WireWriter hw;
+    shard::encodeHelloAck(hw, hello);
+    {
+        WireReader r(hw.bytes().data(), hw.bytes().size());
+        shard::HelloAckFrame out;
+        ASSERT_TRUE(shard::decodeHelloAck(r, out));
+        EXPECT_EQ(out.traceClockNs, 123456789u);
+    }
+    {
+        WireReader r(hw.bytes().data(), hw.bytes().size() - 8);
+        shard::HelloAckFrame out;
+        ASSERT_TRUE(shard::decodeHelloAck(r, out));
+        EXPECT_EQ(out.traceClockNs, 0u);
+        EXPECT_EQ(out.epoch, 4u);
+    }
+}
+
+TEST(ShardProtocol, StatsFramesRoundTripAndRejectTruncation)
+{
+    shard::StatsPullFrame pull;
+    pull.nonce = 0x0102030405060708ull;
+    WireWriter pw;
+    shard::encodeStatsPull(pw, pull);
+    {
+        WireReader r(pw.bytes().data(), pw.bytes().size());
+        shard::StatsPullFrame out;
+        ASSERT_TRUE(shard::decodeStatsPull(r, out));
+        EXPECT_EQ(out.nonce, pull.nonce);
+    }
+    expectEveryTruncationRejected(
+        pw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::StatsPullFrame out;
+            return shard::decodeStatsPull(r, out);
+        },
+        "stats-pull");
+
+    // Snapshot with labelled + unlabelled samples.
+    shard::StatsSnapshotFrame snap;
+    snap.nonce = 99;
+    MetricsRegistry reg;
+    reg.counter("snap_requests_total", 41.0, "served requests");
+    reg.add("snap_log_emitted_total", MetricsRegistry::Kind::Counter,
+            7.0, "log lines", {{"level", "warn"}});
+    reg.gauge("snap_queue_depth", 3.0, "queued work");
+    snap.samples = reg.samples();
+    WireWriter sw;
+    shard::encodeStatsSnapshot(sw, snap);
+    {
+        WireReader r(sw.bytes().data(), sw.bytes().size());
+        shard::StatsSnapshotFrame out;
+        ASSERT_TRUE(shard::decodeStatsSnapshot(r, out));
+        EXPECT_EQ(out.nonce, 99u);
+        ASSERT_EQ(out.samples.size(), snap.samples.size());
+        for (std::size_t i = 0; i < out.samples.size(); ++i) {
+            EXPECT_EQ(out.samples[i].name, snap.samples[i].name);
+            EXPECT_EQ(out.samples[i].help, snap.samples[i].help);
+            EXPECT_EQ(static_cast<int>(out.samples[i].kind),
+                      static_cast<int>(snap.samples[i].kind));
+            EXPECT_EQ(out.samples[i].labels,
+                      snap.samples[i].labels);
+            EXPECT_DOUBLE_EQ(out.samples[i].value,
+                             snap.samples[i].value);
+        }
+    }
+    expectEveryTruncationRejected(
+        sw.bytes(),
+        [](const std::uint8_t *d, std::size_t n) {
+            WireReader r(d, n);
+            shard::StatsSnapshotFrame out;
+            return shard::decodeStatsSnapshot(r, out);
+        },
+        "stats-snapshot");
+
+    // A forged sample count far beyond the payload is a clean
+    // rejection, not an allocation bomb.
+    WireWriter bw;
+    bw.u64(7);          // nonce
+    bw.u32(0xffffff);   // claimed sample count
+    WireReader br(bw.bytes().data(), bw.bytes().size());
+    shard::StatsSnapshotFrame bout;
+    EXPECT_FALSE(shard::decodeStatsSnapshot(br, bout));
 }
 
 TEST(ShardProtocol, SessionFramesRoundTripTheMarkerState)
@@ -740,6 +893,117 @@ TEST_F(ShardFleetTest, RouterAnswersMatchDirectExecution)
         test::expectSameResults(got[i].results, ref.results);
         EXPECT_EQ(got[i].wallTicks, ref.wallTicks)
             << "request " << i;
+    }
+}
+
+TEST_F(ShardFleetTest, TracedAnswersMatchAndFleetStatsAggregate)
+{
+    TempPath sock0("tracefleet0.sock"), sock1("tracefleet1.sock");
+    TestShard s0(image_file_->path(), "unix:" + sock0.path());
+    TestShard s1(image_file_->path(), "unix:" + sock1.path());
+
+    shard::RouterConfig rcfg;
+    rcfg.shards = {"unix:" + sock0.path(), "unix:" + sock1.path()};
+    rcfg.traceSample = 1.0;   // stamp every request's context
+    rcfg.slowQueryMs = 0.0;   // log every query as "slow"
+    ShardRouter router(rcfg);
+    std::string detail;
+    ASSERT_TRUE(router.connect(detail)) << detail;
+
+    RelationType inc = net_.relationId("includes");
+    std::vector<Program> mix;
+    for (NodeId n = 0; n < 8; ++n)
+        mix.push_back(countQuery(n * 41 % 300, inc));
+
+    std::vector<shard::ResponseFrame> got(mix.size());
+    std::mutex mu;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        shard::RouterRequest req;
+        req.prog = mix[i];
+        router.submit(std::move(req),
+                      [&, i](shard::ResponseFrame &&resp) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          got[i] = std::move(resp);
+                      });
+    }
+    router.drain();
+
+    // Trace context on the wire must not perturb the answers.
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        ASSERT_EQ(got[i].status, serve::RequestStatus::Ok)
+            << "request " << i;
+        RunResult ref = reference(mix[i]);
+        test::expectSameResults(got[i].results, ref.results);
+        EXPECT_EQ(got[i].wallTicks, ref.wallTicks);
+    }
+
+    // Every query cleared the 0ms slow threshold and logged its
+    // per-hop path.
+    auto slow = router.slowQueries();
+    ASSERT_EQ(slow.size(), mix.size());
+    for (const auto &q : slow) {
+        EXPECT_NE(q.traceId, 0u);
+        ASSERT_GE(q.hops.size(), 1u);
+        EXPECT_STREQ(q.hops[0].kind, "primary");
+        EXPECT_NE(q.hops[0].spanId, 0u);
+        EXPECT_EQ(q.winner, q.hops.back().shard);
+        EXPECT_FALSE(q.hedged);
+        EXPECT_GE(q.totalMs, 0.0);
+    }
+
+    // On-demand stats pull: each shard answers with its engine +
+    // logger registry snapshot.
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        shard::StatsSnapshotFrame snap;
+        std::string err;
+        ASSERT_TRUE(router.pullShardStats(s, snap, err)) << err;
+        EXPECT_FALSE(snap.samples.empty());
+        bool saw_engine = false, saw_logger = false;
+        for (const auto &smp : snap.samples) {
+            if (smp.name.rfind("snap_serve_", 0) == 0)
+                saw_engine = true;
+            if (smp.name == "snap_log_emitted_total")
+                saw_logger = true;
+        }
+        EXPECT_TRUE(saw_engine) << "shard " << s;
+        EXPECT_TRUE(saw_logger) << "shard " << s;
+    }
+
+    // The aggregated fleet view carries router counters plus the
+    // cached shard samples re-labelled per shard.
+    MetricsRegistry reg;
+    router.exportFleetMetrics(reg);
+    double shards_up = -1.0;
+    bool saw_shard0 = false, saw_shard1 = false, slow_total = false;
+    for (const auto &smp : reg.samples()) {
+        if (smp.name == "snap_router_shards_up")
+            shards_up = smp.value;
+        if (smp.name == "snap_router_slow_queries_total") {
+            slow_total = true;
+            EXPECT_DOUBLE_EQ(smp.value,
+                             static_cast<double>(mix.size()));
+        }
+        for (const auto &lab : smp.labels) {
+            if (lab.first == "shard") {
+                if (lab.second == "0")
+                    saw_shard0 = true;
+                if (lab.second == "1")
+                    saw_shard1 = true;
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(shards_up, 2.0);
+    EXPECT_TRUE(slow_total);
+    EXPECT_TRUE(saw_shard0);
+    EXPECT_TRUE(saw_shard1);
+
+    // Clock offsets were exchanged in the handshake (both shards
+    // share this process's clock, so the offset is tiny but real).
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        const std::int64_t off = router.shardClockOffsetNs(s);
+        const std::int64_t minute = 60ll * 1000 * 1000 * 1000;
+        EXPECT_GT(off, -minute);
+        EXPECT_LT(off, minute);
     }
 }
 

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/histogram.hh"
+#include "common/logging.hh"
 #include "common/metrics_registry.hh"
 #include "common/stats.hh"
 
@@ -147,6 +148,95 @@ TEST(StatsGroup, ResetAllAndExport)
     g.resetAll();
     EXPECT_EQ(s.value(), 0.0);
     EXPECT_EQ(d.count(), 0u);
+}
+
+// --- MetricsRegistry exposition escaping -----------------------------------
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValuesAndHelp)
+{
+    MetricsRegistry reg;
+    reg.counter("snap_evil_total", 1.0,
+                "help with \\ backslash\nand newline",
+                {{"path", "C:\\tmp\n\"quoted\""}});
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // The label value must carry the three spec escapes and no raw
+    // quote/newline inside the quotes.
+    EXPECT_NE(text.find("path=\"C:\\\\tmp\\n\\\"quoted\\\"\""),
+              std::string::npos)
+        << text;
+    // HELP escapes backslash and newline (quotes stay raw there).
+    EXPECT_NE(text.find(
+                  "# HELP snap_evil_total help with \\\\ "
+                  "backslash\\nand newline\n"),
+              std::string::npos)
+        << text;
+    // Exactly one physical line may contain the sample: an
+    // unescaped newline would split it.
+    std::istringstream is(text);
+    std::string line;
+    std::size_t sample_lines = 0;
+    while (std::getline(is, line))
+        if (line.rfind("snap_evil_total{", 0) == 0)
+            ++sample_lines;
+    EXPECT_EQ(sample_lines, 1u);
+}
+
+TEST(MetricsRegistry, JsonEscapesLabelStrings)
+{
+    MetricsRegistry reg;
+    reg.gauge("snap_g", 2.0, "",
+              {{"k", "a\"b\\c\nd\te\x01z"}});
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("a\\\"b\\\\c\\nd\\te\\u0001z"),
+              std::string::npos)
+        << text;
+}
+
+TEST(MetricsRegistry, SanitizeLabelNameExcludesColon)
+{
+    EXPECT_EQ(MetricsRegistry::sanitizeLabelName("a:b.c"), "a_b_c");
+    EXPECT_EQ(MetricsRegistry::sanitizeLabelName("9lead"), "_lead");
+    EXPECT_EQ(MetricsRegistry::sanitizeLabelName(""), "_");
+    // Metric names keep the colon; label names must not.
+    EXPECT_EQ(MetricsRegistry::sanitizeName("a:b"), "a:b");
+}
+
+// --- Logger counter export -------------------------------------------------
+
+TEST(LoggerMetrics, ExportsPerLevelEmitAndSuppressCounters)
+{
+    Logger::resetCounters();
+    snap_inform("logger-metrics probe %d", 1);
+    snap_warn("logger-metrics probe %d", 2);
+    snap_warn("logger-metrics probe %d", 3);
+
+    MetricsRegistry reg;
+    Logger::exportMetrics(reg);
+
+    double info_emitted = -1.0, warn_emitted = -1.0;
+    std::size_t suppressed_series = 0;
+    for (const auto &s : reg.samples()) {
+        if (s.name == "snap_log_emitted_total") {
+            ASSERT_EQ(s.labels.size(), 1u);
+            EXPECT_EQ(s.labels[0].first, "level");
+            if (s.labels[0].second == "info")
+                info_emitted = s.value;
+            else if (s.labels[0].second == "warn")
+                warn_emitted = s.value;
+        } else if (s.name == "snap_log_suppressed_total") {
+            ++suppressed_series;
+        }
+    }
+    EXPECT_GE(info_emitted, 1.0);
+    EXPECT_GE(warn_emitted, 2.0);
+    // One suppressed series per level, even when all-zero.
+    EXPECT_EQ(suppressed_series, 5u);
+    Logger::resetCounters();
 }
 
 // --- snap::Histogram (log-linear) quantile edges ---------------------------
